@@ -1,0 +1,379 @@
+//! Heavy-hitter / frequent-item detection (Appendix B.1, Listing 2).
+//!
+//! "For a particular key requested in the packet, the program
+//! essentially performs a count-min-sketch and stores the key if the
+//! count exceeds a running threshold." (Section 6.3)
+//!
+//! The program updates two hash-independent sketch rows with
+//! `MEM_MINREADINC` (one row per stage, distinct HASH selectors), takes
+//! the row minimum as the sketched count, compares it with the
+//! per-bucket threshold stored in a small *directory*, and — when the
+//! count exceeds the threshold — writes the key (both halves) and the
+//! new threshold into the directory. The threshold write revisits the
+//! threshold-read stage on a later pass ("the program uses packet
+//! recirculation to re-access the memory stage containing the
+//! threshold"), which is the access-alias constraint the allocator
+//! honours.
+//!
+//! The monitor is **inelastic** (Section 6.1): a fixed sketch size buys
+//! a fixed error bound. With two rows of 2048 counters, the classic CMS
+//! bound gives ε = e/w ≈ 0.13% of the stream per bucket at
+//! δ = e^-d ≈ 13%; the paper's "16 blocks for < 0.1% error" is the same
+//! sizing at its 1 KB granularity.
+
+use crate::kvstore::{join_key, key_halves};
+use activermt_client::asm::assemble;
+use activermt_client::compiler::{CompiledService, Compiler, ServiceSpec};
+use activermt_client::memsync::{MemSync, SyncOp};
+use activermt_client::shim::{Shim, ShimEvent, ShimState};
+use activermt_core::alloc::MutantPolicy;
+use activermt_rmt::hash::Crc32;
+use std::collections::BTreeMap;
+
+/// Listing 2: the active program for computing frequent items
+/// (8-byte keys), with explicit hash selectors for the two independent
+/// sketch rows.
+pub const HH_MONITOR_ASM: &str = r#"
+    MBR_LOAD $0          // load key 0
+    MBR2_LOAD $1         // load key 1
+    COPY_HASHDATA_MBR
+    COPY_HASHDATA_MBR2
+    HASH %0
+    ADDR_MASK
+    ADDR_OFFSET
+    MEM_MINREADINC       // sketch row 1
+    COPY_MBR2_MBR        // save count for later
+    HASH %1
+    ADDR_MASK
+    ADDR_OFFSET
+    MEM_MINREADINC       // sketch row 2
+    COPY_MBR_MBR2        // MBR <- sketched count
+    MAR_LOAD $2          // directory bucket address
+    MEM_READ             // read hh threshold
+    MIN
+    MBR_EQUALS_MBR2
+    CRET1                // count <= threshold: done
+    MBR_LOAD $0          // reload key 0
+    MEM_WRITE            // store key 0
+    NOP
+    NOP
+    COPY_MBR_MBR2        // MBR <- count (the new threshold)
+    MBR2_LOAD $1
+    MEM_WRITE            // update threshold (same stage, next pass)
+    COPY_MBR_MBR2        // MBR <- key 1
+    MEM_WRITE            // store key 1
+    RETURN
+"#;
+
+/// Default sketch-row demand in blocks (8 blocks = 2048 counters at the
+/// 1 KB default granularity; two rows ≈ the paper's 16-block monitor).
+pub const ROW_BLOCKS: u16 = 8;
+
+/// One monitored directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrequentItem {
+    /// The 8-byte key.
+    pub key: u64,
+    /// Its (sketched) count when last promoted.
+    pub count: u32,
+}
+
+/// Events surfaced by [`HeavyHitterApp::handle_frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HhEvent {
+    /// Allocation granted; monitoring may begin.
+    Allocated,
+    /// Allocation failed.
+    AllocationFailed,
+    /// A batch of extraction reads completed; `remaining` batches are
+    /// still outstanding.
+    ExtractProgress {
+        /// Outstanding extraction packets.
+        remaining: usize,
+    },
+}
+
+/// A partially extracted directory slot: (threshold, key0, key1).
+type DirSlot = (Option<u32>, Option<u32>, Option<u32>);
+
+/// The frequent-item monitor client.
+#[derive(Debug)]
+pub struct HeavyHitterApp {
+    shim: Shim,
+    sync: MemSync,
+    server_mac: [u8; 6],
+    crc: Crc32,
+    geometry: Option<Geometry>,
+    /// Extraction accumulator: directory index -> (thr, key0, key1).
+    extract: BTreeMap<u32, DirSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct Geometry {
+    /// (threshold stage, key0 stage, key1 stage) of the directory.
+    dir_stages: [usize; 3],
+    /// Common directory start (alignment invariant, as for the cache).
+    dir_start: u32,
+    /// Directory entries.
+    dir_entries: u32,
+}
+
+impl HeavyHitterApp {
+    /// Compile the monitor service: inelastic, two 8-block sketch rows
+    /// plus a 3-stage one-block directory; the threshold write aliases
+    /// the threshold read (accesses 2 and 4).
+    pub fn service() -> CompiledService {
+        Compiler::compile(ServiceSpec {
+            name: "heavy-hitter".into(),
+            program: assemble(HH_MONITOR_ASM).expect("Listing 2 is valid"),
+            demands: vec![ROW_BLOCKS, ROW_BLOCKS, 1, 1, 0, 1],
+            elastic: false,
+            aliases: vec![(2, 4)],
+        })
+        .expect("heavy-hitter service compiles")
+    }
+
+    /// Create a monitor client.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fid: u16,
+        mac: [u8; 6],
+        switch_mac: [u8; 6],
+        server_mac: [u8; 6],
+        policy: MutantPolicy,
+        num_stages: usize,
+        ingress_stages: usize,
+        max_extra_recircs: u8,
+    ) -> HeavyHitterApp {
+        HeavyHitterApp {
+            shim: Shim::new(
+                fid,
+                mac,
+                switch_mac,
+                Self::service(),
+                policy,
+                num_stages,
+                ingress_stages,
+                max_extra_recircs,
+            ),
+            sync: MemSync::new(fid, mac, server_mac, num_stages),
+            server_mac,
+            crc: Crc32::new(),
+            geometry: None,
+            extract: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying shim.
+    pub fn shim(&self) -> &Shim {
+        &self.shim
+    }
+
+    /// The service identifier.
+    pub fn fid(&self) -> u16 {
+        self.shim.fid()
+    }
+
+    /// Is the monitor ready to activate packets?
+    pub fn operational(&self) -> bool {
+        self.shim.state() == ShimState::Operational && self.geometry.is_some()
+    }
+
+    /// Build the allocation request.
+    pub fn request_allocation(&mut self) -> Vec<u8> {
+        self.shim.request_allocation()
+    }
+
+    /// Build the deallocation control packet (the Section 6.3 context
+    /// switch tears the monitor down before allocating the cache).
+    pub fn deallocate(&mut self) -> Vec<u8> {
+        self.geometry = None;
+        self.shim.deallocate()
+    }
+
+    /// Activate a request for `key` with the monitor program attached.
+    pub fn monitor_frame(&mut self, key: u64, payload: &[u8]) -> Option<Vec<u8>> {
+        let g = self.geometry.clone()?;
+        let bucket = crate::workload::mix32(self.crc.checksum(&key.to_be_bytes())) % g.dir_entries;
+        let (k0, k1) = key_halves(key);
+        self.shim
+            .activate(self.server_mac, [k0, k1, g.dir_start + bucket, 0], payload)
+    }
+
+    /// Begin extracting the directory via data-plane memsync reads
+    /// (Section 6.3: "the client performs a memory synchronization to
+    /// retrieve the thresholds and their corresponding keys").
+    pub fn extract_frames(&mut self) -> Vec<Vec<u8>> {
+        let Some(g) = self.geometry.clone() else {
+            return Vec::new();
+        };
+        self.extract.clear();
+        let mut ops = Vec::with_capacity(g.dir_entries as usize * 3);
+        for i in 0..g.dir_entries {
+            let addr = g.dir_start + i;
+            ops.push(SyncOp::Read {
+                stage: g.dir_stages[0],
+                addr,
+            });
+            ops.push(SyncOp::Read {
+                stage: g.dir_stages[1],
+                addr,
+            });
+            ops.push(SyncOp::Read {
+                stage: g.dir_stages[2],
+                addr,
+            });
+        }
+        self.sync.submit(&ops)
+    }
+
+    /// The frequent items recovered so far, most frequent first.
+    pub fn frequent_items(&self) -> Vec<FrequentItem> {
+        let mut items: Vec<FrequentItem> = self
+            .extract
+            .values()
+            .filter_map(|&(thr, k0, k1)| {
+                let (thr, k0, k1) = (thr?, k0?, k1?);
+                let key = join_key(k0, k1);
+                if key == 0 {
+                    None
+                } else {
+                    Some(FrequentItem { key, count: thr })
+                }
+            })
+            .collect();
+        items.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        items
+    }
+
+    /// Unacknowledged memsync frames for retransmission.
+    pub fn pending_sync(&self) -> Vec<Vec<u8>> {
+        self.sync.pending_frames()
+    }
+
+    /// Handle an incoming frame.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Option<HhEvent> {
+        if let Some(results) = self.sync.handle_response(frame) {
+            let g = self.geometry.clone()?;
+            for r in results {
+                if let SyncOp::Read { stage, addr } = r.op {
+                    let idx = addr - g.dir_start;
+                    let slot = self.extract.entry(idx).or_insert((None, None, None));
+                    if stage == g.dir_stages[0] {
+                        slot.0 = Some(r.value);
+                    } else if stage == g.dir_stages[1] {
+                        slot.1 = Some(r.value);
+                    } else if stage == g.dir_stages[2] {
+                        slot.2 = Some(r.value);
+                    }
+                }
+            }
+            return Some(HhEvent::ExtractProgress {
+                remaining: self.sync.pending_count(),
+            });
+        }
+        match self.shim.handle_frame(frame)? {
+            ShimEvent::Allocated { regions } | ShimEvent::RegionsUpdated { regions } => {
+                self.geometry = self.derive_geometry(&regions);
+                Some(HhEvent::Allocated)
+            }
+            ShimEvent::AllocationFailed => Some(HhEvent::AllocationFailed),
+            ShimEvent::MustSnapshot => None, // inelastic: never reallocated
+            _ => None,
+        }
+    }
+
+    fn derive_geometry(
+        &self,
+        regions: &[(usize, activermt_isa::wire::RegionEntry)],
+    ) -> Option<Geometry> {
+        let program = self.shim.program()?;
+        let positions = program.memory_access_positions();
+        // Accesses: row1, row2, thr read, key0 write, thr write (alias),
+        // key1 write.
+        if positions.len() != 6 {
+            return None;
+        }
+        let n = self.shim.num_stages();
+        let stage = |i: usize| (positions[i] - 1) % n;
+        let find = |s: usize| regions.iter().find(|&&(rs, _)| rs == s).map(|&(_, r)| r);
+        let thr = find(stage(2))?;
+        let k0 = find(stage(3))?;
+        let k1 = find(stage(5))?;
+        if thr.start != k0.start || k0.start != k1.start {
+            return None; // alignment invariant (see module docs)
+        }
+        Some(Geometry {
+            dir_stages: [stage(2), stage(3), stage(5)],
+            dir_start: thr.start,
+            dir_entries: thr.len().min(k0.len()).min(k1.len()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_matches_listing2_shape() {
+        let s = HeavyHitterApp::service();
+        // Accesses at the paper's lines 8, 13, 16, 21, 26, 28.
+        assert_eq!(s.pattern.min_positions, vec![8, 13, 16, 21, 26, 28]);
+        assert_eq!(s.pattern.prog_len, 29);
+        assert!(!s.pattern.elastic);
+        assert_eq!(s.pattern.aliases, vec![(2, 4)]);
+        // The two HASH instructions use distinct selectors.
+        let hashes: Vec<u8> = s
+            .spec
+            .program
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == activermt_isa::Opcode::HASH)
+            .map(|i| i.flags.operand)
+            .collect();
+        assert_eq!(hashes, vec![0, 1]);
+    }
+
+    #[test]
+    fn monitor_needs_an_allocation() {
+        let mut app = HeavyHitterApp::new(
+            2,
+            [2; 6],
+            [3; 6],
+            [4; 6],
+            MutantPolicy::MostConstrained,
+            20,
+            10,
+            1,
+        );
+        assert!(!app.operational());
+        assert!(app.monitor_frame(1, b"").is_none());
+        assert!(app.extract_frames().is_empty());
+        assert!(app.frequent_items().is_empty());
+    }
+
+    #[test]
+    fn mc_enumeration_finds_the_alias_mutant() {
+        // The alias forces the threshold write onto the threshold-read
+        // stage one pass later; most-constrained enumeration must still
+        // find mutants (the paper reports exactly one).
+        let s = HeavyHitterApp::service();
+        let space = activermt_core::alloc::MutantSpace {
+            num_stages: 20,
+            ingress_stages: 10,
+            max_extra_recircs: 1,
+        };
+        let muts = space.enumerate(&s.pattern, MutantPolicy::MostConstrained);
+        assert!(!muts.is_empty());
+        for m in &muts {
+            assert_eq!(m.stages[2], m.stages[4], "alias must hold");
+            assert_eq!(m.passes, 2, "29 instructions need two passes");
+            // Six accesses, five distinct stages.
+            let mut uniq = m.stages.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The backend key-value server model and application message format.
+//!
+//! The paper's cache clients send "UDP (application-level) object
+//! requests containing eight-byte keys ... to a remote server"
+//! (Section 6.3); the switch intercepts hits, misses continue to the
+//! server. This module defines the minimal application payload the
+//! cache shim encodes into active headers, and the server that answers
+//! misses.
+
+use std::collections::HashMap;
+
+/// Application operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a value.
+    Get,
+    /// Store a value.
+    Put,
+}
+
+/// A parsed application message: `[op u8][key u64][value u32]`,
+/// 13 bytes, big-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvMessage {
+    /// The operation.
+    pub op: KvOp,
+    /// The 8-byte object key.
+    pub key: u64,
+    /// The value (response payloads and PUTs).
+    pub value: u32,
+}
+
+impl KvMessage {
+    /// Wire length of a message.
+    pub const LEN: usize = 13;
+
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::LEN);
+        out.push(match self.op {
+            KvOp::Get => 0,
+            KvOp::Put => 1,
+        });
+        out.extend_from_slice(&self.key.to_be_bytes());
+        out.extend_from_slice(&self.value.to_be_bytes());
+        out
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(bytes: &[u8]) -> Option<KvMessage> {
+        if bytes.len() < Self::LEN {
+            return None;
+        }
+        let op = match bytes[0] {
+            0 => KvOp::Get,
+            1 => KvOp::Put,
+            _ => return None,
+        };
+        Some(KvMessage {
+            op,
+            key: u64::from_be_bytes(bytes[1..9].try_into().ok()?),
+            value: u32::from_be_bytes(bytes[9..13].try_into().ok()?),
+        })
+    }
+}
+
+/// Split an 8-byte key into the two 32-bit halves carried in the first
+/// two argument fields (Section 3.4: "Packets carry the 8-Byte value
+/// across two argument fields in the header").
+pub fn key_halves(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Rejoin the key halves.
+pub fn join_key(k0: u32, k1: u32) -> u64 {
+    (u64::from(k0) << 32) | u64::from(k1)
+}
+
+/// The backend server: an in-memory map answering GETs and applying
+/// PUTs.
+#[derive(Debug, Default)]
+pub struct KvServer {
+    map: HashMap<u64, u32>,
+    gets: u64,
+    puts: u64,
+}
+
+impl KvServer {
+    /// An empty store.
+    pub fn new() -> KvServer {
+        KvServer::default()
+    }
+
+    /// Preload the store with `n` keys whose value encodes the key (so
+    /// tests can verify end-to-end integrity).
+    pub fn preload(&mut self, n: u64) {
+        for key in 0..n {
+            self.map.insert(key, value_of(key));
+        }
+    }
+
+    /// Handle a request payload, producing a response payload.
+    pub fn handle(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        let msg = KvMessage::decode(payload)?;
+        match msg.op {
+            KvOp::Get => {
+                self.gets += 1;
+                let value = self.map.get(&msg.key).copied().unwrap_or(0);
+                Some(
+                    KvMessage {
+                        op: KvOp::Get,
+                        key: msg.key,
+                        value,
+                    }
+                    .encode(),
+                )
+            }
+            KvOp::Put => {
+                self.puts += 1;
+                self.map.insert(msg.key, msg.value);
+                Some(payload.to_vec())
+            }
+        }
+    }
+
+    /// GET requests served.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// PUT requests served.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Direct lookup (tests).
+    pub fn get(&self, key: u64) -> Option<u32> {
+        self.map.get(&key).copied()
+    }
+}
+
+/// The canonical test value for a key (a cheap integrity check).
+pub fn value_of(key: u64) -> u32 {
+    (key as u32).wrapping_mul(2654435761) ^ 0x5151_5151
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_roundtrip() {
+        let m = KvMessage {
+            op: KvOp::Put,
+            key: 0xDEAD_BEEF_CAFE_F00D,
+            value: 42,
+        };
+        assert_eq!(KvMessage::decode(&m.encode()), Some(m));
+        assert!(KvMessage::decode(&[0; 5]).is_none());
+        assert!(KvMessage::decode(&[9; 13]).is_none());
+    }
+
+    #[test]
+    fn key_halves_roundtrip() {
+        let key = 0x0123_4567_89AB_CDEF;
+        let (k0, k1) = key_halves(key);
+        assert_eq!(k0, 0x0123_4567);
+        assert_eq!(k1, 0x89AB_CDEF);
+        assert_eq!(join_key(k0, k1), key);
+    }
+
+    #[test]
+    fn server_answers_gets_and_puts() {
+        let mut s = KvServer::new();
+        s.preload(10);
+        let req = KvMessage {
+            op: KvOp::Get,
+            key: 3,
+            value: 0,
+        };
+        let resp = KvMessage::decode(&s.handle(&req.encode()).unwrap()).unwrap();
+        assert_eq!(resp.value, value_of(3));
+        // A PUT overwrites.
+        let put = KvMessage {
+            op: KvOp::Put,
+            key: 3,
+            value: 77,
+        };
+        s.handle(&put.encode()).unwrap();
+        assert_eq!(s.get(3), Some(77));
+        assert_eq!(s.gets(), 1);
+        assert_eq!(s.puts(), 1);
+        // Unknown keys answer zero.
+        let miss = KvMessage {
+            op: KvOp::Get,
+            key: 999,
+            value: 0,
+        };
+        let resp = KvMessage::decode(&s.handle(&miss.encode()).unwrap()).unwrap();
+        assert_eq!(resp.value, 0);
+    }
+}

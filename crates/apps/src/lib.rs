@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # activermt-apps
+//!
+//! The paper's exemplar in-network services, implemented as active
+//! programs plus their client-side logic:
+//!
+//! * [`cache`] — the in-network object cache of Sections 3.4 and 6.3
+//!   (Listing 1's query program, memsync-based population, and the
+//!   reallocation handler that repopulates a resized region);
+//! * [`hh`] — the frequent-item / heavy-hitter monitor of Appendix B.1
+//!   (Listing 2: a two-row count-min sketch with per-bucket
+//!   threshold-and-key directory);
+//! * [`lb`] — the Cheetah load balancer of Appendix B.2 (server
+//!   selection on SYNs with an XOR cookie, stateless flow routing);
+//! * [`workload`] — seeded Zipf and Poisson generators driving the
+//!   evaluation scenarios;
+//! * [`kvstore`] — the backend key-value server model and the
+//!   application-level message format the cache operates on.
+
+pub mod cache;
+pub mod hh;
+pub mod kvstore;
+pub mod lb;
+pub mod workload;
+
+pub use cache::CacheApp;
+pub use hh::HeavyHitterApp;
+pub use kvstore::KvServer;
+pub use lb::CheetahLb;
+pub use workload::{poisson, Zipf};

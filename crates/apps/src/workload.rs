@@ -1,0 +1,201 @@
+//! Workload generators.
+//!
+//! The paper's cache experiments draw keys "from a Zipf distribution"
+//! over realistic key-value workloads (Section 6.3, citing the YCSB /
+//! Twitter trace line of work), and its churn experiments draw arrival
+//! and departure counts from Poisson distributions (Section 6.1). Both
+//! generators are seeded and deterministic.
+
+use rand::Rng;
+
+/// A nonlinear 32-bit finalizer (MurmurHash3's fmix32).
+///
+/// CRC32 is linear over GF(2): hashing *sequential* keys lands in an
+/// affine subspace, so `crc % 2^k` can leave half the buckets
+/// unreachable (we hit exactly this: 131072 sequential keys covered
+/// only 32769 of 65536 buckets). Client-side bucket selection therefore
+/// mixes the CRC through this finalizer; the switch-side CRC units stay
+/// faithful to the hardware (whose users face the same caveat).
+pub fn mix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^= x >> 16;
+    x
+}
+
+/// A Zipf(α) distribution over `{0, 1, ..., n-1}` (rank 0 most
+/// popular), sampled by inverse-CDF binary search over a precomputed
+/// table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution table for `n` items with exponent
+    /// `alpha` (the paper's workloads sit near α ≈ 0.99–1.0).
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution is over zero items (never; `new`
+    /// asserts).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// The fraction of requests covered by the `k` most popular items —
+    /// the *ideal* hit rate of a cache holding exactly those items.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+}
+
+/// Sample a Poisson(λ) count (Knuth's method; λ in the paper's
+/// experiments is 1 or 2, where this is exact and fast).
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u32 {
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_normalized_and_monotone() {
+        let z = Zipf::new(1000, 0.99);
+        assert_eq!(z.len(), 1000);
+        assert!((z.head_mass(1000) - 1.0).abs() < 1e-12);
+        for i in 1..1000 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15, "pmf must decay");
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        // At α ≈ 1, the top 1% of 10k items should cover a large
+        // fraction of the mass — the property in-network caching
+        // exploits.
+        let z = Zipf::new(10_000, 1.0);
+        let head = z.head_mass(100);
+        assert!(head > 0.4 && head < 0.8, "head mass {head}");
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let freq0 = f64::from(counts[0]) / n as f64;
+        assert!((freq0 - z.pmf(0)).abs() < 0.01, "{} vs {}", freq0, z.pmf(0));
+        // Rank ordering holds for the head.
+        assert!(counts[0] > counts[1] && counts[1] > counts[5]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let z = Zipf::new(50, 0.9);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix32_breaks_crc_linearity() {
+        // Sequential keys through CRC32 alone cover only an affine
+        // subspace of the low bits; after mix32 the coverage is the
+        // full balls-in-bins expectation.
+        let crc = activermt_rmt::hash::Crc32::new();
+        let buckets = 65_536u32;
+        let mut plain = std::collections::HashSet::new();
+        let mut mixed = std::collections::HashSet::new();
+        for k in 1u64..=131_072 {
+            let h = crc.checksum(&k.to_be_bytes());
+            plain.insert(h % buckets);
+            mixed.insert(mix32(h) % buckets);
+        }
+        assert!(
+            plain.len() < 40_000,
+            "the linearity artifact should be visible: {}",
+            plain.len()
+        );
+        // 131072 balls into 65536 bins: ~86% occupancy expected.
+        assert!(mixed.len() > 52_000, "mixed coverage {}", mixed.len());
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| u64::from(poisson(&mut rng, 2.0))).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        let sum1: u64 = (0..n).map(|_| u64::from(poisson(&mut rng, 1.0))).sum();
+        let mean1 = sum1 as f64 / n as f64;
+        assert!((mean1 - 1.0).abs() < 0.05, "mean {mean1}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the allocation hot paths: admission
+//! under both policies (Figure 5's core operation), mutant enumeration,
+//! and the churn epoch loop.
+
+use activermt_bench::scenarios::{churn, ChurnConfig};
+use activermt_bench::{pattern_of, pure_arrivals, AppKind};
+use activermt_core::alloc::{Allocator, AllocatorConfig, MutantPolicy, MutantSpace, Scheme};
+use activermt_core::SwitchConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_admission(c: &mut Criterion) {
+    let cfg = SwitchConfig::default();
+    let mut group = c.benchmark_group("admission");
+    for (policy, plabel) in [
+        (MutantPolicy::MostConstrained, "mc"),
+        (MutantPolicy::LeastConstrained, "lc"),
+    ] {
+        for kind in AppKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(plabel, kind.label()),
+                &(policy, kind),
+                |b, &(policy, kind)| {
+                    let pattern = pattern_of(kind, 1024);
+                    b.iter_batched(
+                        || {
+                            // A realistically loaded allocator: 30 mixed
+                            // residents.
+                            let mut alloc =
+                                Allocator::new(AllocatorConfig::from_switch(&cfg, Scheme::WorstFit));
+                            for i in 0..30u16 {
+                                let k = AppKind::ALL[i as usize % 3];
+                                let _ = alloc.admit(
+                                    i,
+                                    &pattern_of(k, 1024),
+                                    MutantPolicy::MostConstrained,
+                                );
+                            }
+                            alloc
+                        },
+                        |mut alloc| {
+                            black_box(alloc.admit(999, &pattern, policy)).ok();
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let space = MutantSpace {
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    };
+    let mut group = c.benchmark_group("mutant_enumeration");
+    for kind in AppKind::ALL {
+        let pattern = pattern_of(kind, 1024);
+        group.bench_with_input(BenchmarkId::new("mc", kind.label()), &pattern, |b, p| {
+            b.iter(|| black_box(space.enumerate(p, MutantPolicy::MostConstrained)));
+        });
+        group.bench_with_input(BenchmarkId::new("lc", kind.label()), &pattern, |b, p| {
+            b.iter(|| black_box(space.enumerate(p, MutantPolicy::LeastConstrained)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_epochs(c: &mut Criterion) {
+    let cfg = SwitchConfig::default();
+    c.bench_function("churn_100_epochs_wf_mc", |b| {
+        b.iter(|| {
+            black_box(churn(
+                &cfg,
+                ChurnConfig {
+                    epochs: 100,
+                    arrival_lambda: 2.0,
+                    departure_lambda: 1.0,
+                    policy: MutantPolicy::MostConstrained,
+                    scheme: Scheme::WorstFit,
+                    seed: 0,
+                },
+            ))
+        });
+    });
+}
+
+fn bench_pure_sequence(c: &mut Criterion) {
+    let cfg = SwitchConfig::default();
+    c.bench_function("pure_cache_100_arrivals", |b| {
+        b.iter(|| {
+            black_box(pure_arrivals(
+                AppKind::Cache,
+                100,
+                MutantPolicy::MostConstrained,
+                Scheme::WorstFit,
+                &cfg,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+    bench_admission,
+    bench_enumeration,
+    bench_churn_epochs,
+    bench_pure_sequence
+);
+criterion_main!(benches);

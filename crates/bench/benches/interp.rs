@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks for the data plane: per-packet
+//! interpretation cost of the paper's programs, and wire-format
+//! encode/decode.
+
+use activermt_client::asm::assemble;
+use activermt_core::runtime::SwitchRuntime;
+use activermt_core::SwitchConfig;
+use activermt_isa::wire::{build_program_packet, program_packet_layout, RegionEntry};
+use activermt_isa::{Opcode, Program, ProgramBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 0, 1];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 2];
+const FID: u16 = 7;
+
+fn runtime_with_grants() -> SwitchRuntime {
+    let mut rt = SwitchRuntime::new(SwitchConfig::default());
+    for s in 0..20 {
+        rt.install_region(
+            s,
+            FID,
+            RegionEntry {
+                start: 0,
+                end: 65_536,
+            },
+        );
+    }
+    rt
+}
+
+fn cache_query() -> Program {
+    let mut p = assemble(
+        "MAR_LOAD $3\nMEM_READ\nMBR_EQUALS_DATA_1\nCRET\nMEM_READ\nMBR_EQUALS_DATA_2\nCRET\nRTS\nMEM_READ\nMBR_STORE $2\nRETURN",
+    )
+    .unwrap();
+    p.set_arg(3, 42).unwrap();
+    p
+}
+
+fn nop_program(len: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for _ in 0..len - 1 {
+        b = b.op(Opcode::NOP);
+    }
+    b.op(Opcode::RETURN).build().unwrap()
+}
+
+fn bench_process_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process_frame");
+    // The cache query (a miss: terminates at the first CRET).
+    group.bench_function("cache_query_miss", |b| {
+        let mut rt = runtime_with_grants();
+        let frame = build_program_packet(SERVER, CLIENT, FID, 1, &cache_query(), b"GET k");
+        b.iter(|| black_box(rt.process_frame(frame.clone())));
+    });
+    // NOP programs of the Figure 8b lengths.
+    for len in [10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::new("nops", len), &len, |b, &len| {
+            let mut rt = runtime_with_grants();
+            let frame = build_program_packet(SERVER, CLIENT, FID, 1, &nop_program(len), b"");
+            b.iter(|| black_box(rt.process_frame(frame.clone())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let program = cache_query();
+    group.bench_function("build_program_packet", |b| {
+        b.iter(|| {
+            black_box(build_program_packet(
+                SERVER,
+                CLIENT,
+                FID,
+                1,
+                &program,
+                b"GET key",
+            ))
+        });
+    });
+    let frame = build_program_packet(SERVER, CLIENT, FID, 1, &program, b"GET key");
+    group.bench_function("program_packet_layout", |b| {
+        b.iter(|| black_box(program_packet_layout(&frame).unwrap()));
+    });
+    group.bench_function("decode_instructions", |b| {
+        let layout = program_packet_layout(&frame).unwrap();
+        let bytes = &frame[layout.instr_off..layout.payload_off];
+        b.iter(|| black_box(Program::decode_instructions(bytes).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_process_frame, bench_wire
+);
+criterion_main!(benches);

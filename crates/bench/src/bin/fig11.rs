@@ -1,0 +1,90 @@
+//! Figure 11: comparison of allocation schemes (worst fit, first fit,
+//! best fit, realloc-min) over the churn scenario — 100 epochs,
+//! 10 trials, most-constrained policy.
+//!
+//! Four panels as distribution summaries across all epochs and trials:
+//! utilization, fraction of elastic applications reallocated, fairness
+//! among elastic instances, and allocation failure rate.
+//!
+//! The paper's shape: worst fit and realloc are competitive on
+//! utilization and reallocations; worst fit has a dramatically lower
+//! failure rate; worst-fit fairness trails first/best fit but beats
+//! realloc.
+//!
+//! Output: scheme, metric, min, p25, median, p75, max, mean.
+
+use activermt_bench::csvout::{f, Csv};
+use activermt_bench::scenarios::{churn, ChurnConfig};
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+use activermt_net::trace::percentile;
+
+const EPOCHS: usize = 300;
+const TRIALS: u64 = 10;
+
+fn summarize(csv: &mut Csv, scheme: &str, metric: &str, values: &[f64]) {
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    csv.row(&[
+        scheme.to_string(),
+        metric.to_string(),
+        f(percentile(values, 0.0)),
+        f(percentile(values, 25.0)),
+        f(percentile(values, 50.0)),
+        f(percentile(values, 75.0)),
+        f(percentile(values, 100.0)),
+        f(mean),
+    ]);
+}
+
+fn main() {
+    let cfg = SwitchConfig::default();
+    let mut csv = Csv::create("fig11");
+    csv.header(&[
+        "scheme", "metric", "min", "p25", "median", "p75", "max", "mean",
+    ]);
+    for scheme in Scheme::ALL {
+        let mut utils = Vec::new();
+        let mut reallocs = Vec::new();
+        let mut jains = Vec::new();
+        let mut failure_rates = Vec::new();
+        for seed in 0..TRIALS {
+            let recs = churn(
+                &cfg,
+                ChurnConfig {
+                    epochs: EPOCHS,
+                    arrival_lambda: 2.0,
+                    departure_lambda: 1.0,
+                    policy: MutantPolicy::MostConstrained,
+                    scheme,
+                    seed,
+                },
+            );
+            let mut failed = 0usize;
+            let mut arrivals = 0usize;
+            for r in &recs {
+                utils.push(r.utilization);
+                reallocs.push(r.cache_realloc_fraction);
+                jains.push(r.cache_jain);
+                failed += r.failed;
+                arrivals += r.arrivals;
+            }
+            failure_rates.push(if arrivals == 0 {
+                0.0
+            } else {
+                failed as f64 / arrivals as f64
+            });
+        }
+        summarize(&mut csv, scheme.label(), "utilization", &utils);
+        summarize(&mut csv, scheme.label(), "realloc_fraction", &reallocs);
+        summarize(&mut csv, scheme.label(), "fairness", &jains);
+        summarize(&mut csv, scheme.label(), "failure_rate", &failure_rates);
+        eprintln!(
+            "# {}: util median {:.3}, realloc median {:.3}, fairness median {:.3}, failure mean {:.3}",
+            scheme.label(),
+            percentile(&utils, 50.0),
+            percentile(&reallocs, 50.0),
+            percentile(&jains, 50.0),
+            failure_rates.iter().sum::<f64>() / failure_rates.len() as f64,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 8a: total provisioning time per arrival under churn, split
+//! into allocation computation, table updates and snapshot waiting.
+//!
+//! The paper's shape: provisioning grows while reallocations ramp up,
+//! then levels off at around a second, dominated by table updates; the
+//! snapshot component stays low.
+//!
+//! Output: epoch, fid, alloc_us, table_ms, snapshot_ms, total_ms,
+//! victims, failed.
+
+use activermt_bench::csvout::{f, Csv};
+use activermt_bench::scenarios::{churn_provisioning, ChurnConfig};
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+
+fn main() {
+    let cfg = SwitchConfig::default();
+    let reports = churn_provisioning(
+        &cfg,
+        ChurnConfig {
+            epochs: 500,
+            arrival_lambda: 2.0,
+            departure_lambda: 1.0,
+            policy: MutantPolicy::MostConstrained,
+            scheme: Scheme::WorstFit,
+            seed: 0,
+        },
+    );
+    let mut csv = Csv::create("fig8a");
+    csv.header(&[
+        "epoch", "fid", "alloc_us", "table_ms", "snapshot_ms", "total_ms", "victims", "failed",
+    ]);
+    for (epoch, r) in &reports {
+        csv.row(&[
+            epoch.to_string(),
+            r.fid.to_string(),
+            f(r.alloc_compute_ns as f64 / 1e3),
+            f(r.table_update_ns as f64 / 1e6),
+            f(r.snapshot_wait_ns as f64 / 1e6),
+            f(r.total_ns as f64 / 1e6),
+            r.victim_count.to_string(),
+            (r.failed as u8).to_string(),
+        ]);
+    }
+    let ok: Vec<_> = reports.iter().filter(|(_, r)| !r.failed).collect();
+    let tail: Vec<_> = ok.iter().filter(|(e, _)| *e > 300).collect();
+    if !tail.is_empty() {
+        let mean_total =
+            tail.iter().map(|(_, r)| r.total_ns as f64).sum::<f64>() / tail.len() as f64;
+        let mean_table =
+            tail.iter().map(|(_, r)| r.table_update_ns as f64).sum::<f64>() / tail.len() as f64;
+        let mean_snap =
+            tail.iter().map(|(_, r)| r.snapshot_wait_ns as f64).sum::<f64>() / tail.len() as f64;
+        eprintln!(
+            "# steady state: total {:.0} ms (paper: ~1000+), table {:.0} ms (dominant), snapshot {:.0} ms (low)",
+            mean_total / 1e6,
+            mean_table / 1e6,
+            mean_snap / 1e6
+        );
+    }
+}

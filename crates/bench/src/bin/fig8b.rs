@@ -1,0 +1,130 @@
+//! Figure 8b: client-to-switch RTT vs. active program length.
+//!
+//! "We inject programs containing 10, 20, and 30 instructions into
+//! 256-byte packets ... Because these measurements include end-host
+//! processing time, we compare to a baseline where the switch echos
+//! responses without any (active) processing. ... Latency increases
+//! linearly with program length; each pass through a pipeline adds
+//! approximately 0.5 µs."
+//!
+//! Output: series, program_len, rtt_us_p50, rtt_us_mean, samples.
+
+use activermt_bench::csvout::{f, Csv};
+use activermt_core::alloc::Scheme;
+use activermt_core::SwitchConfig;
+use activermt_net::apphosts::LatencyProbeHost;
+use activermt_net::trace::percentile;
+use activermt_net::{NetConfig, Simulation, SwitchNode};
+use activermt_isa::wire::EthernetFrame;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const PROBE: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const FAR: [u8; 6] = [2, 0, 0, 0, 1, 2];
+
+fn probe_rtts(program_len: usize) -> Vec<u64> {
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+    );
+    sim.add_host(Box::new(LatencyProbeHost::new(
+        PROBE, FAR, 7, program_len, 100_000,
+    )));
+    sim.run_until(50_000_000);
+    sim.host::<LatencyProbeHost>(PROBE).unwrap().rtts.clone()
+}
+
+/// The no-processing baseline: plain 256-byte frames echoed *by the
+/// switch itself* ("the switch echos responses without any (active)
+/// processing").
+fn baseline_rtts() -> Vec<u64> {
+    struct Pinger {
+        sent: std::collections::HashMap<u16, u64>,
+        rtts: Vec<u64>,
+        seq: u16,
+    }
+    impl activermt_net::host::Host for Pinger {
+        fn mac(&self) -> [u8; 6] {
+            PROBE
+        }
+        fn tick_interval(&self) -> Option<u64> {
+            Some(100_000)
+        }
+        fn on_tick(&mut self, now: u64) -> Vec<Vec<u8>> {
+            self.seq = self.seq.wrapping_add(1);
+            let mut frame = vec![0u8; 256];
+            {
+                let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+                eth.set_dst(SWITCH); // echoed by the switch itself
+                eth.set_src(PROBE);
+                eth.set_ethertype(0x0800);
+            }
+            frame[14..16].copy_from_slice(&self.seq.to_be_bytes());
+            self.sent.insert(self.seq, now);
+            vec![frame]
+        }
+        fn on_frame(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+            let seq = u16::from_be_bytes([frame[14], frame[15]]);
+            if let Some(t0) = self.sent.remove(&seq) {
+                self.rtts.push(now - t0);
+            }
+            Vec::new()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+    );
+    sim.add_host(Box::new(Pinger {
+        sent: Default::default(),
+        rtts: Vec::new(),
+        seq: 0,
+    }));
+    sim.run_until(50_000_000);
+    sim.host::<Pinger>(PROBE).unwrap().rtts.clone()
+}
+
+fn main() {
+    let mut csv = Csv::create("fig8b");
+    csv.header(&["series", "program_len", "rtt_us_p50", "rtt_us_mean", "samples"]);
+    let stats = |rtts: &[u64]| {
+        let us: Vec<f64> = rtts.iter().map(|&r| r as f64 / 1e3).collect();
+        let mean = us.iter().sum::<f64>() / us.len().max(1) as f64;
+        (percentile(&us, 50.0), mean, us.len())
+    };
+    let (p50, mean, n) = stats(&baseline_rtts());
+    csv.row(&[
+        "baseline".into(),
+        "0".into(),
+        f(p50),
+        f(mean),
+        n.to_string(),
+    ]);
+    let mut medians = Vec::new();
+    // The paper's probes: 10/20/30 NOPs plus an RTS (and our RETURN).
+    for len in [11usize, 21, 31] {
+        let rtts = probe_rtts(len);
+        let (p50, mean, n) = stats(&rtts);
+        medians.push(p50);
+        csv.row(&[
+            "active".into(),
+            len.to_string(),
+            f(p50),
+            f(mean),
+            n.to_string(),
+        ]);
+    }
+    eprintln!(
+        "# RTT medians: {:.2} / {:.2} / {:.2} us; deltas {:.2}, {:.2} us (paper: ~0.5 us per pipeline pass, 2 passes per extra 20 instructions => ~1 us steps)",
+        medians[0],
+        medians[1],
+        medians[2],
+        medians[1] - medians[0],
+        medians[2] - medians[1]
+    );
+}

@@ -1,0 +1,52 @@
+//! CSV output: to stdout and mirrored into `results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A CSV sink writing both to stdout and `results/<name>.csv`.
+pub struct Csv {
+    file: Option<fs::File>,
+}
+
+impl Csv {
+    /// Open (and truncate) `results/<name>.csv`; failures to create the
+    /// directory degrade to stdout-only output.
+    pub fn create(name: &str) -> Csv {
+        let dir = PathBuf::from("results");
+        let file = fs::create_dir_all(&dir)
+            .ok()
+            .and_then(|_| fs::File::create(dir.join(format!("{name}.csv"))).ok());
+        Csv { file }
+    }
+
+    /// Emit one CSV row.
+    pub fn row(&mut self, cols: &[String]) {
+        let line = cols.join(",");
+        println!("{line}");
+        if let Some(f) = self.file.as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Emit a header row.
+    pub fn header(&mut self, cols: &[&str]) {
+        self.row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+}
+
+/// Format a float with fixed precision for CSV cells.
+pub fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.5), "0.500000");
+        assert_eq!(f(1.0 / 3.0), "0.333333");
+    }
+}

@@ -1,0 +1,106 @@
+//! The evaluation's application mix (Section 6.1).
+//!
+//! "We evaluate the performance of our memory allocator when faced with
+//! different mixes of three active applications: an in-network cache
+//! (as in Listing 1), stateless load balancer, and heavy-hitter
+//! detector ... The cache application has elastic memory demand, while
+//! the load balancer and heavy hitter have inelastic demands."
+//!
+//! Demands are specified in **bytes** and converted to blocks at the
+//! configured granularity, so the Figure 12 sweep changes block counts
+//! consistently (8 KB of sketch row is 8 blocks at 1 KB granularity but
+//! 16 blocks at 512 B).
+
+use activermt_apps::cache::CacheApp;
+use activermt_apps::hh::HeavyHitterApp;
+use activermt_apps::lb::CheetahLb;
+use activermt_core::alloc::AccessPattern;
+
+/// The three evaluation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Elastic in-network cache (Listing 1).
+    Cache,
+    /// Inelastic heavy-hitter monitor (Listing 2).
+    HeavyHitter,
+    /// Inelastic Cheetah load balancer (Listing 3).
+    LoadBalancer,
+}
+
+impl AppKind {
+    /// All three, in the paper's order.
+    pub const ALL: [AppKind; 3] = [AppKind::Cache, AppKind::HeavyHitter, AppKind::LoadBalancer];
+
+    /// Label used in figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::Cache => "cache",
+            AppKind::HeavyHitter => "hh",
+            AppKind::LoadBalancer => "lb",
+        }
+    }
+}
+
+/// Per-access demands in bytes for the inelastic applications.
+///
+/// * Heavy hitter: two 8 KB sketch rows + a 3-stage 1 KB directory
+///   (threshold / key0 / key1; the threshold write aliases the read) —
+///   ≈ the paper's "16 blocks (to achieve less than 0.1% error)".
+/// * Load balancer: 1 KB each of size-mask / counter / page-table slots
+///   plus a 2 KB VIP pool — the paper's "2 blocks (enough to manage 512
+///   active virtual IPs)" plus its bookkeeping slots.
+fn demand_bytes(kind: AppKind) -> Vec<u32> {
+    match kind {
+        AppKind::Cache => vec![0, 0, 0],
+        AppKind::HeavyHitter => vec![8192, 8192, 1024, 1024, 0, 1024],
+        AppKind::LoadBalancer => vec![1024, 1024, 1024, 2048],
+    }
+}
+
+/// The access pattern of `kind` at a given allocation granularity.
+pub fn pattern_of(kind: AppKind, block_bytes: u32) -> AccessPattern {
+    let service = match kind {
+        AppKind::Cache => CacheApp::service(),
+        AppKind::HeavyHitter => HeavyHitterApp::service(),
+        AppKind::LoadBalancer => CheetahLb::service(),
+    };
+    let mut pattern = service.pattern.clone();
+    pattern.demands = demand_bytes(kind)
+        .iter()
+        .map(|&bytes| (bytes.div_ceil(block_bytes)) as u16)
+        .collect();
+    pattern
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demands_scale_with_granularity() {
+        let hh_1k = pattern_of(AppKind::HeavyHitter, 1024);
+        assert_eq!(hh_1k.demands, vec![8, 8, 1, 1, 0, 1]);
+        let hh_512 = pattern_of(AppKind::HeavyHitter, 512);
+        assert_eq!(hh_512.demands, vec![16, 16, 2, 2, 0, 2]);
+        let hh_4k = pattern_of(AppKind::HeavyHitter, 4096);
+        assert_eq!(hh_4k.demands, vec![2, 2, 1, 1, 0, 1]);
+        let lb = pattern_of(AppKind::LoadBalancer, 1024);
+        assert_eq!(lb.demands, vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn elasticity_classes_match_section_6_1() {
+        assert!(pattern_of(AppKind::Cache, 1024).elastic);
+        assert!(!pattern_of(AppKind::HeavyHitter, 1024).elastic);
+        assert!(!pattern_of(AppKind::LoadBalancer, 1024).elastic);
+    }
+
+    #[test]
+    fn patterns_validate() {
+        for kind in AppKind::ALL {
+            for bytes in [512, 1024, 2048, 4096] {
+                pattern_of(kind, bytes).validate().unwrap();
+            }
+        }
+    }
+}

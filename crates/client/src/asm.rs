@@ -1,0 +1,311 @@
+//! A small assembler for the paper's listing syntax.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! program   := line*
+//! line      := [label ':'] [instr] [comment]
+//! instr     := MNEMONIC [operand]
+//! operand   := '$' digit        # argument-field index (loads/stores)
+//!            | '@' ident        # branch target label
+//! comment   := '//' ... | '#' ... | ';' ...
+//! directive := '.arg' index value   # preset an argument field
+//! ```
+//!
+//! Labels are symbolic; the assembler resolves them to the 6-bit label
+//! ids of the wire encoding. Listing 1 assembles verbatim:
+//!
+//! ```text
+//! MAR_LOAD $0      // locate bucket
+//! MEM_READ         // first 4 bytes
+//! MBR_EQUALS_DATA_1
+//! CRET
+//! ...
+//! ```
+
+use activermt_isa::{Error, Instruction, Opcode, Program, Result};
+use std::collections::HashMap;
+
+/// Assemble mnemonic text into a validated [`Program`].
+///
+/// ```
+/// use activermt_client::asm::assemble;
+///
+/// let program = assemble(r#"
+///     MAR_LOAD $3        // locate bucket
+///     MEM_READ           // stored key half
+///     MBR_EQUALS_DATA_1  // compare with the request
+///     CRET               // miss? forward to the server
+///     RTS                // hit: turn the packet around
+///     MEM_READ           // the value
+///     MBR_STORE $2
+///     RETURN
+/// "#).unwrap();
+/// assert_eq!(program.len(), 8);
+/// assert_eq!(program.memory_access_positions(), vec![2, 6]);
+/// assert_eq!(program.ingress_bound_positions(), vec![5]);
+/// ```
+pub fn assemble(source: &str) -> Result<Program> {
+    let mut instrs: Vec<(Option<String>, Opcode, Option<Operand>)> = Vec::new();
+    let mut args = [0u32; 4];
+    let mut pending_label: Option<String> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".arg") {
+            let mut it = rest.split_whitespace();
+            let idx: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(Error::InvalidProgram(".arg needs an index"))?;
+            let val = it
+                .next()
+                .map(parse_number)
+                .transpose()?
+                .ok_or(Error::InvalidProgram(".arg needs a value"))?;
+            if idx >= 4 {
+                return Err(Error::ArgIndexOutOfRange(idx as u8));
+            }
+            args[idx] = val;
+            continue;
+        }
+        let mut rest = line;
+        // Leading label definition(s).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if pending_label.is_some() {
+                return Err(Error::InvalidProgram("multiple labels on one instruction"));
+            }
+            pending_label = Some(name.to_string());
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue; // bare label line: applies to the next instruction
+        }
+        let mut it = rest.split_whitespace();
+        let mnemonic = it.next().expect("nonempty");
+        let opcode = Opcode::from_mnemonic(mnemonic).ok_or_else(|| {
+            let _ = lineno;
+            Error::InvalidProgram("unknown mnemonic")
+        })?;
+        let operand = match it.next() {
+            None => None,
+            Some(tok) if tok.starts_with('$') => {
+                let body = &tok[1..];
+                if body.chars().all(|c| c.is_ascii_digit()) {
+                    Some(Operand::Arg(
+                        body.parse()
+                            .map_err(|_| Error::InvalidProgram("bad argument index"))?,
+                    ))
+                } else {
+                    // The listings write symbolic operands like `$ADDR`;
+                    // they refer to whatever the shim placed in arg 0.
+                    Some(Operand::Arg(0))
+                }
+            }
+            Some(tok) if tok.starts_with('@') => Some(Operand::Label(tok[1..].to_string())),
+            // `%N` — raw selector operand (HASH function selector).
+            Some(tok) if tok.starts_with('%') => Some(Operand::Selector(
+                tok[1..]
+                    .parse()
+                    .map_err(|_| Error::InvalidProgram("bad selector"))?,
+            )),
+            // The listings write operands like `MAR_LOAD $ADDR`; treat a
+            // bare identifier after a load as arg 0 for compatibility.
+            Some(_) => Some(Operand::Arg(0)),
+        };
+        instrs.push((pending_label.take(), opcode, operand));
+    }
+    if pending_label.is_some() {
+        return Err(Error::InvalidProgram("dangling label at end of program"));
+    }
+
+    // Resolve symbolic labels to ids.
+    let mut ids: HashMap<String, u8> = HashMap::new();
+    let mut next = 0u8;
+    let mut resolve = |name: &str, ids: &mut HashMap<String, u8>| -> Result<u8> {
+        if let Some(&id) = ids.get(name) {
+            return Ok(id);
+        }
+        if u16::from(next) > u16::from(activermt_isa::constants::MAX_LABEL) {
+            return Err(Error::LabelOutOfRange(u16::from(next)));
+        }
+        let id = next;
+        next += 1;
+        ids.insert(name.to_string(), id);
+        Ok(id)
+    };
+
+    let mut out = Vec::with_capacity(instrs.len());
+    for (label, opcode, operand) in &instrs {
+        let mut ins = match operand {
+            Some(Operand::Arg(a)) => Instruction::with_arg(*opcode, *a)?,
+            Some(Operand::Selector(sel)) => {
+                if *sel > activermt_isa::constants::MAX_LABEL {
+                    return Err(Error::LabelOutOfRange(u16::from(*sel)));
+                }
+                Instruction {
+                    opcode: *opcode,
+                    flags: activermt_isa::InstrFlags {
+                        operand: *sel,
+                        ..Default::default()
+                    },
+                }
+            }
+            Some(Operand::Label(name)) => {
+                if !opcode.is_branch() {
+                    return Err(Error::InvalidProgram("label operand on non-branch"));
+                }
+                Instruction::with_label(*opcode, resolve(name, &mut ids)?)?
+            }
+            None => Instruction::new(*opcode),
+        };
+        if let Some(name) = label {
+            ins = ins.labeled(resolve(name, &mut ids)?)?;
+        }
+        out.push(ins);
+    }
+    Program::new(out, args)
+}
+
+enum Operand {
+    Arg(u8),
+    Label(String),
+    Selector(u8),
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find('#') {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find(';') {
+        end = end.min(i);
+    }
+    &line[..end]
+}
+
+fn parse_number(tok: &str) -> Result<u32> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| Error::InvalidProgram("bad numeric literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 1, verbatim modulo the `$ADDR` placeholder.
+    const LISTING_1: &str = r#"
+        MAR_LOAD $3      // locate bucket
+        MEM_READ         // first 4 bytes
+        MBR_EQUALS_DATA_1 // compare bytes
+        CRET             // partial match?
+        MEM_READ         // next 4 bytes
+        MBR_EQUALS_DATA_2 // compare bytes
+        CRET             // full match?
+        RTS              // create reply
+        MEM_READ         // read the value
+        MBR_STORE $2     // write to packet
+        RETURN           // fin.
+    "#;
+
+    #[test]
+    fn listing1_assembles() {
+        let p = assemble(LISTING_1).unwrap();
+        assert_eq!(p.len(), 11);
+        assert_eq!(p.memory_access_positions(), vec![2, 5, 9]);
+        assert_eq!(p.ingress_bound_positions(), vec![8]);
+        assert_eq!(p.instructions()[0].arg_index(), Some(3));
+        assert_eq!(p.instructions()[9].arg_index(), Some(2));
+    }
+
+    #[test]
+    fn labels_resolve_forward() {
+        let p = assemble(
+            r#"
+            MBR_LOAD $0
+            CJUMP @done
+            MEM_WRITE
+            done: RETURN
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        let jump = p.instructions()[1];
+        let target = p.instructions()[3];
+        assert_eq!(jump.branch_target(), target.label());
+    }
+
+    #[test]
+    fn bare_label_lines_attach_to_next_instruction() {
+        let p = assemble(
+            r#"
+            UJUMP @end
+            NOP
+            end:
+            RETURN
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.instructions()[2].label(), Some(0));
+    }
+
+    #[test]
+    fn arg_directives_preset_data_fields() {
+        let p = assemble(
+            r#"
+            .arg 0 42
+            .arg 2 0xdead
+            RETURN
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.args(), [42, 0, 0xdead, 0]);
+    }
+
+    #[test]
+    fn comments_in_all_styles() {
+        let p = assemble("NOP // slash\nNOP # hash\nNOP ; semi\nRETURN").unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn named_placeholder_operands_default_to_arg0() {
+        // The paper writes `MAR_LOAD $ADDR`; `$ADDR` parses as arg 0...
+        let p = assemble("MAR_LOAD $0\nRETURN").unwrap();
+        assert_eq!(p.instructions()[0].arg_index(), Some(0));
+        // ...and a bare word too.
+        let q = assemble("MAR_LOAD ADDR\nRETURN").unwrap();
+        assert_eq!(q.instructions()[0].arg_index(), Some(0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(assemble("FLY_TO_MOON").is_err());
+        assert!(assemble("MBR_LOAD $9\nRETURN").is_err());
+        assert!(assemble("CJUMP @nowhere\nRETURN").is_err());
+        assert!(assemble("dangling:").is_err());
+        assert!(assemble(".arg 7 1\nRETURN").is_err());
+        assert!(assemble("NOP @label\nRETURN").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics() {
+        let p = assemble("mem_read\ncret1\nreturn").unwrap();
+        assert_eq!(p.instructions()[1].opcode, Opcode::CRETI);
+    }
+}

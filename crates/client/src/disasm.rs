@@ -1,0 +1,99 @@
+//! Disassembler: the inverse of [`crate::asm::assemble`].
+//!
+//! Produces assembler-compatible text from a [`Program`], including
+//! symbolic labels and `.arg` directives, so switch-observed bytecode
+//! (e.g. a captured active packet) can be rendered back into the
+//! paper's listing syntax for debugging. Round-tripping is exact:
+//! `assemble(disassemble(p))` reproduces `p`'s instruction stream and
+//! arguments (tested by property).
+
+use activermt_isa::opcode::OperandKind;
+use activermt_isa::Program;
+use std::fmt::Write;
+
+/// Render a program as assembler-compatible text.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    // Argument directives first (skip zeros: the assembler defaults
+    // them).
+    for (i, &a) in program.args().iter().enumerate() {
+        if a != 0 {
+            let _ = writeln!(out, ".arg {i} {a:#x}");
+        }
+    }
+    for ins in program.instructions() {
+        // A label definition, if this instruction is a branch target.
+        if let Some(l) = ins.label() {
+            let _ = write!(out, "L{l}: ");
+        }
+        let _ = write!(out, "{}", ins.opcode.mnemonic());
+        match ins.opcode.operand_kind() {
+            OperandKind::ArgIndex => {
+                let _ = write!(out, " ${}", ins.flags.operand);
+            }
+            OperandKind::Label => {
+                let _ = write!(out, " @L{}", ins.flags.operand);
+            }
+            OperandKind::None => {
+                // HASH carries a selector in the operand bits.
+                if ins.opcode == activermt_isa::Opcode::HASH && ins.flags.operand != 0 {
+                    let _ = write!(out, " %{}", ins.flags.operand);
+                }
+            }
+        }
+        if ins.flags.executed {
+            let _ = write!(out, " // executed");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing1_roundtrips() {
+        let src = "MAR_LOAD $3\nMEM_READ\nMBR_EQUALS_DATA_1\nCRET\nMEM_READ\nMBR_EQUALS_DATA_2\nCRET\nRTS\nMEM_READ\nMBR_STORE $2\nRETURN\n";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        let q = assemble(&text).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+        assert_eq!(p.args(), q.args());
+    }
+
+    #[test]
+    fn labels_and_selectors_roundtrip() {
+        let src = r#"
+            .arg 1 0xbeef
+            MBR_LOAD $1
+            CJUMP @skip
+            HASH %3
+            skip: RETURN
+        "#;
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("@L0"));
+        assert!(text.contains("L0: RETURN"));
+        assert!(text.contains("HASH %3"));
+        assert!(text.contains(".arg 1 0xbeef"));
+        let q = assemble(&text).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+        assert_eq!(p.args(), q.args());
+    }
+
+    #[test]
+    fn executed_flags_become_comments() {
+        let mut p = assemble("NOP\nRETURN").unwrap();
+        p.instructions_mut()[0].flags.executed = true;
+        let text = disassemble(&p);
+        assert!(text.contains("NOP // executed"));
+        // Comments are stripped on reassembly; the executed bit is a
+        // runtime annotation, not program semantics.
+        let q = assemble(&text).unwrap();
+        assert!(!q.instructions()[0].flags.executed);
+        assert_eq!(q.instructions()[0].opcode, p.instructions()[0].opcode);
+    }
+}

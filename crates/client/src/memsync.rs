@@ -1,0 +1,414 @@
+//! Memory synchronization primitives (Section 4.3, Appendix C).
+//!
+//! "ActiveRMT provides primitives to read (and write to) a set of memory
+//! indices (corresponding to a set of stages) at once. The client can
+//! ensure success of the writes by programming each packet to reply back
+//! after a write through the RTS instruction. Packets that fail
+//! execution (i.e., are dropped) do not generate a response. Since reads
+//! and writes are idempotent the client can safely retransmit after a
+//! timeout."
+//!
+//! [`MemSync`] plans batched read/write programs over a set of
+//! `(stage, physical address)` targets, packs as many per packet as the
+//! four argument fields and the stage geometry allow, tracks outstanding
+//! packets by sequence number, decodes responses, and rebuilds frames
+//! for retransmission.
+
+use activermt_isa::wire::{build_program_packet, program_packet_layout, ActiveHeader};
+use activermt_isa::{Instruction, Opcode, Program};
+use std::collections::BTreeMap;
+
+/// One remote memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Read `stage[addr]`.
+    Read {
+        /// 0-based logical stage.
+        stage: usize,
+        /// Physical register index.
+        addr: u32,
+    },
+    /// Write `value` to `stage[addr]`.
+    Write {
+        /// 0-based logical stage.
+        stage: usize,
+        /// Physical register index.
+        addr: u32,
+        /// Value to store.
+        value: u32,
+    },
+}
+
+impl SyncOp {
+    fn stage(&self) -> usize {
+        match *self {
+            SyncOp::Read { stage, .. } | SyncOp::Write { stage, .. } => stage,
+        }
+    }
+}
+
+/// A completed read result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The original operation.
+    pub op: SyncOp,
+    /// The value read (for writes, the echoed value written).
+    pub value: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    ops: Vec<SyncOp>,
+    frame: Vec<u8>,
+}
+
+/// Batched, retransmitting remote memory access.
+#[derive(Debug)]
+pub struct MemSync {
+    fid: u16,
+    mac: [u8; 6],
+    dst: [u8; 6],
+    num_stages: usize,
+    seq: u16,
+    outstanding: BTreeMap<u16, Outstanding>,
+}
+
+impl MemSync {
+    /// A memsync endpoint for `fid`. `dst` is any address beyond the
+    /// switch (the packets turn around at the switch via RTS).
+    pub fn new(fid: u16, mac: [u8; 6], dst: [u8; 6], num_stages: usize) -> MemSync {
+        MemSync {
+            fid,
+            mac,
+            dst,
+            num_stages,
+            seq: 0x4000, // distinct space from the shim's sequences
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    /// Plan and build the packets for a set of operations. Each packet
+    /// carries up to four reads or two writes (argument-field budget),
+    /// subject to stage geometry (an access per instruction slot).
+    pub fn submit(&mut self, ops: &[SyncOp]) -> Vec<Vec<u8>> {
+        let mut sorted: Vec<SyncOp> = ops.to_vec();
+        sorted.sort_by_key(|o| o.stage());
+        let mut frames = Vec::new();
+        let mut batch: Vec<SyncOp> = Vec::new();
+        for &op in &sorted {
+            if !self.fits(&batch, op) {
+                frames.push(self.flush(&mut batch));
+            }
+            batch.push(op);
+        }
+        if !batch.is_empty() {
+            frames.push(self.flush(&mut batch));
+        }
+        frames
+    }
+
+    fn args_needed(op: SyncOp) -> usize {
+        match op {
+            SyncOp::Read { .. } => 1,  // addr slot doubles as result slot
+            SyncOp::Write { .. } => 2, // addr + value
+        }
+    }
+
+    fn fits(&self, batch: &[SyncOp], op: SyncOp) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        let args: usize = batch.iter().map(|&o| Self::args_needed(o)).sum::<usize>()
+            + Self::args_needed(op);
+        args <= 4
+    }
+
+    fn flush(&mut self, batch: &mut Vec<SyncOp>) -> Vec<u8> {
+        let ops = std::mem::take(batch);
+        let (program, _) = build_sync_program(&ops, self.num_stages);
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        let frame = build_program_packet(self.dst, self.mac, self.fid, seq, &program, b"");
+        self.outstanding.insert(
+            seq,
+            Outstanding {
+                ops,
+                frame: frame.clone(),
+            },
+        );
+        frame
+    }
+
+    /// Handle a returned (RTS'd) program packet. Returns the completed
+    /// operations with their values, or `None` if the frame is not one
+    /// of ours (wrong FID or unknown/duplicate sequence — duplicates
+    /// are silently ignored, which is what idempotence buys).
+    pub fn handle_response(&mut self, frame: &[u8]) -> Option<Vec<ReadResult>> {
+        let hdr = ActiveHeader::new_checked(&frame[activermt_isa::constants::ETHERNET_HEADER_LEN..])
+            .ok()?;
+        if hdr.fid() != self.fid {
+            return None;
+        }
+        let pending = self.outstanding.remove(&hdr.seq())?;
+        let layout = program_packet_layout(frame).ok()?;
+        let mut results = Vec::with_capacity(pending.ops.len());
+        let mut arg = 0usize;
+        for op in pending.ops {
+            let value = match op {
+                SyncOp::Read { .. } => {
+                    let off = layout.args_off + arg * 4;
+                    arg += 1;
+                    u32::from_be_bytes(frame[off..off + 4].try_into().ok()?)
+                }
+                SyncOp::Write { value, .. } => {
+                    arg += 2;
+                    value
+                }
+            };
+            results.push(ReadResult { op, value });
+        }
+        Some(results)
+    }
+
+    /// Outstanding (unacknowledged) frames for retransmission after a
+    /// timeout. Reads and writes are idempotent, so resending verbatim
+    /// is safe.
+    pub fn pending_frames(&self) -> Vec<Vec<u8>> {
+        self.outstanding.values().map(|o| o.frame.clone()).collect()
+    }
+
+    /// Number of unacknowledged packets.
+    pub fn pending_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Abandon all outstanding operations. Required when the target
+    /// regions move (reallocation): writes addressed to the old region
+    /// would be dropped as protection violations forever, so the client
+    /// resets and re-plans against the new regions (Section 4.3's
+    /// reallocation handler).
+    pub fn reset(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+/// Build one batched sync program (Listings 5 and 6, generalized to a
+/// set of stages). Returns the program and the logical positions of its
+/// memory accesses.
+///
+/// Layout per read `i`: `MAR_LOAD $i; MEM_READ; MBR_STORE $i`, with the
+/// access padded to the target stage. Per write: `MAR_LOAD $a;
+/// MBR_LOAD $v; MEM_WRITE`. An RTS + RETURN tail acknowledges success.
+pub fn build_sync_program(ops: &[SyncOp], num_stages: usize) -> (Program, Vec<u16>) {
+    let mut instrs: Vec<Instruction> = Vec::new();
+    let mut args = [0u32; 4];
+    let mut arg = 0u8;
+    let mut positions = Vec::with_capacity(ops.len());
+    for &op in ops {
+        // The setup instructions for this access.
+        let setup: Vec<Instruction> = match op {
+            SyncOp::Read { addr, .. } => {
+                args[usize::from(arg)] = addr;
+                vec![Instruction::with_arg(Opcode::MAR_LOAD, arg).expect("arg < 4")]
+            }
+            SyncOp::Write { addr, value, .. } => {
+                args[usize::from(arg)] = addr;
+                args[usize::from(arg) + 1] = value;
+                vec![
+                    Instruction::with_arg(Opcode::MAR_LOAD, arg).expect("arg < 4"),
+                    Instruction::with_arg(Opcode::MBR_LOAD, arg + 1).expect("arg < 4"),
+                ]
+            }
+        };
+        // Position of the access: first slot whose stage matches, with
+        // room for the setup instructions before it.
+        let earliest = instrs.len() + setup.len() + 1; // 1-based
+        let mut pos = op.stage() + 1;
+        while pos < earliest {
+            pos += num_stages;
+        }
+        // Pad with NOPs up to the setup start.
+        while instrs.len() < pos - 1 - setup.len() {
+            instrs.push(Instruction::new(Opcode::NOP));
+        }
+        instrs.extend(setup);
+        match op {
+            SyncOp::Read { .. } => {
+                instrs.push(Instruction::new(Opcode::MEM_READ));
+                instrs.push(Instruction::with_arg(Opcode::MBR_STORE, arg).expect("arg < 4"));
+                arg += 1;
+            }
+            SyncOp::Write { .. } => {
+                instrs.push(Instruction::new(Opcode::MEM_WRITE));
+                arg += 2;
+            }
+        }
+        positions.push(pos as u16);
+    }
+    instrs.push(Instruction::new(Opcode::RTS));
+    instrs.push(Instruction::new(Opcode::RETURN));
+    let program = Program::new(instrs, args).expect("sync programs are structurally valid");
+    (program, positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT: [u8; 6] = [2, 0, 0, 0, 0, 1];
+    const FAR: [u8; 6] = [2, 0, 0, 0, 0, 2];
+
+    #[test]
+    fn single_read_program_matches_listing_5() {
+        let (p, pos) = build_sync_program(
+            &[SyncOp::Read { stage: 4, addr: 99 }],
+            20,
+        );
+        // MAR_LOAD at some point, MEM_READ at stage 4 (position 5),
+        // MBR_STORE, RTS, RETURN.
+        assert_eq!(pos, vec![5]);
+        assert_eq!(p.memory_access_positions(), vec![5]);
+        let ops: Vec<Opcode> = p.instructions().iter().map(|i| i.opcode).collect();
+        assert!(ops.windows(3).any(|w| w
+            == [Opcode::MAR_LOAD, Opcode::MEM_READ, Opcode::MBR_STORE]
+            || w[1..] == [Opcode::MAR_LOAD, Opcode::MEM_READ]));
+        assert_eq!(ops[ops.len() - 2], Opcode::RTS);
+        assert_eq!(*ops.last().unwrap(), Opcode::RETURN);
+        assert_eq!(p.args()[0], 99);
+    }
+
+    #[test]
+    fn write_program_matches_listing_6() {
+        let (p, pos) = build_sync_program(
+            &[SyncOp::Write {
+                stage: 2,
+                addr: 7,
+                value: 0xBEEF,
+            }],
+            20,
+        );
+        assert_eq!(pos, vec![3]);
+        assert_eq!(p.args()[0], 7);
+        assert_eq!(p.args()[1], 0xBEEF);
+        let ops: Vec<Opcode> = p.instructions().iter().map(|i| i.opcode).collect();
+        assert_eq!(
+            &ops[..3],
+            &[Opcode::MAR_LOAD, Opcode::MBR_LOAD, Opcode::MEM_WRITE]
+        );
+    }
+
+    #[test]
+    fn multi_stage_batch_hits_each_stage() {
+        let (p, pos) = build_sync_program(
+            &[
+                SyncOp::Read { stage: 3, addr: 1 },
+                SyncOp::Read { stage: 8, addr: 2 },
+                SyncOp::Read { stage: 15, addr: 3 },
+            ],
+            20,
+        );
+        assert_eq!(pos, vec![4, 9, 16]);
+        assert_eq!(p.memory_access_positions(), vec![4, 9, 16]);
+    }
+
+    #[test]
+    fn adjacent_stages_wrap_to_the_next_pass() {
+        // Stage 3 then stage 4: the second MAR_LOAD cannot fit between
+        // them, so the second access wraps to position 25.
+        let (p, pos) = build_sync_program(
+            &[
+                SyncOp::Read { stage: 3, addr: 1 },
+                SyncOp::Read { stage: 4, addr: 2 },
+            ],
+            20,
+        );
+        assert_eq!(pos, vec![4, 25]);
+        assert_eq!(p.memory_access_positions(), vec![4, 25]);
+    }
+
+    #[test]
+    fn stage_zero_needs_a_second_pass() {
+        // A MAR_LOAD must precede the access, so stage 0 is reachable
+        // only at position 21 (the Appendix C preloading optimization
+        // would lift this; see the compiler).
+        let (_, pos) = build_sync_program(&[SyncOp::Read { stage: 0, addr: 5 }], 20);
+        assert_eq!(pos, vec![21]);
+    }
+
+    #[test]
+    fn submit_batches_by_argument_budget() {
+        let mut ms = MemSync::new(7, CLIENT, FAR, 20);
+        // Four reads fit one packet.
+        let reads: Vec<SyncOp> = (0..4)
+            .map(|i| SyncOp::Read {
+                stage: 2 + i * 4,
+                addr: i as u32,
+            })
+            .collect();
+        let frames = ms.submit(&reads);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(ms.pending_count(), 1);
+        // Three writes need two packets (2 args each).
+        let writes: Vec<SyncOp> = (0..3)
+            .map(|i| SyncOp::Write {
+                stage: 2 + i * 4,
+                addr: i as u32,
+                value: 1,
+            })
+            .collect();
+        let frames = ms.submit(&writes);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(ms.pending_count(), 3);
+    }
+
+    #[test]
+    fn response_handling_and_idempotent_duplicates() {
+        let mut ms = MemSync::new(7, CLIENT, FAR, 20);
+        let frames = ms.submit(&[
+            SyncOp::Read { stage: 2, addr: 10 },
+            SyncOp::Read { stage: 6, addr: 11 },
+        ]);
+        assert_eq!(frames.len(), 1);
+        // Simulate the switch filling args 0 and 1 with read values and
+        // returning the packet.
+        let mut back = frames[0].clone();
+        let layout = program_packet_layout(&back).unwrap();
+        back[layout.args_off..layout.args_off + 4].copy_from_slice(&111u32.to_be_bytes());
+        back[layout.args_off + 4..layout.args_off + 8].copy_from_slice(&222u32.to_be_bytes());
+        let results = ms.handle_response(&back).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].value, 111);
+        assert_eq!(results[1].value, 222);
+        assert_eq!(ms.pending_count(), 0);
+        // A duplicate response is ignored.
+        assert!(ms.handle_response(&back).is_none());
+    }
+
+    #[test]
+    fn retransmission_replays_pending_frames() {
+        let mut ms = MemSync::new(7, CLIENT, FAR, 20);
+        let frames = ms.submit(&[SyncOp::Write {
+            stage: 2,
+            addr: 1,
+            value: 9,
+        }]);
+        // No ack arrives; the pending frame is available verbatim.
+        let again = ms.pending_frames();
+        assert_eq!(again, frames);
+    }
+
+    #[test]
+    fn foreign_fids_are_ignored() {
+        let mut ms = MemSync::new(7, CLIENT, FAR, 20);
+        let frames = ms.submit(&[SyncOp::Read { stage: 2, addr: 1 }]);
+        let mut other = frames[0].clone();
+        {
+            let mut h = ActiveHeader::new_unchecked(
+                &mut other[activermt_isa::constants::ETHERNET_HEADER_LEN..],
+            );
+            h.set_fid(9);
+        }
+        assert!(ms.handle_response(&other).is_none());
+        assert_eq!(ms.pending_count(), 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! The shim layer (Sections 3.3 and 5).
+//!
+//! "We use a state-machine model to keep track of what state a given
+//! service and its constituent programs are in: this could be an
+//! operational state (when active programs are injected into packets
+//! being sent over the wire), a negotiating state (when an allocation is
+//! being requested/released) or a memory-management state (when state
+//! extraction is being performed). Active transmissions are paused when
+//! the client is negotiating or responding to a memory reallocation."
+//!
+//! The [`Shim`] wraps one service instance (one FID): it emits
+//! allocation requests, reacts to controller signalling, synthesizes the
+//! granted mutant via the [`Compiler`], and "activates" application
+//! payloads by prepending active headers.
+
+use crate::compiler::{CompiledService, Compiler};
+use activermt_core::alloc::{MutantPolicy, MutantSpace};
+use activermt_isa::wire::{
+    build_alloc_request, build_control, build_program_packet, ActiveHeader, AllocResponse,
+    ControlOp, PacketType, RegionEntry,
+};
+use activermt_isa::Program;
+
+/// The shim's service-level state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimState {
+    /// No allocation; not transmitting active packets.
+    Idle,
+    /// An allocation request is outstanding.
+    Negotiating,
+    /// Allocated and transmitting.
+    Operational,
+    /// Deactivated by the switch; extracting state from the snapshot.
+    MemoryManagement,
+}
+
+/// Events surfaced to the application by [`Shim::handle_frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShimEvent {
+    /// The switch granted an allocation; the mutant has been
+    /// synthesized and activation may begin.
+    Allocated {
+        /// Per-stage register regions, ascending by stage.
+        regions: Vec<(usize, RegionEntry)>,
+    },
+    /// The switch could not satisfy the request.
+    AllocationFailed,
+    /// Unsolicited region update (this service was reallocated); the
+    /// mutant has been re-synthesized for the new stages.
+    RegionsUpdated {
+        /// The new per-stage regions.
+        regions: Vec<(usize, RegionEntry)>,
+    },
+    /// The switch quiesced this FID pending reallocation; the
+    /// application should extract state (Section 4.3) and then call
+    /// [`Shim::snapshot_complete`].
+    MustSnapshot,
+    /// The switch resumed processing for this FID.
+    Reactivated,
+    /// An RTS'd program packet of ours came back (e.g. a cache hit or a
+    /// memsync acknowledgement).
+    ProgramReturned {
+        /// The returned frame, verbatim.
+        frame: Vec<u8>,
+    },
+}
+
+/// One service instance's client-side endpoint.
+#[derive(Debug)]
+pub struct Shim {
+    fid: u16,
+    mac: [u8; 6],
+    switch_mac: [u8; 6],
+    state: ShimState,
+    seq: u16,
+    service: CompiledService,
+    policy: MutantPolicy,
+    space: MutantSpace,
+    regions: Vec<(usize, RegionEntry)>,
+    program: Option<Program>,
+}
+
+impl Shim {
+    /// Create a shim for `service`, speaking to the switch at
+    /// `switch_mac` from `mac`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fid: u16,
+        mac: [u8; 6],
+        switch_mac: [u8; 6],
+        service: CompiledService,
+        policy: MutantPolicy,
+        num_stages: usize,
+        ingress_stages: usize,
+        max_extra_recircs: u8,
+    ) -> Shim {
+        Shim {
+            fid,
+            mac,
+            switch_mac,
+            state: ShimState::Idle,
+            seq: 0,
+            service,
+            policy,
+            space: MutantSpace {
+                num_stages,
+                ingress_stages,
+                max_extra_recircs,
+            },
+            regions: Vec::new(),
+            program: None,
+        }
+    }
+
+    /// The service identifier.
+    pub fn fid(&self) -> u16 {
+        self.fid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ShimState {
+        self.state
+    }
+
+    /// Current per-stage regions (empty before allocation).
+    pub fn regions(&self) -> &[(usize, RegionEntry)] {
+        &self.regions
+    }
+
+    /// The synthesized (mutant) program, once allocated.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
+    /// The compiled service definition.
+    pub fn service(&self) -> &CompiledService {
+        &self.service
+    }
+
+    /// Logical stages on the target pipeline.
+    pub fn num_stages(&self) -> usize {
+        self.space.num_stages
+    }
+
+    fn next_seq(&mut self) -> u16 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Build an allocation request and enter `Negotiating`.
+    pub fn request_allocation(&mut self) -> Vec<u8> {
+        self.state = ShimState::Negotiating;
+        let seq = self.next_seq();
+        let pattern = &self.service.pattern;
+        build_alloc_request(
+            self.switch_mac,
+            self.mac,
+            self.fid,
+            seq,
+            &pattern.to_descriptors(),
+            pattern.prog_len as u8,
+            pattern.elastic,
+            self.policy == MutantPolicy::MostConstrained,
+            pattern.ingress_positions.first().copied().unwrap_or(0),
+        )
+        .expect("compiled patterns have <= 8 accesses")
+    }
+
+    /// Build the snapshot-complete control packet and resume
+    /// (the switch reactivates us once the new allocation is applied).
+    pub fn snapshot_complete(&mut self) -> Vec<u8> {
+        let seq = self.next_seq();
+        build_control(
+            self.switch_mac,
+            self.mac,
+            self.fid,
+            seq,
+            ControlOp::SnapshotComplete,
+            false,
+        )
+    }
+
+    /// Build a deallocation control packet and go `Idle`.
+    pub fn deallocate(&mut self) -> Vec<u8> {
+        self.state = ShimState::Idle;
+        self.regions.clear();
+        self.program = None;
+        let seq = self.next_seq();
+        build_control(
+            self.switch_mac,
+            self.mac,
+            self.fid,
+            seq,
+            ControlOp::Deallocate,
+            false,
+        )
+    }
+
+    /// Activate an application payload: wrap it with the synthesized
+    /// program and the given argument values. Returns `None` unless
+    /// `Operational` ("active transmissions are paused when the client
+    /// is negotiating or responding to a memory reallocation").
+    pub fn activate(&mut self, dst: [u8; 6], args: [u32; 4], payload: &[u8]) -> Option<Vec<u8>> {
+        if self.state != ShimState::Operational {
+            return None;
+        }
+        let mut program = self.program.clone()?;
+        for (i, a) in args.iter().enumerate() {
+            program.set_arg(i, *a).ok()?;
+        }
+        let seq = self.next_seq();
+        Some(build_program_packet(
+            dst, self.mac, self.fid, seq, &program, payload,
+        ))
+    }
+
+    /// Dispatch an incoming frame addressed to this shim. Frames for
+    /// other FIDs or non-active frames return `None`.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Option<ShimEvent> {
+        use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
+        let eth = activermt_isa::wire::EthernetFrame::new_checked(frame).ok()?;
+        if eth.ethertype() != activermt_isa::constants::ACTIVE_ETHERTYPE {
+            return None;
+        }
+        let hdr = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]).ok()?;
+        if hdr.fid() != self.fid {
+            return None;
+        }
+        match hdr.flags().packet_type() {
+            PacketType::AllocResponse => {
+                if hdr.flags().failed() {
+                    self.state = ShimState::Idle;
+                    return Some(ShimEvent::AllocationFailed);
+                }
+                let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
+                let resp = AllocResponse::new_checked(body).ok()?;
+                let regions: Vec<(usize, RegionEntry)> = resp
+                    .allocated_stages()
+                    .into_iter()
+                    .map(|s| (s, resp.region(s)))
+                    .collect();
+                let solicited = self.state == ShimState::Negotiating;
+                self.apply_regions(regions.clone());
+                Some(if solicited {
+                    ShimEvent::Allocated { regions }
+                } else {
+                    ShimEvent::RegionsUpdated { regions }
+                })
+            }
+            PacketType::Control => match hdr.control_op().ok()? {
+                ControlOp::DeactivateNotice => {
+                    self.state = ShimState::MemoryManagement;
+                    Some(ShimEvent::MustSnapshot)
+                }
+                ControlOp::ReactivateNotice => {
+                    if self.program.is_some() {
+                        self.state = ShimState::Operational;
+                    }
+                    Some(ShimEvent::Reactivated)
+                }
+                _ => None,
+            },
+            PacketType::Program => {
+                if hdr.flags().from_switch() {
+                    Some(ShimEvent::ProgramReturned {
+                        frame: frame.to_vec(),
+                    })
+                } else {
+                    None
+                }
+            }
+            PacketType::AllocRequest => None,
+        }
+    }
+
+    /// Adopt a region set: find a mutant matching the granted stages
+    /// and synthesize it (Section 4.1's client-side half).
+    fn apply_regions(&mut self, regions: Vec<(usize, RegionEntry)>) {
+        let mut granted: Vec<usize> = regions.iter().map(|&(s, _)| s).collect();
+        granted.sort_unstable();
+        let mutants = self.space.enumerate(&self.service.pattern, self.policy);
+        let chosen = mutants.into_iter().find(|m| {
+            let mut stages: Vec<usize> = m.stages.clone();
+            stages.sort_unstable();
+            stages.dedup();
+            stages == granted
+        });
+        match chosen {
+            Some(m) => match Compiler::synthesize_at(&self.service, &m.positions) {
+                Ok(p) => {
+                    self.program = Some(p);
+                    self.regions = regions;
+                    self.state = ShimState::Operational;
+                }
+                Err(_) => {
+                    self.program = None;
+                    self.state = ShimState::Idle;
+                }
+            },
+            None => {
+                // A grant we cannot realize (should not happen with a
+                // consistent switch): stay safe and idle.
+                self.program = None;
+                self.state = ShimState::Idle;
+            }
+        }
+    }
+
+    /// The region granted in `stage`, if any.
+    pub fn region_in(&self, stage: usize) -> Option<RegionEntry> {
+        self.regions
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map(|&(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::compiler::ServiceSpec;
+    use activermt_isa::wire::build_alloc_response;
+
+    const CLIENT: [u8; 6] = [2, 0, 0, 0, 0, 1];
+    const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+    const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 2];
+
+    fn cache_shim() -> Shim {
+        let program = assemble(
+            "MAR_LOAD $3\nMEM_READ\nMBR_EQUALS_DATA_1\nCRET\nMEM_READ\nMBR_EQUALS_DATA_2\nCRET\nRTS\nMEM_READ\nMBR_STORE $2\nRETURN",
+        )
+        .unwrap();
+        let service = Compiler::compile(ServiceSpec {
+            name: "cache".into(),
+            program,
+            demands: vec![0, 0, 0],
+            elastic: true,
+            aliases: vec![],
+        })
+        .unwrap();
+        Shim::new(7, CLIENT, SWITCH, service, MutantPolicy::MostConstrained, 20, 10, 1)
+    }
+
+    fn grant(stages: &[usize]) -> Vec<u8> {
+        let regions: Vec<(usize, RegionEntry)> = stages
+            .iter()
+            .map(|&s| (s, RegionEntry { start: 0, end: 65_536 }))
+            .collect();
+        build_alloc_response(CLIENT, SWITCH, 7, 1, Some(&regions))
+    }
+
+    #[test]
+    fn negotiation_round_trip() {
+        let mut shim = cache_shim();
+        assert_eq!(shim.state(), ShimState::Idle);
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "idle: no tx");
+        let req = shim.request_allocation();
+        assert_eq!(shim.state(), ShimState::Negotiating);
+        // The request carries the paper's constraint vectors.
+        let hdr = ActiveHeader::new_checked(&req[14..]).unwrap();
+        assert_eq!(hdr.flags().packet_type(), PacketType::AllocRequest);
+        assert!(hdr.flags().elastic());
+        assert!(hdr.flags().pinned());
+        assert_eq!(hdr.program_len(), 11);
+        assert_eq!(hdr.aux(), 8, "RTS position travels in aux");
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "negotiating: no tx");
+
+        let ev = shim.handle_frame(&grant(&[1, 4, 8])).unwrap();
+        assert!(matches!(ev, ShimEvent::Allocated { .. }));
+        assert_eq!(shim.state(), ShimState::Operational);
+        // The compact placement needs no NOPs.
+        assert_eq!(shim.program().unwrap().len(), 11);
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_some());
+    }
+
+    #[test]
+    fn shifted_grant_synthesizes_a_mutant() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        shim.handle_frame(&grant(&[3, 6, 10])).unwrap();
+        let p = shim.program().unwrap();
+        assert_eq!(p.memory_access_positions(), vec![4, 7, 11]);
+        assert_eq!(p.len(), 13, "two NOPs inserted");
+        assert_eq!(shim.region_in(6).unwrap().len(), 65_536);
+        assert!(shim.region_in(5).is_none());
+    }
+
+    #[test]
+    fn failed_allocation_returns_to_idle() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        let fail = build_alloc_response(CLIENT, SWITCH, 7, 1, None);
+        assert_eq!(shim.handle_frame(&fail), Some(ShimEvent::AllocationFailed));
+        assert_eq!(shim.state(), ShimState::Idle);
+    }
+
+    #[test]
+    fn reallocation_protocol_pauses_transmission() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        // Switch quiesces us.
+        let notice = build_control(CLIENT, SWITCH, 7, 9, ControlOp::DeactivateNotice, true);
+        assert_eq!(shim.handle_frame(&notice), Some(ShimEvent::MustSnapshot));
+        assert_eq!(shim.state(), ShimState::MemoryManagement);
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "paused");
+        // We finish the snapshot; new regions arrive unsolicited.
+        let done = shim.snapshot_complete();
+        let hdr = ActiveHeader::new_checked(&done[14..]).unwrap();
+        assert_eq!(hdr.control_op().unwrap(), ControlOp::SnapshotComplete);
+        let ev = shim.handle_frame(&grant(&[2, 5, 9])).unwrap();
+        assert!(matches!(ev, ShimEvent::RegionsUpdated { .. }));
+        let reactivate = build_control(CLIENT, SWITCH, 7, 10, ControlOp::ReactivateNotice, true);
+        assert_eq!(shim.handle_frame(&reactivate), Some(ShimEvent::Reactivated));
+        assert_eq!(shim.state(), ShimState::Operational);
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_some());
+    }
+
+    #[test]
+    fn frames_for_other_fids_are_ignored() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        let other = build_alloc_response(CLIENT, SWITCH, 8, 1, None);
+        assert_eq!(shim.handle_frame(&other), None);
+        assert_eq!(shim.state(), ShimState::Negotiating);
+    }
+
+    #[test]
+    fn returned_program_packets_surface() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        let pkt = shim.activate(SERVER, [1, 2, 3, 4], b"payload").unwrap();
+        // Pretend the switch RTS'd it back.
+        let mut back = pkt.clone();
+        {
+            let mut h = ActiveHeader::new_unchecked(&mut back[14..]);
+            let mut f = h.flags();
+            f.set_from_switch(true);
+            f.set_rts_done(true);
+            h.set_flags(f);
+        }
+        let ev = shim.handle_frame(&back).unwrap();
+        assert!(matches!(ev, ShimEvent::ProgramReturned { .. }));
+        // Our own outgoing packet (not from switch) is not an event.
+        assert_eq!(shim.handle_frame(&pkt), None);
+    }
+
+    #[test]
+    fn deallocate_resets() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        let frame = shim.deallocate();
+        let hdr = ActiveHeader::new_checked(&frame[14..]).unwrap();
+        assert_eq!(hdr.control_op().unwrap(), ControlOp::Deallocate);
+        assert_eq!(shim.state(), ShimState::Idle);
+        assert!(shim.program().is_none());
+        assert!(shim.regions().is_empty());
+    }
+
+    #[test]
+    fn activation_embeds_args_and_payload() {
+        let mut shim = cache_shim();
+        shim.request_allocation();
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        let pkt = shim
+            .activate(SERVER, [0xA, 0xB, 0, 42], b"GET key")
+            .unwrap();
+        let layout = activermt_isa::wire::program_packet_layout(&pkt).unwrap();
+        assert_eq!(&pkt[layout.payload_off..], b"GET key");
+        let a0 = u32::from_be_bytes(pkt[layout.args_off..layout.args_off + 4].try_into().unwrap());
+        assert_eq!(a0, 0xA);
+    }
+}

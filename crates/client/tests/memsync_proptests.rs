@@ -1,0 +1,115 @@
+//! Property tests for memsync program planning: for arbitrary operation
+//! sets, generated programs must put every access in its target stage,
+//! respect the four-argument budget, and stay within the recirculation
+//! envelope a 20-stage pipeline allows.
+
+use activermt_client::memsync::{build_sync_program, MemSync, SyncOp};
+use proptest::prelude::*;
+
+fn arb_ops() -> impl Strategy<Value = Vec<SyncOp>> {
+    prop::collection::vec(
+        (0usize..20, any::<u32>(), any::<u32>(), any::<bool>()),
+        1..10,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(stage, addr, value, write)| {
+                if write {
+                    SyncOp::Write { stage, addr, value }
+                } else {
+                    SyncOp::Read { stage, addr }
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn batched_programs_hit_their_stages(ops in arb_ops()) {
+        let mut ms = MemSync::new(7, [1; 6], [2; 6], 20);
+        let frames = ms.submit(&ops);
+        prop_assert!(!frames.is_empty());
+        prop_assert_eq!(ms.pending_count(), frames.len());
+        // Each frame is a parseable program packet.
+        for f in &frames {
+            let layout = activermt_isa::wire::program_packet_layout(f).unwrap();
+            prop_assert!(layout.payload_off <= f.len());
+        }
+    }
+
+    #[test]
+    fn per_batch_positions_match_target_stages(
+        stages in prop::collection::vec(0usize..20, 1..4),
+        write in any::<bool>(),
+    ) {
+        let ops: Vec<SyncOp> = stages
+            .iter()
+            .map(|&stage| {
+                if write {
+                    SyncOp::Write { stage, addr: 1, value: 2 }
+                } else {
+                    SyncOp::Read { stage, addr: 1 }
+                }
+            })
+            .collect();
+        // Arg budget: 4 reads or 2 writes per program.
+        let per = if write { 2 } else { 4 };
+        for chunk in ops.chunks(per) {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_by_key(|o| match *o {
+                SyncOp::Read { stage, .. } | SyncOp::Write { stage, .. } => stage,
+            });
+            let (program, positions) = build_sync_program(&sorted, 20);
+            prop_assert_eq!(positions.len(), sorted.len());
+            for (op, &pos) in sorted.iter().zip(&positions) {
+                let want = match *op {
+                    SyncOp::Read { stage, .. } | SyncOp::Write { stage, .. } => stage,
+                };
+                prop_assert_eq!((usize::from(pos) - 1) % 20, want, "wrong stage");
+            }
+            // The program's own access positions agree.
+            let got: Vec<u16> = program
+                .memory_access_positions()
+                .iter()
+                .map(|&p| p as u16)
+                .collect();
+            prop_assert_eq!(got, positions.clone());
+            // Positions strictly increase (a single packet's execution
+            // order).
+            for w in positions.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            // Arg selectors stay within the four data fields.
+            for ins in program.instructions() {
+                if let Some(a) = ins.arg_index() {
+                    prop_assert!(a < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn submissions_never_overrun_the_arg_budget(ops in arb_ops()) {
+        let mut ms = MemSync::new(7, [1; 6], [2; 6], 20);
+        let frames = ms.submit(&ops);
+        for f in &frames {
+            let layout = activermt_isa::wire::program_packet_layout(f).unwrap();
+            let program = activermt_isa::Program::decode_instructions(
+                &f[layout.instr_off..layout.payload_off],
+            )
+            .unwrap();
+            let loads = program
+                .instructions()
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i.opcode,
+                        activermt_isa::Opcode::MAR_LOAD | activermt_isa::Opcode::MBR_LOAD
+                    )
+                })
+                .count();
+            prop_assert!(loads <= 4, "more loads than argument fields");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the client compiler: mutant synthesis must place
+//! accesses exactly where the allocator's enumeration says they go, for
+//! every mutant of every (small) pattern.
+
+use activermt_client::compiler::{CompiledService, Compiler, ServiceSpec};
+use activermt_core::alloc::{MutantPolicy, MutantSpace};
+use activermt_isa::{Instruction, Opcode, Program};
+use proptest::prelude::*;
+
+/// Build a random program skeleton: memory accesses separated by
+/// filler instructions, an optional RTS in one gap.
+fn arb_service() -> impl Strategy<Value = CompiledService> {
+    (
+        prop::collection::vec((1usize..4, any::<bool>()), 1..4),
+        0usize..3,
+        any::<bool>(),
+    )
+        .prop_map(|(segments, tail, rts)| {
+            let mut instrs: Vec<Instruction> = Vec::new();
+            let mut rts_placed = false;
+            for (i, (gap, _)) in segments.iter().enumerate() {
+                for g in 0..*gap {
+                    // Put at most one RTS somewhere mid-program.
+                    if rts && !rts_placed && i == segments.len() / 2 && g == 0 && i > 0 {
+                        instrs.push(Instruction::new(Opcode::RTS));
+                        rts_placed = true;
+                    } else {
+                        instrs.push(Instruction::new(Opcode::NOP));
+                    }
+                }
+                instrs.push(Instruction::new(Opcode::MEM_READ));
+            }
+            for _ in 0..tail {
+                instrs.push(Instruction::new(Opcode::NOP));
+            }
+            instrs.push(Instruction::new(Opcode::RETURN));
+            let program = Program::new(instrs, [0; 4]).expect("valid skeleton");
+            let m = program.memory_access_positions().len();
+            Compiler::compile(ServiceSpec {
+                name: "prop".into(),
+                program,
+                demands: vec![0; m],
+                elastic: true,
+                aliases: vec![],
+            })
+            .expect("compiles")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every enumerable mutant, synthesis reproduces its exact
+    /// access positions, preserves instruction semantics (non-NOP
+    /// opcode sequence) and keeps RTS's distance to the following
+    /// access.
+    #[test]
+    fn synthesis_realizes_every_mutant(service in arb_service(), lc in any::<bool>()) {
+        let space = MutantSpace {
+            num_stages: 20,
+            ingress_stages: 10,
+            max_extra_recircs: 1,
+        };
+        let policy = if lc {
+            MutantPolicy::LeastConstrained
+        } else {
+            MutantPolicy::MostConstrained
+        };
+        let mutants = space.enumerate(&service.pattern, policy);
+        // Cap the per-case work: spot-check a sample.
+        for mutant in mutants.iter().step_by(7.max(mutants.len() / 40)) {
+            let synthesized = Compiler::synthesize_at(&service, &mutant.positions).unwrap();
+            let got: Vec<u16> = synthesized
+                .memory_access_positions()
+                .iter()
+                .map(|&p| p as u16)
+                .collect();
+            prop_assert_eq!(&got, &mutant.positions, "positions mismatch");
+            // Semantics preserved: the non-NOP opcode sequence is
+            // unchanged.
+            let strip = |p: &Program| -> Vec<Opcode> {
+                p.instructions()
+                    .iter()
+                    .map(|i| i.opcode)
+                    .filter(|&o| o != Opcode::NOP)
+                    .collect()
+            };
+            prop_assert_eq!(strip(&synthesized), strip(&service.spec.program));
+            // RTS (if any) kept its distance to the next access, so the
+            // allocator's ingress reasoning stays valid.
+            let r_compact_opt = service.spec.program.ingress_bound_positions().first().copied();
+            if let Some(r_compact) = r_compact_opt {
+              if let Some(first_after_compact) = service
+                    .spec
+                    .program
+                    .memory_access_positions()
+                    .iter()
+                    .position(|&a| a > r_compact)
+              {
+                let compact_dist = service.spec.program.memory_access_positions()
+                    [first_after_compact]
+                    - r_compact;
+                let r_new = synthesized.ingress_bound_positions()[0];
+                let a_new = synthesized.memory_access_positions()[first_after_compact];
+                prop_assert_eq!(a_new - r_new, compact_dist, "RTS drifted from its access");
+              }
+            }
+        }
+    }
+
+    /// The disassembler inverts the assembler for arbitrary (synthesized)
+    /// programs: text -> program -> text -> program is stable.
+    #[test]
+    fn disassembly_roundtrips(service in arb_service()) {
+        use activermt_client::asm::assemble;
+        use activermt_client::disasm::disassemble;
+        let p = &service.spec.program;
+        let text = disassemble(p);
+        let q = assemble(&text).unwrap();
+        prop_assert_eq!(p.instructions(), q.instructions());
+        prop_assert_eq!(p.args(), q.args());
+    }
+
+    /// Synthesizing positions below the compact layout is rejected.
+    #[test]
+    fn invalid_positions_are_rejected(service in arb_service()) {
+        let compact: Vec<u16> = service.pattern.min_positions.clone();
+        if compact[0] > 1 {
+            let mut bad = compact.clone();
+            bad[0] -= 1;
+            prop_assert!(Compiler::synthesize_at(&service, &bad).is_err());
+        }
+        // Wrong arity.
+        let mut extra = compact.clone();
+        extra.push(200);
+        prop_assert!(Compiler::synthesize_at(&service, &extra).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Access-pattern constraints (Section 4.2's problem formulation).
+//!
+//! "Each candidate in the feasibility set is encoded as a fixed-length
+//! sequence of constraints on memory stage indices: a lower bound, an
+//! upper bound, and a minimum distance between consecutive memory access
+//! indices. For example, Listing 1 has M = 3 memory accesses at lines 2,
+//! 5 and 9 ... the lower-bound constraints are LB = [2 5 9] and the
+//! minimum distances are B = [1 3 4]."
+//!
+//! An [`AccessPattern`] captures everything the switch needs to know
+//! about a program to allocate for it: the compact positions of its
+//! memory accesses, the per-access demands, the program length, its
+//! elasticity class and the compact positions of ingress-bound
+//! instructions (RTS etc.), which pin parts of the program to the
+//! ingress pipeline under the most-constrained policy.
+
+use crate::error::AdmitError;
+use activermt_isa::wire::AccessDescriptor;
+use activermt_isa::Program;
+
+/// A program's memory-access pattern, in compact-layout coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessPattern {
+    /// 1-based compact positions of memory accesses (the paper's LB).
+    pub min_positions: Vec<u16>,
+    /// Demand at each access, in blocks. 0 = elastic share. For an
+    /// aliased access (see `aliases`) the entry is ignored; the demand
+    /// of the earlier access of the pair applies.
+    pub demands: Vec<u16>,
+    /// Total program length (instructions, compact layout).
+    pub prog_len: u16,
+    /// Elasticity class of the whole application (Section 4.1).
+    pub elastic: bool,
+    /// 1-based compact positions of ingress-bound instructions.
+    pub ingress_positions: Vec<u16>,
+    /// Same-region constraints: `(earlier, later)` access-index pairs
+    /// that must land in the *same physical stage* (on different
+    /// passes). Listing 2's heavy hitter reads its threshold at one
+    /// access and writes it back at a later one — "the program uses
+    /// packet recirculation to re-access the memory stage containing
+    /// the threshold" (Section 6.3). Non-aliased accesses must land in
+    /// *distinct* stages (distinct regions cannot share the single
+    /// per-stage register array region an application owns).
+    pub aliases: Vec<(usize, usize)>,
+}
+
+impl AccessPattern {
+    /// Extract the pattern from an assembled program.
+    ///
+    /// `demands` gives the per-access demand in blocks (0 for elastic);
+    /// it must have one entry per memory-access instruction.
+    pub fn from_program(
+        program: &Program,
+        demands: &[u16],
+        elastic: bool,
+    ) -> Result<AccessPattern, AdmitError> {
+        let min_positions: Vec<u16> = program
+            .memory_access_positions()
+            .iter()
+            .map(|&p| p as u16)
+            .collect();
+        if demands.len() != min_positions.len() {
+            return Err(AdmitError::BadRequest);
+        }
+        let pattern = AccessPattern {
+            min_positions,
+            demands: demands.to_vec(),
+            prog_len: program.len() as u16,
+            elastic,
+            ingress_positions: program
+                .ingress_bound_positions()
+                .iter()
+                .map(|&p| p as u16)
+                .collect(),
+            aliases: Vec::new(),
+        };
+        pattern.validate()?;
+        Ok(pattern)
+    }
+
+    /// Declare that access `later` re-visits the region of access
+    /// `earlier` (builder-style; validated on use).
+    pub fn with_alias(mut self, earlier: usize, later: usize) -> AccessPattern {
+        self.aliases.push((earlier, later));
+        self
+    }
+
+    /// Is access `i` the later member of an alias pair?
+    pub fn is_aliased_later(&self, i: usize) -> bool {
+        self.aliases.iter().any(|&(_, l)| l == i)
+    }
+
+    /// The effective demand of access `i`, resolving aliases to the
+    /// earlier access's demand.
+    pub fn effective_demand(&self, i: usize) -> u16 {
+        match self.aliases.iter().find(|&&(_, l)| l == i) {
+            Some(&(e, _)) => self.effective_demand(e),
+            None => self.demands[i],
+        }
+    }
+
+    /// Rebuild a pattern from the wire representation: the request
+    /// header's descriptors, plus the program length, elastic flag and
+    /// (single) ingress position carried in the initial header.
+    pub fn from_request(
+        descriptors: &[AccessDescriptor],
+        prog_len: u16,
+        elastic: bool,
+        ingress_position: Option<u16>,
+    ) -> Result<AccessPattern, AdmitError> {
+        let mut min_positions = Vec::new();
+        let mut demands = Vec::new();
+        let mut aliases = Vec::new();
+        let mut last = 0u16;
+        for (i, d) in descriptors.iter().enumerate() {
+            if d.is_empty() {
+                break;
+            }
+            let pos = u16::from(d.min_position);
+            // Descriptors encode the gap redundantly; reconstructing
+            // positions from gaps when they disagree would hide client
+            // bugs, so verify instead.
+            if pos <= last || (last > 0 && pos - last != u16::from(d.min_gap)) {
+                return Err(AdmitError::BadRequest);
+            }
+            last = pos;
+            min_positions.push(pos);
+            if d.demand >= ALIAS_DEMAND_BASE {
+                // Demand bytes 0xF8..=0xFF mark "same region as access
+                // #(demand - 0xF8)" (see `to_descriptors`).
+                aliases.push((usize::from(d.demand - ALIAS_DEMAND_BASE), i));
+                demands.push(0);
+            } else {
+                demands.push(u16::from(d.demand));
+            }
+        }
+        let pattern = AccessPattern {
+            min_positions,
+            demands,
+            prog_len,
+            elastic,
+            ingress_positions: ingress_position.into_iter().collect(),
+            aliases,
+        };
+        pattern.validate()?;
+        Ok(pattern)
+    }
+
+    /// Wire encoding of the access constraints (Section 3.3's eight
+    /// 3-byte descriptors). Aliased accesses encode their partner in
+    /// the demand byte (values `0xF8..=0xFF`), capping real demands at
+    /// 0xF7 blocks per access — far beyond any stage pool.
+    pub fn to_descriptors(&self) -> Vec<AccessDescriptor> {
+        let mut out = Vec::with_capacity(self.min_positions.len());
+        let mut last = 0u16;
+        for (i, &pos) in self.min_positions.iter().enumerate() {
+            let gap = pos - last;
+            last = pos;
+            let demand = match self.aliases.iter().find(|&&(_, l)| l == i) {
+                Some(&(e, _)) => ALIAS_DEMAND_BASE + e as u8,
+                None => self.demands[i] as u8,
+            };
+            out.push(AccessDescriptor {
+                min_position: pos as u8,
+                min_gap: gap as u8,
+                demand,
+            });
+        }
+        out
+    }
+
+    /// Number of memory accesses (the paper's M).
+    pub fn num_accesses(&self) -> usize {
+        self.min_positions.len()
+    }
+
+    /// Minimum distances between consecutive accesses (the paper's B).
+    /// `B[0]` is the trivial bound 1, as in the paper's example.
+    pub fn min_gaps(&self) -> Vec<u16> {
+        let mut gaps = Vec::with_capacity(self.min_positions.len());
+        let mut last = 0u16;
+        for (i, &p) in self.min_positions.iter().enumerate() {
+            gaps.push(if i == 0 { 1 } else { p - last });
+            last = p;
+        }
+        gaps
+    }
+
+    /// Instructions after the last memory access (the rigid tail that
+    /// still has to fit in the pipeline).
+    pub fn tail_len(&self) -> u16 {
+        match self.min_positions.last() {
+            Some(&last) => self.prog_len - last,
+            None => self.prog_len,
+        }
+    }
+
+    /// Internal consistency checks.
+    pub fn validate(&self) -> Result<(), AdmitError> {
+        if self.min_positions.len() != self.demands.len() {
+            return Err(AdmitError::BadRequest);
+        }
+        if self.min_positions.len() > activermt_isa::constants::MAX_MEMORY_ACCESSES {
+            return Err(AdmitError::BadRequest);
+        }
+        let mut last = 0u16;
+        for &p in &self.min_positions {
+            if p == 0 || p <= last || p > self.prog_len {
+                return Err(AdmitError::BadRequest);
+            }
+            last = p;
+        }
+        for &r in &self.ingress_positions {
+            if r == 0 || r > self.prog_len {
+                return Err(AdmitError::BadRequest);
+            }
+        }
+        for &(e, l) in &self.aliases {
+            if e >= l || l >= self.min_positions.len() {
+                return Err(AdmitError::BadRequest);
+            }
+            // Chained aliasing onto an aliased access is not supported
+            // (one region, one canonical owner).
+            if self.is_aliased_later(e) {
+                return Err(AdmitError::BadRequest);
+            }
+        }
+        // Inelastic applications must state a concrete demand for every
+        // non-aliased access.
+        if !self.elastic {
+            for i in 0..self.demands.len() {
+                if !self.is_aliased_later(i) && self.demands[i] == 0 {
+                    return Err(AdmitError::BadRequest);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Demand-byte values at and above this encode an alias partner index
+/// rather than a block count (see [`AccessPattern::to_descriptors`]).
+pub const ALIAS_DEMAND_BASE: u8 = 0xF8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_isa::{Opcode, ProgramBuilder};
+
+    fn listing1() -> Program {
+        ProgramBuilder::new()
+            .op_arg(Opcode::MAR_LOAD, 0)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::MBR_EQUALS_DATA_1)
+            .op(Opcode::CRET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::MBR_EQUALS_DATA_2)
+            .op(Opcode::CRET)
+            .op(Opcode::RTS)
+            .op(Opcode::MEM_READ)
+            .op_arg(Opcode::MBR_STORE, 2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn listing1_constraints_match_section_4_2() {
+        let p = AccessPattern::from_program(&listing1(), &[0, 0, 0], true).unwrap();
+        assert_eq!(p.min_positions, vec![2, 5, 9]); // LB = [2 5 9]
+        assert_eq!(p.min_gaps(), vec![1, 3, 4]); // B = [1 3 4]
+        assert_eq!(p.prog_len, 11);
+        assert_eq!(p.tail_len(), 2);
+        assert_eq!(p.ingress_positions, vec![8]); // the RTS
+        assert_eq!(p.num_accesses(), 3);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = AccessPattern::from_program(&listing1(), &[0, 0, 0], true).unwrap();
+        let desc = p.to_descriptors();
+        assert_eq!(desc.len(), 3);
+        assert_eq!(desc[0].min_position, 2);
+        assert_eq!(desc[1].min_gap, 3);
+        assert_eq!(desc[2].min_gap, 4);
+        let back = AccessPattern::from_request(&desc, 11, true, Some(8)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn demand_count_mismatch_is_rejected() {
+        assert_eq!(
+            AccessPattern::from_program(&listing1(), &[0, 0], true),
+            Err(AdmitError::BadRequest)
+        );
+    }
+
+    #[test]
+    fn inelastic_needs_concrete_demands() {
+        let p = AccessPattern {
+            min_positions: vec![2, 4],
+            demands: vec![2, 0],
+            prog_len: 6,
+            elastic: false,
+            ingress_positions: vec![],
+            aliases: vec![],
+        };
+        assert_eq!(p.validate(), Err(AdmitError::BadRequest));
+    }
+
+    #[test]
+    fn inconsistent_request_descriptors_are_rejected() {
+        // Gap field disagreeing with positions.
+        let desc = [
+            AccessDescriptor {
+                min_position: 2,
+                min_gap: 1,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 2, // should be 3
+                demand: 0,
+            },
+        ];
+        assert_eq!(
+            AccessPattern::from_request(&desc, 6, true, None),
+            Err(AdmitError::BadRequest)
+        );
+        // Non-increasing positions.
+        let desc2 = [
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 5,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 0,
+                demand: 0,
+            },
+        ];
+        assert!(AccessPattern::from_request(&desc2, 6, true, None).is_err());
+    }
+
+    #[test]
+    fn positions_beyond_program_are_rejected() {
+        let p = AccessPattern {
+            min_positions: vec![9],
+            demands: vec![1],
+            prog_len: 5,
+            elastic: false,
+            ingress_positions: vec![],
+            aliases: vec![],
+        };
+        assert_eq!(p.validate(), Err(AdmitError::BadRequest));
+    }
+
+    #[test]
+    fn memoryless_program_is_valid() {
+        let p = AccessPattern {
+            min_positions: vec![],
+            demands: vec![],
+            prog_len: 4,
+            elastic: true,
+            ingress_positions: vec![2],
+            aliases: vec![],
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.tail_len(), 4);
+        assert!(p.to_descriptors().is_empty());
+    }
+}

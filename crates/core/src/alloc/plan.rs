@@ -1,0 +1,135 @@
+//! Allocation outcomes and reallocation diffs (Section 4.3).
+//!
+//! Admitting an application produces an [`AllocOutcome`]: the chosen
+//! mutant, the new application's per-stage placements, and the set of
+//! [`Reallocation`]s — incumbent applications whose regions moved or
+//! resized and therefore need the snapshot/extract/reactivate protocol.
+
+use crate::alloc::mutants::Mutant;
+use crate::types::{BlockRange, Fid};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The new application's allocation in one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePlacement {
+    /// 0-based logical stage.
+    pub stage: usize,
+    /// Assigned block range.
+    pub range: BlockRange,
+}
+
+/// An incumbent application's region change in one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reallocation {
+    /// The affected application.
+    pub fid: Fid,
+    /// 0-based logical stage.
+    pub stage: usize,
+    /// Region before the change.
+    pub old: BlockRange,
+    /// Region after the change.
+    pub new: BlockRange,
+}
+
+/// Everything the controller needs to know about one admission.
+#[derive(Debug, Clone)]
+pub struct AllocOutcome {
+    /// The admitted application.
+    pub fid: Fid,
+    /// The mutant the allocator selected; the client synthesizes this
+    /// variant (Section 4.1).
+    pub mutant: Mutant,
+    /// Per-stage placements for the new application, ascending by stage.
+    pub placements: Vec<StagePlacement>,
+    /// Incumbents whose regions changed (the reallocation victims).
+    pub victims: Vec<Reallocation>,
+    /// Candidate mutants enumerated for this request.
+    pub mutants_considered: usize,
+    /// Candidates that passed the feasibility test.
+    pub feasible_candidates: usize,
+    /// Wall-clock time spent searching and computing assignments — the
+    /// quantity Figures 5 and 12 plot.
+    pub compute_time: Duration,
+}
+
+impl AllocOutcome {
+    /// Victims grouped by FID (one snapshot round-trip per application,
+    /// regardless of how many stages moved).
+    pub fn victims_by_fid(&self) -> BTreeMap<Fid, Vec<Reallocation>> {
+        let mut map: BTreeMap<Fid, Vec<Reallocation>> = BTreeMap::new();
+        for v in &self.victims {
+            map.entry(v.fid).or_default().push(*v);
+        }
+        map
+    }
+
+    /// Total blocks granted to the new application.
+    pub fn granted_blocks(&self) -> u64 {
+        self.placements.iter().map(|p| u64::from(p.range.len)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> AllocOutcome {
+        AllocOutcome {
+            fid: 7,
+            mutant: Mutant {
+                positions: vec![2, 5],
+                stages: vec![1, 4],
+                passes: 1,
+                padded_len: 6,
+            },
+            placements: vec![
+                StagePlacement {
+                    stage: 1,
+                    range: BlockRange::new(0, 4),
+                },
+                StagePlacement {
+                    stage: 4,
+                    range: BlockRange::new(8, 2),
+                },
+            ],
+            victims: vec![
+                Reallocation {
+                    fid: 3,
+                    stage: 1,
+                    old: BlockRange::new(0, 8),
+                    new: BlockRange::new(4, 4),
+                },
+                Reallocation {
+                    fid: 3,
+                    stage: 4,
+                    old: BlockRange::new(0, 8),
+                    new: BlockRange::new(0, 4),
+                },
+                Reallocation {
+                    fid: 5,
+                    stage: 1,
+                    old: BlockRange::new(8, 8),
+                    new: BlockRange::new(8, 4),
+                },
+            ],
+            mutants_considered: 10,
+            feasible_candidates: 4,
+            compute_time: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn victims_group_by_fid() {
+        let o = outcome();
+        let groups = o.victims_by_fid();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&3].len(), 2);
+        assert_eq!(groups[&5].len(), 1);
+    }
+
+    #[test]
+    fn granted_blocks_sums_placements() {
+        assert_eq!(outcome().granted_blocks(), 6);
+    }
+}

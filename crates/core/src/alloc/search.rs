@@ -1,0 +1,645 @@
+//! The systematic allocation search (Section 4.2).
+//!
+//! "Because the objective function is non-linear we cannot use standard
+//! (I)LP solvers. Fortunately, our online allocation mechanism does not
+//! consider relocating existing applications across stages ... Hence, a
+//! systematic search over the feasibility region can be performed in
+//! polynomial time, O(k) where k is the number of mutants."
+//!
+//! For each candidate mutant of the arriving application the search
+//! checks feasibility against every constrained resource — block pools
+//! (with elastic squeezing), and the per-stage protection TCAM, whose
+//! range-expansion cost makes it the real admission bottleneck for
+//! small-footprint applications (Section 3.1) — then scores survivors
+//! with the configured [`Scheme`] and applies the winner, returning the
+//! set of reallocation victims.
+
+use crate::alloc::constraints::AccessPattern;
+use crate::alloc::mutants::{Mutant, MutantPolicy, MutantSpace};
+use crate::alloc::plan::{AllocOutcome, Reallocation, StagePlacement};
+use crate::alloc::pool::StagePool;
+use crate::alloc::schemes::Scheme;
+use crate::config::SwitchConfig;
+use crate::error::{AdmitError, CoreError};
+use crate::types::Fid;
+use activermt_rmt::tcam::range_prefix_count;
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
+
+/// Allocator dimensions and policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocatorConfig {
+    /// Logical stages.
+    pub num_stages: usize,
+    /// Ingress stages.
+    pub ingress_stages: usize,
+    /// Blocks per stage at the configured granularity.
+    pub blocks_per_stage: u32,
+    /// Registers per block.
+    pub block_regs: u32,
+    /// Protection-TCAM entries per stage.
+    pub tcam_entries_per_stage: usize,
+    /// Candidate-scoring scheme.
+    pub scheme: Scheme,
+    /// Extra passes allowed under the least-constrained policy.
+    pub max_extra_recircs: u8,
+    /// Use the literal O(blocks) progressive-filling algorithm (the
+    /// paper's stated mechanism) instead of the closed form. Shares are
+    /// identical; only allocation-computation time changes (Figure 12).
+    pub literal_fill: bool,
+}
+
+impl AllocatorConfig {
+    /// Derive from a switch configuration with the given scheme.
+    pub fn from_switch(cfg: &SwitchConfig, scheme: Scheme) -> AllocatorConfig {
+        AllocatorConfig {
+            num_stages: cfg.num_stages,
+            ingress_stages: cfg.ingress_stages,
+            blocks_per_stage: cfg.blocks_per_stage(),
+            block_regs: cfg.block_regs,
+            tcam_entries_per_stage: cfg.tcam_entries_per_stage,
+            scheme,
+            max_extra_recircs: cfg.max_extra_recircs,
+            literal_fill: cfg.literal_progressive_filling,
+        }
+    }
+
+    fn mutant_space(&self) -> MutantSpace {
+        MutantSpace {
+            num_stages: self.num_stages,
+            ingress_stages: self.ingress_stages,
+            max_extra_recircs: self.max_extra_recircs,
+        }
+    }
+}
+
+/// A resident application's allocation state.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// The constraints it was admitted with.
+    pub pattern: AccessPattern,
+    /// The policy it requested.
+    pub policy: MutantPolicy,
+    /// The mutant the allocator selected.
+    pub mutant: Mutant,
+}
+
+/// The online memory allocator: per-stage pools plus the application
+/// directory.
+///
+/// ```
+/// use activermt_core::alloc::{AccessPattern, Allocator, AllocatorConfig,
+///                             MutantPolicy, Scheme};
+/// use activermt_core::SwitchConfig;
+///
+/// let cfg = SwitchConfig::default();
+/// let mut alloc = Allocator::new(AllocatorConfig::from_switch(&cfg, Scheme::WorstFit));
+///
+/// // Listing 1's cache: elastic, accesses at lines 2, 5 and 9.
+/// let cache = AccessPattern {
+///     min_positions: vec![2, 5, 9],
+///     demands: vec![0, 0, 0],
+///     prog_len: 11,
+///     elastic: true,
+///     ingress_positions: vec![8], // the RTS
+///     aliases: vec![],
+/// };
+/// let out = alloc.admit(1, &cache, MutantPolicy::MostConstrained).unwrap();
+/// // The compact mutant lands in stages 1, 4 and 8 and, alone on the
+/// // switch, owns each stage fully: 3 x 256 blocks.
+/// assert_eq!(out.mutant.stages, vec![1, 4, 8]);
+/// assert_eq!(out.granted_blocks(), 3 * 256);
+/// assert!(out.victims.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    cfg: AllocatorConfig,
+    pools: Vec<StagePool>,
+    apps: BTreeMap<Fid, AppRecord>,
+}
+
+impl Allocator {
+    /// A fresh allocator with empty pools.
+    pub fn new(cfg: AllocatorConfig) -> Allocator {
+        let pools = (0..cfg.num_stages)
+            .map(|_| {
+                if cfg.literal_fill {
+                    StagePool::new_literal(cfg.blocks_per_stage)
+                } else {
+                    StagePool::new(cfg.blocks_per_stage)
+                }
+            })
+            .collect();
+        Allocator {
+            cfg,
+            pools,
+            apps: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AllocatorConfig {
+        &self.cfg
+    }
+
+    /// The per-stage pools (read-only; used by metrics and tests).
+    pub fn pools(&self) -> &[StagePool] {
+        &self.pools
+    }
+
+    /// Resident applications.
+    pub fn apps(&self) -> impl Iterator<Item = (Fid, &AppRecord)> {
+        self.apps.iter().map(|(f, r)| (*f, r))
+    }
+
+    /// Is `fid` resident?
+    pub fn contains(&self, fid: Fid) -> bool {
+        self.apps.contains_key(&fid)
+    }
+
+    /// Number of resident applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The record for a resident application.
+    pub fn app(&self, fid: Fid) -> Option<&AppRecord> {
+        self.apps.get(&fid)
+    }
+
+    /// Overall memory utilization: allocated blocks / total blocks
+    /// (the quantity Figures 6, 7a and 11 plot).
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = self.pools.iter().map(|p| u64::from(p.capacity())).sum();
+        let used: u64 = self.pools.iter().map(|p| u64::from(p.used())).sum();
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    }
+
+    /// Total blocks currently held by `fid` across stages.
+    pub fn app_blocks(&self, fid: Fid) -> u64 {
+        self.pools
+            .iter()
+            .filter_map(|p| p.allocation_of(fid))
+            .map(|r| u64::from(r.len))
+            .sum()
+    }
+
+    /// Current placements of `fid`, ascending by stage.
+    pub fn placements_of(&self, fid: Fid) -> Vec<StagePlacement> {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter_map(|(s, p)| {
+                p.allocation_of(fid).map(|range| StagePlacement { stage: s, range })
+            })
+            .collect()
+    }
+
+    /// Protection-TCAM entries a stage's current allocations cost.
+    pub fn tcam_used(&self, stage: usize) -> usize {
+        Self::stage_tcam_cost(&self.pools[stage], self.cfg.block_regs)
+    }
+
+    fn stage_tcam_cost(pool: &StagePool, block_regs: u32) -> usize {
+        pool.allocations()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(_, r)| {
+                let (lo, hi) = r.to_registers(block_regs);
+                range_prefix_count(lo, hi - 1)
+            })
+            .sum()
+    }
+
+    /// Enumerate the candidate mutants for a request (exposed for the
+    /// `tab_mutants` harness and Figure 5's mutant-count commentary).
+    pub fn enumerate_mutants(&self, pattern: &AccessPattern, policy: MutantPolicy) -> Vec<Mutant> {
+        self.cfg.mutant_space().enumerate(pattern, policy)
+    }
+
+    /// Admit a new application (Section 4.3's allocation process,
+    /// control-plane half).
+    pub fn admit(
+        &mut self,
+        fid: Fid,
+        pattern: &AccessPattern,
+        policy: MutantPolicy,
+    ) -> Result<AllocOutcome, AdmitError> {
+        let start = Instant::now();
+        if self.apps.contains_key(&fid) {
+            return Err(AdmitError::DuplicateFid(fid));
+        }
+        pattern.validate()?;
+
+        let mutants = self.cfg.mutant_space().enumerate(pattern, policy);
+        let mutants_considered = mutants.len();
+        if mutants.is_empty() {
+            return Err(AdmitError::NoFeasibleMutant);
+        }
+
+        // Deduplicate by (stage demands, passes): distinct paddings that
+        // land the accesses in the same stages are interchangeable for
+        // allocation purposes. Scheme costs are cheap to evaluate, so
+        // candidates are ranked first and feasibility (which must
+        // trial-apply pool changes to price the protection TCAM) is
+        // probed lazily in rank order: the first feasible candidate in
+        // `(cost, passes, enumeration order)` is exactly the candidate
+        // an exhaustive scan would select.
+        // (cost, passes, enumeration index, per-stage demands)
+        type Candidate = (i64, u32, usize, Vec<(usize, u16)>);
+        let mut seen: HashSet<(Vec<(usize, u16)>, u32)> = HashSet::new();
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (idx, mutant) in mutants.iter().enumerate() {
+            let stages = mutant.stage_demands(&pattern.demands);
+            if !seen.insert((stages.clone(), mutant.passes)) {
+                continue;
+            }
+            let cost = self.cfg.scheme.cost(&self.pools, &stages, pattern.elastic);
+            candidates.push((cost, mutant.passes, idx, stages));
+        }
+        if self.cfg.scheme != Scheme::FirstFit {
+            // Scheme preference dominates; recirculation passes break
+            // ties (least-constrained deliberately trades extra passes
+            // for better placements — Section 6.1), then the systematic
+            // enumeration order. FirstFit keeps pure enumeration order:
+            // "greedily selects the first available memory region in
+            // the systematic enumeration sequence".
+            candidates.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+        }
+
+        let mut feasible_candidates = 0usize;
+        let mut saw_memory_fail = false;
+        let mut saw_tcam_fail = false;
+        let mut chosen: Option<(usize, Vec<(usize, u16)>)> = None;
+        for (_, _, idx, stages) in candidates {
+            match self.candidate_feasible(&stages, pattern.elastic) {
+                Ok(()) => {
+                    feasible_candidates += 1;
+                    chosen = Some((idx, stages));
+                    break;
+                }
+                Err(AdmitError::OutOfMemory) => saw_memory_fail = true,
+                Err(AdmitError::OutOfTcam) => saw_tcam_fail = true,
+                Err(_) => {}
+            }
+        }
+
+        let (best_idx, stages) = chosen.ok_or(if saw_tcam_fail && !saw_memory_fail {
+            AdmitError::OutOfTcam
+        } else if saw_memory_fail {
+            AdmitError::OutOfMemory
+        } else {
+            AdmitError::NoFeasibleMutant
+        })?;
+
+        let mutant = mutants[best_idx].clone();
+        let victims = self.apply(fid, &stages, pattern.elastic);
+        self.apps.insert(
+            fid,
+            AppRecord {
+                pattern: pattern.clone(),
+                policy,
+                mutant: mutant.clone(),
+            },
+        );
+        debug_assert!(self.pools.iter().all(|p| p.check_invariants().is_ok()));
+
+        Ok(AllocOutcome {
+            fid,
+            mutant,
+            placements: self.placements_of(fid),
+            victims,
+            mutants_considered,
+            feasible_candidates,
+            compute_time: start.elapsed(),
+        })
+    }
+
+    /// Release an application's allocation (service departure or
+    /// Section 4.3 deallocation). Elastic incumbents in the freed stages
+    /// expand; their changes are returned as reallocations.
+    pub fn release(&mut self, fid: Fid) -> Result<Vec<Reallocation>, CoreError> {
+        if self.apps.remove(&fid).is_none() {
+            return Err(CoreError::UnknownFid(fid));
+        }
+        let mut victims = Vec::new();
+        for (s, pool) in self.pools.iter_mut().enumerate() {
+            if pool.remove(fid).is_some() {
+                for (vfid, old, new) in pool.recompute_elastic() {
+                    victims.push(Reallocation {
+                        fid: vfid,
+                        stage: s,
+                        old,
+                        new,
+                    });
+                }
+            }
+        }
+        debug_assert!(self.pools.iter().all(|p| p.check_invariants().is_ok()));
+        Ok(victims)
+    }
+
+    /// Would placing `stages` succeed on memory and TCAM?
+    fn candidate_feasible(
+        &self,
+        stages: &[(usize, u16)],
+        elastic: bool,
+    ) -> Result<(), AdmitError> {
+        // Cheap memory checks first (failed allocations must be brief —
+        // Figure 5a), then the trial-apply TCAM pricing.
+        for &(s, demand) in stages {
+            let pool = &self.pools[s];
+            let fits = if elastic {
+                pool.elastic_fits()
+            } else {
+                pool.inelastic_slot(u32::from(demand)).is_some()
+            };
+            if !fits {
+                return Err(AdmitError::OutOfMemory);
+            }
+        }
+        for &(s, demand) in stages {
+            let pool = &self.pools[s];
+            // Trial-apply on a clone of the single pool to price the
+            // protection TCAM exactly (ranges move when elastic shares
+            // are recomputed).
+            let mut trial = pool.clone();
+            if elastic {
+                trial.insert_elastic(u16::MAX); // placeholder fid
+            } else {
+                trial.insert_inelastic(u16::MAX, u32::from(demand));
+            }
+            trial.recompute_elastic();
+            if Self::stage_tcam_cost(&trial, self.cfg.block_regs) > self.cfg.tcam_entries_per_stage
+            {
+                return Err(AdmitError::OutOfTcam);
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the chosen placement, returning incumbent reallocations.
+    fn apply(&mut self, fid: Fid, stages: &[(usize, u16)], elastic: bool) -> Vec<Reallocation> {
+        let mut victims = Vec::new();
+        for &(s, demand) in stages {
+            let pool = &mut self.pools[s];
+            if elastic {
+                let ok = pool.insert_elastic(fid);
+                debug_assert!(ok, "feasibility was checked");
+            } else {
+                let r = pool.insert_inelastic(fid, u32::from(demand));
+                debug_assert!(r.is_some(), "feasibility was checked");
+            }
+            for (vfid, old, new) in pool.recompute_elastic() {
+                if vfid != fid {
+                    victims.push(Reallocation {
+                        fid: vfid,
+                        stage: s,
+                        old,
+                        new,
+                    });
+                }
+            }
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(scheme: Scheme) -> AllocatorConfig {
+        AllocatorConfig {
+            num_stages: 20,
+            ingress_stages: 10,
+            blocks_per_stage: 256,
+            block_regs: 256,
+            tcam_entries_per_stage: 2048,
+            scheme,
+            max_extra_recircs: 1,
+            literal_fill: false,
+        }
+    }
+
+    fn cache_pattern() -> AccessPattern {
+        AccessPattern {
+            min_positions: vec![2, 5, 9],
+            demands: vec![0, 0, 0],
+            prog_len: 11,
+            elastic: true,
+            ingress_positions: vec![8],
+            aliases: vec![],
+        }
+    }
+
+    /// The paper's stateless load balancer: inelastic, 2 blocks
+    /// (Section 6.1), four memory touches (Listing 3).
+    fn lb_pattern() -> AccessPattern {
+        AccessPattern {
+            min_positions: vec![5, 7, 16, 18],
+            demands: vec![1, 1, 1, 2],
+            prog_len: 27,
+            elastic: false,
+            // SET_DST at line 19 is not position-constrained (see the
+            // opcode table); the LB has no ingress-bound instructions.
+            ingress_positions: vec![],
+            aliases: vec![],
+        }
+    }
+
+    #[test]
+    fn first_cache_gets_the_compact_mutant_and_full_stages() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        let out = a
+            .admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        assert_eq!(out.mutant.stages, vec![1, 4, 8]);
+        assert!(out.victims.is_empty());
+        // The only elastic tenant owns each stage fully.
+        assert_eq!(out.granted_blocks(), 3 * 256);
+        assert_eq!(a.app_blocks(1), 3 * 256);
+    }
+
+    #[test]
+    fn worst_fit_spreads_cache_instances_to_disjoint_stages() {
+        // Figure 9b: "The first three instances are able to take
+        // advantage of disjoint mutants ... thus obtaining exclusive
+        // memory regions (stages) and consequently zero disruption."
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        let o1 = a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let o2 = a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let o3 = a.admit(3, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        assert!(o2.victims.is_empty());
+        assert!(o3.victims.is_empty());
+        let mut all: Vec<usize> = [&o1, &o2, &o3]
+            .iter()
+            .flat_map(|o| o.mutant.stages.clone())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 9, "three instances occupy nine distinct stages");
+        // The fourth must share and therefore displaces an incumbent.
+        let o4 = a.admit(4, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        assert!(!o4.victims.is_empty());
+        let victim_fids: HashSet<Fid> = o4.victims.iter().map(|v| v.fid).collect();
+        assert_eq!(victim_fids.len(), 1, "exactly one incumbent shares stages");
+        // Both co-located instances end with equal shares.
+        let shared = *victim_fids.iter().next().unwrap();
+        assert_eq!(a.app_blocks(shared), a.app_blocks(4));
+        assert_eq!(a.app_blocks(shared), 3 * 128);
+    }
+
+    #[test]
+    fn inelastic_apps_never_become_victims() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        a.admit(1, &lb_pattern(), MutantPolicy::MostConstrained).unwrap();
+        for fid in 2..12 {
+            let out = a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained);
+            if let Ok(out) = out {
+                assert!(out.victims.iter().all(|v| v.fid != 1));
+            }
+        }
+        // The LB's blocks are untouched.
+        assert_eq!(a.app_blocks(1), 5); // 1+1+1+2 across four stages
+    }
+
+    #[test]
+    fn release_returns_memory_and_grows_survivors() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(3, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let o4 = a.admit(4, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let shared: Fid = o4.victims[0].fid;
+        let before = a.app_blocks(shared);
+        let grown = a.release(4).unwrap();
+        assert!(grown.iter().all(|v| v.fid == shared));
+        assert!(a.app_blocks(shared) > before);
+        assert_eq!(a.app_blocks(shared), 3 * 256);
+        assert!(a.release(4).is_err(), "double release is an error");
+    }
+
+    #[test]
+    fn duplicate_fid_is_rejected() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        assert_eq!(
+            a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+                .unwrap_err(),
+            AdmitError::DuplicateFid(1)
+        );
+    }
+
+    #[test]
+    fn memory_exhaustion_is_reported() {
+        // Tiny pools: 2 blocks per stage. Inelastic LB demands 2 blocks
+        // in its last stage; two instances exhaust any stage pair.
+        let mut c = cfg(Scheme::WorstFit);
+        c.blocks_per_stage = 2;
+        let mut a = Allocator::new(c);
+        let mut failures = 0;
+        for fid in 0..200 {
+            match a.admit(fid, &lb_pattern(), MutantPolicy::MostConstrained) {
+                Ok(_) => {}
+                Err(AdmitError::OutOfMemory) => {
+                    failures += 1;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert_eq!(failures, 1, "pool exhaustion must surface as OutOfMemory");
+    }
+
+    #[test]
+    fn elastic_count_is_bounded_by_blocks() {
+        // A stage of B blocks can host at most B elastic tenants.
+        let mut c = cfg(Scheme::WorstFit);
+        c.blocks_per_stage = 4;
+        let mut a = Allocator::new(c);
+        let mut admitted = 0;
+        for fid in 0..100 {
+            if a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained).is_ok() {
+                admitted += 1;
+            } else {
+                break;
+            }
+        }
+        // 9 reachable stages, 4 tenants each, 3 stages per instance:
+        // 12 instances fill the most-constrained window.
+        assert_eq!(admitted, 12);
+    }
+
+    #[test]
+    fn tcam_exhaustion_is_reported() {
+        let mut c = cfg(Scheme::WorstFit);
+        c.tcam_entries_per_stage = 8;
+        let mut a = Allocator::new(c);
+        let mut last_err = None;
+        for fid in 0..300 {
+            match a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained) {
+                Ok(_) => {}
+                Err(e) => {
+                    last_err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(last_err, Some(AdmitError::OutOfTcam));
+    }
+
+    #[test]
+    fn first_fit_takes_the_compact_mutant() {
+        let mut a = Allocator::new(cfg(Scheme::FirstFit));
+        for fid in 0..5 {
+            let out = a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+            // First-fit always lands on the first feasible candidate —
+            // the compact (2, 5, 9) placement — piling instances up.
+            assert_eq!(out.mutant.stages, vec![1, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_admissions() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        assert_eq!(a.utilization(), 0.0);
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        // 3 of 20 stages fully used.
+        assert!((a.utilization() - 3.0 / 20.0).abs() < 1e-9);
+        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        assert!((a.utilization() - 6.0 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_constrained_reaches_more_stages() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        for fid in 0..12 {
+            a.admit(fid, &cache_pattern(), MutantPolicy::LeastConstrained)
+                .unwrap();
+        }
+        let touched: usize = a
+            .pools()
+            .iter()
+            .filter(|p| p.elastic_count() > 0)
+            .count();
+        assert!(
+            touched > 9,
+            "least-constrained cache must reach beyond the 9 mc stages, got {touched}"
+        );
+    }
+
+    #[test]
+    fn placements_match_response_regions() {
+        let mut a = Allocator::new(cfg(Scheme::WorstFit));
+        let out = a.admit(5, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        for p in &out.placements {
+            let (lo, hi) = p.range.to_registers(256);
+            assert_eq!(hi - lo, 256 * 256); // full stage in registers
+            assert!(out.mutant.stages.contains(&p.stage));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Switch-wide configuration.
+//!
+//! One `SwitchConfig` parameterizes the pipeline dimensions, the
+//! allocation granularity and the control-plane cost model. Defaults are
+//! sized after the paper's testbed (a Wedge100BF-65X Tofino: 20 logical
+//! stages, 10 of them ingress) and its evaluation settings (1 KB
+//! allocation blocks — Section 6: "We allocate switch memory at a
+//! granularity of 1-KB blocks unless specified otherwise").
+//!
+//! Note on memory size: the paper quotes both "256 blocks" per stage
+//! (Section 4.1) and a ~94K-register full-stage dump (Section 4.3).
+//! These are mutually inconsistent at 1 KB blocks; we default to 64K
+//! 32-bit registers (256 KB = 256 × 1 KB blocks) per stage and make the
+//! size configurable. EXPERIMENTS.md records the discrepancy.
+
+use activermt_rmt::pipeline::PipelineConfig;
+
+/// Complete static configuration for one simulated ActiveRMT switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchConfig {
+    /// Logical pipeline stages (paper: 20).
+    pub num_stages: usize,
+    /// Ingress stages (paper: 10).
+    pub ingress_stages: usize,
+    /// 32-bit registers per stage.
+    pub regs_per_stage: usize,
+    /// Registers per allocation block (256 = 1 KB blocks).
+    pub block_regs: u32,
+    /// Protection-TCAM entries per stage (range-match capacity,
+    /// Section 3.1's bottleneck).
+    pub tcam_entries_per_stage: usize,
+    /// SRAM exact-match entries per stage.
+    pub sram_entries_per_stage: usize,
+    /// Latency of one pass through a pipeline, ns (paper: ~0.5 µs).
+    pub pass_latency_ns: u64,
+    /// Hard recirculation cap per packet (Section 7.2).
+    pub max_recirculations: Option<u8>,
+    /// Extra passes the least-constrained mutant policy may add beyond
+    /// the program's inherent requirement.
+    pub max_extra_recircs: u8,
+    /// Control-plane cost to remove or install one match-table entry,
+    /// in nanoseconds. Calibrated so that a full reallocation wave takes
+    /// on the order of a second, as in Figure 8a (provisioning time is
+    /// "dominated by the time taken to update table entries").
+    pub table_entry_update_ns: u64,
+    /// Control-plane fixed cost per allocation event (digest handling,
+    /// serialization), ns.
+    pub control_fixed_ns: u64,
+    /// Time for a client to snapshot one register via the data plane,
+    /// ns/register (bounded by packet rate at line rate; Section 4.3).
+    pub snapshot_per_reg_ns: u64,
+    /// Client timeout for the snapshot protocol, ns ("unresponsive
+    /// applications are timed out", Section 4.3).
+    pub snapshot_timeout_ns: u64,
+    /// Instruction-decode match entries per (FID, traversed logical
+    /// stage) installed at admission (Section 3.1's per-stage decode
+    /// tables; dominates provisioning time per Section 6.2).
+    pub decode_entries_per_stage: usize,
+    /// Use the literal O(blocks) progressive-filling algorithm the
+    /// paper states (Section 4.2) rather than our closed form. Shares
+    /// are identical; allocation time then grows with granularity,
+    /// reproducing Figure 12's scaling.
+    pub literal_progressive_filling: bool,
+    /// Enforce per-FID privilege levels on privileged opcodes (FORK,
+    /// SET_DST) — Section 7.2's "adding a notion of privilege levels to
+    /// active programs". Off by default (the paper's prototype trusts
+    /// edge ACLs).
+    pub enforce_privileges: bool,
+    /// Per-service recirculation budget `(rate_per_s, burst)` — the
+    /// Section 7.2 fairness controller for bandwidth inflation. `None`
+    /// keeps only the global per-packet recirculation cap.
+    pub recirc_budget: Option<(u64, u64)>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            num_stages: 20,
+            ingress_stages: 10,
+            regs_per_stage: 65_536,
+            block_regs: 256,
+            tcam_entries_per_stage: 2048,
+            sram_entries_per_stage: 4096,
+            pass_latency_ns: 500,
+            max_recirculations: Some(8),
+            max_extra_recircs: 1,
+            table_entry_update_ns: 400_000, // 0.4 ms / entry
+            control_fixed_ns: 2_000_000,    // 2 ms
+            snapshot_per_reg_ns: 1_000,     // ~1 Mpps effective sync rate
+            snapshot_timeout_ns: 2_000_000_000, // 2 s
+            decode_entries_per_stage: 70,
+            literal_progressive_filling: false,
+            enforce_privileges: false,
+            recirc_budget: None,
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Allocation blocks per stage at the configured granularity.
+    pub fn blocks_per_stage(&self) -> u32 {
+        self.regs_per_stage as u32 / self.block_regs
+    }
+
+    /// Total blocks across all stages.
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.blocks_per_stage()) * self.num_stages as u64
+    }
+
+    /// Derive the substrate pipeline configuration.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            num_stages: self.num_stages,
+            ingress_stages: self.ingress_stages,
+            regs_per_stage: self.regs_per_stage,
+            tcam_entries_per_stage: self.tcam_entries_per_stage,
+            sram_entries_per_stage: self.sram_entries_per_stage,
+        }
+    }
+
+    /// A copy with a different block granularity (Figure 12's sweep).
+    /// `block_bytes` must be a multiple of 4.
+    pub fn with_block_bytes(mut self, block_bytes: u32) -> SwitchConfig {
+        assert!(block_bytes >= 4 && block_bytes.is_multiple_of(4));
+        self.block_regs = block_bytes / 4;
+        self
+    }
+
+    /// Is 0-based logical stage `s` in the ingress pipeline?
+    pub fn is_ingress(&self, s: usize) -> bool {
+        s < self.ingress_stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_sized() {
+        let c = SwitchConfig::default();
+        assert_eq!(c.num_stages, 20);
+        assert_eq!(c.ingress_stages, 10);
+        // 1 KB blocks, 256 per stage (Section 4.1).
+        assert_eq!(c.block_regs, 256);
+        assert_eq!(c.blocks_per_stage(), 256);
+        assert_eq!(c.total_blocks(), 20 * 256);
+    }
+
+    #[test]
+    fn granularity_sweep() {
+        let c = SwitchConfig::default();
+        assert_eq!(c.with_block_bytes(512).blocks_per_stage(), 512);
+        assert_eq!(c.with_block_bytes(2048).blocks_per_stage(), 128);
+        assert_eq!(c.with_block_bytes(4096).blocks_per_stage(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_block_bytes_panics() {
+        SwitchConfig::default().with_block_bytes(6);
+    }
+
+    #[test]
+    fn pipeline_config_mirrors_dimensions() {
+        let c = SwitchConfig::default();
+        let p = c.pipeline_config();
+        assert_eq!(p.num_stages, c.num_stages);
+        assert_eq!(p.regs_per_stage, c.regs_per_stage);
+    }
+}

@@ -1,0 +1,651 @@
+//! The switch control plane (Section 4.3).
+//!
+//! "When a switch receives such a request, it communicates the
+//! information encoded in the packet to the switch controller running
+//! on the switch CPU ... The controller serializes requests to ensure
+//! applications are admitted one at a time."
+//!
+//! The [`Controller`] owns the [`Allocator`] and drives the
+//! reallocation protocol against the data-plane [`SwitchRuntime`]:
+//!
+//! 1. a request arrives; if a reallocation is in flight it is queued;
+//! 2. the allocator computes an outcome (measured compute time);
+//! 3. victims are *deactivated* and notified; the controller waits for
+//!    their snapshot-complete signals (or times them out);
+//! 4. tables are updated (modeled cost), victims reactivated with their
+//!    new regions, and the requester receives its allocation response.
+//!
+//! All externally visible effects are returned as timestamped
+//! [`ControllerAction`]s so a discrete-event harness can deliver them
+//! at the right virtual time.
+
+pub mod tables;
+
+pub use tables::{CostModel, ProvisioningReport};
+
+use crate::alloc::{AccessPattern, AllocOutcome, Allocator, AllocatorConfig, MutantPolicy, Scheme};
+use crate::config::SwitchConfig;
+use crate::error::CoreError;
+use crate::runtime::SwitchRuntime;
+use crate::types::Fid;
+use activermt_isa::wire::RegionEntry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A timestamped control-plane effect for the surrounding harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerAction {
+    /// Deliver an allocation response (initial grant, updated regions
+    /// after a reallocation, or a failure notification).
+    Respond {
+        /// Destination application.
+        fid: Fid,
+        /// Per-stage register regions (empty on failure).
+        regions: Vec<(usize, RegionEntry)>,
+        /// No feasible allocation existed.
+        failed: bool,
+        /// Virtual time at which the response leaves the switch.
+        at_ns: u64,
+    },
+    /// Tell a victim its packets are quiesced and it should snapshot.
+    Deactivate {
+        /// The victim.
+        fid: Fid,
+        /// Virtual send time.
+        at_ns: u64,
+    },
+    /// Tell a victim processing has resumed on its new regions.
+    Reactivate {
+        /// The victim.
+        fid: Fid,
+        /// Virtual send time.
+        at_ns: u64,
+    },
+    /// A provisioning event completed (for the Figure 8a harness).
+    Report(ProvisioningReport),
+}
+
+#[derive(Debug)]
+struct PendingRealloc {
+    outcome: AllocOutcome,
+    waiting: BTreeSet<Fid>,
+    started_ns: u64,
+    deadline_ns: u64,
+    alloc_compute_ns: u64,
+    snapshot_regs: u64,
+    snapshot_stages: usize,
+}
+
+#[derive(Debug)]
+struct QueuedRequest {
+    fid: Fid,
+    pattern: AccessPattern,
+    policy: MutantPolicy,
+    arrived_ns: u64,
+}
+
+/// The ActiveRMT switch controller.
+#[derive(Debug)]
+pub struct Controller {
+    allocator: Allocator,
+    cost: CostModel,
+    pending: Option<PendingRealloc>,
+    queue: VecDeque<QueuedRequest>,
+    /// Last known per-app regions, for diffing table updates.
+    regions: BTreeMap<Fid, Vec<(usize, RegionEntry)>>,
+}
+
+impl Controller {
+    /// Build a controller for a switch with the given scheme.
+    pub fn new(cfg: &SwitchConfig, scheme: Scheme) -> Controller {
+        Controller {
+            allocator: Allocator::new(AllocatorConfig::from_switch(cfg, scheme)),
+            cost: CostModel::from_config(cfg),
+            pending: None,
+            queue: VecDeque::new(),
+            regions: BTreeMap::new(),
+        }
+    }
+
+    /// The allocator state (metrics, tests).
+    pub fn allocator(&self) -> &Allocator {
+        &self.allocator
+    }
+
+    /// Is a reallocation protocol in flight?
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Queued requests awaiting serialization.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Handle an allocation request (Section 4.3). Returns the actions
+    /// to deliver.
+    pub fn handle_request(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        pattern: AccessPattern,
+        policy: MutantPolicy,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        if self.pending.is_some() {
+            // "The controller serializes requests to ensure applications
+            // are admitted one at a time."
+            self.queue.push_back(QueuedRequest {
+                fid,
+                pattern,
+                policy,
+                arrived_ns: now_ns,
+            });
+            return Vec::new();
+        }
+        self.start_admission(runtime, fid, pattern, policy, now_ns)
+    }
+
+    /// A victim finished extracting state from the snapshot.
+    pub fn handle_snapshot_complete(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        let Some(pending) = self.pending.as_mut() else {
+            return Vec::new();
+        };
+        pending.waiting.remove(&fid);
+        if pending.waiting.is_empty() {
+            let mut acts = self.finish_pending(runtime, now_ns);
+            acts.extend(self.drain_queue(runtime, now_ns));
+            acts
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A client relinquishes its allocation (service departure).
+    pub fn handle_deallocate(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        now_ns: u64,
+    ) -> Result<Vec<ControllerAction>, CoreError> {
+        if self.pending.is_some() {
+            // Departures during a reallocation would invalidate the
+            // computed plan; the client retries after the busy period.
+            return Err(CoreError::Busy);
+        }
+        // The departing FID's per-stage decode entries come out too.
+        let mut entries = self
+            .allocator
+            .app(fid)
+            .map(|a| self.cost.decode_entries_per_stage * usize::from(a.mutant.padded_len))
+            .unwrap_or(0);
+        let victims = self.allocator.release(fid)?;
+        for stage in runtime.protection().stages_of(fid) {
+            entries += runtime.remove_region(stage, fid);
+        }
+        self.regions.remove(&fid);
+        let mut acts = Vec::new();
+        // Survivors grow into the freed space; update their tables and
+        // tell them their new regions.
+        let mut grown: BTreeMap<Fid, ()> = BTreeMap::new();
+        for v in &victims {
+            grown.insert(v.fid, ());
+        }
+        for &vfid in grown.keys() {
+            entries += self.sync_app_tables(runtime, vfid);
+        }
+        let done_ns = now_ns + self.cost.control_fixed_ns + self.cost.table_update_ns(entries, 0);
+        for &vfid in grown.keys() {
+            acts.push(ControllerAction::Respond {
+                fid: vfid,
+                regions: self.regions.get(&vfid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: done_ns,
+            });
+        }
+        acts.extend(self.drain_queue(runtime, now_ns));
+        Ok(acts)
+    }
+
+    /// Drive timeouts: unresponsive victims are abandoned so they
+    /// cannot obstruct new allocations (Section 4.3).
+    pub fn poll(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        let timed_out = match &self.pending {
+            Some(p) => now_ns >= p.deadline_ns,
+            None => false,
+        };
+        if timed_out {
+            let mut acts = self.finish_pending(runtime, now_ns);
+            acts.extend(self.drain_queue(runtime, now_ns));
+            acts
+        } else {
+            Vec::new()
+        }
+    }
+
+    // ----- internals -----
+
+    fn start_admission(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        pattern: AccessPattern,
+        policy: MutantPolicy,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        match self.allocator.admit(fid, &pattern, policy) {
+            Err(_) => {
+                // Failed allocations are brief (Figure 5a: "epochs with
+                // failed allocations are quite brief").
+                let at_ns = now_ns + self.cost.control_fixed_ns;
+                vec![
+                    ControllerAction::Respond {
+                        fid,
+                        regions: Vec::new(),
+                        failed: true,
+                        at_ns,
+                    },
+                    ControllerAction::Report(ProvisioningReport {
+                        fid,
+                        alloc_compute_ns: 0,
+                        table_update_ns: 0,
+                        snapshot_wait_ns: 0,
+                        total_ns: self.cost.control_fixed_ns,
+                        victim_count: 0,
+                        failed: true,
+                    }),
+                ]
+            }
+            Ok(outcome) => {
+                let alloc_compute_ns = outcome.compute_time.as_nanos() as u64;
+                let victims = outcome.victims_by_fid();
+                if victims.is_empty() {
+                    let pending = PendingRealloc {
+                        outcome,
+                        waiting: BTreeSet::new(),
+                        started_ns: now_ns,
+                        deadline_ns: now_ns,
+                        alloc_compute_ns,
+                        snapshot_regs: 0,
+                        snapshot_stages: 0,
+                    };
+                    self.pending = Some(pending);
+                    return self.finish_pending(runtime, now_ns + alloc_compute_ns);
+                }
+                // Quiesce the victims and ask them to snapshot. The
+                // snapshot covers their *old* regions, which stay
+                // readable until the tables flip (consistent snapshot,
+                // Section 4.3).
+                let notify_ns = now_ns + alloc_compute_ns + self.cost.control_fixed_ns;
+                let mut acts = Vec::new();
+                let mut snapshot_regs = 0u64;
+                let mut snapshot_stages = 0usize;
+                for (&vfid, stage_moves) in &victims {
+                    runtime.deactivate(vfid);
+                    snapshot_stages = snapshot_stages.max(stage_moves.len());
+                    for m in stage_moves {
+                        snapshot_regs +=
+                            u64::from(m.old.len) * u64::from(self.allocator.config().block_regs);
+                    }
+                    acts.push(ControllerAction::Deactivate {
+                        fid: vfid,
+                        at_ns: notify_ns,
+                    });
+                }
+                self.pending = Some(PendingRealloc {
+                    waiting: victims.keys().copied().collect(),
+                    outcome,
+                    started_ns: now_ns,
+                    deadline_ns: notify_ns + self.cost.snapshot_timeout_ns,
+                    alloc_compute_ns,
+                    snapshot_regs,
+                    snapshot_stages,
+                });
+                acts
+            }
+        }
+    }
+
+    /// Apply the pending plan: update every affected table, clear the
+    /// newcomer's memory, reactivate victims, respond, report.
+    fn finish_pending(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        let Some(pending) = self.pending.take() else {
+            return Vec::new();
+        };
+        let PendingRealloc {
+            outcome,
+            waiting: _,
+            started_ns,
+            deadline_ns: _,
+            alloc_compute_ns,
+            snapshot_regs,
+            snapshot_stages,
+        } = pending;
+
+        // Victim tables go first: "the first application can resume
+        // operation immediately after state extraction, while the
+        // incoming one has to wait for the allocation to be applied"
+        // (Section 6.3 / Figure 10).
+        let victims = outcome.victims_by_fid();
+        let mut victim_entries = 0usize;
+        for &vfid in victims.keys() {
+            victim_entries += self.sync_app_tables(runtime, vfid);
+        }
+        let victims_done_ns = now_ns + self.cost.table_update_ns(victim_entries, 0);
+
+        // Newcomer tables: protection ranges plus the per-stage
+        // instruction-decode entries its FID needs in every logical
+        // stage its (padded) program traverses — the bulk of the
+        // Section 6.2 "time taken to update table entries".
+        let mut newcomer_entries =
+            self.cost.decode_entries_per_stage * usize::from(outcome.mutant.padded_len);
+        for p in &outcome.placements {
+            let region = to_region(p.range, self.allocator.config().block_regs);
+            let (rm, ins) = runtime.install_region(p.stage, outcome.fid, region);
+            runtime.clear_region(p.stage, region);
+            newcomer_entries += rm + ins;
+        }
+        self.regions.insert(
+            outcome.fid,
+            outcome
+                .placements
+                .iter()
+                .map(|p| (p.stage, to_region(p.range, self.allocator.config().block_regs)))
+                .collect(),
+        );
+
+        let table_update_ns = self
+            .cost
+            .table_update_ns(victim_entries + newcomer_entries, 0);
+        let snapshot_wait_ns = self
+            .cost
+            .snapshot_ns(snapshot_regs, snapshot_stages)
+            .max(now_ns.saturating_sub(started_ns + alloc_compute_ns));
+        let done_ns = now_ns + table_update_ns;
+
+        let mut acts = Vec::new();
+        for &vfid in victims.keys() {
+            runtime.reactivate(vfid);
+            acts.push(ControllerAction::Respond {
+                fid: vfid,
+                regions: self.regions.get(&vfid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: victims_done_ns,
+            });
+            acts.push(ControllerAction::Reactivate {
+                fid: vfid,
+                at_ns: victims_done_ns,
+            });
+        }
+        acts.push(ControllerAction::Respond {
+            fid: outcome.fid,
+            regions: self.regions.get(&outcome.fid).cloned().unwrap_or_default(),
+            failed: false,
+            at_ns: done_ns,
+        });
+        acts.push(ControllerAction::Report(ProvisioningReport {
+            fid: outcome.fid,
+            alloc_compute_ns,
+            table_update_ns,
+            snapshot_wait_ns,
+            total_ns: done_ns.saturating_sub(started_ns),
+            victim_count: victims.len(),
+            failed: false,
+        }));
+        acts
+    }
+
+    /// Re-install an application's protection entries from the
+    /// allocator's current placements; returns table entries touched.
+    fn sync_app_tables(&mut self, runtime: &mut SwitchRuntime, fid: Fid) -> usize {
+        let block_regs = self.allocator.config().block_regs;
+        let placements = self.allocator.placements_of(fid);
+        let mut entries = 0usize;
+        // Remove entries in stages the app no longer occupies.
+        for stage in runtime.protection().stages_of(fid) {
+            if !placements.iter().any(|p| p.stage == stage) {
+                entries += runtime.remove_region(stage, fid);
+            }
+        }
+        let mut regions = Vec::with_capacity(placements.len());
+        for p in &placements {
+            let region = to_region(p.range, block_regs);
+            let (rm, ins) = runtime.install_region(p.stage, fid, region);
+            entries += rm + ins;
+            regions.push((p.stage, region));
+        }
+        self.regions.insert(fid, regions);
+        entries
+    }
+
+    /// Admit queued requests now that the controller is idle again.
+    fn drain_queue(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        let mut acts = Vec::new();
+        while self.pending.is_none() {
+            let Some(q) = self.queue.pop_front() else { break };
+            let _ = q.arrived_ns;
+            acts.extend(self.start_admission(runtime, q.fid, q.pattern, q.policy, now_ns));
+        }
+        acts
+    }
+}
+
+fn to_region(range: crate::types::BlockRange, block_regs: u32) -> RegionEntry {
+    let (start, end) = range.to_registers(block_regs);
+    RegionEntry { start, end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SwitchRuntime, Controller) {
+        let cfg = SwitchConfig::default();
+        (
+            SwitchRuntime::new(cfg),
+            Controller::new(&cfg, Scheme::WorstFit),
+        )
+    }
+
+    fn cache_pattern() -> AccessPattern {
+        AccessPattern {
+            min_positions: vec![2, 5, 9],
+            demands: vec![0, 0, 0],
+            prog_len: 11,
+            elastic: true,
+            ingress_positions: vec![8],
+            aliases: vec![],
+        }
+    }
+
+    fn respond_of(acts: &[ControllerAction], fid: Fid) -> Option<&ControllerAction> {
+        acts.iter().find(
+            |a| matches!(a, ControllerAction::Respond { fid: f, .. } if *f == fid),
+        )
+    }
+
+    #[test]
+    fn undisputed_admission_responds_immediately() {
+        let (mut rt, mut ctl) = setup();
+        let acts = ctl.handle_request(&mut rt, 1, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let resp = respond_of(&acts, 1).expect("a response");
+        if let ControllerAction::Respond { regions, failed, .. } = resp {
+            assert!(!failed);
+            assert_eq!(regions.len(), 3);
+            // Protection tables are live.
+            for (stage, region) in regions {
+                assert!(rt.protection().lookup(*stage, 1).is_some());
+                assert_eq!(region.len(), 256 * 256);
+            }
+        }
+        assert!(!ctl.busy());
+        // A report came with it.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ControllerAction::Report(r) if !r.failed && r.victim_count == 0)));
+    }
+
+    #[test]
+    fn reallocation_runs_the_snapshot_protocol() {
+        let (mut rt, mut ctl) = setup();
+        for fid in 1..=3 {
+            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        }
+        // The 4th cache shares stages with an incumbent.
+        let acts = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 1000);
+        let deactivated: Vec<Fid> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ControllerAction::Deactivate { fid, .. } => Some(*fid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deactivated.len(), 1);
+        let victim = deactivated[0];
+        assert!(ctl.busy());
+        assert!(rt.is_deactivated(victim));
+        assert!(respond_of(&acts, 4).is_none(), "no response until snapshot");
+
+        // Victim completes its snapshot.
+        let acts2 = ctl.handle_snapshot_complete(&mut rt, victim, 2000);
+        assert!(!ctl.busy());
+        assert!(!rt.is_deactivated(victim));
+        assert!(respond_of(&acts2, 4).is_some());
+        assert!(respond_of(&acts2, victim).is_some(), "victim learns new regions");
+        assert!(acts2
+            .iter()
+            .any(|a| matches!(a, ControllerAction::Reactivate { fid, .. } if *fid == victim)));
+        let report = acts2
+            .iter()
+            .find_map(|a| match a {
+                ControllerAction::Report(r) => Some(*r),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(report.victim_count, 1);
+        assert!(report.table_update_ns > 0);
+        assert!(!report.failed);
+    }
+
+    #[test]
+    fn requests_serialize_behind_a_pending_reallocation() {
+        let (mut rt, mut ctl) = setup();
+        for fid in 1..=3 {
+            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        }
+        let acts4 = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let victim = acts4
+            .iter()
+            .find_map(|a| match a {
+                ControllerAction::Deactivate { fid, .. } => Some(*fid),
+                _ => None,
+            })
+            .unwrap();
+        // A 5th request arrives while busy: queued, no actions.
+        let acts5 = ctl.handle_request(&mut rt, 5, cache_pattern(), MutantPolicy::MostConstrained, 10);
+        assert!(acts5.is_empty());
+        assert_eq!(ctl.queue_len(), 1);
+        // Snapshot completes; the queued request is then admitted (it
+        // may itself trigger a new reallocation round).
+        let acts = ctl.handle_snapshot_complete(&mut rt, victim, 2000);
+        assert!(respond_of(&acts, 4).is_some());
+        let progressed = respond_of(&acts, 5).is_some()
+            || acts
+                .iter()
+                .any(|a| matches!(a, ControllerAction::Deactivate { .. }));
+        assert!(progressed, "queued request must start processing");
+        assert_eq!(ctl.queue_len(), 0);
+    }
+
+    #[test]
+    fn unresponsive_victims_time_out() {
+        let (mut rt, mut ctl) = setup();
+        for fid in 1..=3 {
+            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        }
+        let acts = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        assert!(ctl.busy());
+        let victim = acts
+            .iter()
+            .find_map(|a| match a {
+                ControllerAction::Deactivate { fid, .. } => Some(*fid),
+                _ => None,
+            })
+            .unwrap();
+        // Nothing happens before the deadline.
+        assert!(ctl.poll(&mut rt, 1_000_000).is_empty());
+        // Past the deadline the controller forces completion.
+        let timeout = SwitchConfig::default().snapshot_timeout_ns + 10_000_000_000;
+        let acts = ctl.poll(&mut rt, timeout);
+        assert!(!ctl.busy());
+        assert!(respond_of(&acts, 4).is_some());
+        assert!(!rt.is_deactivated(victim));
+    }
+
+    #[test]
+    fn failed_admission_is_brief_and_reported() {
+        let mut cfg = SwitchConfig::default();
+        cfg.regs_per_stage = 512; // 2 blocks per stage
+        let mut rt = SwitchRuntime::new(cfg);
+        let mut ctl = Controller::new(&cfg, Scheme::WorstFit);
+        // Fill the pipeline with inelastic tenants until failure.
+        let inelastic = AccessPattern {
+            min_positions: vec![2, 5, 9],
+            demands: vec![1, 1, 1],
+            prog_len: 11,
+            elastic: false,
+            ingress_positions: vec![8],
+            aliases: vec![],
+        };
+        let mut failed = false;
+        for fid in 0..100 {
+            let acts =
+                ctl.handle_request(&mut rt, fid, inelastic.clone(), MutantPolicy::MostConstrained, 0);
+            if let Some(ControllerAction::Respond { failed: f, .. }) = respond_of(&acts, fid) {
+                if *f {
+                    failed = true;
+                    let rep = acts
+                        .iter()
+                        .find_map(|a| match a {
+                            ControllerAction::Report(r) => Some(*r),
+                            _ => None,
+                        })
+                        .unwrap();
+                    assert!(rep.failed);
+                    assert_eq!(rep.table_update_ns, 0);
+                    break;
+                }
+            }
+        }
+        assert!(failed, "pool must eventually fill");
+    }
+
+    #[test]
+    fn deallocation_grows_survivors_and_updates_tables() {
+        let (mut rt, mut ctl) = setup();
+        for fid in 1..=3 {
+            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        }
+        let acts4 = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let victim = acts4
+            .iter()
+            .find_map(|a| match a {
+                ControllerAction::Deactivate { fid, .. } => Some(*fid),
+                _ => None,
+            })
+            .unwrap();
+        ctl.handle_snapshot_complete(&mut rt, victim, 100);
+        // Now release the 4th; the victim grows back to full stages.
+        let acts = ctl.handle_deallocate(&mut rt, 4, 200).unwrap();
+        assert!(respond_of(&acts, victim).is_some());
+        assert_eq!(ctl.allocator().app_blocks(victim), 3 * 256);
+        // FID 4 has no protection entries anywhere.
+        assert!(rt.protection().stages_of(4).is_empty());
+        // Unknown FID errors.
+        assert!(ctl.handle_deallocate(&mut rt, 99, 300).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the runtime, allocator and controller.
+
+use crate::types::Fid;
+use core::fmt;
+
+/// Why an admission attempt failed (Section 4.2's allocation search
+/// found no feasible candidate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// No mutant satisfies the position constraints at all (program too
+    /// long / gaps unsatisfiable for this pipeline).
+    NoFeasibleMutant,
+    /// Every feasible mutant fails on memory: some required stage cannot
+    /// supply the demanded blocks even after squeezing elastic tenants.
+    OutOfMemory,
+    /// Every feasible mutant fails on protection-TCAM capacity — the
+    /// Section 3.1 bottleneck on the number of distinct address ranges.
+    OutOfTcam,
+    /// The FID is already admitted.
+    DuplicateFid(Fid),
+    /// The request itself is malformed (no accesses, gaps inconsistent).
+    BadRequest,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::NoFeasibleMutant => write!(f, "no feasible mutant for this pipeline"),
+            AdmitError::OutOfMemory => write!(f, "insufficient register memory in required stages"),
+            AdmitError::OutOfTcam => write!(f, "protection TCAM exhausted"),
+            AdmitError::DuplicateFid(fid) => write!(f, "FID {fid} already admitted"),
+            AdmitError::BadRequest => write!(f, "malformed allocation request"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Errors from the runtime/controller layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Underlying wire-format error.
+    Wire(activermt_isa::Error),
+    /// The FID is unknown to the switch.
+    UnknownFid(Fid),
+    /// Admission failed.
+    Admit(AdmitError),
+    /// The controller is mid-reallocation and cannot accept this
+    /// operation yet.
+    Busy,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Wire(e) => write!(f, "wire error: {e}"),
+            CoreError::UnknownFid(fid) => write!(f, "unknown FID {fid}"),
+            CoreError::Admit(e) => write!(f, "admission failed: {e}"),
+            CoreError::Busy => write!(f, "controller busy with a pending reallocation"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<activermt_isa::Error> for CoreError {
+    fn from(e: activermt_isa::Error) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+impl From<AdmitError> for CoreError {
+    fn from(e: AdmitError) -> Self {
+        CoreError::Admit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = AdmitError::OutOfTcam.into();
+        assert_eq!(e, CoreError::Admit(AdmitError::OutOfTcam));
+        assert!(e.to_string().contains("TCAM"));
+        let w: CoreError = activermt_isa::Error::UnknownOpcode(0xEE).into();
+        assert!(w.to_string().contains("0xee"));
+    }
+}

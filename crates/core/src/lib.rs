@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # activermt-core
+//!
+//! The ActiveRMT runtime, controller and dynamic memory allocator — the
+//! paper's primary contribution, independent of any client or network.
+//!
+//! Three layers:
+//!
+//! * [`runtime`] — the data plane: a shared interpreter (the Rust
+//!   analogue of the paper's ~10K-line P4 program) that parses active
+//!   packets, enforces per-FID memory protection and executes one
+//!   instruction per logical stage on the `activermt-rmt` substrate,
+//!   recirculating as needed (Section 3).
+//! * [`alloc`] — the memory manager: access-pattern constraints, mutant
+//!   enumeration, the systematic feasibility search with worst-fit /
+//!   best-fit / first-fit / realloc-min schemes, progressive-filling
+//!   fairness and block-granularity pools (Section 4).
+//! * [`controller`] — the control plane: FCFS admission, allocation
+//!   responses, the snapshot/deactivate/reactivate reallocation protocol
+//!   with client timeouts, and the provisioning-time cost model
+//!   (Sections 4.3 and 6.2).
+
+pub mod alloc;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod runtime;
+pub mod types;
+
+pub use alloc::{AccessPattern, AllocOutcome, Allocator, MutantPolicy, Scheme};
+pub use config::SwitchConfig;
+pub use controller::{Controller, ControllerAction};
+pub use runtime::{OutputAction, SwitchOutput, SwitchRuntime};
+
+pub use error::{AdmitError, CoreError};
+
+pub use types::{BlockRange, Fid};

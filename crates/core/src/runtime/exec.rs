@@ -1,0 +1,532 @@
+//! The execution driver: passes, recirculation and packet rewriting.
+//!
+//! "In ActiveRMT, program instructions are executed at line-rate
+//! directly on RMT stages one-by-one as the packet flows through the
+//! switch pipeline: the order of instructions dictates the stage in
+//! which each instruction will execute." (Section 1)
+//!
+//! [`SwitchRuntime::process_frame`] is the whole data plane: parse the
+//! active headers into a PHV, run one instruction per logical stage,
+//! recirculate while instructions remain (bounded by the recirculation
+//! cap), let the traffic manager decide the packet's fate, and write
+//! results (args, flags, executed bits) back into the frame.
+//!
+//! ## Latency model
+//!
+//! Figure 8b: "each pass through a pipeline adds approximately 0.5 µs",
+//! where *a pipeline* is one half of the switch (ingress or egress).
+//! We count pipeline-halves: a packet that completes within ingress and
+//! turns around (RTS) pays one half; a full transit pays two; each
+//! recirculation adds two more.
+
+use crate::config::SwitchConfig;
+use crate::runtime::interp;
+use crate::runtime::protect::ProtectionTables;
+use crate::runtime::recirc::RecircLimiter;
+use crate::types::Fid;
+use activermt_isa::constants::*;
+use activermt_isa::wire::{
+    program_packet_layout, ActiveHeader, EthernetFrame, PacketType, RegionEntry,
+};
+use activermt_isa::{Instruction, Opcode};
+use activermt_rmt::hash::Crc32;
+use activermt_rmt::pipeline::Pipeline;
+use activermt_rmt::traffic::{TrafficManager, Verdict};
+use activermt_rmt::Phv;
+use std::collections::HashSet;
+
+/// Where an output frame should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputAction {
+    /// Toward the frame's (possibly overridden) destination.
+    Forward,
+    /// Back to the source (RTS turned the packet around).
+    ToSender,
+}
+
+/// One frame leaving the switch.
+#[derive(Debug, Clone)]
+pub struct SwitchOutput {
+    /// The rewritten frame.
+    pub frame: Vec<u8>,
+    /// Forwarding verdict.
+    pub action: OutputAction,
+    /// Switch-internal latency in nanoseconds (see the latency model).
+    pub latency_ns: u64,
+    /// Pipeline passes the packet made.
+    pub passes: u32,
+    /// A SET_DST override, if the program installed one.
+    pub dst_override: Option<u32>,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Frames processed.
+    pub frames: u64,
+    /// Frames carrying active programs.
+    pub active_frames: u64,
+    /// Frames passed through untouched because their FID was quiesced
+    /// for reallocation (Section 4.3).
+    pub deactivated_passthroughs: u64,
+    /// Frames dropped due to protection violations.
+    pub violation_drops: u64,
+    /// Non-active frames forwarded untouched.
+    pub transparent_forwards: u64,
+    /// Frames dropped for executing privileged opcodes without
+    /// privilege (Section 7.2).
+    pub privilege_drops: u64,
+    /// Recirculations denied by the per-service budget (Section 7.2's
+    /// fairness controller).
+    pub recirc_budget_drops: u64,
+}
+
+/// The data-plane half of the ActiveRMT switch.
+#[derive(Debug, Clone)]
+pub struct SwitchRuntime {
+    config: SwitchConfig,
+    pipeline: Pipeline,
+    protect: ProtectionTables,
+    traffic: TrafficManager,
+    crc: Crc32,
+    deactivated: HashSet<Fid>,
+    privileged: HashSet<Fid>,
+    recirc_limiter: Option<RecircLimiter>,
+    stats: RuntimeStats,
+}
+
+impl SwitchRuntime {
+    /// Bring up the runtime on a fresh pipeline.
+    pub fn new(config: SwitchConfig) -> SwitchRuntime {
+        SwitchRuntime {
+            pipeline: Pipeline::new(config.pipeline_config()),
+            protect: ProtectionTables::new(config.num_stages),
+            traffic: TrafficManager::new(config.pass_latency_ns, config.max_recirculations),
+            crc: Crc32::new(),
+            deactivated: HashSet::new(),
+            privileged: HashSet::new(),
+            recirc_limiter: config
+                .recirc_budget
+                .map(|(rate, burst)| RecircLimiter::new(rate, burst)),
+            stats: RuntimeStats::default(),
+            config,
+        }
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// The underlying pipeline (telemetry, tests).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Traffic-manager statistics.
+    pub fn traffic_stats(&self) -> activermt_rmt::traffic::TrafficStats {
+        self.traffic.stats()
+    }
+
+    // ----- control-plane hooks (used by the Controller) -----
+
+    /// Install a protection/translation entry; returns
+    /// `(entries_removed, entries_installed)`.
+    pub fn install_region(&mut self, stage: usize, fid: Fid, region: RegionEntry) -> (usize, usize) {
+        let (rm, ins) = self.protect.install(stage, fid, region);
+        let tcam = &mut self.pipeline.stage_mut(stage).tcam;
+        tcam.remove(rm);
+        let ok = tcam.insert(ins);
+        debug_assert!(ok, "allocator must not oversubscribe the TCAM");
+        (rm, ins)
+    }
+
+    /// Remove `fid`'s entry in `stage`; returns entries removed.
+    pub fn remove_region(&mut self, stage: usize, fid: Fid) -> usize {
+        let rm = self.protect.remove(stage, fid);
+        self.pipeline.stage_mut(stage).tcam.remove(rm);
+        rm
+    }
+
+    /// Zero the registers of a region (allocation-time initialization).
+    pub fn clear_region(&mut self, stage: usize, region: RegionEntry) {
+        self.pipeline
+            .stage_mut(stage)
+            .registers
+            .clear_range(region.start, region.end);
+    }
+
+    /// Control-plane register read (BFRT-style; Section 4.3's
+    /// control-plane extraction path).
+    pub fn reg_read(&self, stage: usize, index: u32) -> Option<u32> {
+        self.pipeline.stage(stage).registers.peek(index)
+    }
+
+    /// Control-plane register write.
+    pub fn reg_write(&mut self, stage: usize, index: u32, value: u32) -> bool {
+        self.pipeline.stage_mut(stage).registers.poke(index, value)
+    }
+
+    /// Grant `fid` the privilege level required for FORK / SET_DST
+    /// when `SwitchConfig::enforce_privileges` is on (Section 7.2).
+    pub fn grant_privilege(&mut self, fid: Fid) {
+        self.privileged.insert(fid);
+    }
+
+    /// Revoke `fid`'s privilege.
+    pub fn revoke_privilege(&mut self, fid: Fid) {
+        self.privileged.remove(&fid);
+        if let Some(l) = self.recirc_limiter.as_mut() {
+            l.forget(fid);
+        }
+    }
+
+    /// Recirculation-budget denials so far (Section 7.2 limiter).
+    pub fn recirc_denials(&self) -> u64 {
+        self.recirc_limiter
+            .as_ref()
+            .map(|l| l.total_denied())
+            .unwrap_or(0)
+    }
+
+    /// Quiesce a FID during reallocation: its program packets pass
+    /// through unprocessed (Section 4.3).
+    pub fn deactivate(&mut self, fid: Fid) {
+        self.deactivated.insert(fid);
+    }
+
+    /// Resume processing for a FID.
+    pub fn reactivate(&mut self, fid: Fid) {
+        self.deactivated.remove(&fid);
+    }
+
+    /// Is the FID currently quiesced?
+    pub fn is_deactivated(&self, fid: Fid) -> bool {
+        self.deactivated.contains(&fid)
+    }
+
+    /// The protection tables (tests, controller bookkeeping).
+    pub fn protection(&self) -> &ProtectionTables {
+        &self.protect
+    }
+
+    // ----- the data plane -----
+
+    /// Process one frame through the switch, producing zero (dropped),
+    /// one, or two (FORK) output frames. Uses virtual time 0 (for
+    /// time-dependent policies use [`SwitchRuntime::process_frame_at`]).
+    pub fn process_frame(&mut self, frame: Vec<u8>) -> Vec<SwitchOutput> {
+        self.process_frame_at(0, frame)
+    }
+
+    /// Process one frame at virtual time `now_ns`.
+    pub fn process_frame_at(&mut self, now_ns: u64, mut frame: Vec<u8>) -> Vec<SwitchOutput> {
+        self.stats.frames += 1;
+        let half = self.config.pass_latency_ns;
+
+        // Non-active traffic is forwarded untouched: the runtime
+        // provides baseline L2 forwarding (Section 7.1).
+        let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            return Vec::new();
+        };
+        if eth.ethertype() != ACTIVE_ETHERTYPE {
+            self.stats.transparent_forwards += 1;
+            self.traffic.account(Verdict::Forward);
+            return vec![SwitchOutput {
+                frame,
+                action: OutputAction::Forward,
+                latency_ns: 2 * half,
+                passes: 1,
+                dst_override: None,
+            }];
+        }
+
+        let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
+            Ok(h) => h,
+            Err(_) => return Vec::new(), // malformed: drop
+        };
+        let fid = hdr.fid();
+        let ptype = hdr.flags().packet_type();
+        if ptype != PacketType::Program {
+            // Allocation requests/responses and control packets are not
+            // executed in the data plane; the switch node hands them to
+            // the controller before calling us. Anything reaching here
+            // is simply forwarded (e.g. a response transiting back to
+            // the client).
+            self.traffic.account(Verdict::Forward);
+            return vec![SwitchOutput {
+                frame,
+                action: OutputAction::Forward,
+                latency_ns: 2 * half,
+                passes: 1,
+                dst_override: None,
+            }];
+        }
+
+        self.stats.active_frames += 1;
+        if self.deactivated.contains(&fid) {
+            // Section 4.3: "deactivates their packet programs ... for
+            // the duration of the reallocation process".
+            self.stats.deactivated_passthroughs += 1;
+            let mut h = ActiveHeader::new_unchecked(&mut frame[ETHERNET_HEADER_LEN..]);
+            let mut flags = h.flags();
+            flags.set_deactivated(true);
+            h.set_flags(flags);
+            self.traffic.account(Verdict::Forward);
+            return vec![SwitchOutput {
+                frame,
+                action: OutputAction::Forward,
+                latency_ns: 2 * half,
+                passes: 1,
+                dst_override: None,
+            }];
+        }
+
+        // A program that already ran to completion transits the switch
+        // like ordinary traffic (e.g. a server-echoed reply on its way
+        // back to the client): the parser sees the `complete` flag and
+        // the executed bits and skips interpretation entirely.
+        if hdr.flags().complete() {
+            self.traffic.account(Verdict::Forward);
+            return vec![SwitchOutput {
+                frame,
+                action: OutputAction::Forward,
+                latency_ns: 2 * half,
+                passes: 1,
+                dst_override: None,
+            }];
+        }
+
+        let Ok(layout) = program_packet_layout(&frame) else {
+            return Vec::new(); // malformed program packet: drop
+        };
+
+        // Parse instructions and arguments into the PHV.
+        let instrs: Vec<Instruction> = frame[layout.instr_off..layout.payload_off]
+            .chunks_exact(2)
+            .filter_map(|c| Instruction::from_bytes(c[0], c[1]).ok())
+            .take_while(|i| i.opcode != Opcode::EOF)
+            .collect();
+        let mut args = [0u32; NUM_ARGS];
+        for (i, a) in args.iter_mut().enumerate() {
+            let off = layout.args_off + i * 4;
+            *a = u32::from_be_bytes([frame[off], frame[off + 1], frame[off + 2], frame[off + 3]]);
+        }
+        let seq = hdr.seq();
+        let mut phv = Phv::new(fid, seq, args);
+        phv.recirc_count = hdr.recirc_count();
+        // The flow ("5-tuple") digest for COPY_HASHDATA_5TUPLE: L2
+        // addresses plus the flow-identity bytes of the payload. Like a
+        // real parser, it reads fixed header offsets: payload byte 0 is
+        // the transport-flags byte (SYN vs. data) and is excluded, so
+        // every packet of a flow digests identically — which Cheetah's
+        // cookie algebra requires (Appendix B.2).
+        let head_start = (layout.payload_off + 1).min(frame.len());
+        let head_end = (head_start + 8).min(frame.len());
+        phv.five_tuple = self.crc.checksum(&frame[..12])
+            ^ self.crc.checksum(&frame[head_start..head_end]);
+
+        // Resume after any instructions that already executed (a packet
+        // re-entering the switch mid-program), restoring the branch
+        // state persisted in the header.
+        phv.disabled = hdr.flags().disabled();
+        phv.rts_done = hdr.flags().rts_done();
+        if phv.disabled {
+            phv.pending_branch = Some((hdr.aux() & 0x3F) as u8);
+        }
+
+        // ----- the pass loop -----
+        let n = self.config.num_stages;
+        let mut pc = instrs
+            .iter()
+            .take_while(|i| i.flags.executed)
+            .count();
+        let mut passes = 0u32;
+        let mut halves = 0u64;
+        let mut rts_stage: Option<usize> = None;
+        'outer: loop {
+            passes += 1;
+            let mut last_stage_used = 0usize;
+            for stage_idx in 0..n {
+                if pc >= instrs.len() || !phv.executing() {
+                    break;
+                }
+                last_stage_used = stage_idx;
+                let ins = instrs[pc];
+                // Memory instructions check the *local* region; address
+                // translation resolves the next region at or after this
+                // stage (Section 3.2; see ProtectionTables).
+                let prot = if matches!(ins.opcode, Opcode::ADDR_MASK | Opcode::ADDR_OFFSET) {
+                    self.protect.translation_for(stage_idx, fid)
+                } else {
+                    self.protect.lookup(stage_idx, fid).copied()
+                };
+                if self.config.enforce_privileges
+                    && ins.opcode.requires_privilege()
+                    && !self.privileged.contains(&fid)
+                    && !phv.disabled
+                {
+                    // Unprivileged use of a gated opcode: treat like a
+                    // protection violation (Section 7.2).
+                    self.stats.privilege_drops += 1;
+                    phv.violation = true;
+                    self.pipeline.stage_mut(stage_idx).stats.violations += 1;
+                    pc += 1;
+                    continue;
+                }
+                if phv.disabled {
+                    if ins.label().is_some() && ins.label() == phv.pending_branch {
+                        // "The flag is reset once this label is
+                        // encountered" — and the target executes.
+                        phv.disabled = false;
+                        phv.pending_branch = None;
+                        interp::execute(
+                            &mut phv,
+                            ins,
+                            self.pipeline.stage_mut(stage_idx),
+                            prot.as_ref(),
+                            &self.crc,
+                        );
+                    } else {
+                        self.pipeline.stage_mut(stage_idx).stats.skipped += 1;
+                    }
+                } else {
+                    interp::execute(
+                        &mut phv,
+                        ins,
+                        self.pipeline.stage_mut(stage_idx),
+                        prot.as_ref(),
+                        &self.crc,
+                    );
+                }
+                if phv.rts && rts_stage.is_none() {
+                    rts_stage = Some(stage_idx);
+                }
+                pc += 1;
+            }
+            // Latency for this pass: one half if we never left ingress
+            // and will turn around, two otherwise.
+            let done = pc >= instrs.len() || !phv.executing();
+            let ingress_only = last_stage_used < self.config.ingress_stages;
+            let turns_around = phv.rts_done && done;
+            halves += if ingress_only && turns_around { 1 } else { 2 };
+            if done {
+                break 'outer;
+            }
+            // Recirculate to continue execution.
+            if !self.traffic.may_recirculate(phv.recirc_count) {
+                self.traffic.account_cap_drop();
+                phv.drop = true;
+                break 'outer;
+            }
+            if let Some(l) = self.recirc_limiter.as_mut() {
+                if !l.allow(fid, now_ns) {
+                    self.stats.recirc_budget_drops += 1;
+                    phv.drop = true;
+                    break 'outer;
+                }
+            }
+            phv.recirc_count = phv.recirc_count.saturating_add(1);
+            self.traffic.account(Verdict::Recirculate);
+        }
+
+        // RTS fired in egress: ports cannot change there; one extra
+        // recirculation brings the packet back to ingress (Section 3.1).
+        if let Some(s) = rts_stage {
+            if s >= self.config.ingress_stages {
+                let budget_ok = match self.recirc_limiter.as_mut() {
+                    Some(l) => l.allow(fid, now_ns),
+                    None => true,
+                };
+                if !budget_ok {
+                    self.stats.recirc_budget_drops += 1;
+                    phv.drop = true;
+                } else if self.traffic.may_recirculate(phv.recirc_count) {
+                    phv.recirc_count = phv.recirc_count.saturating_add(1);
+                    self.traffic.account(Verdict::Recirculate);
+                    passes += 1;
+                    halves += 2;
+                } else {
+                    self.traffic.account_cap_drop();
+                    phv.drop = true;
+                }
+            }
+        }
+
+        if phv.violation {
+            self.stats.violation_drops += 1;
+        }
+        if phv.drop || phv.violation {
+            self.traffic.account(Verdict::Drop);
+            return Vec::new();
+        }
+
+        // ----- write results back into the frame -----
+        for (i, a) in phv.args.iter().enumerate() {
+            frame[layout.args_off + i * 4..layout.args_off + i * 4 + 4]
+                .copy_from_slice(&a.to_be_bytes());
+        }
+        for (k, chunk) in frame[layout.instr_off..layout.payload_off]
+            .chunks_exact_mut(2)
+            .enumerate()
+        {
+            if k < pc {
+                let mut fl = activermt_isa::InstrFlags::from_byte(chunk[1]);
+                fl.executed = true;
+                chunk[1] = fl.to_byte();
+            }
+        }
+        {
+            let mut h = ActiveHeader::new_unchecked(&mut frame[ETHERNET_HEADER_LEN..]);
+            let mut flags = h.flags();
+            flags.set_complete(phv.complete);
+            flags.set_disabled(phv.disabled);
+            flags.set_rts_done(phv.rts_done);
+            flags.set_from_switch(phv.rts_done);
+            h.set_flags(flags);
+            h.set_recirc_count(phv.recirc_count);
+            // Persist any pending branch label for a future re-entry.
+            h.set_aux(u16::from(phv.pending_branch.unwrap_or(0)));
+        }
+
+        let latency_ns = halves * half;
+        let mut outputs = Vec::with_capacity(2);
+        if phv.fork {
+            // The clone is forwarded toward the original destination
+            // with the state at end of execution (a simplification of
+            // the hardware's mid-pipeline clone; see DESIGN.md). Its
+            // recirculation is charged to the traffic manager.
+            self.traffic.account_clone();
+            self.traffic.account(Verdict::Recirculate);
+            outputs.push(SwitchOutput {
+                frame: frame.clone(),
+                action: OutputAction::Forward,
+                latency_ns: latency_ns + 2 * half,
+                passes: passes + 1,
+                dst_override: phv.dst_override,
+            });
+        }
+        let action = if phv.rts_done {
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.swap_addresses();
+            self.traffic.account(Verdict::ReturnToSender);
+            OutputAction::ToSender
+        } else {
+            self.traffic.account(Verdict::Forward);
+            OutputAction::Forward
+        };
+        outputs.push(SwitchOutput {
+            frame,
+            action,
+            latency_ns,
+            passes,
+            dst_override: phv.dst_override,
+        });
+        outputs
+    }
+}

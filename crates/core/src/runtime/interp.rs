@@ -1,0 +1,424 @@
+//! Per-instruction semantics (Appendix A).
+//!
+//! One call to [`execute`] models one match-action stage processing one
+//! instruction: the stage's match table has already decoded the opcode
+//! (exact match in SRAM) and located the FID's protection entry (range
+//! match in TCAM); the action invokes only primitives whose operands
+//! live in the PHV, exactly as Section 3.1 requires for runtime
+//! programmability.
+//!
+//! Memory instructions perform at most one read-modify-write on the
+//! stage's register array, and only after the protection check passes;
+//! a MAR outside the FID's region marks the packet as a violation and
+//! the traffic manager drops it.
+
+use crate::runtime::protect::ProtEntry;
+use activermt_isa::{Instruction, Opcode};
+use activermt_rmt::hash::Crc32;
+use activermt_rmt::pipeline::Stage;
+use activermt_rmt::register::SaluOp;
+use activermt_rmt::Phv;
+
+/// Execute `ins` for `phv` on `stage`.
+///
+/// `prot` is the FID's protection/translation entry for this stage (if
+/// any); `is_ingress` says whether the stage lies in the ingress
+/// pipeline (RTS executed in egress forces a recirculation, which the
+/// caller detects via [`Phv::rts`] + the stage index).
+pub fn execute(
+    phv: &mut Phv,
+    ins: Instruction,
+    stage: &mut Stage,
+    prot: Option<&ProtEntry>,
+    crc: &Crc32,
+) {
+    use Opcode::*;
+    stage.stats.instructions += 1;
+    match ins.opcode {
+        // ----- Special -----
+        EOF => phv.complete = true,
+        NOP => {}
+        ADDR_MASK => match prot {
+            Some(e) => phv.mar &= e.mask,
+            None => fault(phv, stage),
+        },
+        ADDR_OFFSET => match prot {
+            Some(e) => phv.mar = phv.mar.wrapping_add(e.offset),
+            None => fault(phv, stage),
+        },
+        // The 6-bit selector in the flag byte picks the hash function;
+        // the same selector computes the same function in every stage
+        // (see `activermt_rmt::hash::selector_seed`).
+        HASH => {
+            phv.mar = crc.hash_words(
+                activermt_rmt::hash::selector_seed(ins.flags.operand),
+                phv.hash_input(),
+            )
+        }
+
+        // ----- Data copying -----
+        MBR_LOAD => phv.mbr = phv.args[arg(ins)],
+        MBR_STORE => phv.args[arg(ins)] = phv.mbr,
+        MBR2_LOAD => phv.mbr2 = phv.args[arg(ins)],
+        MAR_LOAD => phv.mar = phv.args[arg(ins)],
+        COPY_MBR2_MBR => phv.mbr2 = phv.mbr,
+        COPY_MBR_MBR2 => phv.mbr = phv.mbr2,
+        COPY_MBR_MAR => phv.mbr = phv.mar,
+        COPY_MAR_MBR => phv.mar = phv.mbr,
+        COPY_HASHDATA_MBR => phv.push_hash_data(phv.mbr),
+        COPY_HASHDATA_MBR2 => phv.push_hash_data(phv.mbr2),
+        COPY_HASHDATA_5TUPLE => phv.push_hash_data(phv.five_tuple),
+
+        // ----- Data manipulation -----
+        MBR_ADD_MBR2 => phv.mbr = phv.mbr.wrapping_add(phv.mbr2),
+        MAR_ADD_MBR => phv.mar = phv.mar.wrapping_add(phv.mbr),
+        MAR_ADD_MBR2 => phv.mar = phv.mar.wrapping_add(phv.mbr2),
+        MAR_MBR_ADD_MBR2 => phv.mar = phv.mbr.wrapping_add(phv.mbr2),
+        MBR_SUBTRACT_MBR2 => phv.mbr = phv.mbr.wrapping_sub(phv.mbr2),
+        BIT_AND_MAR_MBR => phv.mar &= phv.mbr,
+        BIT_OR_MBR_MBR2 => phv.mbr |= phv.mbr2,
+        MBR_EQUALS_MBR2 => phv.mbr ^= phv.mbr2,
+        MBR_EQUALS_DATA_1 => phv.mbr ^= phv.args[0],
+        MBR_EQUALS_DATA_2 => phv.mbr ^= phv.args[1],
+        MAX => phv.mbr = phv.mbr.max(phv.mbr2),
+        MIN => phv.mbr = phv.mbr.min(phv.mbr2),
+        REVMIN => phv.mbr2 = phv.mbr.min(phv.mbr2),
+        SWAP_MBR_MBR2 => core::mem::swap(&mut phv.mbr, &mut phv.mbr2),
+        MBR_NOT => phv.mbr = !phv.mbr,
+
+        // ----- Control flow -----
+        RETURN => phv.complete = true,
+        CRET => {
+            if phv.mbr != 0 {
+                phv.complete = true;
+            }
+        }
+        CRETI => {
+            if phv.mbr == 0 {
+                phv.complete = true;
+            }
+        }
+        CJUMP => {
+            if phv.mbr != 0 {
+                branch(phv, ins);
+            }
+        }
+        CJUMPI => {
+            if phv.mbr == 0 {
+                branch(phv, ins);
+            }
+        }
+        UJUMP => branch(phv, ins),
+
+        // ----- Memory access -----
+        MEM_WRITE => memory(phv, stage, prot, |p| SaluOp::Write(p.mbr)),
+        MEM_READ => memory(phv, stage, prot, |_| SaluOp::Read),
+        MEM_INCREMENT => memory(phv, stage, prot, |_| SaluOp::Increment),
+        MEM_MINREAD => memory(phv, stage, prot, |p| SaluOp::MinRead(p.mbr2)),
+        MEM_MINREADINC => memory(phv, stage, prot, |p| SaluOp::MinReadInc(p.mbr2)),
+
+        // ----- Forwarding -----
+        DROP => phv.drop = true,
+        FORK => phv.fork = true,
+        SET_DST => phv.dst_override = Some(phv.mbr),
+        RTS => rts(phv),
+        CRTS => {
+            if phv.mbr != 0 {
+                rts(phv);
+            }
+        }
+    }
+}
+
+fn arg(ins: Instruction) -> usize {
+    ins.arg_index().unwrap_or(0)
+}
+
+fn branch(phv: &mut Phv, ins: Instruction) {
+    phv.disabled = true;
+    phv.pending_branch = ins.branch_target();
+}
+
+fn rts(phv: &mut Phv) {
+    // Idempotent: a second RTS (e.g. after recirculation) is a no-op.
+    if !phv.rts_done {
+        phv.rts = true;
+        phv.rts_done = true;
+    }
+}
+
+fn fault(phv: &mut Phv, stage: &mut Stage) {
+    phv.violation = true;
+    stage.stats.violations += 1;
+}
+
+fn memory(phv: &mut Phv, stage: &mut Stage, prot: Option<&ProtEntry>, op: impl Fn(&Phv) -> SaluOp) {
+    let Some(entry) = prot else {
+        return fault(phv, stage);
+    };
+    if !entry.permits(phv.mar) {
+        return fault(phv, stage);
+    }
+    stage.stats.memory_ops += 1;
+    match stage.registers.execute(phv.mar, op(phv)) {
+        Some(res) => {
+            phv.mbr = res.out;
+            if let Some(m) = res.min_out {
+                phv.mbr2 = m;
+            }
+        }
+        None => fault(phv, stage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_isa::wire::RegionEntry;
+    use activermt_rmt::pipeline::{Pipeline, PipelineConfig};
+
+    fn stage() -> Stage {
+        let p = Pipeline::new(PipelineConfig {
+            num_stages: 1,
+            ingress_stages: 1,
+            regs_per_stage: 1024,
+            tcam_entries_per_stage: 64,
+            sram_entries_per_stage: 64,
+        });
+        p.stage(0).clone()
+    }
+
+    fn phv() -> Phv {
+        Phv::new(1, 0, [10, 20, 30, 40])
+    }
+
+    fn prot() -> ProtEntry {
+        ProtEntry::from_region(RegionEntry { start: 0, end: 1024 }).unwrap()
+    }
+
+    fn run(p: &mut Phv, s: &mut Stage, op: Opcode) {
+        let crc = Crc32::new();
+        execute(p, Instruction::new(op), s, Some(&prot()), &crc);
+    }
+
+    #[test]
+    fn data_copy_semantics() {
+        let mut s = stage();
+        let mut p = phv();
+        let crc = Crc32::new();
+        execute(
+            &mut p,
+            Instruction::with_arg(Opcode::MBR_LOAD, 2).unwrap(),
+            &mut s,
+            None,
+            &crc,
+        );
+        assert_eq!(p.mbr, 30);
+        run(&mut p, &mut s, Opcode::COPY_MBR2_MBR);
+        assert_eq!(p.mbr2, 30);
+        run(&mut p, &mut s, Opcode::COPY_MAR_MBR);
+        assert_eq!(p.mar, 30);
+        p.mar = 99;
+        run(&mut p, &mut s, Opcode::COPY_MBR_MAR);
+        assert_eq!(p.mbr, 99);
+        execute(
+            &mut p,
+            Instruction::with_arg(Opcode::MBR_STORE, 3).unwrap(),
+            &mut s,
+            None,
+            &crc,
+        );
+        assert_eq!(p.args[3], 99);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        let mut s = stage();
+        let mut p = phv();
+        p.mbr = 7;
+        p.mbr2 = 5;
+        run(&mut p, &mut s, Opcode::MBR_ADD_MBR2);
+        assert_eq!(p.mbr, 12);
+        run(&mut p, &mut s, Opcode::MBR_SUBTRACT_MBR2);
+        assert_eq!(p.mbr, 7);
+        run(&mut p, &mut s, Opcode::MIN);
+        assert_eq!(p.mbr, 5);
+        p.mbr = 9;
+        run(&mut p, &mut s, Opcode::MAX);
+        assert_eq!(p.mbr, 9);
+        run(&mut p, &mut s, Opcode::REVMIN);
+        assert_eq!(p.mbr2, 5);
+        run(&mut p, &mut s, Opcode::SWAP_MBR_MBR2);
+        assert_eq!((p.mbr, p.mbr2), (5, 9));
+        run(&mut p, &mut s, Opcode::MBR_NOT);
+        assert_eq!(p.mbr, !5u32);
+    }
+
+    #[test]
+    fn equality_is_xor() {
+        // MBR_EQUALS_MBR2 "results in the value of MBR being 0 if
+        // MBR = MBR2 else a non-zero value" (Appendix A.2).
+        let mut s = stage();
+        let mut p = phv();
+        p.mbr = 42;
+        p.mbr2 = 42;
+        run(&mut p, &mut s, Opcode::MBR_EQUALS_MBR2);
+        assert_eq!(p.mbr, 0);
+        p.mbr = 10; // args[0] = 10
+        run(&mut p, &mut s, Opcode::MBR_EQUALS_DATA_1);
+        assert_eq!(p.mbr, 0);
+        run(&mut p, &mut s, Opcode::MBR_EQUALS_DATA_2); // args[1] = 20
+        assert_eq!(p.mbr, 20);
+    }
+
+    #[test]
+    fn conditional_returns() {
+        let mut s = stage();
+        let mut p = phv();
+        p.mbr = 0;
+        run(&mut p, &mut s, Opcode::CRET);
+        assert!(!p.complete, "CRET fires only on MBR != 0");
+        run(&mut p, &mut s, Opcode::CRETI);
+        assert!(p.complete, "CRETI fires on MBR == 0");
+        let mut q = phv();
+        q.mbr = 1;
+        run(&mut q, &mut s, Opcode::CRET);
+        assert!(q.complete);
+    }
+
+    #[test]
+    fn branching_sets_disabled_state() {
+        let mut s = stage();
+        let mut p = phv();
+        let crc = Crc32::new();
+        p.mbr = 1;
+        execute(
+            &mut p,
+            Instruction::with_label(Opcode::CJUMP, 3).unwrap(),
+            &mut s,
+            None,
+            &crc,
+        );
+        assert!(p.disabled);
+        assert_eq!(p.pending_branch, Some(3));
+        // CJUMPI with MBR != 0 does not branch.
+        let mut q = phv();
+        q.mbr = 1;
+        execute(
+            &mut q,
+            Instruction::with_label(Opcode::CJUMPI, 3).unwrap(),
+            &mut s,
+            None,
+            &crc,
+        );
+        assert!(!q.disabled);
+    }
+
+    #[test]
+    fn memory_rmw_and_minread() {
+        let mut s = stage();
+        let mut p = phv();
+        p.mar = 5;
+        p.mbr = 0xAB;
+        run(&mut p, &mut s, Opcode::MEM_WRITE);
+        assert_eq!(s.registers.peek(5), Some(0xAB));
+        p.mbr = 0;
+        run(&mut p, &mut s, Opcode::MEM_READ);
+        assert_eq!(p.mbr, 0xAB);
+        // MEM_MINREADINC: Listing 2's one-step CMS row update.
+        p.mar = 6;
+        p.mbr2 = 100;
+        run(&mut p, &mut s, Opcode::MEM_MINREADINC);
+        assert_eq!(p.mbr, 1); // incremented counter
+        assert_eq!(p.mbr2, 1); // min(1, 100)
+        run(&mut p, &mut s, Opcode::MEM_MINREAD);
+        assert_eq!(p.mbr, 1);
+        assert_eq!(p.mbr2, 1);
+        assert_eq!(s.stats.memory_ops, 4);
+    }
+
+    #[test]
+    fn protection_violations_fault_the_packet() {
+        let mut s = stage();
+        let crc = Crc32::new();
+        // No entry at all.
+        let mut p = phv();
+        p.mar = 5;
+        execute(&mut p, Instruction::new(Opcode::MEM_READ), &mut s, None, &crc);
+        assert!(p.violation);
+        assert_eq!(s.stats.violations, 1);
+        // Entry present but MAR out of range.
+        let e = ProtEntry::from_region(RegionEntry { start: 10, end: 20 }).unwrap();
+        let mut q = phv();
+        q.mar = 25;
+        execute(&mut q, Instruction::new(Opcode::MEM_WRITE), &mut s, Some(&e), &crc);
+        assert!(q.violation);
+        assert_eq!(s.stats.violations, 2);
+        // Nothing was written.
+        assert_eq!(s.registers.peek(25), Some(0));
+    }
+
+    #[test]
+    fn address_translation_masks_and_offsets() {
+        let mut s = stage();
+        let crc = Crc32::new();
+        let e = ProtEntry::from_region(RegionEntry { start: 512, end: 768 }).unwrap();
+        let mut p = phv();
+        p.mar = 0xDEAD_BEEF;
+        execute(&mut p, Instruction::new(Opcode::ADDR_MASK), &mut s, Some(&e), &crc);
+        assert!(p.mar <= 255); // masked into the 256-register pow2 floor
+        execute(&mut p, Instruction::new(Opcode::ADDR_OFFSET), &mut s, Some(&e), &crc);
+        assert!(e.permits(p.mar), "translated address must be in-region");
+        // Without an installed entry, translation itself faults.
+        let mut q = phv();
+        execute(&mut q, Instruction::new(Opcode::ADDR_MASK), &mut s, None, &crc);
+        assert!(q.violation);
+    }
+
+    #[test]
+    fn hash_lands_in_mar_and_uses_hashdata() {
+        let mut s = stage();
+        let mut p = phv();
+        p.mbr = 0x1111;
+        run(&mut p, &mut s, Opcode::COPY_HASHDATA_MBR);
+        run(&mut p, &mut s, Opcode::HASH);
+        let h1 = p.mar;
+        p.mbr2 = 0x2222;
+        run(&mut p, &mut s, Opcode::COPY_HASHDATA_MBR2);
+        run(&mut p, &mut s, Opcode::HASH);
+        assert_ne!(p.mar, h1, "more hash data must change the hash");
+    }
+
+    #[test]
+    fn rts_is_idempotent() {
+        let mut s = stage();
+        let mut p = phv();
+        run(&mut p, &mut s, Opcode::RTS);
+        assert!(p.rts && p.rts_done);
+        p.rts = false; // consumed by traffic manager
+        run(&mut p, &mut s, Opcode::RTS);
+        assert!(!p.rts, "second RTS must not re-trigger");
+        // CRTS with MBR == 0 does nothing.
+        let mut q = phv();
+        q.mbr = 0;
+        run(&mut q, &mut s, Opcode::CRTS);
+        assert!(!q.rts);
+        q.mbr = 1;
+        run(&mut q, &mut s, Opcode::CRTS);
+        assert!(q.rts);
+    }
+
+    #[test]
+    fn forwarding_controls() {
+        let mut s = stage();
+        let mut p = phv();
+        p.mbr = 77;
+        run(&mut p, &mut s, Opcode::SET_DST);
+        assert_eq!(p.dst_override, Some(77));
+        run(&mut p, &mut s, Opcode::FORK);
+        assert!(p.fork);
+        run(&mut p, &mut s, Opcode::DROP);
+        assert!(p.drop);
+        assert!(!p.executing());
+    }
+}

@@ -1,0 +1,22 @@
+//! The shared data-plane runtime (Section 3).
+//!
+//! This is the Rust analogue of the paper's ~10K-line P4 program: a
+//! single pre-installed interpreter that every active packet programs at
+//! runtime. It parses active headers, enforces per-FID memory
+//! protection, executes one instruction per logical stage (recirculating
+//! long programs), and hands forwarding verdicts to the traffic manager.
+//!
+//! * [`protect`] — the per-(FID, stage) protection/translation tables
+//!   the controller installs at allocation time;
+//! * [`interp`] — the per-instruction semantics over the PHV and the
+//!   stage's register ALU;
+//! * [`exec`] — the pass/recirculation driver and packet rewriting.
+
+pub mod exec;
+pub mod interp;
+pub mod protect;
+pub mod recirc;
+
+pub use exec::{OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime};
+pub use protect::{ProtEntry, ProtectionTables};
+pub use recirc::RecircLimiter;

@@ -1,0 +1,228 @@
+//! Per-(FID, stage) memory protection and address translation.
+//!
+//! "Table entries define valid memory regions for each program and are
+//! computed by the control plane during allocation. We use the contents
+//! of MAR to enforce memory protection ... Memory protection is enforced
+//! through range matching in TCAMs" (Section 3.1).
+//!
+//! Each installed entry also carries the mask and offset ActiveRMT's
+//! runtime address translation applies for hash-based addressing
+//! (Section 3.2): "We define instructions to apply the appropriate mask
+//! and offset (determined by the switch at runtime based upon the stage
+//! at which the memory access will execute to ensure memory safety) to
+//! the value of MAR." The mask is the largest power of two not exceeding
+//! the region length minus one — the same power-of-two constraint
+//! NetVRM suffers globally, but here it only bounds *hashed* addressing;
+//! direct (client-translated) accesses can use the full region.
+
+use crate::types::Fid;
+use activermt_isa::wire::RegionEntry;
+use activermt_rmt::resources::pow2_floor;
+use activermt_rmt::tcam::range_prefix_count;
+use std::collections::HashMap;
+
+/// One protection/translation entry: MAR must satisfy `lo <= MAR <= hi`;
+/// ADDR_MASK applies `mask`, ADDR_OFFSET adds `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtEntry {
+    /// Lowest valid register index (inclusive).
+    pub lo: u32,
+    /// Highest valid register index (inclusive).
+    pub hi: u32,
+    /// Mask for hashed addressing (`pow2_floor(len) - 1`).
+    pub mask: u32,
+    /// Offset for hashed addressing (= `lo`).
+    pub offset: u32,
+}
+
+impl ProtEntry {
+    /// Build the entry for an allocated register region.
+    pub fn from_region(region: RegionEntry) -> Option<ProtEntry> {
+        if region.is_empty() {
+            return None;
+        }
+        Some(ProtEntry {
+            lo: region.start,
+            hi: region.end - 1,
+            mask: pow2_floor(region.len()).saturating_sub(1),
+            offset: region.start,
+        })
+    }
+
+    /// Is `mar` inside the protected range?
+    pub fn permits(&self, mar: u32) -> bool {
+        self.lo <= mar && mar <= self.hi
+    }
+
+    /// TCAM entries this range match expands to.
+    pub fn tcam_cost(&self) -> usize {
+        range_prefix_count(self.lo, self.hi)
+    }
+}
+
+/// All protection tables, one map per logical stage.
+#[derive(Debug, Clone)]
+pub struct ProtectionTables {
+    stages: Vec<HashMap<Fid, ProtEntry>>,
+}
+
+impl ProtectionTables {
+    /// Empty tables for `num_stages` stages.
+    pub fn new(num_stages: usize) -> ProtectionTables {
+        ProtectionTables {
+            stages: vec![HashMap::new(); num_stages],
+        }
+    }
+
+    /// Install (or replace) the entry for `fid` in `stage`.
+    ///
+    /// Returns `(removed, installed)` TCAM entry counts for the
+    /// controller's table-update cost model (Section 6.2: provisioning
+    /// is "dominated by the time taken to update table entries ...
+    /// including removing old entries and installing new ones").
+    pub fn install(&mut self, stage: usize, fid: Fid, region: RegionEntry) -> (usize, usize) {
+        let removed = self.stages[stage]
+            .remove(&fid)
+            .map(|e| e.tcam_cost())
+            .unwrap_or(0);
+        match ProtEntry::from_region(region) {
+            Some(entry) => {
+                let installed = entry.tcam_cost();
+                self.stages[stage].insert(fid, entry);
+                (removed, installed)
+            }
+            None => (removed, 0),
+        }
+    }
+
+    /// Remove the entry for `fid` in `stage`, returning its TCAM cost.
+    pub fn remove(&mut self, stage: usize, fid: Fid) -> usize {
+        self.stages[stage]
+            .remove(&fid)
+            .map(|e| e.tcam_cost())
+            .unwrap_or(0)
+    }
+
+    /// Remove `fid` from every stage, returning total entries removed.
+    pub fn remove_all(&mut self, fid: Fid) -> usize {
+        (0..self.stages.len()).map(|s| self.remove(s, fid)).sum()
+    }
+
+    /// Look up the entry for `fid` in `stage`.
+    pub fn lookup(&self, stage: usize, fid: Fid) -> Option<&ProtEntry> {
+        self.stages[stage].get(&fid)
+    }
+
+    /// Total TCAM entries currently installed in `stage`.
+    pub fn stage_entries(&self, stage: usize) -> usize {
+        self.stages[stage].values().map(|e| e.tcam_cost()).sum()
+    }
+
+    /// The translation entry ADDR_MASK / ADDR_OFFSET resolve at `stage`
+    /// for `fid`: the entry of the FID's *next* region at or after this
+    /// stage (wrapping around the pipeline).
+    ///
+    /// The paper's runtime installs the mask and offset "determined by
+    /// the switch at runtime based upon the stage at which the memory
+    /// access will execute" (Section 3.2); since translation
+    /// instructions immediately precede their access in every program,
+    /// the next-region rule reproduces that placement without the
+    /// controller having to know each client's exact NOP layout.
+    pub fn translation_for(&self, stage: usize, fid: Fid) -> Option<ProtEntry> {
+        let n = self.stages.len();
+        (0..n)
+            .map(|d| (stage + d) % n)
+            .find_map(|s| self.stages[s].get(&fid).copied())
+    }
+
+    /// Stages in which `fid` holds a region, ascending.
+    pub fn stages_of(&self, fid: Fid) -> Vec<usize> {
+        (0..self.stages.len())
+            .filter(|&s| self.stages[s].contains_key(&fid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_geometry() {
+        let e = ProtEntry::from_region(RegionEntry { start: 512, end: 1024 }).unwrap();
+        assert_eq!(e.lo, 512);
+        assert_eq!(e.hi, 1023);
+        assert_eq!(e.mask, 511); // pow2_floor(512) - 1
+        assert_eq!(e.offset, 512);
+        assert!(e.permits(512) && e.permits(1023));
+        assert!(!e.permits(511) && !e.permits(1024));
+        // Aligned power-of-two region: exactly one TCAM entry.
+        assert_eq!(e.tcam_cost(), 1);
+    }
+
+    #[test]
+    fn non_pow2_region_masks_down() {
+        // A 3-block (768-register) region can only hash into its first
+        // 512 registers.
+        let e = ProtEntry::from_region(RegionEntry { start: 256, end: 1024 }).unwrap();
+        assert_eq!(e.mask, 511);
+        assert!(e.permits(256 + 700)); // direct access may still reach it
+    }
+
+    #[test]
+    fn empty_region_is_not_an_entry() {
+        assert!(ProtEntry::from_region(RegionEntry { start: 5, end: 5 }).is_none());
+    }
+
+    #[test]
+    fn install_replace_remove_accounting() {
+        let mut t = ProtectionTables::new(4);
+        let (rm, ins) = t.install(2, 7, RegionEntry { start: 0, end: 256 });
+        assert_eq!((rm, ins), (0, 1));
+        assert_eq!(t.stage_entries(2), 1);
+        // Replacing with an unaligned region removes 1, installs more.
+        let (rm, ins) = t.install(2, 7, RegionEntry { start: 100, end: 300 });
+        assert_eq!(rm, 1);
+        assert!(ins > 1);
+        assert_eq!(t.stage_entries(2), ins);
+        assert_eq!(t.remove(2, 7), ins);
+        assert_eq!(t.stage_entries(2), 0);
+        assert_eq!(t.remove(2, 7), 0);
+    }
+
+    #[test]
+    fn lookups_are_per_stage() {
+        let mut t = ProtectionTables::new(4);
+        t.install(1, 7, RegionEntry { start: 0, end: 10 });
+        assert!(t.lookup(1, 7).is_some());
+        assert!(t.lookup(2, 7).is_none());
+        assert!(t.lookup(1, 8).is_none());
+        assert_eq!(t.stages_of(7), vec![1]);
+    }
+
+    #[test]
+    fn translation_resolves_the_next_region() {
+        let mut t = ProtectionTables::new(6);
+        t.install(2, 7, RegionEntry { start: 0, end: 128 });
+        t.install(5, 7, RegionEntry { start: 256, end: 512 });
+        // At stage 0/1/2 the next region is stage 2's.
+        assert_eq!(t.translation_for(0, 7).unwrap().offset, 0);
+        assert_eq!(t.translation_for(2, 7).unwrap().offset, 0);
+        // At stage 3/4/5 it is stage 5's.
+        assert_eq!(t.translation_for(3, 7).unwrap().offset, 256);
+        // Past the last region it wraps to the first.
+        t.remove(2, 7);
+        assert_eq!(t.translation_for(0, 7).unwrap().offset, 256);
+        assert_eq!(t.translation_for(5, 7).unwrap().offset, 256);
+        assert!(t.translation_for(0, 8).is_none());
+    }
+
+    #[test]
+    fn remove_all_sweeps_every_stage() {
+        let mut t = ProtectionTables::new(3);
+        t.install(0, 9, RegionEntry { start: 0, end: 256 });
+        t.install(2, 9, RegionEntry { start: 256, end: 512 });
+        assert_eq!(t.remove_all(9), 2);
+        assert!(t.stages_of(9).is_empty());
+    }
+}

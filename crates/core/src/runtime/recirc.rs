@@ -1,0 +1,174 @@
+//! Per-service recirculation budgeting (Section 7.2, future work).
+//!
+//! "Recirculation provides a vector for one service to impact others in
+//! terms of available bandwidth. While ActiveRMT can impose limits on
+//! the number of recirculations, one could contemplate implementing a
+//! fairness controller that accounted for bandwidth inflation due to
+//! recirculations and rate-limited services appropriately."
+//!
+//! This module implements that controller: a token bucket per FID,
+//! charged one token per recirculation. A packet whose program needs
+//! another pass but whose service has exhausted its budget is dropped
+//! (and accounted), so a recirculation-hungry tenant degrades itself
+//! rather than the shared recirculation port. Buckets refill in virtual
+//! time at a configurable rate; the data plane consults the limiter on
+//! every recirculation decision.
+
+use crate::types::Fid;
+use std::collections::HashMap;
+
+/// A token-bucket recirculation limiter.
+#[derive(Debug, Clone)]
+pub struct RecircLimiter {
+    /// Tokens added per second of virtual time (recirculations/s).
+    rate_per_s: u64,
+    /// Bucket depth (burst capacity).
+    burst: u64,
+    buckets: HashMap<Fid, Bucket>,
+    /// Recirculations denied by the limiter, per FID.
+    denied: HashMap<Fid, u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: u64,
+    last_refill_ns: u64,
+}
+
+impl RecircLimiter {
+    /// A limiter granting each service `rate_per_s` recirculations per
+    /// second with bursts up to `burst`.
+    pub fn new(rate_per_s: u64, burst: u64) -> RecircLimiter {
+        RecircLimiter {
+            rate_per_s,
+            burst,
+            buckets: HashMap::new(),
+            denied: HashMap::new(),
+        }
+    }
+
+    /// May `fid` recirculate at `now_ns`? Consumes a token on success.
+    pub fn allow(&mut self, fid: Fid, now_ns: u64) -> bool {
+        let rate = self.rate_per_s;
+        let burst = self.burst;
+        let b = self.buckets.entry(fid).or_insert(Bucket {
+            tokens: burst,
+            last_refill_ns: now_ns,
+        });
+        // Refill.
+        let elapsed = now_ns.saturating_sub(b.last_refill_ns);
+        let refill = (elapsed as u128 * rate as u128 / 1_000_000_000) as u64;
+        if refill > 0 {
+            b.tokens = (b.tokens + refill).min(burst);
+            // Advance by the time actually converted into tokens to
+            // avoid losing fractional accrual.
+            b.last_refill_ns += refill * 1_000_000_000 / rate.max(1);
+        }
+        if b.tokens > 0 {
+            b.tokens -= 1;
+            true
+        } else {
+            *self.denied.entry(fid).or_insert(0) += 1;
+            false
+        }
+    }
+
+    /// Recirculations the limiter has denied `fid`.
+    pub fn denied(&self, fid: Fid) -> u64 {
+        self.denied.get(&fid).copied().unwrap_or(0)
+    }
+
+    /// Total denials across services.
+    pub fn total_denied(&self) -> u64 {
+        self.denied.values().sum()
+    }
+
+    /// Drop a departing service's state.
+    pub fn forget(&mut self, fid: Fid) {
+        self.buckets.remove(&fid);
+        self.denied.remove(&fid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_then_throttles() {
+        let mut l = RecircLimiter::new(1000, 4);
+        // The burst allowance goes through...
+        for _ in 0..4 {
+            assert!(l.allow(7, 0));
+        }
+        // ...then the bucket is dry.
+        assert!(!l.allow(7, 0));
+        assert_eq!(l.denied(7), 1);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut l = RecircLimiter::new(1000, 4); // 1 token per ms
+        for _ in 0..4 {
+            assert!(l.allow(7, 0));
+        }
+        assert!(!l.allow(7, 500_000)); // 0.5 ms: not yet
+        assert!(l.allow(7, 1_000_000)); // 1 ms: one token accrued
+        assert!(!l.allow(7, 1_000_000)); // and spent
+        // 3 ms later: three tokens.
+        for _ in 0..3 {
+            assert!(l.allow(7, 4_000_000));
+        }
+        assert!(!l.allow(7, 4_000_000));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut l = RecircLimiter::new(1_000_000, 2);
+        assert!(l.allow(7, 0));
+        // An hour later: still only `burst` tokens.
+        for _ in 0..2 {
+            assert!(l.allow(7, 3_600_000_000_000));
+        }
+        assert!(!l.allow(7, 3_600_000_000_000));
+    }
+
+    #[test]
+    fn services_are_isolated() {
+        let mut l = RecircLimiter::new(1000, 1);
+        assert!(l.allow(1, 0));
+        assert!(!l.allow(1, 0));
+        // Service 2's bucket is untouched by service 1's burn.
+        assert!(l.allow(2, 0));
+        assert_eq!(l.denied(1), 1);
+        assert_eq!(l.denied(2), 0);
+        assert_eq!(l.total_denied(), 1);
+    }
+
+    #[test]
+    fn forget_resets_state() {
+        let mut l = RecircLimiter::new(1000, 1);
+        assert!(l.allow(1, 0));
+        assert!(!l.allow(1, 0));
+        l.forget(1);
+        assert!(l.allow(1, 0), "a re-admitted FID starts fresh");
+        assert_eq!(l.denied(1), 0);
+    }
+
+    #[test]
+    fn fractional_accrual_is_not_lost() {
+        // 3 tokens/s: one token every ~333 ms. Polling every 200 ms
+        // must still yield ~3 tokens over a second.
+        let mut l = RecircLimiter::new(3, 3);
+        for _ in 0..3 {
+            assert!(l.allow(9, 0));
+        }
+        let mut granted = 0;
+        for t in 1..=10u64 {
+            if l.allow(9, t * 200_000_000) {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 6, "2 s at 3 tokens/s");
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared vocabulary types for the runtime and allocator.
+
+use core::fmt;
+
+/// A service/program identifier, carried in the initial active header
+/// (Section 3.3). One FID identifies one admitted application instance.
+pub type Fid = u16;
+
+/// A contiguous run of allocation blocks within one stage's memory pool:
+/// `start..start+len`, in blocks (Section 4.1's fixed-size block
+/// granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockRange {
+    /// First block index.
+    pub start: u32,
+    /// Number of blocks.
+    pub len: u32,
+}
+
+impl BlockRange {
+    /// Construct a range.
+    pub fn new(start: u32, len: u32) -> BlockRange {
+        BlockRange { start, len }
+    }
+
+    /// One past the last block.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// Is the range empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Do two ranges overlap?
+    pub fn overlaps(&self, other: &BlockRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+    }
+
+    /// Convert to register indices given `block_regs` registers per
+    /// block: the `(start, end)` pair that travels in an allocation
+    /// response entry.
+    pub fn to_registers(&self, block_regs: u32) -> (u32, u32) {
+        (self.start * block_regs, self.end() * block_regs)
+    }
+}
+
+impl fmt::Display for BlockRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+/// Whether an application's memory demand can be adjusted by the
+/// allocator (Section 4.1): "applications that have variable demands
+/// [are] 'elastic' and those with fixed demands ... 'inelastic'".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elasticity {
+    /// Any amount of memory is beneficial; shares may shrink when new
+    /// applications arrive (e.g. the in-network cache).
+    Elastic,
+    /// A fixed demand that never changes once admitted (e.g. the
+    /// load balancer's VIP table); pinned to the bottom of each pool.
+    Inelastic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_geometry() {
+        let r = BlockRange::new(4, 8);
+        assert_eq!(r.end(), 12);
+        assert!(!r.is_empty());
+        assert!(BlockRange::new(3, 0).is_empty());
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = BlockRange::new(0, 4);
+        assert!(a.overlaps(&BlockRange::new(3, 2)));
+        assert!(a.overlaps(&BlockRange::new(0, 1)));
+        assert!(!a.overlaps(&BlockRange::new(4, 2))); // adjacent
+        assert!(!a.overlaps(&BlockRange::new(10, 1)));
+        assert!(!a.overlaps(&BlockRange::new(2, 0))); // empty never overlaps
+    }
+
+    #[test]
+    fn register_conversion_uses_block_size() {
+        // 1 KB blocks = 256 32-bit registers.
+        let r = BlockRange::new(2, 3);
+        assert_eq!(r.to_registers(256), (512, 1280));
+    }
+
+    #[test]
+    fn display_shows_half_open_range() {
+        assert_eq!(BlockRange::new(1, 4).to_string(), "[1..5)");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the allocator's safety and determinism
+//! invariants under arbitrary admission/release sequences.
+
+use activermt_core::alloc::{
+    AccessPattern, Allocator, AllocatorConfig, MutantPolicy, Scheme,
+};
+use activermt_core::types::BlockRange;
+use proptest::prelude::*;
+
+fn config(scheme: Scheme) -> AllocatorConfig {
+    AllocatorConfig {
+        num_stages: 20,
+        ingress_stages: 10,
+        blocks_per_stage: 64,
+        block_regs: 256,
+        tcam_entries_per_stage: 256,
+        scheme,
+        max_extra_recircs: 1,
+        literal_fill: false,
+    }
+}
+
+/// Random small-but-valid access patterns.
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    (
+        prop::collection::vec((1u16..5, 0u16..8), 1..4),
+        any::<bool>(),
+        0u16..4,
+    )
+        .prop_map(|(gaps_demands, elastic, tail)| {
+            let mut pos = 0u16;
+            let mut min_positions = Vec::new();
+            let mut demands = Vec::new();
+            for (gap, demand) in gaps_demands {
+                pos += gap;
+                min_positions.push(pos);
+                demands.push(if elastic { 0 } else { demand.max(1) });
+            }
+            AccessPattern {
+                prog_len: pos + tail,
+                min_positions,
+                demands,
+                elastic,
+                ingress_positions: vec![],
+                aliases: vec![],
+            }
+        })
+}
+
+/// A sequence of admissions (pattern, policy) and releases (index into
+/// prior admissions).
+fn arb_ops() -> impl Strategy<Value = Vec<(AccessPattern, bool, Option<usize>)>> {
+    prop::collection::vec(
+        (arb_pattern(), any::<bool>(), prop::option::of(0usize..32)),
+        1..24,
+    )
+}
+
+fn check_invariants(alloc: &Allocator) {
+    for (s, pool) in alloc.pools().iter().enumerate() {
+        pool.check_invariants()
+            .unwrap_or_else(|e| panic!("stage {s}: {e}"));
+        // TCAM accounting within capacity.
+        assert!(
+            alloc.tcam_used(s) <= alloc.config().tcam_entries_per_stage,
+            "stage {s} TCAM oversubscribed"
+        );
+        // No two allocations overlap (pairwise, beyond the pool's own
+        // ordered invariant).
+        let allocs: Vec<BlockRange> = pool.allocations().map(|(_, r)| r).collect();
+        for i in 0..allocs.len() {
+            for j in i + 1..allocs.len() {
+                assert!(
+                    !allocs[i].overlaps(&allocs[j]),
+                    "stage {s}: {} overlaps {}",
+                    allocs[i],
+                    allocs[j]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_churn(ops in arb_ops(), scheme_idx in 0usize..4) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut alloc = Allocator::new(config(scheme));
+        let mut admitted: Vec<u16> = Vec::new();
+        for (i, (pattern, mc, release)) in ops.iter().enumerate() {
+            let policy = if *mc {
+                MutantPolicy::MostConstrained
+            } else {
+                MutantPolicy::LeastConstrained
+            };
+            let fid = i as u16 + 1;
+            if alloc.admit(fid, pattern, policy).is_ok() {
+                admitted.push(fid);
+                // The admitted app received at least one block in every
+                // stage its mutant touches.
+                let rec = alloc.app(fid).unwrap();
+                let mut stages = rec.mutant.stages.clone();
+                stages.sort_unstable();
+                stages.dedup();
+                prop_assert_eq!(alloc.placements_of(fid).len(), stages.len());
+                prop_assert!(alloc.app_blocks(fid) >= stages.len() as u64);
+            }
+            check_invariants(&alloc);
+            if let Some(r) = release {
+                if !admitted.is_empty() {
+                    let fid = admitted[(r % admitted.len()).min(admitted.len() - 1)];
+                    admitted.retain(|&f| f != fid);
+                    alloc.release(fid).unwrap();
+                    prop_assert_eq!(alloc.app_blocks(fid), 0);
+                    check_invariants(&alloc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_is_deterministic(ops in arb_ops()) {
+        let run = || {
+            let mut alloc = Allocator::new(config(Scheme::WorstFit));
+            let mut log: Vec<Option<(Vec<usize>, u64)>> = Vec::new();
+            for (i, (pattern, _, _)) in ops.iter().enumerate() {
+                let fid = i as u16 + 1;
+                match alloc.admit(fid, pattern, MutantPolicy::MostConstrained) {
+                    Ok(out) => log.push(Some((out.mutant.stages.clone(), out.granted_blocks()))),
+                    Err(_) => log.push(None),
+                }
+            }
+            (log, alloc.utilization().to_bits())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn release_restores_full_capacity(pattern in arb_pattern()) {
+        let mut alloc = Allocator::new(config(Scheme::WorstFit));
+        let before = alloc.utilization();
+        prop_assert_eq!(before, 0.0);
+        if alloc.admit(1, &pattern, MutantPolicy::LeastConstrained).is_ok() {
+            prop_assert!(alloc.utilization() > 0.0);
+            alloc.release(1).unwrap();
+        }
+        prop_assert_eq!(alloc.utilization(), 0.0);
+        for pool in alloc.pools() {
+            prop_assert_eq!(pool.used(), 0);
+        }
+    }
+
+    #[test]
+    fn elastic_apps_share_fairly(n in 2usize..8) {
+        // n identical elastic apps: max-min shares within one block of
+        // each other in every shared stage.
+        let pattern = AccessPattern {
+            min_positions: vec![2, 5],
+            demands: vec![0, 0],
+            prog_len: 6,
+            elastic: true,
+            ingress_positions: vec![],
+            aliases: vec![],
+        };
+        let mut alloc = Allocator::new(config(Scheme::WorstFit));
+        for fid in 0..n as u16 {
+            prop_assert!(alloc
+                .admit(fid, &pattern, MutantPolicy::MostConstrained)
+                .is_ok());
+        }
+        for pool in alloc.pools() {
+            let shares: Vec<u32> = pool
+                .allocations()
+                .map(|(_, r)| r.len)
+                .filter(|&l| l > 0)
+                .collect();
+            if shares.len() > 1 {
+                let min = *shares.iter().min().unwrap();
+                let max = *shares.iter().max().unwrap();
+                prop_assert!(max - min <= 1, "unfair shares {shares:?}");
+            }
+        }
+    }
+}

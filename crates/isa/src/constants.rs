@@ -1,0 +1,97 @@
+//! Protocol-wide constants shared by the switch runtime, controller and
+//! client shim.
+//!
+//! The sizes below come directly from Section 3.3 of the paper: a 10-byte
+//! initial active header, a 16-byte argument header (four 32-bit data
+//! fields), 2-byte instruction headers, a 24-byte allocation-request header
+//! (eight 3-byte access descriptors) and a 160-byte allocation-response
+//! header (twenty 8-byte per-stage memory regions).
+
+/// EtherType used for the L2 encapsulation of active packets.
+///
+/// The paper uses "a special VLAN tag, following the standard Ethernet
+/// header"; we reserve a dedicated (locally administered, unassigned)
+/// EtherType instead, which is equivalent for parsing purposes.
+pub const ACTIVE_ETHERTYPE: u16 = 0x83B2;
+
+/// Size of the Ethernet-like L2 header: destination (6) + source (6) +
+/// EtherType (2).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Size of the initial active header carried by every active packet.
+pub const INITIAL_HEADER_LEN: usize = 10;
+
+/// Size of the argument header: four 32-bit data fields.
+pub const ARG_HEADER_LEN: usize = 16;
+
+/// Number of 32-bit data fields in the argument header.
+pub const NUM_ARGS: usize = 4;
+
+/// Size of one instruction header: a one-byte opcode and a one-byte flag.
+pub const INSTR_HEADER_LEN: usize = 2;
+
+/// Size of the allocation-request header: eight 3-byte access descriptors.
+pub const ALLOC_REQUEST_LEN: usize = 24;
+
+/// Maximum number of memory accesses describable by an allocation request.
+pub const MAX_MEMORY_ACCESSES: usize = 8;
+
+/// Size of one access descriptor in an allocation request.
+pub const ACCESS_DESCRIPTOR_LEN: usize = 3;
+
+/// Size of the allocation-response header: twenty 8-byte region entries.
+pub const ALLOC_RESPONSE_LEN: usize = 160;
+
+/// Number of per-stage region entries in an allocation response. This is
+/// the number of logical stages on the paper's 20-stage switch pipeline.
+pub const RESPONSE_STAGES: usize = 20;
+
+/// Size of one per-stage region entry in an allocation response.
+pub const REGION_ENTRY_LEN: usize = 8;
+
+/// Default number of logical stages on the reference switch
+/// (10 ingress + 10 egress on the paper's Tofino).
+pub const DEFAULT_NUM_STAGES: usize = 20;
+
+/// Default number of ingress stages (instructions such as RTS must execute
+/// here to avoid an extra recirculation).
+pub const DEFAULT_INGRESS_STAGES: usize = 10;
+
+/// Maximum encodable program length in instructions.
+///
+/// The program length travels in a one-byte field of the initial header.
+pub const MAX_PROGRAM_LEN: usize = 255;
+
+/// Maximum branch-label identifier. Labels are encoded in the low six bits
+/// of the instruction flag byte.
+pub const MAX_LABEL: u8 = 0x3F;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_sizes_match_paper() {
+        // Section 3.3: "The initial header is 10 bytes while the argument
+        // header is 16 bytes ... each of which contains two bytes ...
+        // allocation request headers are 24-bytes long ... Allocation
+        // response headers are 160-bytes long".
+        assert_eq!(INITIAL_HEADER_LEN, 10);
+        assert_eq!(ARG_HEADER_LEN, 16);
+        assert_eq!(INSTR_HEADER_LEN, 2);
+        assert_eq!(ALLOC_REQUEST_LEN, 24);
+        assert_eq!(ALLOC_RESPONSE_LEN, 160);
+        assert_eq!(
+            ALLOC_REQUEST_LEN,
+            MAX_MEMORY_ACCESSES * ACCESS_DESCRIPTOR_LEN
+        );
+        assert_eq!(ALLOC_RESPONSE_LEN, RESPONSE_STAGES * REGION_ENTRY_LEN);
+    }
+
+    #[test]
+    fn stage_counts_match_paper() {
+        assert_eq!(DEFAULT_NUM_STAGES, 20);
+        assert_eq!(DEFAULT_INGRESS_STAGES, 10);
+        assert_eq!(RESPONSE_STAGES, DEFAULT_NUM_STAGES);
+    }
+}

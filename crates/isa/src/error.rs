@@ -1,0 +1,95 @@
+//! Error types for encoding, decoding and validating ActiveRMT artifacts.
+
+use core::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors raised while parsing or constructing ISA-level artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A byte buffer was too short to contain the expected structure.
+    Truncated {
+        /// What we were trying to parse.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// An opcode byte did not correspond to any known instruction.
+    UnknownOpcode(u8),
+    /// The L2 frame did not carry the active EtherType.
+    NotActive {
+        /// The EtherType actually found.
+        ethertype: u16,
+    },
+    /// A program failed validation.
+    InvalidProgram(&'static str),
+    /// A branch referenced a label that is never defined, or is defined
+    /// before the branch (backward jumps are impossible in a feed-forward
+    /// pipeline, Section 3.1).
+    BadBranchTarget {
+        /// The offending label.
+        label: u8,
+    },
+    /// A label id exceeded the 6-bit encodable range.
+    LabelOutOfRange(u16),
+    /// The program exceeded the maximum encodable length.
+    ProgramTooLong(usize),
+    /// An argument index exceeded the four available data fields.
+    ArgIndexOutOfRange(u8),
+    /// A packet-type discriminant was invalid.
+    BadPacketType(u8),
+    /// An allocation request described more accesses than fit the header.
+    TooManyAccesses(usize),
+    /// A value did not fit the wire field it must be encoded into.
+    FieldOverflow(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            Error::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            Error::NotActive { ethertype } => {
+                write!(f, "not an active packet (ethertype 0x{ethertype:04x})")
+            }
+            Error::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            Error::BadBranchTarget { label } => {
+                write!(f, "branch target label {label} undefined or not forward")
+            }
+            Error::LabelOutOfRange(l) => write!(f, "label {l} exceeds 6-bit range"),
+            Error::ProgramTooLong(n) => write!(f, "program of {n} instructions too long"),
+            Error::ArgIndexOutOfRange(i) => write!(f, "argument index {i} out of range"),
+            Error::BadPacketType(t) => write!(f, "bad active packet type {t}"),
+            Error::TooManyAccesses(n) => {
+                write!(f, "{n} memory accesses exceed the request header capacity")
+            }
+            Error::FieldOverflow(what) => write!(f, "value does not fit wire field {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Truncated {
+            what: "initial header",
+            need: 10,
+            have: 4,
+        };
+        assert_eq!(e.to_string(), "truncated initial header: need 10 bytes, have 4");
+        assert!(Error::UnknownOpcode(0xfe).to_string().contains("0xfe"));
+        assert!(Error::NotActive { ethertype: 0x0800 }
+            .to_string()
+            .contains("0x0800"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Assembled active programs.
+//!
+//! A [`Program`] is the unit a client synthesizes and attaches to packets:
+//! an ordered list of instructions (excluding the terminating EOF, which
+//! is appended on the wire) plus up to four 32-bit argument values.
+//!
+//! Programs are position-sensitive: instruction *i* (1-based) executes on
+//! logical stage *i* of the pipeline (Section 3.1), so the allocator and
+//! the client compiler both reason about instruction positions. This
+//! module provides the queries they need: positions of memory accesses,
+//! positions of ingress-bound instructions, label validation, etc.
+
+use crate::constants::{MAX_PROGRAM_LEN, NUM_ARGS};
+use crate::error::{Error, Result};
+use crate::instr::Instruction;
+use crate::opcode::{Opcode, OperandKind};
+use core::fmt;
+
+/// An assembled, validated active program.
+///
+/// ```
+/// use activermt_isa::{Opcode, ProgramBuilder};
+///
+/// // A tiny read-and-reply program.
+/// let p = ProgramBuilder::new()
+///     .op_arg(Opcode::MAR_LOAD, 0)
+///     .op(Opcode::MEM_READ)
+///     .op_arg(Opcode::MBR_STORE, 1)
+///     .op(Opcode::RTS)
+///     .op(Opcode::RETURN)
+///     .arg(0, 7)
+///     .build()
+///     .unwrap();
+/// // Instruction i executes on logical stage i (Section 3.1): the read
+/// // sits at position 2, so it needs memory in stage 2 of the pipeline.
+/// assert_eq!(p.memory_access_positions(), vec![2]);
+/// // On the wire the program is 2 bytes per instruction plus EOF.
+/// assert_eq!(p.encode_instructions().len(), (p.len() + 1) * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+    args: [u32; NUM_ARGS],
+}
+
+impl Program {
+    /// Build a program from raw instructions, validating it.
+    ///
+    /// Validation enforces:
+    /// * length ≤ [`MAX_PROGRAM_LEN`];
+    /// * no interior `EOF` (it is a wire terminator, not an instruction);
+    /// * every branch targets a label that exists *after* the branch —
+    ///   "due to the sequential nature of program execution, this location
+    ///   has to be later on in the program" (Section 3.1);
+    /// * argument indices are within the four data fields.
+    pub fn new(instrs: Vec<Instruction>, args: [u32; NUM_ARGS]) -> Result<Program> {
+        if instrs.len() > MAX_PROGRAM_LEN {
+            return Err(Error::ProgramTooLong(instrs.len()));
+        }
+        for (idx, ins) in instrs.iter().enumerate() {
+            if ins.opcode == Opcode::EOF {
+                return Err(Error::InvalidProgram("interior EOF"));
+            }
+            if let Some(arg) = ins.arg_index() {
+                if arg >= NUM_ARGS {
+                    return Err(Error::ArgIndexOutOfRange(arg as u8));
+                }
+            }
+            if let Some(target) = ins.branch_target() {
+                let found = instrs[idx + 1..].iter().any(|t| t.label() == Some(target));
+                if !found {
+                    return Err(Error::BadBranchTarget { label: target });
+                }
+            }
+        }
+        Ok(Program { instrs, args })
+    }
+
+    /// The instruction sequence (without the trailing EOF).
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Mutable access for client-side relinking (mutant synthesis and
+    /// address translation rewrite instructions in place).
+    pub fn instructions_mut(&mut self) -> &mut [Instruction] {
+        &mut self.instrs
+    }
+
+    /// The four 32-bit argument values carried in the argument header.
+    pub fn args(&self) -> [u32; NUM_ARGS] {
+        self.args
+    }
+
+    /// Set an argument value (e.g. a client-translated memory address).
+    pub fn set_arg(&mut self, idx: usize, value: u32) -> Result<()> {
+        if idx >= NUM_ARGS {
+            return Err(Error::ArgIndexOutOfRange(idx as u8));
+        }
+        self.args[idx] = value;
+        Ok(())
+    }
+
+    /// Number of instructions, excluding the EOF terminator.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// 1-based positions (= logical stage indices of the most compact
+    /// placement) of all memory-access instructions.
+    ///
+    /// For Listing 1 this returns `[2, 5, 9]`, exactly the paper's
+    /// lower-bound vector `LB` (Section 4.2).
+    pub fn memory_access_positions(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.opcode.is_memory_access())
+            .map(|(idx, _)| idx + 1)
+            .collect()
+    }
+
+    /// 1-based positions of instructions that must execute in the ingress
+    /// pipeline to avoid extra recirculation (RTS etc.; Section 3.1).
+    pub fn ingress_bound_positions(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.opcode.requires_ingress())
+            .map(|(idx, _)| idx + 1)
+            .collect()
+    }
+
+    /// Insert `count` NOPs before 1-based position `pos` (mutant
+    /// synthesis, Section 4.1). `pos == len()+1` appends at the end.
+    pub fn insert_nops(&mut self, pos: usize, count: usize) -> Result<()> {
+        if pos == 0 || pos > self.instrs.len() + 1 {
+            return Err(Error::InvalidProgram("NOP insertion position out of range"));
+        }
+        if self.instrs.len() + count > MAX_PROGRAM_LEN {
+            return Err(Error::ProgramTooLong(self.instrs.len() + count));
+        }
+        let at = pos - 1;
+        self.instrs
+            .splice(at..at, std::iter::repeat_n(Instruction::new(Opcode::NOP), count));
+        Ok(())
+    }
+
+    /// Serialize the instruction stream to wire bytes, appending the EOF
+    /// terminator.
+    pub fn encode_instructions(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.instrs.len() + 1) * 2);
+        for ins in &self.instrs {
+            out.extend_from_slice(&ins.to_bytes());
+        }
+        out.extend_from_slice(&Instruction::new(Opcode::EOF).to_bytes());
+        out
+    }
+
+    /// Decode an instruction stream terminated by EOF. Returns the program
+    /// (with zeroed args — they travel in a separate header).
+    pub fn decode_instructions(bytes: &[u8]) -> Result<Program> {
+        let mut instrs = Vec::new();
+        let mut chunks = bytes.chunks_exact(2);
+        for chunk in &mut chunks {
+            let ins = Instruction::from_bytes(chunk[0], chunk[1])?;
+            if ins.opcode == Opcode::EOF {
+                return Program::new(instrs, [0; NUM_ARGS]);
+            }
+            instrs.push(ins);
+        }
+        Err(Error::InvalidProgram("missing EOF terminator"))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ins) in self.instrs.iter().enumerate() {
+            writeln!(f, "{:3}  {}", i + 1, ins)?;
+        }
+        Ok(())
+    }
+}
+
+/// A fluent builder for programs, used by the application crates and in
+/// tests. Labels are symbolic at build time and resolved to 6-bit ids.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instruction>,
+    args: [u32; NUM_ARGS],
+    pending_label: Option<u8>,
+    next_label: u8,
+    names: Vec<(String, u8)>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    fn resolve(&mut self, name: &str) -> u8 {
+        if let Some((_, id)) = self.names.iter().find(|(n, _)| n == name) {
+            return *id;
+        }
+        let id = self.next_label;
+        self.next_label += 1;
+        self.names.push((name.to_string(), id));
+        id
+    }
+
+    /// Append a plain instruction.
+    pub fn op(mut self, opcode: Opcode) -> Self {
+        let mut ins = Instruction::new(opcode);
+        if let Some(l) = self.pending_label.take() {
+            ins = ins.labeled(l).expect("label ids are bounded by builder");
+        }
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Append an instruction taking an argument-field index.
+    ///
+    /// Panics if a label is pending: an instruction cannot simultaneously
+    /// be a branch target and carry an arg selector in the 2-byte
+    /// encoding — label a NOP in front of it instead.
+    pub fn op_arg(mut self, opcode: Opcode, arg: u8) -> Self {
+        debug_assert_eq!(opcode.operand_kind(), OperandKind::ArgIndex);
+        assert!(
+            self.pending_label.is_none(),
+            "cannot label an argument-selecting instruction; label a NOP instead"
+        );
+        let ins = Instruction::with_arg(opcode, arg).expect("arg index checked by caller");
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Append an instruction with a raw selector operand (e.g. a HASH
+    /// function selector, which travels in the same 6-bit operand field
+    /// as arg indices and labels).
+    pub fn op_sel(mut self, opcode: Opcode, selector: u8) -> Self {
+        assert!(selector <= crate::constants::MAX_LABEL, "selector out of range");
+        assert!(
+            self.pending_label.is_none(),
+            "cannot label a selector-carrying instruction; label a NOP instead"
+        );
+        self.instrs.push(Instruction {
+            opcode,
+            flags: crate::instr::InstrFlags {
+                operand: selector,
+                ..Default::default()
+            },
+        });
+        self
+    }
+
+    /// Append a branch to a (forward) symbolic label.
+    pub fn jump(mut self, opcode: Opcode, label: &str) -> Self {
+        let id = self.resolve(label);
+        let ins = Instruction::with_label(opcode, id).expect("label ids are bounded");
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Declare that the *next* appended instruction is the target of
+    /// `label`.
+    pub fn label(mut self, label: &str) -> Self {
+        let id = self.resolve(label);
+        self.pending_label = Some(id);
+        self
+    }
+
+    /// Set an argument value.
+    pub fn arg(mut self, idx: usize, value: u32) -> Self {
+        assert!(idx < NUM_ARGS, "argument index out of range");
+        self.args[idx] = value;
+        self
+    }
+
+    /// Validate and produce the program.
+    pub fn build(self) -> Result<Program> {
+        if self.pending_label.is_some() {
+            return Err(Error::InvalidProgram("dangling label at end of program"));
+        }
+        Program::new(self.instrs, self.args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing1() -> Program {
+        // Listing 1: the in-network cache query program.
+        ProgramBuilder::new()
+            .op_arg(Opcode::MAR_LOAD, 0) // 1: locate bucket
+            .op(Opcode::MEM_READ) // 2: first 4 bytes
+            .op(Opcode::MBR_EQUALS_DATA_1) // 3: compare
+            .op(Opcode::CRET) // 4: partial match?
+            .op(Opcode::MEM_READ) // 5: next 4 bytes
+            .op(Opcode::MBR_EQUALS_DATA_2) // 6: compare
+            .op(Opcode::CRET) // 7: full match?
+            .op(Opcode::RTS) // 8: create reply
+            .op(Opcode::MEM_READ) // 9: read the value
+            .op_arg(Opcode::MBR_STORE, 2) // 10: write to packet
+            .op(Opcode::RETURN) // 11: fin.
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn listing1_shape_matches_paper() {
+        let p = listing1();
+        assert_eq!(p.len(), 11);
+        // Section 4.2: "Listing 1 has M = 3 memory accesses at lines 2, 5
+        // and 9".
+        assert_eq!(p.memory_access_positions(), vec![2, 5, 9]);
+        // RTS at line 8 constrains the program to the ingress pipeline.
+        assert_eq!(p.ingress_bound_positions(), vec![8]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = listing1();
+        let bytes = p.encode_instructions();
+        // 11 instructions + EOF, 2 bytes each.
+        assert_eq!(bytes.len(), 24);
+        let back = Program::decode_instructions(&bytes).unwrap();
+        assert_eq!(back.instructions(), p.instructions());
+    }
+
+    #[test]
+    fn missing_eof_is_rejected() {
+        let p = listing1();
+        let mut bytes = p.encode_instructions();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(
+            Program::decode_instructions(&bytes),
+            Err(Error::InvalidProgram("missing EOF terminator"))
+        );
+    }
+
+    #[test]
+    fn forward_branches_validate() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::MEM_READ)
+            .jump(Opcode::CJUMP, "skip")
+            .op(Opcode::MEM_WRITE)
+            .label("skip")
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.instructions()[1].branch_target(), Some(0));
+        assert_eq!(p.instructions()[3].label(), Some(0));
+    }
+
+    #[test]
+    fn backward_branch_is_rejected() {
+        // A jump whose label appears before it must fail validation.
+        let tgt = Instruction::new(Opcode::NOP).labeled(0).unwrap();
+        let jmp = Instruction::with_label(Opcode::UJUMP, 0).unwrap();
+        let err = Program::new(vec![tgt, jmp], [0; 4]).unwrap_err();
+        assert_eq!(err, Error::BadBranchTarget { label: 0 });
+    }
+
+    #[test]
+    fn undefined_label_is_rejected() {
+        let jmp = Instruction::with_label(Opcode::CJUMP, 5).unwrap();
+        let err = Program::new(vec![jmp, Instruction::new(Opcode::RETURN)], [0; 4]).unwrap_err();
+        assert_eq!(err, Error::BadBranchTarget { label: 5 });
+    }
+
+    #[test]
+    fn interior_eof_is_rejected() {
+        let err = Program::new(
+            vec![Instruction::new(Opcode::EOF), Instruction::new(Opcode::RETURN)],
+            [0; 4],
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::InvalidProgram("interior EOF"));
+    }
+
+    #[test]
+    fn nop_insertion_shifts_accesses() {
+        // Figure 4: inserting a NOP at line 2 moves the accesses from
+        // stages (2, 5, 9) to (3, 6, 10).
+        let mut p = listing1();
+        p.insert_nops(2, 1).unwrap();
+        assert_eq!(p.memory_access_positions(), vec![3, 6, 10]);
+        assert_eq!(p.len(), 12);
+        // Inserting before the second access moves only later accesses.
+        let mut q = listing1();
+        q.insert_nops(5, 2).unwrap();
+        assert_eq!(q.memory_access_positions(), vec![2, 7, 11]);
+    }
+
+    #[test]
+    fn nop_insertion_bounds() {
+        let mut p = listing1();
+        assert!(p.insert_nops(0, 1).is_err());
+        assert!(p.insert_nops(13, 1).is_err());
+        assert!(p.insert_nops(12, 1).is_ok()); // append at end
+    }
+
+    #[test]
+    fn args_roundtrip() {
+        let mut p = listing1();
+        p.set_arg(0, 0xdead_beef).unwrap();
+        assert_eq!(p.args()[0], 0xdead_beef);
+        assert!(p.set_arg(4, 0).is_err());
+    }
+
+    #[test]
+    fn too_long_program_is_rejected() {
+        let instrs = vec![Instruction::new(Opcode::NOP); MAX_PROGRAM_LEN + 1];
+        assert_eq!(
+            Program::new(instrs, [0; 4]),
+            Err(Error::ProgramTooLong(MAX_PROGRAM_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn display_lists_lines() {
+        let text = listing1().to_string();
+        assert!(text.contains("MAR_LOAD $0"));
+        assert!(text.contains("RTS"));
+        assert!(text.lines().count() == 11);
+    }
+}

@@ -1,0 +1,393 @@
+//! The 10-byte initial active header (Section 3.3).
+//!
+//! "This header contains an identifier called FID which is used to
+//! identify an active program along with control flags that determine the
+//! nature of the active packet. One of the control flags specifies the
+//! type of active packet which determines the next set of headers."
+//!
+//! Concrete layout (big-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     FID — service/program identifier
+//! 2       2     flags — packet type + control-flow + protocol bits
+//! 4       2     seq — client sequence number (idempotent retransmission)
+//! 6       1     program_len — instruction count (program packets)
+//! 7       1     recirc_count — incremented by the switch on each pass
+//! 8       2     aux — type-specific:
+//!                 Program:       pending-branch label (runtime scratch)
+//!                 Control:       control operation code
+//!                 AllocRequest:  request options
+//!                 AllocResponse: status detail
+//! ```
+
+use crate::constants::INITIAL_HEADER_LEN;
+use crate::error::{Error, Result};
+use crate::wire::{get_u16, put_u16};
+
+/// The kind of active packet (2-bit field in the flags word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketType {
+    /// Code + data to interpret in the data plane.
+    Program = 0,
+    /// A client asking the controller for a memory allocation.
+    AllocRequest = 1,
+    /// The controller's reply with per-stage memory regions.
+    AllocResponse = 2,
+    /// Signalling with only the global active header (snapshot complete,
+    /// deallocation, ...).
+    Control = 3,
+}
+
+impl PacketType {
+    /// Decode a 2-bit type field.
+    pub fn from_bits(bits: u8) -> PacketType {
+        match bits & 0b11 {
+            0 => PacketType::Program,
+            1 => PacketType::AllocRequest,
+            2 => PacketType::AllocResponse,
+            _ => PacketType::Control,
+        }
+    }
+}
+
+/// Control operations carried in the `aux` field of Control packets
+/// (Section 4.3's snapshot/reallocation protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ControlOp {
+    /// The client has finished extracting state from the snapshot; the
+    /// switch may apply the pending allocation.
+    SnapshotComplete = 0,
+    /// The client relinquishes its allocation (service departure).
+    Deallocate = 1,
+    /// Switch → client: your memory is being reallocated; your program
+    /// packets are deactivated until further notice.
+    DeactivateNotice = 2,
+    /// Switch → client: the new allocation has been applied; packets are
+    /// active again.
+    ReactivateNotice = 3,
+    /// Keep-alive from the client during long state extraction.
+    Heartbeat = 4,
+}
+
+impl ControlOp {
+    /// Decode a control-op code.
+    pub fn from_u16(v: u16) -> Result<ControlOp> {
+        Ok(match v {
+            0 => ControlOp::SnapshotComplete,
+            1 => ControlOp::Deallocate,
+            2 => ControlOp::DeactivateNotice,
+            3 => ControlOp::ReactivateNotice,
+            4 => ControlOp::Heartbeat,
+            other => return Err(Error::BadPacketType(other as u8)),
+        })
+    }
+}
+
+/// The decoded 16-bit flags word.
+///
+/// ```text
+/// bits 0-1: packet type
+/// bit 2:    complete   — program finished (RETURN/CRET/... executed)
+/// bit 3:    disabled   — a branch is pending; instructions are skipped
+/// bit 4:    from_switch— packet originated at / was turned around by the
+///                        switch (allocation responses, RTS replies)
+/// bit 5:    failed     — allocation response: no feasible allocation
+/// bit 6:    elastic    — allocation request: variable demand (Sec. 4.1)
+/// bit 7:    pinned     — allocation request: only consider mutants that
+///                        avoid extra recirculation (most-constrained)
+/// bit 8:    rts_done   — an RTS already executed on this packet
+/// bit 9:    deactivated— the switch dropped processing because the FID is
+///                        quiesced for reallocation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketFlags(pub u16);
+
+impl PacketFlags {
+    const TYPE_MASK: u16 = 0b11;
+    const COMPLETE: u16 = 1 << 2;
+    const DISABLED: u16 = 1 << 3;
+    const FROM_SWITCH: u16 = 1 << 4;
+    const FAILED: u16 = 1 << 5;
+    const ELASTIC: u16 = 1 << 6;
+    const PINNED: u16 = 1 << 7;
+    const RTS_DONE: u16 = 1 << 8;
+    const DEACTIVATED: u16 = 1 << 9;
+
+    /// The packet type bits.
+    pub fn packet_type(self) -> PacketType {
+        PacketType::from_bits(self.0 as u8)
+    }
+
+    /// Return a copy with the packet type set.
+    pub fn with_type(self, ty: PacketType) -> PacketFlags {
+        PacketFlags((self.0 & !Self::TYPE_MASK) | ty as u16)
+    }
+
+    /// Program execution has completed.
+    pub fn complete(self) -> bool {
+        self.0 & Self::COMPLETE != 0
+    }
+
+    /// Set/clear the `complete` flag.
+    pub fn set_complete(&mut self, v: bool) {
+        self.set(Self::COMPLETE, v)
+    }
+
+    /// Instructions are currently being skipped pending a branch label.
+    pub fn disabled(self) -> bool {
+        self.0 & Self::DISABLED != 0
+    }
+
+    /// Set/clear the `disabled` flag.
+    pub fn set_disabled(&mut self, v: bool) {
+        self.set(Self::DISABLED, v)
+    }
+
+    /// The packet was produced or turned around by the switch.
+    pub fn from_switch(self) -> bool {
+        self.0 & Self::FROM_SWITCH != 0
+    }
+
+    /// Set/clear the `from_switch` flag.
+    pub fn set_from_switch(&mut self, v: bool) {
+        self.set(Self::FROM_SWITCH, v)
+    }
+
+    /// Allocation failed (responses only).
+    pub fn failed(self) -> bool {
+        self.0 & Self::FAILED != 0
+    }
+
+    /// Set/clear the `failed` flag.
+    pub fn set_failed(&mut self, v: bool) {
+        self.set(Self::FAILED, v)
+    }
+
+    /// The requesting application has elastic (variable) demand.
+    pub fn elastic(self) -> bool {
+        self.0 & Self::ELASTIC != 0
+    }
+
+    /// Set/clear the `elastic` flag.
+    pub fn set_elastic(&mut self, v: bool) {
+        self.set(Self::ELASTIC, v)
+    }
+
+    /// The request restricts the allocator to recirculation-free mutants.
+    pub fn pinned(self) -> bool {
+        self.0 & Self::PINNED != 0
+    }
+
+    /// Set/clear the `pinned` flag.
+    pub fn set_pinned(&mut self, v: bool) {
+        self.set(Self::PINNED, v)
+    }
+
+    /// An RTS has already fired on this packet.
+    pub fn rts_done(self) -> bool {
+        self.0 & Self::RTS_DONE != 0
+    }
+
+    /// Set/clear the `rts_done` flag.
+    pub fn set_rts_done(&mut self, v: bool) {
+        self.set(Self::RTS_DONE, v)
+    }
+
+    /// The switch refused processing because the FID is quiesced.
+    pub fn deactivated(self) -> bool {
+        self.0 & Self::DEACTIVATED != 0
+    }
+
+    /// Set/clear the `deactivated` flag.
+    pub fn set_deactivated(&mut self, v: bool) {
+        self.set(Self::DEACTIVATED, v)
+    }
+
+    fn set(&mut self, bit: u16, v: bool) {
+        if v {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+}
+
+/// Typed view over the 10-byte initial active header.
+#[derive(Debug)]
+pub struct ActiveHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ActiveHeader<T> {
+    /// Wrap without length checking.
+    pub fn new_unchecked(buffer: T) -> ActiveHeader<T> {
+        ActiveHeader { buffer }
+    }
+
+    /// Wrap, verifying the buffer holds at least 10 bytes.
+    pub fn new_checked(buffer: T) -> Result<ActiveHeader<T>> {
+        let len = buffer.as_ref().len();
+        if len < INITIAL_HEADER_LEN {
+            return Err(Error::Truncated {
+                what: "initial active header",
+                need: INITIAL_HEADER_LEN,
+                have: len,
+            });
+        }
+        Ok(ActiveHeader { buffer })
+    }
+
+    /// The service/program identifier.
+    pub fn fid(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// The decoded flags word.
+    pub fn flags(&self) -> PacketFlags {
+        PacketFlags(get_u16(self.buffer.as_ref(), 2))
+    }
+
+    /// Client sequence number.
+    pub fn seq(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Declared instruction count for program packets.
+    pub fn program_len(&self) -> u8 {
+        self.buffer.as_ref()[6]
+    }
+
+    /// How many passes through the pipeline this packet has made.
+    pub fn recirc_count(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// The type-specific auxiliary word.
+    pub fn aux(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 8)
+    }
+
+    /// Decode `aux` as a control operation (Control packets).
+    pub fn control_op(&self) -> Result<ControlOp> {
+        ControlOp::from_u16(self.aux())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> ActiveHeader<T> {
+    /// Set the FID.
+    pub fn set_fid(&mut self, fid: u16) {
+        put_u16(self.buffer.as_mut(), 0, fid);
+    }
+
+    /// Set the flags word.
+    pub fn set_flags(&mut self, flags: PacketFlags) {
+        put_u16(self.buffer.as_mut(), 2, flags.0);
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, seq: u16) {
+        put_u16(self.buffer.as_mut(), 4, seq);
+    }
+
+    /// Set the declared program length.
+    pub fn set_program_len(&mut self, len: u8) {
+        self.buffer.as_mut()[6] = len;
+    }
+
+    /// Set the recirculation counter.
+    pub fn set_recirc_count(&mut self, n: u8) {
+        self.buffer.as_mut()[7] = n;
+    }
+
+    /// Set the auxiliary word.
+    pub fn set_aux(&mut self, aux: u16) {
+        put_u16(self.buffer.as_mut(), 8, aux);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = [0u8; INITIAL_HEADER_LEN];
+        let mut h = ActiveHeader::new_checked(&mut buf[..]).unwrap();
+        h.set_fid(0xABCD);
+        let mut f = PacketFlags::default().with_type(PacketType::AllocRequest);
+        f.set_elastic(true);
+        f.set_pinned(true);
+        h.set_flags(f);
+        h.set_seq(99);
+        h.set_program_len(11);
+        h.set_recirc_count(2);
+        h.set_aux(0x0102);
+
+        let h = ActiveHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.fid(), 0xABCD);
+        assert_eq!(h.flags().packet_type(), PacketType::AllocRequest);
+        assert!(h.flags().elastic());
+        assert!(h.flags().pinned());
+        assert!(!h.flags().complete());
+        assert_eq!(h.seq(), 99);
+        assert_eq!(h.program_len(), 11);
+        assert_eq!(h.recirc_count(), 2);
+        assert_eq!(h.aux(), 0x0102);
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(ActiveHeader::new_checked(&[0u8; 9][..]).is_err());
+    }
+
+    #[test]
+    fn all_packet_types_roundtrip() {
+        for ty in [
+            PacketType::Program,
+            PacketType::AllocRequest,
+            PacketType::AllocResponse,
+            PacketType::Control,
+        ] {
+            let f = PacketFlags::default().with_type(ty);
+            assert_eq!(f.packet_type(), ty);
+        }
+    }
+
+    #[test]
+    fn type_change_preserves_other_bits() {
+        let mut f = PacketFlags::default().with_type(PacketType::Control);
+        f.set_complete(true);
+        f.set_disabled(true);
+        let g = f.with_type(PacketType::Program);
+        assert!(g.complete());
+        assert!(g.disabled());
+        assert_eq!(g.packet_type(), PacketType::Program);
+    }
+
+    #[test]
+    fn flag_bits_are_independent() {
+        let mut f = PacketFlags::default();
+        f.set_rts_done(true);
+        assert!(f.rts_done());
+        assert!(!f.from_switch() && !f.failed() && !f.deactivated());
+        f.set_rts_done(false);
+        assert_eq!(f.0, 0);
+    }
+
+    #[test]
+    fn control_ops_roundtrip() {
+        for op in [
+            ControlOp::SnapshotComplete,
+            ControlOp::Deallocate,
+            ControlOp::DeactivateNotice,
+            ControlOp::ReactivateNotice,
+            ControlOp::Heartbeat,
+        ] {
+            assert_eq!(ControlOp::from_u16(op as u16).unwrap(), op);
+        }
+        assert!(ControlOp::from_u16(100).is_err());
+    }
+}

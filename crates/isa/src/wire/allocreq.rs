@@ -1,0 +1,196 @@
+//! The 24-byte allocation-request header (Sections 3.3 and 4.3).
+//!
+//! "Allocation request packets contain a set of headers that describe an
+//! active program in terms of its memory access patterns — the length of
+//! the program, the stages where it accesses memory and the respective
+//! demands of each stage. ... In our prototype allocation request headers
+//! are 24-bytes long, consisting of eight three-byte headers corresponding
+//! to eight potential memory accesses."
+//!
+//! Each 3-byte access descriptor encodes, for one memory access of the
+//! *most compact* program layout:
+//!
+//! ```text
+//! byte 0: min_position — 1-based instruction index of the access in the
+//!         compact program (the lower bound LB_i of Section 4.2)
+//! byte 1: min_gap      — minimum distance from the previous access (B_i)
+//! byte 2: demand       — memory demand at that access, in blocks
+//! ```
+//!
+//! A descriptor of all zeros is unused. The program length travels in the
+//! initial header's `program_len` field, and the `elastic`/`pinned`
+//! request options in its flags.
+
+use crate::constants::{ACCESS_DESCRIPTOR_LEN, ALLOC_REQUEST_LEN, MAX_MEMORY_ACCESSES};
+use crate::error::{Error, Result};
+
+/// One memory access of the requesting program, in compact-layout terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessDescriptor {
+    /// 1-based instruction index of the access in the compact program
+    /// (Section 4.2's LB_i).
+    pub min_position: u8,
+    /// Minimum distance (in instructions) from the previous access
+    /// (Section 4.2's B_i; for the first access, from program start).
+    pub min_gap: u8,
+    /// Demand at this access, in allocation blocks. Zero means "elastic":
+    /// any amount, the more the better (Section 4.1).
+    pub demand: u8,
+}
+
+impl AccessDescriptor {
+    /// True if this slot carries no access (all-zero padding).
+    pub fn is_empty(&self) -> bool {
+        self.min_position == 0
+    }
+}
+
+/// Typed view over the 24-byte allocation-request header.
+#[derive(Debug)]
+pub struct AllocRequest<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> AllocRequest<T> {
+    /// Wrap without length checking.
+    pub fn new_unchecked(buffer: T) -> AllocRequest<T> {
+        AllocRequest { buffer }
+    }
+
+    /// Wrap, verifying the buffer holds the full 24 bytes.
+    pub fn new_checked(buffer: T) -> Result<AllocRequest<T>> {
+        let len = buffer.as_ref().len();
+        if len < ALLOC_REQUEST_LEN {
+            return Err(Error::Truncated {
+                what: "allocation request header",
+                need: ALLOC_REQUEST_LEN,
+                have: len,
+            });
+        }
+        Ok(AllocRequest { buffer })
+    }
+
+    /// Read descriptor slot `i` (0..8).
+    pub fn descriptor(&self, i: usize) -> AccessDescriptor {
+        assert!(i < MAX_MEMORY_ACCESSES);
+        let off = i * ACCESS_DESCRIPTOR_LEN;
+        let b = self.buffer.as_ref();
+        AccessDescriptor {
+            min_position: b[off],
+            min_gap: b[off + 1],
+            demand: b[off + 2],
+        }
+    }
+
+    /// All populated descriptors, in order.
+    pub fn accesses(&self) -> Vec<AccessDescriptor> {
+        (0..MAX_MEMORY_ACCESSES)
+            .map(|i| self.descriptor(i))
+            .take_while(|d| !d.is_empty())
+            .collect()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> AllocRequest<T> {
+    /// Write descriptor slot `i`.
+    pub fn set_descriptor(&mut self, i: usize, d: AccessDescriptor) {
+        assert!(i < MAX_MEMORY_ACCESSES);
+        let off = i * ACCESS_DESCRIPTOR_LEN;
+        let b = self.buffer.as_mut();
+        b[off] = d.min_position;
+        b[off + 1] = d.min_gap;
+        b[off + 2] = d.demand;
+    }
+
+    /// Populate the header from a list of accesses, zero-padding the
+    /// remaining slots.
+    pub fn set_accesses(&mut self, accesses: &[AccessDescriptor]) -> Result<()> {
+        if accesses.len() > MAX_MEMORY_ACCESSES {
+            return Err(Error::TooManyAccesses(accesses.len()));
+        }
+        for i in 0..MAX_MEMORY_ACCESSES {
+            let d = accesses.get(i).copied().unwrap_or(AccessDescriptor {
+                min_position: 0,
+                min_gap: 0,
+                demand: 0,
+            });
+            self.set_descriptor(i, d);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing1_accesses() -> Vec<AccessDescriptor> {
+        // Listing 1: accesses at lines 2, 5, 9 with min distances 1, 3, 4
+        // (Section 4.2's LB = [2 5 9], B = [1 3 4]); elastic demand.
+        vec![
+            AccessDescriptor {
+                min_position: 2,
+                min_gap: 1,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 3,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 9,
+                min_gap: 4,
+                demand: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; ALLOC_REQUEST_LEN];
+        let mut req = AllocRequest::new_checked(&mut buf[..]).unwrap();
+        req.set_accesses(&listing1_accesses()).unwrap();
+        let req = AllocRequest::new_checked(&buf[..]).unwrap();
+        assert_eq!(req.accesses(), listing1_accesses());
+        // Unused slots read as empty.
+        assert!(req.descriptor(3).is_empty());
+        assert!(req.descriptor(7).is_empty());
+    }
+
+    #[test]
+    fn too_many_accesses_rejected() {
+        let mut buf = [0u8; ALLOC_REQUEST_LEN];
+        let mut req = AllocRequest::new_unchecked(&mut buf[..]);
+        let nine = vec![
+            AccessDescriptor {
+                min_position: 1,
+                min_gap: 1,
+                demand: 1
+            };
+            9
+        ];
+        assert_eq!(req.set_accesses(&nine), Err(Error::TooManyAccesses(9)));
+    }
+
+    #[test]
+    fn full_eight_accesses_fit() {
+        let mut buf = [0u8; ALLOC_REQUEST_LEN];
+        let mut req = AllocRequest::new_unchecked(&mut buf[..]);
+        let eight: Vec<_> = (1..=8)
+            .map(|i| AccessDescriptor {
+                min_position: i,
+                min_gap: 1,
+                demand: i,
+            })
+            .collect();
+        req.set_accesses(&eight).unwrap();
+        let req = AllocRequest::new_unchecked(&buf[..]);
+        assert_eq!(req.accesses(), eight);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(AllocRequest::new_checked(&[0u8; 23][..]).is_err());
+    }
+}

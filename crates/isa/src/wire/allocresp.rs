@@ -1,0 +1,155 @@
+//! The 160-byte allocation-response header (Sections 3.3 and 4.3).
+//!
+//! "Allocation response headers are 160-bytes long and consist of 20
+//! eight-byte headers encoding the memory regions allocated in each of
+//! the 20 stages in our switch pipeline."
+//!
+//! Each 8-byte entry is a pair of 32-bit register indices `(start, end)`,
+//! with `end` exclusive; `(0, 0)` denotes "no allocation in this stage".
+//! The entry at index *s* describes logical stage *s* (0-based).
+
+use crate::constants::{ALLOC_RESPONSE_LEN, REGION_ENTRY_LEN, RESPONSE_STAGES};
+use crate::error::{Error, Result};
+use crate::wire::{get_u32, put_u32};
+
+/// A per-stage allocated register region, `start..end` (end exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegionEntry {
+    /// First allocated register index.
+    pub start: u32,
+    /// One past the last allocated register index.
+    pub end: u32,
+}
+
+impl RegionEntry {
+    /// True if no memory is allocated in this stage.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of registers in the region.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Typed view over the 160-byte allocation-response header.
+#[derive(Debug)]
+pub struct AllocResponse<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> AllocResponse<T> {
+    /// Wrap without length checking.
+    pub fn new_unchecked(buffer: T) -> AllocResponse<T> {
+        AllocResponse { buffer }
+    }
+
+    /// Wrap, verifying the buffer holds the full 160 bytes.
+    pub fn new_checked(buffer: T) -> Result<AllocResponse<T>> {
+        let len = buffer.as_ref().len();
+        if len < ALLOC_RESPONSE_LEN {
+            return Err(Error::Truncated {
+                what: "allocation response header",
+                need: ALLOC_RESPONSE_LEN,
+                have: len,
+            });
+        }
+        Ok(AllocResponse { buffer })
+    }
+
+    /// Read the region for 0-based stage `s`.
+    pub fn region(&self, s: usize) -> RegionEntry {
+        assert!(s < RESPONSE_STAGES);
+        let off = s * REGION_ENTRY_LEN;
+        let b = self.buffer.as_ref();
+        RegionEntry {
+            start: get_u32(b, off),
+            end: get_u32(b, off + 4),
+        }
+    }
+
+    /// All 20 per-stage regions.
+    pub fn regions(&self) -> [RegionEntry; RESPONSE_STAGES] {
+        let mut out = [RegionEntry::default(); RESPONSE_STAGES];
+        for (s, slot) in out.iter_mut().enumerate() {
+            *slot = self.region(s);
+        }
+        out
+    }
+
+    /// Indices of stages with a non-empty allocation, ascending.
+    pub fn allocated_stages(&self) -> Vec<usize> {
+        (0..RESPONSE_STAGES)
+            .filter(|&s| !self.region(s).is_empty())
+            .collect()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> AllocResponse<T> {
+    /// Write the region for 0-based stage `s`.
+    pub fn set_region(&mut self, s: usize, r: RegionEntry) {
+        assert!(s < RESPONSE_STAGES);
+        let off = s * REGION_ENTRY_LEN;
+        let b = self.buffer.as_mut();
+        put_u32(b, off, r.start);
+        put_u32(b, off + 4, r.end);
+    }
+
+    /// Zero all entries (no allocation anywhere).
+    pub fn clear(&mut self) {
+        for s in 0..RESPONSE_STAGES {
+            self.set_region(s, RegionEntry::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; ALLOC_RESPONSE_LEN];
+        let mut resp = AllocResponse::new_checked(&mut buf[..]).unwrap();
+        resp.set_region(1, RegionEntry { start: 0, end: 1024 });
+        resp.set_region(4, RegionEntry { start: 512, end: 768 });
+        resp.set_region(
+            19,
+            RegionEntry {
+                start: 0xFFFF_0000,
+                end: 0xFFFF_FFFF,
+            },
+        );
+        let resp = AllocResponse::new_checked(&buf[..]).unwrap();
+        assert_eq!(resp.region(1), RegionEntry { start: 0, end: 1024 });
+        assert_eq!(resp.region(1).len(), 1024);
+        assert!(resp.region(0).is_empty());
+        assert_eq!(resp.allocated_stages(), vec![1, 4, 19]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut buf = [0xFFu8; ALLOC_RESPONSE_LEN];
+        let mut resp = AllocResponse::new_unchecked(&mut buf[..]);
+        resp.clear();
+        let resp = AllocResponse::new_unchecked(&buf[..]);
+        assert!(resp.allocated_stages().is_empty());
+        for r in resp.regions() {
+            assert!(r.is_empty());
+            assert_eq!(r.len(), 0);
+        }
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(AllocResponse::new_checked(&[0u8; 159][..]).is_err());
+        assert!(AllocResponse::new_checked(&[0u8; 160][..]).is_ok());
+    }
+
+    #[test]
+    fn region_len_saturates() {
+        let r = RegionEntry { start: 10, end: 5 };
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal Ethernet-like L2 framing for the simulated network.
+//!
+//! The paper "uses layer-2 encapsulation, following the standard Ethernet
+//! header" (Section 3.3). The simulated links carry these frames
+//! directly; MAC addresses double as host identifiers in the network
+//! simulator.
+
+use crate::constants::ETHERNET_HEADER_LEN;
+use crate::error::{Error, Result};
+
+/// A typed view over an Ethernet frame.
+///
+/// Following the smoltcp idiom, `T` may be any byte container; mutation
+/// requires `T: AsMut<[u8]>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without checking its length.
+    pub fn new_unchecked(buffer: T) -> EthernetFrame<T> {
+        EthernetFrame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it can hold the 14-byte header.
+    pub fn new_checked(buffer: T) -> Result<EthernetFrame<T>> {
+        let len = buffer.as_ref().len();
+        if len < ETHERNET_HEADER_LEN {
+            return Err(Error::Truncated {
+                what: "ethernet header",
+                need: ETHERNET_HEADER_LEN,
+                have: len,
+            });
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> [u8; 6] {
+        let b = self.buffer.as_ref();
+        [b[0], b[1], b[2], b[3], b[4], b[5]]
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> [u8; 6] {
+        let b = self.buffer.as_ref();
+        [b[6], b[7], b[8], b[9], b[10], b[11]]
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]])
+    }
+
+    /// The bytes after the L2 header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Unwrap the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac);
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, ty: u16) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&ty.to_be_bytes());
+    }
+
+    /// Swap source and destination addresses (the RTS primitive's L2
+    /// effect — "the source and destination addresses are swapped",
+    /// Appendix A.5).
+    pub fn swap_addresses(&mut self) {
+        let (dst, src) = (self.dst(), self.src());
+        self.set_dst(src);
+        self.set_src(dst);
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mut buf = [0u8; 20];
+        let mut f = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        f.set_dst([1, 2, 3, 4, 5, 6]);
+        f.set_src([9, 8, 7, 6, 5, 4]);
+        f.set_ethertype(0x83B2);
+        assert_eq!(f.dst(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(f.src(), [9, 8, 7, 6, 5, 4]);
+        assert_eq!(f.ethertype(), 0x83B2);
+        assert_eq!(f.payload().len(), 6);
+    }
+
+    #[test]
+    fn swap_addresses_swaps() {
+        let mut buf = [0u8; 14];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst([0xAA; 6]);
+        f.set_src([0xBB; 6]);
+        f.swap_addresses();
+        assert_eq!(f.dst(), [0xBB; 6]);
+        assert_eq!(f.src(), [0xAA; 6]);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(EthernetFrame::new_checked(&[0u8; 13][..]).is_err());
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+}

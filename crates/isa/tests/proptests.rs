@@ -1,0 +1,164 @@
+//! Property-based tests for the ISA wire formats.
+//!
+//! These exercise the invariants a switch and client must both rely on:
+//! every encode/decode pair is a bijection on valid inputs, and no
+//! arbitrary byte soup can panic a parser.
+
+use activermt_isa::constants::*;
+use activermt_isa::wire::{
+    AccessDescriptor, ActiveHeader, AllocRequest, AllocResponse, EthernetFrame, PacketFlags,
+    RegionEntry,
+};
+use activermt_isa::{InstrFlags, Instruction, Opcode, Program};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    (arb_opcode(), any::<u8>()).prop_map(|(opcode, flags)| {
+        let mut flags = InstrFlags::from_byte(flags);
+        // Keep arg selectors within the four data fields so the
+        // instruction validates.
+        if opcode.operand_kind() == activermt_isa::opcode::OperandKind::ArgIndex {
+            flags.operand %= NUM_ARGS as u8;
+        }
+        Instruction { opcode, flags }
+    })
+}
+
+/// A random valid (EOF-free, branch-free) instruction body.
+fn arb_body() -> impl Strategy<Value = Vec<Instruction>> {
+    prop::collection::vec(arb_instruction(), 0..64).prop_map(|v| {
+        v.into_iter()
+            .filter(|i| i.opcode != Opcode::EOF && !i.opcode.is_branch())
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn instruction_bytes_roundtrip(ins in arb_instruction()) {
+        let [op, fl] = ins.to_bytes();
+        prop_assert_eq!(Instruction::from_bytes(op, fl).unwrap(), ins);
+    }
+
+    #[test]
+    fn program_instruction_stream_roundtrips(body in arb_body()) {
+        let p = Program::new(body, [0; 4]).unwrap();
+        let bytes = p.encode_instructions();
+        prop_assert_eq!(bytes.len(), (p.len() + 1) * 2);
+        let back = Program::decode_instructions(&bytes).unwrap();
+        prop_assert_eq!(back.instructions(), p.instructions());
+    }
+
+    #[test]
+    fn instruction_decode_never_panics(op in any::<u8>(), fl in any::<u8>()) {
+        let _ = Instruction::from_bytes(op, fl);
+    }
+
+    #[test]
+    fn program_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Program::decode_instructions(&bytes);
+    }
+
+    #[test]
+    fn active_header_fields_roundtrip(
+        fid in any::<u16>(), flags in any::<u16>(), seq in any::<u16>(),
+        plen in any::<u8>(), recirc in any::<u8>(), aux in any::<u16>(),
+    ) {
+        let mut buf = [0u8; INITIAL_HEADER_LEN];
+        let mut h = ActiveHeader::new_unchecked(&mut buf[..]);
+        h.set_fid(fid);
+        h.set_flags(PacketFlags(flags));
+        h.set_seq(seq);
+        h.set_program_len(plen);
+        h.set_recirc_count(recirc);
+        h.set_aux(aux);
+        let h = ActiveHeader::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.fid(), fid);
+        prop_assert_eq!(h.flags().0, flags);
+        prop_assert_eq!(h.seq(), seq);
+        prop_assert_eq!(h.program_len(), plen);
+        prop_assert_eq!(h.recirc_count(), recirc);
+        prop_assert_eq!(h.aux(), aux);
+    }
+
+    #[test]
+    fn alloc_request_roundtrips(
+        raw in prop::collection::vec((1u8..=255, any::<u8>(), any::<u8>()), 0..=MAX_MEMORY_ACCESSES)
+    ) {
+        let accesses: Vec<_> = raw
+            .into_iter()
+            .map(|(p, g, d)| AccessDescriptor { min_position: p, min_gap: g, demand: d })
+            .collect();
+        let mut buf = [0u8; ALLOC_REQUEST_LEN];
+        let mut req = AllocRequest::new_unchecked(&mut buf[..]);
+        req.set_accesses(&accesses).unwrap();
+        let req = AllocRequest::new_unchecked(&buf[..]);
+        prop_assert_eq!(req.accesses(), accesses);
+    }
+
+    #[test]
+    fn alloc_response_roundtrips(
+        regions in prop::collection::vec((any::<u32>(), any::<u32>()), RESPONSE_STAGES)
+    ) {
+        let mut buf = [0u8; ALLOC_RESPONSE_LEN];
+        let mut resp = AllocResponse::new_unchecked(&mut buf[..]);
+        for (s, (start, end)) in regions.iter().enumerate() {
+            resp.set_region(s, RegionEntry { start: *start, end: *end });
+        }
+        let resp = AllocResponse::new_unchecked(&buf[..]);
+        for (s, (start, end)) in regions.iter().enumerate() {
+            prop_assert_eq!(resp.region(s), RegionEntry { start: *start, end: *end });
+        }
+    }
+
+    #[test]
+    fn ethernet_roundtrips(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), ty in any::<u16>()) {
+        let mut buf = [0u8; ETHERNET_HEADER_LEN];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(dst);
+        f.set_src(src);
+        f.set_ethertype(ty);
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(f.dst(), dst);
+        prop_assert_eq!(f.src(), src);
+        prop_assert_eq!(f.ethertype(), ty);
+    }
+
+    #[test]
+    fn double_swap_is_identity(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>()) {
+        let mut buf = [0u8; ETHERNET_HEADER_LEN];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(dst);
+        f.set_src(src);
+        f.swap_addresses();
+        f.swap_addresses();
+        prop_assert_eq!(f.dst(), dst);
+        prop_assert_eq!(f.src(), src);
+    }
+
+    #[test]
+    fn nop_insertion_preserves_access_count(extra in 1usize..8, at in 1usize..12) {
+        // Mutant synthesis never changes the number of memory accesses.
+        let body = vec![
+            Instruction::new(Opcode::MEM_READ),
+            Instruction::new(Opcode::NOP),
+            Instruction::new(Opcode::MEM_WRITE),
+            Instruction::new(Opcode::RETURN),
+        ];
+        let mut p = Program::new(body, [0; 4]).unwrap();
+        let before = p.memory_access_positions().len();
+        if at <= p.len() + 1 {
+            p.insert_nops(at, extra).unwrap();
+            prop_assert_eq!(p.memory_access_positions().len(), before);
+            // Positions stay sorted and distinct.
+            let pos = p.memory_access_positions();
+            for w in pos.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

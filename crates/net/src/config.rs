@@ -1,0 +1,65 @@
+//! Network parameters.
+
+/// Link and timing parameters for the simulated star topology.
+///
+/// Defaults approximate the paper's testbed: 40 Gbps NICs (ConnectX-3),
+/// microsecond-scale host-to-switch latency, and a 100 µs control-plane
+/// polling interval (Section 5: "Communications with the controller
+/// involve a poll-based mechanism with intervals around 100 µs").
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// One-way propagation delay of each host-switch link, ns.
+    pub link_latency_ns: u64,
+    /// Link bandwidth in bytes per microsecond (40 Gbps = 5000 B/µs).
+    pub bytes_per_us: u64,
+    /// Controller polling interval, ns.
+    pub controller_poll_ns: u64,
+    /// Per-frame host processing overhead, ns (NIC + stack).
+    pub host_overhead_ns: u64,
+    /// Frame loss probability in per-mille (0 = lossless). Losses are
+    /// drawn from a seeded PRNG, so runs stay deterministic; used for
+    /// failure-injection scenarios exercising the Section 4.3
+    /// retransmission story.
+    pub loss_per_mille: u32,
+    /// Seed for the loss process.
+    pub loss_seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            link_latency_ns: 1_000,
+            bytes_per_us: 5_000,
+            controller_poll_ns: 100_000,
+            host_overhead_ns: 2_000,
+            loss_per_mille: 0,
+            loss_seed: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Serialization delay of a frame of `len` bytes, ns.
+    pub fn tx_time_ns(&self, len: usize) -> u64 {
+        (len as u64 * 1_000) / self.bytes_per_us
+    }
+
+    /// Total one-way link traversal for a frame of `len` bytes, ns.
+    pub fn link_time_ns(&self, len: usize) -> u64 {
+        self.link_latency_ns + self.tx_time_ns(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_gbps_serialization() {
+        let c = NetConfig::default();
+        // 5000 bytes take 1 µs at 40 Gbps.
+        assert_eq!(c.tx_time_ns(5_000), 1_000);
+        assert_eq!(c.tx_time_ns(256), 51);
+        assert_eq!(c.link_time_ns(0), c.link_latency_ns);
+    }
+}

@@ -1,0 +1,209 @@
+//! Hosts hanging off the switch.
+//!
+//! A [`Host`] reacts to delivered frames (and optional periodic timers)
+//! by emitting new frames. Scenario-specific hosts (cache clients, the
+//! multi-tenant clients of Figure 9b) live in the benchmark harness and
+//! integration tests; this module provides the trait plus the two
+//! generic hosts every scenario needs: the backend KV server and an
+//! echo host for latency baselines.
+
+use activermt_apps::kvstore::KvServer;
+use activermt_isa::wire::EthernetFrame;
+use std::any::Any;
+
+/// A network endpoint attached to the switch.
+pub trait Host {
+    /// The host's MAC address (its identity on the star).
+    fn mac(&self) -> [u8; 6];
+
+    /// A frame addressed to this host arrived; return frames to send.
+    fn on_frame(&mut self, now_ns: u64, frame: Vec<u8>) -> Vec<Vec<u8>>;
+
+    /// Periodic timer (fires every [`Host::tick_interval`] ns).
+    fn on_tick(&mut self, _now_ns: u64) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
+    /// Timer period, if the host wants ticks.
+    fn tick_interval(&self) -> Option<u64> {
+        None
+    }
+
+    /// Downcast support so scenarios can inspect host state after a
+    /// run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The backend key-value server: answers application messages in the
+/// payload of whatever frame reaches it (active headers included — the
+/// server's shim strips them by locating the payload).
+#[derive(Debug)]
+pub struct KvServerHost {
+    mac: [u8; 6],
+    store: KvServer,
+    answered: u64,
+}
+
+impl KvServerHost {
+    /// A server preloaded with `keys` objects.
+    pub fn new(mac: [u8; 6], keys: u64) -> KvServerHost {
+        let mut store = KvServer::new();
+        store.preload(keys);
+        KvServerHost {
+            mac,
+            store,
+            answered: 0,
+        }
+    }
+
+    /// Requests answered so far (= cache misses that reached us).
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &KvServer {
+        &self.store
+    }
+}
+
+impl Host for KvServerHost {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    fn on_frame(&mut self, _now_ns: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        // Locate the application payload: after active headers if the
+        // frame is active, else right after L2.
+        let payload_off = match activermt_isa::wire::program_packet_layout(&frame) {
+            Ok(layout) => layout.payload_off,
+            Err(_) => activermt_isa::constants::ETHERNET_HEADER_LEN,
+        };
+        let Some(resp_payload) = self.store.handle(&frame[payload_off..]) else {
+            return Vec::new();
+        };
+        self.answered += 1;
+        // Answer with a plain (non-active) frame back to the requester.
+        let eth = EthernetFrame::new_unchecked(&frame[..]);
+        let mut resp = vec![0u8; activermt_isa::constants::ETHERNET_HEADER_LEN];
+        {
+            let mut r = EthernetFrame::new_unchecked(&mut resp[..]);
+            r.set_dst(eth.src());
+            r.set_src(self.mac);
+            r.set_ethertype(0x0800);
+        }
+        resp.extend_from_slice(&resp_payload);
+        vec![resp]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An echo host: returns every frame to its sender unchanged (the
+/// Figure 8b latency baseline "where the switch echos responses" is
+/// measured against a far-end reflector).
+#[derive(Debug)]
+pub struct EchoHost {
+    mac: [u8; 6],
+    echoed: u64,
+}
+
+impl EchoHost {
+    /// A reflector at `mac`.
+    pub fn new(mac: [u8; 6]) -> EchoHost {
+        EchoHost { mac, echoed: 0 }
+    }
+
+    /// Frames reflected.
+    pub fn echoed(&self) -> u64 {
+        self.echoed
+    }
+}
+
+impl Host for EchoHost {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    fn on_frame(&mut self, _now_ns: u64, mut frame: Vec<u8>) -> Vec<Vec<u8>> {
+        self.echoed += 1;
+        let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+        eth.swap_addresses();
+        vec![frame]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_apps::kvstore::{value_of, KvMessage, KvOp};
+
+    #[test]
+    fn kv_server_answers_plain_frames() {
+        let mut srv = KvServerHost::new([9; 6], 100);
+        let mut frame = vec![0u8; 14];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.set_dst([9; 6]);
+            eth.set_src([1; 6]);
+            eth.set_ethertype(0x0800);
+        }
+        frame.extend_from_slice(
+            &KvMessage {
+                op: KvOp::Get,
+                key: 5,
+                value: 0,
+            }
+            .encode(),
+        );
+        let out = srv.on_frame(0, frame);
+        assert_eq!(out.len(), 1);
+        let resp = EthernetFrame::new_unchecked(&out[0][..]);
+        assert_eq!(resp.dst(), [1; 6]);
+        let msg = KvMessage::decode(&out[0][14..]).unwrap();
+        assert_eq!(msg.value, value_of(5));
+        assert_eq!(srv.answered(), 1);
+    }
+
+    #[test]
+    fn garbage_is_ignored() {
+        let mut srv = KvServerHost::new([9; 6], 10);
+        let mut frame = vec![0u8; 14];
+        EthernetFrame::new_unchecked(&mut frame[..]).set_ethertype(0x0800);
+        assert!(srv.on_frame(0, frame).is_empty());
+        assert_eq!(srv.answered(), 0);
+    }
+
+    #[test]
+    fn echo_swaps_addresses() {
+        let mut echo = EchoHost::new([7; 6]);
+        let mut frame = vec![0u8; 20];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.set_dst([7; 6]);
+            eth.set_src([1; 6]);
+        }
+        let out = echo.on_frame(0, frame);
+        let eth = EthernetFrame::new_unchecked(&out[0][..]);
+        assert_eq!(eth.dst(), [1; 6]);
+        assert_eq!(eth.src(), [7; 6]);
+        assert_eq!(echo.echoed(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # activermt-net
+//!
+//! A deterministic discrete-event network simulator hosting the
+//! ActiveRMT switch — the stand-in for the paper's testbed (a Tofino
+//! connected to 40 Gbps clients; see DESIGN.md for the substitution
+//! argument).
+//!
+//! The topology is a star: every [`host`](host::Host) hangs off the
+//! switch via a link with configurable propagation delay and
+//! bandwidth. The [`switch`](switch::SwitchNode) node couples the
+//! data-plane runtime with the controller, translating controller
+//! actions into timestamped control packets exactly as the paper's
+//! switch CPU does. Virtual time is nanoseconds; all randomness is
+//! seeded by the scenarios.
+
+pub mod apphosts;
+pub mod config;
+pub mod host;
+pub mod sim;
+pub mod switch;
+pub mod trace;
+
+pub use apphosts::{CacheClientConfig, CacheClientHost, LatencyProbeHost, Phase};
+pub use config::NetConfig;
+pub use host::{EchoHost, Host, KvServerHost};
+pub use sim::Simulation;
+pub use switch::SwitchNode;
+pub use trace::{ewma, Series};

@@ -1,0 +1,364 @@
+//! The switch node: data plane + control plane behind one set of ports.
+//!
+//! Couples the [`SwitchRuntime`] with the [`Controller`] the way the
+//! paper's prototype couples its P4 pipeline with the Python controller
+//! on the switch CPU: allocation requests arriving in the data plane
+//! are digested up to the controller (Section 4.3), whose actions come
+//! back as timestamped control packets toward the clients.
+
+use activermt_core::alloc::{AccessPattern, MutantPolicy, Scheme};
+use activermt_core::controller::{Controller, ControllerAction, ProvisioningReport};
+use activermt_core::runtime::{OutputAction, SwitchRuntime};
+use activermt_core::types::Fid;
+use activermt_core::SwitchConfig;
+use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
+use activermt_isa::wire::{
+    build_alloc_response, build_control, ActiveHeader, AllocRequest, ControlOp, EthernetFrame,
+    PacketType,
+};
+use std::collections::HashMap;
+
+/// A frame leaving the switch, with its earliest departure time and
+/// destination MAC.
+#[derive(Debug, Clone)]
+pub struct SwitchEmission {
+    /// Virtual time the frame is ready to leave the switch.
+    pub at_ns: u64,
+    /// Destination MAC.
+    pub dst: [u8; 6],
+    /// The frame.
+    pub frame: Vec<u8>,
+}
+
+/// The combined switch.
+#[derive(Debug)]
+pub struct SwitchNode {
+    mac: [u8; 6],
+    runtime: SwitchRuntime,
+    controller: Controller,
+    /// Learned client MACs per FID (from allocation requests).
+    clients: HashMap<Fid, [u8; 6]>,
+    /// SET_DST port-id to MAC resolution.
+    ports: HashMap<u32, [u8; 6]>,
+    /// Provisioning reports, timestamped (the Figure 8a series).
+    reports: Vec<(u64, ProvisioningReport)>,
+}
+
+impl SwitchNode {
+    /// Bring up a switch with the given allocation scheme.
+    pub fn new(mac: [u8; 6], cfg: SwitchConfig, scheme: Scheme) -> SwitchNode {
+        SwitchNode {
+            mac,
+            runtime: SwitchRuntime::new(cfg),
+            controller: Controller::new(&cfg, scheme),
+            clients: HashMap::new(),
+            ports: HashMap::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The switch's own MAC (clients address control traffic here).
+    pub fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    /// Register a SET_DST port id (e.g. a Cheetah server id).
+    pub fn map_port(&mut self, id: u32, mac: [u8; 6]) {
+        self.ports.insert(id, mac);
+    }
+
+    /// The data-plane runtime (inspection).
+    pub fn runtime(&self) -> &SwitchRuntime {
+        &self.runtime
+    }
+
+    /// Mutable runtime access (tests and manual provisioning).
+    pub fn runtime_mut(&mut self) -> &mut SwitchRuntime {
+        &mut self.runtime
+    }
+
+    /// The controller (inspection).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Collected provisioning reports.
+    pub fn reports(&self) -> &[(u64, ProvisioningReport)] {
+        &self.reports
+    }
+
+    /// Periodic controller poll (timeouts, queued admissions).
+    pub fn poll(&mut self, now_ns: u64) -> Vec<SwitchEmission> {
+        let actions = self.controller.poll(&mut self.runtime, now_ns);
+        self.actions_to_emissions(now_ns, actions)
+    }
+
+    /// Process one arriving frame.
+    pub fn handle_frame(&mut self, now_ns: u64, frame: Vec<u8>) -> Vec<SwitchEmission> {
+        let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            return Vec::new();
+        };
+        if eth.ethertype() != activermt_isa::constants::ACTIVE_ETHERTYPE {
+            return self.data_plane(now_ns, frame);
+        }
+        let src = eth.src();
+        let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
+            return Vec::new();
+        };
+        let fid = hdr.fid();
+        match hdr.flags().packet_type() {
+            PacketType::AllocRequest => {
+                self.clients.insert(fid, src);
+                let flags = hdr.flags();
+                let prog_len = u16::from(hdr.program_len());
+                let ingress = hdr.aux();
+                let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
+                let Ok(req) = AllocRequest::new_checked(body) else {
+                    return Vec::new();
+                };
+                let pattern = AccessPattern::from_request(
+                    &req.accesses(),
+                    prog_len,
+                    flags.elastic(),
+                    if ingress == 0 { None } else { Some(ingress) },
+                );
+                let policy = if flags.pinned() {
+                    MutantPolicy::MostConstrained
+                } else {
+                    MutantPolicy::LeastConstrained
+                };
+                match pattern {
+                    Ok(p) => {
+                        let actions =
+                            self.controller
+                                .handle_request(&mut self.runtime, fid, p, policy, now_ns);
+                        self.actions_to_emissions(now_ns, actions)
+                    }
+                    Err(_) => vec![SwitchEmission {
+                        at_ns: now_ns,
+                        dst: src,
+                        frame: build_alloc_response(src, self.mac, fid, hdr.seq(), None),
+                    }],
+                }
+            }
+            PacketType::Control => match hdr.control_op() {
+                Ok(ControlOp::SnapshotComplete) => {
+                    let actions =
+                        self.controller
+                            .handle_snapshot_complete(&mut self.runtime, fid, now_ns);
+                    self.actions_to_emissions(now_ns, actions)
+                }
+                Ok(ControlOp::Deallocate) => {
+                    match self.controller.handle_deallocate(&mut self.runtime, fid, now_ns) {
+                        Ok(actions) => self.actions_to_emissions(now_ns, actions),
+                        Err(_) => Vec::new(), // busy: client retries
+                    }
+                }
+                _ => Vec::new(),
+            },
+            _ => self.data_plane(now_ns, frame),
+        }
+    }
+
+    fn data_plane(&mut self, now_ns: u64, mut frame: Vec<u8>) -> Vec<SwitchEmission> {
+        // Frames addressed to the switch itself are reflected without
+        // active processing (the Figure 8b echo baseline: "the switch
+        // echos responses without any (active) processing").
+        if frame_dst(&frame) == self.mac
+            && EthernetFrame::new_unchecked(&frame[..]).ethertype()
+                != activermt_isa::constants::ACTIVE_ETHERTYPE
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.swap_addresses();
+            let dst = eth.dst();
+            return vec![SwitchEmission {
+                at_ns: now_ns + 2 * self.runtime.config().pass_latency_ns,
+                dst,
+                frame,
+            }];
+        }
+        self.runtime
+            .process_frame_at(now_ns, frame)
+            .into_iter()
+            .map(|out| {
+                let dst = match (out.dst_override, out.action) {
+                    // SET_DST overrides the L2 destination when the
+                    // port id is known.
+                    (Some(id), OutputAction::Forward) => self
+                        .ports
+                        .get(&id)
+                        .copied()
+                        .unwrap_or_else(|| frame_dst(&out.frame)),
+                    _ => frame_dst(&out.frame),
+                };
+                SwitchEmission {
+                    at_ns: now_ns + out.latency_ns,
+                    dst,
+                    frame: out.frame,
+                }
+            })
+            .collect()
+    }
+
+    fn actions_to_emissions(
+        &mut self,
+        now_ns: u64,
+        actions: Vec<ControllerAction>,
+    ) -> Vec<SwitchEmission> {
+        let mut out = Vec::new();
+        for act in actions {
+            match act {
+                ControllerAction::Respond {
+                    fid,
+                    regions,
+                    failed,
+                    at_ns,
+                } => {
+                    if let Some(&dst) = self.clients.get(&fid) {
+                        let frame = build_alloc_response(
+                            dst,
+                            self.mac,
+                            fid,
+                            0,
+                            if failed { None } else { Some(&regions) },
+                        );
+                        out.push(SwitchEmission { at_ns, dst, frame });
+                    }
+                }
+                ControllerAction::Deactivate { fid, at_ns } => {
+                    if let Some(&dst) = self.clients.get(&fid) {
+                        let frame = build_control(
+                            dst,
+                            self.mac,
+                            fid,
+                            0,
+                            ControlOp::DeactivateNotice,
+                            true,
+                        );
+                        out.push(SwitchEmission { at_ns, dst, frame });
+                    }
+                }
+                ControllerAction::Reactivate { fid, at_ns } => {
+                    if let Some(&dst) = self.clients.get(&fid) {
+                        let frame = build_control(
+                            dst,
+                            self.mac,
+                            fid,
+                            0,
+                            ControlOp::ReactivateNotice,
+                            true,
+                        );
+                        out.push(SwitchEmission { at_ns, dst, frame });
+                    }
+                }
+                ControllerAction::Report(r) => {
+                    self.reports.push((now_ns, r));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn frame_dst(frame: &[u8]) -> [u8; 6] {
+    EthernetFrame::new_unchecked(frame).dst()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_isa::wire::build_alloc_request;
+    use activermt_isa::wire::AccessDescriptor;
+
+    const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+    const CLIENT: [u8; 6] = [2, 0, 0, 0, 0, 1];
+
+    fn cache_request(fid: u16) -> Vec<u8> {
+        let accesses = [
+            AccessDescriptor {
+                min_position: 2,
+                min_gap: 2,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 3,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 9,
+                min_gap: 4,
+                demand: 0,
+            },
+        ];
+        build_alloc_request(SWITCH, CLIENT, fid, 1, &accesses, 11, true, true, 8).unwrap()
+    }
+
+    #[test]
+    fn allocation_request_round_trips_through_the_node() {
+        let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+        let out = sw.handle_frame(1_000, cache_request(7));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, CLIENT);
+        let hdr = ActiveHeader::new_checked(&out[0].frame[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(hdr.flags().packet_type(), PacketType::AllocResponse);
+        assert!(!hdr.flags().failed());
+        assert!(out[0].at_ns >= 1_000);
+        // The allocator admitted the app.
+        assert!(sw.controller().allocator().contains(7));
+        // A provisioning report was recorded.
+        assert_eq!(sw.reports().len(), 1);
+    }
+
+    #[test]
+    fn malformed_requests_get_failure_responses() {
+        let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+        // Inconsistent gap encoding.
+        let bad = [
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 1,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 6,
+                min_gap: 7,
+                demand: 0,
+            },
+        ];
+        let frame = build_alloc_request(SWITCH, CLIENT, 9, 1, &bad, 11, true, true, 0).unwrap();
+        let out = sw.handle_frame(0, frame);
+        assert_eq!(out.len(), 1);
+        let hdr = ActiveHeader::new_checked(&out[0].frame[ETHERNET_HEADER_LEN..]).unwrap();
+        assert!(hdr.flags().failed());
+        assert!(!sw.controller().allocator().contains(9));
+    }
+
+    #[test]
+    fn deallocate_frees_the_fid() {
+        let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+        sw.handle_frame(0, cache_request(7));
+        let ctl = build_control(SWITCH, CLIENT, 7, 2, ControlOp::Deallocate, false);
+        sw.handle_frame(1_000, ctl);
+        assert!(!sw.controller().allocator().contains(7));
+        // Re-admission works.
+        let out = sw.handle_frame(2_000, cache_request(7));
+        let hdr = ActiveHeader::new_checked(&out[0].frame[ETHERNET_HEADER_LEN..]).unwrap();
+        assert!(!hdr.flags().failed());
+    }
+
+    #[test]
+    fn non_active_frames_forward_by_mac() {
+        let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+        let mut frame = vec![0u8; 60];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.set_dst([9; 6]);
+            eth.set_src(CLIENT);
+            eth.set_ethertype(0x0800);
+        }
+        let out = sw.handle_frame(0, frame);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, [9; 6]);
+    }
+}

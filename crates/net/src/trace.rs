@@ -1,0 +1,183 @@
+//! Time-series recording and smoothing for the evaluation harness.
+//!
+//! The paper's figures plot hit rates and provisioning metrics over
+//! time with EWMA smoothing (α = 0.1 for Figure 5b's allocation times,
+//! α = 0.6 for Figure 7c's reallocation fractions); [`Series`] collects
+//! timestamped samples and produces the same views.
+
+/// A timestamped sample series.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Series {
+        Series::default()
+    }
+
+    /// Append a sample at virtual time `at_ns`.
+    pub fn push(&mut self, at_ns: u64, value: f64) {
+        self.points.push((at_ns, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// EWMA-smoothed copy (the paper's solid overlay lines).
+    pub fn ewma(&self, alpha: f64) -> Series {
+        Series {
+            points: self
+                .points
+                .iter()
+                .scan(None, |state: &mut Option<f64>, &(t, v)| {
+                    let s = match *state {
+                        None => v,
+                        Some(prev) => alpha * v + (1.0 - alpha) * prev,
+                    };
+                    *state = Some(s);
+                    Some((t, s))
+                })
+                .collect(),
+        }
+    }
+
+    /// Bucket samples into windows of `width_ns`, averaging each
+    /// window (Figure 9's millisecond-granularity hit rates). Empty
+    /// windows are skipped.
+    pub fn bucketed(&self, width_ns: u64) -> Series {
+        let mut out = Series::new();
+        let mut iter = self.points.iter().peekable();
+        while let Some(&&(t0, _)) = iter.peek() {
+            let window = t0 / width_ns;
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            while let Some(&&(t, v)) = iter.peek() {
+                if t / width_ns != window {
+                    break;
+                }
+                sum += v;
+                n += 1;
+                iter.next();
+            }
+            out.push(window * width_ns, sum / f64::from(n));
+        }
+        out
+    }
+
+    /// Last value at or before `t`, if any.
+    pub fn value_at(&self, t: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|&&(pt, _)| pt <= t)
+            .last()
+            .map(|&(_, v)| v)
+    }
+}
+
+/// EWMA over a plain slice (epoch-indexed figures).
+pub fn ewma(values: &[f64], alpha: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut state: Option<f64> = None;
+    for &v in values {
+        let s = match state {
+            None => v,
+            Some(prev) => alpha * v + (1.0 - alpha) * prev,
+        };
+        state = Some(s);
+        out.push(s);
+    }
+    out
+}
+
+/// Percentile of a sample set (nearest-rank; `p` in [0, 100]).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    // Classic nearest-rank: the ceil(p/100 * n)-th smallest value.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let v = vec![10.0; 50];
+        let s = ewma(&v, 0.1);
+        assert!((s[49] - 10.0).abs() < 1e-9);
+        // A step input moves gradually.
+        let mut step = vec![0.0; 10];
+        step.extend(vec![1.0; 10]);
+        let s = ewma(&step, 0.5);
+        assert!(s[10] > 0.4 && s[10] < 0.6);
+        assert!(s[19] > 0.95);
+    }
+
+    #[test]
+    fn series_bucketing_averages_windows() {
+        let mut s = Series::new();
+        s.push(100, 1.0);
+        s.push(200, 3.0);
+        s.push(1_100, 10.0);
+        let b = s.bucketed(1_000);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.points()[0], (0, 2.0));
+        assert_eq!(b.points()[1], (1_000, 10.0));
+    }
+
+    #[test]
+    fn value_at_finds_latest() {
+        let mut s = Series::new();
+        s.push(10, 1.0);
+        s.push(20, 2.0);
+        assert_eq!(s.value_at(5), None);
+        assert_eq!(s.value_at(15), Some(1.0));
+        assert_eq!(s.value_at(25), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn mean_and_len() {
+        let mut s = Series::new();
+        assert_eq!(s.mean(), 0.0);
+        s.push(0, 2.0);
+        s.push(1, 4.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the discrete-event simulator: conservation and
+//! determinism under arbitrary traffic.
+
+use activermt_core::alloc::Scheme;
+use activermt_core::SwitchConfig;
+use activermt_isa::wire::EthernetFrame;
+use activermt_net::host::EchoHost;
+use activermt_net::{NetConfig, Simulation, SwitchNode};
+use proptest::prelude::*;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const A: [u8; 6] = [2, 0, 0, 0, 0, 1];
+const B: [u8; 6] = [2, 0, 0, 0, 0, 2];
+
+fn plain(dst: [u8; 6], src: [u8; 6], len: usize) -> Vec<u8> {
+    let mut f = vec![0u8; len.max(14)];
+    let mut eth = EthernetFrame::new_unchecked(&mut f[..]);
+    eth.set_dst(dst);
+    eth.set_src(src);
+    eth.set_ethertype(0x0800);
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every injected frame is either delivered, echoed into the void
+    /// (dropped at the unknown host A), or lost to the loss process —
+    /// nothing disappears unaccounted.
+    #[test]
+    fn frame_conservation(
+        sends in prop::collection::vec((0u64..1_000_000, 20usize..200), 1..40),
+        loss in 0u32..200,
+    ) {
+        let mut cfg = NetConfig::default();
+        cfg.loss_per_mille = loss;
+        cfg.loss_seed = 5;
+        let mut sim = Simulation::new(
+            cfg,
+            SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+        );
+        sim.add_host(Box::new(EchoHost::new(B)));
+        let n = sends.len() as u64;
+        for (at, len) in &sends {
+            sim.send_at(*at, plain(B, A, *len));
+        }
+        sim.run_until(10_000_000_000);
+        // Every injected frame's causal chain (request -> echo -> back
+        // toward the nonexistent host A) terminates exactly once:
+        // either at a loss event on some hop, or as a no-host drop at
+        // A. Deliveries to B are intermediate, not terminal.
+        let delivered = sim.delivered();
+        let dropped = sim.dropped_no_host();
+        let lost = sim.lost();
+        prop_assert!(delivered <= n);
+        prop_assert!(dropped <= delivered);
+        prop_assert_eq!(
+            lost + dropped, n,
+            "conservation: delivered={} dropped={} lost={} n={}",
+            delivered, dropped, lost, n
+        );
+    }
+
+    /// Two identical runs produce identical observable state.
+    #[test]
+    fn simulation_is_deterministic(
+        sends in prop::collection::vec((0u64..100_000, 20usize..100), 1..20),
+        loss in 0u32..100,
+    ) {
+        let run = || {
+            let mut cfg = NetConfig::default();
+            cfg.loss_per_mille = loss;
+            cfg.loss_seed = 1;
+            let mut sim = Simulation::new(
+                cfg,
+                SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+            );
+            sim.add_host(Box::new(EchoHost::new(B)));
+            for (at, len) in &sends {
+                sim.send_at(*at, plain(B, A, *len));
+            }
+            sim.run_until(1_000_000_000);
+            (sim.delivered(), sim.dropped_no_host(), sim.lost())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,161 @@
+//! The packet header vector (PHV).
+//!
+//! RMT processing is feed-forward: "each packet has its own independent
+//! state — contained within a packet header vector (PHV) — and does not
+//! affect the processing of other packets" (Section 3). ActiveRMT defines
+//! three additional 32-bit variables maintained in the PHV: the memory
+//! address register MAR and two general-purpose accumulators MBR and MBR2
+//! (Section 3.1), plus hash-input metadata and the control flags that
+//! drive sequential execution.
+//!
+//! The PHV also carries intrinsic metadata the traffic manager consults:
+//! drop/RTS/fork requests, a destination override and the recirculation
+//! count.
+
+/// Maximum number of 32-bit words the hash-data structure can hold.
+///
+/// Section 7.1 notes PHV container space limits the amount of shared
+/// internal state; four words is enough for an 8-byte key plus salt and
+/// cookie material used by the paper's applications.
+pub const HASH_DATA_WORDS: usize = 4;
+
+/// The per-packet header vector as seen by the ActiveRMT runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phv {
+    /// Memory address register: indexes stage-local register arrays.
+    pub mar: u32,
+    /// Memory buffer register (general-purpose accumulator #1).
+    pub mbr: u32,
+    /// Second memory buffer register (accumulator #2).
+    pub mbr2: u32,
+    /// The four 32-bit data fields from the argument header.
+    pub args: [u32; 4],
+    /// Accumulated hash-input words (`COPY_HASHDATA_*`).
+    pub hash_data: [u32; HASH_DATA_WORDS],
+    /// Number of valid words in `hash_data`.
+    pub hash_len: u8,
+    /// A digest of the flow 5-tuple, extracted by the parser
+    /// (`COPY_HASHDATA_5TUPLE` uses this).
+    pub five_tuple: u32,
+
+    /// Program identifier from the initial active header.
+    pub fid: u16,
+    /// Sequence number from the initial active header.
+    pub seq: u16,
+
+    /// Execution has completed (RETURN and friends).
+    pub complete: bool,
+    /// Instructions are being skipped until `pending_branch` resolves.
+    pub disabled: bool,
+    /// The label a pending branch is waiting for.
+    pub pending_branch: Option<u8>,
+
+    /// The packet must be dropped.
+    pub drop: bool,
+    /// A return-to-sender was requested.
+    pub rts: bool,
+    /// An RTS has already fired (idempotence guard).
+    pub rts_done: bool,
+    /// A clone of the packet was requested (FORK).
+    pub fork: bool,
+    /// Destination override set by SET_DST (an opaque port/host id).
+    pub dst_override: Option<u32>,
+    /// A memory-protection violation occurred; the packet is invalid.
+    pub violation: bool,
+    /// Passes through the pipeline so far (0 on first ingress).
+    pub recirc_count: u8,
+}
+
+impl Phv {
+    /// A fresh PHV for a newly parsed packet.
+    pub fn new(fid: u16, seq: u16, args: [u32; 4]) -> Phv {
+        Phv {
+            mar: 0,
+            mbr: 0,
+            mbr2: 0,
+            args,
+            hash_data: [0; HASH_DATA_WORDS],
+            hash_len: 0,
+            five_tuple: 0,
+            fid,
+            seq,
+            complete: false,
+            disabled: false,
+            pending_branch: None,
+            drop: false,
+            rts: false,
+            rts_done: false,
+            fork: false,
+            dst_override: None,
+            violation: false,
+            recirc_count: 0,
+        }
+    }
+
+    /// Append a word to the hash-data structure. Once full, further
+    /// appends overwrite the last word (matching the fixed-size PHV
+    /// container behaviour rather than growing).
+    pub fn push_hash_data(&mut self, word: u32) {
+        let idx = usize::from(self.hash_len).min(HASH_DATA_WORDS - 1);
+        self.hash_data[idx] = word;
+        if usize::from(self.hash_len) < HASH_DATA_WORDS {
+            self.hash_len += 1;
+        }
+    }
+
+    /// The valid prefix of the hash-data words.
+    pub fn hash_input(&self) -> &[u32] {
+        &self.hash_data[..usize::from(self.hash_len)]
+    }
+
+    /// Should the pipeline still execute instructions for this packet?
+    pub fn executing(&self) -> bool {
+        !self.complete && !self.drop && !self.violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_phv_is_quiescent() {
+        let p = Phv::new(7, 1, [1, 2, 3, 4]);
+        assert!(p.executing());
+        assert_eq!(p.args, [1, 2, 3, 4]);
+        assert_eq!(p.hash_input(), &[] as &[u32]);
+        assert_eq!(p.recirc_count, 0);
+    }
+
+    #[test]
+    fn hash_data_accumulates_in_order() {
+        let mut p = Phv::new(0, 0, [0; 4]);
+        p.push_hash_data(0xAAAA);
+        p.push_hash_data(0xBBBB);
+        assert_eq!(p.hash_input(), &[0xAAAA, 0xBBBB]);
+    }
+
+    #[test]
+    fn hash_data_saturates_at_capacity() {
+        let mut p = Phv::new(0, 0, [0; 4]);
+        for i in 0..6u32 {
+            p.push_hash_data(i);
+        }
+        assert_eq!(p.hash_len as usize, HASH_DATA_WORDS);
+        // The final word keeps being overwritten once full.
+        assert_eq!(p.hash_input(), &[0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn terminal_states_stop_execution() {
+        let mut p = Phv::new(0, 0, [0; 4]);
+        p.complete = true;
+        assert!(!p.executing());
+        let mut q = Phv::new(0, 0, [0; 4]);
+        q.drop = true;
+        assert!(!q.executing());
+        let mut r = Phv::new(0, 0, [0; 4]);
+        r.violation = true;
+        assert!(!r.executing());
+    }
+}

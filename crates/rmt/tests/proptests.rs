@@ -1,0 +1,106 @@
+//! Property-based tests of the RMT substrate: register-ALU semantics,
+//! TCAM range decomposition, and hash determinism.
+
+use activermt_rmt::hash::{crc16_ccitt, selector_seed, Crc32};
+use activermt_rmt::register::{RegisterArray, SaluOp};
+use activermt_rmt::tcam::{range_prefix_count, range_to_prefixes};
+use proptest::prelude::*;
+
+proptest! {
+    /// The canonical prefix decomposition covers exactly [lo, hi] with
+    /// aligned power-of-two blocks and no overlap.
+    #[test]
+    fn prefix_decomposition_is_exact(lo in 0u32..1 << 24, len in 0u32..1 << 16) {
+        let hi = lo.saturating_add(len);
+        let prefixes = range_to_prefixes(lo, hi);
+        let mut cursor = u64::from(lo);
+        for (base, size) in &prefixes {
+            prop_assert_eq!(u64::from(*base), cursor, "gap");
+            prop_assert!(size.is_power_of_two());
+            prop_assert_eq!(base % size, 0, "misaligned");
+            cursor += u64::from(*size);
+        }
+        prop_assert_eq!(cursor, u64::from(hi) + 1);
+        // The worst case is bounded by 2W - 2 entries.
+        prop_assert!(prefixes.len() <= 62);
+    }
+
+    /// Count agrees with the decomposition.
+    #[test]
+    fn prefix_count_matches(lo in 0u32..1 << 20, len in 0u32..1 << 12) {
+        let hi = lo.saturating_add(len);
+        prop_assert_eq!(range_prefix_count(lo, hi), range_to_prefixes(lo, hi).len());
+    }
+
+    /// Register SALUs: one RMW per call, results consistent with a
+    /// model.
+    #[test]
+    fn salu_matches_reference_model(
+        ops in prop::collection::vec((0u32..64, 0u8..5, any::<u32>()), 1..200)
+    ) {
+        let mut arr = RegisterArray::new(64);
+        let mut model = vec![0u32; 64];
+        for (idx, kind, v) in ops {
+            let op = match kind {
+                0 => SaluOp::Read,
+                1 => SaluOp::Write(v),
+                2 => SaluOp::Increment,
+                3 => SaluOp::MinRead(v),
+                _ => SaluOp::MinReadInc(v),
+            };
+            let res = arr.execute(idx, op).expect("in bounds");
+            let cell = &mut model[idx as usize];
+            match op {
+                SaluOp::Read => prop_assert_eq!(res.out, *cell),
+                SaluOp::Write(w) => {
+                    *cell = w;
+                    prop_assert_eq!(res.out, w);
+                }
+                SaluOp::Increment => {
+                    *cell = cell.wrapping_add(1);
+                    prop_assert_eq!(res.out, *cell);
+                }
+                SaluOp::MinRead(m) => {
+                    prop_assert_eq!(res.out, *cell);
+                    prop_assert_eq!(res.min_out, Some((*cell).min(m)));
+                }
+                SaluOp::MinReadInc(m) => {
+                    *cell = cell.wrapping_add(1);
+                    prop_assert_eq!(res.out, *cell);
+                    prop_assert_eq!(res.min_out, Some((*cell).min(m)));
+                }
+            }
+        }
+        // Final state matches the model exactly.
+        for i in 0..64u32 {
+            prop_assert_eq!(arr.peek(i), Some(model[i as usize]));
+        }
+    }
+
+    /// Hashing is a pure function of (seed, words).
+    #[test]
+    fn hashing_is_pure(sel in 0u8..64, words in prop::collection::vec(any::<u32>(), 0..8)) {
+        let c1 = Crc32::new();
+        let c2 = Crc32::new();
+        prop_assert_eq!(
+            c1.hash_words(selector_seed(sel), &words),
+            c2.hash_words(selector_seed(sel), &words)
+        );
+    }
+
+    /// CRC-16 never panics and is deterministic.
+    #[test]
+    fn crc16_is_total(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(crc16_ccitt(&data), crc16_ccitt(&data));
+    }
+
+    /// Out-of-bounds SALU accesses are refused without state change.
+    #[test]
+    fn oob_accesses_never_corrupt(idx in 64u32..1000, v in any::<u32>()) {
+        let mut arr = RegisterArray::new(64);
+        prop_assert!(arr.execute(idx, SaluOp::Write(v)).is_none());
+        for i in 0..64u32 {
+            prop_assert_eq!(arr.peek(i), Some(0));
+        }
+    }
+}

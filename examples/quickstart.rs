@@ -1,0 +1,88 @@
+//! Quickstart: assemble the paper's Listing 1, bring up a switch
+//! runtime, grant it memory, and watch a cache miss and a cache hit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use activermt::client::asm::assemble;
+use activermt::core::runtime::{OutputAction, SwitchRuntime};
+use activermt::core::SwitchConfig;
+use activermt::isa::wire::{build_program_packet, RegionEntry};
+
+const CLIENT: [u8; 6] = [0x02, 0, 0, 0, 0, 1];
+const SERVER: [u8; 6] = [0x02, 0, 0, 0, 0, 2];
+const FID: u16 = 7;
+
+fn main() {
+    // 1. Write an active program the way the paper does (Listing 1).
+    let mut query = assemble(
+        r#"
+        MAR_LOAD $3        // locate bucket
+        MEM_READ           // first 4 bytes of the key
+        MBR_EQUALS_DATA_1  // compare
+        CRET               // partial match? miss -> forward
+        MEM_READ           // next 4 bytes
+        MBR_EQUALS_DATA_2  // compare
+        CRET               // full match? miss -> forward
+        RTS                // hit: turn the packet around
+        MEM_READ           // read the value
+        MBR_STORE $2       // write it into the packet
+        RETURN
+    "#,
+    )
+    .expect("Listing 1 assembles");
+    println!("Listing 1 ({} instructions):\n{query}", query.len());
+
+    // 2. Bring up the shared runtime (the paper's P4 program).
+    let mut switch = SwitchRuntime::new(SwitchConfig::default());
+
+    // 3. Grant FID 7 a memory region in the stages the compact program
+    //    touches (normally the controller does this on an allocation
+    //    request — see the cache_service example for the full path).
+    for stage in [1, 4, 8] {
+        switch.install_region(stage, FID, RegionEntry { start: 0, end: 1024 });
+    }
+
+    // 4. Populate bucket 42 via the control plane: key halves and value.
+    switch.reg_write(1, 42, 0xAAAA_0001);
+    switch.reg_write(4, 42, 0xBBBB_0002);
+    switch.reg_write(8, 42, 0xC0FF_EE00);
+
+    // 5. A query for a key that is NOT cached: the packet continues to
+    //    the server.
+    query.set_arg(0, 0x1111).unwrap(); // requested key half 0
+    query.set_arg(1, 0x2222).unwrap(); // requested key half 1
+    query.set_arg(3, 42).unwrap(); // bucket address
+    let miss = build_program_packet(SERVER, CLIENT, FID, 1, &query, b"GET other-key");
+    let out = switch.process_frame(miss);
+    assert_eq!(out[0].action, OutputAction::Forward);
+    println!(
+        "miss  -> forwarded to the server (latency {} ns, {} pass)",
+        out[0].latency_ns, out[0].passes
+    );
+
+    // 6. A query for the cached key: the switch answers directly.
+    query.set_arg(0, 0xAAAA_0001).unwrap();
+    query.set_arg(1, 0xBBBB_0002).unwrap();
+    let hit = build_program_packet(SERVER, CLIENT, FID, 2, &query, b"GET cached-key");
+    let out = switch.process_frame(hit);
+    assert_eq!(out[0].action, OutputAction::ToSender);
+    let layout = activermt::isa::wire::program_packet_layout(&out[0].frame).unwrap();
+    let value = u32::from_be_bytes(
+        out[0].frame[layout.args_off + 8..layout.args_off + 12]
+            .try_into()
+            .unwrap(),
+    );
+    println!(
+        "hit   -> returned to sender with value {value:#x} (latency {} ns)",
+        out[0].latency_ns
+    );
+    assert_eq!(value, 0xC0FF_EE00);
+
+    let stats = switch.pipeline().total_stats();
+    println!(
+        "switch executed {} instructions, {} memory ops, {} violations",
+        stats.instructions, stats.memory_ops, stats.violations
+    );
+}

@@ -1,0 +1,102 @@
+//! Network telemetry: deploy the Listing 2 frequent-item monitor, run a
+//! Zipf stream through the switch, extract the directory via data-plane
+//! memory synchronization, and compare the recovered heavy hitters with
+//! the ground truth.
+//!
+//! ```sh
+//! cargo run --example telemetry
+//! ```
+
+use activermt::apps::hh::{HeavyHitterApp, HhEvent};
+use activermt::apps::kvstore::KvMessage;
+use activermt::apps::workload::Zipf;
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::SwitchNode;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+
+fn main() {
+    let mut switch = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+    let mut app = HeavyHitterApp::new(
+        9,
+        CLIENT,
+        SWITCH,
+        SERVER,
+        MutantPolicy::MostConstrained,
+        20,
+        10,
+        1,
+    );
+
+    // Allocate through the data plane.
+    let mut now = 0u64;
+    let mut inbox: Vec<Vec<u8>> = vec![app.request_allocation()];
+    while let Some(frame) = inbox.pop() {
+        for e in switch.handle_frame(now, frame) {
+            now = now.max(e.at_ns);
+            app.handle_frame(&e.frame);
+        }
+    }
+    assert!(app.operational(), "monitor must allocate");
+    println!("monitor allocated (FID 9); streaming 50k Zipf requests through the switch...");
+
+    // Stream requests with the monitor program attached.
+    let zipf = Zipf::new(5_000, 1.0);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut truth: HashMap<u64, u32> = HashMap::new();
+    for _ in 0..50_000 {
+        let key = zipf.sample(&mut rng) as u64 + 1;
+        *truth.entry(key).or_insert(0) += 1;
+        let payload = KvMessage {
+            op: activermt::apps::kvstore::KvOp::Get,
+            key,
+            value: 0,
+        }
+        .encode();
+        if let Some(frame) = app.monitor_frame(key, &payload) {
+            now += 10_000;
+            switch.handle_frame(now, frame);
+        }
+    }
+
+    // Extract the directory via memsync and feed the replies back.
+    let mut frames = app.extract_frames();
+    println!("extracting the directory ({} memsync packets)...", frames.len());
+    while let Some(frame) = frames.pop() {
+        for e in switch.handle_frame(now, frame) {
+            if let Some(HhEvent::ExtractProgress { remaining }) = app.handle_frame(&e.frame) {
+                if remaining == 0 {
+                    frames.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    // Compare with ground truth.
+    let mut true_top: Vec<(u64, u32)> = truth.into_iter().collect();
+    true_top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let found = app.frequent_items();
+    println!("\nmonitor recovered {} frequent items; true top 10 vs monitor:", found.len());
+    let found_keys: Vec<u64> = found.iter().map(|i| i.key).collect();
+    let mut recovered = 0;
+    for (rank, (key, count)) in true_top.iter().take(10).enumerate() {
+        let hit = found_keys.contains(key);
+        recovered += hit as u32;
+        println!(
+            "  #{:<2} key {:<6} true count {:<6} {}",
+            rank + 1,
+            key,
+            count,
+            if hit { "FOUND" } else { "missed" }
+        );
+    }
+    println!("\nrecovered {recovered}/10 of the true top-10 heavy hitters");
+    assert!(recovered >= 7, "the sketch should catch most of the head");
+}

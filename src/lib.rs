@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # activermt
+//!
+//! A facade crate re-exporting the entire ActiveRMT workspace: a Rust
+//! reproduction of *Memory Management in ActiveRMT: Towards
+//! Runtime-programmable Switches* (SIGCOMM 2023).
+//!
+//! See the individual crates for details:
+//!
+//! * [`isa`] — instruction set and wire formats,
+//! * [`rmt`] — the RMT (Tofino-like) pipeline substrate simulator,
+//! * [`core`] — the ActiveRMT runtime, controller and memory allocator,
+//! * [`client`] — compiler, assembler and shim layer,
+//! * [`apps`] — exemplar services (cache, heavy hitter, Cheetah LB),
+//! * [`net`] — the discrete-event network simulator.
+
+pub use activermt_apps as apps;
+pub use activermt_client as client;
+pub use activermt_core as core;
+pub use activermt_isa as isa;
+pub use activermt_net as net;
+pub use activermt_rmt as rmt;

@@ -1,0 +1,139 @@
+//! End-to-end cache service tests: the Figure 9b scenario shape —
+//! clients allocate through the data plane, populate via memsync, and
+//! serve a Zipf request stream with switch-turned hits.
+
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
+use activermt::net::host::KvServerHost;
+use activermt::net::{NetConfig, Simulation, SwitchNode};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+
+fn client_mac(i: u8) -> [u8; 6] {
+    [2, 0, 0, 0, 1, i]
+}
+
+fn client_cfg(i: u8, start_ns: u64) -> CacheClientConfig {
+    CacheClientConfig {
+        mac: client_mac(i),
+        switch_mac: SWITCH,
+        server_mac: SERVER,
+        fid: 100 + u16::from(i),
+        start_ns,
+        monitor_ns: None,
+        populate_top: 2_000,
+        req_interval_ns: 20_000, // 50k req/s
+        keyspace: 10_000,
+        zipf_alpha: 1.0,
+        seed: 42 + u64::from(i),
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    }
+}
+
+fn build_sim() -> Simulation {
+    // Keep provisioning snappy for the test (calibration is exercised
+    // in the figure harnesses).
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+    );
+    sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
+    sim
+}
+
+#[test]
+fn single_cache_client_reaches_high_hit_rate() {
+    let mut sim = build_sim();
+    sim.add_host(Box::new(CacheClientHost::new(client_cfg(1, 0))));
+    sim.run_until(2_000_000_000); // 2 s
+    let c = sim.host::<CacheClientHost>(client_mac(1)).unwrap();
+    assert_eq!(c.phase(), Phase::Serving, "client must reach steady state");
+    assert!(c.sent > 10_000, "requests flowed: {}", c.sent);
+    assert_eq!(c.value_errors, 0, "hit values must be correct");
+    // With 2000 populated objects over a Zipf(1.0) 10k keyspace the
+    // ideal hit rate is ~77%; collisions cost some of it.
+    let hr = c.hit_rate();
+    assert!(hr > 0.5, "hit rate {hr} too low");
+    assert!(hr < 0.95, "hit rate {hr} implausibly high");
+    // The backend answered exactly the misses.
+    let srv = sim.host::<KvServerHost>(SERVER).unwrap();
+    assert_eq!(srv.answered(), c.misses);
+}
+
+#[test]
+fn hits_stop_during_deactivation_and_recover() {
+    // One cache serves; a second arrives and forces a reallocation.
+    let mut sim = build_sim();
+    sim.add_host(Box::new(CacheClientHost::new(client_cfg(1, 0))));
+    sim.run_until(1_000_000_000);
+    let before = {
+        let c = sim.host::<CacheClientHost>(client_mac(1)).unwrap();
+        assert_eq!(c.phase(), Phase::Serving);
+        c.hit_rate()
+    };
+    assert!(before > 0.5);
+
+    // Three more caches: the first three instances occupy the nine
+    // most-constrained stages; the fourth shares with an incumbent
+    // (Figure 9b's geometry).
+    for i in 2..=4 {
+        sim.add_host(Box::new(CacheClientHost::new(client_cfg(
+            i,
+            1_000_000_000 + u64::from(i) * 200_000_000,
+        ))));
+    }
+    sim.run_until(4_000_000_000);
+
+    // All four serve; co-located instances halved their capacity.
+    let mut capacities: Vec<u32> = Vec::new();
+    for i in 1..=4 {
+        let c = sim.host::<CacheClientHost>(client_mac(i)).unwrap();
+        assert_eq!(c.phase(), Phase::Serving, "client {i} must serve");
+        assert_eq!(c.value_errors, 0);
+        capacities.push(c.cache().capacity());
+    }
+    capacities.sort_unstable();
+    // Two clients share stages (half a stage each), two own full
+    // stages: 2 x 32768 and 2 x 65536 registers.
+    assert_eq!(capacities, vec![32_768, 32_768, 65_536, 65_536]);
+
+    // The reallocated incumbent kept working afterwards.
+    let c1 = sim.host::<CacheClientHost>(client_mac(1)).unwrap();
+    let recent: Vec<f64> = c1
+        .outcomes
+        .points()
+        .iter()
+        .filter(|&&(t, _)| t > 3_500_000_000)
+        .map(|&(_, v)| v)
+        .collect();
+    let recent_hr = recent.iter().sum::<f64>() / recent.len().max(1) as f64;
+    assert!(
+        recent_hr > 0.4,
+        "incumbent hit rate after reallocation: {recent_hr}"
+    );
+}
+
+#[test]
+fn allocation_is_admitted_through_the_data_plane() {
+    let mut sim = build_sim();
+    sim.add_host(Box::new(CacheClientHost::new(client_cfg(7, 0))));
+    sim.run_until(100_000_000);
+    // The switch admitted FID 107 with three full stages.
+    let alloc = sim.switch().controller().allocator();
+    assert!(alloc.contains(107));
+    assert_eq!(alloc.app_blocks(107), 3 * 256);
+    // One provisioning report, no victims.
+    let reports = sim.switch().reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].1.victim_count, 0);
+    assert!(!reports[0].1.failed);
+}

@@ -1,0 +1,88 @@
+//! The Section 6.3 case study end-to-end: deploy the frequent-item
+//! monitor, sketch the stream on the switch, extract the directory via
+//! data-plane memory synchronization, context-switch to the cache,
+//! populate it with the computed frequent items, and serve.
+
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
+use activermt::net::host::KvServerHost;
+use activermt::net::{NetConfig, Simulation, SwitchNode};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+
+#[test]
+fn monitor_then_cache_case_study() {
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+    );
+    sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
+    sim.add_host(Box::new(CacheClientHost::new(CacheClientConfig {
+        mac: CLIENT,
+        switch_mac: SWITCH,
+        server_mac: SERVER,
+        fid: 50,
+        start_ns: 0,
+        monitor_ns: Some(2_000_000_000), // 2 s of monitoring (Fig. 9a)
+        populate_top: 200,
+        req_interval_ns: 20_000,
+        keyspace: 5_000,
+        zipf_alpha: 1.0,
+        seed: 7,
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    })));
+
+    // During monitoring nothing is cached: pure misses.
+    sim.run_until(1_500_000_000);
+    {
+        let c = sim.host::<CacheClientHost>(CLIENT).unwrap();
+        assert_eq!(c.phase(), Phase::Monitoring);
+        assert_eq!(c.hits, 0, "no cache yet");
+        assert!(c.misses > 10_000, "requests must flow during monitoring");
+        // The monitor's sketch rows are live on the switch.
+        let stats = sim.switch().runtime().pipeline().total_stats();
+        assert!(stats.memory_ops > 10_000, "CMS updates: {}", stats.memory_ops);
+    }
+
+    // After extraction + context switch + population, hits flow.
+    sim.run_until(5_000_000_000);
+    let c = sim.host::<CacheClientHost>(CLIENT).unwrap();
+    assert_eq!(c.phase(), Phase::Serving);
+    assert!(c.hits > 0, "the populated cache must produce hits");
+    assert_eq!(c.value_errors, 0);
+    let since = c.serving_since.expect("serving timestamp");
+    // The context switch completed within roughly a second of the
+    // 2-second monitor deadline (Figure 9a: "the process completes in
+    // slightly over half a second" + population time).
+    assert!(since > 2_000_000_000);
+    assert!(
+        since < 4_000_000_000,
+        "context switch too slow: {} ms",
+        since / 1_000_000
+    );
+    // Steady-state hit rate: the monitor found the head of the Zipf
+    // distribution, so the populated items cover a large request mass.
+    let recent: Vec<f64> = c
+        .outcomes
+        .points()
+        .iter()
+        .filter(|&&(t, _)| t > 4_000_000_000)
+        .map(|&(_, v)| v)
+        .collect();
+    let hr = recent.iter().sum::<f64>() / recent.len().max(1) as f64;
+    assert!(hr > 0.3, "steady-state hit rate {hr}");
+
+    // The monitor is gone from the switch (deallocated).
+    assert!(!sim.switch().controller().allocator().contains(50 | 0x8000));
+    assert!(sim.switch().controller().allocator().contains(50));
+}

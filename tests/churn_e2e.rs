@@ -1,0 +1,129 @@
+//! Long-running churn through the full packetized stack: services
+//! arrive and depart via data-plane allocation requests and control
+//! packets, interleaved with live traffic; the switch must stay
+//! consistent throughout (the Figure 7 scenario at the wire level
+//! rather than the allocator level).
+
+use activermt::core::alloc::Scheme;
+use activermt::core::SwitchConfig;
+use activermt::net::SwitchNode;
+use activermt_isa::wire::{
+    build_alloc_request, build_control, ActiveHeader, ControlOp, PacketType,
+};
+use activermt_bench::{pattern_of, AppKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+
+fn client_mac(fid: u16) -> [u8; 6] {
+    [2, 0, 0, (fid >> 8) as u8, fid as u8, 1]
+}
+
+fn request_frame(fid: u16, kind: AppKind) -> Vec<u8> {
+    let pattern = pattern_of(kind, 1024);
+    build_alloc_request(
+        SWITCH,
+        client_mac(fid),
+        fid,
+        1,
+        &pattern.to_descriptors(),
+        pattern.prog_len as u8,
+        pattern.elastic,
+        true,
+        pattern.ingress_positions.first().copied().unwrap_or(0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn packetized_churn_stays_consistent() {
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 1_000,
+        ..SwitchConfig::default()
+    };
+    let mut sw = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut resident: Vec<u16> = Vec::new();
+    let mut now = 0u64;
+    let mut admitted_total = 0u32;
+    let mut failed_total = 0u32;
+
+    for step in 0..400u16 {
+        now += 10_000_000;
+        // Alternate arrivals and occasional departures.
+        if !resident.is_empty() && rng.gen_bool(0.33) {
+            let idx = rng.gen_range(0..resident.len());
+            let fid = resident.swap_remove(idx);
+            let ctl = build_control(SWITCH, client_mac(fid), fid, 2, ControlOp::Deallocate, false);
+            sw.handle_frame(now, ctl);
+            assert!(!sw.controller().allocator().contains(fid));
+        }
+        let fid = 1000 + step;
+        let kind = AppKind::ALL[usize::from(step) % 3];
+        let emissions = sw.handle_frame(now, request_frame(fid, kind));
+        // Snapshot-ack any deactivation notices so reallocations finish.
+        let mut worklist = emissions;
+        while let Some(e) = worklist.pop() {
+            let hdr = ActiveHeader::new_checked(&e.frame[14..]).unwrap();
+            if hdr.flags().packet_type() == PacketType::Control
+                && hdr.control_op() == Ok(ControlOp::DeactivateNotice)
+            {
+                let ack = build_control(
+                    SWITCH,
+                    client_mac(hdr.fid()),
+                    hdr.fid(),
+                    3,
+                    ControlOp::SnapshotComplete,
+                    false,
+                );
+                worklist.extend(sw.handle_frame(now + 1_000_000, ack));
+            }
+        }
+        if sw.controller().allocator().contains(fid) {
+            resident.push(fid);
+            admitted_total += 1;
+        } else {
+            failed_total += 1;
+        }
+        // Global invariants after every step.
+        let alloc = sw.controller().allocator();
+        assert_eq!(alloc.num_apps(), resident.len());
+        for (s, pool) in alloc.pools().iter().enumerate() {
+            pool.check_invariants()
+                .unwrap_or_else(|e| panic!("step {step}, stage {s}: {e}"));
+            assert!(alloc.tcam_used(s) <= 2048, "TCAM oversubscribed at stage {s}");
+        }
+        assert!(!sw.controller().busy(), "no reallocation may leak across steps");
+    }
+    assert!(admitted_total > 150, "most arrivals admitted: {admitted_total}");
+    // With departures recycling memory, failures stay bounded.
+    assert!(
+        failed_total < admitted_total,
+        "failures ({failed_total}) must not dominate ({admitted_total})"
+    );
+    // Utilization is meaningful at the end.
+    let util = sw.controller().allocator().utilization();
+    assert!(util > 0.2 && util <= 1.0, "final utilization {util}");
+}
+
+#[test]
+fn duplicate_requests_and_unknown_deallocations_are_safe() {
+    let cfg = SwitchConfig::default();
+    let mut sw = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    // Admit once.
+    sw.handle_frame(0, request_frame(5, AppKind::Cache));
+    assert!(sw.controller().allocator().contains(5));
+    let blocks = sw.controller().allocator().app_blocks(5);
+    // A duplicate request for the same FID gets a failure response and
+    // leaves the existing allocation untouched.
+    let out = sw.handle_frame(1_000, request_frame(5, AppKind::Cache));
+    let hdr = ActiveHeader::new_checked(&out[0].frame[14..]).unwrap();
+    assert!(hdr.flags().failed());
+    assert_eq!(sw.controller().allocator().app_blocks(5), blocks);
+    // Deallocating a FID that was never admitted is a no-op.
+    let ctl = build_control(SWITCH, client_mac(9), 9, 1, ControlOp::Deallocate, false);
+    let out = sw.handle_frame(2_000, ctl);
+    assert!(out.is_empty());
+    assert!(sw.controller().allocator().contains(5));
+}

@@ -1,0 +1,233 @@
+//! Cheetah load-balancer end-to-end (Appendix B.2): SYNs select servers
+//! round-robin and mint cookies; subsequent packets route statelessly
+//! to the same server via the cookie.
+
+use activermt::apps::lb::CheetahLb;
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::host::Host;
+use activermt::net::{NetConfig, Simulation, SwitchNode};
+use activermt_isa::wire::{program_packet_layout, EthernetFrame};
+use std::any::Any;
+use std::collections::HashMap;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const VIP: [u8; 6] = [2, 0, 0, 0, 2, 0]; // the virtual IP: no host
+
+fn server_mac(i: u32) -> [u8; 6] {
+    [2, 0, 0, 0, 3, i as u8]
+}
+
+/// A backend that counts packets per flow and echoes SYNs so the client
+/// learns its cookie.
+struct CountingServer {
+    mac: [u8; 6],
+    /// flow id -> packets received.
+    flows: HashMap<u32, u32>,
+}
+
+impl Host for CountingServer {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    fn on_frame(&mut self, _now: u64, mut frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let Ok(layout) = program_packet_layout(&frame) else {
+            return Vec::new();
+        };
+        let payload = &frame[layout.payload_off..];
+        if payload.len() < 5 {
+            return Vec::new();
+        }
+        let kind = payload[0];
+        let flow = u32::from_be_bytes(payload[1..5].try_into().unwrap());
+        *self.flows.entry(flow).or_insert(0) += 1;
+        if kind == b'S' {
+            // Echo the SYN back so the client reads its cookie.
+            let src = EthernetFrame::new_unchecked(&frame[..]).src();
+            let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.set_dst(src);
+            eth.set_src(self.mac);
+            return vec![frame];
+        }
+        Vec::new()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The load-balancing client: allocates, configures, then SYNs `flows`
+/// flows and pushes `data_per_flow` packets on each.
+struct LbClient {
+    lb: CheetahLb,
+    flows: u32,
+    data_per_flow: u32,
+    cookies: HashMap<u32, u32>,
+    data_sent: HashMap<u32, u32>,
+    next_flow: u32,
+    started: bool,
+}
+
+impl LbClient {
+    fn flow_payload(kind: u8, flow: u32) -> Vec<u8> {
+        let mut p = vec![kind];
+        p.extend_from_slice(&flow.to_be_bytes());
+        p
+    }
+}
+
+impl Host for LbClient {
+    fn mac(&self) -> [u8; 6] {
+        CLIENT
+    }
+
+    fn tick_interval(&self) -> Option<u64> {
+        Some(50_000)
+    }
+
+    fn on_tick(&mut self, _now: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if !self.started {
+            self.started = true;
+            out.push(self.lb.request_allocation());
+            return out;
+        }
+        if !self.lb.operational() {
+            // Config writes may need retransmission.
+            out.extend(self.lb.pending_sync());
+            return out;
+        }
+        // Open one new flow per tick.
+        if self.next_flow < self.flows {
+            let f = self.next_flow;
+            self.next_flow += 1;
+            if let Some(frame) = self.lb.syn_frame(VIP, &Self::flow_payload(b'S', f)) {
+                out.push(frame);
+            }
+        }
+        // Push data on flows whose cookie we know.
+        let ready: Vec<(u32, u32)> = self
+            .cookies
+            .iter()
+            .map(|(&f, &c)| (f, c))
+            .filter(|&(f, _)| self.data_sent.get(&f).copied().unwrap_or(0) < self.data_per_flow)
+            .collect();
+        for (f, cookie) in ready {
+            *self.data_sent.entry(f).or_insert(0) += 1;
+            if let Some(frame) = self.lb.route_frame(VIP, cookie, &Self::flow_payload(b'D', f)) {
+                out.push(frame);
+            }
+        }
+        out
+    }
+
+    fn on_frame(&mut self, _now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let (_event, frames) = self.lb.handle_frame(&frame);
+        if !frames.is_empty() {
+            return frames;
+        }
+        // An echoed SYN carries our cookie in data field 2.
+        if let Ok(layout) = program_packet_layout(&frame) {
+            let payload = &frame[layout.payload_off..];
+            if payload.len() >= 5 && payload[0] == b'S' {
+                let flow = u32::from_be_bytes(payload[1..5].try_into().unwrap());
+                if let Some(cookie) = CheetahLb::cookie_of(&frame) {
+                    self.cookies.insert(flow, cookie);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn flows_stick_to_their_selected_server() {
+    const SERVERS: u32 = 4;
+    const FLOWS: u32 = 16;
+    const DATA_PER_FLOW: u32 = 8;
+
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+    );
+    // Register server ports for SET_DST resolution.
+    let server_ids: Vec<u32> = (1..=SERVERS).collect();
+    for &id in &server_ids {
+        sim.switch_mut().map_port(id, server_mac(id));
+        sim.add_host(Box::new(CountingServer {
+            mac: server_mac(id),
+            flows: HashMap::new(),
+        }));
+    }
+    sim.add_host(Box::new(LbClient {
+        lb: CheetahLb::new(
+            77,
+            CLIENT,
+            SWITCH,
+            0xC0DE_CAFE,
+            server_ids.clone(),
+            MutantPolicy::MostConstrained,
+            20,
+            10,
+            1,
+        ),
+        flows: FLOWS,
+        data_per_flow: DATA_PER_FLOW,
+        cookies: HashMap::new(),
+        data_sent: HashMap::new(),
+        next_flow: 0,
+        started: false,
+    }));
+
+    sim.run_until(3_000_000_000);
+
+    // Every flow got a cookie.
+    let client = sim.host::<LbClient>(CLIENT).unwrap();
+    assert_eq!(client.cookies.len() as u32, FLOWS, "all SYNs answered");
+    assert!(client.lb.operational());
+
+    // Collect per-server flow counts.
+    let mut flow_home: HashMap<u32, (u32, u32)> = HashMap::new(); // flow -> (server, pkts)
+    let mut per_server_flows: Vec<u32> = Vec::new();
+    for &id in &server_ids {
+        let srv = sim.host::<CountingServer>(server_mac(id)).unwrap();
+        per_server_flows.push(srv.flows.len() as u32);
+        for (&flow, &count) in &srv.flows {
+            let prev = flow_home.insert(flow, (id, count));
+            assert!(
+                prev.is_none(),
+                "flow {flow} appeared on two servers: {prev:?} and {id}"
+            );
+        }
+    }
+    // Every flow landed somewhere, with SYN + all data packets on the
+    // SAME server (stateless cookie routing works).
+    assert_eq!(flow_home.len() as u32, FLOWS);
+    for (flow, (_server, count)) in &flow_home {
+        assert_eq!(
+            *count,
+            1 + DATA_PER_FLOW,
+            "flow {flow} missing packets (got {count})"
+        );
+    }
+    // Round robin spreads flows evenly: 16 flows over 4 servers.
+    per_server_flows.sort_unstable();
+    assert_eq!(per_server_flows, vec![4, 4, 4, 4]);
+}

@@ -1,0 +1,123 @@
+//! Least-constrained end-to-end: the client shim must realize grants
+//! whose mutants recirculate (access positions beyond one pass), and
+//! the runtime must execute the resulting multi-pass programs
+//! correctly.
+
+use activermt::client::compiler::{CompiledService, Compiler, ServiceSpec};
+use activermt::client::shim::{Shim, ShimEvent, ShimState};
+use activermt::client::asm::assemble;
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::SwitchNode;
+use activermt_isa::wire::{build_alloc_request, program_packet_layout, ActiveHeader};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const FAR: [u8; 6] = [2, 0, 0, 0, 2, 2];
+
+/// A service with two accesses: read a counter, bump a second counter.
+fn counter_service() -> CompiledService {
+    Compiler::compile(ServiceSpec {
+        name: "counters".into(),
+        program: assemble(
+            "MAR_LOAD $0\nMEM_INCREMENT\nMAR_LOAD $1\nMEM_INCREMENT\nMBR_STORE $2\nRTS\nRETURN",
+        )
+        .unwrap(),
+        demands: vec![1, 1],
+        elastic: false,
+        aliases: vec![],
+    })
+    .unwrap()
+}
+
+fn shim(policy: MutantPolicy) -> Shim {
+    Shim::new(42, CLIENT, SWITCH, counter_service(), policy, 20, 10, 1)
+}
+
+#[test]
+fn lc_grant_with_wrapped_stages_is_realized() {
+    // Prefill the switch so the compact stages are taken by inelastic
+    // tenants, forcing the newcomer onto stages only reachable with
+    // recirculation under the least-constrained policy.
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 1_000,
+        ..SwitchConfig::default()
+    };
+    let mut sw = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+
+    let mut shim = shim(MutantPolicy::LeastConstrained);
+    let req = shim.request_allocation();
+    let mut granted = None;
+    for e in sw.handle_frame(0, req) {
+        if let Some(ShimEvent::Allocated { regions }) = shim.handle_frame(&e.frame) {
+            granted = Some(regions);
+        }
+    }
+    let regions = granted.expect("allocation granted");
+    assert_eq!(shim.state(), ShimState::Operational);
+    assert_eq!(regions.len(), 2);
+
+    // Drive a program packet through and verify both counters bumped in
+    // the granted stages at the granted offsets.
+    let (s0, r0) = regions[0];
+    let (s1, r1) = regions[1];
+    let frame = shim
+        .activate(FAR, [r0.start, r1.start, 0, 0], b"payload")
+        .unwrap();
+    let out = sw.handle_frame(1_000, frame);
+    assert_eq!(out.len(), 1, "RTS turned the packet around");
+    assert_eq!(sw.runtime().reg_read(s0, r0.start), Some(1));
+    assert_eq!(sw.runtime().reg_read(s1, r1.start), Some(1));
+    // The second counter's value came back in data field 2.
+    let layout = program_packet_layout(&out[0].frame).unwrap();
+    let v2 = u32::from_be_bytes(
+        out[0].frame[layout.args_off + 8..layout.args_off + 12]
+            .try_into()
+            .unwrap(),
+    );
+    assert_eq!(v2, 1);
+}
+
+#[test]
+fn mc_and_lc_request_bits_travel_on_the_wire() {
+    let mut mc = shim(MutantPolicy::MostConstrained);
+    let mut lc = shim(MutantPolicy::LeastConstrained);
+    let mc_req = mc.request_allocation();
+    let lc_req = lc.request_allocation();
+    let h = ActiveHeader::new_checked(&mc_req[14..]).unwrap();
+    assert!(h.flags().pinned());
+    let h = ActiveHeader::new_checked(&lc_req[14..]).unwrap();
+    assert!(!h.flags().pinned());
+}
+
+#[test]
+fn switch_honors_the_policy_bit() {
+    // The same inelastic pattern, requested mc vs lc against a fresh
+    // switch: both admit, but the recorded policies differ and lc has
+    // at least as many mutants to choose from.
+    let cfg = SwitchConfig::default();
+    let service = counter_service();
+    let mut sw = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    for (fid, pinned) in [(1u16, true), (2u16, false)] {
+        let req = build_alloc_request(
+            SWITCH,
+            CLIENT,
+            fid,
+            1,
+            &service.pattern.to_descriptors(),
+            service.pattern.prog_len as u8,
+            false,
+            pinned,
+            0,
+        )
+        .unwrap();
+        let out = sw.handle_frame(0, req);
+        let h = ActiveHeader::new_checked(&out[0].frame[14..]).unwrap();
+        assert!(!h.flags().failed(), "fid {fid} must be admitted");
+    }
+    let a = sw.controller().allocator();
+    let p1 = a.app(1).unwrap().policy;
+    let p2 = a.app(2).unwrap().policy;
+    assert_eq!(p1, MutantPolicy::MostConstrained);
+    assert_eq!(p2, MutantPolicy::LeastConstrained);
+}

