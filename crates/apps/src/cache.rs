@@ -26,10 +26,10 @@
 //! the retained objects.
 
 use crate::kvstore::{join_key, key_halves};
+use activermt_client::asm::assemble;
 use activermt_client::compiler::{CompiledService, Compiler, ServiceSpec};
 use activermt_client::memsync::{MemSync, SyncOp};
 use activermt_client::shim::{Shim, ShimEvent, ShimState};
-use activermt_client::asm::assemble;
 use activermt_core::alloc::MutantPolicy;
 use activermt_rmt::hash::Crc32;
 use std::collections::BTreeMap;
@@ -72,6 +72,10 @@ pub enum CacheEvent {
     /// (Section 4.3). [`CacheApp::snapshot_cost_regs`] sizes the
     /// data-plane extraction.
     SnapshotNeeded,
+    /// The shim's retransmission deadline expired without a switch
+    /// answer: the cache is out of service and requests should fall
+    /// back to the backend server.
+    Degraded,
 }
 
 /// What to do after handling a frame.
@@ -171,9 +175,23 @@ impl CacheApp {
         self.geometry.as_ref().map(|g| g.buckets).unwrap_or(0)
     }
 
-    /// Build the allocation request.
-    pub fn request_allocation(&mut self) -> Vec<u8> {
-        self.shim.request_allocation()
+    /// Build the allocation request (retransmitted via
+    /// [`CacheApp::poll`] until answered).
+    pub fn request_allocation(&mut self, now_ns: u64) -> Vec<u8> {
+        self.shim.request_allocation(now_ns)
+    }
+
+    /// Drive the shim's retransmission timer: returns frames to send
+    /// (retries) and [`CacheEvent::Degraded`] once the shim gives up.
+    pub fn poll(&mut self, now_ns: u64) -> Reaction {
+        let event = match self.shim.poll(now_ns) {
+            Some(ShimEvent::Degraded) => Some(CacheEvent::Degraded),
+            _ => None,
+        };
+        Reaction {
+            event,
+            frames: self.shim.take_outgoing(),
+        }
     }
 
     /// Build the deallocation control packet (context switches in
@@ -255,9 +273,10 @@ impl CacheApp {
     }
 
     /// Signal the controller that state extraction finished
-    /// (Section 4.3).
-    pub fn snapshot_complete(&mut self) -> Vec<u8> {
-        self.shim.snapshot_complete()
+    /// (Section 4.3). Retransmitted via [`CacheApp::poll`] until the
+    /// post-reallocation response arrives.
+    pub fn snapshot_complete(&mut self, now_ns: u64) -> Vec<u8> {
+        self.shim.snapshot_complete(now_ns)
     }
 
     /// Unacknowledged memsync frames for retransmission.
@@ -276,7 +295,18 @@ impl CacheApp {
                 frames: Vec::new(),
             };
         }
-        let Some(event) = self.shim.handle_frame(frame) else {
+        let event = self.shim.handle_frame(frame);
+        let mut reaction = self.react(event);
+        // Control signalling may queue acks (e.g. ReactivateAck) that
+        // must reach the switch.
+        let mut shim_out = self.shim.take_outgoing();
+        shim_out.extend(std::mem::take(&mut reaction.frames));
+        reaction.frames = shim_out;
+        reaction
+    }
+
+    fn react(&mut self, event: Option<ShimEvent>) -> Reaction {
+        let Some(event) = event else {
             return Reaction::default();
         };
         match event {
@@ -312,6 +342,10 @@ impl CacheApp {
                 frames: Vec::new(),
             },
             ShimEvent::Reactivated => Reaction::default(),
+            ShimEvent::Degraded => Reaction {
+                event: Some(CacheEvent::Degraded),
+                frames: Vec::new(),
+            },
             ShimEvent::ProgramReturned { frame } => {
                 let layout = match activermt_isa::wire::program_packet_layout(&frame) {
                     Ok(l) => l,

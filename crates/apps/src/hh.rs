@@ -91,6 +91,9 @@ pub enum HhEvent {
         /// Outstanding extraction packets.
         remaining: usize,
     },
+    /// The shim's retransmission deadline expired without a switch
+    /// answer; the monitor is abandoned.
+    Degraded,
 }
 
 /// A partially extracted directory slot: (threshold, key0, key1).
@@ -179,9 +182,20 @@ impl HeavyHitterApp {
         self.shim.state() == ShimState::Operational && self.geometry.is_some()
     }
 
-    /// Build the allocation request.
-    pub fn request_allocation(&mut self) -> Vec<u8> {
-        self.shim.request_allocation()
+    /// Build the allocation request (retransmitted via
+    /// [`HeavyHitterApp::poll`] until answered).
+    pub fn request_allocation(&mut self, now_ns: u64) -> Vec<u8> {
+        self.shim.request_allocation(now_ns)
+    }
+
+    /// Drive the shim's retransmission timer: returns an event (if the
+    /// shim gave up) and frames to send (retries).
+    pub fn poll(&mut self, now_ns: u64) -> (Option<HhEvent>, Vec<Vec<u8>>) {
+        let event = match self.shim.poll(now_ns) {
+            Some(ShimEvent::Degraded) => Some(HhEvent::Degraded),
+            _ => None,
+        };
+        (event, self.shim.take_outgoing())
     }
 
     /// Build the deallocation control packet (the Section 6.3 context

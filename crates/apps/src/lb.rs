@@ -96,6 +96,9 @@ pub enum LbEvent {
         /// Outstanding configuration packets.
         remaining: usize,
     },
+    /// The shim's retransmission deadline expired without a switch
+    /// answer; the balancer is abandoned.
+    Degraded,
 }
 
 /// The Cheetah load-balancer client.
@@ -188,9 +191,20 @@ impl CheetahLb {
         self.shim.state() == ShimState::Operational && self.configured
     }
 
-    /// Build the allocation request.
-    pub fn request_allocation(&mut self) -> Vec<u8> {
-        self.shim.request_allocation()
+    /// Build the allocation request (retransmitted via
+    /// [`CheetahLb::poll`] until answered).
+    pub fn request_allocation(&mut self, now_ns: u64) -> Vec<u8> {
+        self.shim.request_allocation(now_ns)
+    }
+
+    /// Drive the shim's retransmission timer: returns an event (if the
+    /// shim gave up) and frames to send (retries).
+    pub fn poll(&mut self, now_ns: u64) -> (Option<LbEvent>, Vec<Vec<u8>>) {
+        let event = match self.shim.poll(now_ns) {
+            Some(ShimEvent::Degraded) => Some(LbEvent::Degraded),
+            _ => None,
+        };
+        (event, self.shim.take_outgoing())
     }
 
     /// Activate a SYN: attach the server-selection program. `flow`
@@ -256,7 +270,7 @@ impl CheetahLb {
                 Vec::new(),
             );
         }
-        match self.shim.handle_frame(frame) {
+        let (event, mut frames) = match self.shim.handle_frame(frame) {
             Some(ShimEvent::Allocated { regions })
             | Some(ShimEvent::RegionsUpdated { regions }) => {
                 self.geometry = self.derive_geometry(&regions);
@@ -265,7 +279,11 @@ impl CheetahLb {
             }
             Some(ShimEvent::AllocationFailed) => (Some(LbEvent::AllocationFailed), Vec::new()),
             _ => (None, Vec::new()),
-        }
+        };
+        // Control signalling may queue acks that must reach the switch.
+        let mut out = self.shim.take_outgoing();
+        out.append(&mut frames);
+        (event, out)
     }
 
     /// Write the switch state: size mask, zeroed counter, page-table

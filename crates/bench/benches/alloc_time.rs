@@ -26,8 +26,10 @@ fn bench_admission(c: &mut Criterion) {
                         || {
                             // A realistically loaded allocator: 30 mixed
                             // residents.
-                            let mut alloc =
-                                Allocator::new(AllocatorConfig::from_switch(&cfg, Scheme::WorstFit));
+                            let mut alloc = Allocator::new(AllocatorConfig::from_switch(
+                                &cfg,
+                                Scheme::WorstFit,
+                            ));
                             for i in 0..30u16 {
                                 let k = AppKind::ALL[i as usize % 3];
                                 let _ = alloc.admit(

@@ -71,12 +71,7 @@ fn bench_wire(c: &mut Criterion) {
     group.bench_function("build_program_packet", |b| {
         b.iter(|| {
             black_box(build_program_packet(
-                SERVER,
-                CLIENT,
-                FID,
-                1,
-                &program,
-                b"GET key",
+                SERVER, CLIENT, FID, 1, &program, b"GET key",
             ))
         });
     });

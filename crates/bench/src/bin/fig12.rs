@@ -22,7 +22,14 @@ use activermt_core::SwitchConfig;
 
 fn main() {
     let mut csv = Csv::create("fig12");
-    csv.header(&["fill", "workload", "block_bytes", "total_ms", "mean_us", "admitted"]);
+    csv.header(&[
+        "fill",
+        "workload",
+        "block_bytes",
+        "total_ms",
+        "mean_us",
+        "admitted",
+    ]);
     for literal in [true, false] {
         run_mode(&mut csv, literal);
     }

@@ -35,14 +35,21 @@ fn main() {
                 ]);
             }
             let onset = recs.iter().position(|r| !r.success);
-            onsets.push((plabel, kind.label(), onset, recs.iter().filter(|r| r.success).count()));
+            onsets.push((
+                plabel,
+                kind.label(),
+                onset,
+                recs.iter().filter(|r| r.success).count(),
+            ));
         }
     }
     eprintln!("# failure onsets (paper: hh 23 mc / 57 lc; lb 368 mc; cache admits all 500):");
     for (p, k, onset, admitted) in onsets {
         eprintln!(
             "#   {p} {k}: onset={} admitted={admitted}",
-            onset.map(|o| o.to_string()).unwrap_or_else(|| "none".into())
+            onset
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "none".into())
         );
     }
 }

@@ -14,7 +14,13 @@ fn main() {
     let cfg = SwitchConfig::default();
     let mut csv = Csv::create("fig5b");
     csv.header(&[
-        "policy", "trial", "epoch", "app", "success", "compute_us", "ewma_us",
+        "policy",
+        "trial",
+        "epoch",
+        "app",
+        "success",
+        "compute_us",
+        "ewma_us",
     ]);
     for (policy, plabel) in [
         (MutantPolicy::MostConstrained, "mc"),

@@ -28,7 +28,14 @@ fn main() {
     );
     let mut csv = Csv::create("fig8a");
     csv.header(&[
-        "epoch", "fid", "alloc_us", "table_ms", "snapshot_ms", "total_ms", "victims", "failed",
+        "epoch",
+        "fid",
+        "alloc_us",
+        "table_ms",
+        "snapshot_ms",
+        "total_ms",
+        "victims",
+        "failed",
     ]);
     for (epoch, r) in &reports {
         csv.row(&[
@@ -47,10 +54,16 @@ fn main() {
     if !tail.is_empty() {
         let mean_total =
             tail.iter().map(|(_, r)| r.total_ns as f64).sum::<f64>() / tail.len() as f64;
-        let mean_table =
-            tail.iter().map(|(_, r)| r.table_update_ns as f64).sum::<f64>() / tail.len() as f64;
-        let mean_snap =
-            tail.iter().map(|(_, r)| r.snapshot_wait_ns as f64).sum::<f64>() / tail.len() as f64;
+        let mean_table = tail
+            .iter()
+            .map(|(_, r)| r.table_update_ns as f64)
+            .sum::<f64>()
+            / tail.len() as f64;
+        let mean_snap = tail
+            .iter()
+            .map(|(_, r)| r.snapshot_wait_ns as f64)
+            .sum::<f64>()
+            / tail.len() as f64;
         eprintln!(
             "# steady state: total {:.0} ms (paper: ~1000+), table {:.0} ms (dominant), snapshot {:.0} ms (low)",
             mean_total / 1e6,

@@ -12,10 +12,10 @@
 use activermt_bench::csvout::{f, Csv};
 use activermt_core::alloc::Scheme;
 use activermt_core::SwitchConfig;
+use activermt_isa::wire::EthernetFrame;
 use activermt_net::apphosts::LatencyProbeHost;
 use activermt_net::trace::percentile;
 use activermt_net::{NetConfig, Simulation, SwitchNode};
-use activermt_isa::wire::EthernetFrame;
 
 const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
 const PROBE: [u8; 6] = [2, 0, 0, 0, 1, 1];
@@ -27,7 +27,11 @@ fn probe_rtts(program_len: usize) -> Vec<u64> {
         SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
     );
     sim.add_host(Box::new(LatencyProbeHost::new(
-        PROBE, FAR, 7, program_len, 100_000,
+        PROBE,
+        FAR,
+        7,
+        program_len,
+        100_000,
     )));
     sim.run_until(50_000_000);
     sim.host::<LatencyProbeHost>(PROBE).unwrap().rtts.clone()
@@ -91,7 +95,13 @@ fn baseline_rtts() -> Vec<u64> {
 
 fn main() {
     let mut csv = Csv::create("fig8b");
-    csv.header(&["series", "program_len", "rtt_us_p50", "rtt_us_mean", "samples"]);
+    csv.header(&[
+        "series",
+        "program_len",
+        "rtt_us_p50",
+        "rtt_us_mean",
+        "samples",
+    ]);
     let stats = |rtts: &[u64]| {
         let us: Vec<f64> = rtts.iter().map(|&r| r as f64 / 1e3).collect();
         let mean = us.iter().sum::<f64>() / us.len().max(1) as f64;

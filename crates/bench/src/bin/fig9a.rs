@@ -18,10 +18,12 @@ const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
 const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
 
 fn main() {
-    let mut cfg = SwitchConfig::default();
     // Table updates calibrated so a context switch lands near the
     // paper's "slightly over half a second".
-    cfg.table_entry_update_ns = 400_000;
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 400_000,
+        ..SwitchConfig::default()
+    };
     let mut sim = Simulation::new(
         NetConfig::default(),
         SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),

@@ -54,11 +54,7 @@ fn main() {
         f(28.79),
         "paper-reported comparator".into(),
     ]);
-    csv.row(&[
-        "speedup".into(),
-        f(28.79 / steady_s),
-        "derived".into(),
-    ]);
+    csv.row(&["speedup".into(), f(28.79 / steady_s), "derived".into()]);
     csv.row(&[
         "monolithic_cache_instances".into(),
         monolithic_instances.to_string(),

@@ -21,7 +21,13 @@ fn main() {
         max_extra_recircs: 1,
     };
     let mut csv = Csv::create("tab_mutants");
-    csv.header(&["app", "policy", "mutants", "distinct_stage_sets", "max_passes"]);
+    csv.header(&[
+        "app",
+        "policy",
+        "mutants",
+        "distinct_stage_sets",
+        "max_passes",
+    ]);
     for kind in AppKind::ALL {
         let pattern = pattern_of(kind, 1024);
         for (policy, plabel) in [

@@ -32,7 +32,13 @@ fn netvrm_demand_regs(kind: AppKind, block_regs: u32) -> u32 {
 fn main() {
     let cfg = SwitchConfig::default();
     let mut csv = Csv::create("tab_netvrm");
-    csv.header(&["system", "app", "admitted", "utilization", "useful_utilization"]);
+    csv.header(&[
+        "system",
+        "app",
+        "admitted",
+        "utilization",
+        "useful_utilization",
+    ]);
     for kind in AppKind::ALL {
         // --- ActiveRMT ---
         let mut armt = Allocator::new(AllocatorConfig::from_switch(&cfg, Scheme::WorstFit));

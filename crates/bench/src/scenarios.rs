@@ -104,7 +104,7 @@ pub fn mixed_arrivals(
     let mut alloc = Allocator::new(AllocatorConfig::from_switch(cfg, scheme));
     (0..n)
         .map(|i| {
-            let kind = AppKind::ALL[rng.gen_range(0..3)];
+            let kind = AppKind::ALL[rng.gen_range(0..3usize)];
             admit_one(&mut alloc, i as Fid, kind, policy, cfg.block_regs * 4, i)
         })
         .collect()
@@ -185,7 +185,7 @@ pub fn churn(cfg: &SwitchConfig, churn_cfg: ChurnConfig) -> Vec<ChurnRecord> {
         rec.arrivals = arrivals;
         let mut compute_us = Vec::new();
         for _ in 0..arrivals {
-            let kind = AppKind::ALL[rng.gen_range(0..3)];
+            let kind = AppKind::ALL[rng.gen_range(0..3usize)];
             let fid = next_fid;
             next_fid = next_fid.wrapping_add(1).max(1);
             let pattern = pattern_of(kind, block_bytes);
@@ -215,7 +215,10 @@ pub fn churn(cfg: &SwitchConfig, churn_cfg: ChurnConfig) -> Vec<ChurnRecord> {
         rec.cache_realloc_fraction = if cache_fids.is_empty() {
             0.0
         } else {
-            cache_fids.iter().filter(|f| reallocated.contains(f)).count() as f64
+            cache_fids
+                .iter()
+                .filter(|f| reallocated.contains(f))
+                .count() as f64
                 / cache_fids.len() as f64
         };
         rec.mean_compute_us = if compute_us.is_empty() {
@@ -243,37 +246,34 @@ pub fn churn_provisioning(
     let mut reports = Vec::new();
     let block_bytes = cfg.block_regs * 4;
 
-    let drain =
-        |acts: Vec<ControllerAction>,
-         controller: &mut Controller,
-         runtime: &mut SwitchRuntime,
-         now_ns: &mut u64,
-         reports: &mut Vec<(usize, ProvisioningReport)>,
-         epoch: usize| {
-            let mut queue = acts;
-            while !queue.is_empty() {
-                let mut next = Vec::new();
-                for act in queue {
-                    match act {
-                        ControllerAction::Deactivate { fid, at_ns } => {
-                            // The client snapshots and acknowledges one
-                            // round trip later.
-                            let ack_at = at_ns + 1_000_000;
-                            *now_ns = (*now_ns).max(ack_at);
-                            next.extend(controller.handle_snapshot_complete(
-                                runtime, fid, ack_at,
-                            ));
-                        }
-                        ControllerAction::Report(r) => reports.push((epoch, r)),
-                        ControllerAction::Respond { at_ns, .. }
-                        | ControllerAction::Reactivate { at_ns, .. } => {
-                            *now_ns = (*now_ns).max(at_ns);
-                        }
+    let drain = |acts: Vec<ControllerAction>,
+                 controller: &mut Controller,
+                 runtime: &mut SwitchRuntime,
+                 now_ns: &mut u64,
+                 reports: &mut Vec<(usize, ProvisioningReport)>,
+                 epoch: usize| {
+        let mut queue = acts;
+        while !queue.is_empty() {
+            let mut next = Vec::new();
+            for act in queue {
+                match act {
+                    ControllerAction::Deactivate { fid, at_ns } => {
+                        // The client snapshots and acknowledges one
+                        // round trip later.
+                        let ack_at = at_ns + 1_000_000;
+                        *now_ns = (*now_ns).max(ack_at);
+                        next.extend(controller.handle_snapshot_complete(runtime, fid, ack_at));
+                    }
+                    ControllerAction::Report(r) => reports.push((epoch, r)),
+                    ControllerAction::Respond { at_ns, .. }
+                    | ControllerAction::Reactivate { at_ns, .. } => {
+                        *now_ns = (*now_ns).max(at_ns);
                     }
                 }
-                queue = next;
             }
-        };
+            queue = next;
+        }
+    };
 
     for epoch in 0..churn_cfg.epochs {
         now_ns += 1_000_000_000; // one epoch = one second of virtual time
@@ -282,18 +282,33 @@ pub fn churn_provisioning(
             let idx = rng.gen_range(0..resident.len());
             let (fid, _) = resident.swap_remove(idx);
             if let Ok(acts) = controller.handle_deallocate(&mut runtime, fid, now_ns) {
-                drain(acts, &mut controller, &mut runtime, &mut now_ns, &mut reports, epoch);
+                drain(
+                    acts,
+                    &mut controller,
+                    &mut runtime,
+                    &mut now_ns,
+                    &mut reports,
+                    epoch,
+                );
             }
         }
         let arrivals = poisson(&mut rng, churn_cfg.arrival_lambda) as usize;
         for _ in 0..arrivals {
-            let kind = AppKind::ALL[rng.gen_range(0..3)];
+            let kind = AppKind::ALL[rng.gen_range(0..3usize)];
             let fid = next_fid;
             next_fid = next_fid.wrapping_add(1).max(1);
             let pattern = pattern_of(kind, block_bytes);
-            let acts = controller.handle_request(&mut runtime, fid, pattern, churn_cfg.policy, now_ns);
+            let acts =
+                controller.handle_request(&mut runtime, fid, pattern, churn_cfg.policy, now_ns);
             let before = reports.len();
-            drain(acts, &mut controller, &mut runtime, &mut now_ns, &mut reports, epoch);
+            drain(
+                acts,
+                &mut controller,
+                &mut runtime,
+                &mut now_ns,
+                &mut reports,
+                epoch,
+            );
             let admitted = reports[before..].iter().any(|(_, r)| !r.failed);
             if admitted {
                 resident.push((fid, kind));
@@ -365,8 +380,20 @@ mod tests {
 
     #[test]
     fn mixed_arrivals_are_deterministic_per_seed() {
-        let a = mixed_arrivals(3, 50, MutantPolicy::MostConstrained, Scheme::WorstFit, &cfg());
-        let b = mixed_arrivals(3, 50, MutantPolicy::MostConstrained, Scheme::WorstFit, &cfg());
+        let a = mixed_arrivals(
+            3,
+            50,
+            MutantPolicy::MostConstrained,
+            Scheme::WorstFit,
+            &cfg(),
+        );
+        let b = mixed_arrivals(
+            3,
+            50,
+            MutantPolicy::MostConstrained,
+            Scheme::WorstFit,
+            &cfg(),
+        );
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.success, y.success);
             assert_eq!(x.kind, y.kind);
@@ -415,10 +442,16 @@ mod tests {
         let ok: Vec<_> = reports.iter().filter(|(_, r)| !r.failed).collect();
         assert!(ok.len() > 20);
         // Table updates dominate provisioning (Section 6.2).
-        let mean_table: f64 =
-            ok.iter().map(|(_, r)| r.table_update_ns as f64).sum::<f64>() / ok.len() as f64;
-        let mean_snap: f64 =
-            ok.iter().map(|(_, r)| r.snapshot_wait_ns as f64).sum::<f64>() / ok.len() as f64;
+        let mean_table: f64 = ok
+            .iter()
+            .map(|(_, r)| r.table_update_ns as f64)
+            .sum::<f64>()
+            / ok.len() as f64;
+        let mean_snap: f64 = ok
+            .iter()
+            .map(|(_, r)| r.snapshot_wait_ns as f64)
+            .sum::<f64>()
+            / ok.len() as f64;
         assert!(
             mean_table > mean_snap,
             "table {mean_table} must dominate snapshot {mean_snap}"

@@ -112,11 +112,7 @@ impl Compiler {
         let mut positions = Vec::with_capacity(m);
         let mut min_pos = 0u16;
         for i in 0..m {
-            let lb = pattern.min_positions[i].max(if i == 0 {
-                1
-            } else {
-                min_pos + gaps[i]
-            });
+            let lb = pattern.min_positions[i].max(if i == 0 { 1 } else { min_pos + gaps[i] });
             let mut p = (targets[i] as u16) + 1; // stage s = position s+1 on pass 1
             while p < lb {
                 p += num_stages as u16;
@@ -293,7 +289,13 @@ mod tests {
             .map(|i| i.opcode)
             .filter(|&o| o != Opcode::NOP)
             .collect();
-        let original: Vec<Opcode> = c.spec.program.instructions().iter().map(|i| i.opcode).collect();
+        let original: Vec<Opcode> = c
+            .spec
+            .program
+            .instructions()
+            .iter()
+            .map(|i| i.opcode)
+            .collect();
         assert_eq!(non_nops, original);
     }
 
@@ -342,7 +344,10 @@ mod tests {
 
     #[test]
     fn address_linking() {
-        let region = RegionEntry { start: 1024, end: 1536 };
+        let region = RegionEntry {
+            start: 1024,
+            end: 1536,
+        };
         assert_eq!(Compiler::link_address(region, 0), 1024);
         assert_eq!(Compiler::link_address(region, 511), 1535);
         // Out-of-range virtual indices wrap, staying in-region.

@@ -26,7 +26,7 @@ pub mod memsync;
 pub mod shim;
 
 pub use asm::assemble;
-pub use disasm::disassemble;
 pub use compiler::{CompiledService, Compiler, ServiceSpec};
+pub use disasm::disassemble;
 pub use memsync::{MemSync, SyncOp};
 pub use shim::{Shim, ShimEvent, ShimState};

@@ -118,8 +118,8 @@ impl MemSync {
         if batch.is_empty() {
             return true;
         }
-        let args: usize = batch.iter().map(|&o| Self::args_needed(o)).sum::<usize>()
-            + Self::args_needed(op);
+        let args: usize =
+            batch.iter().map(|&o| Self::args_needed(o)).sum::<usize>() + Self::args_needed(op);
         args <= 4
     }
 
@@ -144,21 +144,28 @@ impl MemSync {
     /// of ours (wrong FID or unknown/duplicate sequence — duplicates
     /// are silently ignored, which is what idempotence buys).
     pub fn handle_response(&mut self, frame: &[u8]) -> Option<Vec<ReadResult>> {
-        let hdr = ActiveHeader::new_checked(&frame[activermt_isa::constants::ETHERNET_HEADER_LEN..])
-            .ok()?;
+        let hdr =
+            ActiveHeader::new_checked(frame.get(activermt_isa::constants::ETHERNET_HEADER_LEN..)?)
+                .ok()?;
         if hdr.fid() != self.fid {
             return None;
         }
-        let pending = self.outstanding.remove(&hdr.seq())?;
+        if !self.outstanding.contains_key(&hdr.seq()) {
+            return None;
+        }
+        // Parse before removing: a truncated or corrupted copy of a
+        // pending response must not consume the sequence number (the
+        // retransmitted original can still complete it).
         let layout = program_packet_layout(frame).ok()?;
-        let mut results = Vec::with_capacity(pending.ops.len());
+        let ops = &self.outstanding[&hdr.seq()].ops;
+        let mut results = Vec::with_capacity(ops.len());
         let mut arg = 0usize;
-        for op in pending.ops {
+        for &op in ops {
             let value = match op {
                 SyncOp::Read { .. } => {
                     let off = layout.args_off + arg * 4;
                     arg += 1;
-                    u32::from_be_bytes(frame[off..off + 4].try_into().ok()?)
+                    u32::from_be_bytes(frame.get(off..off + 4)?.try_into().ok()?)
                 }
                 SyncOp::Write { value, .. } => {
                     arg += 2;
@@ -167,6 +174,7 @@ impl MemSync {
             };
             results.push(ReadResult { op, value });
         }
+        self.outstanding.remove(&hdr.seq());
         Some(results)
     }
 
@@ -260,10 +268,7 @@ mod tests {
 
     #[test]
     fn single_read_program_matches_listing_5() {
-        let (p, pos) = build_sync_program(
-            &[SyncOp::Read { stage: 4, addr: 99 }],
-            20,
-        );
+        let (p, pos) = build_sync_program(&[SyncOp::Read { stage: 4, addr: 99 }], 20);
         // MAR_LOAD at some point, MEM_READ at stage 4 (position 5),
         // MBR_STORE, RTS, RETURN.
         assert_eq!(pos, vec![5]);

@@ -32,7 +32,24 @@ pub enum ShimState {
     Operational,
     /// Deactivated by the switch; extracting state from the snapshot.
     MemoryManagement,
+    /// The switch stopped answering within the retransmission deadline;
+    /// active transmission is abandoned and the application should fall
+    /// back to the server path. [`Shim::request_allocation`] re-enters
+    /// negotiation.
+    Degraded,
 }
+
+/// First retransmission delay for control traffic (allocation requests
+/// and snapshot acks).
+pub const RETX_INITIAL_NS: u64 = 200_000;
+/// Cap on the exponential retransmission backoff.
+pub const RETX_MAX_BACKOFF_NS: u64 = 5_000_000;
+/// Give up and surface [`ShimEvent::Degraded`] after this long without
+/// an answer from the switch. Generous on purpose: an allocation
+/// request is only answered after the whole reallocation protocol runs
+/// (victim snapshots alone take tens of milliseconds), so the deadline
+/// must clear a worst-case reallocation with margin.
+pub const RETX_DEADLINE_NS: u64 = 1_000_000_000;
 
 /// Events surfaced to the application by [`Shim::handle_frame`].
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +80,30 @@ pub enum ShimEvent {
         /// The returned frame, verbatim.
         frame: Vec<u8>,
     },
+    /// The retransmission deadline expired without a switch answer; the
+    /// shim gave up and the application should fall back to the server
+    /// path (surfaced by [`Shim::poll`]).
+    Degraded,
+}
+
+/// Which reliable control packet is awaiting an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetxKind {
+    /// An allocation request; answered by an `AllocResponse`.
+    AllocRequest,
+    /// A snapshot-complete ack; answered by the post-reallocation
+    /// `AllocResponse` or `ReactivateNotice`.
+    SnapshotAck,
+}
+
+/// Retransmission state for the one in-flight reliable control packet.
+#[derive(Debug, Clone)]
+struct Retx {
+    kind: RetxKind,
+    frame: Vec<u8>,
+    next_ns: u64,
+    backoff_ns: u64,
+    deadline_ns: u64,
 }
 
 /// One service instance's client-side endpoint.
@@ -78,6 +119,12 @@ pub struct Shim {
     space: MutantSpace,
     regions: Vec<(usize, RegionEntry)>,
     program: Option<Program>,
+    /// Frames the shim wants transmitted (retransmissions, acks);
+    /// drained by [`Shim::take_outgoing`].
+    outgoing: Vec<Vec<u8>>,
+    retx: Option<Retx>,
+    malformed: u64,
+    retransmits: u64,
 }
 
 impl Shim {
@@ -109,6 +156,10 @@ impl Shim {
             },
             regions: Vec::new(),
             program: None,
+            outgoing: Vec::new(),
+            retx: None,
+            malformed: 0,
+            retransmits: 0,
         }
     }
 
@@ -147,12 +198,69 @@ impl Shim {
         self.seq
     }
 
-    /// Build an allocation request and enter `Negotiating`.
-    pub fn request_allocation(&mut self) -> Vec<u8> {
+    /// Frames this shim retransmitted so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Frames addressed to this shim that could not be parsed.
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Frames the shim wants transmitted now (acks queued by
+    /// [`Shim::handle_frame`], retransmissions queued by
+    /// [`Shim::poll`]).
+    pub fn take_outgoing(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    fn arm_retx(&mut self, kind: RetxKind, frame: Vec<u8>, now_ns: u64) {
+        self.retx = Some(Retx {
+            kind,
+            frame,
+            next_ns: now_ns + RETX_INITIAL_NS,
+            backoff_ns: RETX_INITIAL_NS,
+            deadline_ns: now_ns + RETX_DEADLINE_NS,
+        });
+    }
+
+    fn cancel_retx(&mut self) {
+        self.retx = None;
+    }
+
+    /// Drive the retransmission timer. Re-queues the in-flight control
+    /// packet with exponential backoff while unanswered; past the
+    /// deadline the shim gives up, enters [`ShimState::Degraded`] and
+    /// surfaces [`ShimEvent::Degraded`] so the application falls back to
+    /// the server path. Retransmitted frames appear in
+    /// [`Shim::take_outgoing`].
+    pub fn poll(&mut self, now_ns: u64) -> Option<ShimEvent> {
+        let r = self.retx.as_mut()?;
+        if now_ns >= r.deadline_ns {
+            self.retx = None;
+            self.state = ShimState::Degraded;
+            return Some(ShimEvent::Degraded);
+        }
+        if now_ns >= r.next_ns {
+            self.outgoing.push(r.frame.clone());
+            self.retransmits += 1;
+            r.backoff_ns = (r.backoff_ns * 2).min(RETX_MAX_BACKOFF_NS);
+            r.next_ns = now_ns + r.backoff_ns;
+        }
+        None
+    }
+
+    /// Build an allocation request and enter `Negotiating`. The request
+    /// is retransmitted with exponential backoff (driven by
+    /// [`Shim::poll`]) until the response arrives; "the client can
+    /// safely retransmit after a timeout" — admission is idempotent on
+    /// the switch.
+    pub fn request_allocation(&mut self, now_ns: u64) -> Vec<u8> {
         self.state = ShimState::Negotiating;
         let seq = self.next_seq();
         let pattern = &self.service.pattern;
-        build_alloc_request(
+        let frame = build_alloc_request(
             self.switch_mac,
             self.mac,
             self.fid,
@@ -163,21 +271,27 @@ impl Shim {
             self.policy == MutantPolicy::MostConstrained,
             pattern.ingress_positions.first().copied().unwrap_or(0),
         )
-        .expect("compiled patterns have <= 8 accesses")
+        .expect("compiled patterns have <= 8 accesses");
+        self.arm_retx(RetxKind::AllocRequest, frame.clone(), now_ns);
+        frame
     }
 
     /// Build the snapshot-complete control packet and resume
     /// (the switch reactivates us once the new allocation is applied).
-    pub fn snapshot_complete(&mut self) -> Vec<u8> {
+    /// Retransmitted until the post-reallocation response or reactivate
+    /// notice arrives.
+    pub fn snapshot_complete(&mut self, now_ns: u64) -> Vec<u8> {
         let seq = self.next_seq();
-        build_control(
+        let frame = build_control(
             self.switch_mac,
             self.mac,
             self.fid,
             seq,
             ControlOp::SnapshotComplete,
             false,
-        )
+        );
+        self.arm_retx(RetxKind::SnapshotAck, frame.clone(), now_ns);
+        frame
     }
 
     /// Build a deallocation control packet and go `Idle`.
@@ -185,6 +299,7 @@ impl Shim {
         self.state = ShimState::Idle;
         self.regions.clear();
         self.program = None;
+        self.cancel_retx();
         let seq = self.next_seq();
         build_control(
             self.switch_mac,
@@ -215,31 +330,54 @@ impl Shim {
     }
 
     /// Dispatch an incoming frame addressed to this shim. Frames for
-    /// other FIDs or non-active frames return `None`.
+    /// other FIDs or non-active frames return `None`; frames for this
+    /// FID that cannot be parsed are counted malformed and dropped.
+    /// Check [`Shim::take_outgoing`] afterwards: control signalling may
+    /// queue acknowledgement frames.
     pub fn handle_frame(&mut self, frame: &[u8]) -> Option<ShimEvent> {
         use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
         let eth = activermt_isa::wire::EthernetFrame::new_checked(frame).ok()?;
         if eth.ethertype() != activermt_isa::constants::ACTIVE_ETHERTYPE {
             return None;
         }
-        let hdr = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]).ok()?;
+        let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
+            self.malformed += 1;
+            return None;
+        };
         if hdr.fid() != self.fid {
             return None;
         }
         match hdr.flags().packet_type() {
             PacketType::AllocResponse => {
                 if hdr.flags().failed() {
+                    if self.state != ShimState::Negotiating {
+                        return None; // duplicate of an already-handled failure
+                    }
+                    self.cancel_retx();
                     self.state = ShimState::Idle;
                     return Some(ShimEvent::AllocationFailed);
                 }
-                let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
-                let resp = AllocResponse::new_checked(body).ok()?;
+                let body = frame.get(ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..)?;
+                let Ok(resp) = AllocResponse::new_checked(body) else {
+                    self.malformed += 1;
+                    return None;
+                };
                 let regions: Vec<(usize, RegionEntry)> = resp
                     .allocated_stages()
                     .into_iter()
                     .map(|s| (s, resp.region(s)))
                     .collect();
                 let solicited = self.state == ShimState::Negotiating;
+                // Any response for our FID means the switch received
+                // whatever we were retransmitting (the request, or the
+                // snapshot ack that gates the controller's re-send).
+                self.cancel_retx();
+                if !solicited && self.state == ShimState::Operational && regions == self.regions {
+                    // Duplicate of a re-sent response we already applied;
+                    // re-applying would needlessly churn the application
+                    // (e.g. a cache repopulation storm).
+                    return None;
+                }
                 self.apply_regions(regions.clone());
                 Some(if solicited {
                     ShimEvent::Allocated { regions }
@@ -247,18 +385,47 @@ impl Shim {
                     ShimEvent::RegionsUpdated { regions }
                 })
             }
-            PacketType::Control => match hdr.control_op().ok()? {
-                ControlOp::DeactivateNotice => {
+            PacketType::Control => match hdr.control_op() {
+                Ok(ControlOp::DeactivateNotice) => {
+                    if self.state == ShimState::MemoryManagement {
+                        // Re-sent notice: we are already snapshotting (or
+                        // our snapshot ack is in retransmission).
+                        return None;
+                    }
                     self.state = ShimState::MemoryManagement;
                     Some(ShimEvent::MustSnapshot)
                 }
-                ControlOp::ReactivateNotice => {
+                Ok(ControlOp::ReactivateNotice) => {
+                    // Always acknowledge — the controller re-sends the
+                    // notice until it sees the ack.
+                    let seq = self.next_seq();
+                    self.outgoing.push(build_control(
+                        self.switch_mac,
+                        self.mac,
+                        self.fid,
+                        seq,
+                        ControlOp::ReactivateAck,
+                        false,
+                    ));
+                    if matches!(
+                        self.retx,
+                        Some(Retx {
+                            kind: RetxKind::SnapshotAck,
+                            ..
+                        })
+                    ) {
+                        self.cancel_retx();
+                    }
                     if self.program.is_some() {
                         self.state = ShimState::Operational;
                     }
                     Some(ShimEvent::Reactivated)
                 }
-                _ => None,
+                Ok(_) => None,
+                Err(_) => {
+                    self.malformed += 1;
+                    None
+                }
             },
             PacketType::Program => {
                 if hdr.flags().from_switch() {
@@ -339,13 +506,30 @@ mod tests {
             aliases: vec![],
         })
         .unwrap();
-        Shim::new(7, CLIENT, SWITCH, service, MutantPolicy::MostConstrained, 20, 10, 1)
+        Shim::new(
+            7,
+            CLIENT,
+            SWITCH,
+            service,
+            MutantPolicy::MostConstrained,
+            20,
+            10,
+            1,
+        )
     }
 
     fn grant(stages: &[usize]) -> Vec<u8> {
         let regions: Vec<(usize, RegionEntry)> = stages
             .iter()
-            .map(|&s| (s, RegionEntry { start: 0, end: 65_536 }))
+            .map(|&s| {
+                (
+                    s,
+                    RegionEntry {
+                        start: 0,
+                        end: 65_536,
+                    },
+                )
+            })
             .collect();
         build_alloc_response(CLIENT, SWITCH, 7, 1, Some(&regions))
     }
@@ -355,7 +539,7 @@ mod tests {
         let mut shim = cache_shim();
         assert_eq!(shim.state(), ShimState::Idle);
         assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "idle: no tx");
-        let req = shim.request_allocation();
+        let req = shim.request_allocation(0);
         assert_eq!(shim.state(), ShimState::Negotiating);
         // The request carries the paper's constraint vectors.
         let hdr = ActiveHeader::new_checked(&req[14..]).unwrap();
@@ -364,7 +548,10 @@ mod tests {
         assert!(hdr.flags().pinned());
         assert_eq!(hdr.program_len(), 11);
         assert_eq!(hdr.aux(), 8, "RTS position travels in aux");
-        assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "negotiating: no tx");
+        assert!(
+            shim.activate(SERVER, [0; 4], b"x").is_none(),
+            "negotiating: no tx"
+        );
 
         let ev = shim.handle_frame(&grant(&[1, 4, 8])).unwrap();
         assert!(matches!(ev, ShimEvent::Allocated { .. }));
@@ -377,7 +564,7 @@ mod tests {
     #[test]
     fn shifted_grant_synthesizes_a_mutant() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         shim.handle_frame(&grant(&[3, 6, 10])).unwrap();
         let p = shim.program().unwrap();
         assert_eq!(p.memory_access_positions(), vec![4, 7, 11]);
@@ -389,7 +576,7 @@ mod tests {
     #[test]
     fn failed_allocation_returns_to_idle() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         let fail = build_alloc_response(CLIENT, SWITCH, 7, 1, None);
         assert_eq!(shim.handle_frame(&fail), Some(ShimEvent::AllocationFailed));
         assert_eq!(shim.state(), ShimState::Idle);
@@ -398,7 +585,7 @@ mod tests {
     #[test]
     fn reallocation_protocol_pauses_transmission() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         shim.handle_frame(&grant(&[1, 4, 8]));
         // Switch quiesces us.
         let notice = build_control(CLIENT, SWITCH, 7, 9, ControlOp::DeactivateNotice, true);
@@ -406,7 +593,7 @@ mod tests {
         assert_eq!(shim.state(), ShimState::MemoryManagement);
         assert!(shim.activate(SERVER, [0; 4], b"x").is_none(), "paused");
         // We finish the snapshot; new regions arrive unsolicited.
-        let done = shim.snapshot_complete();
+        let done = shim.snapshot_complete(0);
         let hdr = ActiveHeader::new_checked(&done[14..]).unwrap();
         assert_eq!(hdr.control_op().unwrap(), ControlOp::SnapshotComplete);
         let ev = shim.handle_frame(&grant(&[2, 5, 9])).unwrap();
@@ -420,7 +607,7 @@ mod tests {
     #[test]
     fn frames_for_other_fids_are_ignored() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         let other = build_alloc_response(CLIENT, SWITCH, 8, 1, None);
         assert_eq!(shim.handle_frame(&other), None);
         assert_eq!(shim.state(), ShimState::Negotiating);
@@ -429,7 +616,7 @@ mod tests {
     #[test]
     fn returned_program_packets_surface() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         shim.handle_frame(&grant(&[1, 4, 8]));
         let pkt = shim.activate(SERVER, [1, 2, 3, 4], b"payload").unwrap();
         // Pretend the switch RTS'd it back.
@@ -450,7 +637,7 @@ mod tests {
     #[test]
     fn deallocate_resets() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         shim.handle_frame(&grant(&[1, 4, 8]));
         let frame = shim.deallocate();
         let hdr = ActiveHeader::new_checked(&frame[14..]).unwrap();
@@ -461,16 +648,115 @@ mod tests {
     }
 
     #[test]
+    fn request_is_retransmitted_with_backoff_until_answered() {
+        let mut shim = cache_shim();
+        let req = shim.request_allocation(0);
+        // Nothing to do before the first timeout.
+        assert_eq!(shim.poll(RETX_INITIAL_NS - 1), None);
+        assert!(shim.take_outgoing().is_empty());
+        // First retransmission fires at the initial timeout...
+        assert_eq!(shim.poll(RETX_INITIAL_NS), None);
+        assert_eq!(shim.take_outgoing(), vec![req.clone()]);
+        assert_eq!(shim.retransmits(), 1);
+        // ...and the next one backs off to double the interval.
+        assert_eq!(shim.poll(RETX_INITIAL_NS + RETX_INITIAL_NS * 2 - 1), None);
+        assert!(shim.take_outgoing().is_empty());
+        shim.poll(RETX_INITIAL_NS + RETX_INITIAL_NS * 2);
+        assert_eq!(shim.take_outgoing(), vec![req]);
+        assert_eq!(shim.retransmits(), 2);
+        // The response cancels retransmission.
+        shim.handle_frame(&grant(&[1, 4, 8])).unwrap();
+        assert_eq!(shim.poll(u64::MAX - 1), None);
+        assert!(shim.take_outgoing().is_empty());
+        assert_eq!(shim.state(), ShimState::Operational);
+    }
+
+    #[test]
+    fn unanswered_request_degrades_at_the_deadline() {
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        assert_eq!(shim.poll(RETX_DEADLINE_NS), Some(ShimEvent::Degraded));
+        assert_eq!(shim.state(), ShimState::Degraded);
+        assert!(
+            shim.activate(SERVER, [0; 4], b"x").is_none(),
+            "degraded: no tx"
+        );
+        // Degraded is terminal until the application re-negotiates.
+        assert_eq!(shim.poll(u64::MAX - 1), None);
+        shim.request_allocation(RETX_DEADLINE_NS);
+        assert_eq!(shim.state(), ShimState::Negotiating);
+    }
+
+    #[test]
+    fn snapshot_ack_is_retransmitted_until_reactivation() {
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        let notice = build_control(CLIENT, SWITCH, 7, 9, ControlOp::DeactivateNotice, true);
+        shim.handle_frame(&notice);
+        let done = shim.snapshot_complete(1_000);
+        // Lost: the shim re-sends it.
+        shim.poll(1_000 + RETX_INITIAL_NS);
+        assert_eq!(shim.take_outgoing(), vec![done]);
+        // A re-sent deactivate notice while snapshotting is swallowed.
+        assert_eq!(shim.handle_frame(&notice), None);
+        // The reactivate notice cancels the retransmission and is acked.
+        let reactivate = build_control(CLIENT, SWITCH, 7, 10, ControlOp::ReactivateNotice, true);
+        assert_eq!(shim.handle_frame(&reactivate), Some(ShimEvent::Reactivated));
+        let out = shim.take_outgoing();
+        assert_eq!(out.len(), 1);
+        let hdr = ActiveHeader::new_checked(&out[0][14..]).unwrap();
+        assert_eq!(hdr.control_op().unwrap(), ControlOp::ReactivateAck);
+        assert_eq!(shim.poll(u64::MAX - 1), None, "retx cancelled");
+    }
+
+    #[test]
+    fn duplicate_region_updates_are_swallowed() {
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        // A re-sent copy of an unsolicited response we already applied
+        // must not churn the application...
+        let update = grant(&[2, 5, 9]);
+        assert!(matches!(
+            shim.handle_frame(&update),
+            Some(ShimEvent::RegionsUpdated { .. })
+        ));
+        assert_eq!(shim.handle_frame(&update), None, "duplicate swallowed");
+        // ...but a genuinely different grant still applies.
+        assert!(matches!(
+            shim.handle_frame(&grant(&[3, 6, 10])),
+            Some(ShimEvent::RegionsUpdated { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_crashed() {
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        // Truncate an otherwise valid response below the active header.
+        let mut short = grant(&[1, 4, 8]);
+        short.truncate(16);
+        assert_eq!(shim.handle_frame(&short), None);
+        assert_eq!(shim.malformed_frames(), 1);
+        assert_eq!(shim.state(), ShimState::Negotiating, "still waiting");
+    }
+
+    #[test]
     fn activation_embeds_args_and_payload() {
         let mut shim = cache_shim();
-        shim.request_allocation();
+        shim.request_allocation(0);
         shim.handle_frame(&grant(&[1, 4, 8]));
         let pkt = shim
             .activate(SERVER, [0xA, 0xB, 0, 42], b"GET key")
             .unwrap();
         let layout = activermt_isa::wire::program_packet_layout(&pkt).unwrap();
         assert_eq!(&pkt[layout.payload_off..], b"GET key");
-        let a0 = u32::from_be_bytes(pkt[layout.args_off..layout.args_off + 4].try_into().unwrap());
+        let a0 = u32::from_be_bytes(
+            pkt[layout.args_off..layout.args_off + 4]
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!(a0, 0xA);
     }
 }

@@ -113,3 +113,77 @@ proptest! {
         }
     }
 }
+
+// ----- response-decode hardening -----
+//
+// The fault injector corrupts, truncates, and duplicates live frames;
+// `MemSync::handle_response` must reject them without panicking, and a
+// damaged copy of a pending response must never consume its sequence
+// number (the retransmitted original still has to complete the op).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_are_not_responses(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+        ops in arb_ops(),
+    ) {
+        let mut ms = MemSync::new(7, [1; 6], [2; 6], 20);
+        ms.submit(&ops);
+        let before = ms.pending_count();
+        // Overwhelmingly these fail FID/seq matching; all must be safe.
+        prop_assert!(ms.handle_response(&bytes).is_none());
+        prop_assert_eq!(ms.pending_count(), before);
+    }
+
+    #[test]
+    fn truncated_responses_do_not_consume_sequence_numbers(
+        ops in arb_ops(),
+        cut in 0usize..200,
+    ) {
+        let mut ms = MemSync::new(7, [1; 6], [2; 6], 20);
+        let frames = ms.submit(&ops);
+        let total = frames.len();
+        for f in &frames {
+            // A truncated echo arrives first: rejected, seq retained.
+            let cut = cut % f.len();
+            prop_assert!(ms.handle_response(&f[..cut]).is_none());
+        }
+        prop_assert_eq!(ms.pending_count(), total);
+        // The intact retransmissions still complete every op.
+        for f in &frames {
+            prop_assert!(ms.handle_response(f).is_some());
+        }
+        prop_assert_eq!(ms.pending_count(), 0);
+    }
+
+    #[test]
+    fn bit_flipped_responses_never_panic(
+        ops in arb_ops(),
+        flips in prop::collection::vec((any::<usize>(), 0u8..8), 1..6),
+    ) {
+        let mut ms = MemSync::new(7, [1; 6], [2; 6], 20);
+        let frames = ms.submit(&ops);
+        for f in &frames {
+            let mut bad = f.clone();
+            for &(pos, bit) in &flips {
+                let i = pos % bad.len();
+                bad[i] ^= 1 << (bit % 8);
+            }
+            // May decode (flip hit a payload byte) or be rejected; the
+            // only forbidden outcome is a panic.
+            let _ = ms.handle_response(&bad);
+        }
+        // Whatever survived, the originals drain the rest without
+        // double-completing anything.
+        let mut completed = 0usize;
+        for f in &frames {
+            if ms.handle_response(f).is_some() {
+                completed += 1;
+            }
+        }
+        prop_assert!(completed <= frames.len());
+        prop_assert_eq!(ms.pending_count(), 0);
+    }
+}

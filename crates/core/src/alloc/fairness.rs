@@ -147,10 +147,7 @@ mod tests {
             vec![2, 5, 5]
         );
         // All capped below capacity: leftover stays unallocated.
-        assert_eq!(
-            progressive_filling(100, &[Some(3), Some(4)]),
-            vec![3, 4]
-        );
+        assert_eq!(progressive_filling(100, &[Some(3), Some(4)]), vec![3, 4]);
     }
 
     #[test]

@@ -122,9 +122,7 @@ impl MutantSpace {
         if m == 0 {
             // Memoryless programs have exactly one "mutant": the compact
             // program itself (padding would be pointless).
-            if pattern.prog_len <= max_len
-                && self.ingress_ok(pattern, &[], policy).is_some()
-            {
+            if pattern.prog_len <= max_len && self.ingress_ok(pattern, &[], policy).is_some() {
                 let passes = self.inherent_passes(pattern.prog_len)
                     + self.ingress_ok(pattern, &[], policy).unwrap_or(0);
                 out.push(Mutant {
@@ -315,7 +313,11 @@ mod tests {
         let muts = space().enumerate(&cache_pattern(), MutantPolicy::MostConstrained);
         assert!(!muts.is_empty());
         for m in &muts {
-            assert!(m.positions[0] >= 2 && m.positions[0] <= 4, "{:?}", m.positions);
+            assert!(
+                m.positions[0] >= 2 && m.positions[0] <= 4,
+                "{:?}",
+                m.positions
+            );
             assert!(m.positions[1] >= 5 && m.positions[1] <= 7);
             assert!(m.positions[2] >= 9 && m.positions[2] <= 11);
             assert!(m.positions[1] - m.positions[0] >= 3);

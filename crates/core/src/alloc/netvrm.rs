@@ -92,22 +92,20 @@ impl NetVrmAllocator {
         if self.apps.contains_key(&fid) {
             return Err(AdmitError::DuplicateFid(fid));
         }
-        let size = self.rounded_demand(demand_regs).ok_or(AdmitError::BadRequest)?;
+        let size = self
+            .rounded_demand(demand_regs)
+            .ok_or(AdmitError::BadRequest)?;
         // First fit among pow-2-aligned free runs (alignment keeps the
         // mask translation valid).
-        let slot = self
-            .free
-            .iter()
-            .enumerate()
-            .find_map(|(i, &(off, len))| {
-                let aligned = off.next_multiple_of(size);
-                let pad = aligned - off;
-                if len >= pad + size {
-                    Some((i, aligned, pad))
-                } else {
-                    None
-                }
-            });
+        let slot = self.free.iter().enumerate().find_map(|(i, &(off, len))| {
+            let aligned = off.next_multiple_of(size);
+            let pad = aligned - off;
+            if len >= pad + size {
+                Some((i, aligned, pad))
+            } else {
+                None
+            }
+        });
         let Some((i, aligned, pad)) = slot else {
             return Err(AdmitError::OutOfMemory);
         };
@@ -258,7 +256,7 @@ mod tests {
     fn utilization_charges_translation_and_rounding() {
         let mut a = alloc();
         a.admit(1, 65_536).unwrap(); // the whole addressable region
-        // 18 usable stages of 20, full region: 90% ceiling.
+                                     // 18 usable stages of 20, full region: 90% ceiling.
         let u = a.utilization(20, 65_536);
         assert!((u - 0.9).abs() < 1e-9, "{u}");
     }

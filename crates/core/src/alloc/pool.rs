@@ -61,7 +61,11 @@ impl StagePool {
     /// One past the highest block any inelastic allocation uses. The
     /// elastic zone is `[frontier, capacity)`.
     pub fn frontier(&self) -> u32 {
-        self.inelastic.iter().map(|(_, r)| r.end()).max().unwrap_or(0)
+        self.inelastic
+            .iter()
+            .map(|(_, r)| r.end())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Blocks held by inelastic applications.

@@ -171,7 +171,10 @@ mod tests {
         let pools = pools();
         let single = Scheme::WorstFit.cost(&pools, &[(0, 1)], true);
         let pair = Scheme::WorstFit.cost(&pools, &[(0, 1), (1, 1)], true);
-        assert_eq!(pair, single + Scheme::WorstFit.cost(&pools, &[(1, 1)], true));
+        assert_eq!(
+            pair,
+            single + Scheme::WorstFit.cost(&pools, &[(1, 1)], true)
+        );
     }
 
     #[test]

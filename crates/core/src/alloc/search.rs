@@ -194,7 +194,8 @@ impl Allocator {
             .iter()
             .enumerate()
             .filter_map(|(s, p)| {
-                p.allocation_of(fid).map(|range| StagePlacement { stage: s, range })
+                p.allocation_of(fid)
+                    .map(|range| StagePlacement { stage: s, range })
             })
             .collect()
     }
@@ -343,11 +344,7 @@ impl Allocator {
     }
 
     /// Would placing `stages` succeed on memory and TCAM?
-    fn candidate_feasible(
-        &self,
-        stages: &[(usize, u16)],
-        elastic: bool,
-    ) -> Result<(), AdmitError> {
+    fn candidate_feasible(&self, stages: &[(usize, u16)], elastic: bool) -> Result<(), AdmitError> {
         // Cheap memory checks first (failed allocations must be brief —
         // Figure 5a), then the trial-apply TCAM pricing.
         for &(s, demand) in stages {
@@ -470,9 +467,15 @@ mod tests {
         // advantage of disjoint mutants ... thus obtaining exclusive
         // memory regions (stages) and consequently zero disruption."
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
-        let o1 = a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
-        let o2 = a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
-        let o3 = a.admit(3, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let o1 = a
+            .admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        let o2 = a
+            .admit(2, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        let o3 = a
+            .admit(3, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         assert!(o2.victims.is_empty());
         assert!(o3.victims.is_empty());
         let mut all: Vec<usize> = [&o1, &o2, &o3]
@@ -483,7 +486,9 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 9, "three instances occupy nine distinct stages");
         // The fourth must share and therefore displaces an incumbent.
-        let o4 = a.admit(4, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let o4 = a
+            .admit(4, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         assert!(!o4.victims.is_empty());
         let victim_fids: HashSet<Fid> = o4.victims.iter().map(|v| v.fid).collect();
         assert_eq!(victim_fids.len(), 1, "exactly one incumbent shares stages");
@@ -496,7 +501,8 @@ mod tests {
     #[test]
     fn inelastic_apps_never_become_victims() {
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
-        a.admit(1, &lb_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(1, &lb_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         for fid in 2..12 {
             let out = a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained);
             if let Ok(out) = out {
@@ -510,10 +516,15 @@ mod tests {
     #[test]
     fn release_returns_memory_and_grows_survivors() {
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
-        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
-        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
-        a.admit(3, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
-        let o4 = a.admit(4, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        a.admit(3, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
+        let o4 = a
+            .admit(4, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         let shared: Fid = o4.victims[0].fid;
         let before = a.app_blocks(shared);
         let grown = a.release(4).unwrap();
@@ -526,7 +537,8 @@ mod tests {
     #[test]
     fn duplicate_fid_is_rejected() {
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
-        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         assert_eq!(
             a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
                 .unwrap_err(),
@@ -563,7 +575,9 @@ mod tests {
         let mut a = Allocator::new(c);
         let mut admitted = 0;
         for fid in 0..100 {
-            if a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained).is_ok() {
+            if a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained)
+                .is_ok()
+            {
                 admitted += 1;
             } else {
                 break;
@@ -596,7 +610,9 @@ mod tests {
     fn first_fit_takes_the_compact_mutant() {
         let mut a = Allocator::new(cfg(Scheme::FirstFit));
         for fid in 0..5 {
-            let out = a.admit(fid, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+            let out = a
+                .admit(fid, &cache_pattern(), MutantPolicy::MostConstrained)
+                .unwrap();
             // First-fit always lands on the first feasible candidate —
             // the compact (2, 5, 9) placement — piling instances up.
             assert_eq!(out.mutant.stages, vec![1, 4, 8]);
@@ -607,10 +623,12 @@ mod tests {
     fn utilization_tracks_admissions() {
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
         assert_eq!(a.utilization(), 0.0);
-        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(1, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         // 3 of 20 stages fully used.
         assert!((a.utilization() - 3.0 / 20.0).abs() < 1e-9);
-        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        a.admit(2, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         assert!((a.utilization() - 6.0 / 20.0).abs() < 1e-9);
     }
 
@@ -621,11 +639,7 @@ mod tests {
             a.admit(fid, &cache_pattern(), MutantPolicy::LeastConstrained)
                 .unwrap();
         }
-        let touched: usize = a
-            .pools()
-            .iter()
-            .filter(|p| p.elastic_count() > 0)
-            .count();
+        let touched: usize = a.pools().iter().filter(|p| p.elastic_count() > 0).count();
         assert!(
             touched > 9,
             "least-constrained cache must reach beyond the 9 mc stages, got {touched}"
@@ -635,7 +649,9 @@ mod tests {
     #[test]
     fn placements_match_response_regions() {
         let mut a = Allocator::new(cfg(Scheme::WorstFit));
-        let out = a.admit(5, &cache_pattern(), MutantPolicy::MostConstrained).unwrap();
+        let out = a
+            .admit(5, &cache_pattern(), MutantPolicy::MostConstrained)
+            .unwrap();
         for p in &out.placements {
             let (lo, hi) = p.range.to_registers(256);
             assert_eq!(hi - lo, 256 * 256); // full stage in registers

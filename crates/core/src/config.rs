@@ -46,6 +46,12 @@ pub struct SwitchConfig {
     /// Control-plane fixed cost per allocation event (digest handling,
     /// serialization), ns.
     pub control_fixed_ns: u64,
+    /// Modeled allocation-computation cost per candidate mutant
+    /// examined, ns. Virtual time must never incorporate wall-clock
+    /// measurements (they make simulation runs unrepeatable), so the
+    /// controller charges this modeled cost; the measured search time
+    /// is still reported separately for offline analysis.
+    pub alloc_compute_per_mutant_ns: u64,
     /// Time for a client to snapshot one register via the data plane,
     /// ns/register (bounded by packet rate at line rate; Section 4.3).
     pub snapshot_per_reg_ns: u64,
@@ -84,9 +90,10 @@ impl Default for SwitchConfig {
             pass_latency_ns: 500,
             max_recirculations: Some(8),
             max_extra_recircs: 1,
-            table_entry_update_ns: 400_000, // 0.4 ms / entry
-            control_fixed_ns: 2_000_000,    // 2 ms
-            snapshot_per_reg_ns: 1_000,     // ~1 Mpps effective sync rate
+            table_entry_update_ns: 400_000,     // 0.4 ms / entry
+            control_fixed_ns: 2_000_000,        // 2 ms
+            alloc_compute_per_mutant_ns: 2_000, // ~0.5 ms for a typical space
+            snapshot_per_reg_ns: 1_000,         // ~1 Mpps effective sync rate
             snapshot_timeout_ns: 2_000_000_000, // 2 s
             decode_entries_per_stage: 70,
             literal_progressive_filling: false,

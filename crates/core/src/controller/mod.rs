@@ -73,6 +73,18 @@ struct PendingRealloc {
     alloc_compute_ns: u64,
     snapshot_regs: u64,
     snapshot_stages: usize,
+    /// Last time each victim was sent its Deactivate signal; polls
+    /// re-send until the snapshot-complete arrives (loss tolerance).
+    last_signal_ns: BTreeMap<Fid, u64>,
+}
+
+/// A victim whose reactivation (new regions + resume signal) has not
+/// been acknowledged yet; polls re-send both until the client's
+/// ReactivateAck arrives or the retry budget runs out.
+#[derive(Debug)]
+struct UnackedReactivation {
+    last_ns: u64,
+    attempts: u32,
 }
 
 #[derive(Debug)]
@@ -92,6 +104,16 @@ pub struct Controller {
     queue: VecDeque<QueuedRequest>,
     /// Last known per-app regions, for diffing table updates.
     regions: BTreeMap<Fid, Vec<(usize, RegionEntry)>>,
+    /// Victims awaiting a ReactivateAck.
+    unacked: BTreeMap<Fid, UnackedReactivation>,
+    /// Minimum spacing between re-sent control signals, ns.
+    resend_interval_ns: u64,
+    /// How many times a Deactivate/Reactivate is re-sent before the
+    /// victim is declared unreachable (counted, not silent).
+    max_resends: u32,
+    duplicate_requests: u64,
+    resent_signals: u64,
+    abandoned_reactivations: u64,
 }
 
 impl Controller {
@@ -103,6 +125,12 @@ impl Controller {
             pending: None,
             queue: VecDeque::new(),
             regions: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            resend_interval_ns: 500_000,
+            max_resends: 50,
+            duplicate_requests: 0,
+            resent_signals: 0,
+            abandoned_reactivations: 0,
         }
     }
 
@@ -121,6 +149,26 @@ impl Controller {
         self.queue.len()
     }
 
+    /// Duplicate allocation requests answered idempotently.
+    pub fn duplicate_requests(&self) -> u64 {
+        self.duplicate_requests
+    }
+
+    /// Deactivate/Reactivate signals re-sent on poll.
+    pub fn resent_signals(&self) -> u64 {
+        self.resent_signals
+    }
+
+    /// Victims whose reactivation retry budget ran out.
+    pub fn abandoned_reactivations(&self) -> u64 {
+        self.abandoned_reactivations
+    }
+
+    /// Victims still owed a ReactivateAck.
+    pub fn unacked_reactivations(&self) -> usize {
+        self.unacked.len()
+    }
+
     /// Handle an allocation request (Section 4.3). Returns the actions
     /// to deliver.
     pub fn handle_request(
@@ -131,6 +179,38 @@ impl Controller {
         policy: MutantPolicy,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
+        if self.pending.is_some() {
+            // A retransmit of the in-flight or an already-queued request
+            // is absorbed; the original will be answered when the
+            // reallocation finishes. This must be checked BEFORE the
+            // admitted-fid fast path: during a reallocation the
+            // requester is already committed in the allocator but its
+            // regions map entry is only written at finish, so answering
+            // early would send an empty (unrealizable) grant.
+            let in_flight = self
+                .pending
+                .as_ref()
+                .is_some_and(|p| p.outcome.fid == fid || p.waiting.contains(&fid));
+            if in_flight || self.queue.iter().any(|q| q.fid == fid) {
+                self.duplicate_requests += 1;
+                return Vec::new();
+            }
+        }
+        // Duplicate requests are idempotent: an already-admitted app
+        // (whose response was presumably lost) gets its current regions
+        // re-sent, and its allocation is left untouched. Retransmitting
+        // after a timeout is the paper's loss-tolerance story
+        // (Section 4.3), so retransmits must never be treated as new
+        // admissions.
+        if self.allocator.contains(fid) {
+            self.duplicate_requests += 1;
+            return vec![ControllerAction::Respond {
+                fid,
+                regions: self.regions.get(&fid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: now_ns + self.cost.control_fixed_ns,
+            }];
+        }
         if self.pending.is_some() {
             // "The controller serializes requests to ensure applications
             // are admitted one at a time."
@@ -143,6 +223,11 @@ impl Controller {
             return Vec::new();
         }
         self.start_admission(runtime, fid, pattern, policy, now_ns)
+    }
+
+    /// A victim acknowledged its reactivation; stop re-signalling it.
+    pub fn handle_reactivate_ack(&mut self, fid: Fid) {
+        self.unacked.remove(&fid);
     }
 
     /// A victim finished extracting state from the snapshot.
@@ -188,6 +273,7 @@ impl Controller {
             entries += runtime.remove_region(stage, fid);
         }
         self.regions.remove(&fid);
+        self.unacked.remove(&fid);
         let mut acts = Vec::new();
         // Survivors grow into the freed space; update their tables and
         // tell them their new regions.
@@ -211,20 +297,70 @@ impl Controller {
         Ok(acts)
     }
 
-    /// Drive timeouts: unresponsive victims are abandoned so they
-    /// cannot obstruct new allocations (Section 4.3).
+    /// Drive the periodic control loop: time out unresponsive victims
+    /// so they cannot obstruct new allocations (Section 4.3), re-send
+    /// Deactivate signals whose snapshot-complete has not arrived, and
+    /// re-send unacknowledged reactivations (new regions + resume
+    /// signal) until the client acks. A victim whose snapshot-complete
+    /// was lost is thereby force-reactivated with its *new* regions on
+    /// timeout — and keeps being told about them — rather than being
+    /// silently abandoned; the queued requester is admitted on the same
+    /// poll.
     pub fn poll(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        let mut acts = Vec::new();
         let timed_out = match &self.pending {
             Some(p) => now_ns >= p.deadline_ns,
             None => false,
         };
         if timed_out {
-            let mut acts = self.finish_pending(runtime, now_ns);
+            acts.extend(self.finish_pending(runtime, now_ns));
             acts.extend(self.drain_queue(runtime, now_ns));
-            acts
-        } else {
-            Vec::new()
+        } else if let Some(p) = self.pending.as_mut() {
+            // Victims that have not snapshot-completed may never have
+            // seen the Deactivate (lost frame): re-signal on a backoff
+            // interval.
+            for (&vfid, last) in p.last_signal_ns.iter_mut() {
+                if p.waiting.contains(&vfid)
+                    && now_ns >= *last
+                    && now_ns - *last >= self.resend_interval_ns
+                {
+                    *last = now_ns;
+                    self.resent_signals += 1;
+                    acts.push(ControllerAction::Deactivate {
+                        fid: vfid,
+                        at_ns: now_ns,
+                    });
+                }
+            }
         }
+        // Reactivations are re-sent (regions + resume) until acked.
+        let mut give_up = Vec::new();
+        for (&vfid, un) in self.unacked.iter_mut() {
+            if now_ns >= un.last_ns && now_ns - un.last_ns >= self.resend_interval_ns {
+                if un.attempts >= self.max_resends {
+                    give_up.push(vfid);
+                    continue;
+                }
+                un.last_ns = now_ns;
+                un.attempts += 1;
+                self.resent_signals += 1;
+                acts.push(ControllerAction::Respond {
+                    fid: vfid,
+                    regions: self.regions.get(&vfid).cloned().unwrap_or_default(),
+                    failed: false,
+                    at_ns: now_ns,
+                });
+                acts.push(ControllerAction::Reactivate {
+                    fid: vfid,
+                    at_ns: now_ns,
+                });
+            }
+        }
+        for vfid in give_up {
+            self.unacked.remove(&vfid);
+            self.abandoned_reactivations += 1;
+        }
+        acts
     }
 
     // ----- internals -----
@@ -261,7 +397,10 @@ impl Controller {
                 ]
             }
             Ok(outcome) => {
-                let alloc_compute_ns = outcome.compute_time.as_nanos() as u64;
+                // Charge a modeled search cost, not the measured one:
+                // wall-clock time in virtual timestamps would make runs
+                // unrepeatable (and shift fault-window alignment).
+                let alloc_compute_ns = self.cost.alloc_compute_ns(outcome.mutants_considered);
                 let victims = outcome.victims_by_fid();
                 if victims.is_empty() {
                     let pending = PendingRealloc {
@@ -272,6 +411,7 @@ impl Controller {
                         alloc_compute_ns,
                         snapshot_regs: 0,
                         snapshot_stages: 0,
+                        last_signal_ns: BTreeMap::new(),
                     };
                     self.pending = Some(pending);
                     return self.finish_pending(runtime, now_ns + alloc_compute_ns);
@@ -298,6 +438,7 @@ impl Controller {
                 }
                 self.pending = Some(PendingRealloc {
                     waiting: victims.keys().copied().collect(),
+                    last_signal_ns: victims.keys().map(|&v| (v, notify_ns)).collect(),
                     outcome,
                     started_ns: now_ns,
                     deadline_ns: notify_ns + self.cost.snapshot_timeout_ns,
@@ -312,7 +453,11 @@ impl Controller {
 
     /// Apply the pending plan: update every affected table, clear the
     /// newcomer's memory, reactivate victims, respond, report.
-    fn finish_pending(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+    fn finish_pending(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
         let Some(pending) = self.pending.take() else {
             return Vec::new();
         };
@@ -324,6 +469,7 @@ impl Controller {
             alloc_compute_ns,
             snapshot_regs,
             snapshot_stages,
+            last_signal_ns: _,
         } = pending;
 
         // Victim tables go first: "the first application can resume
@@ -354,7 +500,12 @@ impl Controller {
             outcome
                 .placements
                 .iter()
-                .map(|p| (p.stage, to_region(p.range, self.allocator.config().block_regs)))
+                .map(|p| {
+                    (
+                        p.stage,
+                        to_region(p.range, self.allocator.config().block_regs),
+                    )
+                })
                 .collect(),
         );
 
@@ -380,6 +531,15 @@ impl Controller {
                 fid: vfid,
                 at_ns: victims_done_ns,
             });
+            // Keep re-sending regions + resume on poll until the victim
+            // acks — a lost control frame must not strand it.
+            self.unacked.insert(
+                vfid,
+                UnackedReactivation {
+                    last_ns: victims_done_ns,
+                    attempts: 0,
+                },
+            );
         }
         acts.push(ControllerAction::Respond {
             fid: outcome.fid,
@@ -426,7 +586,9 @@ impl Controller {
     fn drain_queue(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
         let mut acts = Vec::new();
         while self.pending.is_none() {
-            let Some(q) = self.queue.pop_front() else { break };
+            let Some(q) = self.queue.pop_front() else {
+                break;
+            };
             let _ = q.arrived_ns;
             acts.extend(self.start_admission(runtime, q.fid, q.pattern, q.policy, now_ns));
         }
@@ -463,17 +625,25 @@ mod tests {
     }
 
     fn respond_of(acts: &[ControllerAction], fid: Fid) -> Option<&ControllerAction> {
-        acts.iter().find(
-            |a| matches!(a, ControllerAction::Respond { fid: f, .. } if *f == fid),
-        )
+        acts.iter()
+            .find(|a| matches!(a, ControllerAction::Respond { fid: f, .. } if *f == fid))
     }
 
     #[test]
     fn undisputed_admission_responds_immediately() {
         let (mut rt, mut ctl) = setup();
-        let acts = ctl.handle_request(&mut rt, 1, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let acts = ctl.handle_request(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
         let resp = respond_of(&acts, 1).expect("a response");
-        if let ControllerAction::Respond { regions, failed, .. } = resp {
+        if let ControllerAction::Respond {
+            regions, failed, ..
+        } = resp
+        {
             assert!(!failed);
             assert_eq!(regions.len(), 3);
             // Protection tables are live.
@@ -493,10 +663,22 @@ mod tests {
     fn reallocation_runs_the_snapshot_protocol() {
         let (mut rt, mut ctl) = setup();
         for fid in 1..=3 {
-            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
         }
         // The 4th cache shares stages with an incumbent.
-        let acts = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 1000);
+        let acts = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            1000,
+        );
         let deactivated: Vec<Fid> = acts
             .iter()
             .filter_map(|a| match a {
@@ -515,7 +697,10 @@ mod tests {
         assert!(!ctl.busy());
         assert!(!rt.is_deactivated(victim));
         assert!(respond_of(&acts2, 4).is_some());
-        assert!(respond_of(&acts2, victim).is_some(), "victim learns new regions");
+        assert!(
+            respond_of(&acts2, victim).is_some(),
+            "victim learns new regions"
+        );
         assert!(acts2
             .iter()
             .any(|a| matches!(a, ControllerAction::Reactivate { fid, .. } if *fid == victim)));
@@ -535,9 +720,21 @@ mod tests {
     fn requests_serialize_behind_a_pending_reallocation() {
         let (mut rt, mut ctl) = setup();
         for fid in 1..=3 {
-            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
         }
-        let acts4 = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let acts4 = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
         let victim = acts4
             .iter()
             .find_map(|a| match a {
@@ -546,7 +743,13 @@ mod tests {
             })
             .unwrap();
         // A 5th request arrives while busy: queued, no actions.
-        let acts5 = ctl.handle_request(&mut rt, 5, cache_pattern(), MutantPolicy::MostConstrained, 10);
+        let acts5 = ctl.handle_request(
+            &mut rt,
+            5,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            10,
+        );
         assert!(acts5.is_empty());
         assert_eq!(ctl.queue_len(), 1);
         // Snapshot completes; the queued request is then admitted (it
@@ -565,9 +768,21 @@ mod tests {
     fn unresponsive_victims_time_out() {
         let (mut rt, mut ctl) = setup();
         for fid in 1..=3 {
-            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
         }
-        let acts = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let acts = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
         assert!(ctl.busy());
         let victim = acts
             .iter()
@@ -588,8 +803,10 @@ mod tests {
 
     #[test]
     fn failed_admission_is_brief_and_reported() {
-        let mut cfg = SwitchConfig::default();
-        cfg.regs_per_stage = 512; // 2 blocks per stage
+        let cfg = SwitchConfig {
+            regs_per_stage: 512, // 2 blocks per stage
+            ..SwitchConfig::default()
+        };
         let mut rt = SwitchRuntime::new(cfg);
         let mut ctl = Controller::new(&cfg, Scheme::WorstFit);
         // Fill the pipeline with inelastic tenants until failure.
@@ -603,8 +820,13 @@ mod tests {
         };
         let mut failed = false;
         for fid in 0..100 {
-            let acts =
-                ctl.handle_request(&mut rt, fid, inelastic.clone(), MutantPolicy::MostConstrained, 0);
+            let acts = ctl.handle_request(
+                &mut rt,
+                fid,
+                inelastic.clone(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
             if let Some(ControllerAction::Respond { failed: f, .. }) = respond_of(&acts, fid) {
                 if *f {
                     failed = true;
@@ -628,9 +850,21 @@ mod tests {
     fn deallocation_grows_survivors_and_updates_tables() {
         let (mut rt, mut ctl) = setup();
         for fid in 1..=3 {
-            ctl.handle_request(&mut rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
         }
-        let acts4 = ctl.handle_request(&mut rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        let acts4 = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
         let victim = acts4
             .iter()
             .find_map(|a| match a {
@@ -647,5 +881,173 @@ mod tests {
         assert!(rt.protection().stages_of(4).is_empty());
         // Unknown FID errors.
         assert!(ctl.handle_deallocate(&mut rt, 99, 300).is_err());
+    }
+
+    /// Drive three admissions plus a fourth that evicts, returning the
+    /// victim's FID and the Deactivate send time.
+    fn start_realloc(rt: &mut SwitchRuntime, ctl: &mut Controller) -> (Fid, u64) {
+        for fid in 1..=3 {
+            ctl.handle_request(rt, fid, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        }
+        let acts = ctl.handle_request(rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
+        acts.iter()
+            .find_map(|a| match a {
+                ControllerAction::Deactivate { fid, at_ns } => Some((*fid, *at_ns)),
+                _ => None,
+            })
+            .expect("the 4th cache must evict")
+    }
+
+    #[test]
+    fn duplicate_requests_are_idempotent() {
+        let (mut rt, mut ctl) = setup();
+        let first = ctl.handle_request(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
+        let blocks = ctl.allocator().app_blocks(1);
+        // The response was "lost"; the client retransmits.
+        let dup = ctl.handle_request(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            5_000,
+        );
+        let Some(ControllerAction::Respond {
+            regions, failed, ..
+        }) = respond_of(&dup, 1)
+        else {
+            panic!("duplicate must be re-answered");
+        };
+        assert!(!failed);
+        let orig_regions = match respond_of(&first, 1) {
+            Some(ControllerAction::Respond { regions, .. }) => regions.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(*regions, orig_regions, "same grant, not a new one");
+        assert_eq!(ctl.allocator().app_blocks(1), blocks);
+        assert_eq!(ctl.duplicate_requests(), 1);
+        // No report: a retransmit is not a provisioning event.
+        assert!(!dup.iter().any(|a| matches!(a, ControllerAction::Report(_))));
+    }
+
+    #[test]
+    fn retransmits_during_a_reallocation_are_absorbed_not_misanswered() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, _) = start_realloc(&mut rt, &mut ctl);
+        // Requester 4 is committed in the allocator but has no regions
+        // yet; a retransmit must NOT be answered with an empty grant.
+        let dup = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            100,
+        );
+        assert!(dup.is_empty(), "absorbed, answered when the realloc ends");
+        // Same for the victim re-requesting mid-snapshot.
+        let dup = ctl.handle_request(
+            &mut rt,
+            victim,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            200,
+        );
+        assert!(dup.is_empty());
+        assert_eq!(ctl.duplicate_requests(), 2);
+        assert!(ctl.busy(), "neither retransmit may perturb the protocol");
+    }
+
+    #[test]
+    fn deactivates_are_resent_until_snapshot_complete() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, sent_ns) = start_realloc(&mut rt, &mut ctl);
+        // Within the resend interval: silence.
+        assert!(ctl.poll(&mut rt, sent_ns + 100_000).is_empty());
+        // Past it (and well within the 2 s snapshot deadline): the
+        // Deactivate is re-sent in case the first copy was lost.
+        let acts = ctl.poll(&mut rt, sent_ns + 600_000);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ControllerAction::Deactivate { fid, .. } if *fid == victim)));
+        assert!(ctl.resent_signals() >= 1);
+        // Once the snapshot lands, deactivation re-sends stop.
+        ctl.handle_snapshot_complete(&mut rt, victim, sent_ns + 700_000);
+        assert!(!ctl.busy());
+    }
+
+    #[test]
+    fn reactivations_resend_until_acked() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, sent_ns) = start_realloc(&mut rt, &mut ctl);
+        ctl.handle_snapshot_complete(&mut rt, victim, sent_ns + 100_000);
+        assert_eq!(ctl.unacked_reactivations(), 1);
+        // The Respond+Reactivate pair keeps going out until acked.
+        let acts = ctl.poll(&mut rt, sent_ns + 100_000_000);
+        let resp = respond_of(&acts, victim).expect("regions re-sent");
+        if let ControllerAction::Respond {
+            regions, failed, ..
+        } = resp
+        {
+            assert!(!failed);
+            assert!(!regions.is_empty(), "re-sent grant carries the new regions");
+        }
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ControllerAction::Reactivate { fid, .. } if *fid == victim)));
+        // The ack ends the retry loop.
+        ctl.handle_reactivate_ack(victim);
+        assert_eq!(ctl.unacked_reactivations(), 0);
+        assert!(ctl.poll(&mut rt, sent_ns + 200_000_000).is_empty());
+    }
+
+    #[test]
+    fn timeout_reactivates_victim_with_new_regions_and_admits_queued() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, sent_ns) = start_realloc(&mut rt, &mut ctl);
+        // A 5th request queues behind the stuck reallocation.
+        let acts5 = ctl.handle_request(
+            &mut rt,
+            5,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            sent_ns,
+        );
+        assert!(acts5.is_empty());
+        // The victim's snapshot-complete is lost forever; the deadline
+        // poll must force-reactivate it with its NEW regions and admit
+        // the queued requester in the same poll.
+        let deadline = sent_ns + SwitchConfig::default().snapshot_timeout_ns + 1;
+        let acts = ctl.poll(&mut rt, deadline);
+        // (The controller may be busy again: admitting the queued 5th
+        // can start its own reallocation round.)
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ControllerAction::Reactivate { fid, .. } if *fid == victim)));
+        let resp = respond_of(&acts, victim).expect("victim told its new regions");
+        if let ControllerAction::Respond {
+            regions, failed, ..
+        } = resp
+        {
+            assert!(!failed);
+            assert!(!regions.is_empty());
+        }
+        assert!(
+            respond_of(&acts, 4).is_some(),
+            "original requester answered"
+        );
+        let queued_progressed = respond_of(&acts, 5).is_some()
+            || acts
+                .iter()
+                .any(|a| matches!(a, ControllerAction::Deactivate { .. }));
+        assert!(
+            queued_progressed,
+            "queued request admitted on the same poll"
+        );
+        assert_eq!(ctl.queue_len(), 0);
     }
 }

@@ -22,6 +22,8 @@ pub struct CostModel {
     pub table_entry_update_ns: u64,
     /// Fixed overhead per allocation event, ns.
     pub control_fixed_ns: u64,
+    /// Modeled allocation-search cost per candidate mutant, ns.
+    pub alloc_compute_per_mutant_ns: u64,
     /// Data-plane snapshot throughput, ns per register.
     pub snapshot_per_reg_ns: u64,
     /// Client snapshot timeout, ns.
@@ -40,10 +42,21 @@ impl CostModel {
         CostModel {
             table_entry_update_ns: cfg.table_entry_update_ns,
             control_fixed_ns: cfg.control_fixed_ns,
+            alloc_compute_per_mutant_ns: cfg.alloc_compute_per_mutant_ns,
             snapshot_per_reg_ns: cfg.snapshot_per_reg_ns,
             snapshot_timeout_ns: cfg.snapshot_timeout_ns,
             decode_entries_per_stage: cfg.decode_entries_per_stage,
         }
+    }
+
+    /// Virtual allocation-computation time for a search that examined
+    /// `mutants` candidates. The search's wall-clock time is measured
+    /// too (`AllocOutcome::compute_time`), but feeding a live
+    /// measurement into virtual time would make every simulation run
+    /// unrepeatable — fault injection replays, in particular, depend on
+    /// events landing at identical virtual timestamps across runs.
+    pub fn alloc_compute_ns(&self, mutants: usize) -> u64 {
+        mutants as u64 * self.alloc_compute_per_mutant_ns
     }
 
     /// Time to apply `entries_removed + entries_installed` table-entry
@@ -74,7 +87,8 @@ impl CostModel {
 pub struct ProvisioningReport {
     /// The admitted (or rejected) application.
     pub fid: crate::types::Fid,
-    /// Allocation-computation time, ns (measured, not modeled).
+    /// Allocation-computation time, ns (modeled; see
+    /// [`CostModel::alloc_compute_ns`]).
     pub alloc_compute_ns: u64,
     /// Modeled switch table-update time, ns.
     pub table_update_ns: u64,
@@ -97,6 +111,7 @@ mod tests {
         let m = CostModel {
             table_entry_update_ns: 1000,
             control_fixed_ns: 0,
+            alloc_compute_per_mutant_ns: 0,
             snapshot_per_reg_ns: 10,
             snapshot_timeout_ns: 1_000_000,
             decode_entries_per_stage: 40,
@@ -110,6 +125,7 @@ mod tests {
         let m = CostModel {
             table_entry_update_ns: 0,
             control_fixed_ns: 0,
+            alloc_compute_per_mutant_ns: 0,
             snapshot_per_reg_ns: 100,
             snapshot_timeout_ns: 0,
             decode_entries_per_stage: 40,

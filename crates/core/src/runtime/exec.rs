@@ -79,6 +79,9 @@ pub struct RuntimeStats {
     /// Recirculations denied by the per-service budget (Section 7.2's
     /// fairness controller).
     pub recirc_budget_drops: u64,
+    /// Frames dropped because they could not be parsed (truncated or
+    /// corrupted Ethernet, active header, or program layout).
+    pub malformed_drops: u64,
 }
 
 /// The data-plane half of the ActiveRMT switch.
@@ -137,7 +140,12 @@ impl SwitchRuntime {
 
     /// Install a protection/translation entry; returns
     /// `(entries_removed, entries_installed)`.
-    pub fn install_region(&mut self, stage: usize, fid: Fid, region: RegionEntry) -> (usize, usize) {
+    pub fn install_region(
+        &mut self,
+        stage: usize,
+        fid: Fid,
+        region: RegionEntry,
+    ) -> (usize, usize) {
         let (rm, ins) = self.protect.install(stage, fid, region);
         let tcam = &mut self.pipeline.stage_mut(stage).tcam;
         tcam.remove(rm);
@@ -232,6 +240,7 @@ impl SwitchRuntime {
         // Non-active traffic is forwarded untouched: the runtime
         // provides baseline L2 forwarding (Section 7.1).
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            self.stats.malformed_drops += 1;
             return Vec::new();
         };
         if eth.ethertype() != ACTIVE_ETHERTYPE {
@@ -248,7 +257,10 @@ impl SwitchRuntime {
 
         let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
             Ok(h) => h,
-            Err(_) => return Vec::new(), // malformed: drop
+            Err(_) => {
+                self.stats.malformed_drops += 1;
+                return Vec::new(); // malformed: drop
+            }
         };
         let fid = hdr.fid();
         let ptype = hdr.flags().packet_type();
@@ -303,6 +315,7 @@ impl SwitchRuntime {
         }
 
         let Ok(layout) = program_packet_layout(&frame) else {
+            self.stats.malformed_drops += 1;
             return Vec::new(); // malformed program packet: drop
         };
 
@@ -328,8 +341,8 @@ impl SwitchRuntime {
         // cookie algebra requires (Appendix B.2).
         let head_start = (layout.payload_off + 1).min(frame.len());
         let head_end = (head_start + 8).min(frame.len());
-        phv.five_tuple = self.crc.checksum(&frame[..12])
-            ^ self.crc.checksum(&frame[head_start..head_end]);
+        phv.five_tuple =
+            self.crc.checksum(&frame[..12]) ^ self.crc.checksum(&frame[head_start..head_end]);
 
         // Resume after any instructions that already executed (a packet
         // re-entering the switch mid-program), restoring the branch
@@ -342,10 +355,7 @@ impl SwitchRuntime {
 
         // ----- the pass loop -----
         let n = self.config.num_stages;
-        let mut pc = instrs
-            .iter()
-            .take_while(|i| i.flags.executed)
-            .count();
+        let mut pc = instrs.iter().take_while(|i| i.flags.executed).count();
         let mut passes = 0u32;
         let mut halves = 0u64;
         let mut rts_stage: Option<usize> = None;

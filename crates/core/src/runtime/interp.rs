@@ -57,10 +57,25 @@ pub fn execute(
         }
 
         // ----- Data copying -----
-        MBR_LOAD => phv.mbr = phv.args[arg(ins)],
-        MBR_STORE => phv.args[arg(ins)] = phv.mbr,
-        MBR2_LOAD => phv.mbr2 = phv.args[arg(ins)],
-        MAR_LOAD => phv.mar = phv.args[arg(ins)],
+        // The operand is a raw 6-bit field off the wire; an index past
+        // the four argument words (a corrupted frame) faults the packet
+        // rather than the switch.
+        MBR_LOAD => match phv.args.get(arg(ins)) {
+            Some(&v) => phv.mbr = v,
+            None => fault(phv, stage),
+        },
+        MBR_STORE => match phv.args.get_mut(arg(ins)) {
+            Some(slot) => *slot = phv.mbr,
+            None => fault(phv, stage),
+        },
+        MBR2_LOAD => match phv.args.get(arg(ins)) {
+            Some(&v) => phv.mbr2 = v,
+            None => fault(phv, stage),
+        },
+        MAR_LOAD => match phv.args.get(arg(ins)) {
+            Some(&v) => phv.mar = v,
+            None => fault(phv, stage),
+        },
         COPY_MBR2_MBR => phv.mbr2 = phv.mbr,
         COPY_MBR_MBR2 => phv.mbr = phv.mbr2,
         COPY_MBR_MAR => phv.mbr = phv.mar,
@@ -193,7 +208,11 @@ mod tests {
     }
 
     fn prot() -> ProtEntry {
-        ProtEntry::from_region(RegionEntry { start: 0, end: 1024 }).unwrap()
+        ProtEntry::from_region(RegionEntry {
+            start: 0,
+            end: 1024,
+        })
+        .unwrap()
     }
 
     fn run(p: &mut Phv, s: &mut Stage, op: Opcode) {
@@ -344,14 +363,26 @@ mod tests {
         // No entry at all.
         let mut p = phv();
         p.mar = 5;
-        execute(&mut p, Instruction::new(Opcode::MEM_READ), &mut s, None, &crc);
+        execute(
+            &mut p,
+            Instruction::new(Opcode::MEM_READ),
+            &mut s,
+            None,
+            &crc,
+        );
         assert!(p.violation);
         assert_eq!(s.stats.violations, 1);
         // Entry present but MAR out of range.
         let e = ProtEntry::from_region(RegionEntry { start: 10, end: 20 }).unwrap();
         let mut q = phv();
         q.mar = 25;
-        execute(&mut q, Instruction::new(Opcode::MEM_WRITE), &mut s, Some(&e), &crc);
+        execute(
+            &mut q,
+            Instruction::new(Opcode::MEM_WRITE),
+            &mut s,
+            Some(&e),
+            &crc,
+        );
         assert!(q.violation);
         assert_eq!(s.stats.violations, 2);
         // Nothing was written.
@@ -362,16 +393,38 @@ mod tests {
     fn address_translation_masks_and_offsets() {
         let mut s = stage();
         let crc = Crc32::new();
-        let e = ProtEntry::from_region(RegionEntry { start: 512, end: 768 }).unwrap();
+        let e = ProtEntry::from_region(RegionEntry {
+            start: 512,
+            end: 768,
+        })
+        .unwrap();
         let mut p = phv();
         p.mar = 0xDEAD_BEEF;
-        execute(&mut p, Instruction::new(Opcode::ADDR_MASK), &mut s, Some(&e), &crc);
+        execute(
+            &mut p,
+            Instruction::new(Opcode::ADDR_MASK),
+            &mut s,
+            Some(&e),
+            &crc,
+        );
         assert!(p.mar <= 255); // masked into the 256-register pow2 floor
-        execute(&mut p, Instruction::new(Opcode::ADDR_OFFSET), &mut s, Some(&e), &crc);
+        execute(
+            &mut p,
+            Instruction::new(Opcode::ADDR_OFFSET),
+            &mut s,
+            Some(&e),
+            &crc,
+        );
         assert!(e.permits(p.mar), "translated address must be in-region");
         // Without an installed entry, translation itself faults.
         let mut q = phv();
-        execute(&mut q, Instruction::new(Opcode::ADDR_MASK), &mut s, None, &crc);
+        execute(
+            &mut q,
+            Instruction::new(Opcode::ADDR_MASK),
+            &mut s,
+            None,
+            &crc,
+        );
         assert!(q.violation);
     }
 

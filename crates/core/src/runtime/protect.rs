@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn entry_geometry() {
-        let e = ProtEntry::from_region(RegionEntry { start: 512, end: 1024 }).unwrap();
+        let e = ProtEntry::from_region(RegionEntry {
+            start: 512,
+            end: 1024,
+        })
+        .unwrap();
         assert_eq!(e.lo, 512);
         assert_eq!(e.hi, 1023);
         assert_eq!(e.mask, 511); // pow2_floor(512) - 1
@@ -164,7 +168,11 @@ mod tests {
     fn non_pow2_region_masks_down() {
         // A 3-block (768-register) region can only hash into its first
         // 512 registers.
-        let e = ProtEntry::from_region(RegionEntry { start: 256, end: 1024 }).unwrap();
+        let e = ProtEntry::from_region(RegionEntry {
+            start: 256,
+            end: 1024,
+        })
+        .unwrap();
         assert_eq!(e.mask, 511);
         assert!(e.permits(256 + 700)); // direct access may still reach it
     }
@@ -181,7 +189,14 @@ mod tests {
         assert_eq!((rm, ins), (0, 1));
         assert_eq!(t.stage_entries(2), 1);
         // Replacing with an unaligned region removes 1, installs more.
-        let (rm, ins) = t.install(2, 7, RegionEntry { start: 100, end: 300 });
+        let (rm, ins) = t.install(
+            2,
+            7,
+            RegionEntry {
+                start: 100,
+                end: 300,
+            },
+        );
         assert_eq!(rm, 1);
         assert!(ins > 1);
         assert_eq!(t.stage_entries(2), ins);
@@ -204,7 +219,14 @@ mod tests {
     fn translation_resolves_the_next_region() {
         let mut t = ProtectionTables::new(6);
         t.install(2, 7, RegionEntry { start: 0, end: 128 });
-        t.install(5, 7, RegionEntry { start: 256, end: 512 });
+        t.install(
+            5,
+            7,
+            RegionEntry {
+                start: 256,
+                end: 512,
+            },
+        );
         // At stage 0/1/2 the next region is stage 2's.
         assert_eq!(t.translation_for(0, 7).unwrap().offset, 0);
         assert_eq!(t.translation_for(2, 7).unwrap().offset, 0);
@@ -221,7 +243,14 @@ mod tests {
     fn remove_all_sweeps_every_stage() {
         let mut t = ProtectionTables::new(3);
         t.install(0, 9, RegionEntry { start: 0, end: 256 });
-        t.install(2, 9, RegionEntry { start: 256, end: 512 });
+        t.install(
+            2,
+            9,
+            RegionEntry {
+                start: 256,
+                end: 512,
+            },
+        );
         assert_eq!(t.remove_all(9), 2);
         assert!(t.stages_of(9).is_empty());
     }

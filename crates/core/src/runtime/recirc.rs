@@ -115,7 +115,7 @@ mod tests {
         assert!(!l.allow(7, 500_000)); // 0.5 ms: not yet
         assert!(l.allow(7, 1_000_000)); // 1 ms: one token accrued
         assert!(!l.allow(7, 1_000_000)); // and spent
-        // 3 ms later: three tokens.
+                                         // 3 ms later: three tokens.
         for _ in 0..3 {
             assert!(l.allow(7, 4_000_000));
         }

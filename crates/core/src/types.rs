@@ -35,7 +35,10 @@ impl BlockRange {
 
     /// Do two ranges overlap?
     pub fn overlaps(&self, other: &BlockRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// Convert to register indices given `block_regs` registers per

@@ -1,9 +1,7 @@
 //! Property-based tests of the allocator's safety and determinism
 //! invariants under arbitrary admission/release sequences.
 
-use activermt_core::alloc::{
-    AccessPattern, Allocator, AllocatorConfig, MutantPolicy, Scheme,
-};
+use activermt_core::alloc::{AccessPattern, Allocator, AllocatorConfig, MutantPolicy, Scheme};
 use activermt_core::types::BlockRange;
 use proptest::prelude::*;
 

@@ -165,8 +165,10 @@ fn long_programs_recirculate() {
 
 #[test]
 fn recirculation_cap_drops_runaways() {
-    let mut cfg = SwitchConfig::default();
-    cfg.max_recirculations = Some(2);
+    let cfg = SwitchConfig {
+        max_recirculations: Some(2),
+        ..SwitchConfig::default()
+    };
     let mut rt = SwitchRuntime::new(cfg);
     // 200 NOPs (no RETURN): would need 10 passes.
     let mut b = ProgramBuilder::new();
@@ -357,7 +359,14 @@ fn heavy_hitter_minreadinc_sketch_counts() {
     // hashed addressing, as in Listing 2 lines 5-14.
     let mut rt = runtime();
     for s in [2, 6] {
-        rt.install_region(s, FID, RegionEntry { start: 0, end: 4096 });
+        rt.install_region(
+            s,
+            FID,
+            RegionEntry {
+                start: 0,
+                end: 4096,
+            },
+        );
     }
     // Hash-addressed position juggling is the client compiler's job
     // (tested in activermt-client); here we pin MAR directly and verify
@@ -386,8 +395,10 @@ fn heavy_hitter_minreadinc_sketch_counts() {
 
 #[test]
 fn privilege_enforcement_gates_fork_and_set_dst() {
-    let mut cfg = SwitchConfig::default();
-    cfg.enforce_privileges = true;
+    let cfg = SwitchConfig {
+        enforce_privileges: true,
+        ..SwitchConfig::default()
+    };
     let mut rt = SwitchRuntime::new(cfg);
     let p = ProgramBuilder::new()
         .op_arg(Opcode::MBR_LOAD, 0)
@@ -411,16 +422,22 @@ fn privilege_enforcement_gates_fork_and_set_dst() {
     let frame = build_program_packet(SERVER, CLIENT, FID, 3, &p, b"");
     assert!(rt.process_frame(frame).is_empty());
     // Unprivileged opcodes are never affected.
-    let benign = ProgramBuilder::new().op(Opcode::RTS).op(Opcode::RETURN).build().unwrap();
+    let benign = ProgramBuilder::new()
+        .op(Opcode::RTS)
+        .op(Opcode::RETURN)
+        .build()
+        .unwrap();
     let frame = build_program_packet(SERVER, CLIENT, FID, 4, &benign, b"");
     assert_eq!(rt.process_frame(frame).len(), 1);
 }
 
 #[test]
 fn recirc_budget_throttles_hungry_services() {
-    let mut cfg = SwitchConfig::default();
     // 2 recirculations per second, burst of 2.
-    cfg.recirc_budget = Some((2, 2));
+    let cfg = SwitchConfig {
+        recirc_budget: Some((2, 2)),
+        ..SwitchConfig::default()
+    };
     let mut rt = SwitchRuntime::new(cfg);
     // A 26-instruction program: one recirculation per packet.
     let mut b = ProgramBuilder::new();
@@ -448,8 +465,10 @@ fn recirc_budget_throttles_hungry_services() {
 
 #[test]
 fn single_pass_programs_ignore_the_recirc_budget() {
-    let mut cfg = SwitchConfig::default();
-    cfg.recirc_budget = Some((1, 1));
+    let cfg = SwitchConfig {
+        recirc_budget: Some((1, 1)),
+        ..SwitchConfig::default()
+    };
     let mut rt = SwitchRuntime::new(cfg);
     let p = ProgramBuilder::new()
         .op(Opcode::RTS)

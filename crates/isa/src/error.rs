@@ -86,7 +86,10 @@ mod tests {
             need: 10,
             have: 4,
         };
-        assert_eq!(e.to_string(), "truncated initial header: need 10 bytes, have 4");
+        assert_eq!(
+            e.to_string(),
+            "truncated initial header: need 10 bytes, have 4"
+        );
         assert!(Error::UnknownOpcode(0xfe).to_string().contains("0xfe"));
         assert!(Error::NotActive { ethertype: 0x0800 }
             .to_string()

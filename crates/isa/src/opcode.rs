@@ -415,8 +415,8 @@ mod tests {
         assert_eq!(count(OpcodeClass::MemoryAccess), 5); // A.4 lists 5
         assert_eq!(count(OpcodeClass::ControlFlow), 6); // A.3 lists 6
         assert_eq!(count(OpcodeClass::Forwarding), 5); // A.5 lists 5
-        // A.1 lists 9 + COPY_MBR_MBR2 and COPY_HASHDATA_5TUPLE used by the
-        // listings.
+                                                       // A.1 lists 9 + COPY_MBR_MBR2 and COPY_HASHDATA_5TUPLE used by the
+                                                       // listings.
         assert_eq!(count(OpcodeClass::DataCopy), 11);
         // A.2 lists 13 + the two MBR_EQUALS_DATA_i from Listing 1.
         assert_eq!(count(OpcodeClass::DataManipulation), 15);

@@ -146,8 +146,10 @@ impl Program {
             return Err(Error::ProgramTooLong(self.instrs.len() + count));
         }
         let at = pos - 1;
-        self.instrs
-            .splice(at..at, std::iter::repeat_n(Instruction::new(Opcode::NOP), count));
+        self.instrs.splice(
+            at..at,
+            std::iter::repeat_n(Instruction::new(Opcode::NOP), count),
+        );
         Ok(())
     }
 
@@ -244,7 +246,10 @@ impl ProgramBuilder {
     /// function selector, which travels in the same 6-bit operand field
     /// as arg indices and labels).
     pub fn op_sel(mut self, opcode: Opcode, selector: u8) -> Self {
-        assert!(selector <= crate::constants::MAX_LABEL, "selector out of range");
+        assert!(
+            selector <= crate::constants::MAX_LABEL,
+            "selector out of range"
+        );
         assert!(
             self.pending_label.is_none(),
             "cannot label a selector-carrying instruction; label a NOP instead"
@@ -379,7 +384,10 @@ mod tests {
     #[test]
     fn interior_eof_is_rejected() {
         let err = Program::new(
-            vec![Instruction::new(Opcode::EOF), Instruction::new(Opcode::RETURN)],
+            vec![
+                Instruction::new(Opcode::EOF),
+                Instruction::new(Opcode::RETURN),
+            ],
             [0; 4],
         )
         .unwrap_err();

@@ -70,6 +70,10 @@ pub enum ControlOp {
     ReactivateNotice = 3,
     /// Keep-alive from the client during long state extraction.
     Heartbeat = 4,
+    /// Client → switch: the ReactivateNotice (and any new regions) was
+    /// received; the controller may stop re-signalling. Makes the
+    /// reactivation leg of the Section 4.3 protocol loss-tolerant.
+    ReactivateAck = 5,
 }
 
 impl ControlOp {
@@ -81,6 +85,7 @@ impl ControlOp {
             2 => ControlOp::DeactivateNotice,
             3 => ControlOp::ReactivateNotice,
             4 => ControlOp::Heartbeat,
+            5 => ControlOp::ReactivateAck,
             other => return Err(Error::BadPacketType(other as u8)),
         })
     }
@@ -385,6 +390,7 @@ mod tests {
             ControlOp::DeactivateNotice,
             ControlOp::ReactivateNotice,
             ControlOp::Heartbeat,
+            ControlOp::ReactivateAck,
         ] {
             assert_eq!(ControlOp::from_u16(op as u16).unwrap(), op);
         }

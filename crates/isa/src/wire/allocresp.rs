@@ -112,8 +112,20 @@ mod tests {
     fn roundtrip() {
         let mut buf = [0u8; ALLOC_RESPONSE_LEN];
         let mut resp = AllocResponse::new_checked(&mut buf[..]).unwrap();
-        resp.set_region(1, RegionEntry { start: 0, end: 1024 });
-        resp.set_region(4, RegionEntry { start: 512, end: 768 });
+        resp.set_region(
+            1,
+            RegionEntry {
+                start: 0,
+                end: 1024,
+            },
+        );
+        resp.set_region(
+            4,
+            RegionEntry {
+                start: 512,
+                end: 768,
+            },
+        );
         resp.set_region(
             19,
             RegionEntry {
@@ -122,7 +134,13 @@ mod tests {
             },
         );
         let resp = AllocResponse::new_checked(&buf[..]).unwrap();
-        assert_eq!(resp.region(1), RegionEntry { start: 0, end: 1024 });
+        assert_eq!(
+            resp.region(1),
+            RegionEntry {
+                start: 0,
+                end: 1024
+            }
+        );
         assert_eq!(resp.region(1).len(), 1024);
         assert!(resp.region(0).is_empty());
         assert_eq!(resp.allocated_stages(), vec![1, 4, 19]);

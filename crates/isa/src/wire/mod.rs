@@ -76,8 +76,11 @@ pub fn build_program_packet(
     payload: &[u8],
 ) -> Vec<u8> {
     let instr_bytes = program.encode_instructions();
-    let total =
-        ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN + ARG_HEADER_LEN + instr_bytes.len() + payload.len();
+    let total = ETHERNET_HEADER_LEN
+        + INITIAL_HEADER_LEN
+        + ARG_HEADER_LEN
+        + instr_bytes.len()
+        + payload.len();
     let mut buf = vec![0u8; total];
     {
         let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
@@ -151,7 +154,15 @@ pub fn build_alloc_request(
     let mut flags = PacketFlags::default().with_type(PacketType::AllocRequest);
     flags.set_elastic(elastic);
     flags.set_pinned(pinned);
-    let mut buf = build_frame_with_header(dst, src, fid, seq, flags, ingress_position, ALLOC_REQUEST_LEN);
+    let mut buf = build_frame_with_header(
+        dst,
+        src,
+        fid,
+        seq,
+        flags,
+        ingress_position,
+        ALLOC_REQUEST_LEN,
+    );
     {
         let mut hdr = ActiveHeader::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
         hdr.set_program_len(prog_len);
@@ -324,10 +335,7 @@ mod tests {
         let decoded =
             Program::decode_instructions(&frame[layout.instr_off..layout.payload_off]).unwrap();
         assert_eq!(decoded.instructions(), p.instructions());
-        assert_eq!(
-            decoded.instructions()[1],
-            Instruction::new(Opcode::RTS)
-        );
+        assert_eq!(decoded.instructions()[1], Instruction::new(Opcode::RTS));
     }
 
     #[test]
@@ -372,7 +380,10 @@ mod tests {
         let fail = build_alloc_response([1; 6], [2; 6], 9, 5, None);
         let hdr = ActiveHeader::new_checked(&fail[ETHERNET_HEADER_LEN..]).unwrap();
         assert!(hdr.flags().failed());
-        assert_eq!(fail.len(), ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN + ALLOC_RESPONSE_LEN);
+        assert_eq!(
+            fail.len(),
+            ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN + ALLOC_RESPONSE_LEN
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Fuzz-style property tests for the wire parsers: arbitrary bytes,
+//! truncated prefixes, and bit-flipped copies of valid frames must all
+//! come back as `Err` (or parse to harmless values) — never panic. The
+//! fault injector corrupts live traffic, so every `new_checked` entry
+//! point is a crash surface.
+
+use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
+use activermt_isa::wire::{
+    build_alloc_request, build_alloc_response, AccessDescriptor, ActiveHeader, AllocRequest,
+    AllocResponse, EthernetFrame, RegionEntry,
+};
+use proptest::prelude::*;
+
+/// Exercise every accessor of a header that passed `new_checked`; a
+/// parser that validates lazily would panic here instead.
+fn poke_active_header(bytes: &[u8]) {
+    if let Ok(hdr) = ActiveHeader::new_checked(bytes) {
+        let _ = hdr.fid();
+        let _ = hdr.seq();
+        let _ = hdr.flags().packet_type();
+        let _ = hdr.flags().failed();
+        let _ = hdr.control_op();
+    }
+}
+
+fn poke_alloc_response(bytes: &[u8]) {
+    if let Ok(resp) = AllocResponse::new_checked(bytes) {
+        let regions = resp.regions();
+        let _ = resp.allocated_stages();
+        for r in regions {
+            let _ = r.len();
+        }
+    }
+}
+
+/// Apply `flips` as (byte position, bit) pairs, reduced modulo the
+/// frame length so the strategy needs no knowledge of frame sizes.
+fn flip_bits(frame: &mut [u8], flips: &[(usize, u8)]) {
+    for &(pos, bit) in flips {
+        let i = pos % frame.len();
+        frame[i] ^= 1 << (bit % 8);
+    }
+}
+
+fn valid_response() -> Vec<u8> {
+    let regions: Vec<(usize, RegionEntry)> = (0..20)
+        .map(|s| (s, RegionEntry { start: 0, end: 255 }))
+        .collect();
+    build_alloc_response([1; 6], [2; 6], 7, 3, Some(&regions))
+}
+
+fn valid_request() -> Vec<u8> {
+    let accesses: Vec<AccessDescriptor> = [2u8, 5, 9]
+        .iter()
+        .map(|&p| AccessDescriptor {
+            min_position: p,
+            min_gap: 2,
+            demand: 0,
+        })
+        .collect();
+    build_alloc_request([1; 6], [2; 6], 7, 1, &accesses, 11, true, true, 8).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn active_header_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        poke_active_header(&bytes);
+    }
+
+    #[test]
+    fn alloc_response_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        poke_alloc_response(&bytes);
+    }
+
+    #[test]
+    fn alloc_request_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        if let Ok(req) = AllocRequest::new_checked(&bytes[..]) {
+            let _ = req.accesses();
+        }
+    }
+
+    /// Every truncated prefix of a valid frame is rejected cleanly at
+    /// some layer of the decode chain.
+    #[test]
+    fn truncated_frames_never_panic(cut in 0usize..200, which in any::<bool>()) {
+        let frame = if which { valid_response() } else { valid_request() };
+        let cut = cut % (frame.len() + 1);
+        let frame = &frame[..cut];
+        if EthernetFrame::new_checked(frame).is_err() {
+            return;
+        }
+        poke_active_header(&frame[ETHERNET_HEADER_LEN..]);
+        let body_off = ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN;
+        if frame.len() >= body_off {
+            poke_alloc_response(&frame[body_off..]);
+            if let Ok(req) = AllocRequest::new_checked(&frame[body_off..]) {
+                let _ = req.accesses();
+            }
+        }
+    }
+
+    /// Bit-flipped copies of valid frames — what the corruption fault
+    /// actually produces — decode to Err or harmless values.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        flips in prop::collection::vec((any::<usize>(), 0u8..8), 1..9),
+        which in any::<bool>(),
+    ) {
+        let mut frame = if which { valid_response() } else { valid_request() };
+        flip_bits(&mut frame, &flips);
+        if EthernetFrame::new_checked(&frame[..]).is_err() {
+            return;
+        }
+        poke_active_header(&frame[ETHERNET_HEADER_LEN..]);
+        let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
+        poke_alloc_response(body);
+        if let Ok(req) = AllocRequest::new_checked(body) {
+            let _ = req.accesses();
+        }
+    }
+}

@@ -41,6 +41,10 @@ pub enum Phase {
     Populating,
     /// Steady-state serving.
     Serving,
+    /// The shim's retransmission deadline expired without a switch
+    /// answer; the client fell back to the server path (requests still
+    /// flow, unaccelerated).
+    Degraded,
 }
 
 /// Configuration for a [`CacheClientHost`].
@@ -96,6 +100,8 @@ pub struct CacheClientHost {
     /// data-plane state extraction of Section 4.3, which dominates the
     /// Figure 10 disruption window).
     snapshot_ready_at: Option<u64>,
+    /// Memsync frames re-sent after the periodic timeout.
+    sync_retransmits: u64,
     /// Hit/miss outcomes over time: sample 1.0 per hit, 0.0 per miss.
     pub outcomes: Series,
     /// Requests sent.
@@ -149,6 +155,7 @@ impl CacheClientHost {
             monitor_deadline: 0,
             last_sync_resend: 0,
             snapshot_ready_at: None,
+            sync_retransmits: 0,
             outcomes: Series::new(),
             sent: 0,
             hits: 0,
@@ -250,6 +257,17 @@ impl Host for CacheClientHost {
         self.cfg.mac
     }
 
+    fn fault_stats(&self) -> crate::host::HostFaultStats {
+        let shim = self.cache.shim();
+        let monitor = self.monitor.as_ref().map(|m| m.shim());
+        crate::host::HostFaultStats {
+            malformed_frames: shim.malformed_frames() + monitor.map_or(0, |s| s.malformed_frames()),
+            retransmits: shim.retransmits()
+                + monitor.map_or(0, |s| s.retransmits())
+                + self.sync_retransmits,
+        }
+    }
+
     fn tick_interval(&self) -> Option<u64> {
         Some(self.cfg.req_interval_ns)
     }
@@ -261,13 +279,30 @@ impl Host for CacheClientHost {
             match (&mut self.monitor, self.cfg.monitor_ns) {
                 (Some(m), Some(dur)) => {
                     self.monitor_deadline = now + dur;
-                    out.push(m.request_allocation());
+                    out.push(m.request_allocation(now));
                     self.phase = Phase::MonitorNegotiating;
                 }
                 _ => {
-                    out.push(self.cache.request_allocation());
+                    out.push(self.cache.request_allocation(now));
                     self.phase = Phase::CacheNegotiating;
                 }
+            }
+        }
+        // Drive the shims' retransmission timers (lost allocation
+        // requests and snapshot acks are re-sent with backoff; past the
+        // deadline the service degrades to the plain server path).
+        let r = self.cache.poll(now);
+        out.extend(r.frames);
+        if r.event == Some(CacheEvent::Degraded) {
+            self.phase = Phase::Degraded;
+        }
+        if let Some(m) = self.monitor.as_mut() {
+            let (ev, frames) = m.poll(now);
+            out.extend(frames);
+            if ev == Some(HhEvent::Degraded) && self.phase == Phase::MonitorNegotiating {
+                // Give up on the monitor; try the cache directly.
+                out.push(self.cache.request_allocation(now));
+                self.phase = Phase::CacheNegotiating;
             }
         }
         if self.phase == Phase::Monitoring && now >= self.monitor_deadline {
@@ -283,7 +318,7 @@ impl Host for CacheClientHost {
         if let Some(ready) = self.snapshot_ready_at {
             if now >= ready {
                 self.snapshot_ready_at = None;
-                out.push(self.cache.snapshot_complete());
+                out.push(self.cache.snapshot_complete(now));
             }
         }
         // Retransmit unacknowledged memsync packets ("the client can
@@ -292,10 +327,12 @@ impl Host for CacheClientHost {
         // repopulation after a reallocation).
         if now.saturating_sub(self.last_sync_resend) > 5_000_000 {
             self.last_sync_resend = now;
+            let before = out.len();
             if let Some(m) = self.monitor.as_ref() {
                 out.extend(m.pending_sync());
             }
             out.extend(self.cache.pending_sync());
+            self.sync_retransmits += (out.len() - before) as u64;
         }
         // The request stream never stops.
         if self.phase != Phase::Waiting || now >= self.cfg.start_ns {
@@ -329,7 +366,7 @@ impl Host for CacheClientHost {
                 }
                 Some(HhEvent::AllocationFailed) => {
                     // Fall back to the cache directly.
-                    out.push(self.cache.request_allocation());
+                    out.push(self.cache.request_allocation(now));
                     self.phase = Phase::CacheNegotiating;
                     return out;
                 }
@@ -338,12 +375,12 @@ impl Host for CacheClientHost {
                         // Context switch (Section 6.3): deallocate the
                         // monitor, then request the cache allocation.
                         out.push(m.deallocate());
-                        out.push(self.cache.request_allocation());
+                        out.push(self.cache.request_allocation(now));
                         self.phase = Phase::CacheNegotiating;
                     }
                     return out;
                 }
-                None => {}
+                Some(HhEvent::Degraded) | None => {}
             }
         }
         // Cache-side traffic.
@@ -389,7 +426,7 @@ impl Host for CacheClientHost {
                 }
                 self.outcomes.push(now, 1.0);
             }
-            Some(CacheEvent::AllocationFailed) | None => {}
+            Some(CacheEvent::AllocationFailed) | Some(CacheEvent::Degraded) | None => {}
         }
         out
     }
@@ -416,6 +453,7 @@ pub struct LatencyProbeHost {
     interval_ns: u64,
     seq: u16,
     in_flight: std::collections::HashMap<u16, u64>,
+    malformed: u64,
     /// Completed RTT samples, ns.
     pub rtts: Vec<u64>,
 }
@@ -440,6 +478,7 @@ impl LatencyProbeHost {
             interval_ns,
             seq: 0,
             in_flight: std::collections::HashMap::new(),
+            malformed: 0,
             rtts: Vec::new(),
         }
     }
@@ -457,6 +496,13 @@ impl LatencyProbeHost {
 impl Host for LatencyProbeHost {
     fn mac(&self) -> [u8; 6] {
         self.mac
+    }
+
+    fn fault_stats(&self) -> crate::host::HostFaultStats {
+        crate::host::HostFaultStats {
+            malformed_frames: self.malformed,
+            retransmits: 0,
+        }
     }
 
     fn tick_interval(&self) -> Option<u64> {
@@ -479,14 +525,19 @@ impl Host for LatencyProbeHost {
     }
 
     fn on_frame(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
-        if let Ok(hdr) =
-            activermt_isa::wire::ActiveHeader::new_checked(&frame[14..])
-        {
-            if hdr.fid() == self.fid {
-                if let Some(sent) = self.in_flight.remove(&hdr.seq()) {
-                    self.rtts.push(now - sent);
+        let Some(body) = frame.get(14..) else {
+            self.malformed += 1;
+            return Vec::new();
+        };
+        match activermt_isa::wire::ActiveHeader::new_checked(body) {
+            Ok(hdr) => {
+                if hdr.fid() == self.fid {
+                    if let Some(sent) = self.in_flight.remove(&hdr.seq()) {
+                        self.rtts.push(now - sent);
+                    }
                 }
             }
+            Err(_) => self.malformed += 1,
         }
         Vec::new()
     }

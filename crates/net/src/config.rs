@@ -6,6 +6,10 @@
 /// microsecond-scale host-to-switch latency, and a 100 µs control-plane
 /// polling interval (Section 5: "Communications with the controller
 /// involve a poll-based mechanism with intervals around 100 µs").
+///
+/// Fault behaviour (loss, corruption, stalls) is no longer configured
+/// here: build a [`FaultPlan`](crate::fault::FaultPlan) and pass it to
+/// [`Simulation::with_faults`](crate::sim::Simulation::with_faults).
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
     /// One-way propagation delay of each host-switch link, ns.
@@ -16,13 +20,6 @@ pub struct NetConfig {
     pub controller_poll_ns: u64,
     /// Per-frame host processing overhead, ns (NIC + stack).
     pub host_overhead_ns: u64,
-    /// Frame loss probability in per-mille (0 = lossless). Losses are
-    /// drawn from a seeded PRNG, so runs stay deterministic; used for
-    /// failure-injection scenarios exercising the Section 4.3
-    /// retransmission story.
-    pub loss_per_mille: u32,
-    /// Seed for the loss process.
-    pub loss_seed: u64,
 }
 
 impl Default for NetConfig {
@@ -32,8 +29,6 @@ impl Default for NetConfig {
             bytes_per_us: 5_000,
             controller_poll_ns: 100_000,
             host_overhead_ns: 2_000,
-            loss_per_mille: 0,
-            loss_seed: 0,
         }
     }
 }

@@ -1,0 +1,442 @@
+//! Deterministic fault injection.
+//!
+//! The paper's protocol story (Section 4.3) is loss-tolerance: "packets
+//! that fail execution do not generate a response … the client can
+//! safely retransmit after a timeout". Exercising that story needs more
+//! than uniform Bernoulli loss, so the simulator composes faults from a
+//! seeded, time-windowed [`FaultPlan`]: a base loss rate, burst-loss
+//! windows, per-host loss, byte-level corruption, truncation,
+//! duplication, and controller-poll stalls. Every draw comes from one
+//! seeded PRNG, so a plan plus a traffic pattern reproduces the exact
+//! same fault sequence run after run.
+//!
+//! The injector sits on every link hop of the [`Simulation`]
+//! (host→switch, switch→host) and on the controller's poll timer. What
+//! it produces — dropped, mangled, shortened or doubled frames — is
+//! exactly what the hardened parsers, retransmission timers and
+//! idempotent control paths in the rest of the stack must absorb.
+//!
+//! [`Simulation`]: crate::sim::Simulation
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A half-open virtual-time window `[start_ns, end_ns)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Window start, ns (inclusive).
+    pub start_ns: u64,
+    /// Window end, ns (exclusive).
+    pub end_ns: u64,
+}
+
+impl TimeWindow {
+    /// Does `t` fall inside the window?
+    pub fn contains(&self, t: u64) -> bool {
+        self.start_ns <= t && t < self.end_ns
+    }
+}
+
+/// Elevated loss inside one time window (a burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstLoss {
+    /// When the burst applies.
+    pub window: TimeWindow,
+    /// Loss probability inside the window, per mille.
+    pub loss_per_mille: u32,
+}
+
+/// Extra loss applied to every hop that touches one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostLoss {
+    /// The host's MAC address.
+    pub mac: [u8; 6],
+    /// Loss probability for that host's frames, per mille.
+    pub loss_per_mille: u32,
+}
+
+/// A composed, deterministic fault schedule.
+///
+/// The plan is pure data — cloneable, comparable, buildable from
+/// literals in tests. [`FaultPlan::none`] is the lossless default;
+/// [`FaultPlan::uniform_loss`] reproduces the old `loss_per_mille`
+/// knob; the `with_*` builders compose the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the fault PRNG (one stream drives every fault type).
+    pub seed: u64,
+    /// Baseline loss on every hop, per mille.
+    pub base_loss_per_mille: u32,
+    /// Burst-loss windows (checked in addition to the baseline).
+    pub bursts: Vec<BurstLoss>,
+    /// Per-host loss rates.
+    pub host_loss: Vec<HostLoss>,
+    /// Probability a surviving frame gets 1–3 random bytes flipped,
+    /// per mille.
+    pub corrupt_per_mille: u32,
+    /// Probability a surviving frame is truncated to a random shorter
+    /// length, per mille.
+    pub truncate_per_mille: u32,
+    /// Probability a surviving frame is delivered twice, per mille.
+    pub duplicate_per_mille: u32,
+    /// Windows during which the switch CPU's controller poll does not
+    /// run (a stalled control plane).
+    pub controller_stalls: Vec<TimeWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            base_loss_per_mille: 0,
+            bursts: Vec::new(),
+            host_loss: Vec::new(),
+            corrupt_per_mille: 0,
+            truncate_per_mille: 0,
+            duplicate_per_mille: 0,
+            controller_stalls: Vec::new(),
+        }
+    }
+
+    /// Uniform Bernoulli loss on every hop — the old
+    /// `NetConfig::loss_per_mille` knob as a convenience constructor.
+    pub fn uniform_loss(loss_per_mille: u32, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            base_loss_per_mille: loss_per_mille,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Set the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a burst-loss window.
+    pub fn with_burst(mut self, start_ns: u64, end_ns: u64, loss_per_mille: u32) -> FaultPlan {
+        self.bursts.push(BurstLoss {
+            window: TimeWindow { start_ns, end_ns },
+            loss_per_mille,
+        });
+        self
+    }
+
+    /// Add a per-host loss rate.
+    pub fn with_host_loss(mut self, mac: [u8; 6], loss_per_mille: u32) -> FaultPlan {
+        self.host_loss.push(HostLoss {
+            mac,
+            loss_per_mille,
+        });
+        self
+    }
+
+    /// Enable byte-flip corruption.
+    pub fn with_corruption(mut self, per_mille: u32) -> FaultPlan {
+        self.corrupt_per_mille = per_mille;
+        self
+    }
+
+    /// Enable truncation.
+    pub fn with_truncation(mut self, per_mille: u32) -> FaultPlan {
+        self.truncate_per_mille = per_mille;
+        self
+    }
+
+    /// Enable duplication.
+    pub fn with_duplication(mut self, per_mille: u32) -> FaultPlan {
+        self.duplicate_per_mille = per_mille;
+        self
+    }
+
+    /// Add a controller-poll stall window.
+    pub fn with_controller_stall(mut self, start_ns: u64, end_ns: u64) -> FaultPlan {
+        self.controller_stalls.push(TimeWindow { start_ns, end_ns });
+        self
+    }
+
+    /// True when the plan can never touch a frame or a poll.
+    pub fn is_benign(&self) -> bool {
+        self.base_loss_per_mille == 0
+            && self.bursts.is_empty()
+            && self.host_loss.is_empty()
+            && self.corrupt_per_mille == 0
+            && self.truncate_per_mille == 0
+            && self.duplicate_per_mille == 0
+            && self.controller_stalls.is_empty()
+    }
+}
+
+/// Counters describing both what the injector did and how the stack
+/// coped. The injector fills the `injected_*` fields; the
+/// [`Simulation`](crate::sim::Simulation) overlays the recovery-side
+/// counters (malformed drops, retransmits) it aggregates from the
+/// switch and the hosts when snapshotting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames dropped by the loss process (base + burst + per-host).
+    pub injected_losses: u64,
+    /// Frames with injected byte flips.
+    pub injected_corruptions: u64,
+    /// Frames truncated in flight.
+    pub injected_truncations: u64,
+    /// Frames delivered twice.
+    pub injected_duplicates: u64,
+    /// Controller polls suppressed by a stall window.
+    pub stalled_polls: u64,
+    /// Malformed frames counted and dropped by the switch node.
+    pub switch_malformed: u64,
+    /// Malformed frames counted and dropped by hosts (shim, memsync,
+    /// app hosts).
+    pub host_malformed: u64,
+    /// Client-side retransmissions (allocation requests, snapshot
+    /// acks, memory-sync frames).
+    pub retransmits: u64,
+}
+
+impl FaultStats {
+    /// Total frames the injector touched (lost + mangled + doubled).
+    pub fn injected(&self) -> u64 {
+        self.injected_losses
+            + self.injected_corruptions
+            + self.injected_truncations
+            + self.injected_duplicates
+    }
+
+    /// Total malformed frames dropped anywhere in the stack.
+    pub fn dropped_malformed(&self) -> u64 {
+        self.switch_malformed + self.host_malformed
+    }
+}
+
+/// The stateful fault process: one seeded PRNG walking a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector from a plan (seeds the PRNG from the plan).
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injector-side counters accumulated so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn roll(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.rng.gen_range(0u32..1000) < per_mille
+    }
+
+    /// Effective loss probability for a hop touching `host_mac` at
+    /// time `now`.
+    fn loss_per_mille(&self, now: u64, host_mac: [u8; 6]) -> u32 {
+        let mut p = self.plan.base_loss_per_mille;
+        for b in &self.plan.bursts {
+            if b.window.contains(now) {
+                p = p.max(b.loss_per_mille);
+            }
+        }
+        for h in &self.plan.host_loss {
+            if h.mac == host_mac {
+                p = p.max(h.loss_per_mille);
+            }
+        }
+        p.min(1000)
+    }
+
+    /// Pass one frame through the fault process on a hop that touches
+    /// `host_mac` (the host side of the link) at time `now`. Returns
+    /// the frames that actually arrive: empty on loss, one (possibly
+    /// mangled) frame normally, two on duplication.
+    pub fn apply(&mut self, now: u64, host_mac: [u8; 6], mut frame: Vec<u8>) -> Vec<Vec<u8>> {
+        if self.plan.is_benign() {
+            return vec![frame];
+        }
+        let loss = self.loss_per_mille(now, host_mac);
+        if self.roll(loss) {
+            self.stats.injected_losses += 1;
+            return Vec::new();
+        }
+        if !frame.is_empty() && self.roll(self.plan.corrupt_per_mille) {
+            self.stats.injected_corruptions += 1;
+            let flips = self.rng.gen_range(1usize..=3).min(frame.len());
+            for _ in 0..flips {
+                let at = self.rng.gen_range(0..frame.len());
+                let bit = self.rng.gen_range(0u32..8);
+                frame[at] ^= 1 << bit;
+            }
+        }
+        if !frame.is_empty() && self.roll(self.plan.truncate_per_mille) {
+            self.stats.injected_truncations += 1;
+            let keep = self.rng.gen_range(0..frame.len());
+            frame.truncate(keep);
+        }
+        if self.roll(self.plan.duplicate_per_mille) {
+            self.stats.injected_duplicates += 1;
+            return vec![frame.clone(), frame];
+        }
+        vec![frame]
+    }
+
+    /// Is the controller poll scheduled at `now` suppressed by a stall
+    /// window? Counts suppressed polls.
+    pub fn poll_stalled(&mut self, now: u64) -> bool {
+        let stalled = self.plan.controller_stalls.iter().any(|w| w.contains(now));
+        if stalled {
+            self.stats.stalled_polls += 1;
+        }
+        stalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAC: [u8; 6] = [2, 0, 0, 0, 0, 1];
+
+    #[test]
+    fn benign_plan_is_a_passthrough() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let frame = vec![1u8, 2, 3, 4];
+        for t in [0u64, 1_000, 1_000_000] {
+            assert_eq!(inj.apply(t, MAC, frame.clone()), vec![frame.clone()]);
+            assert!(!inj.poll_stalled(t));
+        }
+        assert_eq!(inj.stats().injected(), 0);
+    }
+
+    #[test]
+    fn uniform_loss_matches_its_rate() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform_loss(100, 7));
+        let n = 20_000;
+        let mut lost = 0u32;
+        for t in 0..n {
+            if inj.apply(t, MAC, vec![0u8; 64]).is_empty() {
+                lost += 1;
+            }
+        }
+        let rate = f64::from(lost) / f64::from(n as u32);
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+        assert_eq!(inj.stats().injected_losses, u64::from(lost));
+    }
+
+    #[test]
+    fn bursts_only_fire_inside_their_window() {
+        let plan = FaultPlan::none()
+            .with_seed(3)
+            .with_burst(1_000, 2_000, 1000);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.apply(500, MAC, vec![0; 8]).len(), 1, "before burst");
+        assert!(inj.apply(1_500, MAC, vec![0; 8]).is_empty(), "in burst");
+        assert_eq!(inj.apply(2_000, MAC, vec![0; 8]).len(), 1, "after burst");
+    }
+
+    #[test]
+    fn host_loss_targets_only_that_host() {
+        let other = [9u8; 6];
+        let plan = FaultPlan::none().with_seed(1).with_host_loss(MAC, 1000);
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.apply(0, MAC, vec![0; 8]).is_empty());
+        assert_eq!(inj.apply(0, other, vec![0; 8]).len(), 1);
+    }
+
+    #[test]
+    fn corruption_flips_bytes_but_keeps_length() {
+        let plan = FaultPlan::none().with_seed(11).with_corruption(1000);
+        let mut inj = FaultInjector::new(plan);
+        let orig = vec![0u8; 64];
+        let out = inj.apply(0, MAC, orig.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), orig.len());
+        assert_ne!(out[0], orig, "at least one byte must have flipped");
+        assert_eq!(inj.stats().injected_corruptions, 1);
+    }
+
+    #[test]
+    fn truncation_shortens_frames() {
+        let plan = FaultPlan::none().with_seed(5).with_truncation(1000);
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(0, MAC, vec![7u8; 100]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].len() < 100);
+        assert_eq!(inj.stats().injected_truncations, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let plan = FaultPlan::none().with_seed(2).with_duplication(1000);
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(0, MAC, vec![9u8; 10]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(inj.stats().injected_duplicates, 1);
+    }
+
+    #[test]
+    fn stall_windows_suppress_polls() {
+        let plan = FaultPlan::none().with_controller_stall(100, 200);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.poll_stalled(50));
+        assert!(inj.poll_stalled(150));
+        assert!(!inj.poll_stalled(200), "window end is exclusive");
+        assert_eq!(inj.stats().stalled_polls, 1);
+    }
+
+    #[test]
+    fn fault_sequences_are_deterministic() {
+        let plan = FaultPlan::uniform_loss(300, 42)
+            .with_corruption(200)
+            .with_truncation(100)
+            .with_duplication(100)
+            .with_burst(10, 50, 900);
+        let run = || {
+            let mut inj = FaultInjector::new(plan.clone());
+            let mut out = Vec::new();
+            for t in 0..500u64 {
+                out.push(inj.apply(t, MAC, (0..32).map(|b| b as u8).collect()));
+            }
+            (out, *inj.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let s = FaultStats {
+            injected_losses: 3,
+            injected_corruptions: 2,
+            injected_truncations: 1,
+            injected_duplicates: 4,
+            stalled_polls: 5,
+            switch_malformed: 6,
+            host_malformed: 7,
+            retransmits: 8,
+        };
+        assert_eq!(s.injected(), 10);
+        assert_eq!(s.dropped_malformed(), 13);
+    }
+}

@@ -11,6 +11,18 @@ use activermt_apps::kvstore::KvServer;
 use activermt_isa::wire::EthernetFrame;
 use std::any::Any;
 
+/// Per-host recovery counters the simulation aggregates into its
+/// [`FaultStats`](crate::fault::FaultStats) snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostFaultStats {
+    /// Frames this host rejected as malformed (truncated or corrupted
+    /// beyond parsing).
+    pub malformed_frames: u64,
+    /// Frames this host retransmitted (allocation requests, snapshot
+    /// acks, memory-sync batches).
+    pub retransmits: u64,
+}
+
 /// A network endpoint attached to the switch.
 pub trait Host {
     /// The host's MAC address (its identity on the star).
@@ -29,6 +41,11 @@ pub trait Host {
         None
     }
 
+    /// Recovery counters for the simulation's fault snapshot.
+    fn fault_stats(&self) -> HostFaultStats {
+        HostFaultStats::default()
+    }
+
     /// Downcast support so scenarios can inspect host state after a
     /// run.
     fn as_any(&self) -> &dyn Any;
@@ -45,6 +62,7 @@ pub struct KvServerHost {
     mac: [u8; 6],
     store: KvServer,
     answered: u64,
+    malformed: u64,
 }
 
 impl KvServerHost {
@@ -56,6 +74,7 @@ impl KvServerHost {
             mac,
             store,
             answered: 0,
+            malformed: 0,
         }
     }
 
@@ -75,14 +94,26 @@ impl Host for KvServerHost {
         self.mac
     }
 
+    fn fault_stats(&self) -> HostFaultStats {
+        HostFaultStats {
+            malformed_frames: self.malformed,
+            retransmits: 0,
+        }
+    }
+
     fn on_frame(&mut self, _now_ns: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
         // Locate the application payload: after active headers if the
-        // frame is active, else right after L2.
+        // frame is active, else right after L2. A frame too short for
+        // either is a counted malformed drop.
         let payload_off = match activermt_isa::wire::program_packet_layout(&frame) {
             Ok(layout) => layout.payload_off,
             Err(_) => activermt_isa::constants::ETHERNET_HEADER_LEN,
         };
-        let Some(resp_payload) = self.store.handle(&frame[payload_off..]) else {
+        let Some(payload) = frame.get(payload_off..) else {
+            self.malformed += 1;
+            return Vec::new();
+        };
+        let Some(resp_payload) = self.store.handle(payload) else {
             return Vec::new();
         };
         self.answered += 1;
@@ -115,12 +146,17 @@ impl Host for KvServerHost {
 pub struct EchoHost {
     mac: [u8; 6],
     echoed: u64,
+    malformed: u64,
 }
 
 impl EchoHost {
     /// A reflector at `mac`.
     pub fn new(mac: [u8; 6]) -> EchoHost {
-        EchoHost { mac, echoed: 0 }
+        EchoHost {
+            mac,
+            echoed: 0,
+            malformed: 0,
+        }
     }
 
     /// Frames reflected.
@@ -134,10 +170,20 @@ impl Host for EchoHost {
         self.mac
     }
 
+    fn fault_stats(&self) -> HostFaultStats {
+        HostFaultStats {
+            malformed_frames: self.malformed,
+            retransmits: 0,
+        }
+    }
+
     fn on_frame(&mut self, _now_ns: u64, mut frame: Vec<u8>) -> Vec<Vec<u8>> {
-        self.echoed += 1;
-        let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+        let Ok(mut eth) = EthernetFrame::new_checked(&mut frame[..]) else {
+            self.malformed += 1;
+            return Vec::new();
+        };
         eth.swap_addresses();
+        self.echoed += 1;
         vec![frame]
     }
 

@@ -17,6 +17,7 @@
 
 pub mod apphosts;
 pub mod config;
+pub mod fault;
 pub mod host;
 pub mod sim;
 pub mod switch;
@@ -24,7 +25,8 @@ pub mod trace;
 
 pub use apphosts::{CacheClientConfig, CacheClientHost, LatencyProbeHost, Phase};
 pub use config::NetConfig;
-pub use host::{EchoHost, Host, KvServerHost};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use host::{EchoHost, Host, HostFaultStats, KvServerHost};
 pub use sim::Simulation;
 pub use switch::SwitchNode;
 pub use trace::{ewma, Series};

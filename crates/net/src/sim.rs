@@ -6,12 +6,15 @@
 //! pipeline latency (Section 6.2's processing-latency model); the
 //! controller is polled on the paper's 100 µs cadence. Event ordering
 //! is fully deterministic: ties break on insertion sequence.
+//!
+//! Every link hop passes through a [`FaultInjector`], so one
+//! [`FaultPlan`] composes loss, corruption, truncation, duplication
+//! and controller stalls across the whole topology deterministically.
 
 use crate::config::NetConfig;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::host::Host;
 use crate::switch::SwitchNode;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -27,6 +30,15 @@ enum EventKind {
     Tick([u8; 6]),
 }
 
+/// The Ethernet source of a frame, if it is long enough to have one.
+fn src_mac(frame: &[u8]) -> [u8; 6] {
+    let mut mac = [0u8; 6];
+    if let Some(bytes) = frame.get(6..12) {
+        mac.copy_from_slice(bytes);
+    }
+    mac
+}
+
 /// The simulation: one switch, many hosts, virtual time in ns.
 pub struct Simulation {
     cfg: NetConfig,
@@ -38,13 +50,18 @@ pub struct Simulation {
     hosts: HashMap<[u8; 6], Box<dyn Host>>,
     delivered: u64,
     dropped_no_host: u64,
-    loss_rng: SmallRng,
-    lost: u64,
+    injector: FaultInjector,
 }
 
 impl Simulation {
-    /// Build a simulation around a switch.
+    /// Build a fault-free simulation around a switch.
     pub fn new(cfg: NetConfig, switch: SwitchNode) -> Simulation {
+        Simulation::with_faults(cfg, switch, FaultPlan::none())
+    }
+
+    /// Build a simulation whose links and controller poll run under
+    /// the given fault plan.
+    pub fn with_faults(cfg: NetConfig, switch: SwitchNode, plan: FaultPlan) -> Simulation {
         let mut sim = Simulation {
             cfg,
             now: 0,
@@ -55,8 +72,7 @@ impl Simulation {
             hosts: HashMap::new(),
             delivered: 0,
             dropped_no_host: 0,
-            loss_rng: SmallRng::seed_from_u64(cfg.loss_seed),
-            lost: 0,
+            injector: FaultInjector::new(plan),
         };
         sim.schedule(cfg.controller_poll_ns, EventKind::Poll);
         sim
@@ -87,15 +103,23 @@ impl Simulation {
         self.dropped_no_host
     }
 
-    /// Frames lost to the injected link-loss process.
+    /// Frames lost to the injected loss process.
     pub fn lost(&self) -> u64 {
-        self.lost
+        self.injector.stats().injected_losses
     }
 
-    /// Should this transmission be lost? (Deterministic, seeded.)
-    fn lossy(&mut self) -> bool {
-        self.cfg.loss_per_mille > 0
-            && self.loss_rng.gen_range(0..1000) < self.cfg.loss_per_mille
+    /// A snapshot of the fault picture: what the injector did, and the
+    /// malformed-frame drops and retransmissions the stack answered
+    /// with (aggregated live from the switch and every host).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = *self.injector.stats();
+        stats.switch_malformed = self.switch.malformed_frames();
+        for host in self.hosts.values() {
+            let hs = host.fault_stats();
+            stats.host_malformed += hs.malformed_frames;
+            stats.retransmits += hs.retransmits;
+        }
+        stats
     }
 
     /// Attach a host; its periodic timer (if any) starts now.
@@ -120,12 +144,12 @@ impl Simulation {
     /// Transmit a frame from the host identified by its Ethernet
     /// source, at time `at_ns` (must be ≥ now).
     pub fn send_at(&mut self, at_ns: u64, frame: Vec<u8>) {
-        if self.lossy() {
-            self.lost += 1;
-            return;
+        let now = at_ns.max(self.now);
+        let host = src_mac(&frame);
+        for f in self.injector.apply(now, host, frame) {
+            let arrive = now + self.cfg.link_time_ns(f.len());
+            self.schedule(arrive, EventKind::ToSwitch(f));
         }
-        let arrive = at_ns.max(self.now) + self.cfg.link_time_ns(frame.len());
-        self.schedule(arrive, EventKind::ToSwitch(frame));
     }
 
     /// Transmit a frame now.
@@ -154,12 +178,11 @@ impl Simulation {
                 EventKind::ToSwitch(frame) => {
                     let emissions = self.switch.handle_frame(self.now, frame);
                     for e in emissions {
-                        if self.lossy() {
-                            self.lost += 1;
-                            continue;
+                        let depart = e.at_ns.max(self.now);
+                        for f in self.injector.apply(depart, e.dst, e.frame) {
+                            let arrive = depart + self.cfg.link_time_ns(f.len());
+                            self.schedule(arrive, EventKind::ToHost(e.dst, f));
                         }
-                        let arrive = e.at_ns.max(self.now) + self.cfg.link_time_ns(e.frame.len());
-                        self.schedule(arrive, EventKind::ToHost(e.dst, e.frame));
                     }
                 }
                 EventKind::ToHost(mac, frame) => {
@@ -169,22 +192,25 @@ impl Simulation {
                         let overhead = self.cfg.host_overhead_ns;
                         let now = self.now;
                         for r in replies {
-                            if self.lossy() {
-                                self.lost += 1;
-                                continue;
+                            for f in self.injector.apply(now, mac, r) {
+                                let arrive = now + overhead + self.cfg.link_time_ns(f.len());
+                                self.schedule(arrive, EventKind::ToSwitch(f));
                             }
-                            let arrive = now + overhead + self.cfg.link_time_ns(r.len());
-                            self.schedule(arrive, EventKind::ToSwitch(r));
                         }
                     } else {
                         self.dropped_no_host += 1;
                     }
                 }
                 EventKind::Poll => {
-                    let emissions = self.switch.poll(self.now);
-                    for e in emissions {
-                        let arrive = e.at_ns.max(self.now) + self.cfg.link_time_ns(e.frame.len());
-                        self.schedule(arrive, EventKind::ToHost(e.dst, e.frame));
+                    if !self.injector.poll_stalled(self.now) {
+                        let emissions = self.switch.poll(self.now);
+                        for e in emissions {
+                            let depart = e.at_ns.max(self.now);
+                            for f in self.injector.apply(depart, e.dst, e.frame) {
+                                let arrive = depart + self.cfg.link_time_ns(f.len());
+                                self.schedule(arrive, EventKind::ToHost(e.dst, f));
+                            }
+                        }
                     }
                     let next = self.now + self.cfg.controller_poll_ns;
                     self.schedule(next, EventKind::Poll);
@@ -195,13 +221,11 @@ impl Simulation {
                         let period = host.tick_interval();
                         let overhead = self.cfg.host_overhead_ns;
                         let now = self.now;
-                        for f in frames {
-                            if self.lossy() {
-                                self.lost += 1;
-                                continue;
+                        for r in frames {
+                            for f in self.injector.apply(now, mac, r) {
+                                let arrive = now + overhead + self.cfg.link_time_ns(f.len());
+                                self.schedule(arrive, EventKind::ToSwitch(f));
                             }
-                            let arrive = now + overhead + self.cfg.link_time_ns(f.len());
-                            self.schedule(arrive, EventKind::ToSwitch(f));
                         }
                         if let Some(p) = period {
                             self.schedule(now + p, EventKind::Tick(mac));
@@ -218,9 +242,9 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::host::EchoHost;
-    use activermt_isa::wire::EthernetFrame;
     use activermt_core::alloc::Scheme;
     use activermt_core::SwitchConfig;
+    use activermt_isa::wire::EthernetFrame;
 
     const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
     const A: [u8; 6] = [2, 0, 0, 0, 0, 1];
@@ -239,6 +263,14 @@ mod tests {
         Simulation::new(
             NetConfig::default(),
             SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+        )
+    }
+
+    fn sim_with(plan: FaultPlan) -> Simulation {
+        Simulation::with_faults(
+            NetConfig::default(),
+            SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+            plan,
         )
     }
 
@@ -288,5 +320,54 @@ mod tests {
         assert_eq!(sim.now(), 5_000);
         sim.run_until(1_000);
         assert_eq!(sim.now(), 5_000, "run_until cannot rewind");
+    }
+
+    #[test]
+    fn total_burst_loss_blackholes_its_window() {
+        // Frames sent inside a 100%-loss burst vanish; frames outside
+        // pass.
+        let mut sim = sim_with(FaultPlan::none().with_burst(0, 1_000_000, 1000));
+        sim.add_host(Box::new(EchoHost::new(B)));
+        sim.send_at(0, plain_frame(B, A, 64));
+        sim.send_at(2_000_000, plain_frame(B, A, 64));
+        sim.run_until(10_000_000);
+        assert_eq!(sim.lost(), 1);
+        assert_eq!(sim.host::<EchoHost>(B).unwrap().echoed(), 1);
+    }
+
+    #[test]
+    fn duplication_doubles_deliveries() {
+        let mut sim = sim_with(FaultPlan::none().with_duplication(1000));
+        sim.add_host(Box::new(EchoHost::new(B)));
+        sim.send_at(0, plain_frame(B, A, 64));
+        sim.run_until(10_000_000);
+        // Duplication fires on both link hops (sender->switch and
+        // switch->host), so one inbound frame lands four times; every
+        // echo quadruples the same way toward the void at A.
+        assert_eq!(sim.host::<EchoHost>(B).unwrap().echoed(), 4);
+        assert_eq!(sim.dropped_no_host(), 16);
+        assert!(sim.fault_stats().injected_duplicates >= 3);
+    }
+
+    #[test]
+    fn stalled_polls_are_counted_and_resume() {
+        // Poll cadence is 100 µs; stall the first half millisecond.
+        let mut sim = sim_with(FaultPlan::none().with_controller_stall(0, 500_000));
+        sim.run_until(1_000_000);
+        assert_eq!(sim.fault_stats().stalled_polls, 4, "polls at 100..400 µs");
+    }
+
+    #[test]
+    fn fault_stats_snapshot_is_composed() {
+        let mut sim = sim_with(FaultPlan::uniform_loss(500, 9));
+        sim.add_host(Box::new(EchoHost::new(B)));
+        for i in 0..100u64 {
+            sim.send_at(i * 1_000, plain_frame(B, A, 64));
+        }
+        sim.run_until(10_000_000);
+        let stats = sim.fault_stats();
+        assert!(stats.injected_losses > 0);
+        assert_eq!(stats.injected_losses, sim.lost());
+        assert!(stats.injected() >= stats.injected_losses);
     }
 }

@@ -42,6 +42,12 @@ pub struct SwitchNode {
     ports: HashMap<u32, [u8; 6]>,
     /// Provisioning reports, timestamped (the Figure 8a series).
     reports: Vec<(u64, ProvisioningReport)>,
+    /// Frames rejected at the switch ports as malformed (truncated or
+    /// corrupted beyond parsing), by parse layer.
+    malformed_eth: u64,
+    malformed_active: u64,
+    malformed_alloc: u64,
+    malformed_control: u64,
 }
 
 impl SwitchNode {
@@ -54,6 +60,10 @@ impl SwitchNode {
             clients: HashMap::new(),
             ports: HashMap::new(),
             reports: Vec::new(),
+            malformed_eth: 0,
+            malformed_active: 0,
+            malformed_alloc: 0,
+            malformed_control: 0,
         }
     }
 
@@ -87,6 +97,28 @@ impl SwitchNode {
         &self.reports
     }
 
+    /// Total frames this switch dropped as malformed, across every
+    /// parse layer (Ethernet, active header, allocation request body,
+    /// control op) plus program packets the runtime rejected.
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed_eth
+            + self.malformed_active
+            + self.malformed_alloc
+            + self.malformed_control
+            + self.runtime.stats().malformed_drops
+    }
+
+    /// Malformed drops broken down by parse layer:
+    /// `(ethernet, active_header, alloc_request, control_op)`.
+    pub fn malformed_by_layer(&self) -> (u64, u64, u64, u64) {
+        (
+            self.malformed_eth,
+            self.malformed_active,
+            self.malformed_alloc,
+            self.malformed_control,
+        )
+    }
+
     /// Periodic controller poll (timeouts, queued admissions).
     pub fn poll(&mut self, now_ns: u64) -> Vec<SwitchEmission> {
         let actions = self.controller.poll(&mut self.runtime, now_ns);
@@ -96,6 +128,7 @@ impl SwitchNode {
     /// Process one arriving frame.
     pub fn handle_frame(&mut self, now_ns: u64, frame: Vec<u8>) -> Vec<SwitchEmission> {
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            self.malformed_eth += 1;
             return Vec::new();
         };
         if eth.ethertype() != activermt_isa::constants::ACTIVE_ETHERTYPE {
@@ -103,6 +136,7 @@ impl SwitchNode {
         }
         let src = eth.src();
         let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
+            self.malformed_active += 1;
             return Vec::new();
         };
         let fid = hdr.fid();
@@ -114,6 +148,7 @@ impl SwitchNode {
                 let ingress = hdr.aux();
                 let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
                 let Ok(req) = AllocRequest::new_checked(body) else {
+                    self.malformed_alloc += 1;
                     return Vec::new();
                 };
                 let pattern = AccessPattern::from_request(
@@ -129,9 +164,13 @@ impl SwitchNode {
                 };
                 match pattern {
                     Ok(p) => {
-                        let actions =
-                            self.controller
-                                .handle_request(&mut self.runtime, fid, p, policy, now_ns);
+                        let actions = self.controller.handle_request(
+                            &mut self.runtime,
+                            fid,
+                            p,
+                            policy,
+                            now_ns,
+                        );
                         self.actions_to_emissions(now_ns, actions)
                     }
                     Err(_) => vec![SwitchEmission {
@@ -149,12 +188,23 @@ impl SwitchNode {
                     self.actions_to_emissions(now_ns, actions)
                 }
                 Ok(ControlOp::Deallocate) => {
-                    match self.controller.handle_deallocate(&mut self.runtime, fid, now_ns) {
+                    match self
+                        .controller
+                        .handle_deallocate(&mut self.runtime, fid, now_ns)
+                    {
                         Ok(actions) => self.actions_to_emissions(now_ns, actions),
                         Err(_) => Vec::new(), // busy: client retries
                     }
                 }
-                _ => Vec::new(),
+                Ok(ControlOp::ReactivateAck) => {
+                    self.controller.handle_reactivate_ack(fid);
+                    Vec::new()
+                }
+                Ok(_) => Vec::new(),
+                Err(_) => {
+                    self.malformed_control += 1;
+                    Vec::new()
+                }
             },
             _ => self.data_plane(now_ns, frame),
         }
@@ -227,27 +277,15 @@ impl SwitchNode {
                 }
                 ControllerAction::Deactivate { fid, at_ns } => {
                     if let Some(&dst) = self.clients.get(&fid) {
-                        let frame = build_control(
-                            dst,
-                            self.mac,
-                            fid,
-                            0,
-                            ControlOp::DeactivateNotice,
-                            true,
-                        );
+                        let frame =
+                            build_control(dst, self.mac, fid, 0, ControlOp::DeactivateNotice, true);
                         out.push(SwitchEmission { at_ns, dst, frame });
                     }
                 }
                 ControllerAction::Reactivate { fid, at_ns } => {
                     if let Some(&dst) = self.clients.get(&fid) {
-                        let frame = build_control(
-                            dst,
-                            self.mac,
-                            fid,
-                            0,
-                            ControlOp::ReactivateNotice,
-                            true,
-                        );
+                        let frame =
+                            build_control(dst, self.mac, fid, 0, ControlOp::ReactivateNotice, true);
                         out.push(SwitchEmission { at_ns, dst, frame });
                     }
                 }
@@ -261,7 +299,10 @@ impl SwitchNode {
 }
 
 fn frame_dst(frame: &[u8]) -> [u8; 6] {
-    EthernetFrame::new_unchecked(frame).dst()
+    match EthernetFrame::new_checked(frame) {
+        Ok(eth) => eth.dst(),
+        Err(_) => [0; 6], // undeliverable: the sim drops unknown MACs
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use activermt_core::alloc::Scheme;
 use activermt_core::SwitchConfig;
 use activermt_isa::wire::EthernetFrame;
 use activermt_net::host::EchoHost;
-use activermt_net::{NetConfig, Simulation, SwitchNode};
+use activermt_net::{FaultPlan, NetConfig, Simulation, SwitchNode};
 use proptest::prelude::*;
 
 const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
@@ -32,12 +32,10 @@ proptest! {
         sends in prop::collection::vec((0u64..1_000_000, 20usize..200), 1..40),
         loss in 0u32..200,
     ) {
-        let mut cfg = NetConfig::default();
-        cfg.loss_per_mille = loss;
-        cfg.loss_seed = 5;
-        let mut sim = Simulation::new(
-            cfg,
+        let mut sim = Simulation::with_faults(
+            NetConfig::default(),
             SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+            FaultPlan::uniform_loss(loss, 5),
         );
         sim.add_host(Box::new(EchoHost::new(B)));
         let n = sends.len() as u64;
@@ -68,12 +66,10 @@ proptest! {
         loss in 0u32..100,
     ) {
         let run = || {
-            let mut cfg = NetConfig::default();
-            cfg.loss_per_mille = loss;
-            cfg.loss_seed = 1;
-            let mut sim = Simulation::new(
-                cfg,
+            let mut sim = Simulation::with_faults(
+                NetConfig::default(),
                 SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+                FaultPlan::uniform_loss(loss, 1),
             );
             sim.add_host(Box::new(EchoHost::new(B)));
             for (at, len) in &sends {

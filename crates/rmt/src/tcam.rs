@@ -27,7 +27,11 @@ pub fn range_to_prefixes(lo: u32, hi: u32) -> Vec<(u32, u32)> {
     while cur < end {
         // Largest power-of-two block starting at `cur`:
         // limited by alignment of `cur` and by the remaining span.
-        let align = if cur == 0 { u64::MAX } else { cur & cur.wrapping_neg() };
+        let align = if cur == 0 {
+            u64::MAX
+        } else {
+            cur & cur.wrapping_neg()
+        };
         let mut size = align.min(1u64 << 63);
         while cur + size > end {
             size >>= 1;

@@ -52,7 +52,10 @@ fn main() {
     println!("running 5 staggered cache tenants for 5 simulated seconds...");
     sim.run_until(5_000_000_000);
 
-    println!("\n{:<8} {:>10} {:>8} {:>8} {:>9} {:>10}", "client", "capacity", "hits", "misses", "hit rate", "phase");
+    println!(
+        "\n{:<8} {:>10} {:>8} {:>8} {:>9} {:>10}",
+        "client", "capacity", "hits", "misses", "hit rate", "phase"
+    );
     for i in 1..=5u8 {
         let c = sim.host::<CacheClientHost>(client_mac(i)).unwrap();
         println!(

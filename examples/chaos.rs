@@ -1,0 +1,115 @@
+//! Fault injection demo: the cache scenario from `cache_service`, but
+//! on a hostile network — burst loss over every admission handshake, a
+//! total-loss window over one client's first exchanges, continuous
+//! low-rate corruption and truncation, and a stalled controller in the
+//! middle of a reallocation. Shows the recovery machinery (client
+//! retransmission with backoff, controller re-signalling, counted
+//! malformed drops) converging anyway.
+//!
+//! Run with: cargo run --release --example chaos
+
+use activermt::core::alloc::{MutantPolicy, Scheme};
+use activermt::core::SwitchConfig;
+use activermt::net::apphosts::{CacheClientConfig, CacheClientHost};
+use activermt::net::host::KvServerHost;
+use activermt::net::{FaultPlan, NetConfig, Simulation, SwitchNode};
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+
+fn client_mac(i: u8) -> [u8; 6] {
+    [2, 0, 0, 0, 1, i]
+}
+
+fn client_cfg(i: u8, start_ns: u64) -> CacheClientConfig {
+    CacheClientConfig {
+        mac: client_mac(i),
+        switch_mac: SWITCH,
+        server_mac: SERVER,
+        fid: 100 + u16::from(i),
+        start_ns,
+        monitor_ns: None,
+        populate_top: 2_000,
+        req_interval_ns: 20_000,
+        keyspace: 10_000,
+        zipf_alpha: 1.0,
+        seed: 42 + u64::from(i),
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    }
+}
+
+fn main() {
+    let plan = FaultPlan::none()
+        .with_seed(29)
+        .with_burst(1_395_000_000, 1_410_000_000, 300)
+        .with_burst(1_598_000_000, 1_605_000_000, 1000)
+        .with_burst(1_790_000_000, 1_800_000_000, 300)
+        .with_corruption(1)
+        .with_truncation(1)
+        .with_controller_stall(1_400_200_000, 1_400_700_000);
+    println!("fault plan: 30% loss bursts over each arrival, one total-loss");
+    println!("window, 1‰ corruption + truncation, 500 µs controller stall\n");
+
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulation::with_faults(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+        plan,
+    );
+    sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
+    sim.add_host(Box::new(CacheClientHost::new(client_cfg(1, 0))));
+    sim.run_until(1_000_000_000);
+    for i in 2..=4u8 {
+        sim.add_host(Box::new(CacheClientHost::new(client_cfg(
+            i,
+            1_000_000_000 + u64::from(i) * 200_000_000,
+        ))));
+    }
+    sim.run_until(5_000_000_000);
+
+    println!("client     capacity     hits   misses  hit rate      phase       shim");
+    for i in 1..=4u8 {
+        let c = sim.host::<CacheClientHost>(client_mac(i)).unwrap();
+        println!(
+            "{i}          {:>8} {:>8} {:>8}     {:>5.1}% {:>10?} {:>10?}",
+            c.cache().capacity(),
+            c.hits,
+            c.misses,
+            100.0 * c.hit_rate(),
+            c.phase(),
+            c.cache().shim().state(),
+        );
+    }
+
+    let ctl = sim.switch().controller();
+    println!(
+        "\ncontroller: busy={} queued={} duplicate requests absorbed={} \
+         signals re-sent={} reactivations unacked={} abandoned={}",
+        ctl.busy(),
+        ctl.queue_len(),
+        ctl.duplicate_requests(),
+        ctl.resent_signals(),
+        ctl.unacked_reactivations(),
+        ctl.abandoned_reactivations(),
+    );
+
+    let fs = sim.fault_stats();
+    println!(
+        "faults injected: {} lost, {} corrupted, {} truncated, {} stalled polls",
+        fs.injected_losses, fs.injected_corruptions, fs.injected_truncations, fs.stalled_polls
+    );
+    println!(
+        "recovery: {} malformed frames counted and dropped ({} switch / {} host), \
+         {} client retransmissions",
+        fs.dropped_malformed(),
+        fs.switch_malformed,
+        fs.host_malformed,
+        fs.retransmits
+    );
+}

@@ -41,7 +41,7 @@ fn main() {
 
     // Allocate and configure (size mask, counter, page table, VIP pool).
     let mut now = 0u64;
-    let mut inbox = vec![lb.request_allocation()];
+    let mut inbox = vec![lb.request_allocation(0)];
     while let Some(frame) = inbox.pop() {
         for e in switch.handle_frame(now, frame) {
             now = now.max(e.at_ns);

@@ -41,7 +41,14 @@ fn main() {
     //    touches (normally the controller does this on an allocation
     //    request — see the cache_service example for the full path).
     for stage in [1, 4, 8] {
-        switch.install_region(stage, FID, RegionEntry { start: 0, end: 1024 });
+        switch.install_region(
+            stage,
+            FID,
+            RegionEntry {
+                start: 0,
+                end: 1024,
+            },
+        );
     }
 
     // 4. Populate bucket 42 via the control plane: key halves and value.

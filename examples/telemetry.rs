@@ -36,7 +36,7 @@ fn main() {
 
     // Allocate through the data plane.
     let mut now = 0u64;
-    let mut inbox: Vec<Vec<u8>> = vec![app.request_allocation()];
+    let mut inbox: Vec<Vec<u8>> = vec![app.request_allocation(0)];
     while let Some(frame) = inbox.pop() {
         for e in switch.handle_frame(now, frame) {
             now = now.max(e.at_ns);
@@ -67,7 +67,10 @@ fn main() {
 
     // Extract the directory via memsync and feed the replies back.
     let mut frames = app.extract_frames();
-    println!("extracting the directory ({} memsync packets)...", frames.len());
+    println!(
+        "extracting the directory ({} memsync packets)...",
+        frames.len()
+    );
     while let Some(frame) = frames.pop() {
         for e in switch.handle_frame(now, frame) {
             if let Some(HhEvent::ExtractProgress { remaining }) = app.handle_frame(&e.frame) {
@@ -83,7 +86,10 @@ fn main() {
     let mut true_top: Vec<(u64, u32)> = truth.into_iter().collect();
     true_top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let found = app.frequent_items();
-    println!("\nmonitor recovered {} frequent items; true top 10 vs monitor:", found.len());
+    println!(
+        "\nmonitor recovered {} frequent items; true top 10 vs monitor:",
+        found.len()
+    );
     let found_keys: Vec<u64> = found.iter().map(|i| i.key).collect();
     let mut recovered = 0;
     for (rank, (key, count)) in true_top.iter().take(10).enumerate() {

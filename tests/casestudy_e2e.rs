@@ -51,7 +51,11 @@ fn monitor_then_cache_case_study() {
         assert!(c.misses > 10_000, "requests must flow during monitoring");
         // The monitor's sketch rows are live on the switch.
         let stats = sim.switch().runtime().pipeline().total_stats();
-        assert!(stats.memory_ops > 10_000, "CMS updates: {}", stats.memory_ops);
+        assert!(
+            stats.memory_ops > 10_000,
+            "CMS updates: {}",
+            stats.memory_ops
+        );
     }
 
     // After extraction + context switch + population, hits flow.

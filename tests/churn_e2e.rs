@@ -7,10 +7,10 @@
 use activermt::core::alloc::Scheme;
 use activermt::core::SwitchConfig;
 use activermt::net::SwitchNode;
+use activermt_bench::{pattern_of, AppKind};
 use activermt_isa::wire::{
     build_alloc_request, build_control, ActiveHeader, ControlOp, PacketType,
 };
-use activermt_bench::{pattern_of, AppKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,7 +55,14 @@ fn packetized_churn_stays_consistent() {
         if !resident.is_empty() && rng.gen_bool(0.33) {
             let idx = rng.gen_range(0..resident.len());
             let fid = resident.swap_remove(idx);
-            let ctl = build_control(SWITCH, client_mac(fid), fid, 2, ControlOp::Deallocate, false);
+            let ctl = build_control(
+                SWITCH,
+                client_mac(fid),
+                fid,
+                2,
+                ControlOp::Deallocate,
+                false,
+            );
             sw.handle_frame(now, ctl);
             assert!(!sw.controller().allocator().contains(fid));
         }
@@ -92,11 +99,20 @@ fn packetized_churn_stays_consistent() {
         for (s, pool) in alloc.pools().iter().enumerate() {
             pool.check_invariants()
                 .unwrap_or_else(|e| panic!("step {step}, stage {s}: {e}"));
-            assert!(alloc.tcam_used(s) <= 2048, "TCAM oversubscribed at stage {s}");
+            assert!(
+                alloc.tcam_used(s) <= 2048,
+                "TCAM oversubscribed at stage {s}"
+            );
         }
-        assert!(!sw.controller().busy(), "no reallocation may leak across steps");
+        assert!(
+            !sw.controller().busy(),
+            "no reallocation may leak across steps"
+        );
     }
-    assert!(admitted_total > 150, "most arrivals admitted: {admitted_total}");
+    assert!(
+        admitted_total > 150,
+        "most arrivals admitted: {admitted_total}"
+    );
     // With departures recycling memory, failures stay bounded.
     assert!(
         failed_total < admitted_total,
@@ -115,12 +131,14 @@ fn duplicate_requests_and_unknown_deallocations_are_safe() {
     sw.handle_frame(0, request_frame(5, AppKind::Cache));
     assert!(sw.controller().allocator().contains(5));
     let blocks = sw.controller().allocator().app_blocks(5);
-    // A duplicate request for the same FID gets a failure response and
-    // leaves the existing allocation untouched.
+    // A duplicate request for the same FID is answered idempotently
+    // with the existing grant and leaves the allocation untouched.
     let out = sw.handle_frame(1_000, request_frame(5, AppKind::Cache));
     let hdr = ActiveHeader::new_checked(&out[0].frame[14..]).unwrap();
-    assert!(hdr.flags().failed());
+    assert!(!hdr.flags().failed(), "duplicate request must succeed");
+    assert_eq!(hdr.flags().packet_type(), PacketType::AllocResponse);
     assert_eq!(sw.controller().allocator().app_blocks(5), blocks);
+    assert_eq!(sw.controller().duplicate_requests(), 1);
     // Deallocating a FID that was never admitted is a no-op.
     let ctl = build_control(SWITCH, client_mac(9), 9, 1, ControlOp::Deallocate, false);
     let out = sw.handle_frame(2_000, ctl);

@@ -95,7 +95,7 @@ impl Host for LbClient {
         let mut out = Vec::new();
         if !self.started {
             self.started = true;
-            out.push(self.lb.request_allocation());
+            out.push(self.lb.request_allocation(0));
             return out;
         }
         if !self.lb.operational() {
@@ -120,7 +120,10 @@ impl Host for LbClient {
             .collect();
         for (f, cookie) in ready {
             *self.data_sent.entry(f).or_insert(0) += 1;
-            if let Some(frame) = self.lb.route_frame(VIP, cookie, &Self::flow_payload(b'D', f)) {
+            if let Some(frame) = self
+                .lb
+                .route_frame(VIP, cookie, &Self::flow_payload(b'D', f))
+            {
                 out.push(frame);
             }
         }

@@ -3,9 +3,9 @@
 //! the runtime must execute the resulting multi-pass programs
 //! correctly.
 
+use activermt::client::asm::assemble;
 use activermt::client::compiler::{CompiledService, Compiler, ServiceSpec};
 use activermt::client::shim::{Shim, ShimEvent, ShimState};
-use activermt::client::asm::assemble;
 use activermt::core::alloc::{MutantPolicy, Scheme};
 use activermt::core::SwitchConfig;
 use activermt::net::SwitchNode;
@@ -46,7 +46,7 @@ fn lc_grant_with_wrapped_stages_is_realized() {
     let mut sw = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
 
     let mut shim = shim(MutantPolicy::LeastConstrained);
-    let req = shim.request_allocation();
+    let req = shim.request_allocation(0);
     let mut granted = None;
     for e in sw.handle_frame(0, req) {
         if let Some(ShimEvent::Allocated { regions }) = shim.handle_frame(&e.frame) {
@@ -82,8 +82,8 @@ fn lc_grant_with_wrapped_stages_is_realized() {
 fn mc_and_lc_request_bits_travel_on_the_wire() {
     let mut mc = shim(MutantPolicy::MostConstrained);
     let mut lc = shim(MutantPolicy::LeastConstrained);
-    let mc_req = mc.request_allocation();
-    let lc_req = lc.request_allocation();
+    let mc_req = mc.request_allocation(0);
+    let lc_req = lc.request_allocation(0);
     let h = ActiveHeader::new_checked(&mc_req[14..]).unwrap();
     assert!(h.flags().pinned());
     let h = ActiveHeader::new_checked(&lc_req[14..]).unwrap();

@@ -6,7 +6,7 @@ use activermt::core::alloc::{MutantPolicy, Scheme};
 use activermt::core::SwitchConfig;
 use activermt::net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
 use activermt::net::host::KvServerHost;
-use activermt::net::{NetConfig, Simulation, SwitchNode};
+use activermt::net::{FaultPlan, NetConfig, Simulation, SwitchNode};
 
 const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
 const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
@@ -18,12 +18,11 @@ fn cache_converges_under_two_percent_loss() {
         table_entry_update_ns: 10_000,
         ..SwitchConfig::default()
     };
-    let net = NetConfig {
-        loss_per_mille: 20, // 2% loss on every hop
-        loss_seed: 99,
-        ..NetConfig::default()
-    };
-    let mut sim = Simulation::new(net, SwitchNode::new(SWITCH, cfg, Scheme::WorstFit));
+    let mut sim = Simulation::with_faults(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+        FaultPlan::uniform_loss(20, 99), // 2% loss on every hop
+    );
     sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
     sim.add_host(Box::new(CacheClientHost::new(CacheClientConfig {
         mac: CLIENT,
@@ -73,12 +72,11 @@ fn allocation_handshake_survives_request_loss() {
         table_entry_update_ns: 10_000,
         ..SwitchConfig::default()
     };
-    let net = NetConfig {
-        loss_per_mille: 100, // 10%
-        loss_seed: 7,
-        ..NetConfig::default()
-    };
-    let mut sim = Simulation::new(net, SwitchNode::new(SWITCH, cfg, Scheme::WorstFit));
+    let mut sim = Simulation::with_faults(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
+        FaultPlan::uniform_loss(100, 7), // 10%
+    );
     sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
     for i in 0..6u8 {
         let mac = [2, 0, 0, 0, 1, 10 + i];
@@ -141,5 +139,8 @@ fn allocation_handshake_survives_request_loss() {
             );
         }
     }
-    assert!(serving >= 3, "most clients should still converge: {serving}");
+    assert!(
+        serving >= 3,
+        "most clients should still converge: {serving}"
+    );
 }

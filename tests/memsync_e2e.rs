@@ -20,8 +20,14 @@ fn switch_with_grant() -> SwitchNode {
     // Grant FID 7 a region in a few stages directly (the allocation
     // path is covered by the cache tests).
     for s in [2usize, 6, 11, 15] {
-        sw.runtime_mut()
-            .install_region(s, FID, RegionEntry { start: 0, end: 1024 });
+        sw.runtime_mut().install_region(
+            s,
+            FID,
+            RegionEntry {
+                start: 0,
+                end: 1024,
+            },
+        );
     }
     sw
 }

@@ -16,7 +16,7 @@ const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
 const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
 
 fn allocate(sw: &mut SwitchNode, app: &mut HeavyHitterApp) {
-    let req = app.request_allocation();
+    let req = app.request_allocation(0);
     for e in sw.handle_frame(0, req) {
         app.handle_frame(&e.frame);
     }

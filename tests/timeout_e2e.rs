@@ -81,7 +81,6 @@ fn unresponsive_victim_cannot_block_admissions() {
     sim.run_until(200_000_000);
     // The reallocation is pending on the mute victim.
     assert!(sim.switch().controller().busy());
-    assert!(!sim.switch().controller().allocator().contains(4) || true);
 
     // A fifth request arrives while the controller is busy: it queues.
     sim.add_host(Box::new(MuteHost {
@@ -90,7 +89,10 @@ fn unresponsive_victim_cannot_block_admissions() {
     }));
     sim.send_at(250_000_000, cache_request(5));
     sim.run_until(400_000_000);
-    assert!(sim.switch().controller().busy(), "still awaiting the victim");
+    assert!(
+        sim.switch().controller().busy(),
+        "still awaiting the victim"
+    );
     assert_eq!(sim.switch().controller().queue_len(), 1);
 
     // Past the timeout the controller forces completion and drains the
@@ -106,7 +108,9 @@ fn unresponsive_victim_cannot_block_admissions() {
         let h = sim.host::<MuteHost>(client_mac(fid)).unwrap();
         let got_response = h.received.iter().any(|(_, f)| {
             ActiveHeader::new_checked(&f[14..])
-                .map(|h| h.flags().packet_type() == PacketType::AllocResponse && !h.flags().failed())
+                .map(|h| {
+                    h.flags().packet_type() == PacketType::AllocResponse && !h.flags().failed()
+                })
                 .unwrap_or(false)
         });
         assert!(got_response, "fid {fid} never heard back");

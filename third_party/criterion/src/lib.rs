@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the benchmark-harness subset its two bench
+//! targets use. Measurement is intentionally simple — a fixed number of
+//! timed iterations with a median report — because these benches exist
+//! to exercise hot paths and print rough numbers, not to do rigorous
+//! statistics. The API mirrors criterion 0.5 closely enough that the
+//! bench sources compile unchanged against the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched setup's output is grouped (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    last_report: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_report: None,
+        }
+    }
+
+    /// Time `routine` over repeated calls and record the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_report = times.get(times.len() / 2).copied();
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_report = times.get(times.len() / 2).copied();
+    }
+
+    /// Like `iter_batched` but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_report = times.get(times.len() / 2).copied();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, b.last_report);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_report);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.last_report);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, median: Option<Duration>) {
+    match median {
+        Some(d) => println!("bench {id:<60} median {d:?}"),
+        None => println!("bench {id:<60} (no samples)"),
+    }
+}
+
+/// Declare a group of benchmark functions with an optional shared
+/// config, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        let mut group = c.benchmark_group("square");
+        group.bench_with_input(BenchmarkId::new("n", 12), &12u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+        group.bench_function("fixed", |b| {
+            b.iter_batched(|| 7u64, |n| n * n, BatchSize::LargeInput);
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| 3u64 + 4));
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_square
+    );
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

@@ -1,0 +1,559 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the API subset its property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`/`prop_filter`, integer
+//! ranges and tuples as strategies, `any::<T>()`, and the
+//! `prop::{collection, sample, option, array}` helpers.
+//!
+//! Semantics: each test case samples fresh values from a deterministic
+//! per-case seed and runs the body. There is no shrinking — on failure
+//! the panic message reports the case number so the run can be
+//! reproduced (seeding is a pure function of the case index).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How many times a `prop_filter` chain may reject before the test
+/// gives up (mirrors proptest's global rejection cap).
+const MAX_REJECTS: u32 = 65_536;
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is consumed; the struct is
+    /// non-exhaustive upstream so we keep the same construction idioms
+    /// (`with_cases`, `default`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// A source of sampled values.
+///
+/// Unlike upstream there is no value tree / shrinking machinery: a
+/// strategy is just a deterministic sampler over a seeded generator.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Draw one value, honouring `prop_filter` rejection accounting.
+    /// `budget` counts down across the whole chain for this case.
+    fn sample_filtered(&self, rng: &mut SmallRng, _budget: &mut u32) -> Option<Self::Value> {
+        Some(self.sample(rng))
+    }
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Blanket impl so `&S` works where a strategy is expected.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+    fn sample_filtered(&self, rng: &mut SmallRng, budget: &mut u32) -> Option<Self::Value> {
+        (**self).sample_filtered(rng, budget)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+    fn sample_filtered(&self, rng: &mut SmallRng, budget: &mut u32) -> Option<O> {
+        self.inner.sample_filtered(rng, budget).map(&self.f)
+    }
+}
+
+/// `Strategy::prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> S::Value {
+        let mut budget = MAX_REJECTS;
+        self.sample_filtered(rng, &mut budget)
+            .unwrap_or_else(|| panic!("too many rejections in prop_filter({})", self.whence))
+    }
+
+    fn sample_filtered(&self, rng: &mut SmallRng, budget: &mut u32) -> Option<S::Value> {
+        loop {
+            let v = self.inner.sample_filtered(rng, budget)?;
+            if (self.f)(&v) {
+                return Some(v);
+            }
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+        }
+    }
+}
+
+/// `Strategy::prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+    fn sample_filtered(&self, rng: &mut SmallRng, budget: &mut u32) -> Option<S2::Value> {
+        let s2 = (self.f)(self.inner.sample_filtered(rng, budget)?);
+        s2.sample_filtered(rng, budget)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// Integer ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+            #[allow(non_snake_case)]
+            fn sample_filtered(&self, rng: &mut SmallRng, budget: &mut u32) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample_filtered(rng, budget)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// The `prop::` helper namespace.
+pub mod prop {
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Accepted size specifications for [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_incl: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi_incl: n }
+            }
+        }
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_incl: r.end - 1,
+                }
+            }
+        }
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi_incl: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for a `Vec` of `element` with length drawn from
+        /// `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.lo..=self.size.hi_incl);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+            fn sample_filtered(
+                &self,
+                rng: &mut SmallRng,
+                budget: &mut u32,
+            ) -> Option<Vec<S::Value>> {
+                let len = rng.gen_range(self.size.lo..=self.size.hi_incl);
+                (0..len)
+                    .map(|_| self.element.sample_filtered(rng, budget))
+                    .collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select from empty list");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut SmallRng) -> T {
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for `Option<T>` (weighted toward `Some`, as
+        /// upstream).
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+                if rng.gen_bool(0.75) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+            fn sample_filtered(
+                &self,
+                rng: &mut SmallRng,
+                budget: &mut u32,
+            ) -> Option<Option<S::Value>> {
+                if rng.gen_bool(0.75) {
+                    self.inner.sample_filtered(rng, budget).map(Some)
+                } else {
+                    Some(None)
+                }
+            }
+        }
+    }
+
+    pub mod array {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+
+        /// Strategy for `[T; N]` sampling each element independently.
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+            UniformArray { element }
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn sample(&self, rng: &mut SmallRng) -> [S::Value; N] {
+                core::array::from_fn(|_| self.element.sample(rng))
+            }
+        }
+
+        macro_rules! uniform_fns {
+            ($($name:ident: $n:literal),*) => {$(
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )*};
+        }
+        uniform_fns!(
+            uniform1: 1, uniform2: 2, uniform3: 3, uniform4: 4,
+            uniform5: 5, uniform6: 6, uniform7: 7, uniform8: 8
+        );
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, prop, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// Per-case generator: a pure function of (test name, case index)
+    /// so failures reproduce without any persisted state.
+    pub fn case_rng(name: &str, case: u32) -> SmallRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(...)]` inner
+/// attribute followed by `#[test]` functions whose parameters are
+/// `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::__rt::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let run = || -> () { $body };
+                run();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_filter("odd", |v| v % 2 == 0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u8..10, y in 0usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        /// Doc comments on cases must parse.
+        #[test]
+        fn composite_strategies_work(
+            v in prop::collection::vec((any::<u8>(), 0u16..4), 1..5),
+            pick in prop::sample::select(vec![1u8, 2, 3]),
+            opt in prop::option::of(0u32..7),
+            arr in prop::array::uniform4(any::<u32>()),
+            even in arb_even(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|(_, b)| *b < 4));
+            prop_assert!([1u8, 2, 3].contains(&pick));
+            if let Some(o) = opt { prop_assert!(o < 7); }
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert_eq!(even % 2, 0);
+        }
+
+        #[test]
+        fn mapped_values_transform(s in (1u8..5).prop_map(|v| v * 10)) {
+            prop_assert!((10..50).contains(&s));
+            prop_assert_eq!(s % 10, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..10)
+            .map(|c| {
+                let mut rng = crate::__rt::case_rng("x", c);
+                crate::Strategy::sample(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| {
+                let mut rng = crate::__rt::case_rng("x", c);
+                crate::Strategy::sample(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}
