@@ -1,0 +1,245 @@
+//! Hot-path benchmark runner: optimized vs reference interpretation and
+//! admission, an end-to-end packets/sec scenario, and an
+//! allocations-per-frame counter. Emits `BENCH_hotpath.json`.
+//!
+//! `--quick` (or `HOTPATH_QUICK=1`) shrinks iteration counts for CI
+//! smoke runs; the JSON schema is identical in both modes.
+
+use activermt_bench::hotpath::{
+    alloc_count, cache_query, loaded_allocator, measure, measure_admission, nop_program,
+    CountingAlloc, Dist, HotLoop,
+};
+use activermt_bench::{pattern_of, AppKind};
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+use activermt_net::apphosts::{CacheClientConfig, CacheClientHost};
+use activermt_net::host::KvServerHost;
+use activermt_net::{NetConfig, Simulation, SwitchNode};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+
+struct Mode {
+    label: &'static str,
+    interp_warmup: usize,
+    interp_iters: usize,
+    alloc_warmup: usize,
+    alloc_iters: usize,
+    e2e_sim_ns: u64,
+    alloc_probe_frames: u64,
+}
+
+const QUICK: Mode = Mode {
+    label: "quick",
+    interp_warmup: 200,
+    interp_iters: 2_000,
+    alloc_warmup: 2,
+    alloc_iters: 20,
+    e2e_sim_ns: 100_000_000,
+    alloc_probe_frames: 1_000,
+};
+
+const FULL: Mode = Mode {
+    label: "full",
+    interp_warmup: 2_000,
+    interp_iters: 50_000,
+    alloc_warmup: 5,
+    alloc_iters: 200,
+    e2e_sim_ns: 1_000_000_000,
+    alloc_probe_frames: 10_000,
+};
+
+fn dist_json(d: &Dist) -> String {
+    format!(
+        "{{\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p99_ns\":{:.1},\"throughput_per_sec\":{:.1}}}",
+        d.iters,
+        d.mean_ns,
+        d.p50_ns,
+        d.p99_ns,
+        d.throughput()
+    )
+}
+
+// The speedup is median-based: means are vulnerable to scheduler
+// hiccups landing in one arm's window, which would make CI smoke
+// numbers flap.
+fn pair_json(workload: &str, opt: &Dist, reference: &Dist) -> String {
+    format!(
+        "{{\"workload\":\"{}\",\"opt\":{},\"ref\":{},\"speedup\":{:.3}}}",
+        workload,
+        dist_json(opt),
+        dist_json(reference),
+        reference.p50_ns / opt.p50_ns
+    )
+}
+
+fn interp_workloads(mode: &Mode) -> Vec<String> {
+    let mut rows = Vec::new();
+    let programs = [
+        ("cache_query_miss", cache_query(), &b"GET k"[..]),
+        ("nops_10", nop_program(10), &b""[..]),
+        ("nops_20", nop_program(20), &b""[..]),
+        ("nops_30", nop_program(30), &b""[..]),
+    ];
+    for (name, program, payload) in &programs {
+        let mut hl = HotLoop::new(program, payload);
+        let opt = measure(mode.interp_warmup, mode.interp_iters, || hl.step());
+        let mut hl = HotLoop::new(program, payload);
+        let reference = measure(mode.interp_warmup, mode.interp_iters, || {
+            hl.step_reference()
+        });
+        eprintln!(
+            "interp/{name}: opt {:.0} ns, ref {:.0} ns, speedup {:.2}x",
+            opt.p50_ns,
+            reference.p50_ns,
+            reference.p50_ns / opt.p50_ns
+        );
+        rows.push(pair_json(name, &opt, &reference));
+    }
+    rows
+}
+
+fn alloc_workloads(mode: &Mode) -> Vec<String> {
+    let cfg = SwitchConfig::default();
+    let mut rows = Vec::new();
+    for (policy, plabel) in [
+        (MutantPolicy::MostConstrained, "mc"),
+        (MutantPolicy::LeastConstrained, "lc"),
+    ] {
+        for kind in AppKind::ALL {
+            let pattern = pattern_of(kind, 1024);
+            let name = format!("{}_{}", plabel, kind.label());
+            let mut alloc = loaded_allocator(&cfg);
+            let opt = measure_admission(
+                &mut alloc,
+                &pattern,
+                policy,
+                false,
+                mode.alloc_warmup,
+                mode.alloc_iters,
+            );
+            let mut alloc = loaded_allocator(&cfg);
+            let reference = measure_admission(
+                &mut alloc,
+                &pattern,
+                policy,
+                true,
+                mode.alloc_warmup,
+                mode.alloc_iters,
+            );
+            eprintln!(
+                "alloc/{name}: opt {:.0} ns, ref {:.0} ns, speedup {:.2}x",
+                opt.p50_ns,
+                reference.p50_ns,
+                reference.p50_ns / opt.p50_ns
+            );
+            rows.push(pair_json(&name, &opt, &reference));
+        }
+    }
+    rows
+}
+
+/// End-to-end: one cache client querying a KV server through the
+/// switch; wall-clock packets/sec over the whole simulated window
+/// (allocation handshake included).
+fn e2e(mode: &Mode) -> String {
+    let mut sim = Simulation::new(
+        NetConfig::default(),
+        SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
+    );
+    sim.add_host(Box::new(KvServerHost::new(SERVER, 50_000)));
+    sim.add_host(Box::new(CacheClientHost::new(CacheClientConfig {
+        mac: CLIENT,
+        switch_mac: SWITCH,
+        server_mac: SERVER,
+        fid: 50,
+        start_ns: 0,
+        monitor_ns: None,
+        populate_top: 0,
+        req_interval_ns: 10_000,
+        keyspace: 10_000,
+        zipf_alpha: 1.2,
+        seed: 7,
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    })));
+    let t = Instant::now();
+    sim.run_until(mode.e2e_sim_ns);
+    let wall_s = t.elapsed().as_secs_f64();
+    let delivered = sim.delivered();
+    let pps = delivered as f64 / wall_s;
+    eprintln!(
+        "e2e: {delivered} frames delivered in {:.3}s wall -> {:.0} packets/s",
+        wall_s, pps
+    );
+    format!(
+        "{{\"sim_ns\":{},\"wall_s\":{:.4},\"delivered\":{},\"packets_per_sec\":{:.1}}}",
+        mode.e2e_sim_ns, wall_s, delivered, pps
+    )
+}
+
+/// Heap allocations per steady-state frame on each path.
+fn allocs_per_frame(mode: &Mode) -> (f64, f64, String) {
+    let mut hl = HotLoop::new(&cache_query(), b"GET k");
+    for _ in 0..16 {
+        hl.step(); // warm the decode cache and buffer capacities
+    }
+    let before = alloc_count();
+    for _ in 0..mode.alloc_probe_frames {
+        hl.step();
+    }
+    let opt = (alloc_count() - before) as f64 / mode.alloc_probe_frames as f64;
+    for _ in 0..16 {
+        hl.step_reference();
+    }
+    let before = alloc_count();
+    for _ in 0..mode.alloc_probe_frames {
+        hl.step_reference();
+    }
+    let reference = (alloc_count() - before) as f64 / mode.alloc_probe_frames as f64;
+    let ds = hl.rt.decode_stats();
+    eprintln!(
+        "allocs/frame: opt {:.3}, ref {:.3}; decode cache {} hits / {} misses",
+        opt, reference, ds.hits, ds.misses
+    );
+    let cache = format!(
+        "{{\"hits\":{},\"misses\":{},\"invalidations\":{},\"evictions\":{}}}",
+        ds.hits, ds.misses, ds.invalidations, ds.evictions
+    );
+    (opt, reference, cache)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("HOTPATH_QUICK").is_ok_and(|v| v == "1");
+    let mode = if quick { QUICK } else { FULL };
+    eprintln!("hotpath: {} mode", mode.label);
+
+    let interp = interp_workloads(&mode);
+    let alloc = alloc_workloads(&mode);
+    let e2e = e2e(&mode);
+    let (apf_opt, apf_ref, decode_cache) = allocs_per_frame(&mode);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"mode\": \"{}\",\n  \"interp\": [\n    {}\n  ],\n  \"alloc\": [\n    {}\n  ],\n  \"e2e\": {},\n  \"allocs_per_frame\": {{\"opt\":{:.3},\"ref\":{:.3}}},\n  \"decode_cache\": {}\n}}\n",
+        mode.label,
+        interp.join(",\n    "),
+        alloc.join(",\n    "),
+        e2e,
+        apf_opt,
+        apf_ref,
+        decode_cache
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    print!("{json}");
+}

@@ -13,6 +13,7 @@
 //! records the comparison.
 
 pub mod csvout;
+pub mod hotpath;
 pub mod patterns;
 pub mod scenarios;
 

@@ -1,0 +1,54 @@
+//! Regression test for the zero-allocation steady-state frame path:
+//! once the decode cache is warm and buffer capacities settled,
+//! processing an active frame must not touch the heap at all.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator sees no concurrent test threads.
+
+use activermt_bench::hotpath::{alloc_count, cache_query, nop_program, CountingAlloc, HotLoop};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_frames_do_not_allocate() {
+    for (name, program, payload) in [
+        ("cache_query", cache_query(), &b"GET k"[..]),
+        ("nops_30", nop_program(30), &b""[..]),
+    ] {
+        let mut hl = HotLoop::new(&program, payload);
+        // Warm-up: populate the decode cache, grow the output vector
+        // and the frame buffer to their steady-state capacities.
+        for _ in 0..16 {
+            hl.step();
+        }
+        let before = alloc_count();
+        for _ in 0..256 {
+            hl.step();
+        }
+        let allocs = alloc_count() - before;
+        assert_eq!(
+            allocs, 0,
+            "{name}: steady-state frames must be allocation-free, saw {allocs} allocations over 256 frames"
+        );
+        let ds = hl.rt.decode_stats();
+        assert!(ds.hits >= 256, "{name}: decode cache must serve the loop");
+    }
+}
+
+#[test]
+fn reference_path_allocates_showing_the_counter_works() {
+    let mut hl = HotLoop::new(&cache_query(), b"GET k");
+    for _ in 0..4 {
+        hl.step_reference();
+    }
+    let before = alloc_count();
+    for _ in 0..64 {
+        hl.step_reference();
+    }
+    assert!(
+        alloc_count() - before >= 64,
+        "the reference interpreter decodes into a fresh Vec per frame; \
+         a zero here would mean the counter is broken"
+    );
+}

@@ -16,8 +16,8 @@
 use crate::compiler::{CompiledService, Compiler};
 use activermt_core::alloc::{MutantPolicy, MutantSpace};
 use activermt_isa::wire::{
-    build_alloc_request, build_control, build_program_packet, ActiveHeader, AllocResponse,
-    ControlOp, PacketType, RegionEntry,
+    build_alloc_request, build_control, ActiveHeader, AllocResponse, ControlOp, PacketType,
+    ProgramTemplate, RegionEntry,
 };
 use activermt_isa::Program;
 
@@ -119,6 +119,12 @@ pub struct Shim {
     space: MutantSpace,
     regions: Vec<(usize, RegionEntry)>,
     program: Option<Program>,
+    /// Pre-encoded program packet prefix for the current mutant and
+    /// destination; rebuilding it per send would re-encode the whole
+    /// instruction stream on the per-packet hot path. Invalidated
+    /// whenever the mutant changes (resynthesis, deallocation) or the
+    /// destination differs.
+    template: Option<([u8; 6], ProgramTemplate)>,
     /// Frames the shim wants transmitted (retransmissions, acks);
     /// drained by [`Shim::take_outgoing`].
     outgoing: Vec<Vec<u8>>,
@@ -156,6 +162,7 @@ impl Shim {
             },
             regions: Vec::new(),
             program: None,
+            template: None,
             outgoing: Vec::new(),
             retx: None,
             malformed: 0,
@@ -299,6 +306,7 @@ impl Shim {
         self.state = ShimState::Idle;
         self.regions.clear();
         self.program = None;
+        self.template = None;
         self.cancel_retx();
         let seq = self.next_seq();
         build_control(
@@ -319,14 +327,13 @@ impl Shim {
         if self.state != ShimState::Operational {
             return None;
         }
-        let mut program = self.program.clone()?;
-        for (i, a) in args.iter().enumerate() {
-            program.set_arg(i, *a).ok()?;
+        if self.template.as_ref().map(|&(d, _)| d) != Some(dst) {
+            let program = self.program.as_ref()?;
+            self.template = Some((dst, ProgramTemplate::new(dst, self.mac, self.fid, program)));
         }
         let seq = self.next_seq();
-        Some(build_program_packet(
-            dst, self.mac, self.fid, seq, &program, payload,
-        ))
+        let (_, template) = self.template.as_ref()?;
+        Some(template.build(seq, &args, payload))
     }
 
     /// Dispatch an incoming frame addressed to this shim. Frames for
@@ -443,6 +450,9 @@ impl Shim {
     /// Adopt a region set: find a mutant matching the granted stages
     /// and synthesize it (Section 4.1's client-side half).
     fn apply_regions(&mut self, regions: Vec<(usize, RegionEntry)>) {
+        // The mutant (and thus the encoded instruction stream) is about
+        // to change; the cached packet prefix is stale either way.
+        self.template = None;
         let mut granted: Vec<usize> = regions.iter().map(|&(s, _)| s).collect();
         granted.sort_unstable();
         let mutants = self.space.enumerate(&self.service.pattern, self.policy);
@@ -740,6 +750,35 @@ mod tests {
         assert_eq!(shim.handle_frame(&short), None);
         assert_eq!(shim.malformed_frames(), 1);
         assert_eq!(shim.state(), ShimState::Negotiating, "still waiting");
+    }
+
+    #[test]
+    fn cached_template_matches_fresh_builds_and_tracks_resynthesis() {
+        use activermt_isa::wire::build_program_packet;
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        // Repeated activations reuse the cached prefix but must be
+        // byte-identical to encoding the mutant from scratch.
+        for (seq, args) in [(2u16, [1u32, 2, 3, 4]), (3, [9, 8, 7, 6])] {
+            let pkt = shim.activate(SERVER, args, b"payload").unwrap();
+            let mut program = shim.program().unwrap().clone();
+            for (i, a) in args.iter().enumerate() {
+                program.set_arg(i, *a).unwrap();
+            }
+            let fresh = build_program_packet(SERVER, CLIENT, 7, seq, &program, b"payload");
+            assert_eq!(pkt, fresh);
+        }
+        // An unsolicited reallocation resynthesizes the mutant (two
+        // NOPs inserted); the stale template must not leak through.
+        shim.handle_frame(&grant(&[3, 6, 10])).unwrap();
+        let pkt = shim.activate(SERVER, [0; 4], b"x").unwrap();
+        let layout = activermt_isa::wire::program_packet_layout(&pkt).unwrap();
+        assert_eq!((layout.payload_off - layout.instr_off) / 2, 13 + 1);
+        // A different destination also forces a rebuild.
+        let other = shim.activate([9; 6], [0; 4], b"x").unwrap();
+        assert_eq!(other[0..6], [9; 6]);
+        assert!(shim.activate(SERVER, [0; 4], b"x").is_some());
     }
 
     #[test]

@@ -23,8 +23,25 @@ use crate::config::SwitchConfig;
 use crate::error::{AdmitError, CoreError};
 use crate::types::Fid;
 use activermt_rmt::tcam::range_prefix_count;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
+
+/// Per-arrival feasibility memos. Mutants of one arrival differ only in
+/// a stage shift, so the same `(stage, demand)` probes and the same
+/// register ranges are priced over and over; within one admission the
+/// pools do not change, so every result can be memoized. A memo hit is
+/// exactly the "dominated candidate" skip: a candidate whose stage set
+/// was already probed (under any earlier candidate) costs nothing.
+#[derive(Debug, Default)]
+struct FeasMemo {
+    /// `(stage, demand) → does the block pool fit it` (demand is 0 for
+    /// elastic arrivals — the probe is demand-independent).
+    mem: HashMap<(usize, u16), bool>,
+    /// `(stage, demand) → does the trial-applied TCAM stay in budget`.
+    tcam: HashMap<(usize, u16), bool>,
+    /// `(lo, hi) → range_prefix_count(lo, hi)` for TCAM pricing.
+    prefix: HashMap<(u32, u32), usize>,
+}
 
 /// Allocator dimensions and policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -222,12 +239,37 @@ impl Allocator {
     }
 
     /// Admit a new application (Section 4.3's allocation process,
-    /// control-plane half).
+    /// control-plane half). Uses the incremental search: per-stage
+    /// feasibility and TCAM range-expansion costs are memoized across
+    /// the arrival's mutants.
     pub fn admit(
         &mut self,
         fid: Fid,
         pattern: &AccessPattern,
         policy: MutantPolicy,
+    ) -> Result<AllocOutcome, AdmitError> {
+        self.admit_impl(fid, pattern, policy, true)
+    }
+
+    /// [`Allocator::admit`] without the per-arrival memos — every
+    /// candidate re-probes every stage from scratch. Kept as the
+    /// equivalence oracle for the incremental search and as the
+    /// baseline the bench harness measures speedup against.
+    pub fn admit_reference(
+        &mut self,
+        fid: Fid,
+        pattern: &AccessPattern,
+        policy: MutantPolicy,
+    ) -> Result<AllocOutcome, AdmitError> {
+        self.admit_impl(fid, pattern, policy, false)
+    }
+
+    fn admit_impl(
+        &mut self,
+        fid: Fid,
+        pattern: &AccessPattern,
+        policy: MutantPolicy,
+        incremental: bool,
     ) -> Result<AllocOutcome, AdmitError> {
         let start = Instant::now();
         if self.apps.contains_key(&fid) {
@@ -271,12 +313,18 @@ impl Allocator {
             candidates.sort_unstable_by_key(|a| (a.0, a.1, a.2));
         }
 
+        let mut memo = FeasMemo::default();
         let mut feasible_candidates = 0usize;
         let mut saw_memory_fail = false;
         let mut saw_tcam_fail = false;
         let mut chosen: Option<(usize, Vec<(usize, u16)>)> = None;
         for (_, _, idx, stages) in candidates {
-            match self.candidate_feasible(&stages, pattern.elastic) {
+            let probe = if incremental {
+                self.candidate_feasible_cached(&stages, pattern.elastic, &mut memo)
+            } else {
+                self.candidate_feasible(&stages, pattern.elastic)
+            };
+            match probe {
                 Ok(()) => {
                     feasible_candidates += 1;
                     chosen = Some((idx, stages));
@@ -341,6 +389,63 @@ impl Allocator {
         }
         debug_assert!(self.pools.iter().all(|p| p.check_invariants().is_ok()));
         Ok(victims)
+    }
+
+    /// [`Allocator::candidate_feasible`] with per-arrival memoization:
+    /// each `(stage, demand)` probe and each TCAM range price is
+    /// computed once per admission, however many mutants touch it.
+    /// The pools are immutable during candidate probing, so a memoized
+    /// answer is exact — the two probes are observationally identical.
+    fn candidate_feasible_cached(
+        &self,
+        stages: &[(usize, u16)],
+        elastic: bool,
+        memo: &mut FeasMemo,
+    ) -> Result<(), AdmitError> {
+        let FeasMemo { mem, tcam, prefix } = memo;
+        // Memory first, TCAM second — mirroring the uncached probe so
+        // the OutOfMemory/OutOfTcam error priority is preserved.
+        for &(s, demand) in stages {
+            let key = (s, if elastic { 0 } else { demand });
+            let fits = *mem.entry(key).or_insert_with(|| {
+                let pool = &self.pools[s];
+                if elastic {
+                    pool.elastic_fits()
+                } else {
+                    pool.inelastic_slot(u32::from(demand)).is_some()
+                }
+            });
+            if !fits {
+                return Err(AdmitError::OutOfMemory);
+            }
+        }
+        for &(s, demand) in stages {
+            let key = (s, if elastic { 0 } else { demand });
+            let fits = *tcam.entry(key).or_insert_with(|| {
+                let mut trial = self.pools[s].clone();
+                if elastic {
+                    trial.insert_elastic(u16::MAX); // placeholder fid
+                } else {
+                    trial.insert_inelastic(u16::MAX, u32::from(demand));
+                }
+                trial.recompute_elastic();
+                let cost: usize = trial
+                    .allocations()
+                    .filter(|(_, r)| !r.is_empty())
+                    .map(|(_, r)| {
+                        let (lo, hi) = r.to_registers(self.cfg.block_regs);
+                        *prefix
+                            .entry((lo, hi - 1))
+                            .or_insert_with(|| range_prefix_count(lo, hi - 1))
+                    })
+                    .sum();
+                cost <= self.cfg.tcam_entries_per_stage
+            });
+            if !fits {
+                return Err(AdmitError::OutOfTcam);
+            }
+        }
+        Ok(())
     }
 
     /// Would placing `stages` succeed on memory and TCAM?
@@ -616,6 +721,35 @@ mod tests {
             // First-fit always lands on the first feasible candidate —
             // the compact (2, 5, 9) placement — piling instances up.
             assert_eq!(out.mutant.stages, vec![1, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn cached_and_reference_probes_agree() {
+        // Two allocators fed the same arrival sequence, one through the
+        // memoized probe and one through the from-scratch probe, must
+        // make identical decisions at every step.
+        for scheme in [Scheme::WorstFit, Scheme::BestFit, Scheme::FirstFit] {
+            let mut fast = Allocator::new(cfg(scheme));
+            let mut slow = Allocator::new(cfg(scheme));
+            for fid in 0..16u16 {
+                let (pattern, policy) = if fid % 3 == 0 {
+                    (lb_pattern(), MutantPolicy::MostConstrained)
+                } else {
+                    (cache_pattern(), MutantPolicy::LeastConstrained)
+                };
+                let a = fast.admit(fid, &pattern, policy);
+                let b = slow.admit_reference(fid, &pattern, policy);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => {
+                        assert_eq!(x.mutant.stages, y.mutant.stages, "fid {fid}");
+                        assert_eq!(x.placements, y.placements, "fid {fid}");
+                        assert_eq!(x.victims, y.victims, "fid {fid}");
+                    }
+                    (Err(x), Err(y)) => assert_eq!(x, y, "fid {fid}"),
+                    (x, y) => panic!("divergence at fid {fid}: {x:?} vs {y:?}"),
+                }
+            }
         }
     }
 

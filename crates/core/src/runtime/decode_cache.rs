@@ -1,0 +1,303 @@
+//! The program-decode cache and the fixed-size instruction scratch.
+//!
+//! The paper's hardware decodes each instruction with a pre-installed
+//! exact-match SRAM table — decoding costs nothing at line rate. Our
+//! software runtime used to re-parse the instruction words of every
+//! active frame into a fresh `Vec<Instruction>`, a per-packet heap
+//! allocation Packet Transactions-style datapaths design out. Two
+//! mechanisms remove it:
+//!
+//! * a fixed-size [`InstrScratch`] (capacity [`MAX_INSTRS`]) that decode
+//!   fills in place — no per-frame `Vec`;
+//! * a [`DecodeCache`] memoizing `(fid, instruction-bytes hash) →`
+//!   decoded program, so steady-state flows (which re-send the same
+//!   program bytes on every packet) skip parsing entirely.
+//!
+//! Entries are verified byte-for-byte on hit (a hash collision can
+//! never execute the wrong program) and invalidated whenever the
+//! control plane touches the FID (deactivation, reactivation, region
+//! install/revoke, privilege changes) — any of these may coincide with
+//! the client resynthesizing its program, and a stale decode must never
+//! outlive the allocation that shaped it.
+
+use crate::types::Fid;
+use activermt_isa::constants::MAX_PROGRAM_LEN;
+use activermt_isa::{Instruction, Opcode};
+use std::collections::HashMap;
+
+/// Maximum decoded instructions per program (the one-byte program-length
+/// field bounds the encodable length).
+pub const MAX_INSTRS: usize = MAX_PROGRAM_LEN;
+
+/// Fixed-size decode scratch; lives in the runtime, reused per frame.
+pub type InstrScratch = [Instruction; MAX_INSTRS];
+
+/// A freshly zeroed scratch (NOP-filled; only the decoded prefix is
+/// ever read).
+pub fn new_scratch() -> Box<InstrScratch> {
+    Box::new([Instruction::new(Opcode::NOP); MAX_INSTRS])
+}
+
+/// The instruction stream could not be decoded: an invalid opcode
+/// word, a missing EOF terminator, or more than [`MAX_INSTRS`]
+/// instructions. The frame carrying it must be counted malformed and
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MalformedProgram;
+
+/// Decode an EOF-terminated instruction stream into `scratch`.
+///
+/// Returns `(instruction_count, executed_prefix)` — the number of
+/// decoded instructions before EOF and the length of the
+/// already-executed prefix (the resume `pc`). An undecodable word, a
+/// missing EOF, or a stream longer than [`MAX_INSTRS`] is a malformed
+/// program: the caller must count and drop the frame rather than
+/// compacting the stream around the bad word (compaction would misalign
+/// `pc` against the executed-flags prefix written back into the frame).
+pub fn decode_into(
+    bytes: &[u8],
+    scratch: &mut InstrScratch,
+) -> Result<(usize, usize), MalformedProgram> {
+    let mut executed_prefix = 0usize;
+    let mut in_prefix = true;
+    // Every chunk before EOF stores exactly one instruction, so the
+    // chunk index doubles as the instruction count.
+    for (count, chunk) in bytes.chunks_exact(2).enumerate() {
+        let ins = Instruction::from_bytes(chunk[0], chunk[1]).map_err(|_| MalformedProgram)?;
+        if ins.opcode == Opcode::EOF {
+            return Ok((count, executed_prefix));
+        }
+        if count >= MAX_INSTRS {
+            return Err(MalformedProgram);
+        }
+        if in_prefix && ins.flags.executed {
+            executed_prefix += 1;
+        } else {
+            in_prefix = false;
+        }
+        scratch[count] = ins;
+    }
+    Err(MalformedProgram) // no EOF terminator
+}
+
+/// One memoized decode.
+#[derive(Debug, Clone)]
+pub struct CachedProgram {
+    /// The exact wire bytes this entry was decoded from (hit
+    /// verification — a colliding hash must re-decode, not mis-execute).
+    bytes: Box<[u8]>,
+    /// Decoded instructions (EOF excluded).
+    instrs: Box<[Instruction]>,
+    /// Executed-prefix length: the `pc` execution resumes at.
+    start_pc: usize,
+}
+
+impl CachedProgram {
+    /// The decoded instructions.
+    #[inline]
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// The resume program counter (already-executed prefix).
+    #[inline]
+    pub fn start_pc(&self) -> usize {
+        self.start_pc
+    }
+}
+
+/// Decode-cache telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Frames served from the cache without parsing.
+    pub hits: u64,
+    /// Frames that had to be decoded (and were then memoized).
+    pub misses: u64,
+    /// Entries dropped by control-plane invalidation.
+    pub invalidations: u64,
+    /// Whole-cache flushes after reaching capacity.
+    pub evictions: u64,
+}
+
+/// The `(fid, program-bytes hash) → decoded program` memo.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    map: HashMap<(Fid, u64), CachedProgram>,
+    capacity: usize,
+    stats: DecodeCacheStats,
+}
+
+/// FNV-1a over the instruction bytes (no allocation, good dispersion
+/// for short keys).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl DecodeCache {
+    /// A cache bounded at `capacity` entries (flushed wholesale when
+    /// full — steady state never gets near the bound; churny FID mixes
+    /// simply re-decode).
+    pub fn new(capacity: usize) -> DecodeCache {
+        DecodeCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DecodeCacheStats {
+        self.stats
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up the decode of `bytes` for `fid`, parsing into `scratch`
+    /// and memoizing on miss. [`MalformedProgram`] means the caller
+    /// counts a malformed drop.
+    pub fn lookup_or_decode(
+        &mut self,
+        fid: Fid,
+        bytes: &[u8],
+        scratch: &mut InstrScratch,
+    ) -> Result<&CachedProgram, MalformedProgram> {
+        let key = (fid, hash_bytes(bytes));
+        // A hit must match byte-for-byte; a collision (or a stale entry
+        // under an adversarial hash) falls through to a re-decode that
+        // overwrites the slot.
+        let hit = matches!(self.map.get(&key), Some(c) if *c.bytes == *bytes);
+        if hit {
+            self.stats.hits += 1;
+            return Ok(&self.map[&key]);
+        }
+        let (count, start_pc) = decode_into(bytes, scratch)?;
+        self.stats.misses += 1;
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.stats.evictions += 1;
+        }
+        let entry = CachedProgram {
+            bytes: bytes.into(),
+            instrs: scratch[..count].into(),
+            start_pc,
+        };
+        Ok(self.map.entry(key).insert_entry(entry).into_mut())
+    }
+
+    /// Drop every entry belonging to `fid` (control-plane touch).
+    pub fn invalidate(&mut self, fid: Fid) {
+        let before = self.map.len();
+        self.map.retain(|&(f, _), _| f != fid);
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(ops: &[Opcode]) -> Vec<u8> {
+        let mut b = Vec::new();
+        for &op in ops {
+            b.extend_from_slice(&Instruction::new(op).to_bytes());
+        }
+        b.extend_from_slice(&Instruction::new(Opcode::EOF).to_bytes());
+        b
+    }
+
+    #[test]
+    fn decode_matches_stream_and_reports_prefix() {
+        let mut scratch = new_scratch();
+        let bytes = encode(&[Opcode::NOP, Opcode::MEM_READ, Opcode::RETURN]);
+        let (n, pc) = decode_into(&bytes, &mut scratch).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(pc, 0);
+        assert_eq!(scratch[1].opcode, Opcode::MEM_READ);
+        // Mark the first word executed: resume pc moves to 1.
+        let mut bytes2 = bytes.clone();
+        bytes2[1] |= 0x80;
+        let (n2, pc2) = decode_into(&bytes2, &mut scratch).unwrap();
+        assert_eq!((n2, pc2), (3, 1));
+    }
+
+    #[test]
+    fn executed_prefix_stops_at_first_gap() {
+        let mut scratch = new_scratch();
+        let mut bytes = encode(&[Opcode::NOP, Opcode::NOP, Opcode::NOP]);
+        bytes[1] |= 0x80; // word 0 executed
+        bytes[5] |= 0x80; // word 2 executed, word 1 not: not a prefix
+        let (_, pc) = decode_into(&bytes, &mut scratch).unwrap();
+        assert_eq!(pc, 1);
+    }
+
+    #[test]
+    fn undecodable_word_is_an_error_not_a_compaction() {
+        let mut scratch = new_scratch();
+        let mut bytes = encode(&[Opcode::NOP, Opcode::MEM_READ]);
+        bytes[2] = 0xFF; // invalid opcode in the middle
+        assert!(decode_into(&bytes, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn missing_eof_is_an_error() {
+        let mut scratch = new_scratch();
+        let bytes = Instruction::new(Opcode::NOP).to_bytes().to_vec();
+        assert!(decode_into(&bytes, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn cache_hits_skip_decode_and_misses_memoize() {
+        let mut cache = DecodeCache::new(16);
+        let mut scratch = new_scratch();
+        let bytes = encode(&[Opcode::NOP, Opcode::RETURN]);
+        let c = cache.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        assert_eq!(c.instrs().len(), 2);
+        assert_eq!(cache.stats().misses, 1);
+        cache.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        // A different FID with the same bytes is a distinct entry.
+        cache.lookup_or_decode(8, &bytes, &mut scratch).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn invalidation_is_per_fid() {
+        let mut cache = DecodeCache::new(16);
+        let mut scratch = new_scratch();
+        let bytes = encode(&[Opcode::RETURN]);
+        cache.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        cache.lookup_or_decode(8, &bytes, &mut scratch).unwrap();
+        cache.invalidate(7);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        cache.lookup_or_decode(8, &bytes, &mut scratch).unwrap();
+        assert_eq!(cache.stats().hits, 1, "fid 8 survived the invalidation");
+    }
+
+    #[test]
+    fn capacity_bound_flushes() {
+        let mut cache = DecodeCache::new(2);
+        let mut scratch = new_scratch();
+        for fid in 0..3u16 {
+            cache
+                .lookup_or_decode(fid, &encode(&[Opcode::RETURN]), &mut scratch)
+                .unwrap();
+        }
+        assert!(cache.len() <= 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

@@ -11,6 +11,17 @@
 //! cap), let the traffic manager decide the packet's fate, and write
 //! results (args, flags, executed bits) back into the frame.
 //!
+//! ## Hot-path memory discipline
+//!
+//! A steady-state active frame costs **zero heap allocations**:
+//! instruction words are served from the [`DecodeCache`] (decoded once
+//! per distinct byte pattern into a fixed-size scratch, never into a
+//! per-frame `Vec`), protection entries are resolved through a dense
+//! slot index computed once per frame, results are written back into
+//! the frame in place, and outputs go into a caller-owned buffer via
+//! [`SwitchRuntime::process_frame_into`]. Only cache misses, FORK
+//! clones, and malformed input touch the allocator.
+//!
 //! ## Latency model
 //!
 //! Figure 8b: "each pass through a pipeline adds approximately 0.5 µs",
@@ -20,6 +31,9 @@
 //! recirculation adds two more.
 
 use crate::config::SwitchConfig;
+use crate::runtime::decode_cache::{
+    new_scratch, DecodeCache, DecodeCacheStats, InstrScratch, MalformedProgram,
+};
 use crate::runtime::interp;
 use crate::runtime::protect::ProtectionTables;
 use crate::runtime::recirc::RecircLimiter;
@@ -28,12 +42,17 @@ use activermt_isa::constants::*;
 use activermt_isa::wire::{
     program_packet_layout, ActiveHeader, EthernetFrame, PacketType, RegionEntry,
 };
-use activermt_isa::{Instruction, Opcode};
+use activermt_isa::Opcode;
 use activermt_rmt::hash::Crc32;
 use activermt_rmt::pipeline::Pipeline;
 use activermt_rmt::traffic::{TrafficManager, Verdict};
 use activermt_rmt::Phv;
 use std::collections::HashSet;
+
+/// Decode-cache capacity: far above any realistic resident-program mix
+/// (the pipeline holds at most tens of FIDs), so steady state never
+/// evicts; churny mixes merely re-decode.
+const DECODE_CACHE_CAPACITY: usize = 4096;
 
 /// Where an output frame should go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,22 +99,29 @@ pub struct RuntimeStats {
     /// fairness controller).
     pub recirc_budget_drops: u64,
     /// Frames dropped because they could not be parsed (truncated or
-    /// corrupted Ethernet, active header, or program layout).
+    /// corrupted Ethernet, active header, program layout, or an
+    /// undecodable instruction word).
     pub malformed_drops: u64,
 }
 
 /// The data-plane half of the ActiveRMT switch.
+///
+/// Fields are crate-visible so the reference (uncached) execution path
+/// in [`reference`](crate::runtime::reference) can share the exact same
+/// state for differential testing.
 #[derive(Debug, Clone)]
 pub struct SwitchRuntime {
-    config: SwitchConfig,
-    pipeline: Pipeline,
-    protect: ProtectionTables,
-    traffic: TrafficManager,
-    crc: Crc32,
-    deactivated: HashSet<Fid>,
-    privileged: HashSet<Fid>,
-    recirc_limiter: Option<RecircLimiter>,
-    stats: RuntimeStats,
+    pub(crate) config: SwitchConfig,
+    pub(crate) pipeline: Pipeline,
+    pub(crate) protect: ProtectionTables,
+    pub(crate) traffic: TrafficManager,
+    pub(crate) crc: Crc32,
+    pub(crate) deactivated: HashSet<Fid>,
+    pub(crate) privileged: HashSet<Fid>,
+    pub(crate) recirc_limiter: Option<RecircLimiter>,
+    pub(crate) decode: DecodeCache,
+    pub(crate) scratch: Box<InstrScratch>,
+    pub(crate) stats: RuntimeStats,
 }
 
 impl SwitchRuntime {
@@ -111,6 +137,8 @@ impl SwitchRuntime {
             recirc_limiter: config
                 .recirc_budget
                 .map(|(rate, burst)| RecircLimiter::new(rate, burst)),
+            decode: DecodeCache::new(DECODE_CACHE_CAPACITY),
+            scratch: new_scratch(),
             stats: RuntimeStats::default(),
             config,
         }
@@ -136,16 +164,27 @@ impl SwitchRuntime {
         self.traffic.stats()
     }
 
+    /// Decode-cache telemetry (hits, misses, invalidations).
+    pub fn decode_stats(&self) -> DecodeCacheStats {
+        self.decode.stats()
+    }
+
     // ----- control-plane hooks (used by the Controller) -----
 
     /// Install a protection/translation entry; returns
     /// `(entries_removed, entries_installed)`.
+    ///
+    /// Any control-plane touch of a FID invalidates its decode-cache
+    /// entries: a reallocation may coincide with the client
+    /// resynthesizing its program, and a stale decode must never
+    /// outlive the allocation that shaped it.
     pub fn install_region(
         &mut self,
         stage: usize,
         fid: Fid,
         region: RegionEntry,
     ) -> (usize, usize) {
+        self.decode.invalidate(fid);
         let (rm, ins) = self.protect.install(stage, fid, region);
         let tcam = &mut self.pipeline.stage_mut(stage).tcam;
         tcam.remove(rm);
@@ -156,6 +195,7 @@ impl SwitchRuntime {
 
     /// Remove `fid`'s entry in `stage`; returns entries removed.
     pub fn remove_region(&mut self, stage: usize, fid: Fid) -> usize {
+        self.decode.invalidate(fid);
         let rm = self.protect.remove(stage, fid);
         self.pipeline.stage_mut(stage).tcam.remove(rm);
         rm
@@ -183,11 +223,13 @@ impl SwitchRuntime {
     /// Grant `fid` the privilege level required for FORK / SET_DST
     /// when `SwitchConfig::enforce_privileges` is on (Section 7.2).
     pub fn grant_privilege(&mut self, fid: Fid) {
+        self.decode.invalidate(fid);
         self.privileged.insert(fid);
     }
 
     /// Revoke `fid`'s privilege.
     pub fn revoke_privilege(&mut self, fid: Fid) {
+        self.decode.invalidate(fid);
         self.privileged.remove(&fid);
         if let Some(l) = self.recirc_limiter.as_mut() {
             l.forget(fid);
@@ -205,11 +247,13 @@ impl SwitchRuntime {
     /// Quiesce a FID during reallocation: its program packets pass
     /// through unprocessed (Section 4.3).
     pub fn deactivate(&mut self, fid: Fid) {
+        self.decode.invalidate(fid);
         self.deactivated.insert(fid);
     }
 
     /// Resume processing for a FID.
     pub fn reactivate(&mut self, fid: Fid) {
+        self.decode.invalidate(fid);
         self.deactivated.remove(&fid);
     }
 
@@ -232,8 +276,24 @@ impl SwitchRuntime {
         self.process_frame_at(0, frame)
     }
 
-    /// Process one frame at virtual time `now_ns`.
-    pub fn process_frame_at(&mut self, now_ns: u64, mut frame: Vec<u8>) -> Vec<SwitchOutput> {
+    /// Process one frame at virtual time `now_ns`, allocating a fresh
+    /// output vector. Hot paths should hold a reusable buffer and call
+    /// [`SwitchRuntime::process_frame_into`] instead.
+    pub fn process_frame_at(&mut self, now_ns: u64, frame: Vec<u8>) -> Vec<SwitchOutput> {
+        let mut out = Vec::with_capacity(2);
+        self.process_frame_into(now_ns, frame, &mut out);
+        out
+    }
+
+    /// Process one frame at virtual time `now_ns`, appending outputs to
+    /// a caller-owned buffer. With a warm decode cache and a reused
+    /// `out`, a steady-state active frame performs no heap allocation.
+    pub fn process_frame_into(
+        &mut self,
+        now_ns: u64,
+        mut frame: Vec<u8>,
+        out: &mut Vec<SwitchOutput>,
+    ) {
         self.stats.frames += 1;
         let half = self.config.pass_latency_ns;
 
@@ -241,25 +301,26 @@ impl SwitchRuntime {
         // provides baseline L2 forwarding (Section 7.1).
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
             self.stats.malformed_drops += 1;
-            return Vec::new();
+            return;
         };
         if eth.ethertype() != ACTIVE_ETHERTYPE {
             self.stats.transparent_forwards += 1;
             self.traffic.account(Verdict::Forward);
-            return vec![SwitchOutput {
+            out.push(SwitchOutput {
                 frame,
                 action: OutputAction::Forward,
                 latency_ns: 2 * half,
                 passes: 1,
                 dst_override: None,
-            }];
+            });
+            return;
         }
 
         let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
             Ok(h) => h,
             Err(_) => {
                 self.stats.malformed_drops += 1;
-                return Vec::new(); // malformed: drop
+                return; // malformed: drop
             }
         };
         let fid = hdr.fid();
@@ -271,13 +332,14 @@ impl SwitchRuntime {
             // is simply forwarded (e.g. a response transiting back to
             // the client).
             self.traffic.account(Verdict::Forward);
-            return vec![SwitchOutput {
+            out.push(SwitchOutput {
                 frame,
                 action: OutputAction::Forward,
                 latency_ns: 2 * half,
                 passes: 1,
                 dst_override: None,
-            }];
+            });
+            return;
         }
 
         self.stats.active_frames += 1;
@@ -290,13 +352,14 @@ impl SwitchRuntime {
             flags.set_deactivated(true);
             h.set_flags(flags);
             self.traffic.account(Verdict::Forward);
-            return vec![SwitchOutput {
+            out.push(SwitchOutput {
                 frame,
                 action: OutputAction::Forward,
                 latency_ns: 2 * half,
                 passes: 1,
                 dst_override: None,
-            }];
+            });
+            return;
         }
 
         // A program that already ran to completion transits the switch
@@ -305,26 +368,39 @@ impl SwitchRuntime {
         // the executed bits and skips interpretation entirely.
         if hdr.flags().complete() {
             self.traffic.account(Verdict::Forward);
-            return vec![SwitchOutput {
+            out.push(SwitchOutput {
                 frame,
                 action: OutputAction::Forward,
                 latency_ns: 2 * half,
                 passes: 1,
                 dst_override: None,
-            }];
+            });
+            return;
         }
 
         let Ok(layout) = program_packet_layout(&frame) else {
             self.stats.malformed_drops += 1;
-            return Vec::new(); // malformed program packet: drop
+            return; // malformed program packet: drop
         };
 
-        // Parse instructions and arguments into the PHV.
-        let instrs: Vec<Instruction> = frame[layout.instr_off..layout.payload_off]
-            .chunks_exact(2)
-            .filter_map(|c| Instruction::from_bytes(c[0], c[1]).ok())
-            .take_while(|i| i.opcode != Opcode::EOF)
-            .collect();
+        // Resolve the instruction stream: a cache hit skips parsing; a
+        // miss decodes into the fixed scratch (no per-frame Vec). An
+        // undecodable word is a counted malformed drop — never compact
+        // the stream around it, which would misalign `pc` against the
+        // executed-flags prefix written back into the frame.
+        let (instrs, start_pc) = match self.decode.lookup_or_decode(
+            fid,
+            &frame[layout.instr_off..layout.payload_off],
+            &mut self.scratch,
+        ) {
+            Ok(cached) => (cached.instrs(), cached.start_pc()),
+            Err(MalformedProgram) => {
+                self.stats.malformed_drops += 1;
+                return;
+            }
+        };
+
+        // Parse the arguments into the PHV.
         let mut args = [0u32; NUM_ARGS];
         for (i, a) in args.iter_mut().enumerate() {
             let off = layout.args_off + i * 4;
@@ -353,9 +429,15 @@ impl SwitchRuntime {
             phv.pending_branch = Some((hdr.aux() & 0x3F) as u8);
         }
 
+        // Per-frame invariants, hoisted out of the instruction loop:
+        // the dense protection slot and the privilege bit cannot change
+        // mid-frame (control-plane updates happen between frames).
+        let slot = self.protect.slot_of(fid);
+        let privileged = !self.config.enforce_privileges || self.privileged.contains(&fid);
+
         // ----- the pass loop -----
         let n = self.config.num_stages;
-        let mut pc = instrs.iter().take_while(|i| i.flags.executed).count();
+        let mut pc = start_pc;
         let mut passes = 0u32;
         let mut halves = 0u64;
         let mut rts_stage: Option<usize> = None;
@@ -371,16 +453,17 @@ impl SwitchRuntime {
                 // Memory instructions check the *local* region; address
                 // translation resolves the next region at or after this
                 // stage (Section 3.2; see ProtectionTables).
-                let prot = if matches!(ins.opcode, Opcode::ADDR_MASK | Opcode::ADDR_OFFSET) {
-                    self.protect.translation_for(stage_idx, fid)
-                } else {
-                    self.protect.lookup(stage_idx, fid).copied()
+                let prot = match slot {
+                    Some(sl) => {
+                        if matches!(ins.opcode, Opcode::ADDR_MASK | Opcode::ADDR_OFFSET) {
+                            self.protect.translation_for_slot(stage_idx, sl)
+                        } else {
+                            self.protect.lookup_slot(stage_idx, sl).copied()
+                        }
+                    }
+                    None => None,
                 };
-                if self.config.enforce_privileges
-                    && ins.opcode.requires_privilege()
-                    && !self.privileged.contains(&fid)
-                    && !phv.disabled
-                {
+                if !privileged && ins.opcode.requires_privilege() && !phv.disabled {
                     // Unprivileged use of a gated opcode: treat like a
                     // protection violation (Section 7.2).
                     self.stats.privilege_drops += 1;
@@ -473,10 +556,10 @@ impl SwitchRuntime {
         }
         if phv.drop || phv.violation {
             self.traffic.account(Verdict::Drop);
-            return Vec::new();
+            return;
         }
 
-        // ----- write results back into the frame -----
+        // ----- write results back into the frame, in place -----
         for (i, a) in phv.args.iter().enumerate() {
             frame[layout.args_off + i * 4..layout.args_off + i * 4 + 4]
                 .copy_from_slice(&a.to_be_bytes());
@@ -505,7 +588,6 @@ impl SwitchRuntime {
         }
 
         let latency_ns = halves * half;
-        let mut outputs = Vec::with_capacity(2);
         if phv.fork {
             // The clone is forwarded toward the original destination
             // with the state at end of execution (a simplification of
@@ -513,7 +595,7 @@ impl SwitchRuntime {
             // recirculation is charged to the traffic manager.
             self.traffic.account_clone();
             self.traffic.account(Verdict::Recirculate);
-            outputs.push(SwitchOutput {
+            out.push(SwitchOutput {
                 frame: frame.clone(),
                 action: OutputAction::Forward,
                 latency_ns: latency_ns + 2 * half,
@@ -530,13 +612,12 @@ impl SwitchRuntime {
             self.traffic.account(Verdict::Forward);
             OutputAction::Forward
         };
-        outputs.push(SwitchOutput {
+        out.push(SwitchOutput {
             frame,
             action,
             latency_ns,
             passes,
             dst_override: phv.dst_override,
         });
-        outputs
     }
 }

@@ -10,13 +10,20 @@
 //!   the controller installs at allocation time;
 //! * [`interp`] — the per-instruction semantics over the PHV and the
 //!   stage's register ALU;
-//! * [`exec`] — the pass/recirculation driver and packet rewriting.
+//! * [`exec`] — the pass/recirculation driver and packet rewriting;
+//! * [`decode_cache`] — the `(fid, bytes-hash) → decoded program` memo
+//!   and fixed-size decode scratch behind the zero-alloc hot path;
+//! * [`reference`] — the uncached decode-every-frame path kept for
+//!   differential testing and speedup measurement.
 
+pub mod decode_cache;
 pub mod exec;
 pub mod interp;
 pub mod protect;
 pub mod recirc;
+pub mod reference;
 
+pub use decode_cache::{DecodeCache, DecodeCacheStats, MAX_INSTRS};
 pub use exec::{OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime};
-pub use protect::{ProtEntry, ProtectionTables};
+pub use protect::{ProtEntry, ProtSlot, ProtectionTables};
 pub use recirc::RecircLimiter;

@@ -1,0 +1,193 @@
+//! Equivalence tests for the incremental allocation search: with the
+//! per-arrival feasibility/prefix memos on, [`Allocator::admit`] must
+//! select exactly the same winning mutant, placements and victims as
+//! the memo-free oracle ([`Allocator::admit_reference`]) — the memos
+//! may only skip redundant *probes*, never change a *decision*. Runs a
+//! Figure 12-style arrival sweep (both policies, both schemes, with
+//! departures for fragmentation) plus random patterns.
+
+use activermt_core::alloc::{
+    AccessPattern, AllocOutcome, Allocator, AllocatorConfig, MutantPolicy, Scheme,
+};
+use activermt_core::error::AdmitError;
+use proptest::prelude::*;
+
+fn config(scheme: Scheme) -> AllocatorConfig {
+    AllocatorConfig {
+        num_stages: 20,
+        ingress_stages: 10,
+        blocks_per_stage: 64,
+        block_regs: 256,
+        tcam_entries_per_stage: 256,
+        scheme,
+        max_extra_recircs: 1,
+        literal_fill: false,
+    }
+}
+
+/// The paper's three application shapes, as access patterns.
+fn app_pattern(kind: usize) -> AccessPattern {
+    match kind % 3 {
+        // Cache: three elastic accesses (Listing 1).
+        0 => AccessPattern {
+            min_positions: vec![2, 5, 9],
+            demands: vec![0, 0, 0],
+            prog_len: 11,
+            elastic: true,
+            ingress_positions: vec![8],
+            aliases: vec![],
+        },
+        // Heavy hitter: two aliased accesses with a fixed demand.
+        1 => AccessPattern {
+            min_positions: vec![3, 7],
+            demands: vec![4, 4],
+            prog_len: 10,
+            elastic: false,
+            ingress_positions: vec![],
+            aliases: vec![(0, 1)],
+        },
+        // Load balancer: one inelastic access.
+        _ => AccessPattern {
+            min_positions: vec![4],
+            demands: vec![2],
+            prog_len: 8,
+            elastic: false,
+            ingress_positions: vec![2],
+            aliases: vec![],
+        },
+    }
+}
+
+/// Assert two admission results are decision-identical.
+fn assert_same_outcome(
+    ctx: &str,
+    a: &Result<AllocOutcome, AdmitError>,
+    b: &Result<AllocOutcome, AdmitError>,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            prop_assert_eq!(x.fid, y.fid, "{}: fid", ctx);
+            prop_assert_eq!(&x.mutant.stages, &y.mutant.stages, "{}: mutant stages", ctx);
+            prop_assert_eq!(x.mutant.passes, y.mutant.passes, "{}: passes", ctx);
+            prop_assert_eq!(&x.placements, &y.placements, "{}: placements", ctx);
+            prop_assert_eq!(&x.victims, &y.victims, "{}: victims", ctx);
+            prop_assert_eq!(
+                x.feasible_candidates,
+                y.feasible_candidates,
+                "{}: feasibility counts",
+                ctx
+            );
+        }
+        (Err(x), Err(y)) => {
+            prop_assert_eq!(
+                std::mem::discriminant(x),
+                std::mem::discriminant(y),
+                "{}: error kind ({:?} vs {:?})",
+                ctx,
+                x,
+                y
+            );
+        }
+        (a, b) => panic!("{ctx}: diverged: incremental={a:?} reference={b:?}"),
+    }
+}
+
+/// Figure 12-style sweep: keep admitting mixed apps until the pipeline
+/// refuses, with periodic departures so later arrivals see fragmented
+/// pools; every arrival is decided independently by both searches on
+/// identical allocator states.
+#[test]
+fn incremental_search_matches_reference_across_fig12_sweep() {
+    let mut total_rejections = 0u32;
+    for scheme in [Scheme::WorstFit, Scheme::FirstFit] {
+        for policy in [
+            MutantPolicy::MostConstrained,
+            MutantPolicy::LeastConstrained,
+        ] {
+            let mut inc = Allocator::new(config(scheme));
+            let mut oracle = inc.clone();
+            let mut admitted: Vec<u16> = Vec::new();
+            let mut rejections = 0u32;
+            for i in 0..60u16 {
+                let pattern = app_pattern(i as usize);
+                let ctx = format!("{scheme:?}/{policy:?}/arrival {i}");
+                let a = inc.admit(i, &pattern, policy);
+                let b = oracle.admit_reference(i, &pattern, policy);
+                assert_same_outcome(&ctx, &a, &b);
+                match a {
+                    Ok(_) => admitted.push(i),
+                    Err(_) => {
+                        rejections += 1;
+                        // Departure: free the two oldest residents so
+                        // the next arrivals probe fragmented pools.
+                        for fid in admitted.drain(..2.min(admitted.len())) {
+                            inc.release(fid).unwrap();
+                            oracle.release(fid).unwrap();
+                        }
+                    }
+                }
+                if rejections > 8 {
+                    break;
+                }
+            }
+            total_rejections += rejections;
+        }
+    }
+    assert!(
+        total_rejections > 0,
+        "the sweep must reach saturation somewhere to exercise \
+         infeasible candidates"
+    );
+}
+
+/// Random small-but-valid access patterns (mirrors alloc_proptests).
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    (
+        prop::collection::vec((1u16..5, 0u16..8), 1..4),
+        any::<bool>(),
+        0u16..4,
+    )
+        .prop_map(|(gaps_demands, elastic, tail)| {
+            let mut pos = 0u16;
+            let mut min_positions = Vec::new();
+            let mut demands = Vec::new();
+            for (gap, demand) in gaps_demands {
+                pos += gap;
+                min_positions.push(pos);
+                demands.push(if elastic { 0 } else { demand.max(1) });
+            }
+            AccessPattern {
+                prog_len: pos + tail,
+                min_positions,
+                demands,
+                elastic,
+                ingress_positions: vec![],
+                aliases: vec![],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equivalence under arbitrary admission sequences of random
+    /// patterns under both policies.
+    #[test]
+    fn incremental_search_matches_reference_on_random_patterns(
+        patterns in prop::collection::vec((arb_pattern(), any::<bool>()), 1..20),
+    ) {
+        let mut inc = Allocator::new(config(Scheme::WorstFit));
+        let mut oracle = inc.clone();
+        for (i, (pattern, mc)) in patterns.iter().enumerate() {
+            let policy = if *mc {
+                MutantPolicy::MostConstrained
+            } else {
+                MutantPolicy::LeastConstrained
+            };
+            let fid = i as u16;
+            let a = inc.admit(fid, pattern, policy);
+            let b = oracle.admit_reference(fid, pattern, policy);
+            assert_same_outcome(&format!("random arrival {i}"), &a, &b);
+        }
+    }
+}

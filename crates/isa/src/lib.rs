@@ -40,5 +40,5 @@ pub mod wire;
 
 pub use error::{Error, Result};
 pub use instr::{InstrFlags, Instruction};
-pub use opcode::{Opcode, OpcodeClass};
+pub use opcode::{Opcode, OpcodeClass, OperandKind};
 pub use program::{Program, ProgramBuilder};

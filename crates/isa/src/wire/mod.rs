@@ -108,6 +108,48 @@ pub fn build_program_packet(
     buf
 }
 
+/// A pre-encoded program-packet prefix: Ethernet + initial header +
+/// argument header + EOF-terminated instruction bytes, everything up to
+/// the application payload.
+///
+/// The client shim activates every outbound packet with the same
+/// program; re-encoding the instruction stream per packet is pure
+/// waste. A template encodes once and [`ProgramTemplate::build`] merely
+/// stamps the per-packet fields (sequence number, arguments) and
+/// appends the payload. The shim must rebuild its template whenever it
+/// resynthesizes the program (a reallocation moved its regions) — the
+/// client-side mirror of the switch's decode-cache invalidation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramTemplate {
+    prefix: Vec<u8>,
+}
+
+impl ProgramTemplate {
+    /// Encode the fixed prefix once.
+    pub fn new(dst: [u8; 6], src: [u8; 6], fid: u16, program: &Program) -> ProgramTemplate {
+        ProgramTemplate {
+            prefix: build_program_packet(dst, src, fid, 0, program, &[]),
+        }
+    }
+
+    /// Stamp out one program packet: copy the prefix, set the sequence
+    /// number and arguments, append the payload.
+    pub fn build(&self, seq: u16, args: &[u32; NUM_ARGS], payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.prefix.len() + payload.len());
+        buf.extend_from_slice(&self.prefix);
+        {
+            let mut hdr = ActiveHeader::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
+            hdr.set_seq(seq);
+        }
+        let args_off = ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN;
+        for (i, a) in args.iter().enumerate() {
+            put_u32(&mut buf, args_off + i * 4, *a);
+        }
+        buf.extend_from_slice(payload);
+        buf
+    }
+}
+
 fn build_frame_with_header(
     dst: [u8; 6],
     src: [u8; 6],
@@ -303,6 +345,19 @@ mod tests {
         assert_eq!(hdr.seq(), 7);
         assert_eq!(hdr.program_len(), 3);
         assert_eq!(hdr.flags().packet_type(), PacketType::Program);
+    }
+
+    #[test]
+    fn template_matches_fresh_builds() {
+        let p = tiny_program();
+        let tpl = ProgramTemplate::new([1; 6], [2; 6], 0x1234, &p);
+        for (seq, payload) in [(7u16, &b"hello"[..]), (8, b""), (9, b"abcdefgh")] {
+            let mut q = p.clone();
+            q.set_arg(1, u32::from(seq)).unwrap();
+            let args = q.args();
+            let fresh = build_program_packet([1; 6], [2; 6], 0x1234, seq, &q, payload);
+            assert_eq!(tpl.build(seq, &args, payload), fresh);
+        }
     }
 
     #[test]

@@ -217,12 +217,22 @@ impl FaultStats {
     }
 }
 
+/// Buffers kept around for reuse (bounds the pool's memory footprint).
+const FRAME_POOL_CAP: usize = 64;
+
 /// The stateful fault process: one seeded PRNG walking a [`FaultPlan`].
+///
+/// The injector doubles as the simulation's frame-buffer pool: frames
+/// it consumes (losses) and frames the simulation hands back
+/// ([`FaultInjector::recycle`]) park here, and duplication draws its
+/// copies from the pool instead of allocating, so steady traffic under
+/// faults reuses buffers across hops.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SmallRng,
     stats: FaultStats,
+    pool: Vec<Vec<u8>>,
 }
 
 impl FaultInjector {
@@ -233,7 +243,25 @@ impl FaultInjector {
             plan,
             rng,
             stats: FaultStats::default(),
+            pool: Vec::new(),
         }
+    }
+
+    /// Return a spent frame buffer to the pool for later reuse.
+    pub fn recycle(&mut self, mut frame: Vec<u8>) {
+        if self.pool.len() < FRAME_POOL_CAP && frame.capacity() > 0 {
+            frame.clear();
+            self.pool.push(frame);
+        }
+    }
+
+    /// A pooled buffer holding a copy of `frame` (allocates only when
+    /// the pool is empty or too small).
+    fn pooled_copy(&mut self, frame: &[u8]) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(frame);
+        buf
     }
 
     /// The plan driving this injector.
@@ -271,14 +299,30 @@ impl FaultInjector {
     /// `host_mac` (the host side of the link) at time `now`. Returns
     /// the frames that actually arrive: empty on loss, one (possibly
     /// mangled) frame normally, two on duplication.
-    pub fn apply(&mut self, now: u64, host_mac: [u8; 6], mut frame: Vec<u8>) -> Vec<Vec<u8>> {
+    pub fn apply(&mut self, now: u64, host_mac: [u8; 6], frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(1);
+        self.apply_into(now, host_mac, frame, &mut out);
+        out
+    }
+
+    /// [`FaultInjector::apply`] into a caller-owned buffer — the event
+    /// loop reuses one fan-out vector across every hop of a run.
+    pub fn apply_into(
+        &mut self,
+        now: u64,
+        host_mac: [u8; 6],
+        mut frame: Vec<u8>,
+        out: &mut Vec<Vec<u8>>,
+    ) {
         if self.plan.is_benign() {
-            return vec![frame];
+            out.push(frame);
+            return;
         }
         let loss = self.loss_per_mille(now, host_mac);
         if self.roll(loss) {
             self.stats.injected_losses += 1;
-            return Vec::new();
+            self.recycle(frame);
+            return;
         }
         if !frame.is_empty() && self.roll(self.plan.corrupt_per_mille) {
             self.stats.injected_corruptions += 1;
@@ -296,9 +340,11 @@ impl FaultInjector {
         }
         if self.roll(self.plan.duplicate_per_mille) {
             self.stats.injected_duplicates += 1;
-            return vec![frame.clone(), frame];
+            out.push(self.pooled_copy(&frame));
+            out.push(frame);
+            return;
         }
-        vec![frame]
+        out.push(frame);
     }
 
     /// Is the controller poll scheduled at `now` suppressed by a stall
@@ -422,6 +468,26 @@ mod tests {
             (out, *inj.stats())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pooled_duplication_reuses_recycled_buffers() {
+        let plan = FaultPlan::none().with_seed(2).with_duplication(1000);
+        let mut inj = FaultInjector::new(plan);
+        // Park a large buffer in the pool, then duplicate a frame: the
+        // copy must land in the recycled allocation.
+        let big = Vec::with_capacity(512);
+        let ptr = {
+            let mut b = big;
+            b.push(0u8);
+            let p = b.as_ptr();
+            inj.recycle(b);
+            p
+        };
+        let out = inj.apply(0, MAC, vec![9u8; 10]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0].as_ptr(), ptr, "copy drew from the pool");
     }
 
     #[test]

@@ -1,21 +1,28 @@
 //! The discrete-event simulation loop.
 //!
-//! A binary heap of `(time, sequence)`-ordered events drives a star of
-//! hosts around one switch. Every transmission pays the link model's
-//! propagation + serialization delay; switch outputs carry their own
-//! pipeline latency (Section 6.2's processing-latency model); the
-//! controller is polled on the paper's 100 µs cadence. Event ordering
-//! is fully deterministic: ties break on insertion sequence.
+//! A single binary heap of timestamped [`Event`] structs drives a star
+//! of hosts around one switch — the event payload lives *in* the heap
+//! entry, so scheduling is one push and dispatch is one pop (the
+//! previous design double-bookkept a `(time, id)` heap plus an
+//! `id → payload` HashMap, paying a hash insert and remove per event).
+//! Every transmission pays the link model's propagation + serialization
+//! delay; switch outputs carry their own pipeline latency (Section
+//! 6.2's processing-latency model); the controller is polled on the
+//! paper's 100 µs cadence. Event ordering is fully deterministic: ties
+//! break on insertion sequence.
 //!
 //! Every link hop passes through a [`FaultInjector`], so one
 //! [`FaultPlan`] composes loss, corruption, truncation, duplication
 //! and controller stalls across the whole topology deterministically.
+//! Frames the simulation consumes (losses, runts, undeliverable
+//! destinations) are recycled into the injector's buffer pool, so
+//! steady traffic reuses allocations across hops.
 
 use crate::config::NetConfig;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::host::Host;
 use crate::switch::SwitchNode;
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 #[derive(Debug)]
@@ -30,13 +37,42 @@ enum EventKind {
     Tick([u8; 6]),
 }
 
-/// The Ethernet source of a frame, if it is long enough to have one.
-fn src_mac(frame: &[u8]) -> [u8; 6] {
-    let mut mac = [0u8; 6];
-    if let Some(bytes) = frame.get(6..12) {
-        mac.copy_from_slice(bytes);
+/// One scheduled event: the payload rides in the heap entry itself.
+#[derive(Debug)]
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
     }
-    mac
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted (at, seq) ordering turns std's max-heap into the
+        // min-heap the event loop needs; the kind never participates.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The Ethernet source of a frame, if it is long enough to have one.
+fn src_mac(frame: &[u8]) -> Option<[u8; 6]> {
+    let bytes = frame.get(6..12)?;
+    let mut mac = [0u8; 6];
+    mac.copy_from_slice(bytes);
+    Some(mac)
 }
 
 /// The simulation: one switch, many hosts, virtual time in ns.
@@ -44,12 +80,12 @@ pub struct Simulation {
     cfg: NetConfig,
     now: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<(u64, u64)>>,
-    events: HashMap<u64, EventKind>,
+    queue: BinaryHeap<Event>,
     switch: SwitchNode,
     hosts: HashMap<[u8; 6], Box<dyn Host>>,
     delivered: u64,
     dropped_no_host: u64,
+    dropped_runts: u64,
     injector: FaultInjector,
 }
 
@@ -67,11 +103,11 @@ impl Simulation {
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
-            events: HashMap::new(),
             switch,
             hosts: HashMap::new(),
             delivered: 0,
             dropped_no_host: 0,
+            dropped_runts: 0,
             injector: FaultInjector::new(plan),
         };
         sim.schedule(cfg.controller_poll_ns, EventKind::Poll);
@@ -101,6 +137,12 @@ impl Simulation {
     /// Frames addressed to unknown hosts (dropped).
     pub fn dropped_no_host(&self) -> u64 {
         self.dropped_no_host
+    }
+
+    /// Frames rejected at ingress because they are too short to carry
+    /// an Ethernet source address (runts).
+    pub fn dropped_runts(&self) -> u64 {
+        self.dropped_runts
     }
 
     /// Frames lost to the injected loss process.
@@ -142,10 +184,16 @@ impl Simulation {
     }
 
     /// Transmit a frame from the host identified by its Ethernet
-    /// source, at time `at_ns` (must be ≥ now).
+    /// source, at time `at_ns` (must be ≥ now). A frame too short to
+    /// carry a source address is counted and dropped — it must not be
+    /// routed as if it came from host `00:..:00`.
     pub fn send_at(&mut self, at_ns: u64, frame: Vec<u8>) {
         let now = at_ns.max(self.now);
-        let host = src_mac(&frame);
+        let Some(host) = src_mac(&frame) else {
+            self.dropped_runts += 1;
+            self.injector.recycle(frame);
+            return;
+        };
         for f in self.injector.apply(now, host, frame) {
             let arrive = now + self.cfg.link_time_ns(f.len());
             self.schedule(arrive, EventKind::ToSwitch(f));
@@ -158,28 +206,30 @@ impl Simulation {
     }
 
     fn schedule(&mut self, at: u64, kind: EventKind) {
-        let id = self.seq;
+        let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse((at, id)));
-        self.events.insert(id, kind);
+        self.queue.push(Event { at, seq, kind });
     }
 
     /// Run until virtual time `t_ns` (inclusive); events after `t_ns`
     /// stay queued.
     pub fn run_until(&mut self, t_ns: u64) {
-        while let Some(&Reverse((at, id))) = self.queue.peek() {
-            if at > t_ns {
+        // The injector fan-out buffer is reused across every hop of the
+        // run — one allocation for the whole event loop.
+        let mut fan: Vec<Vec<u8>> = Vec::new();
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > t_ns {
                 break;
             }
-            self.queue.pop();
+            let Event { at, kind, .. } = self.queue.pop().expect("peeked");
             self.now = self.now.max(at);
-            let kind = self.events.remove(&id).expect("event exists");
             match kind {
                 EventKind::ToSwitch(frame) => {
                     let emissions = self.switch.handle_frame(self.now, frame);
                     for e in emissions {
                         let depart = e.at_ns.max(self.now);
-                        for f in self.injector.apply(depart, e.dst, e.frame) {
+                        self.injector.apply_into(depart, e.dst, e.frame, &mut fan);
+                        for f in fan.drain(..) {
                             let arrive = depart + self.cfg.link_time_ns(f.len());
                             self.schedule(arrive, EventKind::ToHost(e.dst, f));
                         }
@@ -192,13 +242,15 @@ impl Simulation {
                         let overhead = self.cfg.host_overhead_ns;
                         let now = self.now;
                         for r in replies {
-                            for f in self.injector.apply(now, mac, r) {
+                            self.injector.apply_into(now, mac, r, &mut fan);
+                            for f in fan.drain(..) {
                                 let arrive = now + overhead + self.cfg.link_time_ns(f.len());
                                 self.schedule(arrive, EventKind::ToSwitch(f));
                             }
                         }
                     } else {
                         self.dropped_no_host += 1;
+                        self.injector.recycle(frame);
                     }
                 }
                 EventKind::Poll => {
@@ -206,7 +258,8 @@ impl Simulation {
                         let emissions = self.switch.poll(self.now);
                         for e in emissions {
                             let depart = e.at_ns.max(self.now);
-                            for f in self.injector.apply(depart, e.dst, e.frame) {
+                            self.injector.apply_into(depart, e.dst, e.frame, &mut fan);
+                            for f in fan.drain(..) {
                                 let arrive = depart + self.cfg.link_time_ns(f.len());
                                 self.schedule(arrive, EventKind::ToHost(e.dst, f));
                             }
@@ -222,7 +275,8 @@ impl Simulation {
                         let overhead = self.cfg.host_overhead_ns;
                         let now = self.now;
                         for r in frames {
-                            for f in self.injector.apply(now, mac, r) {
+                            self.injector.apply_into(now, mac, r, &mut fan);
+                            for f in fan.drain(..) {
                                 let arrive = now + overhead + self.cfg.link_time_ns(f.len());
                                 self.schedule(arrive, EventKind::ToSwitch(f));
                             }
@@ -320,6 +374,36 @@ mod tests {
         assert_eq!(sim.now(), 5_000);
         sim.run_until(1_000);
         assert_eq!(sim.now(), 5_000, "run_until cannot rewind");
+    }
+
+    #[test]
+    fn runts_are_counted_and_dropped() {
+        let mut sim = sim();
+        sim.add_host(Box::new(EchoHost::new(B)));
+        // Too short to carry a source MAC: must not be routed as if
+        // sent by host 00:00:00:00:00:00.
+        sim.send_at(0, vec![0u8; 11]);
+        sim.send_at(0, Vec::new());
+        sim.run_until(1_000_000);
+        assert_eq!(sim.dropped_runts(), 2);
+        assert_eq!(sim.delivered(), 0);
+        // A full-size frame still flows.
+        sim.send_at(sim.now(), plain_frame(B, A, 64));
+        sim.run_until(2_000_000);
+        assert_eq!(sim.delivered(), 1);
+        assert_eq!(sim.dropped_runts(), 2);
+    }
+
+    #[test]
+    fn event_order_is_stable_for_ties() {
+        // Two frames scheduled for the same instant arrive in insertion
+        // order (seq breaks the tie), so delivery counts are exact.
+        let mut sim = sim();
+        sim.add_host(Box::new(EchoHost::new(B)));
+        sim.send_at(100, plain_frame(B, A, 64));
+        sim.send_at(100, plain_frame(B, A, 64));
+        sim.run_until(1_000_000);
+        assert_eq!(sim.delivered(), 2);
     }
 
     #[test]

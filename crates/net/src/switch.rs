@@ -48,6 +48,8 @@ pub struct SwitchNode {
     malformed_active: u64,
     malformed_alloc: u64,
     malformed_control: u64,
+    /// Reused data-plane output buffer (no per-frame Vec).
+    out_buf: Vec<activermt_core::runtime::SwitchOutput>,
 }
 
 impl SwitchNode {
@@ -64,6 +66,7 @@ impl SwitchNode {
             malformed_active: 0,
             malformed_alloc: 0,
             malformed_control: 0,
+            out_buf: Vec::with_capacity(2),
         }
     }
 
@@ -227,9 +230,12 @@ impl SwitchNode {
                 frame,
             }];
         }
-        self.runtime
-            .process_frame_at(now_ns, frame)
-            .into_iter()
+        // The output buffer is a reused field: taken for the borrow,
+        // drained into emissions, put back with its capacity intact.
+        let mut outs = std::mem::take(&mut self.out_buf);
+        self.runtime.process_frame_into(now_ns, frame, &mut outs);
+        let emissions = outs
+            .drain(..)
             .map(|out| {
                 let dst = match (out.dst_override, out.action) {
                     // SET_DST overrides the L2 destination when the
@@ -247,7 +253,9 @@ impl SwitchNode {
                     frame: out.frame,
                 }
             })
-            .collect()
+            .collect();
+        self.out_buf = outs;
+        emissions
     }
 
     fn actions_to_emissions(
