@@ -15,6 +15,7 @@ use activermt_core::runtime::{SwitchOutput, SwitchRuntime};
 use activermt_core::SwitchConfig;
 use activermt_isa::wire::{build_program_packet, RegionEntry};
 use activermt_isa::{Opcode, Program, ProgramBuilder};
+use activermt_telemetry::Telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -145,6 +146,10 @@ pub fn runtime_with_grants() -> SwitchRuntime {
 pub struct HotLoop {
     /// The runtime under test.
     pub rt: SwitchRuntime,
+    /// Telemetry hub the runtime's counters are registered with. Kept
+    /// bound during the loop so the zero-alloc regression test measures
+    /// the frame path *with* the registry active, as deployed.
+    pub telemetry: Telemetry,
     pristine: Vec<u8>,
     buf: Vec<u8>,
     out: Vec<SwitchOutput>,
@@ -154,8 +159,12 @@ impl HotLoop {
     /// Build the loop around `program` (frame encoded once up front).
     pub fn new(program: &Program, payload: &[u8]) -> HotLoop {
         let pristine = build_program_packet(SERVER, CLIENT, FID, 1, program, payload);
+        let telemetry = Telemetry::new();
+        let rt = runtime_with_grants();
+        rt.bind_telemetry(&telemetry);
         HotLoop {
-            rt: runtime_with_grants(),
+            rt,
+            telemetry,
             buf: pristine.clone(),
             pristine,
             out: Vec::with_capacity(2),

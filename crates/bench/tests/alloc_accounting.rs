@@ -1,0 +1,93 @@
+//! Allocator admission accounting stays conserved under churn.
+//!
+//! The telemetry contract for the per-FID accounting is an exact
+//! conservation law: every arrival is either admitted or rejected, so
+//! `admitted + rejected == arrivals` must hold per FID and in total —
+//! across arrivals, departures, and re-admissions of reused FIDs, and
+//! at every allocation granularity the Figure 12 sweep exercises.
+
+use activermt_bench::patterns::{pattern_of, AppKind};
+use activermt_core::alloc::{Allocator, AllocatorConfig, MutantPolicy, Scheme};
+use activermt_core::types::Fid;
+use activermt_core::SwitchConfig;
+use activermt_telemetry::Telemetry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fig12-style churn run at one block granularity: Poisson-free but
+/// randomized arrivals and departures over a mixed workload.
+fn churn_at(block_bytes: u32, seed: u64) -> (Allocator, Telemetry, u64) {
+    let cfg = SwitchConfig::default().with_block_bytes(block_bytes);
+    let telemetry = Telemetry::new();
+    let mut alloc = Allocator::new(AllocatorConfig::from_switch(&cfg, Scheme::WorstFit));
+    alloc.bind_telemetry(&telemetry);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut resident: Vec<Fid> = Vec::new();
+    let mut next_fid: Fid = 1;
+    let mut expected_arrivals = 0u64;
+    for _ in 0..120 {
+        // One departure every few epochs keeps space churning.
+        if !resident.is_empty() && rng.gen_range(0u32..3) == 0 {
+            let idx = rng.gen_range(0..resident.len());
+            let fid = resident.swap_remove(idx);
+            alloc.release(fid).expect("resident fid releases");
+        }
+        let arrivals = rng.gen_range(1usize..=3);
+        for _ in 0..arrivals {
+            let kind = AppKind::ALL[rng.gen_range(0..3usize)];
+            let fid = next_fid;
+            next_fid = next_fid.wrapping_add(1).max(1);
+            expected_arrivals += 1;
+            let pattern = pattern_of(kind, cfg.block_regs * 4);
+            if alloc
+                .admit(fid, &pattern, MutantPolicy::MostConstrained)
+                .is_ok()
+            {
+                resident.push(fid);
+            }
+        }
+    }
+    (alloc, telemetry, expected_arrivals)
+}
+
+#[test]
+fn admitted_plus_rejected_equals_arrivals_under_churn() {
+    for block_bytes in [512u32, 1024, 2048, 4096] {
+        let (alloc, telemetry, expected_arrivals) =
+            churn_at(block_bytes, 9 + u64::from(block_bytes));
+        let (arrivals, admitted, rejected) = alloc.admission_totals();
+        assert_eq!(
+            arrivals, expected_arrivals,
+            "block_bytes={block_bytes}: every admit call is an arrival"
+        );
+        assert_eq!(
+            admitted + rejected,
+            arrivals,
+            "block_bytes={block_bytes}: global conservation"
+        );
+        // The same invariant holds for every per-FID row.
+        let mut per_fid_arrivals = 0u64;
+        for (fid, s) in alloc.fid_accounting() {
+            assert_eq!(
+                s.admitted + s.rejected,
+                s.arrivals,
+                "block_bytes={block_bytes} fid={fid}: per-FID conservation"
+            );
+            per_fid_arrivals += s.arrivals;
+        }
+        assert_eq!(
+            per_fid_arrivals, arrivals,
+            "block_bytes={block_bytes}: rows partition the arrivals"
+        );
+        // The registry exposes the same totals (no double counting).
+        let snap = telemetry.snapshot(0);
+        assert_eq!(snap.counter("alloc.arrivals"), Some(arrivals));
+        assert_eq!(snap.counter("alloc.admitted"), Some(admitted));
+        assert_eq!(snap.counter("alloc.rejected"), Some(rejected));
+        let h = snap
+            .histogram("alloc.admit_ns")
+            .expect("admit_ns registered");
+        assert_eq!(h.count, admitted, "one timing sample per admission");
+    }
+}

@@ -33,6 +33,14 @@ fn steady_state_frames_do_not_allocate() {
         );
         let ds = hl.rt.decode_stats();
         assert!(ds.hits >= 256, "{name}: decode cache must serve the loop");
+        // The telemetry registry was live the whole time — the counters
+        // the snapshot reads are the very cells the hot loop bumped, so
+        // the 0-alloc figure above holds with observability enabled.
+        let snap = hl.telemetry.snapshot(0);
+        assert!(
+            snap.counter("runtime.frames").unwrap_or(0) >= 272,
+            "{name}: registry must observe the frames the loop processed"
+        );
     }
 }
 

@@ -131,6 +131,11 @@ pub struct Shim {
     retx: Option<Retx>,
     malformed: u64,
     retransmits: u64,
+    /// Packet-template cache accounting: sends served from the cached
+    /// prefix, rebuilds, and stale-template invalidations.
+    template_hits: activermt_telemetry::Counter,
+    template_misses: activermt_telemetry::Counter,
+    template_invalidations: activermt_telemetry::Counter,
 }
 
 impl Shim {
@@ -167,7 +172,36 @@ impl Shim {
             retx: None,
             malformed: 0,
             retransmits: 0,
+            template_hits: activermt_telemetry::Counter::new(),
+            template_misses: activermt_telemetry::Counter::new(),
+            template_invalidations: activermt_telemetry::Counter::new(),
         }
+    }
+
+    /// Adopt this shim's template-cache counters into `telemetry`'s
+    /// registry, namespaced by FID so several shims can share a hub.
+    pub fn bind_telemetry(&self, telemetry: &activermt_telemetry::Telemetry) {
+        let reg = telemetry.registry();
+        let fid = self.fid;
+        reg.register_counter(&format!("shim.fid{fid}.template_hits"), &self.template_hits);
+        reg.register_counter(
+            &format!("shim.fid{fid}.template_misses"),
+            &self.template_misses,
+        );
+        reg.register_counter(
+            &format!("shim.fid{fid}.template_invalidations"),
+            &self.template_invalidations,
+        );
+    }
+
+    /// Template-cache accounting:
+    /// `(hits, misses, invalidations)`.
+    pub fn template_cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.template_hits.get(),
+            self.template_misses.get(),
+            self.template_invalidations.get(),
+        )
     }
 
     /// The service identifier.
@@ -306,7 +340,9 @@ impl Shim {
         self.state = ShimState::Idle;
         self.regions.clear();
         self.program = None;
-        self.template = None;
+        if self.template.take().is_some() {
+            self.template_invalidations.inc();
+        }
         self.cancel_retx();
         let seq = self.next_seq();
         build_control(
@@ -329,7 +365,10 @@ impl Shim {
         }
         if self.template.as_ref().map(|&(d, _)| d) != Some(dst) {
             let program = self.program.as_ref()?;
+            self.template_misses.inc();
             self.template = Some((dst, ProgramTemplate::new(dst, self.mac, self.fid, program)));
+        } else {
+            self.template_hits.inc();
         }
         let seq = self.next_seq();
         let (_, template) = self.template.as_ref()?;
@@ -452,7 +491,9 @@ impl Shim {
     fn apply_regions(&mut self, regions: Vec<(usize, RegionEntry)>) {
         // The mutant (and thus the encoded instruction stream) is about
         // to change; the cached packet prefix is stale either way.
-        self.template = None;
+        if self.template.take().is_some() {
+            self.template_invalidations.inc();
+        }
         let mut granted: Vec<usize> = regions.iter().map(|&(s, _)| s).collect();
         granted.sort_unstable();
         let mutants = self.space.enumerate(&self.service.pattern, self.policy);

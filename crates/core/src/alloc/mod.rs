@@ -36,4 +36,4 @@ pub use netvrm::NetVrmAllocator;
 pub use plan::{AllocOutcome, Reallocation, StagePlacement};
 pub use pool::StagePool;
 pub use schemes::Scheme;
-pub use search::{Allocator, AllocatorConfig};
+pub use search::{Allocator, AllocatorConfig, FidAllocStats};

@@ -23,6 +23,7 @@ use crate::config::SwitchConfig;
 use crate::error::{AdmitError, CoreError};
 use crate::types::Fid;
 use activermt_rmt::tcam::range_prefix_count;
+use activermt_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
@@ -133,6 +134,50 @@ pub struct Allocator {
     cfg: AllocatorConfig,
     pools: Vec<StagePool>,
     apps: BTreeMap<Fid, AppRecord>,
+    accounting: AllocAccounting,
+}
+
+/// One FID's admission ledger (a row of the allocator's accounting).
+///
+/// Invariant: `admitted + rejected == arrivals` — every request that
+/// reaches the allocator is resolved one way or the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FidAllocStats {
+    /// Admission requests that reached the allocator.
+    pub arrivals: u64,
+    /// Requests granted memory.
+    pub admitted: u64,
+    /// Requests denied (no feasible mutant, out of memory/TCAM,
+    /// duplicate FID, invalid pattern).
+    pub rejected: u64,
+    /// Times this FID's placement was repacked as a side effect of
+    /// another FID's admission (elastic victim events).
+    pub victim_events: u64,
+}
+
+/// The allocator's admission accounting: registry-adoptable totals, a
+/// compute-time histogram, and the per-FID ledger. `Clone` detaches
+/// the counter cells (the bench harness clones allocators to compare
+/// the memoized and reference searches side by side).
+#[derive(Debug, Default)]
+struct AllocAccounting {
+    arrivals: Counter,
+    admitted: Counter,
+    rejected: Counter,
+    admit_ns: Histogram,
+    per_fid: BTreeMap<Fid, FidAllocStats>,
+}
+
+impl Clone for AllocAccounting {
+    fn clone(&self) -> AllocAccounting {
+        AllocAccounting {
+            arrivals: self.arrivals.detached_copy(),
+            admitted: self.admitted.detached_copy(),
+            rejected: self.rejected.detached_copy(),
+            admit_ns: self.admit_ns.detached_copy(),
+            per_fid: self.per_fid.clone(),
+        }
+    }
 }
 
 impl Allocator {
@@ -151,7 +196,37 @@ impl Allocator {
             cfg,
             pools,
             apps: BTreeMap::new(),
+            accounting: AllocAccounting::default(),
         }
+    }
+
+    /// Adopt the allocator's admission counters and compute-time
+    /// histogram into a metrics registry.
+    pub fn bind_telemetry(&self, telemetry: &Telemetry) {
+        let reg = telemetry.registry();
+        reg.register_counter("alloc.arrivals", &self.accounting.arrivals);
+        reg.register_counter("alloc.admitted", &self.accounting.admitted);
+        reg.register_counter("alloc.rejected", &self.accounting.rejected);
+        reg.register_histogram("alloc.admit_ns", &self.accounting.admit_ns);
+    }
+
+    /// Totals of the admission ledger: `(arrivals, admitted, rejected)`.
+    pub fn admission_totals(&self) -> (u64, u64, u64) {
+        (
+            self.accounting.arrivals.get(),
+            self.accounting.admitted.get(),
+            self.accounting.rejected.get(),
+        )
+    }
+
+    /// The measured admission compute-time histogram (wall-clock ns).
+    pub fn admit_time_histogram(&self) -> &Histogram {
+        &self.accounting.admit_ns
+    }
+
+    /// Per-FID admission ledger rows, sorted by FID.
+    pub fn fid_accounting(&self) -> impl Iterator<Item = (Fid, &FidAllocStats)> {
+        self.accounting.per_fid.iter().map(|(&f, s)| (f, s))
     }
 
     /// The configuration in force.
@@ -264,7 +339,43 @@ impl Allocator {
         self.admit_impl(fid, pattern, policy, false)
     }
 
+    /// Accounting wrapper around the search: every arrival is resolved
+    /// into exactly one of admitted/rejected, keeping the ledger
+    /// invariant `admitted + rejected == arrivals` per FID and in
+    /// total.
     fn admit_impl(
+        &mut self,
+        fid: Fid,
+        pattern: &AccessPattern,
+        policy: MutantPolicy,
+        incremental: bool,
+    ) -> Result<AllocOutcome, AdmitError> {
+        self.accounting.arrivals.inc();
+        self.accounting.per_fid.entry(fid).or_default().arrivals += 1;
+        let result = self.admit_inner(fid, pattern, policy, incremental);
+        match &result {
+            Ok(out) => {
+                self.accounting.admitted.inc();
+                self.accounting.per_fid.entry(fid).or_default().admitted += 1;
+                self.accounting
+                    .admit_ns
+                    .record(out.compute_time.as_nanos().min(u128::from(u64::MAX)) as u64);
+                let mut vfids: Vec<Fid> = out.victims.iter().map(|v| v.fid).collect();
+                vfids.sort_unstable();
+                vfids.dedup();
+                for v in vfids {
+                    self.accounting.per_fid.entry(v).or_default().victim_events += 1;
+                }
+            }
+            Err(_) => {
+                self.accounting.rejected.inc();
+                self.accounting.per_fid.entry(fid).or_default().rejected += 1;
+            }
+        }
+        result
+    }
+
+    fn admit_inner(
         &mut self,
         fid: Fid,
         pattern: &AccessPattern,

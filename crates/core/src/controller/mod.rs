@@ -29,6 +29,7 @@ use crate::error::CoreError;
 use crate::runtime::SwitchRuntime;
 use crate::types::Fid;
 use activermt_isa::wire::RegionEntry;
+use activermt_telemetry::{EventKind, Histogram, Journal, Telemetry};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A timestamped control-plane effect for the surrounding harness.
@@ -114,6 +115,14 @@ pub struct Controller {
     duplicate_requests: u64,
     resent_signals: u64,
     abandoned_reactivations: u64,
+    /// Structured control-plane events (admissions, reallocations,
+    /// snapshot completions, departures). `None` until telemetry is
+    /// bound; the data path never touches it.
+    journal: Option<Journal>,
+    /// End-to-end reallocation latency per admission, ns.
+    realloc_total_ns: Histogram,
+    /// Modeled table-update time per admission, ns.
+    table_update_ns: Histogram,
 }
 
 impl Controller {
@@ -131,6 +140,34 @@ impl Controller {
             duplicate_requests: 0,
             resent_signals: 0,
             abandoned_reactivations: 0,
+            journal: None,
+            realloc_total_ns: Histogram::new(),
+            table_update_ns: Histogram::new(),
+        }
+    }
+
+    /// Build a controller whose allocator accounting, provisioning
+    /// histograms, and event journal all feed the given telemetry hub.
+    pub fn with_telemetry(cfg: &SwitchConfig, scheme: Scheme, telemetry: &Telemetry) -> Controller {
+        let mut c = Controller::new(cfg, scheme);
+        c.bind_telemetry(telemetry);
+        c
+    }
+
+    /// Adopt this controller's metrics into `telemetry`'s registry and
+    /// route structured control-plane events to its journal. Safe to
+    /// call on a controller built with [`Controller::new`].
+    pub fn bind_telemetry(&mut self, telemetry: &Telemetry) {
+        self.allocator.bind_telemetry(telemetry);
+        let reg = telemetry.registry();
+        reg.register_histogram("controller.realloc_total_ns", &self.realloc_total_ns);
+        reg.register_histogram("controller.table_update_ns", &self.table_update_ns);
+        self.journal = Some(telemetry.journal().clone());
+    }
+
+    fn journal_event(&self, at_ns: u64, kind: EventKind) {
+        if let Some(j) = &self.journal {
+            j.record(at_ns, kind);
         }
     }
 
@@ -237,11 +274,17 @@ impl Controller {
         fid: Fid,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
-        let Some(pending) = self.pending.as_mut() else {
-            return Vec::new();
+        let (removed, done) = match self.pending.as_mut() {
+            Some(p) => {
+                let removed = p.waiting.remove(&fid);
+                (removed, p.waiting.is_empty())
+            }
+            None => return Vec::new(),
         };
-        pending.waiting.remove(&fid);
-        if pending.waiting.is_empty() {
+        if removed {
+            self.journal_event(now_ns, EventKind::SnapshotComplete { fid });
+        }
+        if done {
             let mut acts = self.finish_pending(runtime, now_ns);
             acts.extend(self.drain_queue(runtime, now_ns));
             acts
@@ -269,6 +312,7 @@ impl Controller {
             .map(|a| self.cost.decode_entries_per_stage * usize::from(a.mutant.padded_len))
             .unwrap_or(0);
         let victims = self.allocator.release(fid)?;
+        self.journal_event(now_ns, EventKind::Deallocation { fid });
         for stage in runtime.protection().stages_of(fid) {
             entries += runtime.remove_region(stage, fid);
         }
@@ -378,6 +422,13 @@ impl Controller {
                 // Failed allocations are brief (Figure 5a: "epochs with
                 // failed allocations are quite brief").
                 let at_ns = now_ns + self.cost.control_fixed_ns;
+                self.journal_event(
+                    at_ns,
+                    EventKind::Admission {
+                        fid,
+                        accepted: false,
+                    },
+                );
                 vec![
                     ControllerAction::Respond {
                         fid,
@@ -402,6 +453,13 @@ impl Controller {
                 // unrepeatable (and shift fault-window alignment).
                 let alloc_compute_ns = self.cost.alloc_compute_ns(outcome.mutants_considered);
                 let victims = outcome.victims_by_fid();
+                self.journal_event(
+                    now_ns + alloc_compute_ns,
+                    EventKind::Admission {
+                        fid,
+                        accepted: true,
+                    },
+                );
                 if victims.is_empty() {
                     let pending = PendingRealloc {
                         outcome,
@@ -421,6 +479,13 @@ impl Controller {
                 // readable until the tables flip (consistent snapshot,
                 // Section 4.3).
                 let notify_ns = now_ns + alloc_compute_ns + self.cost.control_fixed_ns;
+                self.journal_event(
+                    notify_ns,
+                    EventKind::ReallocationStart {
+                        fid,
+                        victims: victims.len().min(usize::from(u16::MAX)) as u16,
+                    },
+                );
                 let mut acts = Vec::new();
                 let mut snapshot_regs = 0u64;
                 let mut snapshot_stages = 0usize;
@@ -521,6 +586,7 @@ impl Controller {
         let mut acts = Vec::new();
         for &vfid in victims.keys() {
             runtime.reactivate(vfid);
+            self.journal_event(victims_done_ns, EventKind::Reactivation { fid: vfid });
             acts.push(ControllerAction::Respond {
                 fid: vfid,
                 regions: self.regions.get(&vfid).cloned().unwrap_or_default(),
@@ -541,6 +607,22 @@ impl Controller {
                 },
             );
         }
+        self.journal_event(
+            done_ns,
+            EventKind::Placement {
+                fid: outcome.fid,
+                stages: outcome.placements.len().min(usize::from(u16::MAX)) as u16,
+                blocks: outcome
+                    .placements
+                    .iter()
+                    .map(|p| u64::from(p.range.len))
+                    .sum::<u64>()
+                    .min(u64::from(u16::MAX)) as u16,
+            },
+        );
+        self.realloc_total_ns
+            .record(done_ns.saturating_sub(started_ns));
+        self.table_update_ns.record(table_update_ns);
         acts.push(ControllerAction::Respond {
             fid: outcome.fid,
             regions: self.regions.get(&outcome.fid).cloned().unwrap_or_default(),

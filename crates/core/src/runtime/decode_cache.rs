@@ -23,6 +23,7 @@
 use crate::types::Fid;
 use activermt_isa::constants::MAX_PROGRAM_LEN;
 use activermt_isa::{Instruction, Opcode};
+use activermt_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Maximum decoded instructions per program (the one-byte program-length
@@ -106,7 +107,7 @@ impl CachedProgram {
     }
 }
 
-/// Decode-cache telemetry.
+/// Decode-cache telemetry (a point-in-time view of the live counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DecodeCacheStats {
     /// Frames served from the cache without parsing.
@@ -119,12 +120,35 @@ pub struct DecodeCacheStats {
     pub evictions: u64,
 }
 
+/// The live counter cells behind [`DecodeCacheStats`]. Registry-
+/// adoptable handles; `Clone` detaches (deep-copies the values) so a
+/// cloned runtime — the differential tests clone the optimized/
+/// reference pair — never shares cells with the original.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    evictions: Counter,
+}
+
+impl Clone for CacheCounters {
+    fn clone(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.detached_copy(),
+            misses: self.misses.detached_copy(),
+            invalidations: self.invalidations.detached_copy(),
+            evictions: self.evictions.detached_copy(),
+        }
+    }
+}
+
 /// The `(fid, program-bytes hash) → decoded program` memo.
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
     map: HashMap<(Fid, u64), CachedProgram>,
     capacity: usize,
-    stats: DecodeCacheStats,
+    stats: CacheCounters,
 }
 
 /// FNV-1a over the instruction bytes (no allocation, good dispersion
@@ -147,13 +171,26 @@ impl DecodeCache {
         DecodeCache {
             map: HashMap::new(),
             capacity: capacity.max(1),
-            stats: DecodeCacheStats::default(),
+            stats: CacheCounters::default(),
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> DecodeCacheStats {
-        self.stats
+        DecodeCacheStats {
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            invalidations: self.stats.invalidations.get(),
+            evictions: self.stats.evictions.get(),
+        }
+    }
+
+    /// Adopt the cache's live counters into a metrics registry.
+    pub fn bind(&self, registry: &Registry) {
+        registry.register_counter("decode_cache.hits", &self.stats.hits);
+        registry.register_counter("decode_cache.misses", &self.stats.misses);
+        registry.register_counter("decode_cache.invalidations", &self.stats.invalidations);
+        registry.register_counter("decode_cache.evictions", &self.stats.evictions);
     }
 
     /// Resident entries.
@@ -181,14 +218,14 @@ impl DecodeCache {
         // overwrites the slot.
         let hit = matches!(self.map.get(&key), Some(c) if *c.bytes == *bytes);
         if hit {
-            self.stats.hits += 1;
+            self.stats.hits.inc();
             return Ok(&self.map[&key]);
         }
         let (count, start_pc) = decode_into(bytes, scratch)?;
-        self.stats.misses += 1;
+        self.stats.misses.inc();
         if self.map.len() >= self.capacity {
             self.map.clear();
-            self.stats.evictions += 1;
+            self.stats.evictions.inc();
         }
         let entry = CachedProgram {
             bytes: bytes.into(),
@@ -202,7 +239,9 @@ impl DecodeCache {
     pub fn invalidate(&mut self, fid: Fid) {
         let before = self.map.len();
         self.map.retain(|&(f, _), _| f != fid);
-        self.stats.invalidations += (before - self.map.len()) as u64;
+        self.stats
+            .invalidations
+            .add((before - self.map.len()) as u64);
     }
 }
 
@@ -286,6 +325,25 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 1);
         cache.lookup_or_decode(8, &bytes, &mut scratch).unwrap();
         assert_eq!(cache.stats().hits, 1, "fid 8 survived the invalidation");
+    }
+
+    #[test]
+    fn bound_registry_sees_live_counts_but_clones_detach() {
+        let reg = activermt_telemetry::Registry::new();
+        let mut cache = DecodeCache::new(16);
+        cache.bind(&reg);
+        let mut scratch = new_scratch();
+        let bytes = encode(&[Opcode::RETURN]);
+        cache.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        cache.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        assert_eq!(reg.counter("decode_cache.hits").get(), 1);
+        assert_eq!(reg.counter("decode_cache.misses").get(), 1);
+        // A cloned cache keeps its values but detaches from the
+        // registry: further hits on the clone must not leak in.
+        let mut twin = cache.clone();
+        twin.lookup_or_decode(7, &bytes, &mut scratch).unwrap();
+        assert_eq!(twin.stats().hits, 2);
+        assert_eq!(reg.counter("decode_cache.hits").get(), 1);
     }
 
     #[test]

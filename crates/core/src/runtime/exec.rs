@@ -47,7 +47,8 @@ use activermt_rmt::hash::Crc32;
 use activermt_rmt::pipeline::Pipeline;
 use activermt_rmt::traffic::{TrafficManager, Verdict};
 use activermt_rmt::Phv;
-use std::collections::HashSet;
+use activermt_telemetry::{Counter, Registry, Telemetry};
+use std::collections::{BTreeMap, HashSet};
 
 /// Decode-cache capacity: far above any realistic resident-program mix
 /// (the pipeline holds at most tens of FIDs), so steady state never
@@ -78,7 +79,8 @@ pub struct SwitchOutput {
     pub dst_override: Option<u32>,
 }
 
-/// Aggregate runtime statistics.
+/// Aggregate runtime statistics (a point-in-time view of the live
+/// counter cells in [`RuntimeCounters`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Frames processed.
@@ -104,6 +106,86 @@ pub struct RuntimeStats {
     pub malformed_drops: u64,
 }
 
+/// The live counter cells behind [`RuntimeStats`]: lock-free handles a
+/// metrics registry can adopt, incremented with single relaxed atomic
+/// RMWs on the frame path (no allocation — the zero-alloc steady-state
+/// guarantee holds with telemetry bound).
+///
+/// `Clone` detaches: the differential proptests clone a runtime into an
+/// optimized/reference pair and then compare `stats()` across the two,
+/// which would be vacuous if both sides shared counter cells.
+#[derive(Debug, Default)]
+pub(crate) struct RuntimeCounters {
+    pub(crate) frames: Counter,
+    pub(crate) active_frames: Counter,
+    pub(crate) deactivated_passthroughs: Counter,
+    pub(crate) violation_drops: Counter,
+    pub(crate) transparent_forwards: Counter,
+    pub(crate) privilege_drops: Counter,
+    pub(crate) recirc_budget_drops: Counter,
+    pub(crate) malformed_drops: Counter,
+}
+
+impl Clone for RuntimeCounters {
+    fn clone(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            frames: self.frames.detached_copy(),
+            active_frames: self.active_frames.detached_copy(),
+            deactivated_passthroughs: self.deactivated_passthroughs.detached_copy(),
+            violation_drops: self.violation_drops.detached_copy(),
+            transparent_forwards: self.transparent_forwards.detached_copy(),
+            privilege_drops: self.privilege_drops.detached_copy(),
+            recirc_budget_drops: self.recirc_budget_drops.detached_copy(),
+            malformed_drops: self.malformed_drops.detached_copy(),
+        }
+    }
+}
+
+impl RuntimeCounters {
+    fn view(&self) -> RuntimeStats {
+        RuntimeStats {
+            frames: self.frames.get(),
+            active_frames: self.active_frames.get(),
+            deactivated_passthroughs: self.deactivated_passthroughs.get(),
+            violation_drops: self.violation_drops.get(),
+            transparent_forwards: self.transparent_forwards.get(),
+            privilege_drops: self.privilege_drops.get(),
+            recirc_budget_drops: self.recirc_budget_drops.get(),
+            malformed_drops: self.malformed_drops.get(),
+        }
+    }
+
+    fn bind(&self, registry: &Registry) {
+        registry.register_counter("runtime.frames", &self.frames);
+        registry.register_counter("runtime.active_frames", &self.active_frames);
+        registry.register_counter(
+            "runtime.deactivated_passthroughs",
+            &self.deactivated_passthroughs,
+        );
+        registry.register_counter("runtime.violation_drops", &self.violation_drops);
+        registry.register_counter("runtime.transparent_forwards", &self.transparent_forwards);
+        registry.register_counter("runtime.privilege_drops", &self.privilege_drops);
+        registry.register_counter("runtime.recirc_budget_drops", &self.recirc_budget_drops);
+        registry.register_counter("runtime.malformed_drops", &self.malformed_drops);
+    }
+}
+
+/// Per-FID data-plane accounting, maintained inline by the interpreter
+/// (plain integers behind `&mut self` — no atomics needed; the entry is
+/// created on a FID's first packet, so steady-state frames never
+/// allocate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FidPacketStats {
+    /// Program packets interpreted (including ones later dropped).
+    pub interpreted: u64,
+    /// Recirculation passes beyond each packet's first.
+    pub recirculations: u64,
+    /// Packets dropped for protection or privilege violations.
+    pub denials: u64,
+    /// Malformed program packets attributed to this FID.
+    pub malformed: u64,
+}
+
 /// The data-plane half of the ActiveRMT switch.
 ///
 /// Fields are crate-visible so the reference (uncached) execution path
@@ -121,7 +203,8 @@ pub struct SwitchRuntime {
     pub(crate) recirc_limiter: Option<RecircLimiter>,
     pub(crate) decode: DecodeCache,
     pub(crate) scratch: Box<InstrScratch>,
-    pub(crate) stats: RuntimeStats,
+    pub(crate) stats: RuntimeCounters,
+    pub(crate) fid_table: BTreeMap<Fid, FidPacketStats>,
 }
 
 impl SwitchRuntime {
@@ -139,9 +222,26 @@ impl SwitchRuntime {
                 .map(|(rate, burst)| RecircLimiter::new(rate, burst)),
             decode: DecodeCache::new(DECODE_CACHE_CAPACITY),
             scratch: new_scratch(),
-            stats: RuntimeStats::default(),
+            stats: RuntimeCounters::default(),
+            fid_table: BTreeMap::new(),
             config,
         }
+    }
+
+    /// Bring up the runtime with its counters adopted into `telemetry`'s
+    /// registry.
+    pub fn with_telemetry(config: SwitchConfig, telemetry: &Telemetry) -> SwitchRuntime {
+        let rt = SwitchRuntime::new(config);
+        rt.bind_telemetry(telemetry);
+        rt
+    }
+
+    /// Adopt the runtime's live counters (frame accounting plus the
+    /// decode cache's) into `telemetry`'s registry. The handles are
+    /// shared, so the registry observes every subsequent frame.
+    pub fn bind_telemetry(&self, telemetry: &Telemetry) {
+        self.stats.bind(telemetry.registry());
+        self.decode.bind(telemetry.registry());
     }
 
     /// The switch configuration.
@@ -156,7 +256,12 @@ impl SwitchRuntime {
 
     /// Runtime statistics.
     pub fn stats(&self) -> RuntimeStats {
-        self.stats
+        self.stats.view()
+    }
+
+    /// Per-FID data-plane accounting rows, sorted by FID.
+    pub fn fid_stats(&self) -> impl Iterator<Item = (Fid, &FidPacketStats)> {
+        self.fid_table.iter().map(|(&fid, s)| (fid, s))
     }
 
     /// Traffic-manager statistics.
@@ -294,17 +399,17 @@ impl SwitchRuntime {
         mut frame: Vec<u8>,
         out: &mut Vec<SwitchOutput>,
     ) {
-        self.stats.frames += 1;
+        self.stats.frames.inc();
         let half = self.config.pass_latency_ns;
 
         // Non-active traffic is forwarded untouched: the runtime
         // provides baseline L2 forwarding (Section 7.1).
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
-            self.stats.malformed_drops += 1;
+            self.stats.malformed_drops.inc();
             return;
         };
         if eth.ethertype() != ACTIVE_ETHERTYPE {
-            self.stats.transparent_forwards += 1;
+            self.stats.transparent_forwards.inc();
             self.traffic.account(Verdict::Forward);
             out.push(SwitchOutput {
                 frame,
@@ -319,7 +424,7 @@ impl SwitchRuntime {
         let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
             Ok(h) => h,
             Err(_) => {
-                self.stats.malformed_drops += 1;
+                self.stats.malformed_drops.inc();
                 return; // malformed: drop
             }
         };
@@ -342,11 +447,11 @@ impl SwitchRuntime {
             return;
         }
 
-        self.stats.active_frames += 1;
+        self.stats.active_frames.inc();
         if self.deactivated.contains(&fid) {
             // Section 4.3: "deactivates their packet programs ... for
             // the duration of the reallocation process".
-            self.stats.deactivated_passthroughs += 1;
+            self.stats.deactivated_passthroughs.inc();
             let mut h = ActiveHeader::new_unchecked(&mut frame[ETHERNET_HEADER_LEN..]);
             let mut flags = h.flags();
             flags.set_deactivated(true);
@@ -379,7 +484,8 @@ impl SwitchRuntime {
         }
 
         let Ok(layout) = program_packet_layout(&frame) else {
-            self.stats.malformed_drops += 1;
+            self.stats.malformed_drops.inc();
+            self.fid_table.entry(fid).or_default().malformed += 1;
             return; // malformed program packet: drop
         };
 
@@ -395,7 +501,8 @@ impl SwitchRuntime {
         ) {
             Ok(cached) => (cached.instrs(), cached.start_pc()),
             Err(MalformedProgram) => {
-                self.stats.malformed_drops += 1;
+                self.stats.malformed_drops.inc();
+                self.fid_table.entry(fid).or_default().malformed += 1;
                 return;
             }
         };
@@ -466,7 +573,7 @@ impl SwitchRuntime {
                 if !privileged && ins.opcode.requires_privilege() && !phv.disabled {
                     // Unprivileged use of a gated opcode: treat like a
                     // protection violation (Section 7.2).
-                    self.stats.privilege_drops += 1;
+                    self.stats.privilege_drops.inc();
                     phv.violation = true;
                     self.pipeline.stage_mut(stage_idx).stats.violations += 1;
                     pc += 1;
@@ -519,7 +626,7 @@ impl SwitchRuntime {
             }
             if let Some(l) = self.recirc_limiter.as_mut() {
                 if !l.allow(fid, now_ns) {
-                    self.stats.recirc_budget_drops += 1;
+                    self.stats.recirc_budget_drops.inc();
                     phv.drop = true;
                     break 'outer;
                 }
@@ -537,7 +644,7 @@ impl SwitchRuntime {
                     None => true,
                 };
                 if !budget_ok {
-                    self.stats.recirc_budget_drops += 1;
+                    self.stats.recirc_budget_drops.inc();
                     phv.drop = true;
                 } else if self.traffic.may_recirculate(phv.recirc_count) {
                     phv.recirc_count = phv.recirc_count.saturating_add(1);
@@ -552,7 +659,18 @@ impl SwitchRuntime {
         }
 
         if phv.violation {
-            self.stats.violation_drops += 1;
+            self.stats.violation_drops.inc();
+        }
+        // Per-FID accounting: one map touch per interpreted frame (the
+        // entry already exists past the FID's first packet, so the
+        // steady state allocates nothing).
+        {
+            let f = self.fid_table.entry(fid).or_default();
+            f.interpreted += 1;
+            f.recirculations += u64::from(passes.saturating_sub(1));
+            if phv.violation {
+                f.denials += 1;
+            }
         }
         if phv.drop || phv.violation {
             self.traffic.account(Verdict::Drop);

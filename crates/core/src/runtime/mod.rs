@@ -24,6 +24,6 @@ pub mod recirc;
 pub mod reference;
 
 pub use decode_cache::{DecodeCache, DecodeCacheStats, MAX_INSTRS};
-pub use exec::{OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime};
+pub use exec::{FidPacketStats, OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime};
 pub use protect::{ProtEntry, ProtSlot, ProtectionTables};
 pub use recirc::RecircLimiter;

@@ -238,6 +238,19 @@ impl ProtectionTables {
             .find_map(|s| self.stages[s][slot])
     }
 
+    /// Every FID currently holding at least one entry, ascending
+    /// (snapshot assembly walks this to build per-FID occupancy rows).
+    pub fn resident_fids(&self) -> Vec<Fid> {
+        let mut fids: Vec<Fid> = self.slot_of.keys().copied().collect();
+        fids.sort_unstable();
+        fids
+    }
+
+    /// Total TCAM entries installed across every stage.
+    pub fn total_entries(&self) -> usize {
+        (0..self.stages.len()).map(|s| self.stage_entries(s)).sum()
+    }
+
     /// Stages in which `fid` holds a region, ascending.
     pub fn stages_of(&self, fid: Fid) -> Vec<usize> {
         let Some(slot) = self.slot_of(fid) else {

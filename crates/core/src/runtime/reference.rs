@@ -55,15 +55,15 @@ impl SwitchRuntime {
         now_ns: u64,
         mut frame: Vec<u8>,
     ) -> Vec<SwitchOutput> {
-        self.stats.frames += 1;
+        self.stats.frames.inc();
         let half = self.config.pass_latency_ns;
 
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
-            self.stats.malformed_drops += 1;
+            self.stats.malformed_drops.inc();
             return Vec::new();
         };
         if eth.ethertype() != ACTIVE_ETHERTYPE {
-            self.stats.transparent_forwards += 1;
+            self.stats.transparent_forwards.inc();
             self.traffic.account(Verdict::Forward);
             return vec![SwitchOutput {
                 frame,
@@ -77,7 +77,7 @@ impl SwitchRuntime {
         let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
             Ok(h) => h,
             Err(_) => {
-                self.stats.malformed_drops += 1;
+                self.stats.malformed_drops.inc();
                 return Vec::new();
             }
         };
@@ -94,9 +94,9 @@ impl SwitchRuntime {
             }];
         }
 
-        self.stats.active_frames += 1;
+        self.stats.active_frames.inc();
         if self.deactivated.contains(&fid) {
-            self.stats.deactivated_passthroughs += 1;
+            self.stats.deactivated_passthroughs.inc();
             let mut h = ActiveHeader::new_unchecked(&mut frame[ETHERNET_HEADER_LEN..]);
             let mut flags = h.flags();
             flags.set_deactivated(true);
@@ -123,7 +123,8 @@ impl SwitchRuntime {
         }
 
         let Ok(layout) = program_packet_layout(&frame) else {
-            self.stats.malformed_drops += 1;
+            self.stats.malformed_drops.inc();
+            self.fid_table.entry(fid).or_default().malformed += 1;
             return Vec::new();
         };
 
@@ -132,7 +133,8 @@ impl SwitchRuntime {
         let instrs = match Self::decode_reference(&frame[layout.instr_off..layout.payload_off]) {
             Ok(i) => i,
             Err(MalformedProgram) => {
-                self.stats.malformed_drops += 1;
+                self.stats.malformed_drops.inc();
+                self.fid_table.entry(fid).or_default().malformed += 1;
                 return Vec::new();
             }
         };
@@ -180,7 +182,7 @@ impl SwitchRuntime {
                     && !self.privileged.contains(&fid)
                     && !phv.disabled
                 {
-                    self.stats.privilege_drops += 1;
+                    self.stats.privilege_drops.inc();
                     phv.violation = true;
                     self.pipeline.stage_mut(stage_idx).stats.violations += 1;
                     pc += 1;
@@ -228,7 +230,7 @@ impl SwitchRuntime {
             }
             if let Some(l) = self.recirc_limiter.as_mut() {
                 if !l.allow(fid, now_ns) {
-                    self.stats.recirc_budget_drops += 1;
+                    self.stats.recirc_budget_drops.inc();
                     phv.drop = true;
                     break 'outer;
                 }
@@ -244,7 +246,7 @@ impl SwitchRuntime {
                     None => true,
                 };
                 if !budget_ok {
-                    self.stats.recirc_budget_drops += 1;
+                    self.stats.recirc_budget_drops.inc();
                     phv.drop = true;
                 } else if self.traffic.may_recirculate(phv.recirc_count) {
                     phv.recirc_count = phv.recirc_count.saturating_add(1);
@@ -259,7 +261,16 @@ impl SwitchRuntime {
         }
 
         if phv.violation {
-            self.stats.violation_drops += 1;
+            self.stats.violation_drops.inc();
+        }
+        // Per-FID accounting, mirroring the optimized path exactly.
+        {
+            let f = self.fid_table.entry(fid).or_default();
+            f.interpreted += 1;
+            f.recirculations += u64::from(passes.saturating_sub(1));
+            if phv.violation {
+                f.denials += 1;
+            }
         }
         if phv.drop || phv.violation {
             self.traffic.account(Verdict::Drop);

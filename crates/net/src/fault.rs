@@ -18,6 +18,7 @@
 //!
 //! [`Simulation`]: crate::sim::Simulation
 
+use activermt_telemetry::{EventKind, FaultKind, Journal, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -220,6 +221,33 @@ impl FaultStats {
 /// Buffers kept around for reuse (bounds the pool's memory footprint).
 const FRAME_POOL_CAP: usize = 64;
 
+/// The injector-side counters, as registry-adoptable cells. The public
+/// [`FaultInjector::stats`] view is assembled from these, so binding
+/// the injector to a [`Telemetry`] hub exposes the same numbers under
+/// `faults.*` without double counting.
+#[derive(Debug, Default)]
+struct InjectorCounters {
+    losses: activermt_telemetry::Counter,
+    corruptions: activermt_telemetry::Counter,
+    truncations: activermt_telemetry::Counter,
+    duplicates: activermt_telemetry::Counter,
+    stalled_polls: activermt_telemetry::Counter,
+}
+
+impl Clone for InjectorCounters {
+    /// Cloned injectors (fresh fault processes) must not share cells
+    /// with the original, so clones detach.
+    fn clone(&self) -> InjectorCounters {
+        InjectorCounters {
+            losses: self.losses.detached_copy(),
+            corruptions: self.corruptions.detached_copy(),
+            truncations: self.truncations.detached_copy(),
+            duplicates: self.duplicates.detached_copy(),
+            stalled_polls: self.stalled_polls.detached_copy(),
+        }
+    }
+}
+
 /// The stateful fault process: one seeded PRNG walking a [`FaultPlan`].
 ///
 /// The injector doubles as the simulation's frame-buffer pool: frames
@@ -231,7 +259,9 @@ const FRAME_POOL_CAP: usize = 64;
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SmallRng,
-    stats: FaultStats,
+    counters: InjectorCounters,
+    /// Journal for `FaultInjected` events; `None` until bound.
+    journal: Option<Journal>,
     pool: Vec<Vec<u8>>,
 }
 
@@ -242,8 +272,27 @@ impl FaultInjector {
         FaultInjector {
             plan,
             rng,
-            stats: FaultStats::default(),
+            counters: InjectorCounters::default(),
+            journal: None,
             pool: Vec::new(),
+        }
+    }
+
+    /// Adopt the injector's counters into `telemetry`'s registry (as
+    /// `faults.*`) and journal every injected fault.
+    pub fn bind_telemetry(&mut self, telemetry: &Telemetry) {
+        let reg = telemetry.registry();
+        reg.register_counter("faults.injected_losses", &self.counters.losses);
+        reg.register_counter("faults.injected_corruptions", &self.counters.corruptions);
+        reg.register_counter("faults.injected_truncations", &self.counters.truncations);
+        reg.register_counter("faults.injected_duplicates", &self.counters.duplicates);
+        reg.register_counter("faults.stalled_polls", &self.counters.stalled_polls);
+        self.journal = Some(telemetry.journal().clone());
+    }
+
+    fn journal_fault(&self, now: u64, fault: FaultKind) {
+        if let Some(j) = &self.journal {
+            j.record(now, EventKind::FaultInjected { fault });
         }
     }
 
@@ -269,9 +318,19 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Injector-side counters accumulated so far.
-    pub fn stats(&self) -> &FaultStats {
-        &self.stats
+    /// Injector-side counters accumulated so far (recovery-side fields
+    /// are zero; the simulation overlays them).
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            injected_losses: self.counters.losses.get(),
+            injected_corruptions: self.counters.corruptions.get(),
+            injected_truncations: self.counters.truncations.get(),
+            injected_duplicates: self.counters.duplicates.get(),
+            stalled_polls: self.counters.stalled_polls.get(),
+            switch_malformed: 0,
+            host_malformed: 0,
+            retransmits: 0,
+        }
     }
 
     fn roll(&mut self, per_mille: u32) -> bool {
@@ -320,12 +379,14 @@ impl FaultInjector {
         }
         let loss = self.loss_per_mille(now, host_mac);
         if self.roll(loss) {
-            self.stats.injected_losses += 1;
+            self.counters.losses.inc();
+            self.journal_fault(now, FaultKind::Loss);
             self.recycle(frame);
             return;
         }
         if !frame.is_empty() && self.roll(self.plan.corrupt_per_mille) {
-            self.stats.injected_corruptions += 1;
+            self.counters.corruptions.inc();
+            self.journal_fault(now, FaultKind::Corruption);
             let flips = self.rng.gen_range(1usize..=3).min(frame.len());
             for _ in 0..flips {
                 let at = self.rng.gen_range(0..frame.len());
@@ -334,12 +395,14 @@ impl FaultInjector {
             }
         }
         if !frame.is_empty() && self.roll(self.plan.truncate_per_mille) {
-            self.stats.injected_truncations += 1;
+            self.counters.truncations.inc();
+            self.journal_fault(now, FaultKind::Truncation);
             let keep = self.rng.gen_range(0..frame.len());
             frame.truncate(keep);
         }
         if self.roll(self.plan.duplicate_per_mille) {
-            self.stats.injected_duplicates += 1;
+            self.counters.duplicates.inc();
+            self.journal_fault(now, FaultKind::Duplication);
             out.push(self.pooled_copy(&frame));
             out.push(frame);
             return;
@@ -352,7 +415,8 @@ impl FaultInjector {
     pub fn poll_stalled(&mut self, now: u64) -> bool {
         let stalled = self.plan.controller_stalls.iter().any(|w| w.contains(now));
         if stalled {
-            self.stats.stalled_polls += 1;
+            self.counters.stalled_polls.inc();
+            self.journal_fault(now, FaultKind::Stall);
         }
         stalled
     }
@@ -465,7 +529,7 @@ mod tests {
             for t in 0..500u64 {
                 out.push(inj.apply(t, MAC, (0..32).map(|b| b as u8).collect()));
             }
-            (out, *inj.stats())
+            (out, inj.stats())
         };
         assert_eq!(run(), run());
     }

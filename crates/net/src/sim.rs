@@ -22,6 +22,7 @@ use crate::config::NetConfig;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::host::Host;
 use crate::switch::SwitchNode;
+use activermt_telemetry::{Counter, DropLayer, EventKind as JournalEventKind, TelemetrySnapshot};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -83,9 +84,9 @@ pub struct Simulation {
     queue: BinaryHeap<Event>,
     switch: SwitchNode,
     hosts: HashMap<[u8; 6], Box<dyn Host>>,
-    delivered: u64,
-    dropped_no_host: u64,
-    dropped_runts: u64,
+    delivered: Counter,
+    dropped_no_host: Counter,
+    dropped_runts: Counter,
     injector: FaultInjector,
 }
 
@@ -96,8 +97,18 @@ impl Simulation {
     }
 
     /// Build a simulation whose links and controller poll run under
-    /// the given fault plan.
+    /// the given fault plan. The injector and the sim's own delivery
+    /// counters are bound to the switch's telemetry hub.
     pub fn with_faults(cfg: NetConfig, switch: SwitchNode, plan: FaultPlan) -> Simulation {
+        let mut injector = FaultInjector::new(plan);
+        injector.bind_telemetry(switch.telemetry());
+        let delivered = Counter::new();
+        let dropped_no_host = Counter::new();
+        let dropped_runts = Counter::new();
+        let reg = switch.telemetry().registry();
+        reg.register_counter("sim.delivered", &delivered);
+        reg.register_counter("sim.dropped_no_host", &dropped_no_host);
+        reg.register_counter("sim.dropped_runts", &dropped_runts);
         let mut sim = Simulation {
             cfg,
             now: 0,
@@ -105,10 +116,10 @@ impl Simulation {
             queue: BinaryHeap::new(),
             switch,
             hosts: HashMap::new(),
-            delivered: 0,
-            dropped_no_host: 0,
-            dropped_runts: 0,
-            injector: FaultInjector::new(plan),
+            delivered,
+            dropped_no_host,
+            dropped_runts,
+            injector,
         };
         sim.schedule(cfg.controller_poll_ns, EventKind::Poll);
         sim
@@ -131,18 +142,18 @@ impl Simulation {
 
     /// Frames delivered to hosts so far.
     pub fn delivered(&self) -> u64 {
-        self.delivered
+        self.delivered.get()
     }
 
     /// Frames addressed to unknown hosts (dropped).
     pub fn dropped_no_host(&self) -> u64 {
-        self.dropped_no_host
+        self.dropped_no_host.get()
     }
 
     /// Frames rejected at ingress because they are too short to carry
     /// an Ethernet source address (runts).
     pub fn dropped_runts(&self) -> u64 {
-        self.dropped_runts
+        self.dropped_runts.get()
     }
 
     /// Frames lost to the injected loss process.
@@ -150,11 +161,17 @@ impl Simulation {
         self.injector.stats().injected_losses
     }
 
+    /// A full telemetry export at the current virtual time: metrics,
+    /// journal, and per-FID rows, assembled by the switch node.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.switch.telemetry_snapshot(self.now)
+    }
+
     /// A snapshot of the fault picture: what the injector did, and the
     /// malformed-frame drops and retransmissions the stack answered
     /// with (aggregated live from the switch and every host).
     pub fn fault_stats(&self) -> FaultStats {
-        let mut stats = *self.injector.stats();
+        let mut stats = self.injector.stats();
         stats.switch_malformed = self.switch.malformed_frames();
         for host in self.hosts.values() {
             let hs = host.fault_stats();
@@ -190,7 +207,13 @@ impl Simulation {
     pub fn send_at(&mut self, at_ns: u64, frame: Vec<u8>) {
         let now = at_ns.max(self.now);
         let Some(host) = src_mac(&frame) else {
-            self.dropped_runts += 1;
+            self.dropped_runts.inc();
+            self.switch.telemetry().record_event(
+                now,
+                JournalEventKind::MalformedDrop {
+                    layer: DropLayer::Runt,
+                },
+            );
             self.injector.recycle(frame);
             return;
         };
@@ -237,7 +260,7 @@ impl Simulation {
                 }
                 EventKind::ToHost(mac, frame) => {
                     if let Some(host) = self.hosts.get_mut(&mac) {
-                        self.delivered += 1;
+                        self.delivered.inc();
                         let replies = host.on_frame(self.now, frame);
                         let overhead = self.cfg.host_overhead_ns;
                         let now = self.now;
@@ -249,7 +272,7 @@ impl Simulation {
                             }
                         }
                     } else {
-                        self.dropped_no_host += 1;
+                        self.dropped_no_host.inc();
                         self.injector.recycle(frame);
                     }
                 }

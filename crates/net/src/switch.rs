@@ -16,7 +16,8 @@ use activermt_isa::wire::{
     build_alloc_response, build_control, ActiveHeader, AllocRequest, ControlOp, EthernetFrame,
     PacketType,
 };
-use std::collections::HashMap;
+use activermt_telemetry::{Counter, DropLayer, EventKind, FidRow, Telemetry, TelemetrySnapshot};
+use std::collections::{BTreeMap, HashMap};
 
 /// A frame leaving the switch, with its earliest departure time and
 /// destination MAC.
@@ -42,32 +43,93 @@ pub struct SwitchNode {
     ports: HashMap<u32, [u8; 6]>,
     /// Provisioning reports, timestamped (the Figure 8a series).
     reports: Vec<(u64, ProvisioningReport)>,
+    /// The switch-wide telemetry hub every component feeds.
+    telemetry: Telemetry,
     /// Frames rejected at the switch ports as malformed (truncated or
     /// corrupted beyond parsing), by parse layer.
-    malformed_eth: u64,
-    malformed_active: u64,
-    malformed_alloc: u64,
-    malformed_control: u64,
+    malformed_eth: Counter,
+    malformed_active: Counter,
+    malformed_alloc: Counter,
+    malformed_control: Counter,
     /// Reused data-plane output buffer (no per-frame Vec).
     out_buf: Vec<activermt_core::runtime::SwitchOutput>,
 }
 
 impl SwitchNode {
-    /// Bring up a switch with the given allocation scheme.
+    /// Bring up a switch with the given allocation scheme. The node
+    /// owns a [`Telemetry`] hub; the runtime, controller and the
+    /// node's own port-parser counters are all bound to it.
     pub fn new(mac: [u8; 6], cfg: SwitchConfig, scheme: Scheme) -> SwitchNode {
+        let telemetry = Telemetry::new();
+        let reg = telemetry.registry();
+        let malformed_eth = Counter::new();
+        let malformed_active = Counter::new();
+        let malformed_alloc = Counter::new();
+        let malformed_control = Counter::new();
+        reg.register_counter("switch.malformed_eth", &malformed_eth);
+        reg.register_counter("switch.malformed_active", &malformed_active);
+        reg.register_counter("switch.malformed_alloc", &malformed_alloc);
+        reg.register_counter("switch.malformed_control", &malformed_control);
         SwitchNode {
             mac,
-            runtime: SwitchRuntime::new(cfg),
-            controller: Controller::new(&cfg, scheme),
+            runtime: SwitchRuntime::with_telemetry(cfg, &telemetry),
+            controller: Controller::with_telemetry(&cfg, scheme, &telemetry),
             clients: HashMap::new(),
             ports: HashMap::new(),
             reports: Vec::new(),
-            malformed_eth: 0,
-            malformed_active: 0,
-            malformed_alloc: 0,
-            malformed_control: 0,
+            telemetry,
+            malformed_eth,
+            malformed_active,
+            malformed_alloc,
+            malformed_control,
             out_buf: Vec::with_capacity(2),
         }
+    }
+
+    /// The switch-wide telemetry hub (bind injectors, take snapshots).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Export a point-in-time [`TelemetrySnapshot`]: every registered
+    /// metric, the retained journal, and per-FID rows merged from the
+    /// interpreter, the allocator's admission accounting, and the
+    /// current placements.
+    pub fn telemetry_snapshot(&self, now_ns: u64) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot(now_ns);
+        let mut rows: BTreeMap<Fid, FidRow> = BTreeMap::new();
+        for (fid, s) in self.runtime.fid_stats() {
+            let r = rows.entry(fid).or_insert_with(|| FidRow {
+                fid,
+                ..FidRow::default()
+            });
+            r.interpreted = s.interpreted;
+            r.recirculations = s.recirculations;
+            r.denials = s.denials;
+            r.malformed = s.malformed;
+        }
+        let alloc = self.controller.allocator();
+        for (fid, a) in alloc.fid_accounting() {
+            let r = rows.entry(fid).or_insert_with(|| FidRow {
+                fid,
+                ..FidRow::default()
+            });
+            r.arrivals = a.arrivals;
+            r.admitted = a.admitted;
+            r.rejected = a.rejected;
+            r.reallocations = a.victim_events;
+        }
+        for fid in self.runtime.protection().resident_fids() {
+            let placements = alloc.placements_of(fid);
+            let r = rows.entry(fid).or_insert_with(|| FidRow {
+                fid,
+                ..FidRow::default()
+            });
+            r.stages = placements.len() as u32;
+            r.blocks = placements.iter().map(|p| p.range.len).sum();
+        }
+        snap.fids = rows.into_values().collect();
+        snap
     }
 
     /// The switch's own MAC (clients address control traffic here).
@@ -104,10 +166,10 @@ impl SwitchNode {
     /// parse layer (Ethernet, active header, allocation request body,
     /// control op) plus program packets the runtime rejected.
     pub fn malformed_frames(&self) -> u64 {
-        self.malformed_eth
-            + self.malformed_active
-            + self.malformed_alloc
-            + self.malformed_control
+        self.malformed_eth.get()
+            + self.malformed_active.get()
+            + self.malformed_alloc.get()
+            + self.malformed_control.get()
             + self.runtime.stats().malformed_drops
     }
 
@@ -115,11 +177,17 @@ impl SwitchNode {
     /// `(ethernet, active_header, alloc_request, control_op)`.
     pub fn malformed_by_layer(&self) -> (u64, u64, u64, u64) {
         (
-            self.malformed_eth,
-            self.malformed_active,
-            self.malformed_alloc,
-            self.malformed_control,
+            self.malformed_eth.get(),
+            self.malformed_active.get(),
+            self.malformed_alloc.get(),
+            self.malformed_control.get(),
         )
+    }
+
+    fn malformed_drop(&self, now_ns: u64, counter: &Counter, layer: DropLayer) {
+        counter.inc();
+        self.telemetry
+            .record_event(now_ns, EventKind::MalformedDrop { layer });
     }
 
     /// Periodic controller poll (timeouts, queued admissions).
@@ -131,7 +199,7 @@ impl SwitchNode {
     /// Process one arriving frame.
     pub fn handle_frame(&mut self, now_ns: u64, frame: Vec<u8>) -> Vec<SwitchEmission> {
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
-            self.malformed_eth += 1;
+            self.malformed_drop(now_ns, &self.malformed_eth, DropLayer::Ethernet);
             return Vec::new();
         };
         if eth.ethertype() != activermt_isa::constants::ACTIVE_ETHERTYPE {
@@ -139,7 +207,7 @@ impl SwitchNode {
         }
         let src = eth.src();
         let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
-            self.malformed_active += 1;
+            self.malformed_drop(now_ns, &self.malformed_active, DropLayer::ActiveHeader);
             return Vec::new();
         };
         let fid = hdr.fid();
@@ -151,7 +219,7 @@ impl SwitchNode {
                 let ingress = hdr.aux();
                 let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
                 let Ok(req) = AllocRequest::new_checked(body) else {
-                    self.malformed_alloc += 1;
+                    self.malformed_drop(now_ns, &self.malformed_alloc, DropLayer::AllocRequest);
                     return Vec::new();
                 };
                 let pattern = AccessPattern::from_request(
@@ -205,7 +273,7 @@ impl SwitchNode {
                 }
                 Ok(_) => Vec::new(),
                 Err(_) => {
-                    self.malformed_control += 1;
+                    self.malformed_drop(now_ns, &self.malformed_control, DropLayer::Control);
                     Vec::new()
                 }
             },

@@ -3,7 +3,9 @@
 //! The paper's figures plot hit rates and provisioning metrics over
 //! time with EWMA smoothing (α = 0.1 for Figure 5b's allocation times,
 //! α = 0.6 for Figure 7c's reallocation fractions); [`Series`] collects
-//! timestamped samples and produces the same views.
+//! timestamped samples and produces the same views. The smoothing
+//! itself is [`activermt_telemetry::Ewma`] — one EWMA implementation
+//! for the whole workspace.
 
 /// A timestamped sample series.
 #[derive(Debug, Clone, Default)]
@@ -47,18 +49,12 @@ impl Series {
 
     /// EWMA-smoothed copy (the paper's solid overlay lines).
     pub fn ewma(&self, alpha: f64) -> Series {
+        let mut filter = activermt_telemetry::Ewma::new(alpha);
         Series {
             points: self
                 .points
                 .iter()
-                .scan(None, |state: &mut Option<f64>, &(t, v)| {
-                    let s = match *state {
-                        None => v,
-                        Some(prev) => alpha * v + (1.0 - alpha) * prev,
-                    };
-                    *state = Some(s);
-                    Some((t, s))
-                })
+                .map(|&(t, v)| (t, filter.update(v)))
                 .collect(),
         }
     }
@@ -96,20 +92,9 @@ impl Series {
     }
 }
 
-/// EWMA over a plain slice (epoch-indexed figures).
-pub fn ewma(values: &[f64], alpha: f64) -> Vec<f64> {
-    let mut out = Vec::with_capacity(values.len());
-    let mut state: Option<f64> = None;
-    for &v in values {
-        let s = match state {
-            None => v,
-            Some(prev) => alpha * v + (1.0 - alpha) * prev,
-        };
-        state = Some(s);
-        out.push(s);
-    }
-    out
-}
+/// EWMA over a plain slice (epoch-indexed figures). Re-exported from
+/// the telemetry crate so existing callers keep their import path.
+pub use activermt_telemetry::ewma;
 
 /// Percentile of a sample set (nearest-rank; `p` in [0, 100]).
 pub fn percentile(values: &[f64], p: f64) -> f64 {

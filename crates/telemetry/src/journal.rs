@@ -1,0 +1,245 @@
+//! The bounded event journal: a ring buffer of structured control-plane
+//! events with monotonic sequence numbers.
+//!
+//! The journal records *transitions* — admissions, placements, snapshot
+//! start/finish, reactivations, fault injections, malformed drops — not
+//! per-packet activity, so it is written only on control-plane edges
+//! and injected faults. Steady-state forwarding never touches it,
+//! which keeps the zero-alloc hot-path guarantee intact. The ring is
+//! pre-allocated at construction; once full, the oldest events are
+//! overwritten, but sequence numbers keep counting so a reader can
+//! detect the gap (`total_recorded() - len()` events have been lost).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// What kind of fault the injector applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Frame silently dropped.
+    Loss,
+    /// Payload bytes flipped.
+    Corruption,
+    /// Frame truncated.
+    Truncation,
+    /// Frame delivered twice.
+    Duplication,
+    /// Controller poll stalled.
+    Stall,
+}
+
+/// Which parser rejected a malformed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropLayer {
+    /// Too short for an Ethernet header.
+    Ethernet,
+    /// Active header failed validation.
+    ActiveHeader,
+    /// Allocation-request payload unparseable.
+    AllocRequest,
+    /// Control operation unparseable.
+    Control,
+    /// Instruction stream undecodable.
+    Program,
+    /// Runt frame dropped by the link.
+    Runt,
+}
+
+/// A structured control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The controller answered an allocation request.
+    Admission {
+        /// Requesting FID.
+        fid: u16,
+        /// Whether memory was granted.
+        accepted: bool,
+    },
+    /// A (re)placement materialized in the pipeline tables.
+    Placement {
+        /// Placed FID.
+        fid: u16,
+        /// Stages occupied.
+        stages: u16,
+        /// Memory blocks occupied.
+        blocks: u16,
+    },
+    /// A reallocation began: victims quiesced for state extraction.
+    ReallocationStart {
+        /// The arriving FID that triggered it.
+        fid: u16,
+        /// Number of victim FIDs deactivated.
+        victims: u16,
+    },
+    /// A victim acknowledged its snapshot (state extraction finished).
+    SnapshotComplete {
+        /// Victim FID.
+        fid: u16,
+    },
+    /// A quiesced FID resumed processing.
+    Reactivation {
+        /// Resumed FID.
+        fid: u16,
+    },
+    /// A FID released its memory.
+    Deallocation {
+        /// Departing FID.
+        fid: u16,
+    },
+    /// The fault injector perturbed a frame or a poll.
+    FaultInjected {
+        /// Which perturbation.
+        fault: FaultKind,
+    },
+    /// A parser dropped a malformed frame.
+    MalformedDrop {
+        /// Which layer rejected it.
+        layer: DropLayer,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotonic sequence number (never reset, survives ring wrap).
+    pub seq: u64,
+    /// Virtual timestamp, ns.
+    pub at_ns: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+struct JournalInner {
+    ring: VecDeque<JournalEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+/// The shared, bounded event journal. `Clone` shares the ring.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+/// Default ring capacity: ample for any scenario's control-plane
+/// timeline while bounding memory to a few tens of KiB.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal with the default capacity.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// A journal bounded at `capacity` events (the ring is
+    /// pre-allocated; recording never allocates).
+    pub fn with_capacity(capacity: usize) -> Journal {
+        let capacity = capacity.max(1);
+        Journal {
+            inner: Arc::new(Mutex::new(JournalInner {
+                ring: VecDeque::with_capacity(capacity),
+                capacity,
+                next_seq: 0,
+            })),
+        }
+    }
+
+    /// Record an event; returns its sequence number.
+    pub fn record(&self, at_ns: u64, kind: EventKind) -> u64 {
+        let mut j = self.inner.lock().unwrap();
+        let seq = j.next_seq;
+        j.next_seq += 1;
+        if j.ring.len() == j.capacity {
+            j.ring.pop_front();
+        }
+        j.ring.push_back(JournalEvent { seq, at_ns, kind });
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.inner.lock().unwrap().ring.iter().copied().collect()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Is the journal empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
+    /// Events ever recorded (including those overwritten by wrap).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let j = self.inner.lock().unwrap();
+        write!(
+            f,
+            "Journal(len={}, cap={}, total={})",
+            j.ring.len(),
+            j.capacity,
+            j.next_seq
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let j = Journal::with_capacity(8);
+        for i in 0..5u64 {
+            let seq = j.record(i * 10, EventKind::Reactivation { fid: i as u16 });
+            assert_eq!(seq, i);
+        }
+        let ev = j.events();
+        assert_eq!(ev.len(), 5);
+        assert!(ev.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    fn ring_wraps_but_sequence_survives() {
+        let j = Journal::with_capacity(4);
+        for i in 0..10u64 {
+            j.record(i, EventKind::SnapshotComplete { fid: 1 });
+        }
+        let ev = j.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].seq, 6, "oldest retained after wrap");
+        assert_eq!(j.total_recorded(), 10);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let a = Journal::new();
+        let b = a.clone();
+        b.record(
+            0,
+            EventKind::Admission {
+                fid: 3,
+                accepted: true,
+            },
+        );
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Switch-wide observability for the ActiveRMT reproduction.
+//!
+//! The paper's entire evaluation (Figures 5–13) is built from
+//! measurements the switch and controller expose — allocation latency,
+//! per-stage utilization, recirculation counts, reallocation churn.
+//! This crate is the one place those measurements live:
+//!
+//! * [`Counter`], [`Gauge`], [`Histogram`] — lock-free, `Arc`-backed
+//!   primitives whose hot-path operations are single relaxed atomic
+//!   RMWs (no allocation: the interpreter's zero-alloc steady state
+//!   survives with metrics enabled);
+//! * [`Registry`] — the shared name → metric map, touched only at
+//!   registration and snapshot time;
+//! * [`Journal`] — a bounded ring of structured control-plane events
+//!   (admission, placement, snapshot start/finish, reactivation, fault
+//!   injection, malformed drops) with monotonic sequence numbers;
+//! * [`TelemetrySnapshot`] — a point-in-time export with JSON and
+//!   Prometheus-text renderers, plus per-FID accounting rows
+//!   ([`FidRow`]);
+//! * [`Ewma`]/[`ewma`] — the single EWMA implementation the evaluation
+//!   harness shares.
+//!
+//! The crate sits below every other workspace crate (it depends on
+//! nothing) so the runtime, allocator, controller, network harness and
+//! client shim can all feed the same registry.
+
+mod ewma;
+mod journal;
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use ewma::{ewma, Ewma};
+pub use journal::{
+    DropLayer, EventKind, FaultKind, Journal, JournalEvent, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use metrics::{
+    bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSummary, NUM_BUCKETS,
+    SUB_BUCKETS,
+};
+pub use registry::{MetricSample, MetricValue, Registry};
+pub use snapshot::{FidRow, TelemetrySnapshot};
+
+/// The telemetry hub a switch hands to its components: one registry,
+/// one journal. `Clone` shares both — every component bound to the
+/// same hub feeds the same snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: Registry,
+    journal: Journal,
+}
+
+impl Telemetry {
+    /// A fresh hub (empty registry, default-capacity journal).
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A hub whose journal retains at most `journal_capacity` events.
+    pub fn with_journal_capacity(journal_capacity: usize) -> Telemetry {
+        Telemetry {
+            registry: Registry::new(),
+            journal: Journal::with_capacity(journal_capacity),
+        }
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Record a journal event at virtual time `at_ns`.
+    pub fn record_event(&self, at_ns: u64, kind: EventKind) -> u64 {
+        self.journal.record(at_ns, kind)
+    }
+
+    /// Export every registered metric and the retained journal.
+    /// Per-FID rows are owned by the runtime/allocator; callers with
+    /// access to those merge rows in afterwards.
+    pub fn snapshot(&self, at_ns: u64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            at_ns,
+            metrics: self.registry.samples(),
+            fids: Vec::new(),
+            events: self.journal.events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_clone_shares_registry_and_journal() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        b.registry().counter("shared.count").add(2);
+        b.record_event(5, EventKind::Reactivation { fid: 9 });
+        let snap = a.snapshot(10);
+        assert_eq!(snap.counter("shared.count"), Some(2));
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.at_ns, 10);
+    }
+}

@@ -1,0 +1,199 @@
+//! The metrics registry: a shared name → metric map.
+//!
+//! The registry is touched only at registration and snapshot time; hot
+//! paths hold direct [`Counter`]/[`Gauge`]/[`Histogram`] handles and
+//! never look names up per event. The name map is therefore a plain
+//! mutex — contention-free by construction, and the lock is never on a
+//! packet path.
+//!
+//! Components can either mint metrics *from* the registry
+//! ([`Registry::counter`] get-or-creates) or *adopt* handles they
+//! already own into it ([`Registry::register_counter`]), which is how
+//! pre-existing ad-hoc counters migrate without duplicating state.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram digest.
+    Histogram(HistogramSummary),
+}
+
+/// One named sample in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Dotted lowercase metric name, e.g. `runtime.frames`.
+    pub name: String,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// The shared name → metric map. `Clone` shares the map.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`. Panics if `name` is
+    /// already registered as a different metric kind (a programming
+    /// error, not an operational condition).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Adopt an existing counter handle under `name` (last write wins —
+    /// re-binding replaces the previous handle).
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Counter(c.clone()));
+    }
+
+    /// Adopt an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, g: &Gauge) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Gauge(g.clone()));
+    }
+
+    /// Adopt an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, h: &Histogram) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Histogram(h.clone()));
+    }
+
+    /// Registered metric count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x.count");
+        let b = r.counter("x.count");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn adopting_a_handle_shares_state() {
+        let r = Registry::new();
+        let mine = Counter::new();
+        mine.add(3);
+        r.register_counter("adopted", &mine);
+        mine.inc();
+        let samples = r.samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "adopted");
+        assert_eq!(samples[0].value, MetricValue::Counter(4));
+    }
+
+    #[test]
+    fn samples_are_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("b.counter").inc();
+        r.gauge("a.gauge").set(-5);
+        r.histogram("c.hist").record(42);
+        let s = r.samples();
+        assert_eq!(
+            s.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            vec!["a.gauge", "b.counter", "c.hist"]
+        );
+        assert_eq!(s[0].value, MetricValue::Gauge(-5));
+        match &s[2].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m");
+        r.gauge("m");
+    }
+}

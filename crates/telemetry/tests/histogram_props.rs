@@ -1,0 +1,91 @@
+//! Property tests for the log-linear histogram bucket math: bucket
+//! bounds must be monotone and bracket every value, every recorded
+//! sample must land in exactly one bucket (conservation), and quantile
+//! queries must stay inside the recorded [min, max] envelope.
+
+use activermt_telemetry::{bucket_index, bucket_lower_bound, Histogram, NUM_BUCKETS, SUB_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Each value's bucket brackets it: `lower(i) <= v < lower(i+1)`.
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        if i + 1 < NUM_BUCKETS {
+            prop_assert!(bucket_lower_bound(i + 1) > v);
+        }
+    }
+
+    /// Bucket lower bounds are strictly monotone in the index, so the
+    /// index is an order-embedding of the value line.
+    #[test]
+    fn bucket_bounds_are_strictly_monotone(i in 0usize..NUM_BUCKETS - 1) {
+        prop_assert!(bucket_lower_bound(i) < bucket_lower_bound(i + 1));
+    }
+
+    /// The index function itself is monotone: v <= w implies
+    /// bucket(v) <= bucket(w).
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Sample conservation: after recording N samples, the bucket
+    /// occupancies sum to N, the count is N, and the sum is exact.
+    #[test]
+    fn samples_are_conserved(samples in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = Histogram::new();
+        let mut expect_sum = 0u64;
+        for &s in &samples {
+            h.record(s);
+            expect_sum += s;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), expect_sum);
+        let occupancy: u64 = (0..NUM_BUCKETS).map(|i| h.bucket_count(i)).sum();
+        prop_assert_eq!(occupancy, samples.len() as u64);
+    }
+
+    /// Every quantile query answers within the recorded [min, max],
+    /// and min/max are exact.
+    #[test]
+    fn quantiles_stay_inside_the_envelope(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        q_mille in 0u32..=1000,
+    ) {
+        let q = f64::from(q_mille) / 1000.0;
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        let v = h.quantile(q).unwrap();
+        prop_assert!(v >= lo && v <= hi, "quantile {} = {} outside [{}, {}]", q, v, lo, hi);
+        // The three canned quantiles obey the same envelope.
+        let s = h.summary();
+        for p in [s.p50, s.p90, s.p99] {
+            prop_assert!(p >= lo && p <= hi);
+        }
+    }
+
+    /// Small values are exact: quantiles over unit-bucket values
+    /// reproduce the nearest-rank answer precisely.
+    #[test]
+    fn unit_buckets_are_exact(samples in prop::collection::vec(0u64..SUB_BUCKETS as u64, 1..100)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((0.5 * n as f64).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(h.quantile(0.5), Some(sorted[rank - 1]));
+    }
+}
