@@ -1,0 +1,419 @@
+//! Allocation-independent lints: use-before-def, dead stores,
+//! unreachable code, dangling branches, and unguarded hashed
+//! addressing.
+//!
+//! These need no [`crate::verify::AnalysisContext`], so the client
+//! compiler can run them at synthesis time, before any allocation
+//! exists. The hashed-address check here is the *context-free* twin of
+//! the verifier's error: without a region to check against it can only
+//! warn that a `HASH` result reaches a memory access with no
+//! `ADDR_MASK` in between.
+
+use crate::cfg::Cfg;
+use crate::verify::{Finding, FindingKind, Severity};
+use activermt_isa::{Instruction, Opcode};
+
+/// Bitmask register set over the PHV scratch state the program itself
+/// owns: MAR, MBR, MBR2, and the hash-data buffer.
+type Regs = u8;
+const MAR: Regs = 1;
+const MBR: Regs = 2;
+const MBR2: Regs = 4;
+const HD: Regs = 8;
+
+fn reg_name(r: Regs) -> &'static str {
+    match r {
+        MAR => "MAR",
+        MBR => "MBR",
+        MBR2 => "MBR2",
+        HD => "the hash-data buffer",
+        _ => "registers",
+    }
+}
+
+/// `(reads, writes)` over {MAR, MBR, MBR2, HD} for one opcode.
+/// Argument words are not modeled: the parser always initializes them,
+/// and `MBR_STORE`'s write to them is externally visible (never dead).
+#[allow(clippy::match_same_arms)]
+fn reads_writes(op: Opcode) -> (Regs, Regs) {
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, CJUMP, CJUMPI,
+        COPY_HASHDATA_5TUPLE, COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
+        COPY_MBR_MAR, COPY_MBR_MBR2, CRET, CRETI, CRTS, DROP, EOF, FORK, HASH, MAR_ADD_MBR,
+        MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1,
+        MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT, MBR_STORE, MBR_SUBTRACT_MBR2,
+        MEM_INCREMENT, MEM_MINREAD, MEM_MINREADINC, MEM_READ, MEM_WRITE, MIN, NOP, RETURN, REVMIN,
+        RTS, SET_DST, SWAP_MBR_MBR2, UJUMP,
+    };
+    match op {
+        EOF | NOP | RETURN | UJUMP | DROP | FORK | RTS => (0, 0),
+        CRET | CRETI | CJUMP | CJUMPI | CRTS | SET_DST => (MBR, 0),
+        ADDR_MASK | ADDR_OFFSET => (MAR, MAR),
+        HASH => (HD, MAR),
+        MBR_LOAD => (0, MBR),
+        MBR2_LOAD => (0, MBR2),
+        MAR_LOAD => (0, MAR),
+        MBR_STORE => (MBR, 0),
+        COPY_MBR2_MBR => (MBR, MBR2),
+        COPY_MBR_MBR2 => (MBR2, MBR),
+        COPY_MBR_MAR => (MAR, MBR),
+        COPY_MAR_MBR => (MBR, MAR),
+        // Appending to the hash buffer is modeled as a pure write: the
+        // cursor state it consumes is not observable data.
+        COPY_HASHDATA_MBR => (MBR, HD),
+        COPY_HASHDATA_MBR2 => (MBR2, HD),
+        COPY_HASHDATA_5TUPLE => (0, HD),
+        MBR_ADD_MBR2 | MBR_SUBTRACT_MBR2 | BIT_OR_MBR_MBR2 | MBR_EQUALS_MBR2 | MAX | MIN => {
+            (MBR | MBR2, MBR)
+        }
+        MAR_ADD_MBR | BIT_AND_MAR_MBR => (MAR | MBR, MAR),
+        MAR_ADD_MBR2 => (MAR | MBR2, MAR),
+        MAR_MBR_ADD_MBR2 => (MBR | MBR2, MAR),
+        MBR_EQUALS_DATA_1 | MBR_EQUALS_DATA_2 | MBR_NOT => (MBR, MBR),
+        REVMIN => (MBR | MBR2, MBR2),
+        SWAP_MBR_MBR2 => (MBR | MBR2, MBR | MBR2),
+        MEM_WRITE => (MAR | MBR, 0),
+        MEM_READ | MEM_INCREMENT => (MAR, MBR),
+        MEM_MINREAD | MEM_MINREADINC => (MAR | MBR2, MBR | MBR2),
+    }
+}
+
+/// True when the opcode's only effect is its register writes, so a
+/// store whose outputs are all dead is removable.
+fn pure_writer(op: Opcode) -> bool {
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, COPY_HASHDATA_5TUPLE,
+        COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR, COPY_MBR_MAR,
+        COPY_MBR_MBR2, HASH, MAR_ADD_MBR, MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD,
+        MBR_ADD_MBR2, MBR_EQUALS_DATA_1, MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT,
+        MBR_SUBTRACT_MBR2, MIN, REVMIN, SWAP_MBR_MBR2,
+    };
+    matches!(
+        op,
+        ADDR_MASK
+            | ADDR_OFFSET
+            | HASH
+            | MBR_LOAD
+            | MBR2_LOAD
+            | MAR_LOAD
+            | COPY_MBR2_MBR
+            | COPY_MBR_MBR2
+            | COPY_MBR_MAR
+            | COPY_MAR_MBR
+            | COPY_HASHDATA_MBR
+            | COPY_HASHDATA_MBR2
+            | COPY_HASHDATA_5TUPLE
+            | MBR_ADD_MBR2
+            | MAR_ADD_MBR
+            | MAR_ADD_MBR2
+            | MAR_MBR_ADD_MBR2
+            | MBR_SUBTRACT_MBR2
+            | BIT_AND_MAR_MBR
+            | BIT_OR_MBR_MBR2
+            | MBR_EQUALS_MBR2
+            | MBR_EQUALS_DATA_1
+            | MBR_EQUALS_DATA_2
+            | MAX
+            | MIN
+            | REVMIN
+            | SWAP_MBR_MBR2
+            | MBR_NOT
+    )
+}
+
+fn each_reg(mask: Regs) -> impl Iterator<Item = Regs> {
+    [MAR, MBR, MBR2, HD]
+        .into_iter()
+        .filter(move |r| mask & r != 0)
+}
+
+/// Run every allocation-independent lint over `instrs`.
+#[must_use]
+pub fn lint(instrs: &[Instruction], num_stages: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Ok(cfg) = Cfg::build(instrs, num_stages.max(1)) else {
+        // Structural errors are the verifier's to report.
+        return findings;
+    };
+    let nodes = cfg.nodes();
+    let reachable = cfg.reachable();
+
+    // --- Unreachable instructions (one finding per run). ---
+    let mut idx = 0;
+    while idx < nodes.len() {
+        if reachable[idx] {
+            idx += 1;
+            continue;
+        }
+        let start = idx;
+        while idx < nodes.len() && !reachable[idx] {
+            idx += 1;
+        }
+        findings.push(Finding {
+            kind: FindingKind::Unreachable,
+            at: Some(start),
+            severity: Severity::Warning,
+            message: format!(
+                "{} instruction(s) starting here can never execute",
+                idx - start
+            ),
+            witness: None,
+        });
+    }
+
+    // --- Dangling branches. ---
+    for &b in cfg.dangling_branches() {
+        if reachable[b] {
+            findings.push(Finding {
+                kind: FindingKind::DanglingBranch,
+                at: Some(b),
+                severity: Severity::Warning,
+                message: format!(
+                    "label {} never appears later: taken, this branch skips to the end \
+                     of the program",
+                    nodes[b].ins.branch_target().unwrap_or(0)
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    // --- Use-before-def: forward may-defined sets (union at joins).
+    // A register read while *not* may-defined can only observe the
+    // parser's zero.
+    let mut defined: Vec<Option<Regs>> = vec![None; nodes.len()];
+    if !nodes.is_empty() {
+        defined[0] = Some(0);
+    }
+    for idx in 0..nodes.len() {
+        let Some(defs) = defined[idx] else { continue };
+        let (reads, writes) = reads_writes(nodes[idx].ins.opcode);
+        for r in each_reg(reads & !defs) {
+            findings.push(Finding {
+                kind: FindingKind::UseBeforeDef,
+                at: Some(idx),
+                severity: Severity::Warning,
+                message: format!(
+                    "{} reads {}, which is still the parser's zero on every path here",
+                    nodes[idx].ins.opcode,
+                    reg_name(r)
+                ),
+                witness: None,
+            });
+        }
+        let out = defs | writes;
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                defined[e.to] = Some(defined[e.to].map_or(out, |d| d | out));
+            }
+        }
+    }
+
+    // --- Dead stores: backward liveness. Edges only go forward, so a
+    // single reverse sweep reaches the fixed point.
+    let mut live_in: Vec<Regs> = vec![0; nodes.len()];
+    for idx in (0..nodes.len()).rev() {
+        let (reads, writes) = reads_writes(nodes[idx].ins.opcode);
+        let mut live_out: Regs = 0;
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                live_out |= live_in[e.to];
+            }
+        }
+        // Hash-data writes append to the buffer rather than replacing
+        // it, so an HD write never kills an earlier contribution.
+        let kills = writes & !HD;
+        live_in[idx] = reads | (live_out & !kills);
+        if reachable[idx]
+            && pure_writer(nodes[idx].ins.opcode)
+            && writes != 0
+            && writes & live_out == 0
+        {
+            findings.push(Finding {
+                kind: FindingKind::DeadStore,
+                at: Some(idx),
+                severity: Severity::Warning,
+                message: format!(
+                    "{} writes {}, but no later instruction reads it",
+                    nodes[idx].ins.opcode,
+                    reg_name(writes & !live_out)
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    // --- Unguarded hashed addressing (context-free): does a raw HASH
+    // value reach a memory access without an ADDR_MASK in between?
+    // Forward may-taint over {MAR, MBR, MBR2}.
+    let mut taint: Vec<Option<Regs>> = vec![None; nodes.len()];
+    if !nodes.is_empty() {
+        taint[0] = Some(0);
+    }
+    for idx in 0..nodes.len() {
+        let Some(t) = taint[idx] else { continue };
+        use Opcode::{
+            ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
+            COPY_MBR_MAR, COPY_MBR_MBR2, HASH, MAR_ADD_MBR, MAR_ADD_MBR2, MAR_LOAD,
+            MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1, MBR_EQUALS_DATA_2,
+            MBR_EQUALS_MBR2, MBR_LOAD, MBR_SUBTRACT_MBR2, MEM_INCREMENT, MEM_MINREAD,
+            MEM_MINREADINC, MEM_READ, MIN, REVMIN, SWAP_MBR_MBR2,
+        };
+        let op = nodes[idx].ins.opcode;
+        if op.is_memory_access() && t & MAR != 0 {
+            findings.push(Finding {
+                kind: FindingKind::UnguardedHashedAddress,
+                at: Some(idx),
+                severity: Severity::Warning,
+                message: format!(
+                    "{op} may be addressed by a raw HASH value; insert ADDR_MASK \
+                     (and ADDR_OFFSET) before the access"
+                ),
+                witness: None,
+            });
+        }
+        let out = match op {
+            HASH => t | MAR,
+            ADDR_MASK | MAR_LOAD => t & !MAR,
+            ADDR_OFFSET => t, // keeps whatever MAR's status is
+            COPY_MAR_MBR => (t & !MAR) | if t & MBR != 0 { MAR } else { 0 },
+            COPY_MBR_MAR => (t & !MBR) | if t & MAR != 0 { MBR } else { 0 },
+            COPY_MBR_MBR2 => (t & !MBR) | if t & MBR2 != 0 { MBR } else { 0 },
+            COPY_MBR2_MBR => (t & !MBR2) | if t & MBR != 0 { MBR2 } else { 0 },
+            MBR_LOAD | MBR_EQUALS_DATA_1 | MBR_EQUALS_DATA_2 => t & !MBR,
+            MBR2_LOAD => t & !MBR2,
+            MAR_ADD_MBR | BIT_AND_MAR_MBR => t | if t & MBR != 0 { MAR } else { 0 },
+            MAR_ADD_MBR2 => t | if t & MBR2 != 0 { MAR } else { 0 },
+            MAR_MBR_ADD_MBR2 => (t & !MAR) | if t & (MBR | MBR2) != 0 { MAR } else { 0 },
+            MBR_ADD_MBR2 | MBR_SUBTRACT_MBR2 | BIT_OR_MBR_MBR2 | MBR_EQUALS_MBR2 | MAX | MIN => {
+                (t & !MBR) | if t & (MBR | MBR2) != 0 { MBR } else { 0 }
+            }
+            REVMIN => (t & !MBR2) | if t & (MBR | MBR2) != 0 { MBR2 } else { 0 },
+            SWAP_MBR_MBR2 => {
+                (t & !(MBR | MBR2))
+                    | if t & MBR != 0 { MBR2 } else { 0 }
+                    | if t & MBR2 != 0 { MBR } else { 0 }
+            }
+            MEM_READ | MEM_INCREMENT | MEM_MINREAD | MEM_MINREADINC => t & !MBR,
+            _ => t,
+        };
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                taint[e.to] = Some(taint[e.to].map_or(out, |x| x | out));
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.at);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_isa::ProgramBuilder;
+
+    fn kinds(f: &[Finding]) -> Vec<FindingKind> {
+        f.iter().map(|x| x.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::COPY_HASHDATA_5TUPLE)
+            .op(Opcode::HASH)
+            .op(Opcode::ADDR_MASK)
+            .op(Opcode::ADDR_OFFSET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        assert!(lint(p.instructions(), 20).is_empty());
+    }
+
+    #[test]
+    fn hash_of_empty_hashdata_warns() {
+        // HASH before anything fills the buffer: hashes constant zeros.
+        let p = ProgramBuilder::new()
+            .op(Opcode::HASH)
+            .op(Opcode::ADDR_MASK)
+            .op(Opcode::ADDR_OFFSET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(kinds(&f).contains(&FindingKind::UseBeforeDef));
+    }
+
+    #[test]
+    fn unmasked_hash_access_warns() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::COPY_HASHDATA_5TUPLE)
+            .op(Opcode::HASH)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(kinds(&f).contains(&FindingKind::UnguardedHashedAddress));
+    }
+
+    #[test]
+    fn masking_clears_the_taint() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::COPY_HASHDATA_5TUPLE)
+            .op(Opcode::HASH)
+            .op(Opcode::ADDR_MASK)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(!kinds(&f).contains(&FindingKind::UnguardedHashedAddress));
+    }
+
+    #[test]
+    fn dead_store_and_unreachable_detected() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0) // read below: live
+            .op_arg(Opcode::MBR2_LOAD, 1) // never read: dead
+            .op(Opcode::SET_DST)
+            .op(Opcode::RETURN)
+            .op(Opcode::NOP) // unreachable
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        let ks = kinds(&f);
+        assert!(ks.contains(&FindingKind::DeadStore));
+        assert!(ks.contains(&FindingKind::Unreachable));
+    }
+
+    #[test]
+    fn use_before_def_on_untouched_mbr() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::CRET) // MBR is still the parser's zero
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(kinds(&f).contains(&FindingKind::UseBeforeDef));
+    }
+
+    #[test]
+    fn defs_on_one_path_suppress_the_warning() {
+        // MBR is written on the fallthrough path only; the join still
+        // counts it as may-defined, so no warning at the final read.
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .jump(Opcode::CJUMP, "end")
+            .op_arg(Opcode::MBR_LOAD, 1)
+            .label("end")
+            .op(Opcode::SET_DST)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(!kinds(&f).contains(&FindingKind::UseBeforeDef));
+    }
+}

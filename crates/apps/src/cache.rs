@@ -35,7 +35,7 @@ use activermt_rmt::hash::Crc32;
 use std::collections::BTreeMap;
 
 /// Listing 1: the active program for querying an object cache.
-pub const CACHE_QUERY_ASM: &str = r#"
+pub const CACHE_QUERY_ASM: &str = r"
     MAR_LOAD $3        // locate bucket
     MEM_READ           // first 4 bytes
     MBR_EQUALS_DATA_1  // compare bytes
@@ -47,7 +47,7 @@ pub const CACHE_QUERY_ASM: &str = r#"
     MEM_READ           // read the value
     MBR_STORE $2       // write to packet
     RETURN             // fin.
-"#;
+";
 
 /// Events surfaced by [`CacheApp::handle_frame`].
 #[derive(Debug, Clone, PartialEq)]
@@ -172,7 +172,7 @@ impl CacheApp {
 
     /// Bucket capacity of the current allocation.
     pub fn capacity(&self) -> u32 {
-        self.geometry.as_ref().map(|g| g.buckets).unwrap_or(0)
+        self.geometry.as_ref().map_or(0, |g| g.buckets)
     }
 
     /// Build the allocation request (retransmitted via
@@ -347,9 +347,8 @@ impl CacheApp {
                 frames: Vec::new(),
             },
             ShimEvent::ProgramReturned { frame } => {
-                let layout = match activermt_isa::wire::program_packet_layout(&frame) {
-                    Ok(l) => l,
-                    Err(_) => return Reaction::default(),
+                let Ok(layout) = activermt_isa::wire::program_packet_layout(&frame) else {
+                    return Reaction::default();
                 };
                 let arg = |i: usize| {
                     let off = layout.args_off + i * 4;

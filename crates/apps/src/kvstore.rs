@@ -141,7 +141,7 @@ impl KvServer {
 
 /// The canonical test value for a key (a cheap integrity check).
 pub fn value_of(key: u64) -> u32 {
-    (key as u32).wrapping_mul(2654435761) ^ 0x5151_5151
+    (key as u32).wrapping_mul(2_654_435_761) ^ 0x5151_5151
 }
 
 #[cfg(test)]

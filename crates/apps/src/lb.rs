@@ -29,7 +29,7 @@ use activermt_rmt::hash::{selector_seed, Crc32};
 /// Server-selection program (SYN packets): Listing 3's structure with
 /// explicit per-region re-translation (each `MAR_LOAD $0; ADDR_MASK;
 /// ADDR_OFFSET` resolves slot 0 of the *next* region downstream).
-pub const LB_SYN_ASM: &str = r#"
+pub const LB_SYN_ASM: &str = r"
     COPY_HASHDATA_5TUPLE  // load the flow 5-tuple
     MAR_LOAD $0           // slot 0:
     ADDR_MASK             //   of the pool-size region
@@ -60,11 +60,11 @@ pub const LB_SYN_ASM: &str = r#"
     MBR_EQUALS_MBR2       // MBR = hash ^ server = cookie
     MBR_STORE $2          // cookie into the packet
     RETURN
-"#;
+";
 
 /// Flow-routing program (non-SYN packets): Listing 4. Stateless — no
 /// memory accesses at all.
-pub const LB_ROUTE_ASM: &str = r#"
+pub const LB_ROUTE_ASM: &str = r"
     COPY_HASHDATA_5TUPLE  // load the flow 5-tuple
     MBR_LOAD $1           // salt
     COPY_HASHDATA_MBR
@@ -75,7 +75,7 @@ pub const LB_ROUTE_ASM: &str = r#"
     MBR_EQUALS_MBR2       // MBR = hash ^ cookie = server id
     SET_DST               // route to the server
     RETURN
-"#;
+";
 
 /// Default VIP pool demand in blocks (2 blocks = 512 VIPs at 1 KB
 /// granularity — Section 6.1's "2 blocks, enough to manage 512 active
@@ -271,8 +271,7 @@ impl CheetahLb {
             );
         }
         let (event, mut frames) = match self.shim.handle_frame(frame) {
-            Some(ShimEvent::Allocated { regions })
-            | Some(ShimEvent::RegionsUpdated { regions }) => {
+            Some(ShimEvent::Allocated { regions } | ShimEvent::RegionsUpdated { regions }) => {
                 self.geometry = self.derive_geometry(&regions);
                 let frames = self.configure();
                 (Some(LbEvent::Allocated), frames)

@@ -144,7 +144,7 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        let freq0 = f64::from(counts[0]) / n as f64;
+        let freq0 = f64::from(counts[0]) / f64::from(n);
         assert!((freq0 - z.pmf(0)).abs() < 0.01, "{} vs {}", freq0, z.pmf(0));
         // Rank ordering holds for the head.
         assert!(counts[0] > counts[1] && counts[1] > counts[5]);
@@ -192,10 +192,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let n = 100_000;
         let sum: u64 = (0..n).map(|_| u64::from(poisson(&mut rng, 2.0))).sum();
-        let mean = sum as f64 / n as f64;
+        let mean = sum as f64 / f64::from(n);
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         let sum1: u64 = (0..n).map(|_| u64::from(poisson(&mut rng, 1.0))).sum();
-        let mean1 = sum1 as f64 / n as f64;
+        let mean1 = sum1 as f64 / f64::from(n);
         assert!((mean1 - 1.0).abs() < 0.05, "mean {mean1}");
     }
 }

@@ -71,10 +71,9 @@ fn main() {
         eprintln!(
             "# client {i}: arrival {} ms, first hit at {} ms (gap {} ms; paper: fully functional within a second)",
             arrival_ns(i) / 1_000_000,
-            first_hit.map(|t| t / 1_000_000).unwrap_or(0),
+            first_hit.map_or(0, |t| t / 1_000_000),
             first_hit
-                .map(|t| (t - arrival_ns(i)) / 1_000_000)
-                .unwrap_or(0),
+                .map_or(0, |t| (t - arrival_ns(i)) / 1_000_000),
         );
     }
     // The incumbent's disruption when client 4 arrives at T = 15 s:

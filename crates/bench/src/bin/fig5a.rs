@@ -29,7 +29,7 @@ fn main() {
                     plabel.to_string(),
                     kind.label().to_string(),
                     r.epoch.to_string(),
-                    (r.success as u8).to_string(),
+                    u8::from(r.success).to_string(),
                     f(r.compute_us),
                     r.mutants.to_string(),
                 ]);
@@ -47,9 +47,7 @@ fn main() {
     for (p, k, onset, admitted) in onsets {
         eprintln!(
             "#   {p} {k}: onset={} admitted={admitted}",
-            onset
-                .map(|o| o.to_string())
-                .unwrap_or_else(|| "none".into())
+            onset.map_or_else(|| "none".into(), |o| o.to_string())
         );
     }
 }

@@ -41,7 +41,7 @@ fn main() {
                     trial.to_string(),
                     r.epoch.to_string(),
                     r.kind.label().to_string(),
-                    (r.success as u8).to_string(),
+                    u8::from(r.success).to_string(),
                     f(r.compute_us),
                     f(*s),
                 ]);

@@ -29,7 +29,7 @@ fn main() {
                     kind.label().to_string(),
                     r.epoch.to_string(),
                     f(r.utilization),
-                    (r.success as u8).to_string(),
+                    u8::from(r.success).to_string(),
                 ]);
             }
             let max_util = recs.iter().map(|r| r.utilization).fold(0.0, f64::max);

@@ -46,7 +46,7 @@ fn main() {
             f(r.snapshot_wait_ns as f64 / 1e6),
             f(r.total_ns as f64 / 1e6),
             r.victim_count.to_string(),
-            (r.failed as u8).to_string(),
+            u8::from(r.failed).to_string(),
         ]);
     }
     let ok: Vec<_> = reports.iter().filter(|(_, r)| !r.failed).collect();

@@ -85,7 +85,7 @@ fn baseline_rtts() -> Vec<u64> {
         SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit),
     );
     sim.add_host(Box::new(Pinger {
-        sent: Default::default(),
+        sent: std::collections::HashMap::default(),
         rtts: Vec::new(),
         seq: 0,
     }));

@@ -57,7 +57,7 @@ fn main() {
     eprintln!(
         "# phase: {:?}; serving since {} ms (monitor deadline 2000 ms; paper: context switch ~0.5 s + population)",
         c.phase(),
-        c.serving_since.map(|t| t / 1_000_000).unwrap_or(0)
+        c.serving_since.map_or(0, |t| t / 1_000_000)
     );
     eprintln!(
         "# totals: sent {}, hits {}, misses {}, value errors {}, final hit rate {:.3}",

@@ -75,7 +75,7 @@ fn main() {
             stored.len(),
             stored_mass,
             steady.iter().sum::<f64>() / steady.len().max(1) as f64,
-            c.serving_since.map(|t| t / 1_000_000).unwrap_or(0),
+            c.serving_since.map_or(0, |t| t / 1_000_000),
         );
     }
     eprintln!("# paper: first three instances disjoint (~equal hit rates); the fourth shares with the first — both co-located instances equal but lower.");

@@ -92,7 +92,7 @@ fn interp_workloads(mode: &Mode) -> Vec<String> {
         let opt = measure(mode.interp_warmup, mode.interp_iters, || hl.step());
         let mut hl = HotLoop::new(program, payload);
         let reference = measure(mode.interp_warmup, mode.interp_iters, || {
-            hl.step_reference()
+            hl.step_reference();
         });
         eprintln!(
             "interp/{name}: opt {:.0} ns, ref {:.0} ns, speedup {:.2}x",
@@ -176,10 +176,7 @@ fn e2e(mode: &Mode) -> String {
     let wall_s = t.elapsed().as_secs_f64();
     let delivered = sim.delivered();
     let pps = delivered as f64 / wall_s;
-    eprintln!(
-        "e2e: {delivered} frames delivered in {:.3}s wall -> {:.0} packets/s",
-        wall_s, pps
-    );
+    eprintln!("e2e: {delivered} frames delivered in {wall_s:.3}s wall -> {pps:.0} packets/s");
     format!(
         "{{\"sim_ns\":{},\"wall_s\":{:.4},\"delivered\":{},\"packets_per_sec\":{:.1}}}",
         mode.e2e_sim_ns, wall_s, delivered, pps

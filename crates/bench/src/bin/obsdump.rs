@@ -16,11 +16,14 @@
 
 use activermt_core::alloc::{MutantPolicy, Scheme};
 use activermt_core::SwitchConfig;
+use activermt_isa::wire::{build_alloc_request_with_program, AccessDescriptor};
+use activermt_isa::{Opcode, ProgramBuilder};
 use activermt_net::apphosts::{CacheClientConfig, CacheClientHost};
 use activermt_net::fault::FaultPlan;
-use activermt_net::host::KvServerHost;
+use activermt_net::host::{Host, KvServerHost};
 use activermt_net::{NetConfig, Simulation, SwitchNode};
 use activermt_telemetry::{EventKind, TelemetrySnapshot};
+use std::any::Any;
 use std::path::PathBuf;
 
 const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
@@ -57,6 +60,96 @@ impl Scale {
     }
 }
 
+/// A client that requests memory for a program the capsule verifier
+/// must refuse (an unmasked hashed probe), so the snapshot records the
+/// rejection path: the `VerifyRejected` journal event and the
+/// controller's `verify_rejected` counter.
+struct RogueAllocHost {
+    mac: [u8; 6],
+    switch: [u8; 6],
+    fid: u16,
+    sent: bool,
+}
+
+impl RogueAllocHost {
+    fn request(&self) -> Vec<u8> {
+        let program = ProgramBuilder::new()
+            .op(Opcode::HASH)
+            .op(Opcode::MEM_READ) // raw hash as address: never verifiable
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::RTS)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::RETURN)
+            .build()
+            .expect("probe program builds");
+        let accesses = [
+            AccessDescriptor {
+                min_position: 2,
+                min_gap: 2,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 3,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 9,
+                min_gap: 4,
+                demand: 0,
+            },
+        ];
+        build_alloc_request_with_program(
+            self.switch,
+            self.mac,
+            self.fid,
+            1,
+            &accesses,
+            11,
+            true,
+            true,
+            8,
+            &program.encode_instructions(),
+        )
+        .expect("request builds")
+    }
+}
+
+impl Host for RogueAllocHost {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    fn on_frame(&mut self, _now_ns: u64, _frame: Vec<u8>) -> Vec<Vec<u8>> {
+        Vec::new() // the refusal is the point; nothing to retry
+    }
+
+    fn on_tick(&mut self, _now_ns: u64) -> Vec<Vec<u8>> {
+        if self.sent {
+            return Vec::new();
+        }
+        self.sent = true;
+        vec![self.request()]
+    }
+
+    fn tick_interval(&self) -> Option<u64> {
+        Some(250_000_000)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 fn run(scale: &Scale) -> TelemetrySnapshot {
     let cfg = SwitchConfig {
         table_entry_update_ns: 400_000,
@@ -90,6 +183,12 @@ fn run(scale: &Scale) -> TelemetrySnapshot {
             max_extra_recircs: 1,
         })));
     }
+    sim.add_host(Box::new(RogueAllocHost {
+        mac: client_mac(9),
+        switch: SWITCH,
+        fid: 666,
+        sent: false,
+    }));
     sim.run_until(scale.run_ns);
     sim.telemetry_snapshot()
 }
@@ -135,6 +234,22 @@ fn verify(snap: &TelemetrySnapshot) -> Result<(), String> {
     require(
         snap.has_event(|e| matches!(e, EventKind::FaultInjected { .. })),
         "an injected-fault journal event",
+    )?;
+    require(
+        snap.has_event(|e| matches!(e, EventKind::VerifyRejected { .. })),
+        "a verify-rejected journal event",
+    )?;
+    require(
+        snap.counter("controller.verify_rejected").unwrap_or(0) > 0,
+        "the controller verify_rejected counter",
+    )?;
+    require(
+        snap.counter("controller.verify_accepted").unwrap_or(0) > 0,
+        "the controller verify_accepted counter (clients ship bytecode)",
+    )?;
+    require(
+        snap.fids.iter().any(|r| r.verify_rejected > 0),
+        "per-FID verification accounting",
     )?;
     Ok(())
 }

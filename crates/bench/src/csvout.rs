@@ -16,7 +16,7 @@ impl Csv {
         let dir = PathBuf::from("results");
         let file = fs::create_dir_all(&dir)
             .ok()
-            .and_then(|_| fs::File::create(dir.join(format!("{name}.csv"))).ok());
+            .and_then(|()| fs::File::create(dir.join(format!("{name}.csv"))).ok());
         Csv { file }
     }
 
@@ -31,7 +31,12 @@ impl Csv {
 
     /// Emit a header row.
     pub fn header(&mut self, cols: &[&str]) {
-        self.row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        self.row(
+            &cols
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        );
     }
 }
 

@@ -35,6 +35,10 @@ pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
 pub struct CountingAlloc;
 
 // SAFETY: defers to `System` for every operation; only bumps a counter.
+// This is the workspace's sole sanctioned unsafe item — `GlobalAlloc`
+// cannot be implemented without it, and the zero-alloc regression test
+// needs a counting allocator.
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);

@@ -1,3 +1,9 @@
+// `deny`, not `forbid`: the one sanctioned unsafe block in the
+// workspace lives in [`hotpath`] (a counting `GlobalAlloc` shim) and
+// carries an item-level `#[allow(unsafe_code)]`; every other crate is
+// `#![forbid(unsafe_code)]`.
+#![deny(unsafe_code)]
+
 //! # activermt-bench
 //!
 //! Harnesses that regenerate every table and figure of the paper's

@@ -209,7 +209,7 @@ mod tests {
     use super::*;
 
     /// Listing 1, verbatim modulo the `$ADDR` placeholder.
-    const LISTING_1: &str = r#"
+    const LISTING_1: &str = r"
         MAR_LOAD $3      // locate bucket
         MEM_READ         // first 4 bytes
         MBR_EQUALS_DATA_1 // compare bytes
@@ -221,7 +221,7 @@ mod tests {
         MEM_READ         // read the value
         MBR_STORE $2     // write to packet
         RETURN           // fin.
-    "#;
+    ";
 
     #[test]
     fn listing1_assembles() {
@@ -236,12 +236,12 @@ mod tests {
     #[test]
     fn labels_resolve_forward() {
         let p = assemble(
-            r#"
+            r"
             MBR_LOAD $0
             CJUMP @done
             MEM_WRITE
             done: RETURN
-        "#,
+        ",
         )
         .unwrap();
         assert_eq!(p.len(), 4);
@@ -253,12 +253,12 @@ mod tests {
     #[test]
     fn bare_label_lines_attach_to_next_instruction() {
         let p = assemble(
-            r#"
+            r"
             UJUMP @end
             NOP
             end:
             RETURN
-        "#,
+        ",
         )
         .unwrap();
         assert_eq!(p.instructions()[2].label(), Some(0));
@@ -267,11 +267,11 @@ mod tests {
     #[test]
     fn arg_directives_preset_data_fields() {
         let p = assemble(
-            r#"
+            r"
             .arg 0 42
             .arg 2 0xdead
             RETURN
-        "#,
+        ",
         )
         .unwrap();
         assert_eq!(p.args(), [42, 0, 0xdead, 0]);

@@ -8,6 +8,7 @@
 //! response to allocation responses from the switch and performs any
 //! necessary address translation."
 
+use activermt_analysis::{lint, Finding, Severity};
 use activermt_core::alloc::AccessPattern;
 use activermt_core::error::AdmitError;
 use activermt_isa::wire::RegionEntry;
@@ -37,6 +38,21 @@ pub struct CompiledService {
     pub spec: ServiceSpec,
     /// Derived access pattern (LB, B, demands, ingress positions).
     pub pattern: AccessPattern,
+    /// Static-analysis diagnostics gathered at compile time
+    /// (use-before-def, dead stores, unreachable code, unguarded hashed
+    /// addressing). Warnings don't block compilation — the switch-side
+    /// verifier has the final say — but a client that ships a program
+    /// with warnings is asking for an admission rejection.
+    pub diagnostics: Vec<Finding>,
+}
+
+impl CompiledService {
+    /// Compile-time diagnostics at warning severity or above.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.diagnostics
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+    }
 }
 
 /// The client compiler.
@@ -68,7 +84,14 @@ impl Compiler {
             aliases: spec.aliases.clone(),
         };
         pattern.validate()?;
-        Ok(CompiledService { spec, pattern })
+        // Allocation-independent lints: stage geometry is irrelevant to
+        // them, so a placeholder depth of 1 suffices.
+        let diagnostics = lint(spec.program.instructions(), 1);
+        Ok(CompiledService {
+            spec,
+            pattern,
+            diagnostics,
+        })
     }
 
     /// Synthesize the mutant whose memory accesses land on the given
@@ -220,7 +243,7 @@ mod tests {
     use super::*;
     use crate::asm::assemble;
 
-    const LISTING_1: &str = r#"
+    const LISTING_1: &str = r"
         MAR_LOAD $3
         MEM_READ
         MBR_EQUALS_DATA_1
@@ -232,7 +255,7 @@ mod tests {
         MEM_READ
         MBR_STORE $2
         RETURN
-    "#;
+    ";
 
     fn cache_service() -> CompiledService {
         Compiler::compile(ServiceSpec {
@@ -310,7 +333,7 @@ mod tests {
 
     #[test]
     fn aliased_accesses_reuse_their_partner_stage() {
-        let src = r#"
+        let src = r"
             MAR_LOAD $0
             MEM_READ
             NOP
@@ -318,7 +341,7 @@ mod tests {
             NOP
             MEM_WRITE
             RETURN
-        "#;
+        ";
         let c = Compiler::compile(ServiceSpec {
             name: "rmw".into(),
             program: assemble(src).unwrap(),

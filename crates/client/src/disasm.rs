@@ -66,13 +66,13 @@ mod tests {
 
     #[test]
     fn labels_and_selectors_roundtrip() {
-        let src = r#"
+        let src = r"
             .arg 1 0xbeef
             MBR_LOAD $1
             CJUMP @skip
             HASH %3
             skip: RETURN
-        "#;
+        ";
         let p = assemble(src).unwrap();
         let text = disassemble(&p);
         assert!(text.contains("@L0"));

@@ -92,7 +92,7 @@ impl MemSync {
     /// subject to stage geometry (an access per instruction slot).
     pub fn submit(&mut self, ops: &[SyncOp]) -> Vec<Vec<u8>> {
         let mut sorted: Vec<SyncOp> = ops.to_vec();
-        sorted.sort_by_key(|o| o.stage());
+        sorted.sort_by_key(SyncOp::stage);
         let mut frames = Vec::new();
         let mut batch: Vec<SyncOp> = Vec::new();
         for &op in &sorted {

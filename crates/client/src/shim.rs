@@ -16,8 +16,8 @@
 use crate::compiler::{CompiledService, Compiler};
 use activermt_core::alloc::{MutantPolicy, MutantSpace};
 use activermt_isa::wire::{
-    build_alloc_request, build_control, ActiveHeader, AllocResponse, ControlOp, PacketType,
-    ProgramTemplate, RegionEntry,
+    build_alloc_request_with_program, build_control, ActiveHeader, AllocResponse, ControlOp,
+    PacketType, ProgramTemplate, RegionEntry,
 };
 use activermt_isa::Program;
 
@@ -301,7 +301,9 @@ impl Shim {
         self.state = ShimState::Negotiating;
         let seq = self.next_seq();
         let pattern = &self.service.pattern;
-        let frame = build_alloc_request(
+        // Ship the compact bytecode with the request so the switch can
+        // statically verify the program before granting memory.
+        let frame = build_alloc_request_with_program(
             self.switch_mac,
             self.mac,
             self.fid,
@@ -311,6 +313,7 @@ impl Shim {
             pattern.elastic,
             self.policy == MutantPolicy::MostConstrained,
             pattern.ingress_positions.first().copied().unwrap_or(0),
+            &self.service.spec.program.encode_instructions(),
         )
         .expect("compiled patterns have <= 8 accesses");
         self.arm_retx(RetxKind::AllocRequest, frame.clone(), now_ns);
@@ -363,12 +366,12 @@ impl Shim {
         if self.state != ShimState::Operational {
             return None;
         }
-        if self.template.as_ref().map(|&(d, _)| d) != Some(dst) {
+        if self.template.as_ref().map(|&(d, _)| d) == Some(dst) {
+            self.template_hits.inc();
+        } else {
             let program = self.program.as_ref()?;
             self.template_misses.inc();
             self.template = Some((dst, ProgramTemplate::new(dst, self.mac, self.fid, program)));
-        } else {
-            self.template_hits.inc();
         }
         let seq = self.next_seq();
         let (_, template) = self.template.as_ref()?;

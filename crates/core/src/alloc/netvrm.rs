@@ -219,7 +219,7 @@ mod tests {
         a.admit(1, 700).unwrap(); // 1024
         a.admit(2, 100).unwrap(); // 256
         a.admit(3, 5000).unwrap(); // 8192
-        for (_, &(off, len)) in a.apps.iter() {
+        for &(off, len) in a.apps.values() {
             assert!(len.is_power_of_two() || len % 256 == 0);
             assert_eq!(off % len.next_power_of_two().min(len), 0, "misaligned");
         }

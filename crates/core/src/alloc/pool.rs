@@ -229,13 +229,13 @@ impl StagePool {
         }
         if let Some(last) = all.last() {
             if last.end() > self.capacity {
-                return Err(format!("beyond capacity: {}", last));
+                return Err(format!("beyond capacity: {last}"));
             }
         }
         let frontier = self.frontier();
         for (_, r) in &self.elastic {
             if !r.is_empty() && r.start < frontier {
-                return Err(format!("elastic {} below frontier {}", r, frontier));
+                return Err(format!("elastic {r} below frontier {frontier}"));
             }
         }
         Ok(())

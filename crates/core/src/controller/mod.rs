@@ -28,8 +28,12 @@ use crate::config::SwitchConfig;
 use crate::error::CoreError;
 use crate::runtime::SwitchRuntime;
 use crate::types::Fid;
+use activermt_analysis::{
+    check_mutant_equivalence, pad_to_positions, verify, AnalysisContext, Assumptions, FindingKind,
+};
 use activermt_isa::wire::RegionEntry;
-use activermt_telemetry::{EventKind, Histogram, Journal, Telemetry};
+use activermt_isa::Program;
+use activermt_telemetry::{Counter, EventKind, Histogram, Journal, Telemetry, VerifyRejectReason};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A timestamped control-plane effect for the surrounding harness.
@@ -93,7 +97,17 @@ struct QueuedRequest {
     fid: Fid,
     pattern: AccessPattern,
     policy: MutantPolicy,
+    program: Option<Program>,
     arrived_ns: u64,
+}
+
+/// Per-FID static-verification tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Programs that passed verification at admission.
+    pub accepted: u64,
+    /// Programs rejected (and their grants rolled back).
+    pub rejected: u64,
 }
 
 /// The ActiveRMT switch controller.
@@ -115,6 +129,16 @@ pub struct Controller {
     duplicate_requests: u64,
     resent_signals: u64,
     abandoned_reactivations: u64,
+    /// Pipeline geometry for the static verifier.
+    num_stages: usize,
+    ingress_stages: usize,
+    max_recirculations: Option<u8>,
+    /// Switch-wide static-verification counters (registered with the
+    /// telemetry hub when bound).
+    verify_accepted: Counter,
+    verify_rejected: Counter,
+    /// Per-FID verification tallies, for the snapshot's FID rows.
+    verify_stats: BTreeMap<Fid, VerifyStats>,
     /// Structured control-plane events (admissions, reallocations,
     /// snapshot completions, departures). `None` until telemetry is
     /// bound; the data path never touches it.
@@ -140,6 +164,12 @@ impl Controller {
             duplicate_requests: 0,
             resent_signals: 0,
             abandoned_reactivations: 0,
+            num_stages: cfg.num_stages,
+            ingress_stages: cfg.ingress_stages,
+            max_recirculations: cfg.max_recirculations,
+            verify_accepted: Counter::new(),
+            verify_rejected: Counter::new(),
+            verify_stats: BTreeMap::new(),
             journal: None,
             realloc_total_ns: Histogram::new(),
             table_update_ns: Histogram::new(),
@@ -162,6 +192,8 @@ impl Controller {
         let reg = telemetry.registry();
         reg.register_histogram("controller.realloc_total_ns", &self.realloc_total_ns);
         reg.register_histogram("controller.table_update_ns", &self.table_update_ns);
+        reg.register_counter("controller.verify_accepted", &self.verify_accepted);
+        reg.register_counter("controller.verify_rejected", &self.verify_rejected);
         self.journal = Some(telemetry.journal().clone());
     }
 
@@ -207,13 +239,34 @@ impl Controller {
     }
 
     /// Handle an allocation request (Section 4.3). Returns the actions
-    /// to deliver.
+    /// to deliver. Requests carrying no program bytecode (the legacy
+    /// wire format) are admitted on access-pattern evidence alone; see
+    /// [`Controller::handle_request_with_program`] for the verified
+    /// path.
     pub fn handle_request(
         &mut self,
         runtime: &mut SwitchRuntime,
         fid: Fid,
         pattern: AccessPattern,
         policy: MutantPolicy,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        self.handle_request_with_program(runtime, fid, pattern, policy, None, now_ns)
+    }
+
+    /// Handle an allocation request whose packet also carried the
+    /// compact program bytecode. After the allocator finds a placement
+    /// — but before any victim is disturbed or a grant is sent — the
+    /// static verifier checks the NOP-padded mutant against the chosen
+    /// regions; a failing program has its grant rolled back and the
+    /// request is answered as failed.
+    pub fn handle_request_with_program(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        pattern: AccessPattern,
+        policy: MutantPolicy,
+        program: Option<&Program>,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
         if self.pending.is_some() {
@@ -255,11 +308,12 @@ impl Controller {
                 fid,
                 pattern,
                 policy,
+                program: program.cloned(),
                 arrived_ns: now_ns,
             });
             return Vec::new();
         }
-        self.start_admission(runtime, fid, pattern, policy, now_ns)
+        self.start_admission(runtime, fid, pattern, policy, program, now_ns)
     }
 
     /// A victim acknowledged its reactivation; stop re-signalling it.
@@ -306,11 +360,9 @@ impl Controller {
             return Err(CoreError::Busy);
         }
         // The departing FID's per-stage decode entries come out too.
-        let mut entries = self
-            .allocator
-            .app(fid)
-            .map(|a| self.cost.decode_entries_per_stage * usize::from(a.mutant.padded_len))
-            .unwrap_or(0);
+        let mut entries = self.allocator.app(fid).map_or(0, |a| {
+            self.cost.decode_entries_per_stage * usize::from(a.mutant.padded_len)
+        });
         let victims = self.allocator.release(fid)?;
         self.journal_event(now_ns, EventKind::Deallocation { fid });
         for stage in runtime.protection().stages_of(fid) {
@@ -363,7 +415,7 @@ impl Controller {
             // Victims that have not snapshot-completed may never have
             // seen the Deactivate (lost frame): re-signal on a backoff
             // interval.
-            for (&vfid, last) in p.last_signal_ns.iter_mut() {
+            for (&vfid, last) in &mut p.last_signal_ns {
                 if p.waiting.contains(&vfid)
                     && now_ns >= *last
                     && now_ns - *last >= self.resend_interval_ns
@@ -379,7 +431,7 @@ impl Controller {
         }
         // Reactivations are re-sent (regions + resume) until acked.
         let mut give_up = Vec::new();
-        for (&vfid, un) in self.unacked.iter_mut() {
+        for (&vfid, un) in &mut self.unacked {
             if now_ns >= un.last_ns && now_ns - un.last_ns >= self.resend_interval_ns {
                 if un.attempts >= self.max_resends {
                     give_up.push(vfid);
@@ -415,6 +467,7 @@ impl Controller {
         fid: Fid,
         pattern: AccessPattern,
         policy: MutantPolicy,
+        program: Option<&Program>,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
         match self.allocator.admit(fid, &pattern, policy) {
@@ -448,6 +501,17 @@ impl Controller {
                 ]
             }
             Ok(outcome) => {
+                // Static verification gate: the program (when the
+                // request carried one) must be provably safe on the
+                // regions the allocator just chose, BEFORE any victim
+                // is quiesced or a grant leaves the switch.
+                if let Some(prog) = program {
+                    if let Err((reason, detail)) = self.verify_admission(&outcome, prog) {
+                        return self.reject_verified(runtime, fid, reason, &detail, now_ns);
+                    }
+                    self.verify_accepted.inc();
+                    self.verify_stats.entry(fid).or_default().accepted += 1;
+                }
                 // Charge a modeled search cost, not the measured one:
                 // wall-clock time in virtual timestamps would make runs
                 // unrepeatable (and shift fault-window alignment).
@@ -514,6 +578,114 @@ impl Controller {
                 acts
             }
         }
+    }
+
+    /// Statically verify `program` against the allocation `outcome`:
+    /// pad it to the chosen mutant's access positions, prove the
+    /// padding semantics-preserving, and run the abstract interpreter
+    /// over the granted regions under the admission assumption policy.
+    fn verify_admission(
+        &self,
+        outcome: &AllocOutcome,
+        program: &Program,
+    ) -> Result<(), (VerifyRejectReason, String)> {
+        let padded = pad_to_positions(program, &outcome.mutant.positions)
+            .map_err(|e| (VerifyRejectReason::Structure, e))?;
+        if let Some(f) = check_mutant_equivalence(program, &padded) {
+            return Err((VerifyRejectReason::Structure, f.message));
+        }
+        let block_regs = self.allocator.config().block_regs;
+        let mut ctx = AnalysisContext::new(
+            self.num_stages,
+            self.ingress_stages,
+            self.max_recirculations,
+        )
+        .with_assumptions(Assumptions::admission());
+        for p in &outcome.placements {
+            let region = to_region(p.range, block_regs);
+            ctx = ctx.with_region(p.stage, region.start, region.end);
+        }
+        let report = verify(padded.instructions(), &ctx);
+        if report.accepted() {
+            return Ok(());
+        }
+        let first = report
+            .errors()
+            .next()
+            .expect("rejected report has an error");
+        let reason = match first.kind {
+            FindingKind::OutOfBounds => VerifyRejectReason::OutOfBounds,
+            FindingKind::UnguardedHashedAddress => VerifyRejectReason::UnguardedHash,
+            FindingKind::MissingRegion | FindingKind::MissingTranslation => {
+                VerifyRejectReason::MissingRegion
+            }
+            FindingKind::RecircCapExceeded => VerifyRejectReason::RecircCap,
+            _ => VerifyRejectReason::Structure,
+        };
+        let mut detail = first.to_string();
+        if let Some(w) = report.witness() {
+            detail.push_str(&format!(" (witness args {:?})", w.args));
+        }
+        Err((reason, detail))
+    }
+
+    /// Roll back a grant the verifier refused: release the allocation
+    /// (regrowing any victims the admission had shrunk), restore their
+    /// tables, journal the event, and answer the requester as failed.
+    fn reject_verified(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        reason: VerifyRejectReason,
+        detail: &str,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        let _ = detail; // carried in the journal/debug path only
+        let regrown = self.allocator.release(fid).unwrap_or_default();
+        let mut seen = BTreeSet::new();
+        for v in &regrown {
+            if seen.insert(v.fid) {
+                self.sync_app_tables(runtime, v.fid);
+            }
+        }
+        self.verify_rejected.inc();
+        self.verify_stats.entry(fid).or_default().rejected += 1;
+        let at_ns = now_ns + self.cost.control_fixed_ns;
+        self.journal_event(at_ns, EventKind::VerifyRejected { fid, reason });
+        self.journal_event(
+            at_ns,
+            EventKind::Admission {
+                fid,
+                accepted: false,
+            },
+        );
+        vec![
+            ControllerAction::Respond {
+                fid,
+                regions: Vec::new(),
+                failed: true,
+                at_ns,
+            },
+            ControllerAction::Report(ProvisioningReport {
+                fid,
+                alloc_compute_ns: 0,
+                table_update_ns: 0,
+                snapshot_wait_ns: 0,
+                total_ns: self.cost.control_fixed_ns,
+                victim_count: 0,
+                failed: true,
+            }),
+        ]
+    }
+
+    /// Per-FID static-verification tallies (for telemetry snapshots).
+    pub fn verify_stats(&self) -> impl Iterator<Item = (Fid, VerifyStats)> + '_ {
+        self.verify_stats.iter().map(|(&f, &s)| (f, s))
+    }
+
+    /// Switch-wide verification counters `(accepted, rejected)`.
+    pub fn verify_counts(&self) -> (u64, u64) {
+        (self.verify_accepted.get(), self.verify_rejected.get())
     }
 
     /// Apply the pending plan: update every affected table, clear the
@@ -672,7 +844,14 @@ impl Controller {
                 break;
             };
             let _ = q.arrived_ns;
-            acts.extend(self.start_admission(runtime, q.fid, q.pattern, q.policy, now_ns));
+            acts.extend(self.start_admission(
+                runtime,
+                q.fid,
+                q.pattern,
+                q.policy,
+                q.program.as_ref(),
+                now_ns,
+            ));
         }
         acts
     }
@@ -1131,5 +1310,149 @@ mod tests {
             "queued request admitted on the same poll"
         );
         assert_eq!(ctl.queue_len(), 0);
+    }
+
+    /// Listing 1's query program, matching `cache_pattern()` exactly.
+    fn cache_program() -> Program {
+        use activermt_isa::{Opcode, ProgramBuilder};
+        ProgramBuilder::new()
+            .op_arg(Opcode::MAR_LOAD, 3)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::MBR_EQUALS_DATA_1)
+            .op(Opcode::CRET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::MBR_EQUALS_DATA_2)
+            .op(Opcode::CRET)
+            .op(Opcode::RTS)
+            .op(Opcode::MEM_READ)
+            .op_arg(Opcode::MBR_STORE, 2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap()
+    }
+
+    /// Same shape as `cache_pattern()` but the first access is
+    /// addressed by a raw, unmasked hash — the verifier must refuse it.
+    fn hashed_probe_program() -> Program {
+        use activermt_isa::{Opcode, ProgramBuilder};
+        ProgramBuilder::new()
+            .op(Opcode::HASH)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::RTS)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn verified_admission_accepts_and_counts() {
+        let (mut rt, mut ctl) = setup();
+        let program = cache_program();
+        let acts = ctl.handle_request_with_program(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&program),
+            0,
+        );
+        let resp = respond_of(&acts, 1).expect("a response");
+        if let ControllerAction::Respond { failed, .. } = resp {
+            assert!(!failed, "the canonical query program must verify");
+        }
+        assert_eq!(ctl.verify_counts(), (1, 0));
+        assert_eq!(
+            ctl.verify_stats().collect::<Vec<_>>().len(),
+            1,
+            "per-FID verify accounting recorded"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_hashed_probe_and_rolls_back() {
+        let (mut rt, mut ctl) = setup();
+        let program = hashed_probe_program();
+        let acts = ctl.handle_request_with_program(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&program),
+            0,
+        );
+        let resp = respond_of(&acts, 1).expect("a response");
+        if let ControllerAction::Respond {
+            regions, failed, ..
+        } = resp
+        {
+            assert!(failed, "an unmasked hashed probe must be refused");
+            assert!(regions.is_empty());
+        }
+        assert_eq!(ctl.verify_counts(), (0, 1));
+        // Rollback: no protection entries survive, the controller is
+        // idle, and the same FID can immediately be admitted again.
+        assert_eq!(rt.protection().total_entries(), 0);
+        assert!(!ctl.busy());
+        let acts = ctl.handle_request(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
+        let resp = respond_of(&acts, 1).expect("a response");
+        if let ControllerAction::Respond { failed, .. } = resp {
+            assert!(!failed, "the slot is free again after the rollback");
+        }
+    }
+
+    #[test]
+    fn rejected_grant_regrows_its_victims() {
+        let (mut rt, mut ctl) = setup();
+        for fid in 1..=3 {
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
+        }
+        let before = rt.protection().total_entries();
+        // The 4th cache shares stages with an incumbent, so its grant
+        // shrinks victims — all of which must regrow when the verifier
+        // refuses the newcomer's program.
+        let acts = ctl.handle_request_with_program(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&hashed_probe_program()),
+            1000,
+        );
+        let resp = respond_of(&acts, 4).expect("a response");
+        if let ControllerAction::Respond { failed, .. } = resp {
+            assert!(failed);
+        }
+        assert_eq!(ctl.verify_counts(), (0, 1));
+        assert!(!ctl.busy(), "no snapshot round for a refused grant");
+        assert_eq!(
+            rt.protection().total_entries(),
+            before,
+            "victim regions restored to their pre-request shape"
+        );
+        for fid in 1..=3u16 {
+            assert!(
+                !rt.protection().stages_of(fid).is_empty(),
+                "incumbent {fid} still resident"
+            );
+        }
     }
 }

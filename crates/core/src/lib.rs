@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # activermt-core
 //!
@@ -30,7 +31,7 @@ pub mod types;
 
 pub use alloc::{AccessPattern, AllocOutcome, Allocator, MutantPolicy, Scheme};
 pub use config::SwitchConfig;
-pub use controller::{Controller, ControllerAction};
+pub use controller::{Controller, ControllerAction, VerifyStats};
 pub use runtime::{OutputAction, SwitchOutput, SwitchRuntime};
 
 pub use error::{AdmitError, CoreError};

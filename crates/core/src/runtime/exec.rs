@@ -38,7 +38,7 @@ use crate::runtime::interp;
 use crate::runtime::protect::ProtectionTables;
 use crate::runtime::recirc::RecircLimiter;
 use crate::types::Fid;
-use activermt_isa::constants::*;
+use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN, NUM_ARGS};
 use activermt_isa::wire::{
     program_packet_layout, ActiveHeader, EthernetFrame, PacketType, RegionEntry,
 };
@@ -345,8 +345,7 @@ impl SwitchRuntime {
     pub fn recirc_denials(&self) -> u64 {
         self.recirc_limiter
             .as_ref()
-            .map(|l| l.total_denied())
-            .unwrap_or(0)
+            .map_or(0, super::recirc::RecircLimiter::total_denied)
     }
 
     /// Quiesce a FID during reallocation: its program packets pass
@@ -421,12 +420,9 @@ impl SwitchRuntime {
             return;
         }
 
-        let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
-            Ok(h) => h,
-            Err(_) => {
-                self.stats.malformed_drops.inc();
-                return; // malformed: drop
-            }
+        let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
+            self.stats.malformed_drops.inc();
+            return; // malformed: drop
         };
         let fid = hdr.fid();
         let ptype = hdr.flags().packet_type();

@@ -32,7 +32,15 @@ pub fn execute(
     prot: Option<&ProtEntry>,
     crc: &Crc32,
 ) {
-    use Opcode::*;
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, CJUMP, CJUMPI,
+        COPY_HASHDATA_5TUPLE, COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
+        COPY_MBR_MAR, COPY_MBR_MBR2, CRET, CRETI, CRTS, DROP, EOF, FORK, HASH, MAR_ADD_MBR,
+        MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1,
+        MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT, MBR_STORE, MBR_SUBTRACT_MBR2,
+        MEM_INCREMENT, MEM_MINREAD, MEM_MINREADINC, MEM_READ, MEM_WRITE, MIN, NOP, RETURN, REVMIN,
+        RTS, SET_DST, SWAP_MBR_MBR2, UJUMP,
+    };
     stage.stats.instructions += 1;
     match ins.opcode {
         // ----- Special -----
@@ -53,7 +61,7 @@ pub fn execute(
             phv.mar = crc.hash_words(
                 activermt_rmt::hash::selector_seed(ins.flags.operand),
                 phv.hash_input(),
-            )
+            );
         }
 
         // ----- Data copying -----

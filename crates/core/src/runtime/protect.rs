@@ -210,7 +210,7 @@ impl ProtectionTables {
         self.stages[stage]
             .iter()
             .flatten()
-            .map(|e| e.tcam_cost())
+            .map(ProtEntry::tcam_cost)
             .sum()
     }
 

@@ -57,7 +57,7 @@ impl RecircLimiter {
         });
         // Refill.
         let elapsed = now_ns.saturating_sub(b.last_refill_ns);
-        let refill = (elapsed as u128 * rate as u128 / 1_000_000_000) as u64;
+        let refill = (u128::from(elapsed) * u128::from(rate) / 1_000_000_000) as u64;
         if refill > 0 {
             b.tokens = (b.tokens + refill).min(burst);
             // Advance by the time actually converted into tokens to

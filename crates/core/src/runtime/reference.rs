@@ -21,7 +21,7 @@
 use crate::runtime::decode_cache::{MalformedProgram, MAX_INSTRS};
 use crate::runtime::exec::{OutputAction, SwitchOutput, SwitchRuntime};
 use crate::runtime::interp;
-use activermt_isa::constants::*;
+use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN, NUM_ARGS};
 use activermt_isa::wire::{program_packet_layout, ActiveHeader, EthernetFrame, PacketType};
 use activermt_isa::{Instruction, Opcode};
 use activermt_rmt::traffic::Verdict;
@@ -74,12 +74,9 @@ impl SwitchRuntime {
             }];
         }
 
-        let hdr = match ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) {
-            Ok(h) => h,
-            Err(_) => {
-                self.stats.malformed_drops.inc();
-                return Vec::new();
-            }
+        let Ok(hdr) = ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]) else {
+            self.stats.malformed_drops.inc();
+            return Vec::new();
         };
         let fid = hdr.fid();
         let ptype = hdr.flags().packet_type();

@@ -83,7 +83,7 @@ fn cache_hit_returns_value_to_sender() {
     // Populate bucket 42: key halves in stages 1 and 4, value in 8.
     rt.reg_write(1, 42, 0xAAAA);
     rt.reg_write(4, 42, 0xBBBB);
-    rt.reg_write(8, 42, 0xC0FFEE);
+    rt.reg_write(8, 42, 0xC0_FFEE);
     let p = cache_query(42, 0xAAAA, 0xBBBB);
     let frame = build_program_packet(SERVER, CLIENT, FID, 2, &p, b"GET k");
     let out = rt.process_frame(frame);
@@ -93,7 +93,7 @@ fn cache_hit_returns_value_to_sender() {
     assert_eq!(eth.dst(), CLIENT, "hit turns the packet around");
     assert_eq!(eth.src(), SERVER);
     // The cached value was written into data field 2.
-    assert_eq!(args_of(&out[0].frame)[2], 0xC0FFEE);
+    assert_eq!(args_of(&out[0].frame)[2], 0xC0_FFEE);
     let hdr = ActiveHeader::new_checked(&out[0].frame[14..]).unwrap();
     assert!(hdr.flags().complete());
     assert!(hdr.flags().rts_done());

@@ -138,7 +138,7 @@ impl PacketFlags {
 
     /// Set/clear the `complete` flag.
     pub fn set_complete(&mut self, v: bool) {
-        self.set(Self::COMPLETE, v)
+        self.set(Self::COMPLETE, v);
     }
 
     /// Instructions are currently being skipped pending a branch label.
@@ -148,7 +148,7 @@ impl PacketFlags {
 
     /// Set/clear the `disabled` flag.
     pub fn set_disabled(&mut self, v: bool) {
-        self.set(Self::DISABLED, v)
+        self.set(Self::DISABLED, v);
     }
 
     /// The packet was produced or turned around by the switch.
@@ -158,7 +158,7 @@ impl PacketFlags {
 
     /// Set/clear the `from_switch` flag.
     pub fn set_from_switch(&mut self, v: bool) {
-        self.set(Self::FROM_SWITCH, v)
+        self.set(Self::FROM_SWITCH, v);
     }
 
     /// Allocation failed (responses only).
@@ -168,7 +168,7 @@ impl PacketFlags {
 
     /// Set/clear the `failed` flag.
     pub fn set_failed(&mut self, v: bool) {
-        self.set(Self::FAILED, v)
+        self.set(Self::FAILED, v);
     }
 
     /// The requesting application has elastic (variable) demand.
@@ -178,7 +178,7 @@ impl PacketFlags {
 
     /// Set/clear the `elastic` flag.
     pub fn set_elastic(&mut self, v: bool) {
-        self.set(Self::ELASTIC, v)
+        self.set(Self::ELASTIC, v);
     }
 
     /// The request restricts the allocator to recirculation-free mutants.
@@ -188,7 +188,7 @@ impl PacketFlags {
 
     /// Set/clear the `pinned` flag.
     pub fn set_pinned(&mut self, v: bool) {
-        self.set(Self::PINNED, v)
+        self.set(Self::PINNED, v);
     }
 
     /// An RTS has already fired on this packet.
@@ -198,7 +198,7 @@ impl PacketFlags {
 
     /// Set/clear the `rts_done` flag.
     pub fn set_rts_done(&mut self, v: bool) {
-        self.set(Self::RTS_DONE, v)
+        self.set(Self::RTS_DONE, v);
     }
 
     /// The switch refused processing because the FID is quiesced.
@@ -208,7 +208,7 @@ impl PacketFlags {
 
     /// Set/clear the `deactivated` flag.
     pub fn set_deactivated(&mut self, v: bool) {
-        self.set(Self::DEACTIVATED, v)
+        self.set(Self::DEACTIVATED, v);
     }
 
     fn set(&mut self, bit: u16, v: bool) {

@@ -38,7 +38,10 @@ pub use allocreq::{AccessDescriptor, AllocRequest};
 pub use allocresp::{AllocResponse, RegionEntry};
 pub use ethernet::EthernetFrame;
 
-use crate::constants::*;
+use crate::constants::{
+    ACTIVE_ETHERTYPE, ALLOC_REQUEST_LEN, ALLOC_RESPONSE_LEN, ARG_HEADER_LEN, ETHERNET_HEADER_LEN,
+    INITIAL_HEADER_LEN, INSTR_HEADER_LEN, NUM_ARGS,
+};
 use crate::error::Result;
 use crate::program::Program;
 
@@ -193,6 +196,41 @@ pub fn build_alloc_request(
     pinned: bool,
     ingress_position: u16,
 ) -> Result<Vec<u8>> {
+    build_alloc_request_with_program(
+        dst,
+        src,
+        fid,
+        seq,
+        accesses,
+        prog_len,
+        elastic,
+        pinned,
+        ingress_position,
+        &[],
+    )
+}
+
+/// Build an allocation-request packet carrying the compact program
+/// bytecode after the 24-byte descriptor header, so the switch can
+/// statically verify the program it is about to admit.
+///
+/// `program` is the EOF-terminated instruction stream
+/// ([`Program::encode_instructions`]); pass `&[]` for a descriptor-only
+/// request (legacy format — receivers ignore absent trailing bytes, so
+/// the extension is backward compatible in both directions).
+#[allow(clippy::too_many_arguments)]
+pub fn build_alloc_request_with_program(
+    dst: [u8; 6],
+    src: [u8; 6],
+    fid: u16,
+    seq: u16,
+    accesses: &[AccessDescriptor],
+    prog_len: u8,
+    elastic: bool,
+    pinned: bool,
+    ingress_position: u16,
+    program: &[u8],
+) -> Result<Vec<u8>> {
     let mut flags = PacketFlags::default().with_type(PacketType::AllocRequest);
     flags.set_elastic(elastic);
     flags.set_pinned(pinned);
@@ -203,7 +241,7 @@ pub fn build_alloc_request(
         seq,
         flags,
         ingress_position,
-        ALLOC_REQUEST_LEN,
+        ALLOC_REQUEST_LEN + program.len(),
     );
     {
         let mut hdr = ActiveHeader::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
@@ -212,6 +250,7 @@ pub fn build_alloc_request(
     let off = ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN;
     let mut req = AllocRequest::new_unchecked(&mut buf[off..]);
     req.set_accesses(accesses)?;
+    buf[off + ALLOC_REQUEST_LEN..].copy_from_slice(program);
     Ok(buf)
 }
 
@@ -418,6 +457,40 @@ mod tests {
         let req =
             AllocRequest::new_checked(&frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..]).unwrap();
         assert_eq!(req.accesses(), accesses.to_vec());
+    }
+
+    #[test]
+    fn alloc_request_carries_verifiable_bytecode() {
+        let accesses = [AccessDescriptor {
+            min_position: 2,
+            min_gap: 2,
+            demand: 0,
+        }];
+        let program = crate::ProgramBuilder::new()
+            .op_arg(Opcode::MAR_LOAD, 0)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let encoded = program.encode_instructions();
+        let frame = build_alloc_request_with_program(
+            [1; 6], [2; 6], 9, 3, &accesses, 3, false, false, 0, &encoded,
+        )
+        .unwrap();
+        let body = &frame[ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN..];
+        // The descriptor header still parses in place...
+        let req = AllocRequest::new_checked(body).unwrap();
+        assert_eq!(req.accesses(), accesses.to_vec());
+        // ...and the trailing bytes decode back to the same program.
+        let decoded = crate::Program::decode_instructions(&body[ALLOC_REQUEST_LEN..]).unwrap();
+        assert_eq!(decoded.instructions(), program.instructions());
+        // The legacy builder ships no trailing bytecode at all.
+        let legacy =
+            build_alloc_request([1; 6], [2; 6], 9, 3, &accesses, 3, false, false, 0).unwrap();
+        assert_eq!(
+            legacy.len(),
+            ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN + ALLOC_REQUEST_LEN
+        );
     }
 
     #[test]

@@ -259,11 +259,15 @@ impl Host for CacheClientHost {
 
     fn fault_stats(&self) -> crate::host::HostFaultStats {
         let shim = self.cache.shim();
-        let monitor = self.monitor.as_ref().map(|m| m.shim());
+        let monitor = self
+            .monitor
+            .as_ref()
+            .map(activermt_apps::HeavyHitterApp::shim);
         crate::host::HostFaultStats {
-            malformed_frames: shim.malformed_frames() + monitor.map_or(0, |s| s.malformed_frames()),
+            malformed_frames: shim.malformed_frames()
+                + monitor.map_or(0, activermt_client::shim::Shim::malformed_frames),
             retransmits: shim.retransmits()
-                + monitor.map_or(0, |s| s.retransmits())
+                + monitor.map_or(0, activermt_client::shim::Shim::retransmits)
                 + self.sync_retransmits,
         }
     }
@@ -426,7 +430,7 @@ impl Host for CacheClientHost {
                 }
                 self.outcomes.push(now, 1.0);
             }
-            Some(CacheEvent::AllocationFailed) | Some(CacheEvent::Degraded) | None => {}
+            Some(CacheEvent::AllocationFailed | CacheEvent::Degraded) | None => {}
         }
         out
     }

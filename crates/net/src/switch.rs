@@ -128,6 +128,14 @@ impl SwitchNode {
             r.stages = placements.len() as u32;
             r.blocks = placements.iter().map(|p| p.range.len).sum();
         }
+        for (fid, v) in self.controller.verify_stats() {
+            let r = rows.entry(fid).or_insert_with(|| FidRow {
+                fid,
+                ..FidRow::default()
+            });
+            r.verify_accepted = v.accepted;
+            r.verify_rejected = v.rejected;
+        }
         snap.fids = rows.into_values().collect();
         snap
     }
@@ -222,6 +230,27 @@ impl SwitchNode {
                     self.malformed_drop(now_ns, &self.malformed_alloc, DropLayer::AllocRequest);
                     return Vec::new();
                 };
+                // Trailing bytes after the 24-byte descriptor header are
+                // the compact program bytecode (EOF-terminated) for
+                // static verification. Absent bytes mean a legacy
+                // descriptor-only request; undecodable bytes are a
+                // malformed frame.
+                let program_bytes = &body[activermt_isa::constants::ALLOC_REQUEST_LEN..];
+                let program = if program_bytes.is_empty() {
+                    None
+                } else {
+                    match activermt_isa::Program::decode_instructions(program_bytes) {
+                        Ok(p) => Some(p),
+                        Err(_) => {
+                            self.malformed_drop(
+                                now_ns,
+                                &self.malformed_alloc,
+                                DropLayer::AllocRequest,
+                            );
+                            return Vec::new();
+                        }
+                    }
+                };
                 let pattern = AccessPattern::from_request(
                     &req.accesses(),
                     prog_len,
@@ -235,11 +264,12 @@ impl SwitchNode {
                 };
                 match pattern {
                     Ok(p) => {
-                        let actions = self.controller.handle_request(
+                        let actions = self.controller.handle_request_with_program(
                             &mut self.runtime,
                             fid,
                             p,
                             policy,
+                            program.as_ref(),
                             now_ns,
                         );
                         self.actions_to_emissions(now_ns, actions)
@@ -425,6 +455,77 @@ mod tests {
         assert!(sw.controller().allocator().contains(7));
         // A provisioning report was recorded.
         assert_eq!(sw.reports().len(), 1);
+    }
+
+    #[test]
+    fn unverifiable_bytecode_is_refused_and_accounted() {
+        use activermt_isa::wire::build_alloc_request_with_program;
+        use activermt_isa::{Opcode, ProgramBuilder};
+        let mut sw = SwitchNode::new(SWITCH, SwitchConfig::default(), Scheme::WorstFit);
+        // The cache shape, but the first access is addressed by a raw
+        // hash: statically unverifiable under any allocation.
+        let program = ProgramBuilder::new()
+            .op(Opcode::HASH)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::CRET)
+            .op(Opcode::RTS)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::NOP)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let accesses = [
+            AccessDescriptor {
+                min_position: 2,
+                min_gap: 2,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 5,
+                min_gap: 3,
+                demand: 0,
+            },
+            AccessDescriptor {
+                min_position: 9,
+                min_gap: 4,
+                demand: 0,
+            },
+        ];
+        let frame = build_alloc_request_with_program(
+            SWITCH,
+            CLIENT,
+            7,
+            1,
+            &accesses,
+            11,
+            true,
+            true,
+            8,
+            &program.encode_instructions(),
+        )
+        .unwrap();
+        let out = sw.handle_frame(1_000, frame);
+        assert_eq!(out.len(), 1);
+        let hdr = ActiveHeader::new_checked(&out[0].frame[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(hdr.flags().packet_type(), PacketType::AllocResponse);
+        assert!(hdr.flags().failed(), "the grant must be refused");
+        // The rollback left no residue...
+        assert!(!sw.controller().allocator().contains(7));
+        // ...and the snapshot carries the rejection on every surface.
+        let snap = sw.telemetry_snapshot(2_000);
+        assert_eq!(snap.counter("controller.verify_rejected"), Some(1));
+        assert!(snap.has_event(|e| matches!(
+            e,
+            activermt_telemetry::EventKind::VerifyRejected { fid: 7, .. }
+        )));
+        assert!(snap
+            .fids
+            .iter()
+            .any(|r| r.fid == 7 && r.verify_rejected == 1));
     }
 
     #[test]

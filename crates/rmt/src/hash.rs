@@ -150,7 +150,7 @@ mod tests {
         let buckets = 4096u32;
         let mut counts = vec![0u32; buckets as usize];
         for k in 0..10_000u32 {
-            let h = c.hash_words(7, &[k, k.wrapping_mul(2654435761)]);
+            let h = c.hash_words(7, &[k, k.wrapping_mul(2_654_435_761)]);
             counts[(h % buckets) as usize] += 1;
         }
         let max = counts.iter().copied().max().unwrap();

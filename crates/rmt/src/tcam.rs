@@ -22,8 +22,8 @@ pub fn range_to_prefixes(lo: u32, hi: u32) -> Vec<(u32, u32)> {
     if hi < lo {
         return out;
     }
-    let mut cur = lo as u64;
-    let end = hi as u64 + 1; // exclusive
+    let mut cur = u64::from(lo);
+    let end = u64::from(hi) + 1; // exclusive
     while cur < end {
         // Largest power-of-two block starting at `cur`:
         // limited by alignment of `cur` and by the remaining span.
@@ -128,14 +128,14 @@ mod tests {
         for (lo, hi) in [(0u32, 255), (1, 254), (100, 1000), (7, 7), (0, 1 << 20)] {
             let prefixes = range_to_prefixes(lo, hi);
             // Coverage is exact and non-overlapping.
-            let mut cur = lo as u64;
+            let mut cur = u64::from(lo);
             for (base, len) in &prefixes {
                 assert_eq!(u64::from(*base), cur, "gap in decomposition");
                 assert!(len.is_power_of_two());
                 assert_eq!(base % len, 0, "misaligned block");
                 cur += u64::from(*len);
             }
-            assert_eq!(cur, hi as u64 + 1, "decomposition does not end at hi");
+            assert_eq!(cur, u64::from(hi) + 1, "decomposition does not end at hi");
         }
     }
 

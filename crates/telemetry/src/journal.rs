@@ -45,6 +45,22 @@ pub enum DropLayer {
     Runt,
 }
 
+/// Why the static verifier rejected a program at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyRejectReason {
+    /// A memory access provably (or unprovably) escapes its region.
+    OutOfBounds,
+    /// A memory access is addressed by an unmasked hash value.
+    UnguardedHash,
+    /// A memory access or address translation has no region to use.
+    MissingRegion,
+    /// Worst-case passes exceed the recirculation cap.
+    RecircCap,
+    /// Malformed structure (backward branch, bad argument selector) or
+    /// a non-equivalent mutant.
+    Structure,
+}
+
 /// A structured control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -54,6 +70,14 @@ pub enum EventKind {
         fid: u16,
         /// Whether memory was granted.
         accepted: bool,
+    },
+    /// The static verifier refused a program the allocator had room
+    /// for; the grant was rolled back.
+    VerifyRejected {
+        /// Requesting FID.
+        fid: u16,
+        /// The dominant rejection reason.
+        reason: VerifyRejectReason,
     },
     /// A (re)placement materialized in the pipeline tables.
     Placement {

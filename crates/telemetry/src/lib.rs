@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Switch-wide observability for the ActiveRMT reproduction.
 //!
 //! The paper's entire evaluation (Figures 5–13) is built from
@@ -32,7 +34,8 @@ mod snapshot;
 
 pub use ewma::{ewma, Ewma};
 pub use journal::{
-    DropLayer, EventKind, FaultKind, Journal, JournalEvent, DEFAULT_JOURNAL_CAPACITY,
+    DropLayer, EventKind, FaultKind, Journal, JournalEvent, VerifyRejectReason,
+    DEFAULT_JOURNAL_CAPACITY,
 };
 pub use metrics::{
     bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSummary, NUM_BUCKETS,

@@ -8,7 +8,7 @@
 //! writer — so the same snapshot feeds both machine post-processing and
 //! scrape-style dashboards.
 
-use crate::journal::{DropLayer, EventKind, FaultKind, JournalEvent};
+use crate::journal::{DropLayer, EventKind, FaultKind, JournalEvent, VerifyRejectReason};
 use crate::registry::{MetricSample, MetricValue};
 
 /// One FID's accounting row: the union of what the runtime (packet
@@ -34,6 +34,10 @@ pub struct FidRow {
     pub rejected: u64,
     /// Times this FID was repacked as a reallocation victim.
     pub reallocations: u64,
+    /// Programs that passed static verification at admission.
+    pub verify_accepted: u64,
+    /// Programs the static verifier rejected (grant rolled back).
+    pub verify_rejected: u64,
     /// Stages currently occupied.
     pub stages: u32,
     /// Memory blocks currently occupied.
@@ -136,7 +140,8 @@ impl TelemetrySnapshot {
             out.push_str(&format!(
                 "    {{\"fid\": {}, \"interpreted\": {}, \"recirculations\": {}, \
                  \"denials\": {}, \"malformed\": {}, \"arrivals\": {}, \"admitted\": {}, \
-                 \"rejected\": {}, \"reallocations\": {}, \"stages\": {}, \"blocks\": {}}}{}\n",
+                 \"rejected\": {}, \"reallocations\": {}, \"verify_accepted\": {}, \
+                 \"verify_rejected\": {}, \"stages\": {}, \"blocks\": {}}}{}\n",
                 r.fid,
                 r.interpreted,
                 r.recirculations,
@@ -146,6 +151,8 @@ impl TelemetrySnapshot {
                 r.admitted,
                 r.rejected,
                 r.reallocations,
+                r.verify_accepted,
+                r.verify_rejected,
                 r.stages,
                 r.blocks,
                 comma
@@ -217,6 +224,8 @@ const FID_FIELDS: &[FidField] = &[
     ("admitted", |r| r.admitted),
     ("rejected", |r| r.rejected),
     ("reallocations", |r| r.reallocations),
+    ("verify_accepted", |r| r.verify_accepted),
+    ("verify_rejected", |r| r.verify_rejected),
     ("stages", |r| u64::from(r.stages)),
     ("blocks", |r| u64::from(r.blocks)),
 ];
@@ -276,10 +285,26 @@ fn drop_layer_str(l: DropLayer) -> &'static str {
 }
 
 /// The `"type": ..., fields...` portion of one journal event's JSON.
+fn verify_reason_str(r: VerifyRejectReason) -> &'static str {
+    match r {
+        VerifyRejectReason::OutOfBounds => "out_of_bounds",
+        VerifyRejectReason::UnguardedHash => "unguarded_hash",
+        VerifyRejectReason::MissingRegion => "missing_region",
+        VerifyRejectReason::RecircCap => "recirc_cap",
+        VerifyRejectReason::Structure => "structure",
+    }
+}
+
 fn event_fields_json(kind: &EventKind) -> String {
     match kind {
         EventKind::Admission { fid, accepted } => {
             format!("\"type\": \"admission\", \"fid\": {fid}, \"accepted\": {accepted}")
+        }
+        EventKind::VerifyRejected { fid, reason } => {
+            format!(
+                "\"type\": \"verify_rejected\", \"fid\": {fid}, \"reason\": \"{}\"",
+                verify_reason_str(*reason)
+            )
         }
         EventKind::Placement {
             fid,

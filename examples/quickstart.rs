@@ -17,7 +17,7 @@ const FID: u16 = 7;
 fn main() {
     // 1. Write an active program the way the paper does (Listing 1).
     let mut query = assemble(
-        r#"
+        r"
         MAR_LOAD $3        // locate bucket
         MEM_READ           // first 4 bytes of the key
         MBR_EQUALS_DATA_1  // compare
@@ -29,7 +29,7 @@ fn main() {
         MEM_READ           // read the value
         MBR_STORE $2       // write it into the packet
         RETURN
-    "#,
+    ",
     )
     .expect("Listing 1 assembles");
     println!("Listing 1 ({} instructions):\n{query}", query.len());

@@ -94,7 +94,7 @@ fn main() {
     let mut recovered = 0;
     for (rank, (key, count)) in true_top.iter().take(10).enumerate() {
         let hit = found_keys.contains(key);
-        recovered += hit as u32;
+        recovered += u32::from(hit);
         println!(
             "  #{:<2} key {:<6} true count {:<6} {}",
             rank + 1,

@@ -107,11 +107,9 @@ fn unresponsive_victim_cannot_block_admissions() {
     for fid in 4..=5u16 {
         let h = sim.host::<MuteHost>(client_mac(fid)).unwrap();
         let got_response = h.received.iter().any(|(_, f)| {
-            ActiveHeader::new_checked(&f[14..])
-                .map(|h| {
-                    h.flags().packet_type() == PacketType::AllocResponse && !h.flags().failed()
-                })
-                .unwrap_or(false)
+            ActiveHeader::new_checked(&f[14..]).is_ok_and(|h| {
+                h.flags().packet_type() == PacketType::AllocResponse && !h.flags().failed()
+            })
         });
         assert!(got_response, "fid {fid} never heard back");
     }
