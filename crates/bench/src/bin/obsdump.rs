@@ -18,6 +18,7 @@ use activermt_core::alloc::{MutantPolicy, Scheme};
 use activermt_core::SwitchConfig;
 use activermt_isa::wire::{build_alloc_request_with_program, AccessDescriptor};
 use activermt_isa::{Opcode, ProgramBuilder};
+use activermt_modelcheck::{check_invariants_assuming, report_violations, TrafficAssumption};
 use activermt_net::apphosts::{CacheClientConfig, CacheClientHost};
 use activermt_net::fault::FaultPlan;
 use activermt_net::host::{Host, KvServerHost};
@@ -190,6 +191,22 @@ fn run(scale: &Scale) -> TelemetrySnapshot {
         sent: false,
     }));
     sim.run_until(scale.run_ns);
+
+    // Quiesce point: audit the final control-plane state with the
+    // shared invariant engine and fold the result into the snapshot
+    // (counter + journal events), so the dump's own gate below can
+    // require a clean bill. Open world: the rogue host's FID reaches
+    // the decode cache without ever being admitted.
+    let node = sim.switch();
+    let violations = check_invariants_assuming(
+        node.controller(),
+        node.runtime(),
+        TrafficAssumption::OpenWorld,
+    );
+    report_violations(node.telemetry(), scale.run_ns, &violations);
+    for v in &violations {
+        eprintln!("# obsdump invariant violation: {v}");
+    }
     sim.telemetry_snapshot()
 }
 
@@ -251,6 +268,18 @@ fn verify(snap: &TelemetrySnapshot) -> Result<(), String> {
         snap.fids.iter().any(|r| r.verify_rejected > 0),
         "per-FID verification accounting",
     )?;
+    let violations = snap.counter("modelcheck.invariant_violations");
+    require(
+        violations.is_some(),
+        "the control-plane invariant audit (modelcheck.invariant_violations)",
+    )?;
+    if violations.unwrap_or(0) > 0 {
+        return Err(format!(
+            "{} control-plane invariant violation(s) at quiesce — see \
+             invariant_violated journal events",
+            violations.unwrap_or(0)
+        ));
+    }
     Ok(())
 }
 

@@ -114,6 +114,17 @@ impl StagePool {
         self.inelastic.iter().chain(self.elastic.iter()).copied()
     }
 
+    /// The elastic allocations only, in FID order (the invariant engine
+    /// recomputes max-min shares over exactly this set).
+    pub fn elastic_allocations(&self) -> impl Iterator<Item = (Fid, BlockRange)> + '_ {
+        self.elastic.iter().copied()
+    }
+
+    /// The inelastic (pinned) allocations only, in start order.
+    pub fn inelastic_allocations(&self) -> impl Iterator<Item = (Fid, BlockRange)> + '_ {
+        self.inelastic.iter().copied()
+    }
+
     /// Where would an inelastic demand of `demand` blocks land?
     ///
     /// First-fit within the gaps left by departed inelastic tenants;

@@ -69,7 +69,28 @@ pub enum ControllerAction {
     Report(ProvisioningReport),
 }
 
-#[derive(Debug)]
+/// A deliberately seeded controller bug, used *only* to mutation-test
+/// the invariant engine in `activermt-modelcheck`: each variant
+/// re-introduces a class of control-plane fault the checker must catch
+/// with a counterexample trace. Injection is test-only plumbing; no
+/// production path ever sets one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// `finish_pending` installs the newcomer's protection entries one
+    /// block wider than the grant (isolation breach / coverage drift).
+    OverlappingGrant,
+    /// `handle_deallocate` forgets to remove the departing FID's
+    /// protection entry in its first stage (leaked table entry).
+    DeallocLeaksEntry,
+    /// A verify-rejection forgets to roll the grant back: the blocks
+    /// stay booked to a FID that was answered "failed" (lost blocks).
+    RollbackLeak,
+    /// `finish_pending` answers and tracks victims but never resumes
+    /// them in the data plane (ack-less reactivation: stuck FIDs).
+    AckLessReactivation,
+}
+
+#[derive(Debug, Clone)]
 struct PendingRealloc {
     outcome: AllocOutcome,
     waiting: BTreeSet<Fid>,
@@ -86,13 +107,13 @@ struct PendingRealloc {
 /// A victim whose reactivation (new regions + resume signal) has not
 /// been acknowledged yet; polls re-send both until the client's
 /// ReactivateAck arrives or the retry budget runs out.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UnackedReactivation {
     last_ns: u64,
     attempts: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct QueuedRequest {
     fid: Fid,
     pattern: AccessPattern,
@@ -137,6 +158,13 @@ pub struct Controller {
     /// telemetry hub when bound).
     verify_accepted: Counter,
     verify_rejected: Counter,
+    /// Legacy no-bytecode admissions that bypassed the verifier: not an
+    /// error, but observable — an unverified grant should never be
+    /// silent.
+    verify_skipped: Counter,
+    /// Testing-only seeded fault (mutation tests for the invariant
+    /// engine); `None` everywhere outside those tests.
+    seeded_bug: Option<SeededBug>,
     /// Per-FID verification tallies, for the snapshot's FID rows.
     verify_stats: BTreeMap<Fid, VerifyStats>,
     /// Structured control-plane events (admissions, reallocations,
@@ -147,6 +175,42 @@ pub struct Controller {
     realloc_total_ns: Histogram,
     /// Modeled table-update time per admission, ns.
     table_update_ns: Histogram,
+}
+
+/// `Clone` supports the model checker's state-space exploration: the
+/// explorer forks a controller per transition. Metric cells detach
+/// (deep-copy, like the allocator's accounting) so a branch state never
+/// feeds the original's registry; the journal handle — whose own
+/// `Clone` shares the ring by design — is dropped instead, because a
+/// thousand explored branches interleaving events into one ring would
+/// make it meaningless.
+impl Clone for Controller {
+    fn clone(&self) -> Controller {
+        Controller {
+            allocator: self.allocator.clone(),
+            cost: self.cost,
+            pending: self.pending.clone(),
+            queue: self.queue.clone(),
+            regions: self.regions.clone(),
+            unacked: self.unacked.clone(),
+            resend_interval_ns: self.resend_interval_ns,
+            max_resends: self.max_resends,
+            duplicate_requests: self.duplicate_requests,
+            resent_signals: self.resent_signals,
+            abandoned_reactivations: self.abandoned_reactivations,
+            num_stages: self.num_stages,
+            ingress_stages: self.ingress_stages,
+            max_recirculations: self.max_recirculations,
+            verify_accepted: self.verify_accepted.detached_copy(),
+            verify_rejected: self.verify_rejected.detached_copy(),
+            verify_skipped: self.verify_skipped.detached_copy(),
+            seeded_bug: self.seeded_bug,
+            verify_stats: self.verify_stats.clone(),
+            journal: None,
+            realloc_total_ns: self.realloc_total_ns.detached_copy(),
+            table_update_ns: self.table_update_ns.detached_copy(),
+        }
+    }
 }
 
 impl Controller {
@@ -169,6 +233,8 @@ impl Controller {
             max_recirculations: cfg.max_recirculations,
             verify_accepted: Counter::new(),
             verify_rejected: Counter::new(),
+            verify_skipped: Counter::new(),
+            seeded_bug: None,
             verify_stats: BTreeMap::new(),
             journal: None,
             realloc_total_ns: Histogram::new(),
@@ -194,6 +260,7 @@ impl Controller {
         reg.register_histogram("controller.table_update_ns", &self.table_update_ns);
         reg.register_counter("controller.verify_accepted", &self.verify_accepted);
         reg.register_counter("controller.verify_rejected", &self.verify_rejected);
+        reg.register_counter("controller.verify_skipped", &self.verify_skipped);
         self.journal = Some(telemetry.journal().clone());
     }
 
@@ -236,6 +303,65 @@ impl Controller {
     /// Victims still owed a ReactivateAck.
     pub fn unacked_reactivations(&self) -> usize {
         self.unacked.len()
+    }
+
+    /// The FIDs still owed a ReactivateAck, sorted.
+    pub fn unacked_fids(&self) -> Vec<Fid> {
+        self.unacked.keys().copied().collect()
+    }
+
+    /// The in-flight requester, if a reallocation is pending.
+    pub fn pending_fid(&self) -> Option<Fid> {
+        self.pending.as_ref().map(|p| p.outcome.fid)
+    }
+
+    /// Every victim of the in-flight reallocation (snapshot-completed
+    /// or not), sorted. Empty when idle.
+    pub fn pending_victims(&self) -> Vec<Fid> {
+        self.pending
+            .as_ref()
+            .map(|p| p.outcome.victims_by_fid().keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Victims of the in-flight reallocation whose snapshot-complete
+    /// has not arrived yet, sorted. Empty when idle.
+    pub fn pending_waiting(&self) -> Vec<Fid> {
+        self.pending
+            .as_ref()
+            .map(|p| p.waiting.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// FIDs of queued (serialized) requests, in arrival order.
+    pub fn queued_fids(&self) -> Vec<Fid> {
+        self.queue.iter().map(|q| q.fid).collect()
+    }
+
+    /// The in-flight reallocation's snapshot deadline, if any (the
+    /// model checker's stall transition jumps virtual time here to
+    /// force the timeout path).
+    pub fn pending_deadline_ns(&self) -> Option<u64> {
+        self.pending.as_ref().map(|p| p.deadline_ns)
+    }
+
+    /// The per-app regions the controller last pushed to the tables
+    /// (what each client was *told*), in FID order.
+    pub fn granted_regions(&self) -> impl Iterator<Item = (Fid, &[(usize, RegionEntry)])> {
+        self.regions.iter().map(|(&f, r)| (f, r.as_slice()))
+    }
+
+    /// Testing-only: seed a controller bug for the model checker's
+    /// mutation tests (see [`SeededBug`]). Also disables the
+    /// debug-assertions invariant hook in [`Controller::poll`], whose
+    /// job the full engine takes over in those tests.
+    #[doc(hidden)]
+    pub fn inject_seeded_bug(&mut self, bug: SeededBug) {
+        self.seeded_bug = Some(bug);
+    }
+
+    fn has_bug(&self, bug: SeededBug) -> bool {
+        self.seeded_bug == Some(bug)
     }
 
     /// Handle an allocation request (Section 4.3). Returns the actions
@@ -365,7 +491,11 @@ impl Controller {
         });
         let victims = self.allocator.release(fid)?;
         self.journal_event(now_ns, EventKind::Deallocation { fid });
-        for stage in runtime.protection().stages_of(fid) {
+        let mut stages = runtime.protection().stages_of(fid);
+        if self.has_bug(SeededBug::DeallocLeaksEntry) && !stages.is_empty() {
+            stages.remove(0); // "forget" the first stage's table entry
+        }
+        for stage in stages {
             entries += runtime.remove_region(stage, fid);
         }
         self.regions.remove(&fid);
@@ -403,6 +533,8 @@ impl Controller {
     /// silently abandoned; the queued requester is admitted on the same
     /// poll.
     pub fn poll(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        #[cfg(debug_assertions)]
+        self.debug_check_invariants(runtime);
         let mut acts = Vec::new();
         let timed_out = match &self.pending {
             Some(p) => now_ns >= p.deadline_ns,
@@ -461,6 +593,39 @@ impl Controller {
 
     // ----- internals -----
 
+    /// A cheap, always-valid subset of the control-plane invariants,
+    /// run on every poll in debug builds (the full engine lives in
+    /// `activermt-modelcheck`, which cannot be a dependency of this
+    /// crate). Disabled while a [`SeededBug`] is injected — the
+    /// mutation tests exist precisely to drive the state invalid and
+    /// let the full engine catch it.
+    #[cfg(debug_assertions)]
+    fn debug_check_invariants(&self, runtime: &SwitchRuntime) {
+        if self.seeded_bug.is_some() || runtime.skip_decode_invalidation {
+            return;
+        }
+        for (stage, pool) in self.allocator.pools().iter().enumerate() {
+            if let Err(e) = pool.check_invariants() {
+                panic!("stage {stage} pool invariant violated: {e}");
+            }
+        }
+        // Protection entries only ever cover resident applications.
+        for fid in runtime.protection().resident_fids() {
+            assert!(
+                self.allocator.contains(fid),
+                "protection entry for non-resident fid {fid}"
+            );
+        }
+        // Quiesced FIDs exist only during an in-flight reallocation.
+        if self.pending.is_none() {
+            let stuck = runtime.deactivated_fids();
+            assert!(
+                stuck.is_empty(),
+                "idle controller but fids {stuck:?} are still quiesced"
+            );
+        }
+    }
+
     fn start_admission(
         &mut self,
         runtime: &mut SwitchRuntime,
@@ -511,6 +676,13 @@ impl Controller {
                     }
                     self.verify_accepted.inc();
                     self.verify_stats.entry(fid).or_default().accepted += 1;
+                } else {
+                    // Legacy wire format: no bytecode to check. The
+                    // grant proceeds on access-pattern evidence alone,
+                    // but never silently — unverified admissions are
+                    // counted and journaled.
+                    self.verify_skipped.inc();
+                    self.journal_event(now_ns, EventKind::VerifySkipped { fid });
                 }
                 // Charge a modeled search cost, not the measured one:
                 // wall-clock time in virtual timestamps would make runs
@@ -641,11 +813,13 @@ impl Controller {
         now_ns: u64,
     ) -> Vec<ControllerAction> {
         let _ = detail; // carried in the journal/debug path only
-        let regrown = self.allocator.release(fid).unwrap_or_default();
-        let mut seen = BTreeSet::new();
-        for v in &regrown {
-            if seen.insert(v.fid) {
-                self.sync_app_tables(runtime, v.fid);
+        if !self.has_bug(SeededBug::RollbackLeak) {
+            let regrown = self.allocator.release(fid).unwrap_or_default();
+            let mut seen = BTreeSet::new();
+            for v in &regrown {
+                if seen.insert(v.fid) {
+                    self.sync_app_tables(runtime, v.fid);
+                }
             }
         }
         self.verify_rejected.inc();
@@ -688,6 +862,11 @@ impl Controller {
         (self.verify_accepted.get(), self.verify_rejected.get())
     }
 
+    /// Legacy no-bytecode admissions that skipped verification.
+    pub fn verify_skipped(&self) -> u64 {
+        self.verify_skipped.get()
+    }
+
     /// Apply the pending plan: update every affected table, clear the
     /// newcomer's memory, reactivate victims, respond, report.
     fn finish_pending(
@@ -728,7 +907,13 @@ impl Controller {
             self.cost.decode_entries_per_stage * usize::from(outcome.mutant.padded_len);
         for p in &outcome.placements {
             let region = to_region(p.range, self.allocator.config().block_regs);
-            let (rm, ins) = runtime.install_region(p.stage, outcome.fid, region);
+            let mut installed = region;
+            if self.has_bug(SeededBug::OverlappingGrant) {
+                // One block wider than granted: the isolation breach
+                // the disjointness/coverage invariants must catch.
+                installed.end += self.allocator.config().block_regs;
+            }
+            let (rm, ins) = runtime.install_region(p.stage, outcome.fid, installed);
             runtime.clear_region(p.stage, region);
             newcomer_entries += rm + ins;
         }
@@ -757,7 +942,9 @@ impl Controller {
 
         let mut acts = Vec::new();
         for &vfid in victims.keys() {
-            runtime.reactivate(vfid);
+            if !self.has_bug(SeededBug::AckLessReactivation) {
+                runtime.reactivate(vfid);
+            }
             self.journal_event(victims_done_ns, EventKind::Reactivation { fid: vfid });
             acts.push(ControllerAction::Respond {
                 fid: vfid,

@@ -31,7 +31,7 @@ pub mod types;
 
 pub use alloc::{AccessPattern, AllocOutcome, Allocator, MutantPolicy, Scheme};
 pub use config::SwitchConfig;
-pub use controller::{Controller, ControllerAction, VerifyStats};
+pub use controller::{Controller, ControllerAction, SeededBug, VerifyStats};
 pub use runtime::{OutputAction, SwitchOutput, SwitchRuntime};
 
 pub use error::{AdmitError, CoreError};

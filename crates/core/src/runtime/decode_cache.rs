@@ -235,6 +235,17 @@ impl DecodeCache {
         Ok(self.map.entry(key).insert_entry(entry).into_mut())
     }
 
+    /// FIDs with at least one resident entry, sorted and deduplicated.
+    /// The invariant engine compares this set against the protection
+    /// tables: a cached decode for a FID the control plane no longer
+    /// protects is a missed invalidation.
+    pub fn cached_fids(&self) -> Vec<Fid> {
+        let mut fids: Vec<Fid> = self.map.keys().map(|&(f, _)| f).collect();
+        fids.sort_unstable();
+        fids.dedup();
+        fids
+    }
+
     /// Drop every entry belonging to `fid` (control-plane touch).
     pub fn invalidate(&mut self, fid: Fid) {
         let before = self.map.len();

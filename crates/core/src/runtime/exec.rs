@@ -205,6 +205,10 @@ pub struct SwitchRuntime {
     pub(crate) scratch: Box<InstrScratch>,
     pub(crate) stats: RuntimeCounters,
     pub(crate) fid_table: BTreeMap<Fid, FidPacketStats>,
+    /// Testing-only fault: when set, region install/remove skips the
+    /// decode-cache invalidation (the "stale cache entry" seeded bug
+    /// the model checker must catch). Never set outside tests.
+    pub(crate) skip_decode_invalidation: bool,
 }
 
 impl SwitchRuntime {
@@ -224,6 +228,7 @@ impl SwitchRuntime {
             scratch: new_scratch(),
             stats: RuntimeCounters::default(),
             fid_table: BTreeMap::new(),
+            skip_decode_invalidation: false,
             config,
         }
     }
@@ -289,7 +294,9 @@ impl SwitchRuntime {
         fid: Fid,
         region: RegionEntry,
     ) -> (usize, usize) {
-        self.decode.invalidate(fid);
+        if !self.skip_decode_invalidation {
+            self.decode.invalidate(fid);
+        }
         let (rm, ins) = self.protect.install(stage, fid, region);
         let tcam = &mut self.pipeline.stage_mut(stage).tcam;
         tcam.remove(rm);
@@ -300,7 +307,9 @@ impl SwitchRuntime {
 
     /// Remove `fid`'s entry in `stage`; returns entries removed.
     pub fn remove_region(&mut self, stage: usize, fid: Fid) -> usize {
-        self.decode.invalidate(fid);
+        if !self.skip_decode_invalidation {
+            self.decode.invalidate(fid);
+        }
         let rm = self.protect.remove(stage, fid);
         self.pipeline.stage_mut(stage).tcam.remove(rm);
         rm
@@ -364,6 +373,28 @@ impl SwitchRuntime {
     /// Is the FID currently quiesced?
     pub fn is_deactivated(&self, fid: Fid) -> bool {
         self.deactivated.contains(&fid)
+    }
+
+    /// Every currently quiesced FID, sorted (invariant engine, tests).
+    pub fn deactivated_fids(&self) -> Vec<Fid> {
+        let mut fids: Vec<Fid> = self.deactivated.iter().copied().collect();
+        fids.sort_unstable();
+        fids
+    }
+
+    /// FIDs with resident decode-cache entries, sorted (invariant
+    /// engine: cached decodes must never outlive protection entries).
+    pub fn decoded_fids(&self) -> Vec<Fid> {
+        self.decode.cached_fids()
+    }
+
+    /// Testing-only: make region install/remove *skip* decode-cache
+    /// invalidation, emulating a controller that forgets to flush stale
+    /// decodes. Exists so the model checker's mutation tests can prove
+    /// the cache-coherence invariant catches the bug.
+    #[doc(hidden)]
+    pub fn seed_skip_decode_invalidation(&mut self, on: bool) {
+        self.skip_decode_invalidation = on;
     }
 
     /// The protection tables (tests, controller bookkeeping).

@@ -6,6 +6,7 @@ use activermt_core::runtime::SwitchRuntime;
 use activermt_core::SwitchConfig;
 use activermt_isa::wire::{build_program_packet, RegionEntry};
 use activermt_isa::{InstrFlags, Instruction, Opcode, Program};
+use activermt_modelcheck::{check_invariants, FaultBudget, Scope, World};
 use proptest::prelude::*;
 
 const FID: u16 = 7;
@@ -108,5 +109,32 @@ proptest! {
     fn arbitrary_frames_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let mut rt = SwitchRuntime::new(small_config());
         let _ = rt.process_frame(bytes);
+    }
+
+    /// Control-plane random walks: drive the real controller through
+    /// arbitrary interleavings of requests, deallocations, signal
+    /// deliveries, faults, and polls, and audit *every* intermediate
+    /// state with the shared invariant engine (crates/modelcheck).
+    /// This covers, among others, cross-FID per-stage disjointness
+    /// (I1) and protection-table/grant coverage (I3) at walk lengths
+    /// far beyond what the exhaustive bounded explorer reaches.
+    #[test]
+    fn random_control_walks_preserve_invariants(
+        choices in prop::collection::vec(any::<u8>(), 1..60),
+    ) {
+        let mut world = World::new(Scope::medium(), FaultBudget::default_adversary());
+        for c in choices {
+            let enabled = world.enabled();
+            // `enabled` is never empty: Poll is always available.
+            let ev = enabled[usize::from(c) % enabled.len()];
+            world.apply(ev);
+            let violations = check_invariants(&world.ctl, &world.rt);
+            prop_assert!(
+                violations.is_empty(),
+                "invariants broken after {}: {:?}",
+                ev,
+                violations
+            );
+        }
     }
 }

@@ -1,0 +1,44 @@
+//! Control-plane model checking for the ActiveRMT reproduction.
+//!
+//! ActiveRMT's memory manager (SIGCOMM '23, §4–§5) makes two promises
+//! that no amount of data-plane testing can establish on its own:
+//! *isolation* (an application can never read or write another's
+//! memory, enforced by per-stage protection entries derived from its
+//! grant) and *safe reallocation* (the snapshot → move → reactivate
+//! protocol never loses memory, strands an application quiesced, or
+//! leaves a stale fast-path mapping). This crate turns those promises
+//! into machine-checked invariants:
+//!
+//! - [`invariants`] — a reusable engine, [`check_invariants`], that
+//!   audits any `(Controller, SwitchRuntime)` pair for nine safety
+//!   properties (I1–I9). It is shared by the bounded explorer, the
+//!   chaos end-to-end test, the observability dump, property tests,
+//!   and a debug-build hook inside the controller's own poll loop.
+//! - [`model`] — a small-scope [`World`]: the *real* controller and
+//!   runtime driven through their public entry points, with an
+//!   explicit in-flight-signal channel and a bounded fault budget
+//!   (drops, duplicates, stalls).
+//! - [`explore`] — breadth-first bounded exploration with canonical
+//!   state fingerprinting; finds minimal counterexample traces.
+//!
+//! The `modelcheck` binary (crates/apps) runs the explorer from the
+//! command line and writes `results/modelcheck.md`; CI runs it with
+//! `--deny-violations`. Mutation tests in this crate seed known bugs
+//! ([`Mutation`]) and require the checker to catch every one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod invariants;
+pub mod model;
+
+pub use explore::{
+    explore, render_report, render_trace, Counterexample, ExploreConfig, ExploreOutcome,
+    ExploreStats,
+};
+pub use invariants::{
+    check_invariants, check_invariants_assuming, report_violations, InvariantKind,
+    TrafficAssumption, Violation,
+};
+pub use model::{AppSpec, Event, FaultBudget, Msg, Mutation, Scope, World};

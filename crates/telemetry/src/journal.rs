@@ -120,6 +120,20 @@ pub enum EventKind {
         /// Which layer rejected it.
         layer: DropLayer,
     },
+    /// A legacy no-bytecode request was admitted without static
+    /// verification (the program could not be checked before grant).
+    VerifySkipped {
+        /// Admitted-but-unverified FID.
+        fid: u16,
+    },
+    /// The invariant engine found a control-plane safety violation.
+    InvariantViolated {
+        /// Stable numeric code of the violated invariant (see
+        /// `activermt-modelcheck`'s `InvariantKind::code`).
+        code: u16,
+        /// FID the violation was attributed to (0 if switch-wide).
+        fid: u16,
+    },
 }
 
 /// One journal entry.

@@ -337,6 +337,12 @@ fn event_fields_json(kind: &EventKind) -> String {
                 drop_layer_str(*layer)
             )
         }
+        EventKind::VerifySkipped { fid } => {
+            format!("\"type\": \"verify_skipped\", \"fid\": {fid}")
+        }
+        EventKind::InvariantViolated { code, fid } => {
+            format!("\"type\": \"invariant_violated\", \"code\": {code}, \"fid\": {fid}")
+        }
     }
 }
 

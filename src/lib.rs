@@ -13,11 +13,14 @@
 //! * [`core`] — the ActiveRMT runtime, controller and memory allocator,
 //! * [`client`] — compiler, assembler and shim layer,
 //! * [`apps`] — exemplar services (cache, heavy hitter, Cheetah LB),
-//! * [`net`] — the discrete-event network simulator.
+//! * [`net`] — the discrete-event network simulator,
+//! * [`modelcheck`] — control-plane safety invariants and the bounded
+//!   model checker.
 
 pub use activermt_apps as apps;
 pub use activermt_client as client;
 pub use activermt_core as core;
 pub use activermt_isa as isa;
+pub use activermt_modelcheck as modelcheck;
 pub use activermt_net as net;
 pub use activermt_rmt as rmt;

@@ -8,10 +8,32 @@
 
 use activermt::core::alloc::{MutantPolicy, Scheme};
 use activermt::core::SwitchConfig;
+use activermt::modelcheck::{check_invariants_assuming, TrafficAssumption};
 use activermt::net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
 use activermt::net::host::KvServerHost;
 use activermt::net::{FaultPlan, NetConfig, Simulation, SwitchNode};
 use activermt_client::shim::ShimState;
+
+/// Audit the switch's full control-plane state with the shared
+/// invariant engine (the same checks the bounded model checker runs
+/// over every reachable state — see crates/modelcheck). Open world:
+/// corrupted frames carry arbitrary FIDs into the decode cache.
+fn assert_invariants(sim: &Simulation, at: &str) {
+    let node = sim.switch();
+    let violations = check_invariants_assuming(
+        node.controller(),
+        node.runtime(),
+        TrafficAssumption::OpenWorld,
+    );
+    assert!(
+        violations.is_empty(),
+        "control-plane invariants broken {at}:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+}
 
 const SWITCH: [u8; 6] = [2, 0, 0, 0, 0, 0xFF];
 const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
@@ -110,6 +132,8 @@ fn cache_scenario_converges_under_chaos() {
     sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
     sim.add_host(Box::new(CacheClientHost::new(client_cfg(1, 0))));
     sim.run_until(1_000_000_000);
+    // Quiesce point: client 1 admitted, no faults yet.
+    assert_invariants(&sim, "after first admission");
     for i in 2..=4u8 {
         sim.add_host(Box::new(CacheClientHost::new(client_cfg(
             i,
@@ -118,6 +142,9 @@ fn cache_scenario_converges_under_chaos() {
     }
     // Run well past the last fault window so recovery can complete.
     sim.run_until(5_000_000_000);
+    // Quiesce point: every fault window closed and recovery drained —
+    // the full invariant suite must hold on the final state.
+    assert_invariants(&sim, "after chaos drained");
 
     // Convergence: every client either serves traffic or has cleanly
     // fallen back to the server path — none may be wedged mid-protocol.
