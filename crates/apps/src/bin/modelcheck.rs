@@ -1,11 +1,13 @@
 //! `modelcheck` — bounded exhaustive verification of the control plane.
 //!
 //! Explores every interleaving of allocation requests, deallocations,
-//! signal deliveries, faults (drops/duplicates/stalls), polls, and
-//! data packets within a small-scope model, checking nine safety
-//! invariants (isolation, conservation, protocol liveness, cache
-//! coherence, ledger consistency) at every reachable state. A
-//! violation prints a minimal counterexample trace.
+//! signal deliveries, faults (drops/duplicates/stalls/crash-recover
+//! cycles), polls, and data packets within a small-scope model,
+//! checking twelve safety invariants — nine structural (isolation,
+//! conservation, protocol liveness, cache coherence, ledger
+//! consistency) plus three crash-recovery properties (replay
+//! equivalence, grant continuity, recovery liveness) — at every
+//! reachable state. A violation prints a minimal counterexample trace.
 //!
 //! ```text
 //! modelcheck [--scope small|medium] [--depth N] [--seed N]

@@ -20,7 +20,7 @@ use activermt_isa::wire::{build_alloc_request_with_program, AccessDescriptor};
 use activermt_isa::{Opcode, ProgramBuilder};
 use activermt_modelcheck::{check_invariants_assuming, report_violations, TrafficAssumption};
 use activermt_net::apphosts::{CacheClientConfig, CacheClientHost};
-use activermt_net::fault::FaultPlan;
+use activermt_net::fault::{CrashPlan, FaultPlan};
 use activermt_net::host::{Host, KvServerHost};
 use activermt_net::{NetConfig, Simulation, SwitchNode};
 use activermt_telemetry::{EventKind, TelemetrySnapshot};
@@ -159,11 +159,12 @@ fn run(scale: &Scale) -> TelemetrySnapshot {
     // Mild uniform loss: enough injected faults to land in the
     // journal, few enough that the ring keeps the reallocation events.
     let plan = FaultPlan::uniform_loss(1, 7);
-    let mut sim = Simulation::with_faults(
-        NetConfig::default(),
-        SwitchNode::new(SWITCH, cfg, Scheme::WorstFit),
-        plan,
-    );
+    let mut node = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    // Two controller kill/restart cycles mid-run, so the snapshot also
+    // carries the crash-recovery surface: recoveries, repairs, the
+    // modeled recovery latency, and the Recovered journal event.
+    node.set_crash_plan(CrashPlan::every_opportunity(7, 2, 1_000_000_000));
+    let mut sim = Simulation::with_faults(NetConfig::default(), node, plan);
     sim.add_host(Box::new(KvServerHost::new(SERVER, 50_000)));
     for i in 1..=4u8 {
         sim.add_host(Box::new(CacheClientHost::new(CacheClientConfig {
@@ -267,6 +268,35 @@ fn verify(snap: &TelemetrySnapshot) -> Result<(), String> {
     require(
         snap.fids.iter().any(|r| r.verify_rejected > 0),
         "per-FID verification accounting",
+    )?;
+    require(
+        snap.counter("faults.injected_crashes").unwrap_or(0) > 0,
+        "injected controller crashes (faults.injected_crashes)",
+    )?;
+    require(
+        snap.counter("controller.recoveries").unwrap_or(0) > 0,
+        "the controller recoveries counter",
+    )?;
+    require(
+        snap.counter("controller.repairs").is_some(),
+        "the reconciliation repairs counter",
+    )?;
+    require(
+        snap.counter("controller.stale_epoch_rejects").is_some(),
+        "the stale-fence reject counter",
+    )?;
+    require(
+        snap.counter("journal.dropped").is_some(),
+        "the journal overflow counter",
+    )?;
+    require(
+        snap.histogram("controller.recovery_ns")
+            .is_some_and(|h| h.count > 0),
+        "modeled recovery-latency samples (controller.recovery_ns)",
+    )?;
+    require(
+        snap.has_event(|e| matches!(e, EventKind::Recovered { .. })),
+        "a crash-recovery journal event",
     )?;
     let violations = snap.counter("modelcheck.invariant_violations");
     require(

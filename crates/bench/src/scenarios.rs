@@ -257,7 +257,7 @@ pub fn churn_provisioning(
             let mut next = Vec::new();
             for act in queue {
                 match act {
-                    ControllerAction::Deactivate { fid, at_ns } => {
+                    ControllerAction::Deactivate { fid, at_ns, .. } => {
                         // The client snapshots and acknowledges one
                         // round trip later.
                         let ack_at = at_ns + 1_000_000;

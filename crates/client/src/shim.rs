@@ -129,6 +129,11 @@ pub struct Shim {
     /// drained by [`Shim::take_outgoing`].
     outgoing: Vec<Vec<u8>>,
     retx: Option<Retx>,
+    /// Fence token carried by the latest Deactivate/Reactivate notice
+    /// (in the wire `seq` field); echoed in our SnapshotComplete and
+    /// ReactivateAck so a restarted controller can reject answers to
+    /// signals a dead predecessor sent.
+    notice_fence: u16,
     malformed: u64,
     retransmits: u64,
     /// Packet-template cache accounting: sends served from the cached
@@ -170,6 +175,7 @@ impl Shim {
             template: None,
             outgoing: Vec::new(),
             retx: None,
+            notice_fence: 0,
             malformed: 0,
             retransmits: 0,
             template_hits: activermt_telemetry::Counter::new(),
@@ -323,14 +329,15 @@ impl Shim {
     /// Build the snapshot-complete control packet and resume
     /// (the switch reactivates us once the new allocation is applied).
     /// Retransmitted until the post-reallocation response or reactivate
-    /// notice arrives.
+    /// notice arrives. The `seq` field echoes the deactivate notice's
+    /// fence token, not our own sequence, so the controller can tell
+    /// this round's answer from a predecessor round's.
     pub fn snapshot_complete(&mut self, now_ns: u64) -> Vec<u8> {
-        let seq = self.next_seq();
         let frame = build_control(
             self.switch_mac,
             self.mac,
             self.fid,
-            seq,
+            self.notice_fence,
             ControlOp::SnapshotComplete,
             false,
         );
@@ -436,6 +443,11 @@ impl Shim {
             }
             PacketType::Control => match hdr.control_op() {
                 Ok(ControlOp::DeactivateNotice) => {
+                    // Adopt the notice's fence even on a duplicate: a
+                    // restarted controller re-issues the signal with a
+                    // fresh token, and only an echo of the *latest* one
+                    // is accepted.
+                    self.notice_fence = hdr.seq();
                     if self.state == ShimState::MemoryManagement {
                         // Re-sent notice: we are already snapshotting (or
                         // our snapshot ack is in retransmission).
@@ -446,13 +458,14 @@ impl Shim {
                 }
                 Ok(ControlOp::ReactivateNotice) => {
                     // Always acknowledge — the controller re-sends the
-                    // notice until it sees the ack.
-                    let seq = self.next_seq();
+                    // notice until it sees the ack — echoing the
+                    // notice's fence token.
+                    self.notice_fence = hdr.seq();
                     self.outgoing.push(build_control(
                         self.switch_mac,
                         self.mac,
                         self.fid,
-                        seq,
+                        hdr.seq(),
                         ControlOp::ReactivateAck,
                         false,
                     ));
@@ -762,6 +775,36 @@ mod tests {
         let hdr = ActiveHeader::new_checked(&out[0][14..]).unwrap();
         assert_eq!(hdr.control_op().unwrap(), ControlOp::ReactivateAck);
         assert_eq!(shim.poll(u64::MAX - 1), None, "retx cancelled");
+    }
+
+    #[test]
+    fn control_acks_echo_the_notice_fence() {
+        let mut shim = cache_shim();
+        shim.request_allocation(0);
+        shim.handle_frame(&grant(&[1, 4, 8]));
+        // The deactivate notice carries the round's fence token in the
+        // wire seq field; our SnapshotComplete must echo it verbatim.
+        let notice = build_control(CLIENT, SWITCH, 7, 42, ControlOp::DeactivateNotice, true);
+        shim.handle_frame(&notice);
+        let done = shim.snapshot_complete(0);
+        let hdr = ActiveHeader::new_checked(&done[14..]).unwrap();
+        assert_eq!(hdr.seq(), 42, "snapshot ack echoes the fence");
+        // Same for the reactivate notice and its ack.
+        let reactivate = build_control(CLIENT, SWITCH, 7, 57, ControlOp::ReactivateNotice, true);
+        shim.handle_frame(&reactivate);
+        let out = shim.take_outgoing();
+        let hdr = ActiveHeader::new_checked(&out[0][14..]).unwrap();
+        assert_eq!(hdr.control_op().unwrap(), ControlOp::ReactivateAck);
+        assert_eq!(hdr.seq(), 57, "reactivate ack echoes the fence");
+        // A re-sent notice with a fresh token (e.g. from a restarted
+        // controller) refreshes the stored fence even while we are
+        // already snapshotting, although the duplicate is swallowed.
+        assert!(shim.handle_frame(&notice).is_some(), "fresh quiesce");
+        let renotice = build_control(CLIENT, SWITCH, 7, 58, ControlOp::DeactivateNotice, true);
+        assert_eq!(shim.handle_frame(&renotice), None, "duplicate swallowed");
+        let done = shim.snapshot_complete(0);
+        let hdr = ActiveHeader::new_checked(&done[14..]).unwrap();
+        assert_eq!(hdr.seq(), 58, "latest notice fence wins");
     }
 
     #[test]

@@ -26,14 +26,17 @@ pub use tables::{CostModel, ProvisioningReport};
 use crate::alloc::{AccessPattern, AllocOutcome, Allocator, AllocatorConfig, MutantPolicy, Scheme};
 use crate::config::SwitchConfig;
 use crate::error::CoreError;
-use crate::runtime::SwitchRuntime;
+use crate::oplog::{OpLog, OpRecord};
+use crate::runtime::{ProtEntry, SwitchRuntime};
 use crate::types::Fid;
 use activermt_analysis::{
     check_mutant_equivalence, pad_to_positions, verify, AnalysisContext, Assumptions, FindingKind,
 };
 use activermt_isa::wire::RegionEntry;
 use activermt_isa::Program;
-use activermt_telemetry::{Counter, EventKind, Histogram, Journal, Telemetry, VerifyRejectReason};
+use activermt_telemetry::{
+    Counter, EventKind, Histogram, Journal, RepairKind, Telemetry, VerifyRejectReason,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A timestamped control-plane effect for the surrounding harness.
@@ -57,6 +60,10 @@ pub enum ControllerAction {
         fid: Fid,
         /// Virtual send time.
         at_ns: u64,
+        /// Fence token the victim must echo in its SnapshotComplete
+        /// (stamped into the wire `seq` field; see
+        /// [`Controller::handle_snapshot_complete_fenced`]).
+        fence: u16,
     },
     /// Tell a victim processing has resumed on its new regions.
     Reactivate {
@@ -64,6 +71,8 @@ pub enum ControllerAction {
         fid: Fid,
         /// Virtual send time.
         at_ns: u64,
+        /// Fence token the victim must echo in its ReactivateAck.
+        fence: u16,
     },
     /// A provisioning event completed (for the Figure 8a harness).
     Report(ProvisioningReport),
@@ -88,6 +97,11 @@ pub enum SeededBug {
     /// `finish_pending` answers and tracks victims but never resumes
     /// them in the data plane (ack-less reactivation: stuck FIDs).
     AckLessReactivation,
+    /// The write-ahead discipline is inverted: each op-log record is
+    /// held back until the *next* transition commits, so a crash loses
+    /// the last applied transition and replay rebuilds a stale state
+    /// (the classic log-write-after-action bug).
+    LogAfterAction,
 }
 
 #[derive(Debug, Clone)]
@@ -102,6 +116,9 @@ struct PendingRealloc {
     /// Last time each victim was sent its Deactivate signal; polls
     /// re-send until the snapshot-complete arrives (loss tolerance).
     last_signal_ns: BTreeMap<Fid, u64>,
+    /// Fence token stamped into this round's signals; a victim's
+    /// SnapshotComplete must echo it or be rejected as stale.
+    fence: u16,
 }
 
 /// A victim whose reactivation (new regions + resume signal) has not
@@ -111,6 +128,8 @@ struct PendingRealloc {
 struct UnackedReactivation {
     last_ns: u64,
     attempts: u32,
+    /// Fence token the victim's ReactivateAck must echo.
+    fence: u16,
 }
 
 #[derive(Debug, Clone)]
@@ -129,6 +148,36 @@ pub struct VerifyStats {
     pub accepted: u64,
     /// Programs rejected (and their grants rolled back).
     pub rejected: u64,
+}
+
+/// What the post-recovery reconciliation pass repaired, by kind.
+/// Accumulates across recoveries of the same controller lineage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Protection-table entries re-installed (missing or divergent).
+    pub reinstalled_entries: u64,
+    /// Orphaned protection-table entries removed.
+    pub scrubbed_entries: u64,
+    /// Orphaned decode-cache residents flushed.
+    pub scrubbed_decode: u64,
+    /// In-flight victims re-quiesced in the data plane.
+    pub requiesced: u64,
+    /// FIDs found quiesced with no reallocation to blame, resumed.
+    pub reactivated_strays: u64,
+    /// Deactivate / Respond+Reactivate signals re-issued.
+    pub resent_signals: u64,
+}
+
+impl RecoveryStats {
+    /// Total repairs across all kinds.
+    pub fn total(&self) -> u64 {
+        self.reinstalled_entries
+            + self.scrubbed_entries
+            + self.scrubbed_decode
+            + self.requiesced
+            + self.reactivated_strays
+            + self.resent_signals
+    }
 }
 
 /// The ActiveRMT switch controller.
@@ -175,6 +224,28 @@ pub struct Controller {
     realloc_total_ns: Histogram,
     /// Modeled table-update time per admission, ns.
     table_update_ns: Histogram,
+    /// The write-ahead op-log; `None` until attached (tests and the
+    /// model checker's clean worlds run without one).
+    oplog: Option<OpLog>,
+    /// Controller generation: 0 for a fresh boot, bumped by every
+    /// [`Controller::recover`].
+    epoch: u32,
+    /// Monotone fence-token source; each reallocation round takes the
+    /// next value and stamps it into its signals.
+    fence: u16,
+    /// [`SeededBug::LogAfterAction`] plumbing: the record held back
+    /// until the next transition commits (lost on crash — the bug).
+    deferred_record: Option<OpRecord>,
+    /// Stale-fence SnapshotComplete / ReactivateAck messages rejected.
+    stale_rejects: Counter,
+    /// Completed crash recoveries in this controller lineage.
+    recoveries: Counter,
+    /// Total reconciliation repairs (see [`RecoveryStats`]).
+    repairs: Counter,
+    /// Repair breakdown by kind.
+    recovery_stats: RecoveryStats,
+    /// Modeled recovery latency (replay + reconciliation), ns.
+    recovery_ns: Histogram,
 }
 
 /// `Clone` supports the model checker's state-space exploration: the
@@ -209,6 +280,18 @@ impl Clone for Controller {
             journal: None,
             realloc_total_ns: self.realloc_total_ns.detached_copy(),
             table_update_ns: self.table_update_ns.detached_copy(),
+            // Unlike the journal, the op-log must survive the fork with
+            // its contents — a branch that crashes replays *its own*
+            // history — so it deep-copies instead of being dropped.
+            oplog: self.oplog.as_ref().map(OpLog::deep_clone),
+            epoch: self.epoch,
+            fence: self.fence,
+            deferred_record: self.deferred_record.clone(),
+            stale_rejects: self.stale_rejects.detached_copy(),
+            recoveries: self.recoveries.detached_copy(),
+            repairs: self.repairs.detached_copy(),
+            recovery_stats: self.recovery_stats,
+            recovery_ns: self.recovery_ns.detached_copy(),
         }
     }
 }
@@ -239,6 +322,15 @@ impl Controller {
             journal: None,
             realloc_total_ns: Histogram::new(),
             table_update_ns: Histogram::new(),
+            oplog: None,
+            epoch: 0,
+            fence: 0,
+            deferred_record: None,
+            stale_rejects: Counter::new(),
+            recoveries: Counter::new(),
+            repairs: Counter::new(),
+            recovery_stats: RecoveryStats::default(),
+            recovery_ns: Histogram::new(),
         }
     }
 
@@ -261,6 +353,10 @@ impl Controller {
         reg.register_counter("controller.verify_accepted", &self.verify_accepted);
         reg.register_counter("controller.verify_rejected", &self.verify_rejected);
         reg.register_counter("controller.verify_skipped", &self.verify_skipped);
+        reg.register_counter("controller.stale_epoch_rejects", &self.stale_rejects);
+        reg.register_counter("controller.recoveries", &self.recoveries);
+        reg.register_counter("controller.repairs", &self.repairs);
+        reg.register_histogram("controller.recovery_ns", &self.recovery_ns);
         self.journal = Some(telemetry.journal().clone());
     }
 
@@ -268,6 +364,69 @@ impl Controller {
         if let Some(j) = &self.journal {
             j.record(at_ns, kind);
         }
+    }
+
+    /// Commit a transition to the write-ahead log. Called at each entry
+    /// point before the transition's actions are handed back to the
+    /// transport, so the log is always at least as new as anything the
+    /// outside world has seen. Under [`SeededBug::LogAfterAction`] the
+    /// record is instead held until the *next* transition commits —
+    /// the ordering bug the model checker's mutation test must refute.
+    fn log_record(&mut self, record: OpRecord) {
+        let Some(log) = &self.oplog else {
+            return;
+        };
+        if self.has_bug(SeededBug::LogAfterAction) {
+            if let Some(prev) = self.deferred_record.replace(record) {
+                log.append(prev);
+            }
+        } else {
+            log.append(record);
+        }
+    }
+
+    /// Attach a write-ahead log; every subsequent transition commits a
+    /// record into it. Idiomatically the harness keeps a shared handle
+    /// (the log *is* the stable storage) and rebuilds a crashed
+    /// controller from it with [`Controller::recover`].
+    pub fn attach_oplog(&mut self, log: OpLog) {
+        self.oplog = Some(log);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn oplog(&self) -> Option<&OpLog> {
+        self.oplog.as_ref()
+    }
+
+    /// Controller generation: 0 from a fresh boot, +1 per recovery.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The fence token the in-flight reallocation's signals carry (the
+    /// value victims must echo), if a round is pending.
+    pub fn pending_fence(&self) -> Option<u16> {
+        self.pending.as_ref().map(|p| p.fence)
+    }
+
+    /// The fence token `fid`'s pending reactivation carries, if any.
+    pub fn unacked_fence(&self, fid: Fid) -> Option<u16> {
+        self.unacked.get(&fid).map(|u| u.fence)
+    }
+
+    /// Stale-fence control messages rejected.
+    pub fn stale_epoch_rejects(&self) -> u64 {
+        self.stale_rejects.get()
+    }
+
+    /// Completed crash recoveries in this controller lineage.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.get()
+    }
+
+    /// Reconciliation repair breakdown (accumulated across recoveries).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
     }
 
     /// The allocator state (metrics, tests).
@@ -427,6 +586,15 @@ impl Controller {
                 at_ns: now_ns + self.cost.control_fixed_ns,
             }];
         }
+        // Past the duplicate filters this request will change state
+        // (queued or admitted): commit it to the op-log first.
+        self.log_record(OpRecord::Request {
+            fid,
+            pattern: pattern.clone(),
+            policy,
+            program: program.cloned(),
+            now_ns,
+        });
         if self.pending.is_some() {
             // "The controller serializes requests to ensure applications
             // are admitted one at a time."
@@ -443,27 +611,101 @@ impl Controller {
     }
 
     /// A victim acknowledged its reactivation; stop re-signalling it.
+    /// Unfenced entry point: trusts the sender (in-process tests and
+    /// the model checker's lossless delivery).
     pub fn handle_reactivate_ack(&mut self, fid: Fid) {
-        self.unacked.remove(&fid);
+        let fence = self.unacked.get(&fid).map(|u| u.fence);
+        if let Some(fence) = fence {
+            self.handle_reactivate_ack_fenced(fid, fence, 0);
+        }
     }
 
-    /// A victim finished extracting state from the snapshot.
+    /// A victim acknowledged its reactivation, echoing the fence token
+    /// from the Reactivate signal it acted on. An ack fenced to an
+    /// older round (or an older controller generation) is rejected: it
+    /// acknowledges a reactivation this controller no longer owes.
+    pub fn handle_reactivate_ack_fenced(&mut self, fid: Fid, fence: u16, now_ns: u64) {
+        match self.unacked.get(&fid) {
+            Some(u) if u.fence == fence => {
+                self.log_record(OpRecord::ReactivateAck { fid, now_ns });
+                self.unacked.remove(&fid);
+            }
+            Some(u) => {
+                let want = u.fence;
+                self.stale_rejects.inc();
+                self.journal_event(
+                    now_ns,
+                    EventKind::StaleSignalRejected {
+                        fid,
+                        got: fence,
+                        want,
+                    },
+                );
+            }
+            // An ack for a FID with nothing outstanding is the normal
+            // retransmit tail (the first copy already landed) — not a
+            // fencing event.
+            None => {}
+        }
+    }
+
+    /// A victim finished extracting state from the snapshot. Unfenced
+    /// entry point: trusts the sender (see
+    /// [`Controller::handle_snapshot_complete_fenced`]).
     pub fn handle_snapshot_complete(
         &mut self,
         runtime: &mut SwitchRuntime,
         fid: Fid,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
-        let (removed, done) = match self.pending.as_mut() {
+        let Some(fence) = self.pending.as_ref().map(|p| p.fence) else {
+            return Vec::new();
+        };
+        self.handle_snapshot_complete_fenced(runtime, fid, fence, now_ns)
+    }
+
+    /// A victim finished extracting state, echoing the fence token from
+    /// the Deactivate signal that asked for it. A completion fenced to
+    /// an older round is rejected rather than applied: after a
+    /// snapshot-timeout force-reactivation (or a crash recovery), the
+    /// same FID may be a victim of a *new* round, and counting the old
+    /// round's completion against it would release the newcomer's
+    /// tables before the victim actually quiesced.
+    pub fn handle_snapshot_complete_fenced(
+        &mut self,
+        runtime: &mut SwitchRuntime,
+        fid: Fid,
+        fence: u16,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        let (applies, stale_want) = match self.pending.as_ref() {
+            Some(p) if p.fence == fence => (p.waiting.contains(&fid), None),
+            Some(p) => (false, Some(p.fence)),
+            None => return Vec::new(),
+        };
+        if let Some(want) = stale_want {
+            self.stale_rejects.inc();
+            self.journal_event(
+                now_ns,
+                EventKind::StaleSignalRejected {
+                    fid,
+                    got: fence,
+                    want,
+                },
+            );
+            return Vec::new();
+        }
+        if applies {
+            self.log_record(OpRecord::SnapshotComplete { fid, now_ns });
+            self.journal_event(now_ns, EventKind::SnapshotComplete { fid });
+        }
+        let done = match self.pending.as_mut() {
             Some(p) => {
-                let removed = p.waiting.remove(&fid);
-                (removed, p.waiting.is_empty())
+                p.waiting.remove(&fid);
+                p.waiting.is_empty()
             }
             None => return Vec::new(),
         };
-        if removed {
-            self.journal_event(now_ns, EventKind::SnapshotComplete { fid });
-        }
         if done {
             let mut acts = self.finish_pending(runtime, now_ns);
             acts.extend(self.drain_queue(runtime, now_ns));
@@ -481,10 +723,26 @@ impl Controller {
         now_ns: u64,
     ) -> Result<Vec<ControllerAction>, CoreError> {
         if self.pending.is_some() {
-            // Departures during a reallocation would invalidate the
-            // computed plan; the client retries after the busy period.
+            // A departure may race the FID's own queued-but-not-started
+            // request: purge it so the drain can't resurrect an app
+            // that already left. (Without this, the queued request was
+            // admitted after the busy period and the departed FID came
+            // back as a phantom tenant.)
+            if let Some(idx) = self.queue.iter().position(|q| q.fid == fid) {
+                self.log_record(OpRecord::Deallocate { fid, now_ns });
+                self.queue.remove(idx);
+                self.journal_event(now_ns, EventKind::Deallocation { fid });
+                return Ok(Vec::new());
+            }
+            // Other departures during a reallocation would invalidate
+            // the computed plan; the client retries after the busy
+            // period.
             return Err(CoreError::Busy);
         }
+        if !self.allocator.contains(fid) {
+            return Err(CoreError::UnknownFid(fid));
+        }
+        self.log_record(OpRecord::Deallocate { fid, now_ns });
         // The departing FID's per-stage decode entries come out too.
         let mut entries = self.allocator.app(fid).map_or(0, |a| {
             self.cost.decode_entries_per_stage * usize::from(a.mutant.padded_len)
@@ -541,12 +799,16 @@ impl Controller {
             None => false,
         };
         if timed_out {
+            // The forced completion is a committed transition: replay
+            // reproduces it by re-polling at the recorded time.
+            self.log_record(OpRecord::Timeout { now_ns });
             acts.extend(self.finish_pending(runtime, now_ns));
             acts.extend(self.drain_queue(runtime, now_ns));
         } else if let Some(p) = self.pending.as_mut() {
             // Victims that have not snapshot-completed may never have
             // seen the Deactivate (lost frame): re-signal on a backoff
             // interval.
+            let fence = p.fence;
             for (&vfid, last) in &mut p.last_signal_ns {
                 if p.waiting.contains(&vfid)
                     && now_ns >= *last
@@ -557,6 +819,7 @@ impl Controller {
                     acts.push(ControllerAction::Deactivate {
                         fid: vfid,
                         at_ns: now_ns,
+                        fence,
                     });
                 }
             }
@@ -581,13 +844,276 @@ impl Controller {
                 acts.push(ControllerAction::Reactivate {
                     fid: vfid,
                     at_ns: now_ns,
+                    fence: un.fence,
                 });
             }
         }
         for vfid in give_up {
+            self.log_record(OpRecord::Abandon { fid: vfid, now_ns });
             self.unacked.remove(&vfid);
             self.abandoned_reactivations += 1;
         }
+        acts
+    }
+
+    /// Rebuild a crashed controller from its write-ahead log.
+    ///
+    /// Every entry-point handler is a deterministic function of the
+    /// controller state and its input, so replaying the committed
+    /// input records in commit order — against a scratch data plane
+    /// built from the same configuration — reconstructs the allocator
+    /// grants, the admission ledger (`regions`), the serialization
+    /// queue, the pending-reallocation state machine, and the unacked
+    /// reactivation set exactly as they stood at the last commit. The
+    /// scratch runtime is then discarded: the *live* data plane
+    /// survived the crash and is reconciled separately with
+    /// [`Controller::reconcile`].
+    ///
+    /// The recovered controller runs in a fresh epoch (one past the
+    /// highest the log has seen), which it commits as an
+    /// [`OpRecord::EpochOpen`] so epochs keep rising across repeated
+    /// crashes of the same log.
+    pub fn recover(log: &OpLog, cfg: &SwitchConfig, scheme: Scheme) -> Controller {
+        let mut c = Controller::new(cfg, scheme);
+        let mut scratch = SwitchRuntime::new(*cfg);
+        let mut last_ns = 0u64;
+        for record in log.records() {
+            match record {
+                OpRecord::Request {
+                    fid,
+                    pattern,
+                    policy,
+                    program,
+                    now_ns,
+                } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.handle_request_with_program(
+                        &mut scratch,
+                        fid,
+                        pattern,
+                        policy,
+                        program.as_ref(),
+                        now_ns,
+                    );
+                }
+                OpRecord::SnapshotComplete { fid, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.handle_snapshot_complete(&mut scratch, fid, now_ns);
+                }
+                OpRecord::ReactivateAck { fid, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.handle_reactivate_ack(fid);
+                }
+                OpRecord::Deallocate { fid, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    let _ = c.handle_deallocate(&mut scratch, fid, now_ns);
+                }
+                OpRecord::Timeout { now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.poll(&mut scratch, now_ns);
+                }
+                OpRecord::Abandon { fid, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.unacked.remove(&fid);
+                    c.abandoned_reactivations += 1;
+                }
+                OpRecord::EpochOpen { epoch, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.epoch = c.epoch.max(epoch);
+                }
+            }
+        }
+        c.epoch = c.epoch.max(log.last_epoch()) + 1;
+        // The lineage has completed one recovery per prior epoch; seed
+        // the counter so `controller.recoveries` keeps counting across
+        // repeated crashes (reconcile adds this cycle's own).
+        c.recoveries.add(u64::from(c.epoch) - 1);
+        // Attach the log only after replay: the replayed transitions
+        // are already committed and must not be re-appended.
+        c.oplog = Some(log.clone());
+        log.append(OpRecord::EpochOpen {
+            epoch: c.epoch,
+            now_ns: last_ns,
+        });
+        c
+    }
+
+    /// Reconcile the live data plane against this (freshly recovered)
+    /// controller's rebuilt intent, repairing every divergence:
+    ///
+    /// * protection entries present for FIDs (or stages) the ledger
+    ///   does not grant are scrubbed, and granted entries that are
+    ///   missing or divergent are re-installed;
+    /// * decode-cache residents without a granted placement are
+    ///   flushed;
+    /// * quiesce state is re-asserted — in-flight victims that the
+    ///   switch shows active are re-deactivated, and quiesced FIDs no
+    ///   reallocation can account for are resumed;
+    /// * lost control signals are re-issued (Deactivate for victims
+    ///   still owing a snapshot, Respond+Reactivate for unacked
+    ///   victims), fenced to their replayed round tokens.
+    ///
+    /// Every repair is journaled and counted; the whole pass is charged
+    /// a modeled latency into `controller.recovery_ns` (replayed
+    /// records plus repaired table entries — never wall-clock).
+    pub fn reconcile(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+        let mut stats = RecoveryStats::default();
+        let mut repaired_entries = 0usize;
+        // Scrub protection entries the rebuilt ledger does not grant —
+        // whole FIDs first, then stages a granted FID no longer covers.
+        for fid in runtime.protection().resident_fids() {
+            let granted_stages: BTreeSet<usize> = self
+                .regions
+                .get(&fid)
+                .map(|rs| rs.iter().map(|(s, _)| *s).collect())
+                .unwrap_or_default();
+            for stage in runtime.protection().stages_of(fid) {
+                if !granted_stages.contains(&stage) {
+                    repaired_entries += runtime.remove_region(stage, fid);
+                    stats.scrubbed_entries += 1;
+                    self.journal_event(
+                        now_ns,
+                        EventKind::RecoveryRepair {
+                            fid,
+                            repair: RepairKind::ScrubEntry,
+                        },
+                    );
+                }
+            }
+        }
+        // Re-install granted entries that are missing or divergent.
+        let intent: Vec<(Fid, usize, RegionEntry)> = self
+            .regions
+            .iter()
+            .flat_map(|(&fid, rs)| rs.iter().map(move |&(stage, region)| (fid, stage, region)))
+            .collect();
+        for (fid, stage, region) in intent {
+            let want = ProtEntry::from_region(region);
+            let have = runtime.protection().lookup(stage, fid).copied();
+            if have != want {
+                let (rm, ins) = runtime.install_region(stage, fid, region);
+                repaired_entries += rm + ins;
+                stats.reinstalled_entries += 1;
+                self.journal_event(
+                    now_ns,
+                    EventKind::RecoveryRepair {
+                        fid,
+                        repair: RepairKind::ReinstallEntry,
+                    },
+                );
+            }
+        }
+        // Decode-cache residents must trace back to a granted placement.
+        for fid in runtime.decoded_fids() {
+            if !self.allocator.contains(fid) {
+                runtime.invalidate_decode(fid);
+                stats.scrubbed_decode += 1;
+                self.journal_event(
+                    now_ns,
+                    EventKind::RecoveryRepair {
+                        fid,
+                        repair: RepairKind::ScrubDecode,
+                    },
+                );
+            }
+        }
+        // Quiesce coherence plus re-issued signals.
+        let mut acts = Vec::new();
+        let victims: BTreeSet<Fid> = self.pending_victims().into_iter().collect();
+        for &vfid in &victims {
+            if !runtime.is_deactivated(vfid) {
+                runtime.deactivate(vfid);
+                stats.requiesced += 1;
+                self.journal_event(
+                    now_ns,
+                    EventKind::RecoveryRepair {
+                        fid: vfid,
+                        repair: RepairKind::Requiesce,
+                    },
+                );
+            }
+        }
+        for fid in runtime.deactivated_fids() {
+            if !victims.contains(&fid) {
+                runtime.reactivate(fid);
+                stats.reactivated_strays += 1;
+                self.journal_event(
+                    now_ns,
+                    EventKind::RecoveryRepair {
+                        fid,
+                        repair: RepairKind::ReactivateStray,
+                    },
+                );
+            }
+        }
+        if let Some(p) = self.pending.as_mut() {
+            let fence = p.fence;
+            let waiting: Vec<Fid> = p.waiting.iter().copied().collect();
+            for vfid in waiting {
+                p.last_signal_ns.insert(vfid, now_ns);
+                stats.resent_signals += 1;
+                acts.push(ControllerAction::Deactivate {
+                    fid: vfid,
+                    at_ns: now_ns,
+                    fence,
+                });
+            }
+        }
+        for (&vfid, un) in &mut self.unacked {
+            un.last_ns = now_ns;
+            stats.resent_signals += 1;
+            acts.push(ControllerAction::Respond {
+                fid: vfid,
+                regions: self.regions.get(&vfid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: now_ns,
+            });
+            acts.push(ControllerAction::Reactivate {
+                fid: vfid,
+                at_ns: now_ns,
+                fence: un.fence,
+            });
+        }
+        for a in &acts {
+            let fid = match a {
+                ControllerAction::Deactivate { fid, .. }
+                | ControllerAction::Reactivate { fid, .. } => *fid,
+                _ => continue,
+            };
+            self.journal_event(
+                now_ns,
+                EventKind::RecoveryRepair {
+                    fid,
+                    repair: RepairKind::ResendSignal,
+                },
+            );
+        }
+        // Account the recovery: modeled latency (replayed records at
+        // fixed control cost each, plus the repaired table entries),
+        // never wall-clock.
+        let replayed = self.oplog.as_ref().map_or(0, OpLog::len) as u64;
+        let latency = self.cost.control_fixed_ns
+            + replayed * self.cost.alloc_compute_per_mutant_ns
+            + self.cost.table_update_ns(repaired_entries, 0);
+        self.recovery_ns.record(latency);
+        self.recoveries.inc();
+        self.repairs.add(stats.total());
+        self.recovery_stats = RecoveryStats {
+            reinstalled_entries: self.recovery_stats.reinstalled_entries
+                + stats.reinstalled_entries,
+            scrubbed_entries: self.recovery_stats.scrubbed_entries + stats.scrubbed_entries,
+            scrubbed_decode: self.recovery_stats.scrubbed_decode + stats.scrubbed_decode,
+            requiesced: self.recovery_stats.requiesced + stats.requiesced,
+            reactivated_strays: self.recovery_stats.reactivated_strays + stats.reactivated_strays,
+            resent_signals: self.recovery_stats.resent_signals + stats.resent_signals,
+        };
+        self.journal_event(
+            now_ns,
+            EventKind::Recovered {
+                epoch: self.epoch,
+                repairs: stats.total().min(u64::from(u32::MAX)) as u32,
+            },
+        );
         acts
     }
 
@@ -696,6 +1222,11 @@ impl Controller {
                         accepted: true,
                     },
                 );
+                // Every round takes a fresh fence token; victims echo
+                // it so signals from a superseded round can't count
+                // against this one.
+                self.fence = self.fence.wrapping_add(1);
+                let fence = self.fence;
                 if victims.is_empty() {
                     let pending = PendingRealloc {
                         outcome,
@@ -706,6 +1237,7 @@ impl Controller {
                         snapshot_regs: 0,
                         snapshot_stages: 0,
                         last_signal_ns: BTreeMap::new(),
+                        fence,
                     };
                     self.pending = Some(pending);
                     return self.finish_pending(runtime, now_ns + alloc_compute_ns);
@@ -735,6 +1267,7 @@ impl Controller {
                     acts.push(ControllerAction::Deactivate {
                         fid: vfid,
                         at_ns: notify_ns,
+                        fence,
                     });
                 }
                 self.pending = Some(PendingRealloc {
@@ -746,6 +1279,7 @@ impl Controller {
                     alloc_compute_ns,
                     snapshot_regs,
                     snapshot_stages,
+                    fence,
                 });
                 acts
             }
@@ -886,6 +1420,7 @@ impl Controller {
             snapshot_regs,
             snapshot_stages,
             last_signal_ns: _,
+            fence,
         } = pending;
 
         // Victim tables go first: "the first application can resume
@@ -955,6 +1490,7 @@ impl Controller {
             acts.push(ControllerAction::Reactivate {
                 fid: vfid,
                 at_ns: victims_done_ns,
+                fence,
             });
             // Keep re-sending regions + resume on poll until the victim
             // acks — a lost control frame must not strand it.
@@ -963,6 +1499,7 @@ impl Controller {
                 UnackedReactivation {
                     last_ns: victims_done_ns,
                     attempts: 0,
+                    fence,
                 },
             );
         }
@@ -1340,7 +1877,7 @@ mod tests {
         let acts = ctl.handle_request(rt, 4, cache_pattern(), MutantPolicy::MostConstrained, 0);
         acts.iter()
             .find_map(|a| match a {
-                ControllerAction::Deactivate { fid, at_ns } => Some((*fid, *at_ns)),
+                ControllerAction::Deactivate { fid, at_ns, .. } => Some((*fid, *at_ns)),
                 _ => None,
             })
             .expect("the 4th cache must evict")
@@ -1641,5 +2178,257 @@ mod tests {
                 "incumbent {fid} still resident"
             );
         }
+    }
+
+    #[test]
+    fn deallocate_purges_a_queued_request_before_it_starts() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, _) = start_realloc(&mut rt, &mut ctl);
+        // FID 5 queues behind the busy reallocation, then departs
+        // before its request ever starts.
+        ctl.handle_request(
+            &mut rt,
+            5,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            10,
+        );
+        assert_eq!(ctl.queue_len(), 1);
+        let acts = ctl.handle_deallocate(&mut rt, 5, 20).unwrap();
+        assert!(acts.is_empty(), "nothing to tear down: it never started");
+        assert_eq!(ctl.queue_len(), 0, "the queued request is purged");
+        // Finishing the reallocation must not resurrect the departed
+        // FID as a phantom tenant.
+        let acts = ctl.handle_snapshot_complete(&mut rt, victim, 2000);
+        assert!(
+            respond_of(&acts, 5).is_none(),
+            "a departed FID must not be admitted from the queue"
+        );
+        assert!(!ctl.allocator().contains(5));
+        assert!(rt.protection().stages_of(5).is_empty());
+    }
+
+    #[test]
+    fn late_snapshot_complete_after_timeout_is_fenced_out() {
+        let (mut rt, mut ctl) = setup();
+        let (old_victim, sent_ns) = start_realloc(&mut rt, &mut ctl);
+        let old_fence = ctl.pending_fence().unwrap();
+        // The victim never answers; the deadline forces completion.
+        let deadline = sent_ns + SwitchConfig::default().snapshot_timeout_ns + 1;
+        ctl.poll(&mut rt, deadline);
+        assert!(!ctl.busy());
+        // A new request starts a NEW round (possibly re-victimizing the
+        // same FID) under a fresh fence token.
+        let acts = ctl.handle_request(
+            &mut rt,
+            5,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            deadline + 10,
+        );
+        let new_victims: Vec<(Fid, u16)> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ControllerAction::Deactivate { fid, fence, .. } => Some((*fid, *fence)),
+                _ => None,
+            })
+            .collect();
+        assert!(!new_victims.is_empty(), "the 5th cache must evict");
+        let new_fence = ctl.pending_fence().unwrap();
+        assert_ne!(old_fence, new_fence);
+        // The abandoned round's completion finally limps in: it must be
+        // rejected, not counted against the round now in flight.
+        let acts =
+            ctl.handle_snapshot_complete_fenced(&mut rt, old_victim, old_fence, deadline + 20);
+        assert!(acts.is_empty());
+        assert!(ctl.busy(), "the new round still owes its snapshots");
+        assert_eq!(ctl.stale_epoch_rejects(), 1);
+        // The new round's own completions proceed normally.
+        for (vfid, fence) in new_victims {
+            ctl.handle_snapshot_complete_fenced(&mut rt, vfid, fence, deadline + 30);
+        }
+        assert!(!ctl.busy());
+    }
+
+    #[test]
+    fn reactivate_ack_with_a_stale_fence_is_rejected() {
+        let (mut rt, mut ctl) = setup();
+        let (victim, sent_ns) = start_realloc(&mut rt, &mut ctl);
+        ctl.handle_snapshot_complete(&mut rt, victim, sent_ns + 100);
+        let fence = ctl.unacked_fence(victim).unwrap();
+        ctl.handle_reactivate_ack_fenced(victim, fence.wrapping_sub(1), sent_ns + 200);
+        assert_eq!(
+            ctl.unacked_reactivations(),
+            1,
+            "a stale ack must not end the reactivation retry loop"
+        );
+        assert_eq!(ctl.stale_epoch_rejects(), 1);
+        ctl.handle_reactivate_ack_fenced(victim, fence, sent_ns + 300);
+        assert_eq!(ctl.unacked_reactivations(), 0);
+    }
+
+    #[test]
+    fn recover_replays_the_oplog_to_an_equivalent_controller() {
+        let cfg = SwitchConfig::default();
+        let mut rt = SwitchRuntime::new(cfg);
+        let mut ctl = Controller::new(&cfg, Scheme::WorstFit);
+        let log = OpLog::new();
+        ctl.attach_oplog(log.clone());
+        // A full history: three admissions, an eviction round carried
+        // to completion, a departure, then a round left in flight.
+        for fid in 1..=3 {
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
+        }
+        let acts = ctl.handle_request(
+            &mut rt,
+            4,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            100,
+        );
+        let victim = acts
+            .iter()
+            .find_map(|a| match a {
+                ControllerAction::Deactivate { fid, .. } => Some(*fid),
+                _ => None,
+            })
+            .unwrap();
+        ctl.handle_snapshot_complete(&mut rt, victim, 1_000);
+        ctl.handle_reactivate_ack(victim);
+        ctl.handle_deallocate(&mut rt, 2, 2_000).unwrap();
+        ctl.handle_request(
+            &mut rt,
+            5,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            3_000,
+        );
+
+        let rec = Controller::recover(&log, &cfg, Scheme::WorstFit);
+        for fid in [1u16, 3, 4, 5] {
+            assert_eq!(
+                rec.allocator().app_blocks(fid),
+                ctl.allocator().app_blocks(fid),
+                "grant for fid {fid} must survive the crash exactly"
+            );
+        }
+        assert!(!rec.allocator().contains(2), "departures replay too");
+        assert_eq!(rec.busy(), ctl.busy());
+        assert_eq!(
+            rec.pending_fence(),
+            ctl.pending_fence(),
+            "in-flight round tokens are reproduced, so live clients stay valid"
+        );
+        assert_eq!(rec.pending_victims(), ctl.pending_victims());
+        assert_eq!(rec.queue_len(), ctl.queue_len());
+        assert_eq!(rec.unacked_fids(), ctl.unacked_fids());
+        let before: Vec<_> = ctl
+            .granted_regions()
+            .map(|(f, r)| (f, r.to_vec()))
+            .collect();
+        let after: Vec<_> = rec
+            .granted_regions()
+            .map(|(f, r)| (f, r.to_vec()))
+            .collect();
+        assert_eq!(before, after, "the admission ledger replays verbatim");
+        // The recovered controller runs one epoch past the log's
+        // highest, and commits that so epochs rise across re-crashes.
+        assert_eq!(rec.epoch(), 1);
+        assert_eq!(log.last_epoch(), 1);
+        let rec2 = Controller::recover(&log, &cfg, Scheme::WorstFit);
+        assert_eq!(rec2.epoch(), 2);
+    }
+
+    #[test]
+    fn reconcile_scrubs_orphans_and_reinstalls_missing_entries() {
+        let (mut rt, mut ctl) = setup();
+        let log = OpLog::new();
+        ctl.attach_oplog(log.clone());
+        for fid in 1..=2 {
+            ctl.handle_request(
+                &mut rt,
+                fid,
+                cache_pattern(),
+                MutantPolicy::MostConstrained,
+                0,
+            );
+        }
+        let cfg = SwitchConfig::default();
+        let mut rec = Controller::recover(&log, &cfg, Scheme::WorstFit);
+        // Simulated divergence in the live plane that survived the
+        // crash: FID 1 lost a protection entry, departed FID 9 left an
+        // orphan behind, and FID 2 is inexplicably quiesced.
+        let (stage, region) = rec
+            .granted_regions()
+            .find(|(f, _)| *f == 1)
+            .map(|(_, rs)| rs[0])
+            .unwrap();
+        rt.remove_region(stage, 1);
+        rt.install_region(stage, 9, region);
+        rt.deactivate(2);
+        let acts = rec.reconcile(&mut rt, 10_000);
+        assert!(acts.is_empty(), "no in-flight round, so no re-signalling");
+        let stats = rec.recovery_stats();
+        assert!(stats.reinstalled_entries >= 1);
+        assert!(stats.scrubbed_entries >= 1);
+        assert!(stats.reactivated_strays >= 1);
+        assert_eq!(stats.requiesced, 0);
+        assert!(rt.protection().lookup(stage, 1).is_some(), "entry restored");
+        assert!(rt.protection().stages_of(9).is_empty(), "orphan scrubbed");
+        assert!(!rt.is_deactivated(2), "stray quiesce resumed");
+        assert_eq!(rec.recoveries(), 1);
+        // A second pass finds a coherent plane: zero further repairs.
+        let repairs_after_first = rec.recovery_stats().total();
+        rec.reconcile(&mut rt, 20_000);
+        assert_eq!(
+            rec.recovery_stats().total(),
+            repairs_after_first,
+            "reconciliation must be idempotent"
+        );
+    }
+
+    #[test]
+    fn log_after_action_bug_loses_the_last_transition() {
+        let (mut rt, mut ctl) = setup();
+        let log = OpLog::new();
+        ctl.attach_oplog(log.clone());
+        ctl.inject_seeded_bug(SeededBug::LogAfterAction);
+        ctl.handle_request(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            0,
+        );
+        // The grant escaped to the network, but its record is still
+        // buffered: a crash here loses the committed transition.
+        assert!(log.is_empty(), "the write-behind bug defers the record");
+        // Each later transition flushes the one before it — the log
+        // permanently trails reality by one record.
+        ctl.handle_request(
+            &mut rt,
+            2,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            10,
+        );
+        assert_eq!(log.len(), 1);
+        let cfg = SwitchConfig::default();
+        let rec = Controller::recover(&log, &cfg, Scheme::WorstFit);
+        assert!(
+            ctl.allocator().contains(2),
+            "the live controller granted it"
+        );
+        assert!(
+            !rec.allocator().contains(2),
+            "the recovered controller never heard of the latest grant"
+        );
+        assert!(rec.allocator().contains(1), "the flushed record did replay");
     }
 }

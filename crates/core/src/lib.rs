@@ -26,12 +26,14 @@ pub mod alloc;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod oplog;
 pub mod runtime;
 pub mod types;
 
 pub use alloc::{AccessPattern, AllocOutcome, Allocator, MutantPolicy, Scheme};
 pub use config::SwitchConfig;
-pub use controller::{Controller, ControllerAction, SeededBug, VerifyStats};
+pub use controller::{Controller, ControllerAction, RecoveryStats, SeededBug, VerifyStats};
+pub use oplog::{FileSink, LogSink, OpLog, OpRecord};
 pub use runtime::{OutputAction, SwitchOutput, SwitchRuntime};
 
 pub use error::{AdmitError, CoreError};

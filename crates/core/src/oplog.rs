@@ -1,0 +1,529 @@
+//! The controller's write-ahead operation log.
+//!
+//! Every externally visible controller transition — an allocation
+//! request entering admission or the queue, a snapshot completion, a
+//! reactivation ack, a departure, a snapshot-deadline timeout, an
+//! abandoned reactivation — appends one compact [`OpRecord`] *before*
+//! the transition's actions leave the switch. Because every handler is
+//! a deterministic function of the controller state and its input, a
+//! crashed controller is rebuilt by replaying the committed records in
+//! order ([`crate::Controller::recover`]); the live data plane is then
+//! reconciled against the rebuilt intent.
+//!
+//! The log itself is a shared handle (`Clone` shares the record vector,
+//! mirroring how the real op-log would live on stable storage and
+//! survive the controller process): the surrounding harness keeps a
+//! handle, drops the dead controller, and replays from its copy. An
+//! optional [`LogSink`] tees every appended record to an external
+//! writer ([`FileSink`] writes the one-line-per-record text encoding).
+
+use crate::alloc::{AccessPattern, MutantPolicy};
+use crate::types::Fid;
+use activermt_isa::Program;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One committed controller transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpRecord {
+    /// An allocation request was accepted for processing (admission
+    /// started, or the request was queued behind an in-flight
+    /// reallocation). Idempotent re-grants and absorbed retransmits are
+    /// not transitions and are not logged.
+    Request {
+        /// Requesting FID.
+        fid: Fid,
+        /// The request's access pattern.
+        pattern: AccessPattern,
+        /// Mutant enumeration policy.
+        policy: MutantPolicy,
+        /// Program bytecode, when the request carried it.
+        program: Option<Program>,
+        /// Virtual arrival time, ns.
+        now_ns: u64,
+    },
+    /// A victim's snapshot-complete was accepted (current fence).
+    SnapshotComplete {
+        /// The victim.
+        fid: Fid,
+        /// Virtual arrival time, ns.
+        now_ns: u64,
+    },
+    /// A victim's reactivation ack was accepted (current fence).
+    ReactivateAck {
+        /// The victim.
+        fid: Fid,
+        /// Virtual arrival time, ns.
+        now_ns: u64,
+    },
+    /// A resident FID departed (or cancelled its queued request).
+    Deallocate {
+        /// The departing FID.
+        fid: Fid,
+        /// Virtual arrival time, ns.
+        now_ns: u64,
+    },
+    /// A poll crossed the snapshot deadline and forced the in-flight
+    /// reallocation to completion.
+    Timeout {
+        /// The poll's virtual time, ns.
+        now_ns: u64,
+    },
+    /// A poll gave up re-sending a victim's reactivation (retry budget
+    /// exhausted).
+    Abandon {
+        /// The unreachable victim.
+        fid: Fid,
+        /// The poll's virtual time, ns.
+        now_ns: u64,
+    },
+    /// A recovery completed and opened a new controller generation.
+    /// Replay folds these in so epochs keep rising across repeated
+    /// crashes of the same log.
+    EpochOpen {
+        /// The generation the recovered controller runs in.
+        epoch: u32,
+        /// Virtual recovery time, ns.
+        now_ns: u64,
+    },
+}
+
+fn join_u16(v: &[u16]) -> String {
+    if v.is_empty() {
+        return "-".to_string();
+    }
+    v.iter().map(u16::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn parse_u16_list(s: &str) -> Result<Vec<u16>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| x.parse::<u16>().map_err(|e| format!("bad u16 {x:?}: {e}")))
+        .collect()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd hex length".to_string());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| format!("bad hex: {e}")))
+        .collect()
+}
+
+impl OpRecord {
+    /// The record's compact one-line text encoding (the [`FileSink`]
+    /// format): a tag byte followed by space-separated fields, lists
+    /// comma-joined with `-` for empty, program bytecode hex-encoded.
+    pub fn encode_line(&self) -> String {
+        match self {
+            OpRecord::Request {
+                fid,
+                pattern,
+                policy,
+                program,
+                now_ns,
+            } => {
+                let pol = match policy {
+                    MutantPolicy::MostConstrained => 0,
+                    MutantPolicy::LeastConstrained => 1,
+                };
+                let aliases = if pattern.aliases.is_empty() {
+                    "-".to_string()
+                } else {
+                    pattern
+                        .aliases
+                        .iter()
+                        .map(|(a, b)| format!("{a}:{b}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let prog = program
+                    .as_ref()
+                    .map_or("-".to_string(), |p| hex_encode(&p.encode_instructions()));
+                format!(
+                    "R {fid} {now_ns} {pol} {} {} {} {} {} {aliases} {prog}",
+                    u8::from(pattern.elastic),
+                    pattern.prog_len,
+                    join_u16(&pattern.min_positions),
+                    join_u16(&pattern.demands),
+                    join_u16(&pattern.ingress_positions),
+                )
+            }
+            OpRecord::SnapshotComplete { fid, now_ns } => format!("S {fid} {now_ns}"),
+            OpRecord::ReactivateAck { fid, now_ns } => format!("K {fid} {now_ns}"),
+            OpRecord::Deallocate { fid, now_ns } => format!("D {fid} {now_ns}"),
+            OpRecord::Timeout { now_ns } => format!("T {now_ns}"),
+            OpRecord::Abandon { fid, now_ns } => format!("A {fid} {now_ns}"),
+            OpRecord::EpochOpen { epoch, now_ns } => format!("E {epoch} {now_ns}"),
+        }
+    }
+
+    /// Parse a line produced by [`OpRecord::encode_line`].
+    pub fn decode_line(line: &str) -> Result<OpRecord, String> {
+        let mut it = line.split_whitespace();
+        let tag = it.next().ok_or("empty line")?;
+        let mut next = |what: &str| -> Result<&str, String> {
+            it.next().ok_or_else(|| format!("missing field {what}"))
+        };
+        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            s.parse::<T>().map_err(|e| format!("bad {what} {s:?}: {e}"))
+        }
+        match tag {
+            "R" => {
+                let fid = num::<Fid>(next("fid")?, "fid")?;
+                let now_ns = num::<u64>(next("now")?, "now")?;
+                let policy = match next("policy")? {
+                    "0" => MutantPolicy::MostConstrained,
+                    "1" => MutantPolicy::LeastConstrained,
+                    other => return Err(format!("bad policy {other:?}")),
+                };
+                let elastic = next("elastic")? == "1";
+                let prog_len = num::<u16>(next("prog_len")?, "prog_len")?;
+                let min_positions = parse_u16_list(next("min_positions")?)?;
+                let demands = parse_u16_list(next("demands")?)?;
+                let ingress_positions = parse_u16_list(next("ingress_positions")?)?;
+                let aliases_raw = next("aliases")?;
+                let aliases = if aliases_raw == "-" {
+                    Vec::new()
+                } else {
+                    aliases_raw
+                        .split(',')
+                        .map(|p| {
+                            let (a, b) = p.split_once(':').ok_or("bad alias pair")?;
+                            Ok((num::<usize>(a, "alias")?, num::<usize>(b, "alias")?))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?
+                };
+                let prog_raw = next("program")?;
+                let program = if prog_raw == "-" {
+                    None
+                } else {
+                    Some(
+                        Program::decode_instructions(&hex_decode(prog_raw)?)
+                            .map_err(|e| format!("bad program: {e}"))?,
+                    )
+                };
+                Ok(OpRecord::Request {
+                    fid,
+                    pattern: AccessPattern {
+                        min_positions,
+                        demands,
+                        prog_len,
+                        elastic,
+                        ingress_positions,
+                        aliases,
+                    },
+                    policy,
+                    program,
+                    now_ns,
+                })
+            }
+            "S" | "K" | "D" | "A" => {
+                let fid = num::<Fid>(next("fid")?, "fid")?;
+                let now_ns = num::<u64>(next("now")?, "now")?;
+                Ok(match tag {
+                    "S" => OpRecord::SnapshotComplete { fid, now_ns },
+                    "K" => OpRecord::ReactivateAck { fid, now_ns },
+                    "D" => OpRecord::Deallocate { fid, now_ns },
+                    _ => OpRecord::Abandon { fid, now_ns },
+                })
+            }
+            "T" => Ok(OpRecord::Timeout {
+                now_ns: num::<u64>(next("now")?, "now")?,
+            }),
+            "E" => Ok(OpRecord::EpochOpen {
+                epoch: num::<u32>(next("epoch")?, "epoch")?,
+                now_ns: num::<u64>(next("now")?, "now")?,
+            }),
+            other => Err(format!("unknown record tag {other:?}")),
+        }
+    }
+}
+
+/// An external writer the log tees committed records into.
+pub trait LogSink: Send {
+    /// Persist one committed record. Called under the log's lock, in
+    /// commit order.
+    fn append(&mut self, record: &OpRecord);
+    /// Force buffered records out.
+    fn flush(&mut self) {}
+}
+
+/// A [`LogSink`] writing the one-line-per-record text encoding.
+pub struct FileSink {
+    w: std::io::BufWriter<std::fs::File>,
+}
+
+impl FileSink {
+    /// Create (truncate) `path` and sink records into it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<FileSink> {
+        Ok(FileSink {
+            w: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+
+    /// Read a log back from a file of encoded lines.
+    pub fn read_log(path: &std::path::Path) -> std::io::Result<OpLog> {
+        let text = std::fs::read_to_string(path)?;
+        let log = OpLog::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let rec = OpRecord::decode_line(line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            log.append(rec);
+        }
+        Ok(log)
+    }
+}
+
+impl LogSink for FileSink {
+    fn append(&mut self, record: &OpRecord) {
+        let _ = writeln!(self.w, "{}", record.encode_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[derive(Default)]
+struct LogInner {
+    records: Vec<OpRecord>,
+    sink: Option<Box<dyn LogSink>>,
+}
+
+/// The shared write-ahead log handle. `Clone` shares the record vector
+/// — the handle plays the role of stable storage, outliving the
+/// controller that writes it. Use [`OpLog::deep_clone`] for an
+/// *independent* copy (the model checker forks one per explored
+/// branch).
+#[derive(Clone, Default)]
+pub struct OpLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl OpLog {
+    /// A fresh, empty log.
+    pub fn new() -> OpLog {
+        OpLog::default()
+    }
+
+    /// Commit one record (tees into the sink, if any).
+    pub fn append(&self, record: OpRecord) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.append(&record);
+        }
+        inner.records.push(record);
+    }
+
+    /// Committed records, oldest first.
+    pub fn records(&self) -> Vec<OpRecord> {
+        self.inner.lock().unwrap().records.clone()
+    }
+
+    /// Committed record count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tee every future append into `sink` (replaces any prior sink).
+    pub fn set_sink(&self, sink: Box<dyn LogSink>) {
+        self.inner.lock().unwrap().sink = Some(sink);
+    }
+
+    /// Flush the sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.inner.lock().unwrap().sink.as_mut() {
+            sink.flush();
+        }
+    }
+
+    /// An independent copy of the committed records (no sink). The
+    /// model checker forks one per explored branch so sibling branches
+    /// never interleave commits.
+    pub fn deep_clone(&self) -> OpLog {
+        OpLog {
+            inner: Arc::new(Mutex::new(LogInner {
+                records: self.inner.lock().unwrap().records.clone(),
+                sink: None,
+            })),
+        }
+    }
+
+    /// The highest generation any committed [`OpRecord::EpochOpen`]
+    /// names (0 for a log that never crossed a recovery).
+    pub fn last_epoch(&self) -> u32 {
+        self.inner
+            .lock()
+            .unwrap()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                OpRecord::EpochOpen { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for OpLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        write!(
+            f,
+            "OpLog(len={}, sink={})",
+            inner.records.len(),
+            inner.sink.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pattern() -> AccessPattern {
+        AccessPattern {
+            min_positions: vec![2, 5, 9],
+            demands: vec![0, 1, 0],
+            prog_len: 11,
+            elastic: true,
+            ingress_positions: vec![8],
+            aliases: vec![(0, 2)],
+        }
+    }
+
+    #[test]
+    fn clones_share_and_deep_clones_do_not() {
+        let a = OpLog::new();
+        let b = a.clone();
+        b.append(OpRecord::Timeout { now_ns: 7 });
+        assert_eq!(a.len(), 1, "handles share the record vector");
+        let c = a.deep_clone();
+        c.append(OpRecord::Abandon { fid: 3, now_ns: 9 });
+        assert_eq!(a.len(), 1, "deep clones diverge");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn every_record_round_trips_through_the_line_encoding() {
+        let records = vec![
+            OpRecord::Request {
+                fid: 7,
+                pattern: sample_pattern(),
+                policy: MutantPolicy::LeastConstrained,
+                program: None,
+                now_ns: 123,
+            },
+            OpRecord::Request {
+                fid: 8,
+                pattern: AccessPattern {
+                    min_positions: vec![1],
+                    demands: vec![0],
+                    prog_len: 1,
+                    elastic: false,
+                    ingress_positions: vec![],
+                    aliases: vec![],
+                },
+                policy: MutantPolicy::MostConstrained,
+                program: None,
+                now_ns: 0,
+            },
+            OpRecord::SnapshotComplete { fid: 2, now_ns: 55 },
+            OpRecord::ReactivateAck { fid: 2, now_ns: 56 },
+            OpRecord::Deallocate { fid: 9, now_ns: 57 },
+            OpRecord::Timeout { now_ns: 58 },
+            OpRecord::Abandon { fid: 1, now_ns: 59 },
+            OpRecord::EpochOpen {
+                epoch: 3,
+                now_ns: 60,
+            },
+        ];
+        for r in records {
+            let line = r.encode_line();
+            let back = OpRecord::decode_line(&line)
+                .unwrap_or_else(|e| panic!("decode {line:?} failed: {e}"));
+            assert_eq!(back, r, "round trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn programs_survive_the_hex_encoding() {
+        use activermt_isa::{Opcode, ProgramBuilder};
+        let prog = ProgramBuilder::new()
+            .op_arg(Opcode::MAR_LOAD, 3)
+            .op(Opcode::MEM_READ)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let rec = OpRecord::Request {
+            fid: 1,
+            pattern: sample_pattern(),
+            policy: MutantPolicy::MostConstrained,
+            program: Some(prog.clone()),
+            now_ns: 1,
+        };
+        let back = OpRecord::decode_line(&rec.encode_line()).unwrap();
+        match back {
+            OpRecord::Request { program, .. } => {
+                assert_eq!(
+                    program.unwrap().encode_instructions(),
+                    prog.encode_instructions()
+                );
+            }
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_sink_persists_and_reads_back() {
+        let dir = std::env::temp_dir().join("activermt-oplog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("log-{}.txt", std::process::id()));
+        let log = OpLog::new();
+        log.set_sink(Box::new(FileSink::create(&path).unwrap()));
+        log.append(OpRecord::Timeout { now_ns: 1 });
+        log.append(OpRecord::EpochOpen {
+            epoch: 1,
+            now_ns: 2,
+        });
+        log.flush();
+        let back = FileSink::read_log(&path).unwrap();
+        assert_eq!(back.records(), log.records());
+        assert_eq!(back.last_epoch(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn last_epoch_tracks_the_highest_generation() {
+        let log = OpLog::new();
+        assert_eq!(log.last_epoch(), 0);
+        log.append(OpRecord::EpochOpen {
+            epoch: 2,
+            now_ns: 1,
+        });
+        log.append(OpRecord::Timeout { now_ns: 3 });
+        assert_eq!(log.last_epoch(), 2);
+    }
+}

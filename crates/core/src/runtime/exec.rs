@@ -388,6 +388,12 @@ impl SwitchRuntime {
         self.decode.cached_fids()
     }
 
+    /// Flush a FID's decode-cache entry (post-recovery reconciliation
+    /// scrubs residents the rebuilt controller does not know).
+    pub fn invalidate_decode(&mut self, fid: Fid) {
+        self.decode.invalidate(fid);
+    }
+
     /// Testing-only: make region install/remove *skip* decode-cache
     /// invalidation, emulating a controller that forgets to flush stale
     /// decodes. Exists so the model checker's mutation tests can prove

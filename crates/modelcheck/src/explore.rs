@@ -10,7 +10,7 @@
 //! memory for minimality.) Every *discovered* state — not just
 //! frontier tips — is checked against the full invariant engine.
 
-use crate::invariants::{check_invariants, Violation};
+use crate::invariants::Violation;
 use crate::model::{Event, FaultBudget, Scope, World};
 use std::collections::HashSet;
 
@@ -103,7 +103,7 @@ pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
     let mut stats = ExploreStats::default();
     let mut visited: HashSet<u64> = HashSet::new();
 
-    let initial_violations = check_invariants(&world.ctl, &world.rt);
+    let initial_violations = world.check();
     visited.insert(world.fingerprint());
     stats.states = 1;
     if !initial_violations.is_empty() {
@@ -134,7 +134,7 @@ pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
                     continue;
                 }
                 stats.states += 1;
-                let violations = check_invariants(&child.ctl, &child.rt);
+                let violations = child.check();
                 if !violations.is_empty() {
                     let mut trace = path.clone();
                     trace.push(ev);
@@ -203,9 +203,9 @@ pub fn render_report(
     );
     md.push_str("## Configuration\n\n");
     md.push_str(&format!(
-        "| scope | stages | blocks/stage | apps | depth | drops | dups | stalls | seed |\n\
-         |---|---|---|---|---|---|---|---|---|\n\
-         | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n\n",
+        "| scope | stages | blocks/stage | apps | depth | drops | dups | stalls | crashes | seed |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n\n",
         scope.name,
         scope.stages,
         scope.blocks_per_stage,
@@ -214,6 +214,7 @@ pub fn render_report(
         budget.drops,
         budget.duplicates,
         budget.stalls,
+        budget.crashes,
         cfg.seed,
     ));
     md.push_str("Applications: ");

@@ -63,6 +63,18 @@ pub enum InvariantKind {
     /// exactly one of verify-accepted / verify-skipped /
     /// verify-rejected.
     LedgerConsistency,
+    /// I10 — replay-equivalence: a controller rebuilt from its op-log
+    /// reproduces the dying controller's externally visible state
+    /// machine (ledger, in-flight round + fence, queue, retry
+    /// obligations) verbatim.
+    ReplayEquivalence,
+    /// I11 — grant-continuity: no allocator grant is lost, invented,
+    /// or reshaped across a crash/restart.
+    GrantContinuity,
+    /// I12 — recovery-liveness: after reconciliation no FID is left
+    /// permanently stuck (quiesced without a round to blame, retried
+    /// without residency, protected without a grant).
+    RecoveryLiveness,
 }
 
 impl InvariantKind {
@@ -78,6 +90,9 @@ impl InvariantKind {
             InvariantKind::ElasticFairness => 7,
             InvariantKind::DecodeCacheCoherence => 8,
             InvariantKind::LedgerConsistency => 9,
+            InvariantKind::ReplayEquivalence => 10,
+            InvariantKind::GrantContinuity => 11,
+            InvariantKind::RecoveryLiveness => 12,
         }
     }
 
@@ -93,11 +108,18 @@ impl InvariantKind {
             InvariantKind::ElasticFairness => "elastic-fairness",
             InvariantKind::DecodeCacheCoherence => "decode-cache-coherence",
             InvariantKind::LedgerConsistency => "ledger-consistency",
+            InvariantKind::ReplayEquivalence => "replay-equivalence",
+            InvariantKind::GrantContinuity => "grant-continuity",
+            InvariantKind::RecoveryLiveness => "recovery-liveness",
         }
     }
 
-    /// Every invariant the engine checks, in code order.
-    pub fn all() -> [InvariantKind; 9] {
+    /// Every invariant the engine checks, in code order. I1–I9 are
+    /// structural (checkable against any state in isolation); I10–I12
+    /// compare a recovered controller against its pre-crash
+    /// fingerprint and are raised by [`crate::recovery::check_recovery`]
+    /// (the explorer stages them on its [`crate::model::World`]).
+    pub fn all() -> [InvariantKind; 12] {
         [
             InvariantKind::StageDisjointness,
             InvariantKind::BlockConservation,
@@ -108,6 +130,9 @@ impl InvariantKind {
             InvariantKind::ElasticFairness,
             InvariantKind::DecodeCacheCoherence,
             InvariantKind::LedgerConsistency,
+            InvariantKind::ReplayEquivalence,
+            InvariantKind::GrantContinuity,
+            InvariantKind::RecoveryLiveness,
         ]
     }
 }

@@ -10,14 +10,19 @@
 //! into machine-checked invariants:
 //!
 //! - [`invariants`] — a reusable engine, [`check_invariants`], that
-//!   audits any `(Controller, SwitchRuntime)` pair for nine safety
-//!   properties (I1–I9). It is shared by the bounded explorer, the
-//!   chaos end-to-end test, the observability dump, property tests,
-//!   and a debug-build hook inside the controller's own poll loop.
+//!   audits any `(Controller, SwitchRuntime)` pair for nine structural
+//!   safety properties (I1–I9). It is shared by the bounded explorer,
+//!   the chaos end-to-end test, the observability dump, property
+//!   tests, and a debug-build hook inside the controller's own poll
+//!   loop.
+//! - [`recovery`] — crash-recovery invariants (I10–I12):
+//!   [`check_recovery`] compares a controller rebuilt from its op-log
+//!   against the pre-crash [`RecoveryFingerprint`] (replay
+//!   equivalence, grant continuity, post-reconciliation liveness).
 //! - [`model`] — a small-scope [`World`]: the *real* controller and
 //!   runtime driven through their public entry points, with an
 //!   explicit in-flight-signal channel and a bounded fault budget
-//!   (drops, duplicates, stalls).
+//!   (drops, duplicates, stalls, crash/recover cycles).
 //! - [`explore`] — breadth-first bounded exploration with canonical
 //!   state fingerprinting; finds minimal counterexample traces.
 //!
@@ -32,6 +37,7 @@
 pub mod explore;
 pub mod invariants;
 pub mod model;
+pub mod recovery;
 
 pub use explore::{
     explore, render_report, render_trace, Counterexample, ExploreConfig, ExploreOutcome,
@@ -42,3 +48,4 @@ pub use invariants::{
     TrafficAssumption, Violation,
 };
 pub use model::{AppSpec, Event, FaultBudget, Msg, Mutation, Scope, World};
+pub use recovery::{check_recovery, RecoveryFingerprint};

@@ -29,9 +29,11 @@
 //! are capped at two: delivery is idempotent, so a third copy is
 //! behaviorally indistinguishable from the second.
 
+use crate::invariants::Violation;
+use crate::recovery::{check_recovery, RecoveryFingerprint};
 use activermt_core::alloc::{AccessPattern, MutantPolicy, Scheme};
 use activermt_core::types::Fid;
-use activermt_core::{Controller, SwitchConfig, SwitchRuntime};
+use activermt_core::{Controller, OpLog, SwitchConfig, SwitchRuntime};
 use activermt_isa::wire::build_program_packet;
 use activermt_isa::{Opcode, Program, ProgramBuilder};
 use std::collections::BTreeMap;
@@ -214,6 +216,9 @@ pub struct FaultBudget {
     pub duplicates: u32,
     /// Controller stalls (virtual time jumps to the snapshot deadline).
     pub stalls: u32,
+    /// Controller crash/replay/reconcile cycles the explorer may
+    /// inject.
+    pub crashes: u32,
 }
 
 impl FaultBudget {
@@ -223,6 +228,7 @@ impl FaultBudget {
             drops: 0,
             duplicates: 0,
             stalls: 0,
+            crashes: 0,
         }
     }
 
@@ -232,6 +238,16 @@ impl FaultBudget {
             drops: 2,
             duplicates: 1,
             stalls: 1,
+            crashes: 1,
+        }
+    }
+
+    /// Crash license only: for mutation tests targeting the op-log
+    /// discipline, where other faults just dilute the search.
+    pub fn crashes_only(crashes: u32) -> FaultBudget {
+        FaultBudget {
+            crashes,
+            ..FaultBudget::none()
         }
     }
 
@@ -241,11 +257,14 @@ impl FaultBudget {
     /// grants duplicate license, controller stalls grant stall
     /// license. Takes booleans rather than the plan itself so this
     /// crate stays below `activermt-net` in the dependency graph.
+    /// Crash license comes separately (see
+    /// [`FaultBudget::crashes_only`] or set the field directly).
     pub fn from_fault_classes(lossy: bool, duplicating: bool, stalling: bool) -> FaultBudget {
         FaultBudget {
             drops: if lossy { 2 } else { 0 },
             duplicates: if duplicating { 1 } else { 0 },
             stalls: if stalling { 1 } else { 0 },
+            crashes: 0,
         }
     }
 }
@@ -271,6 +290,11 @@ pub enum Event {
     /// A resident application sends one program packet through the
     /// data plane (populates the decode cache).
     Packet(Fid),
+    /// The controller process dies and is rebuilt from its op-log,
+    /// then reconciles the surviving data plane (fault, consumes
+    /// budget). Recovery invariants I10–I12 are checked against the
+    /// pre-crash fingerprint and staged on the world.
+    CrashRecover,
 }
 
 impl fmt::Display for Event {
@@ -284,6 +308,7 @@ impl fmt::Display for Event {
             Event::Poll => write!(f, "poll"),
             Event::Stall => write!(f, "STALL until snapshot deadline, then poll"),
             Event::Packet(fid) => write!(f, "data packet(fid {fid})"),
+            Event::CrashRecover => write!(f, "CRASH controller, replay op-log, reconcile"),
         }
     }
 }
@@ -308,17 +333,23 @@ pub enum Mutation {
     /// The runtime stops invalidating decode-cache entries when
     /// regions change (stale fast path: I8).
     StaleDecodeEntry,
+    /// The op-log record is written *after* the action escapes (a
+    /// write-behind log): a crash loses the last committed transition,
+    /// so replay diverges from the state clients observed (I10/I11).
+    /// Needs crash budget to surface.
+    LogAfterAction,
 }
 
 impl Mutation {
     /// Every mutation, for exhaustive mutation-testing sweeps.
-    pub fn all() -> [Mutation; 5] {
+    pub fn all() -> [Mutation; 6] {
         [
             Mutation::OverlappingGrant,
             Mutation::DeallocLeaksEntry,
             Mutation::RollbackLeak,
             Mutation::AckLessReactivation,
             Mutation::StaleDecodeEntry,
+            Mutation::LogAfterAction,
         ]
     }
 
@@ -330,6 +361,16 @@ impl Mutation {
             Mutation::RollbackLeak => "rollback-leak",
             Mutation::AckLessReactivation => "ackless-reactivation",
             Mutation::StaleDecodeEntry => "stale-decode-entry",
+            Mutation::LogAfterAction => "log-after-action",
+        }
+    }
+
+    /// The smallest fault budget under which this mutation can surface
+    /// (op-log bugs are invisible until a crash consumes them).
+    pub fn minimal_budget(self) -> FaultBudget {
+        match self {
+            Mutation::LogAfterAction => FaultBudget::crashes_only(1),
+            _ => FaultBudget::none(),
         }
     }
 }
@@ -349,19 +390,31 @@ pub struct World {
     /// Virtual time.
     pub now_ns: u64,
     scope: Scope,
+    /// The seeded mutation, if any — re-seeded into a recovered
+    /// controller, since recovery rebuilds state, not code.
+    seeded: Option<Mutation>,
+    /// Recovery-invariant violations (I10–I12) staged by the last
+    /// [`Event::CrashRecover`]; surfaced through [`World::check`].
+    recovery_violations: Vec<Violation>,
 }
 
 impl World {
     /// The initial state: empty switch, empty channel, full budget.
+    /// The controller keeps a write-ahead op-log from birth, so a
+    /// [`Event::CrashRecover`] can rebuild it at any point.
     pub fn new(scope: Scope, budget: FaultBudget) -> World {
         let cfg = scope.switch_config();
+        let mut ctl = Controller::new(&cfg, Scheme::WorstFit);
+        ctl.attach_oplog(OpLog::new());
         World {
-            ctl: Controller::new(&cfg, Scheme::WorstFit),
+            ctl,
             rt: SwitchRuntime::new(cfg),
             channel: BTreeMap::new(),
             budget,
             now_ns: 0,
             scope,
+            seeded: None,
+            recovery_violations: Vec::new(),
         }
     }
 
@@ -370,9 +423,23 @@ impl World {
         &self.scope
     }
 
+    /// Every violation visible in this state: recovery-invariant
+    /// violations staged by a crash/recover transition plus the
+    /// structural invariants I1–I9.
+    pub fn check(&self) -> Vec<Violation> {
+        let mut out = self.recovery_violations.clone();
+        out.extend(crate::invariants::check_invariants(&self.ctl, &self.rt));
+        out
+    }
+
     /// Seed one controller/runtime bug into this world (mutation
     /// testing: the explorer must then find a counterexample).
     pub fn inject(&mut self, m: Mutation) {
+        self.seeded = Some(m);
+        self.seed_into_controller(m);
+    }
+
+    fn seed_into_controller(&mut self, m: Mutation) {
         use activermt_core::SeededBug;
         match m {
             Mutation::OverlappingGrant => self.ctl.inject_seeded_bug(SeededBug::OverlappingGrant),
@@ -384,6 +451,7 @@ impl World {
                 self.ctl.inject_seeded_bug(SeededBug::AckLessReactivation);
             }
             Mutation::StaleDecodeEntry => self.rt.seed_skip_decode_invalidation(true),
+            Mutation::LogAfterAction => self.ctl.inject_seeded_bug(SeededBug::LogAfterAction),
         }
     }
 
@@ -437,6 +505,9 @@ impl World {
         out.push(Event::Poll);
         if self.budget.stalls > 0 && self.ctl.busy() {
             out.push(Event::Stall);
+        }
+        if self.budget.crashes > 0 {
+            out.push(Event::CrashRecover);
         }
         for app in &self.scope.apps {
             if app.program.is_some()
@@ -508,6 +579,28 @@ impl World {
                 }
                 self.budget.stalls -= 1;
                 let acts = self.ctl.poll(&mut self.rt, self.now_ns);
+                self.absorb(acts);
+            }
+            Event::CrashRecover => {
+                self.budget.crashes -= 1;
+                // The controller process dies: its in-memory state is
+                // gone, only the op-log and the live data plane
+                // survive. In-flight network signals are unaffected.
+                let pre = RecoveryFingerprint::of(&self.ctl);
+                let log = self
+                    .ctl
+                    .oplog()
+                    .expect("model controllers always log")
+                    .deep_clone();
+                let cfg = self.scope.switch_config();
+                self.ctl = Controller::recover(&log, &cfg, Scheme::WorstFit);
+                // Recovery rebuilds state, not code: a seeded bug is in
+                // the binary and survives the restart.
+                if let Some(m) = self.seeded {
+                    self.seed_into_controller(m);
+                }
+                let acts = self.ctl.reconcile(&mut self.rt, self.now_ns);
+                self.recovery_violations = check_recovery(&pre, &self.ctl, &self.rt);
                 self.absorb(acts);
             }
             Event::Packet(fid) => {
@@ -609,6 +702,17 @@ impl World {
         push32(&mut bytes, self.budget.drops);
         push32(&mut bytes, self.budget.duplicates);
         push32(&mut bytes, self.budget.stalls);
+        push32(&mut bytes, self.budget.crashes);
+        // A recovered state may otherwise collide with a pre-crash
+        // state it happens to equal structurally; the epoch and any
+        // staged recovery violations must keep it distinct, or dedup
+        // would skip the very states the recovery invariants flag.
+        bytes.push(b'e');
+        push32(&mut bytes, self.ctl.epoch());
+        bytes.push(b'v');
+        for v in &self.recovery_violations {
+            push16(&mut bytes, v.kind.code());
+        }
 
         // FNV-1a, fixed basis: stable across runs and platforms
         // (std's SipHash is randomly keyed per process, which would

@@ -1,0 +1,219 @@
+//! Recovery invariants: what a crash–replay–reconcile cycle must
+//! preserve.
+//!
+//! The op-log discipline (DESIGN.md §14) promises that a controller
+//! rebuilt by `Controller::recover` is *externally indistinguishable*
+//! from the one that died: same grants, same admission ledger, same
+//! in-flight round, same retry obligations. That promise is only as
+//! good as its checker, so this module captures the dying controller's
+//! externally visible state as a [`RecoveryFingerprint`] and compares
+//! it against the recovered one:
+//!
+//! * **I10 replay-equivalence** — every component of the control-plane
+//!   state machine (pending round + fence, serialization queue,
+//!   unacked reactivations, admission ledger) replays verbatim;
+//! * **I11 grant-continuity** — no allocator grant is lost, invented,
+//!   or reshaped across the restart;
+//! * **I12 recovery-liveness** — after reconciliation no FID is left
+//!   permanently stuck: quiesced FIDs are exactly the in-flight
+//!   victims still owed a snapshot, and retry obligations reference
+//!   resident FIDs.
+
+use crate::invariants::{InvariantKind, Violation};
+use activermt_core::types::Fid;
+use activermt_core::{Controller, SwitchRuntime};
+use activermt_isa::wire::RegionEntry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The externally visible control-plane state a crash must not lose:
+/// everything a client (or the data plane) could observe or depend on.
+/// Timestamps, telemetry counters, and the epoch are deliberately
+/// excluded — they are allowed (the epoch: required) to differ across
+/// a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryFingerprint {
+    /// Allocator placements per FID: `(stage, start_block, len_blocks)`.
+    pub grants: BTreeMap<Fid, Vec<(usize, u32, u32)>>,
+    /// The admission ledger: granted regions as told to each client.
+    pub regions: BTreeMap<Fid, Vec<(usize, RegionEntry)>>,
+    /// The in-flight requester, if a reallocation round is open.
+    pub pending_fid: Option<Fid>,
+    /// Victims still owed a snapshot in the open round.
+    pub pending_waiting: Vec<Fid>,
+    /// All victims of the open round.
+    pub pending_victims: Vec<Fid>,
+    /// The open round's fence token (live clients hold it).
+    pub pending_fence: Option<u16>,
+    /// Requests serialized behind the open round, in arrival order.
+    pub queued: Vec<Fid>,
+    /// FIDs owed a Respond+Reactivate until they ack, with fences.
+    pub unacked: Vec<(Fid, u16)>,
+}
+
+impl RecoveryFingerprint {
+    /// Capture `ctl`'s externally visible state.
+    pub fn of(ctl: &Controller) -> RecoveryFingerprint {
+        let alloc = ctl.allocator();
+        let mut grants = BTreeMap::new();
+        for (fid, _) in alloc.apps() {
+            let placements: Vec<(usize, u32, u32)> = alloc
+                .placements_of(fid)
+                .into_iter()
+                .map(|p| (p.stage, p.range.start, p.range.len))
+                .collect();
+            grants.insert(fid, placements);
+        }
+        let regions = ctl
+            .granted_regions()
+            .map(|(fid, rs)| (fid, rs.to_vec()))
+            .collect();
+        let unacked = ctl
+            .unacked_fids()
+            .into_iter()
+            .map(|fid| (fid, ctl.unacked_fence(fid).unwrap_or(0)))
+            .collect();
+        RecoveryFingerprint {
+            grants,
+            regions,
+            pending_fid: ctl.pending_fid(),
+            pending_waiting: ctl.pending_waiting(),
+            pending_victims: ctl.pending_victims(),
+            pending_fence: ctl.pending_fence(),
+            queued: ctl.queued_fids(),
+            unacked,
+        }
+    }
+}
+
+/// Check I10–I12 for one crash–replay–reconcile cycle: `pre` is the
+/// fingerprint taken at the moment of death, `ctl` the recovered
+/// controller, `rt` the live data plane *after* reconciliation.
+pub fn check_recovery(
+    pre: &RecoveryFingerprint,
+    ctl: &Controller,
+    rt: &SwitchRuntime,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let post = RecoveryFingerprint::of(ctl);
+
+    // ----- I11: no grant lost, invented, or reshaped -----
+    for (fid, placements) in &pre.grants {
+        match post.grants.get(fid) {
+            None => out.push(Violation {
+                kind: InvariantKind::GrantContinuity,
+                fid: Some(*fid),
+                detail: "grant lost across restart (not replayed from the op-log)".into(),
+            }),
+            Some(p) if p != placements => out.push(Violation {
+                kind: InvariantKind::GrantContinuity,
+                fid: Some(*fid),
+                detail: format!("grant reshaped across restart: {placements:?} -> {p:?}"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for fid in post.grants.keys() {
+        if !pre.grants.contains_key(fid) {
+            out.push(Violation {
+                kind: InvariantKind::GrantContinuity,
+                fid: Some(*fid),
+                detail: "phantom grant invented by replay".into(),
+            });
+        }
+    }
+
+    // ----- I10: the rest of the state machine replays verbatim -----
+    if post.regions != pre.regions {
+        out.push(Violation {
+            kind: InvariantKind::ReplayEquivalence,
+            fid: first_diff_key(&pre.regions, &post.regions),
+            detail: "admission ledger diverged across replay".into(),
+        });
+    }
+    if (
+        post.pending_fid,
+        &post.pending_waiting,
+        &post.pending_victims,
+        post.pending_fence,
+    ) != (
+        pre.pending_fid,
+        &pre.pending_waiting,
+        &pre.pending_victims,
+        pre.pending_fence,
+    ) {
+        out.push(Violation {
+            kind: InvariantKind::ReplayEquivalence,
+            fid: pre.pending_fid.or(post.pending_fid),
+            detail: format!(
+                "in-flight round diverged: pre {:?}/{:?} fence {:?}, post {:?}/{:?} fence {:?}",
+                pre.pending_fid,
+                pre.pending_waiting,
+                pre.pending_fence,
+                post.pending_fid,
+                post.pending_waiting,
+                post.pending_fence
+            ),
+        });
+    }
+    if post.queued != pre.queued {
+        out.push(Violation {
+            kind: InvariantKind::ReplayEquivalence,
+            fid: None,
+            detail: format!(
+                "serialization queue diverged: pre {:?}, post {:?}",
+                pre.queued, post.queued
+            ),
+        });
+    }
+    if post.unacked != pre.unacked {
+        out.push(Violation {
+            kind: InvariantKind::ReplayEquivalence,
+            fid: None,
+            detail: format!(
+                "unacked reactivations diverged: pre {:?}, post {:?}",
+                pre.unacked, post.unacked
+            ),
+        });
+    }
+
+    // ----- I12: nothing left permanently stuck after reconciliation -----
+    let victims: BTreeSet<Fid> = post.pending_victims.iter().copied().collect();
+    for fid in rt.deactivated_fids() {
+        if !victims.contains(&fid) {
+            out.push(Violation {
+                kind: InvariantKind::RecoveryLiveness,
+                fid: Some(fid),
+                detail: "still quiesced after recovery with no round to blame".into(),
+            });
+        }
+    }
+    for &(fid, _) in &post.unacked {
+        if !post.grants.contains_key(&fid) {
+            out.push(Violation {
+                kind: InvariantKind::RecoveryLiveness,
+                fid: Some(fid),
+                detail: "recovered retry obligation for a non-resident fid".into(),
+            });
+        }
+    }
+    for fid in rt.protection().resident_fids() {
+        if !post.grants.contains_key(&fid) {
+            out.push(Violation {
+                kind: InvariantKind::RecoveryLiveness,
+                fid: Some(fid),
+                detail: "protection entries survive reconciliation for an unknown fid".into(),
+            });
+        }
+    }
+
+    out
+}
+
+fn first_diff_key<V: PartialEq>(a: &BTreeMap<Fid, V>, b: &BTreeMap<Fid, V>) -> Option<Fid> {
+    for (fid, v) in a {
+        if b.get(fid) != Some(v) {
+            return Some(*fid);
+        }
+    }
+    b.keys().find(|fid| !a.contains_key(fid)).copied()
+}

@@ -127,9 +127,38 @@ fn catches_stale_decode_entry() {
 }
 
 #[test]
+fn catches_log_after_action() {
+    // The write-behind-log bug is invisible until a crash consumes it:
+    // the last committed transition is missing from the log, so the
+    // recovered controller diverges from what clients observed. The
+    // explorer needs crash license — and nothing else — to refute it.
+    let kinds = kinds_caught(Mutation::LogAfterAction, FaultBudget::crashes_only(1), 4);
+    assert!(
+        kinds.contains(&InvariantKind::ReplayEquivalence)
+            || kinds.contains(&InvariantKind::GrantContinuity),
+        "expected a replay-equivalence/grant-continuity violation, got {kinds:?}"
+    );
+}
+
+#[test]
+fn log_after_action_escapes_without_crash_license() {
+    // Soundness control: with no crash budget the bug is genuinely
+    // unobservable (the log trails reality, but nobody reads it), so a
+    // clean pass here pins that the checker's catch above really comes
+    // from the crash/recover path.
+    let mut world = World::new(Scope::small(), FaultBudget::none());
+    world.inject(Mutation::LogAfterAction);
+    let outcome = explore(world, cfg(4));
+    assert!(
+        outcome.clean(),
+        "a write-behind log must be invisible without a crash"
+    );
+}
+
+#[test]
 fn every_mutation_is_caught() {
     for m in Mutation::all() {
-        let mut world = World::new(Scope::small(), FaultBudget::none());
+        let mut world = World::new(Scope::small(), m.minimal_budget());
         world.inject(m);
         let outcome = explore(world, cfg(5));
         assert!(

@@ -176,6 +176,171 @@ impl FaultPlan {
     }
 }
 
+/// Where in the reallocation protocol a controller crash is injected.
+/// Each point targets a different commit-vs-action window of the
+/// write-ahead discipline (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The grant is committed but the response never leaves the CPU:
+    /// the client must retransmit into the idempotent re-grant path.
+    PostGrantPreSignal,
+    /// The Deactivate signals escape, then the controller dies with
+    /// victims quiesced mid-snapshot.
+    MidQuiesce,
+    /// Snapshots are in, the new placement is committed, but the
+    /// Reactivate signals never leave: recovery must re-issue them.
+    PostSnapshotPreReactivate,
+}
+
+impl CrashPoint {
+    /// Every crash point.
+    pub fn all() -> [CrashPoint; 3] {
+        [
+            CrashPoint::PostGrantPreSignal,
+            CrashPoint::MidQuiesce,
+            CrashPoint::PostSnapshotPreReactivate,
+        ]
+    }
+}
+
+/// A seeded schedule of controller crashes. Pure data, like
+/// [`FaultPlan`]; the [`CrashInjector`] walks it deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Seed for the crash PRNG (independent of the frame-fault stream).
+    pub seed: u64,
+    /// Hard cap on injected crashes for the whole run.
+    pub max_crashes: u32,
+    /// Probability an eligible crash opportunity is taken, per mille.
+    pub per_mille: u32,
+    /// Minimum virtual time between consecutive crashes (lets the
+    /// recovered controller make progress before dying again).
+    pub min_gap_ns: u64,
+    /// Which protocol points are eligible.
+    pub points: Vec<CrashPoint>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn none() -> CrashPlan {
+        CrashPlan {
+            seed: 0,
+            max_crashes: 0,
+            per_mille: 0,
+            min_gap_ns: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Take every eligible opportunity at every crash point, up to
+    /// `max_crashes`, spaced at least `min_gap_ns` apart — the
+    /// kill-and-restart chaos loop's default.
+    pub fn every_opportunity(seed: u64, max_crashes: u32, min_gap_ns: u64) -> CrashPlan {
+        CrashPlan {
+            seed,
+            max_crashes,
+            per_mille: 1000,
+            min_gap_ns,
+            points: CrashPoint::all().to_vec(),
+        }
+    }
+
+    /// Restrict the plan to specific crash points.
+    pub fn with_points(mut self, points: &[CrashPoint]) -> CrashPlan {
+        self.points = points.to_vec();
+        self
+    }
+
+    /// Set the per-opportunity probability, per mille.
+    pub fn with_per_mille(mut self, per_mille: u32) -> CrashPlan {
+        self.per_mille = per_mille;
+        self
+    }
+
+    /// True when the plan can never kill the controller.
+    pub fn is_benign(&self) -> bool {
+        self.max_crashes == 0 || self.per_mille == 0 || self.points.is_empty()
+    }
+}
+
+/// The stateful crash process: one seeded PRNG walking a [`CrashPlan`].
+/// Owned by the switch node (the crash must happen inside the node,
+/// between committing state and emitting signals — no link-layer
+/// injector can model that).
+#[derive(Debug)]
+pub struct CrashInjector {
+    plan: CrashPlan,
+    rng: SmallRng,
+    crashes: activermt_telemetry::Counter,
+    last_crash_ns: Option<u64>,
+}
+
+impl Clone for CrashInjector {
+    /// Cloned injectors (fresh crash processes) must not share the
+    /// crash counter with the original, so clones detach.
+    fn clone(&self) -> CrashInjector {
+        CrashInjector {
+            plan: self.plan.clone(),
+            rng: self.rng.clone(),
+            crashes: self.crashes.detached_copy(),
+            last_crash_ns: self.last_crash_ns,
+        }
+    }
+}
+
+impl CrashInjector {
+    /// Build an injector from a plan (seeds the PRNG from the plan).
+    pub fn new(plan: CrashPlan) -> CrashInjector {
+        let rng = SmallRng::seed_from_u64(plan.seed ^ 0xc4a5_4dea_d000_0001);
+        CrashInjector {
+            plan,
+            rng,
+            crashes: activermt_telemetry::Counter::new(),
+            last_crash_ns: None,
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// Crashes injected so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes.get()
+    }
+
+    /// Adopt the crash counter into `telemetry`'s registry.
+    pub fn bind_telemetry(&self, telemetry: &Telemetry) {
+        telemetry
+            .registry()
+            .register_counter("faults.injected_crashes", &self.crashes);
+    }
+
+    /// Decide whether the controller dies at this opportunity. Consumes
+    /// budget and advances the PRNG only for eligible opportunities, so
+    /// ineligible points do not perturb the crash sequence.
+    pub fn should_crash(&mut self, now_ns: u64, point: CrashPoint) -> bool {
+        if self.plan.is_benign()
+            || !self.plan.points.contains(&point)
+            || self.crashes.get() >= u64::from(self.plan.max_crashes)
+        {
+            return false;
+        }
+        if let Some(last) = self.last_crash_ns {
+            if now_ns < last.saturating_add(self.plan.min_gap_ns) {
+                return false;
+            }
+        }
+        if self.rng.gen_range(0u32..1000) >= self.plan.per_mille {
+            return false;
+        }
+        self.crashes.inc();
+        self.last_crash_ns = Some(now_ns);
+        true
+    }
+}
+
 /// Counters describing both what the injector did and how the stack
 /// coped. The injector fills the `injected_*` fields; the
 /// [`Simulation`](crate::sim::Simulation) overlays the recovery-side
@@ -193,6 +358,9 @@ pub struct FaultStats {
     pub injected_duplicates: u64,
     /// Controller polls suppressed by a stall window.
     pub stalled_polls: u64,
+    /// Controller crash/recover cycles injected at protocol crash
+    /// points (overlaid by the simulation from the switch node).
+    pub injected_crashes: u64,
     /// Malformed frames counted and dropped by the switch node.
     pub switch_malformed: u64,
     /// Malformed frames counted and dropped by hosts (shim, memsync,
@@ -327,6 +495,7 @@ impl FaultInjector {
             injected_truncations: self.counters.truncations.get(),
             injected_duplicates: self.counters.duplicates.get(),
             stalled_polls: self.counters.stalled_polls.get(),
+            injected_crashes: 0,
             switch_malformed: 0,
             host_malformed: 0,
             retransmits: 0,
@@ -562,11 +731,54 @@ mod tests {
             injected_truncations: 1,
             injected_duplicates: 4,
             stalled_polls: 5,
+            injected_crashes: 2,
             switch_malformed: 6,
             host_malformed: 7,
             retransmits: 8,
         };
         assert_eq!(s.injected(), 10);
         assert_eq!(s.dropped_malformed(), 13);
+    }
+
+    #[test]
+    fn crash_injector_honors_budget_gap_and_points() {
+        let plan = CrashPlan::every_opportunity(7, 2, 1_000).with_points(&[
+            CrashPoint::MidQuiesce,
+            CrashPoint::PostSnapshotPreReactivate,
+        ]);
+        let mut inj = CrashInjector::new(plan);
+        assert!(
+            !inj.should_crash(0, CrashPoint::PostGrantPreSignal),
+            "ineligible point must never crash"
+        );
+        assert!(inj.should_crash(0, CrashPoint::MidQuiesce));
+        assert!(
+            !inj.should_crash(500, CrashPoint::MidQuiesce),
+            "inside the minimum gap"
+        );
+        assert!(inj.should_crash(1_500, CrashPoint::PostSnapshotPreReactivate));
+        assert!(
+            !inj.should_crash(1_000_000, CrashPoint::MidQuiesce),
+            "budget of two is spent"
+        );
+        assert_eq!(inj.crashes(), 2);
+    }
+
+    #[test]
+    fn crash_plan_none_is_benign_and_deterministic() {
+        assert!(CrashPlan::none().is_benign());
+        assert!(CrashPlan::every_opportunity(1, 0, 0).is_benign());
+        assert!(CrashPlan::every_opportunity(1, 3, 0)
+            .with_per_mille(0)
+            .is_benign());
+        let mut a = CrashInjector::new(CrashPlan::every_opportunity(42, 8, 0).with_per_mille(500));
+        let mut b = CrashInjector::new(CrashPlan::every_opportunity(42, 8, 0).with_per_mille(500));
+        for t in 0..64u64 {
+            assert_eq!(
+                a.should_crash(t, CrashPoint::PostGrantPreSignal),
+                b.should_crash(t, CrashPoint::PostGrantPreSignal),
+                "same seed must give the same crash schedule"
+            );
+        }
     }
 }

@@ -26,7 +26,7 @@ pub mod trace;
 
 pub use apphosts::{CacheClientConfig, CacheClientHost, LatencyProbeHost, Phase};
 pub use config::NetConfig;
-pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use fault::{CrashInjector, CrashPlan, CrashPoint, FaultInjector, FaultPlan, FaultStats};
 pub use host::{EchoHost, Host, HostFaultStats, KvServerHost};
 pub use sim::Simulation;
 pub use switch::SwitchNode;

@@ -173,6 +173,7 @@ impl Simulation {
     pub fn fault_stats(&self) -> FaultStats {
         let mut stats = self.injector.stats();
         stats.switch_malformed = self.switch.malformed_frames();
+        stats.injected_crashes = self.switch.crashes();
         for host in self.hosts.values() {
             let hs = host.fault_stats();
             stats.host_malformed += hs.malformed_frames;

@@ -6,17 +6,20 @@
 //! are digested up to the controller (Section 4.3), whose actions come
 //! back as timestamped control packets toward the clients.
 
+use crate::fault::{CrashInjector, CrashPlan, CrashPoint};
 use activermt_core::alloc::{AccessPattern, MutantPolicy, Scheme};
 use activermt_core::controller::{Controller, ControllerAction, ProvisioningReport};
 use activermt_core::runtime::{OutputAction, SwitchRuntime};
 use activermt_core::types::Fid;
-use activermt_core::SwitchConfig;
+use activermt_core::{OpLog, SwitchConfig};
 use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
 use activermt_isa::wire::{
     build_alloc_response, build_control, ActiveHeader, AllocRequest, ControlOp, EthernetFrame,
     PacketType,
 };
-use activermt_telemetry::{Counter, DropLayer, EventKind, FidRow, Telemetry, TelemetrySnapshot};
+use activermt_telemetry::{
+    Counter, DropLayer, EventKind, FaultKind, FidRow, Telemetry, TelemetrySnapshot,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// A frame leaving the switch, with its earliest departure time and
@@ -35,8 +38,18 @@ pub struct SwitchEmission {
 #[derive(Debug)]
 pub struct SwitchNode {
     mac: [u8; 6],
+    /// The switch profile and scheme, kept so a crashed controller can
+    /// be rebuilt from scratch plus the op-log.
+    cfg: SwitchConfig,
+    scheme: Scheme,
     runtime: SwitchRuntime,
     controller: Controller,
+    /// The controller's write-ahead op-log. The node owns the durable
+    /// handle — it survives the controller process the way a file on
+    /// the switch CPU survives a daemon restart.
+    oplog: OpLog,
+    /// Seeded crash process, if a chaos plan is armed.
+    crash: Option<CrashInjector>,
     /// Learned client MACs per FID (from allocation requests).
     clients: HashMap<Fid, [u8; 6]>,
     /// SET_DST port-id to MAC resolution.
@@ -70,10 +83,17 @@ impl SwitchNode {
         reg.register_counter("switch.malformed_active", &malformed_active);
         reg.register_counter("switch.malformed_alloc", &malformed_alloc);
         reg.register_counter("switch.malformed_control", &malformed_control);
+        let oplog = OpLog::new();
+        let mut controller = Controller::with_telemetry(&cfg, scheme, &telemetry);
+        controller.attach_oplog(oplog.clone());
         SwitchNode {
             mac,
+            cfg,
+            scheme,
             runtime: SwitchRuntime::with_telemetry(cfg, &telemetry),
-            controller: Controller::with_telemetry(&cfg, scheme, &telemetry),
+            controller,
+            oplog,
+            crash: None,
             clients: HashMap::new(),
             ports: HashMap::new(),
             reports: Vec::new(),
@@ -165,6 +185,46 @@ impl SwitchNode {
         &self.controller
     }
 
+    /// The controller's durable write-ahead log (inspection).
+    pub fn oplog(&self) -> &OpLog {
+        &self.oplog
+    }
+
+    /// Arm a seeded crash schedule: at eligible protocol points the
+    /// controller process dies *after* committing its transition but
+    /// (depending on the point) before its signals leave the CPU, then
+    /// restarts from the op-log.
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        let inj = CrashInjector::new(plan);
+        inj.bind_telemetry(&self.telemetry);
+        self.crash = Some(inj);
+    }
+
+    /// Crash/recover cycles injected by the armed plan so far.
+    pub fn crashes(&self) -> u64 {
+        self.crash.as_ref().map_or(0, CrashInjector::crashes)
+    }
+
+    /// Kill the controller process and bring up a replacement: replay
+    /// the op-log, re-bind telemetry, reconcile against the live data
+    /// plane, and emit whatever repair signals reconciliation owes the
+    /// clients. The node (ports, learned MACs, runtime, log) survives —
+    /// only the controller's in-memory state is lost, exactly as when
+    /// the control daemon on the switch CPU is killed and restarted.
+    pub fn crash_and_recover(&mut self, now_ns: u64) -> Vec<SwitchEmission> {
+        self.telemetry.record_event(
+            now_ns,
+            EventKind::FaultInjected {
+                fault: FaultKind::Crash,
+            },
+        );
+        let mut fresh = Controller::recover(&self.oplog, &self.cfg, self.scheme);
+        fresh.bind_telemetry(&self.telemetry);
+        self.controller = fresh;
+        let actions = self.controller.reconcile(&mut self.runtime, now_ns);
+        self.actions_to_emissions(now_ns, actions)
+    }
+
     /// Collected provisioning reports.
     pub fn reports(&self) -> &[(u64, ProvisioningReport)] {
         &self.reports
@@ -201,7 +261,7 @@ impl SwitchNode {
     /// Periodic controller poll (timeouts, queued admissions).
     pub fn poll(&mut self, now_ns: u64) -> Vec<SwitchEmission> {
         let actions = self.controller.poll(&mut self.runtime, now_ns);
-        self.actions_to_emissions(now_ns, actions)
+        self.finish(now_ns, actions)
     }
 
     /// Process one arriving frame.
@@ -272,7 +332,7 @@ impl SwitchNode {
                             program.as_ref(),
                             now_ns,
                         );
-                        self.actions_to_emissions(now_ns, actions)
+                        self.finish(now_ns, actions)
                     }
                     Err(_) => vec![SwitchEmission {
                         at_ns: now_ns,
@@ -283,22 +343,29 @@ impl SwitchNode {
             }
             PacketType::Control => match hdr.control_op() {
                 Ok(ControlOp::SnapshotComplete) => {
-                    let actions =
-                        self.controller
-                            .handle_snapshot_complete(&mut self.runtime, fid, now_ns);
-                    self.actions_to_emissions(now_ns, actions)
+                    // The wire `seq` echoes the fence token stamped into
+                    // the DeactivateNotice; a stale token (an earlier
+                    // round's, or a pre-crash controller's) is rejected.
+                    let actions = self.controller.handle_snapshot_complete_fenced(
+                        &mut self.runtime,
+                        fid,
+                        hdr.seq(),
+                        now_ns,
+                    );
+                    self.finish(now_ns, actions)
                 }
                 Ok(ControlOp::Deallocate) => {
                     match self
                         .controller
                         .handle_deallocate(&mut self.runtime, fid, now_ns)
                     {
-                        Ok(actions) => self.actions_to_emissions(now_ns, actions),
+                        Ok(actions) => self.finish(now_ns, actions),
                         Err(_) => Vec::new(), // busy: client retries
                     }
                 }
                 Ok(ControlOp::ReactivateAck) => {
-                    self.controller.handle_reactivate_ack(fid);
+                    self.controller
+                        .handle_reactivate_ack_fenced(fid, hdr.seq(), now_ns);
                     Vec::new()
                 }
                 Ok(_) => Vec::new(),
@@ -356,6 +423,57 @@ impl SwitchNode {
         emissions
     }
 
+    /// Which crash point this batch of controller actions represents an
+    /// opportunity for, if any. Classification looks at the *most
+    /// advanced* protocol step in the batch: a round completing
+    /// (Reactivate) dominates a round opening (Deactivate) dominates a
+    /// plain grant (successful Respond).
+    fn classify_crash(actions: &[ControllerAction]) -> Option<CrashPoint> {
+        let mut point = None;
+        for act in actions {
+            match act {
+                ControllerAction::Reactivate { .. } => {
+                    return Some(CrashPoint::PostSnapshotPreReactivate)
+                }
+                ControllerAction::Deactivate { .. } => point = Some(CrashPoint::MidQuiesce),
+                ControllerAction::Respond { failed: false, .. } => {
+                    point = point.or(Some(CrashPoint::PostGrantPreSignal));
+                }
+                _ => {}
+            }
+        }
+        point
+    }
+
+    /// Convert controller actions to emissions, interposing the armed
+    /// crash plan. The crash fires *between* the controller committing
+    /// a transition and its signals leaving the CPU — exactly the
+    /// window the write-ahead discipline must cover. `MidQuiesce` lets
+    /// the Deactivate signals escape first (victims are already
+    /// quiesced when the controller dies); the other points drop the
+    /// outgoing signals, so clients only ever see what reconciliation
+    /// re-issues or what their own retransmissions re-earn.
+    fn finish(&mut self, now_ns: u64, actions: Vec<ControllerAction>) -> Vec<SwitchEmission> {
+        let fired = match (Self::classify_crash(&actions), self.crash.as_mut()) {
+            (Some(p), Some(inj)) => inj.should_crash(now_ns, p).then_some(p),
+            _ => None,
+        };
+        match fired {
+            None => self.actions_to_emissions(now_ns, actions),
+            Some(CrashPoint::MidQuiesce) => {
+                let mut out = self.actions_to_emissions(now_ns, actions);
+                out.extend(self.crash_and_recover(now_ns));
+                out
+            }
+            Some(_) => {
+                // The transition (and any Report) is committed; the
+                // frames never leave.
+                drop(self.actions_to_emissions(now_ns, actions));
+                self.crash_and_recover(now_ns)
+            }
+        }
+    }
+
     fn actions_to_emissions(
         &mut self,
         now_ns: u64,
@@ -381,17 +499,31 @@ impl SwitchNode {
                         out.push(SwitchEmission { at_ns, dst, frame });
                     }
                 }
-                ControllerAction::Deactivate { fid, at_ns } => {
+                ControllerAction::Deactivate { fid, at_ns, fence } => {
                     if let Some(&dst) = self.clients.get(&fid) {
-                        let frame =
-                            build_control(dst, self.mac, fid, 0, ControlOp::DeactivateNotice, true);
+                        // The fence token rides the wire `seq` field;
+                        // the client echoes it in SnapshotComplete.
+                        let frame = build_control(
+                            dst,
+                            self.mac,
+                            fid,
+                            fence,
+                            ControlOp::DeactivateNotice,
+                            true,
+                        );
                         out.push(SwitchEmission { at_ns, dst, frame });
                     }
                 }
-                ControllerAction::Reactivate { fid, at_ns } => {
+                ControllerAction::Reactivate { fid, at_ns, fence } => {
                     if let Some(&dst) = self.clients.get(&fid) {
-                        let frame =
-                            build_control(dst, self.mac, fid, 0, ControlOp::ReactivateNotice, true);
+                        let frame = build_control(
+                            dst,
+                            self.mac,
+                            fid,
+                            fence,
+                            ControlOp::ReactivateNotice,
+                            true,
+                        );
                         out.push(SwitchEmission { at_ns, dst, frame });
                     }
                 }

@@ -10,6 +10,8 @@
 //! overwritten, but sequence numbers keep counting so a reader can
 //! detect the gap (`total_recorded() - len()` events have been lost).
 
+use crate::metrics::Counter;
+use crate::registry::Registry;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -26,6 +28,25 @@ pub enum FaultKind {
     Duplication,
     /// Controller poll stalled.
     Stall,
+    /// Controller process killed at a crash point.
+    Crash,
+}
+
+/// What a post-recovery reconciliation repair did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairKind {
+    /// A missing or divergent protection entry was re-installed.
+    ReinstallEntry,
+    /// An orphaned protection entry was removed.
+    ScrubEntry,
+    /// An orphaned decode-cache resident was flushed.
+    ScrubDecode,
+    /// An in-flight victim was re-quiesced in the data plane.
+    Requiesce,
+    /// A stray quiesced FID (no reallocation to blame) was resumed.
+    ReactivateStray,
+    /// A lost Deactivate / Reactivate signal was re-issued.
+    ResendSignal,
 }
 
 /// Which parser rejected a malformed frame.
@@ -134,6 +155,32 @@ pub enum EventKind {
         /// FID the violation was attributed to (0 if switch-wide).
         fid: u16,
     },
+    /// A control message carrying a stale fence token was rejected
+    /// (late SnapshotComplete/ReactivateAck from a superseded round or
+    /// a pre-crash controller generation).
+    StaleSignalRejected {
+        /// Sending FID.
+        fid: u16,
+        /// The fence token the message carried.
+        got: u16,
+        /// The fence token the current round expects.
+        want: u16,
+    },
+    /// A crashed controller finished replaying its op-log and
+    /// reconciling the data plane.
+    Recovered {
+        /// The generation the recovered controller runs in.
+        epoch: u32,
+        /// Repairs the reconciliation pass applied.
+        repairs: u32,
+    },
+    /// One post-recovery reconciliation repair.
+    RecoveryRepair {
+        /// FID the repair concerned (0 if switch-wide).
+        fid: u16,
+        /// What the repair did.
+        repair: RepairKind,
+    },
 }
 
 /// One journal entry.
@@ -151,6 +198,8 @@ struct JournalInner {
     ring: VecDeque<JournalEvent>,
     capacity: usize,
     next_seq: u64,
+    /// Events evicted by ring wrap — the loss is visible, not silent.
+    dropped: Counter,
 }
 
 /// The shared, bounded event journal. `Clone` shares the ring.
@@ -184,8 +233,16 @@ impl Journal {
                 ring: VecDeque::with_capacity(capacity),
                 capacity,
                 next_seq: 0,
+                dropped: Counter::new(),
             })),
         }
+    }
+
+    /// Adopt the journal's drop counter into `registry` as
+    /// `journal.dropped`, so ring-wrap losses surface in snapshots even
+    /// while zero.
+    pub fn bind(&self, registry: &Registry) {
+        registry.register_counter("journal.dropped", &self.inner.lock().unwrap().dropped);
     }
 
     /// Record an event; returns its sequence number.
@@ -195,9 +252,16 @@ impl Journal {
         j.next_seq += 1;
         if j.ring.len() == j.capacity {
             j.ring.pop_front();
+            j.dropped.inc();
         }
         j.ring.push_back(JournalEvent { seq, at_ns, kind });
         seq
+    }
+
+    /// Events evicted by ring wrap (== `total_recorded() - len()` once
+    /// the ring has wrapped).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped.get()
     }
 
     /// The retained events, oldest first.
@@ -265,6 +329,53 @@ mod tests {
         assert_eq!(ev.len(), 4);
         assert_eq!(ev[0].seq, 6, "oldest retained after wrap");
         assert_eq!(j.total_recorded(), 10);
+    }
+
+    #[test]
+    fn overflow_is_dropped_visibly_and_sequences_stay_monotone() {
+        let j = Journal::new();
+        assert_eq!(j.capacity(), DEFAULT_JOURNAL_CAPACITY);
+        let total = DEFAULT_JOURNAL_CAPACITY as u64 + 300;
+        for i in 0..total {
+            j.record(
+                i,
+                EventKind::Reactivation {
+                    fid: (i % 7) as u16,
+                },
+            );
+        }
+        // Events beyond the bound are gone, but never silently: the
+        // drop counter accounts for every evicted event, and a reader
+        // can cross-check via total_recorded() - len().
+        assert_eq!(j.len(), DEFAULT_JOURNAL_CAPACITY);
+        assert_eq!(j.dropped(), 300);
+        assert_eq!(j.total_recorded() - j.len() as u64, j.dropped());
+        // Sequence numbers keep counting across the wrap with no gap
+        // inside the retained window.
+        let ev = j.events();
+        assert_eq!(ev[0].seq, 300, "oldest retained is the 301st event");
+        assert!(
+            ev.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+            "retained sequence numbers must be gap-free and monotone"
+        );
+        assert_eq!(ev.last().unwrap().seq, total - 1);
+    }
+
+    #[test]
+    fn bound_drop_counter_surfaces_in_a_registry() {
+        let reg = Registry::new();
+        let j = Journal::with_capacity(2);
+        j.bind(&reg);
+        let samples = reg.samples();
+        assert_eq!(samples.len(), 1, "registered even while zero");
+        assert_eq!(samples[0].name, "journal.dropped");
+        for i in 0..5u64 {
+            j.record(i, EventKind::SnapshotComplete { fid: 1 });
+        }
+        match reg.samples()[0].value {
+            crate::registry::MetricValue::Counter(n) => assert_eq!(n, 3),
+            ref other => panic!("expected counter, got {other:?}"),
+        }
     }
 
     #[test]

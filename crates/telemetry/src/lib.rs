@@ -34,7 +34,7 @@ mod snapshot;
 
 pub use ewma::{ewma, Ewma};
 pub use journal::{
-    DropLayer, EventKind, FaultKind, Journal, JournalEvent, VerifyRejectReason,
+    DropLayer, EventKind, FaultKind, Journal, JournalEvent, RepairKind, VerifyRejectReason,
     DEFAULT_JOURNAL_CAPACITY,
 };
 pub use metrics::{
@@ -47,10 +47,16 @@ pub use snapshot::{FidRow, TelemetrySnapshot};
 /// The telemetry hub a switch hands to its components: one registry,
 /// one journal. `Clone` shares both — every component bound to the
 /// same hub feeds the same snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Telemetry {
     registry: Registry,
     journal: Journal,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
 }
 
 impl Telemetry {
@@ -60,11 +66,13 @@ impl Telemetry {
     }
 
     /// A hub whose journal retains at most `journal_capacity` events.
+    /// The journal's ring-wrap drop counter is registered up front as
+    /// `journal.dropped`, so overflow is visible in every snapshot.
     pub fn with_journal_capacity(journal_capacity: usize) -> Telemetry {
-        Telemetry {
-            registry: Registry::new(),
-            journal: Journal::with_capacity(journal_capacity),
-        }
+        let registry = Registry::new();
+        let journal = Journal::with_capacity(journal_capacity);
+        journal.bind(&registry);
+        Telemetry { registry, journal }
     }
 
     /// The metric registry.

@@ -270,6 +270,19 @@ fn fault_kind_str(f: FaultKind) -> &'static str {
         FaultKind::Truncation => "truncation",
         FaultKind::Duplication => "duplication",
         FaultKind::Stall => "stall",
+        FaultKind::Crash => "crash",
+    }
+}
+
+fn repair_kind_str(r: crate::journal::RepairKind) -> &'static str {
+    use crate::journal::RepairKind;
+    match r {
+        RepairKind::ReinstallEntry => "reinstall_entry",
+        RepairKind::ScrubEntry => "scrub_entry",
+        RepairKind::ScrubDecode => "scrub_decode",
+        RepairKind::Requiesce => "requiesce",
+        RepairKind::ReactivateStray => "reactivate_stray",
+        RepairKind::ResendSignal => "resend_signal",
     }
 }
 
@@ -342,6 +355,18 @@ fn event_fields_json(kind: &EventKind) -> String {
         }
         EventKind::InvariantViolated { code, fid } => {
             format!("\"type\": \"invariant_violated\", \"code\": {code}, \"fid\": {fid}")
+        }
+        EventKind::StaleSignalRejected { fid, got, want } => {
+            format!("\"type\": \"stale_signal_rejected\", \"fid\": {fid}, \"got\": {got}, \"want\": {want}")
+        }
+        EventKind::Recovered { epoch, repairs } => {
+            format!("\"type\": \"recovered\", \"epoch\": {epoch}, \"repairs\": {repairs}")
+        }
+        EventKind::RecoveryRepair { fid, repair } => {
+            format!(
+                "\"type\": \"recovery_repair\", \"fid\": {fid}, \"repair\": \"{}\"",
+                repair_kind_str(*repair)
+            )
         }
     }
 }

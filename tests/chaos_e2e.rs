@@ -11,7 +11,7 @@ use activermt::core::SwitchConfig;
 use activermt::modelcheck::{check_invariants_assuming, TrafficAssumption};
 use activermt::net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
 use activermt::net::host::KvServerHost;
-use activermt::net::{FaultPlan, NetConfig, Simulation, SwitchNode};
+use activermt::net::{CrashPlan, FaultPlan, NetConfig, Simulation, SwitchNode};
 use activermt_client::shim::ShimState;
 
 /// Audit the switch's full control-plane state with the shared
@@ -103,6 +103,111 @@ fn chaos_runs_are_reproducible() {
         trace
     };
     assert_eq!(run(), run(), "same plan, same seed, different trace");
+}
+
+/// One kill-and-restart battery: the cache scenario (staggered arrivals
+/// forcing reallocations) with a seeded crash schedule that kills the
+/// controller at protocol crash points — after a grant commits but
+/// before the response leaves, mid-quiesce, and after a snapshot lands
+/// but before reactivation — and restarts it from the op-log each time.
+/// The system must converge anyway, and every cycle must leave an epoch
+/// fingerprint.
+fn kill_and_restart(seed: u64) {
+    let cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut node = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    // Sample 70% of eligible crash opportunities, at most 4 crashes,
+    // spaced ≥60 ms so each recovered controller gets to make progress
+    // before dying again. Client retransmission keeps generating fresh
+    // opportunities, so every seed reaches at least three cycles.
+    node.set_crash_plan(CrashPlan::every_opportunity(seed, 4, 60_000_000).with_per_mille(700));
+    let mut sim = Simulation::new(NetConfig::default(), node);
+    sim.add_host(Box::new(KvServerHost::new(SERVER, 20_000)));
+    sim.add_host(Box::new(CacheClientHost::new(client_cfg(1, 0))));
+    sim.run_until(1_000_000_000);
+    for i in 2..=4u8 {
+        sim.add_host(Box::new(CacheClientHost::new(client_cfg(
+            i,
+            1_000_000_000 + u64::from(i) * 200_000_000,
+        ))));
+    }
+    // Run long past the last possible crash so recovery can drain.
+    sim.run_until(6_000_000_000);
+
+    let crashes = sim.switch().crashes();
+    assert!(
+        crashes >= 3,
+        "seed {seed}: only {crashes} kill/restart cycles fired"
+    );
+    let ctl = sim.switch().controller();
+    assert_eq!(
+        u64::from(ctl.epoch()),
+        crashes,
+        "seed {seed}: every crash must recover into a fresh epoch"
+    );
+    assert_invariants(
+        &sim,
+        &format!("after {crashes} kill/restart cycles, seed {seed}"),
+    );
+
+    // Convergence: nobody wedged mid-protocol, most clients serving.
+    let mut serving = 0u32;
+    for i in 1..=4u8 {
+        let c = sim.host::<CacheClientHost>(client_mac(i)).unwrap();
+        let state = c.cache().shim().state();
+        assert!(
+            matches!(state, ShimState::Operational | ShimState::Degraded),
+            "seed {seed}: client {i} shim wedged in {state:?}"
+        );
+        assert!(
+            matches!(c.phase(), Phase::Serving | Phase::Degraded),
+            "seed {seed}: client {i} stuck in {:?}",
+            c.phase()
+        );
+        if c.phase() == Phase::Serving {
+            serving += 1;
+        }
+    }
+    assert!(
+        serving >= 3,
+        "seed {seed}: only {serving}/4 clients survived the restarts"
+    );
+
+    // The recovered control plane fully drained its protocol state.
+    assert!(!ctl.busy(), "seed {seed}: a reallocation leaked");
+    assert_eq!(ctl.queue_len(), 0, "seed {seed}: admissions stuck queued");
+    assert_eq!(
+        ctl.unacked_reactivations(),
+        0,
+        "seed {seed}: a victim never acked its reactivation"
+    );
+
+    // Every layer reports the same crash count, and the recovery
+    // telemetry left fingerprints.
+    assert_eq!(sim.fault_stats().injected_crashes, crashes);
+    let snap = sim.telemetry_snapshot();
+    assert_eq!(snap.counter("faults.injected_crashes"), Some(crashes));
+    assert_eq!(
+        snap.counter("controller.recoveries"),
+        Some(crashes),
+        "the lineage recovery count must match the injected crashes"
+    );
+}
+
+/// The CI matrix sets `CHAOS_SEED` to split the battery across jobs; a
+/// plain `cargo test` run sweeps all eight seeds.
+#[test]
+fn kill_and_restart_recovers_across_seeds() {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => kill_and_restart(s.parse().expect("CHAOS_SEED must be a u64")),
+        Err(_) => {
+            for seed in 1..=8u64 {
+                kill_and_restart(seed);
+            }
+        }
+    }
 }
 
 #[test]

@@ -76,11 +76,13 @@ fn packetized_churn_stays_consistent() {
             if hdr.flags().packet_type() == PacketType::Control
                 && hdr.control_op() == Ok(ControlOp::DeactivateNotice)
             {
+                // Echo the notice's fence token (the wire seq field)
+                // back in the ack, as the shim does.
                 let ack = build_control(
                     SWITCH,
                     client_mac(hdr.fid()),
                     hdr.fid(),
-                    3,
+                    hdr.seq(),
                     ControlOp::SnapshotComplete,
                     false,
                 );
