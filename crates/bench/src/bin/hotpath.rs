@@ -7,7 +7,7 @@
 
 use activermt_bench::hotpath::{
     alloc_count, cache_query, loaded_allocator, measure, measure_admission, nop_program,
-    CountingAlloc, Dist, HotLoop,
+    CountingAlloc, Dist, HotLoop, PooledLoop,
 };
 use activermt_bench::{pattern_of, AppKind};
 use activermt_core::alloc::{MutantPolicy, Scheme};
@@ -33,6 +33,9 @@ struct Mode {
     alloc_iters: usize,
     e2e_sim_ns: u64,
     alloc_probe_frames: u64,
+    par_round_frames: usize,
+    par_warmup_rounds: usize,
+    par_rounds: usize,
 }
 
 const QUICK: Mode = Mode {
@@ -43,6 +46,9 @@ const QUICK: Mode = Mode {
     alloc_iters: 20,
     e2e_sim_ns: 100_000_000,
     alloc_probe_frames: 1_000,
+    par_round_frames: 2_048,
+    par_warmup_rounds: 4,
+    par_rounds: 8,
 };
 
 const FULL: Mode = Mode {
@@ -53,6 +59,9 @@ const FULL: Mode = Mode {
     alloc_iters: 200,
     e2e_sim_ns: 1_000_000_000,
     alloc_probe_frames: 10_000,
+    par_round_frames: 4_096,
+    par_warmup_rounds: 8,
+    par_rounds: 32,
 };
 
 fn dist_json(d: &Dist) -> String {
@@ -133,16 +142,147 @@ fn alloc_workloads(mode: &Mode) -> Vec<String> {
                 mode.alloc_warmup,
                 mode.alloc_iters,
             );
+            let speedup = reference.p50_ns / opt.p50_ns;
             eprintln!(
-                "alloc/{name}: opt {:.0} ns, ref {:.0} ns, speedup {:.2}x",
-                opt.p50_ns,
-                reference.p50_ns,
-                reference.p50_ns / opt.p50_ns
+                "alloc/{name}: opt {:.0} ns, ref {:.0} ns, speedup {speedup:.2}x",
+                opt.p50_ns, reference.p50_ns,
+            );
+            // Regression gate: the incremental search must never lose to
+            // the reference it memoizes over — this is what caught the
+            // mc_hh memo-invalidation regression.
+            assert!(
+                speedup >= 1.0,
+                "alloc workload {name} regressed: incremental speedup {speedup:.3} < 1.0"
             );
             rows.push(pair_json(&name, &opt, &reference));
         }
     }
     rows
+}
+
+/// The shard-by-FID worker-pool sweep (`"parallel"` in the JSON). Each
+/// worker count pushes the same 32-flow cache workload through a
+/// [`PooledLoop`]; throughput is reported two ways:
+///
+/// * `wall_pps` — frames over dispatcher wall-clock. On a single-CPU
+///   runner the workers time-slice one core, so this cannot show
+///   parallel speedup and is reported for transparency only.
+/// * `critical_path_pps` — frames over the *maximum* per-shard busy
+///   time: the rate the pool sustains once shards genuinely overlap
+///   (they share no mutable state, so given cores their busy windows
+///   run concurrently). This is the scaling headline (DESIGN.md §15).
+///
+/// Asserts zero heap allocations per steady-state frame at every worker
+/// count, and ≥ 3.5× critical-path scaling at 8 workers vs 1 when both
+/// are in the sweep (override the sweep with `HOTPATH_WORKERS=1,2`).
+fn parallel(mode: &Mode) -> String {
+    let sweep: Vec<usize> = std::env::var("HOTPATH_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    const FIDS: u16 = 32;
+    let mut rows = Vec::new();
+    let mut crit: Vec<(usize, f64)> = Vec::new();
+    let mut table = String::from(
+        "# Worker-pool scaling\n\n\
+         | workers | frames | wall pps | critical-path pps | allocs/frame | max shard busy (ms) |\n\
+         |---:|---:|---:|---:|---:|---:|\n",
+    );
+    for &w in &sweep {
+        let mut pl = PooledLoop::new(w, FIDS, &cache_query(), b"GET k");
+        for _ in 0..mode.par_warmup_rounds {
+            pl.round(mode.par_round_frames);
+        }
+        // The pool's high-water marks (inbox depth, batch containers in
+        // flight) depend on thread scheduling, so a fixed warmup can
+        // under-fill the freelists on a loaded machine. Keep warming
+        // until one full round runs allocation-free; a genuine
+        // per-frame leak allocates every round and exhausts the cap,
+        // so this cannot mask a regression.
+        for i in 0.. {
+            assert!(
+                i < 64,
+                "pooled warmup never reached an allocation-free round at {w} workers"
+            );
+            let before = alloc_count();
+            pl.round(mode.par_round_frames);
+            if alloc_count() == before {
+                break;
+            }
+        }
+        let ws0 = pl.worker_stats();
+        let before = alloc_count();
+        let t = Instant::now();
+        for _ in 0..mode.par_rounds {
+            pl.round(mode.par_round_frames);
+        }
+        let wall_s = t.elapsed().as_secs_f64();
+        let allocs = alloc_count() - before;
+        let ws1 = pl.worker_stats();
+        let frames: u64 = ws1.iter().zip(&ws0).map(|(a, b)| a.frames - b.frames).sum();
+        let max_busy = ws1
+            .iter()
+            .zip(&ws0)
+            .map(|(a, b)| a.busy_ns - b.busy_ns)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let apf = allocs as f64 / frames as f64;
+        let wall_pps = frames as f64 / wall_s;
+        let crit_pps = frames as f64 * 1e9 / max_busy as f64;
+        let worker_frames: Vec<String> = ws1
+            .iter()
+            .zip(&ws0)
+            .map(|(a, b)| (a.frames - b.frames).to_string())
+            .collect();
+        eprintln!(
+            "parallel/{w}w: {frames} frames, wall {wall_pps:.0} pps, \
+             critical-path {crit_pps:.0} pps, allocs/frame {apf:.3}"
+        );
+        assert!(
+            allocs == 0,
+            "pooled steady state allocated: {allocs} allocations over {frames} frames at {w} workers"
+        );
+        let _ = writeln!(
+            table,
+            "| {w} | {frames} | {wall_pps:.0} | {crit_pps:.0} | {apf:.3} | {:.2} |",
+            max_busy as f64 / 1e6
+        );
+        rows.push(format!(
+            "{{\"workers\":{w},\"frames\":{frames},\"wall_s\":{wall_s:.4},\"wall_pps\":{wall_pps:.1},\
+             \"critical_path_pps\":{crit_pps:.1},\"allocs_per_frame\":{apf:.3},\
+             \"max_shard_busy_ns\":{max_busy},\"worker_frames\":[{}]}}",
+            worker_frames.join(",")
+        ));
+        crit.push((w, crit_pps));
+    }
+    let one = crit.iter().find(|(w, _)| *w == 1).map(|(_, p)| *p);
+    let eight = crit.iter().find(|(w, _)| *w == 8).map(|(_, p)| *p);
+    let scaling_json = match (one, eight) {
+        (Some(p1), Some(p8)) => {
+            let s = p8 / p1;
+            eprintln!("parallel: critical-path scaling 8v1 = {s:.2}x");
+            assert!(
+                s >= 3.5,
+                "worker pool scaled only {s:.2}x at 8 workers (target >= 3.5x)"
+            );
+            let _ = writeln!(table, "\ncritical-path scaling 8 vs 1 workers: **{s:.2}x**");
+            format!("{s:.3}")
+        }
+        _ => "null".to_string(),
+    };
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/parallel_scaling.md", &table)
+        .expect("write results/parallel_scaling.md");
+    format!(
+        "{{\"batch_frames\":64,\"fids\":{FIDS},\"sweep\":[\n    {}\n  ],\"scaling_8v1\":{scaling_json}}}",
+        rows.join(",\n    ")
+    )
 }
 
 /// End-to-end: one cache client querying a KV server through the
@@ -223,16 +363,18 @@ fn main() {
     let interp = interp_workloads(&mode);
     let alloc = alloc_workloads(&mode);
     let e2e = e2e(&mode);
+    let parallel = parallel(&mode);
     let (apf_opt, apf_ref, decode_cache) = allocs_per_frame(&mode);
 
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"mode\": \"{}\",\n  \"interp\": [\n    {}\n  ],\n  \"alloc\": [\n    {}\n  ],\n  \"e2e\": {},\n  \"allocs_per_frame\": {{\"opt\":{:.3},\"ref\":{:.3}}},\n  \"decode_cache\": {}\n}}\n",
+        "{{\n  \"mode\": \"{}\",\n  \"interp\": [\n    {}\n  ],\n  \"alloc\": [\n    {}\n  ],\n  \"e2e\": {},\n  \"parallel\": {},\n  \"allocs_per_frame\": {{\"opt\":{:.3},\"ref\":{:.3}}},\n  \"decode_cache\": {}\n}}\n",
         mode.label,
         interp.join(",\n    "),
         alloc.join(",\n    "),
         e2e,
+        parallel,
         apf_opt,
         apf_ref,
         decode_cache

@@ -159,7 +159,10 @@ fn run(scale: &Scale) -> TelemetrySnapshot {
     // Mild uniform loss: enough injected faults to land in the
     // journal, few enough that the ring keeps the reallocation events.
     let plan = FaultPlan::uniform_loss(1, 7);
-    let mut node = SwitchNode::new(SWITCH, cfg, Scheme::WorstFit);
+    // Run the sharded worker pool so the dump also carries the
+    // parallel-plane surface: per-worker frame/batch/handoff counters
+    // that verify() below checks sum to the global totals.
+    let mut node = SwitchNode::with_workers(SWITCH, cfg, Scheme::WorstFit, 2);
     // Two controller kill/restart cycles mid-run, so the snapshot also
     // carries the crash-recovery surface: recoveries, repairs, the
     // modeled recovery latency, and the Recovered journal event.
@@ -199,11 +202,20 @@ fn run(scale: &Scale) -> TelemetrySnapshot {
     // require a clean bill. Open world: the rogue host's FID reaches
     // the decode cache without ever being admitted.
     let node = sim.switch();
-    let violations = check_invariants_assuming(
+    let mut violations = check_invariants_assuming(
         node.controller(),
-        node.runtime(),
+        node.plane(),
         TrafficAssumption::OpenWorld,
     );
+    // Audit every shard replica too: each worker's protection tables
+    // and decode cache must independently agree with the controller.
+    node.for_each_runtime(|_, rt| {
+        violations.extend(check_invariants_assuming(
+            node.controller(),
+            rt,
+            TrafficAssumption::OpenWorld,
+        ));
+    });
     report_violations(node.telemetry(), scale.run_ns, &violations);
     for v in &violations {
         eprintln!("# obsdump invariant violation: {v}");
@@ -298,6 +310,23 @@ fn verify(snap: &TelemetrySnapshot) -> Result<(), String> {
         snap.has_event(|e| matches!(e, EventKind::Recovered { .. })),
         "a crash-recovery journal event",
     )?;
+    // The parallel plane's per-worker ledger must balance: every frame
+    // the global (shared-cell) counter saw was executed by exactly one
+    // worker, so the per-worker counters must sum to it.
+    let mut workers = 0usize;
+    let mut worker_frames = 0u64;
+    while let Some(f) = snap.counter(&format!("worker.{workers}.frames")) {
+        worker_frames += f;
+        workers += 1;
+    }
+    require(workers >= 2, "per-worker counters (worker pool enabled)")?;
+    let global_frames = snap.counter("runtime.frames").unwrap_or(0);
+    if worker_frames != global_frames {
+        return Err(format!(
+            "per-worker frame counters sum to {worker_frames} but the \
+             global runtime.frames counter reads {global_frames}"
+        ));
+    }
     let violations = snap.counter("modelcheck.invariant_violations");
     require(
         violations.is_some(),

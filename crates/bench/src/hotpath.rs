@@ -11,7 +11,10 @@
 
 use activermt_client::asm::assemble;
 use activermt_core::alloc::{AccessPattern, Allocator, AllocatorConfig, MutantPolicy, Scheme};
-use activermt_core::runtime::{SwitchOutput, SwitchRuntime};
+use activermt_core::runtime::{
+    DataPlane, ShardedExecutor, SwitchOutput, SwitchRuntime, TaggedOutput, WorkerStats,
+    DEFAULT_BATCH_FRAMES,
+};
 use activermt_core::SwitchConfig;
 use activermt_isa::wire::{build_program_packet, RegionEntry};
 use activermt_isa::{Opcode, Program, ProgramBuilder};
@@ -204,6 +207,85 @@ impl HotLoop {
     }
 }
 
+/// Drives many flows through a [`ShardedExecutor`] while recycling
+/// every buffer, the parallel analogue of [`HotLoop`]: `num_fids`
+/// active flows (each granted the full register space in every stage,
+/// like [`runtime_with_grants`]) are enqueued round-robin, dispatched
+/// in batches to the worker pool, and every output frame returns to a
+/// freelist. After a few warm-up rounds the batch containers, output
+/// vectors and frame buffers all come from recycled capacity, so
+/// steady-state rounds perform zero heap allocations on the dispatcher
+/// *and* on every worker thread.
+pub struct PooledLoop {
+    /// The worker pool under test.
+    pub ex: ShardedExecutor,
+    /// Telemetry hub the pool's counters are registered with (kept
+    /// bound during the loop, as deployed).
+    pub telemetry: Telemetry,
+    pristine: Vec<Vec<u8>>,
+    freelist: Vec<Vec<u8>>,
+    out: Vec<TaggedOutput>,
+    next_fid: usize,
+}
+
+impl PooledLoop {
+    /// Bring up `workers` workers and `num_fids` flows running
+    /// `program` (frames encoded once up front, one per FID).
+    pub fn new(workers: usize, num_fids: u16, program: &Program, payload: &[u8]) -> PooledLoop {
+        let mut ex = ShardedExecutor::new(SwitchConfig::default(), workers, DEFAULT_BATCH_FRAMES);
+        let telemetry = Telemetry::new();
+        ex.bind_telemetry(&telemetry);
+        let mut pristine = Vec::with_capacity(usize::from(num_fids));
+        for i in 0..num_fids {
+            let fid = 100 + i;
+            for s in 0..20 {
+                ex.install_region(
+                    s,
+                    fid,
+                    RegionEntry {
+                        start: 0,
+                        end: 65_536,
+                    },
+                );
+            }
+            pristine.push(build_program_packet(
+                SERVER, CLIENT, fid, 1, program, payload,
+            ));
+        }
+        PooledLoop {
+            ex,
+            telemetry,
+            pristine,
+            freelist: Vec::new(),
+            out: Vec::new(),
+            next_fid: 0,
+        }
+    }
+
+    /// Enqueue `frames` frames (cycling through the FIDs), drain every
+    /// output and recycle all buffers. Allocation-free at steady state.
+    pub fn round(&mut self, frames: usize) {
+        for _ in 0..frames {
+            let pristine = &self.pristine[self.next_fid];
+            self.next_fid = (self.next_fid + 1) % self.pristine.len();
+            let mut buf = self.freelist.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(pristine);
+            self.ex.enqueue(0, buf);
+        }
+        self.ex.drain_into(&mut self.out);
+        for t in self.out.drain(..) {
+            self.freelist.push(t.output.frame);
+        }
+    }
+
+    /// Per-worker counter snapshots, in shard order.
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.ex.worker_stats()
+    }
+}
+
 /// An allocator preloaded with 30 mixed residents, matching the
 /// Criterion admission benches.
 pub fn loaded_allocator(cfg: &SwitchConfig) -> Allocator {
@@ -266,6 +348,20 @@ mod tests {
         assert_eq!(hl.rt.stats().malformed_drops, 0);
         let ds = hl.rt.decode_stats();
         assert!(ds.hits >= 3, "steady state must hit the decode cache");
+    }
+
+    #[test]
+    fn pooled_loop_rounds_and_counters() {
+        let mut pl = PooledLoop::new(2, 8, &cache_query(), b"GET k");
+        for _ in 0..3 {
+            pl.round(256);
+        }
+        let ws = pl.worker_stats();
+        assert_eq!(ws.len(), 2);
+        let total: u64 = ws.iter().map(|s| s.frames).sum();
+        assert_eq!(total, 3 * 256, "every enqueued frame was executed");
+        assert!(ws.iter().all(|s| s.frames > 0), "both shards saw work");
+        assert_eq!(pl.ex.stats().malformed_drops, 0);
     }
 
     #[test]

@@ -25,15 +25,31 @@ use crate::types::Fid;
 use activermt_rmt::tcam::range_prefix_count;
 use activermt_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-arrival feasibility memos. Mutants of one arrival differ only in
-/// a stage shift, so the same `(stage, demand)` probes and the same
-/// register ranges are priced over and over; within one admission the
-/// pools do not change, so every result can be memoized. A memo hit is
-/// exactly the "dominated candidate" skip: a candidate whose stage set
-/// was already probed (under any earlier candidate) costs nothing.
-#[derive(Debug, Default)]
+/// Feasibility memos for the incremental search. Mutants of one arrival
+/// differ only in a stage shift, so the same `(stage, demand)` probes
+/// and the same register ranges are priced over and over; within one
+/// admission the pools do not change, so every result can be memoized.
+/// A memo hit is exactly the "dominated candidate" skip: a candidate
+/// whose stage set was already probed (under any earlier candidate)
+/// costs nothing.
+///
+/// Invalidation granularity differs per table. `mem` and `tcam` depend
+/// on pool state and are valid for exactly one arrival: they are
+/// *cleared* (capacity retained — no per-arrival rehash allocations)
+/// at the next admission. `prefix` memoizes `range_prefix_count` and
+/// `candidates` memoizes the whole mutant enumeration + dedup of a
+/// `(pattern, policy)` pair — both pure functions of their keys (the
+/// pool state never enters them), so they persist across arrivals with
+/// **no** invalidation. The candidate memo is what fixed the `mc_hh`
+/// regression: that workload's ranked probe loop accepts the first
+/// candidate, so the per-arrival tables had nothing to amortize and the
+/// (shared) enumeration cost dominated — caching at the wrong (per
+/// arrival) granularity made the incremental search pay memo overhead
+/// for zero savings.
+#[derive(Debug, Default, Clone)]
 struct FeasMemo {
     /// `(stage, demand) → does the block pool fit it` (demand is 0 for
     /// elastic arrivals — the probe is demand-independent).
@@ -42,7 +58,90 @@ struct FeasMemo {
     tcam: HashMap<(usize, u16), bool>,
     /// `(lo, hi) → range_prefix_count(lo, hi)` for TCAM pricing.
     prefix: HashMap<(u32, u32), usize>,
+    /// `(pattern, policy) → enumerated + deduplicated candidates`.
+    /// A switch serves a handful of distinct services, so a short
+    /// linear-scanned list beats hashing the whole pattern.
+    candidates: Vec<(AccessPattern, MutantPolicy, Arc<CandidateSet>)>,
 }
+
+impl FeasMemo {
+    /// The enumerated candidate set for `(pattern, policy)`, served
+    /// from the persistent memo (FIFO-evicted at
+    /// [`CANDIDATE_MEMO_CAP`]).
+    fn candidate_set(
+        &mut self,
+        cfg: &AllocatorConfig,
+        pattern: &AccessPattern,
+        policy: MutantPolicy,
+    ) -> Arc<CandidateSet> {
+        if let Some((_, _, set)) = self
+            .candidates
+            .iter()
+            .find(|(p, pol, _)| *pol == policy && p == pattern)
+        {
+            return Arc::clone(set);
+        }
+        let set = Arc::new(CandidateSet::build(cfg, pattern, policy));
+        if self.candidates.len() >= CANDIDATE_MEMO_CAP {
+            self.candidates.remove(0);
+        }
+        self.candidates
+            .push((pattern.clone(), policy, Arc::clone(&set)));
+        set
+    }
+}
+
+/// The mutant enumeration of one `(pattern, policy)` pair, with
+/// interchangeable paddings deduplicated: distinct paddings that land
+/// the accesses in the same stages with the same demands are equivalent
+/// for allocation purposes, so only the first (lowest enumeration
+/// index) survives. Pure in the pool state, hence cacheable across
+/// arrivals.
+#[derive(Debug)]
+struct CandidateSet {
+    /// The full enumeration (indexed by the dedup entries).
+    mutants: Vec<Mutant>,
+    /// Deduplicated candidates in enumeration order.
+    dedup: Vec<DedupCandidate>,
+}
+
+/// One deduplicated candidate: the representative mutant's pass count,
+/// its enumeration index, and its per-stage block demands.
+#[derive(Debug)]
+struct DedupCandidate {
+    passes: u32,
+    idx: usize,
+    stages: Vec<(usize, u16)>,
+}
+
+impl CandidateSet {
+    fn build(cfg: &AllocatorConfig, pattern: &AccessPattern, policy: MutantPolicy) -> CandidateSet {
+        let mutants = cfg.mutant_space().enumerate(pattern, policy);
+        let mut seen: HashSet<(Vec<(usize, u16)>, u32)> = HashSet::new();
+        let mut dedup = Vec::new();
+        for (idx, mutant) in mutants.iter().enumerate() {
+            let stages = mutant.stage_demands(&pattern.demands);
+            if !seen.insert((stages.clone(), mutant.passes)) {
+                continue;
+            }
+            dedup.push(DedupCandidate {
+                passes: mutant.passes,
+                idx,
+                stages,
+            });
+        }
+        CandidateSet { mutants, dedup }
+    }
+}
+
+/// Bound on the persistent prefix-price memo. Ranges are block-aligned
+/// so real workloads stay orders of magnitude below this; the cap only
+/// guards pathological churn.
+const PREFIX_MEMO_CAP: usize = 65_536;
+
+/// Bound on the persistent candidate-enumeration memo (distinct
+/// `(pattern, policy)` pairs — i.e. distinct services — kept).
+const CANDIDATE_MEMO_CAP: usize = 16;
 
 /// Allocator dimensions and policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +234,9 @@ pub struct Allocator {
     pools: Vec<StagePool>,
     apps: BTreeMap<Fid, AppRecord>,
     accounting: AllocAccounting,
+    /// Reused across admissions: `mem`/`tcam` are cleared per arrival,
+    /// `prefix` persists (see [`FeasMemo`]).
+    memo: FeasMemo,
 }
 
 /// One FID's admission ledger (a row of the allocator's accounting).
@@ -197,6 +299,7 @@ impl Allocator {
             pools,
             apps: BTreeMap::new(),
             accounting: AllocAccounting::default(),
+            memo: FeasMemo::default(),
         }
     }
 
@@ -388,32 +491,52 @@ impl Allocator {
         }
         pattern.validate()?;
 
-        let mutants = self.cfg.mutant_space().enumerate(pattern, policy);
-        let mutants_considered = mutants.len();
-        if mutants.is_empty() {
+        // Take the allocator-resident memo for the admission (a local
+        // sidesteps the &self/&mut-field borrow conflict). The
+        // pool-state-dependent tables are invalidated per arrival; the
+        // pure prefix-price and candidate-enumeration tables persist.
+        let mut memo = std::mem::take(&mut self.memo);
+        if incremental {
+            memo.mem.clear();
+            memo.tcam.clear();
+            if memo.prefix.len() > PREFIX_MEMO_CAP {
+                memo.prefix.clear();
+            }
+        }
+
+        // Enumeration + dedup is pure in the pool state, so the
+        // incremental path serves it from the persistent memo; the
+        // reference path rebuilds it from scratch every arrival.
+        let cset = if incremental {
+            memo.candidate_set(&self.cfg, pattern, policy)
+        } else {
+            Arc::new(CandidateSet::build(&self.cfg, pattern, policy))
+        };
+        let mutants_considered = cset.mutants.len();
+        if cset.mutants.is_empty() {
+            self.memo = memo;
             return Err(AdmitError::NoFeasibleMutant);
         }
 
-        // Deduplicate by (stage demands, passes): distinct paddings that
-        // land the accesses in the same stages are interchangeable for
-        // allocation purposes. Scheme costs are cheap to evaluate, so
-        // candidates are ranked first and feasibility (which must
-        // trial-apply pool changes to price the protection TCAM) is
-        // probed lazily in rank order: the first feasible candidate in
-        // `(cost, passes, enumeration order)` is exactly the candidate
-        // an exhaustive scan would select.
-        // (cost, passes, enumeration index, per-stage demands)
-        type Candidate = (i64, u32, usize, Vec<(usize, u16)>);
-        let mut seen: HashSet<(Vec<(usize, u16)>, u32)> = HashSet::new();
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for (idx, mutant) in mutants.iter().enumerate() {
-            let stages = mutant.stage_demands(&pattern.demands);
-            if !seen.insert((stages.clone(), mutant.passes)) {
-                continue;
-            }
-            let cost = self.cfg.scheme.cost(&self.pools, &stages, pattern.elastic);
-            candidates.push((cost, mutant.passes, idx, stages));
-        }
+        // Scheme costs are cheap to evaluate (and pool-dependent, so
+        // re-scored every arrival); candidates are ranked first and
+        // feasibility (which must trial-apply pool changes to price the
+        // protection TCAM) is probed lazily in rank order: the first
+        // feasible candidate in `(cost, passes, enumeration order)` is
+        // exactly the candidate an exhaustive scan would select.
+        // (cost, passes, enumeration index, dedup index)
+        let mut ranked: Vec<(i64, u32, usize, usize)> = cset
+            .dedup
+            .iter()
+            .enumerate()
+            .map(|(di, c)| {
+                let cost = self
+                    .cfg
+                    .scheme
+                    .cost(&self.pools, &c.stages, pattern.elastic);
+                (cost, c.passes, c.idx, di)
+            })
+            .collect();
         if self.cfg.scheme != Scheme::FirstFit {
             // Scheme preference dominates; recirculation passes break
             // ties (least-constrained deliberately trades extra passes
@@ -421,24 +544,24 @@ impl Allocator {
             // enumeration order. FirstFit keeps pure enumeration order:
             // "greedily selects the first available memory region in
             // the systematic enumeration sequence".
-            candidates.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+            ranked.sort_unstable_by_key(|a| (a.0, a.1, a.2));
         }
 
-        let mut memo = FeasMemo::default();
         let mut feasible_candidates = 0usize;
         let mut saw_memory_fail = false;
         let mut saw_tcam_fail = false;
-        let mut chosen: Option<(usize, Vec<(usize, u16)>)> = None;
-        for (_, _, idx, stages) in candidates {
+        let mut chosen: Option<(usize, usize)> = None;
+        for (_, _, idx, di) in ranked {
+            let stages = &cset.dedup[di].stages;
             let probe = if incremental {
-                self.candidate_feasible_cached(&stages, pattern.elastic, &mut memo)
+                self.candidate_feasible_cached(stages, pattern.elastic, &mut memo)
             } else {
-                self.candidate_feasible(&stages, pattern.elastic)
+                self.candidate_feasible(stages, pattern.elastic)
             };
             match probe {
                 Ok(()) => {
                     feasible_candidates += 1;
-                    chosen = Some((idx, stages));
+                    chosen = Some((idx, di));
                     break;
                 }
                 Err(AdmitError::OutOfMemory) => saw_memory_fail = true,
@@ -446,8 +569,9 @@ impl Allocator {
                 Err(_) => {}
             }
         }
+        self.memo = memo;
 
-        let (best_idx, stages) = chosen.ok_or(if saw_tcam_fail && !saw_memory_fail {
+        let (best_idx, best_di) = chosen.ok_or(if saw_tcam_fail && !saw_memory_fail {
             AdmitError::OutOfTcam
         } else if saw_memory_fail {
             AdmitError::OutOfMemory
@@ -455,8 +579,8 @@ impl Allocator {
             AdmitError::NoFeasibleMutant
         })?;
 
-        let mutant = mutants[best_idx].clone();
-        let victims = self.apply(fid, &stages, pattern.elastic);
+        let mutant = cset.mutants[best_idx].clone();
+        let victims = self.apply(fid, &cset.dedup[best_di].stages, pattern.elastic);
         self.apps.insert(
             fid,
             AppRecord {
@@ -513,7 +637,9 @@ impl Allocator {
         elastic: bool,
         memo: &mut FeasMemo,
     ) -> Result<(), AdmitError> {
-        let FeasMemo { mem, tcam, prefix } = memo;
+        let FeasMemo {
+            mem, tcam, prefix, ..
+        } = memo;
         // Memory first, TCAM second — mirroring the uncached probe so
         // the OutOfMemory/OutOfTcam error priority is preserved.
         for &(s, demand) in stages {

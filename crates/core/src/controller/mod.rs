@@ -27,7 +27,7 @@ use crate::alloc::{AccessPattern, AllocOutcome, Allocator, AllocatorConfig, Muta
 use crate::config::SwitchConfig;
 use crate::error::CoreError;
 use crate::oplog::{OpLog, OpRecord};
-use crate::runtime::{ProtEntry, SwitchRuntime};
+use crate::runtime::{DataPlane, ProtEntry, SwitchRuntime};
 use crate::types::Fid;
 use activermt_analysis::{
     check_mutant_equivalence, pad_to_positions, verify, AnalysisContext, Assumptions, FindingKind,
@@ -530,7 +530,7 @@ impl Controller {
     /// path.
     pub fn handle_request(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         pattern: AccessPattern,
         policy: MutantPolicy,
@@ -547,7 +547,7 @@ impl Controller {
     /// request is answered as failed.
     pub fn handle_request_with_program(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         pattern: AccessPattern,
         policy: MutantPolicy,
@@ -654,7 +654,7 @@ impl Controller {
     /// [`Controller::handle_snapshot_complete_fenced`]).
     pub fn handle_snapshot_complete(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
@@ -673,7 +673,7 @@ impl Controller {
     /// tables before the victim actually quiesced.
     pub fn handle_snapshot_complete_fenced(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         fence: u16,
         now_ns: u64,
@@ -718,7 +718,7 @@ impl Controller {
     /// A client relinquishes its allocation (service departure).
     pub fn handle_deallocate(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         now_ns: u64,
     ) -> Result<Vec<ControllerAction>, CoreError> {
@@ -790,7 +790,7 @@ impl Controller {
     /// timeout — and keeps being told about them — rather than being
     /// silently abandoned; the queued requester is admitted on the same
     /// poll.
-    pub fn poll(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+    pub fn poll(&mut self, runtime: &mut dyn DataPlane, now_ns: u64) -> Vec<ControllerAction> {
         #[cfg(debug_assertions)]
         self.debug_check_invariants(runtime);
         let mut acts = Vec::new();
@@ -956,7 +956,7 @@ impl Controller {
     /// Every repair is journaled and counted; the whole pass is charged
     /// a modeled latency into `controller.recovery_ns` (replayed
     /// records plus repaired table entries — never wall-clock).
-    pub fn reconcile(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+    pub fn reconcile(&mut self, runtime: &mut dyn DataPlane, now_ns: u64) -> Vec<ControllerAction> {
         let mut stats = RecoveryStats::default();
         let mut repaired_entries = 0usize;
         // Scrub protection entries the rebuilt ledger does not grant —
@@ -1126,8 +1126,8 @@ impl Controller {
     /// mutation tests exist precisely to drive the state invalid and
     /// let the full engine catch it.
     #[cfg(debug_assertions)]
-    fn debug_check_invariants(&self, runtime: &SwitchRuntime) {
-        if self.seeded_bug.is_some() || runtime.skip_decode_invalidation {
+    fn debug_check_invariants(&self, runtime: &dyn DataPlane) {
+        if self.seeded_bug.is_some() || runtime.decode_invalidation_disabled() {
             return;
         }
         for (stage, pool) in self.allocator.pools().iter().enumerate() {
@@ -1154,7 +1154,7 @@ impl Controller {
 
     fn start_admission(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         pattern: AccessPattern,
         policy: MutantPolicy,
@@ -1340,7 +1340,7 @@ impl Controller {
     /// tables, journal the event, and answer the requester as failed.
     fn reject_verified(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         fid: Fid,
         reason: VerifyRejectReason,
         detail: &str,
@@ -1405,7 +1405,7 @@ impl Controller {
     /// newcomer's memory, reactivate victims, respond, report.
     fn finish_pending(
         &mut self,
-        runtime: &mut SwitchRuntime,
+        runtime: &mut dyn DataPlane,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
         let Some(pending) = self.pending.take() else {
@@ -1539,7 +1539,7 @@ impl Controller {
 
     /// Re-install an application's protection entries from the
     /// allocator's current placements; returns table entries touched.
-    fn sync_app_tables(&mut self, runtime: &mut SwitchRuntime, fid: Fid) -> usize {
+    fn sync_app_tables(&mut self, runtime: &mut dyn DataPlane, fid: Fid) -> usize {
         let block_regs = self.allocator.config().block_regs;
         let placements = self.allocator.placements_of(fid);
         let mut entries = 0usize;
@@ -1561,7 +1561,7 @@ impl Controller {
     }
 
     /// Admit queued requests now that the controller is idle again.
-    fn drain_queue(&mut self, runtime: &mut SwitchRuntime, now_ns: u64) -> Vec<ControllerAction> {
+    fn drain_queue(&mut self, runtime: &mut dyn DataPlane, now_ns: u64) -> Vec<ControllerAction> {
         let mut acts = Vec::new();
         while self.pending.is_none() {
             let Some(q) = self.queue.pop_front() else {

@@ -34,7 +34,10 @@ pub use alloc::{AccessPattern, AllocOutcome, Allocator, MutantPolicy, Scheme};
 pub use config::SwitchConfig;
 pub use controller::{Controller, ControllerAction, RecoveryStats, SeededBug, VerifyStats};
 pub use oplog::{FileSink, LogSink, OpLog, OpRecord};
-pub use runtime::{OutputAction, SwitchOutput, SwitchRuntime};
+pub use runtime::{
+    DataPlane, FrameBatch, OutputAction, ShardedExecutor, SwitchOutput, SwitchRuntime,
+    TaggedOutput, WorkerStats,
+};
 
 pub use error::{AdmitError, CoreError};
 

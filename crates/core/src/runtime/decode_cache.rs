@@ -235,6 +235,19 @@ impl DecodeCache {
         Ok(self.map.entry(key).insert_entry(entry).into_mut())
     }
 
+    /// Re-attach this cache's counters to `other`'s cells (the opposite
+    /// of `Clone`, which detaches). Shard replicas in the parallel
+    /// executor share decode-cache counters so `decode_cache.*` metrics
+    /// aggregate across workers.
+    pub(crate) fn adopt_counters(&mut self, other: &DecodeCache) {
+        self.stats = CacheCounters {
+            hits: Counter::clone(&other.stats.hits),
+            misses: Counter::clone(&other.stats.misses),
+            invalidations: Counter::clone(&other.stats.invalidations),
+            evictions: Counter::clone(&other.stats.evictions),
+        };
+    }
+
     /// FIDs with at least one resident entry, sorted and deduplicated.
     /// The invariant engine compares this set against the protection
     /// tables: a cached decode for a FID the control plane no longer

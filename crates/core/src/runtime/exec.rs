@@ -79,6 +79,88 @@ pub struct SwitchOutput {
     pub dst_override: Option<u32>,
 }
 
+/// One frame queued for batched execution: an opaque caller tag (the
+/// dispatcher's global sequence number — outputs are re-sorted by it so
+/// pooled runs emit in the same order as a single-threaded run), the
+/// virtual arrival time, and the frame bytes.
+#[derive(Debug)]
+pub struct FrameJob {
+    /// Caller-chosen ordering tag (global enqueue sequence number).
+    pub tag: u64,
+    /// Virtual arrival time of the frame, ns.
+    pub at_ns: u64,
+    /// The raw Ethernet frame.
+    pub frame: Vec<u8>,
+}
+
+/// One output of a batched run, tagged with the job that produced it.
+#[derive(Debug, Clone)]
+pub struct TaggedOutput {
+    /// The tag of the [`FrameJob`] this output came from.
+    pub tag: u64,
+    /// Position among the outputs of the same job (a FORK emits two).
+    /// Sorting by `(tag, ord)` with a non-allocating unstable sort
+    /// restores the exact single-threaded emission order.
+    pub ord: u8,
+    /// Virtual arrival time of the originating frame, ns.
+    pub at_ns: u64,
+    /// The switch output itself.
+    pub output: SwitchOutput,
+}
+
+/// A reusable batch of frames for [`SwitchRuntime::process_frames_into`].
+///
+/// The batch owns both the job queue and a scratch output buffer, so a
+/// warm batch that round-trips between a dispatcher and a worker costs
+/// zero heap allocations per frame: `push` reuses the jobs vector's
+/// capacity, and per-frame outputs land in the retained scratch before
+/// being appended to the caller's tagged-output buffer.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    jobs: Vec<FrameJob>,
+    scratch: Vec<SwitchOutput>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// An empty batch with room for `frames` jobs before reallocating.
+    #[must_use]
+    pub fn with_capacity(frames: usize) -> FrameBatch {
+        FrameBatch {
+            jobs: Vec::with_capacity(frames),
+            scratch: Vec::with_capacity(4),
+        }
+    }
+
+    /// Queue one frame.
+    pub fn push(&mut self, tag: u64, at_ns: u64, frame: Vec<u8>) {
+        self.jobs.push(FrameJob { tag, at_ns, frame });
+    }
+
+    /// Frames currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Is the batch empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Drop any queued jobs, keeping capacity.
+    pub fn clear(&mut self) {
+        self.jobs.clear();
+        self.scratch.clear();
+    }
+}
+
 /// Aggregate runtime statistics (a point-in-time view of the live
 /// counter cells in [`RuntimeCounters`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -142,7 +224,23 @@ impl Clone for RuntimeCounters {
 }
 
 impl RuntimeCounters {
-    fn view(&self) -> RuntimeStats {
+    /// A handle onto the *same* counter cells (the opposite of `Clone`,
+    /// which detaches). Shard replicas in the parallel executor share
+    /// cells so `runtime.*` metrics aggregate across workers for free.
+    pub(crate) fn shared_handle(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            frames: Counter::clone(&self.frames),
+            active_frames: Counter::clone(&self.active_frames),
+            deactivated_passthroughs: Counter::clone(&self.deactivated_passthroughs),
+            violation_drops: Counter::clone(&self.violation_drops),
+            transparent_forwards: Counter::clone(&self.transparent_forwards),
+            privilege_drops: Counter::clone(&self.privilege_drops),
+            recirc_budget_drops: Counter::clone(&self.recirc_budget_drops),
+            malformed_drops: Counter::clone(&self.malformed_drops),
+        }
+    }
+
+    pub(crate) fn view(&self) -> RuntimeStats {
         RuntimeStats {
             frames: self.frames.get(),
             active_frames: self.active_frames.get(),
@@ -770,5 +868,39 @@ impl SwitchRuntime {
             passes,
             dst_override: phv.dst_override,
         });
+    }
+
+    /// Process every queued frame of `batch`, appending tagged outputs
+    /// to `out`. The batch is drained but keeps its capacity, so a
+    /// recycled batch plus a reused `out` preserves the zero-alloc
+    /// steady state; batching amortizes the per-dispatch overhead
+    /// (locks, branch history, decode-cache probes for same-FID runs).
+    pub fn process_frames_into(&mut self, batch: &mut FrameBatch, out: &mut Vec<TaggedOutput>) {
+        let FrameBatch { jobs, scratch } = batch;
+        for job in jobs.drain(..) {
+            scratch.clear();
+            self.process_frame_into(job.at_ns, job.frame, scratch);
+            for (ord, output) in scratch.drain(..).enumerate() {
+                out.push(TaggedOutput {
+                    tag: job.tag,
+                    ord: ord as u8,
+                    at_ns: job.at_ns,
+                    output,
+                });
+            }
+        }
+    }
+
+    /// A shard replica for the parallel executor: a full copy of the
+    /// runtime whose *counter cells* are shared with `self` (plain
+    /// `Clone` detaches them for differential testing). With frames
+    /// sharded by FID and per-FID grants disjoint by construction, each
+    /// replica owns the register state of exactly the FIDs routed to
+    /// it, while `runtime.*` and `decode_cache.*` metrics stay global.
+    pub(crate) fn shard_replica(&self) -> SwitchRuntime {
+        let mut rt = self.clone();
+        rt.stats = self.stats.shared_handle();
+        rt.decode.adopt_counters(&self.decode);
+        rt
     }
 }

@@ -14,16 +14,28 @@
 //! * [`decode_cache`] — the `(fid, bytes-hash) → decoded program` memo
 //!   and fixed-size decode scratch behind the zero-alloc hot path;
 //! * [`reference`] — the uncached decode-every-frame path kept for
-//!   differential testing and speedup measurement.
+//!   differential testing and speedup measurement;
+//! * [`plane`] — the [`DataPlane`] trait: the control-plane hooks the
+//!   controller drives, so a single runtime and the worker pool are
+//!   interchangeable behind it;
+//! * [`parallel`] — the shard-by-FID batched worker pool
+//!   ([`ShardedExecutor`]).
 
 pub mod decode_cache;
 pub mod exec;
 pub mod interp;
+pub mod parallel;
+pub mod plane;
 pub mod protect;
 pub mod recirc;
 pub mod reference;
 
 pub use decode_cache::{DecodeCache, DecodeCacheStats, MAX_INSTRS};
-pub use exec::{FidPacketStats, OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime};
+pub use exec::{
+    FidPacketStats, FrameBatch, FrameJob, OutputAction, RuntimeStats, SwitchOutput, SwitchRuntime,
+    TaggedOutput,
+};
+pub use parallel::{ShardedExecutor, WorkerStats, DEFAULT_BATCH_FRAMES};
+pub use plane::DataPlane;
 pub use protect::{ProtEntry, ProtSlot, ProtectionTables};
 pub use recirc::RecircLimiter;

@@ -1,0 +1,107 @@
+//! The control-plane's view of a data plane.
+//!
+//! The controller does not care whether frames are executed by a single
+//! [`SwitchRuntime`] or by the sharded worker pool in
+//! [`parallel`](crate::runtime::parallel): it only installs and removes
+//! protection regions, quiesces FIDs, and audits the decode cache.
+//! [`DataPlane`] is exactly that surface. `SwitchRuntime` implements it
+//! by delegation; [`ShardedExecutor`](crate::runtime::parallel::ShardedExecutor)
+//! implements it by fencing in-flight batches and broadcasting the
+//! update to every shard — which is what keeps the decode cache
+//! coherent under concurrent control-plane invalidation (the I8
+//! cache-coherence invariant).
+
+use crate::runtime::exec::SwitchRuntime;
+use crate::runtime::protect::ProtectionTables;
+use crate::types::Fid;
+use activermt_isa::wire::RegionEntry;
+
+/// The control-plane hooks a data plane must expose (the subset of
+/// [`SwitchRuntime`]'s surface the [`Controller`](crate::Controller)
+/// actually drives). Implementations that execute frames concurrently
+/// must make every mutating method a *fence*: no frame observes a
+/// half-applied control-plane update, and no stale decode survives the
+/// call.
+pub trait DataPlane {
+    /// Install a protection/translation entry; returns
+    /// `(entries_removed, entries_installed)`.
+    fn install_region(&mut self, stage: usize, fid: Fid, region: RegionEntry) -> (usize, usize);
+
+    /// Remove `fid`'s entry in `stage`; returns entries removed.
+    fn remove_region(&mut self, stage: usize, fid: Fid) -> usize;
+
+    /// Zero the registers of a region (allocation-time initialization).
+    fn clear_region(&mut self, stage: usize, region: RegionEntry);
+
+    /// Quiesce a FID during reallocation (Section 4.3).
+    fn deactivate(&mut self, fid: Fid);
+
+    /// Resume processing for a FID.
+    fn reactivate(&mut self, fid: Fid);
+
+    /// Is the FID currently quiesced?
+    fn is_deactivated(&self, fid: Fid) -> bool;
+
+    /// Every currently quiesced FID, sorted.
+    fn deactivated_fids(&self) -> Vec<Fid>;
+
+    /// FIDs with resident decode-cache entries, sorted.
+    fn decoded_fids(&self) -> Vec<Fid>;
+
+    /// Flush a FID's decode-cache entries (post-recovery scrub).
+    fn invalidate_decode(&mut self, fid: Fid);
+
+    /// The protection tables (controller bookkeeping, invariants).
+    fn protection(&self) -> &ProtectionTables;
+
+    /// Is the testing-only "skip decode invalidation" fault seeded?
+    /// (The invariant engine relaxes the cache-coherence check when a
+    /// bug has deliberately been planted.)
+    fn decode_invalidation_disabled(&self) -> bool;
+}
+
+impl DataPlane for SwitchRuntime {
+    fn install_region(&mut self, stage: usize, fid: Fid, region: RegionEntry) -> (usize, usize) {
+        SwitchRuntime::install_region(self, stage, fid, region)
+    }
+
+    fn remove_region(&mut self, stage: usize, fid: Fid) -> usize {
+        SwitchRuntime::remove_region(self, stage, fid)
+    }
+
+    fn clear_region(&mut self, stage: usize, region: RegionEntry) {
+        SwitchRuntime::clear_region(self, stage, region);
+    }
+
+    fn deactivate(&mut self, fid: Fid) {
+        SwitchRuntime::deactivate(self, fid);
+    }
+
+    fn reactivate(&mut self, fid: Fid) {
+        SwitchRuntime::reactivate(self, fid);
+    }
+
+    fn is_deactivated(&self, fid: Fid) -> bool {
+        SwitchRuntime::is_deactivated(self, fid)
+    }
+
+    fn deactivated_fids(&self) -> Vec<Fid> {
+        SwitchRuntime::deactivated_fids(self)
+    }
+
+    fn decoded_fids(&self) -> Vec<Fid> {
+        SwitchRuntime::decoded_fids(self)
+    }
+
+    fn invalidate_decode(&mut self, fid: Fid) {
+        SwitchRuntime::invalidate_decode(self, fid);
+    }
+
+    fn protection(&self) -> &ProtectionTables {
+        SwitchRuntime::protection(self)
+    }
+
+    fn decode_invalidation_disabled(&self) -> bool {
+        self.skip_decode_invalidation
+    }
+}

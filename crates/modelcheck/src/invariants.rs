@@ -4,8 +4,8 @@
 //! isolation via TCAM range entries (§4), conservation of the per-stage
 //! block pools, and a reallocation protocol that never loses or
 //! double-books memory (§5) — is encoded here as a machine-checkable
-//! predicate over the *real* [`Controller`] and [`SwitchRuntime`]
-//! state. The same engine serves three masters: the bounded explorer
+//! predicate over the *real* [`Controller`] and data-plane
+//! ([`DataPlane`]: a single runtime or the sharded worker pool) state. The same engine serves three masters: the bounded explorer
 //! (exhaustive, small scope), the end-to-end chaos tests (spot checks
 //! at quiesce points), and the property tests (random operation
 //! sequences).
@@ -21,7 +21,7 @@
 
 use activermt_core::alloc::progressive_filling;
 use activermt_core::types::Fid;
-use activermt_core::{Controller, SwitchRuntime};
+use activermt_core::{Controller, DataPlane};
 use activermt_telemetry::{EventKind, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -188,14 +188,14 @@ pub enum TrafficAssumption {
 /// live harnesses with fault injection or rogue hosts should call
 /// [`check_invariants_assuming`] with
 /// [`TrafficAssumption::OpenWorld`].
-pub fn check_invariants(ctl: &Controller, rt: &SwitchRuntime) -> Vec<Violation> {
+pub fn check_invariants(ctl: &Controller, rt: &dyn DataPlane) -> Vec<Violation> {
     check_invariants_assuming(ctl, rt, TrafficAssumption::ClosedWorld)
 }
 
 /// [`check_invariants`] with an explicit traffic assumption.
 pub fn check_invariants_assuming(
     ctl: &Controller,
-    rt: &SwitchRuntime,
+    rt: &dyn DataPlane,
     traffic: TrafficAssumption,
 ) -> Vec<Violation> {
     let mut out = Vec::new();

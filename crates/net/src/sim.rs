@@ -258,6 +258,31 @@ impl Simulation {
                             self.schedule(arrive, EventKind::ToHost(e.dst, f));
                         }
                     }
+                    // A pooled data plane batches frames instead of
+                    // emitting inline. Batch across consecutive
+                    // switch arrivals at the *same* instant only — any
+                    // other next event must observe the frames' effects
+                    // (and their emissions' departure clamping uses
+                    // `self.now`, which a later flush would distort).
+                    let next_is_simultaneous_arrival = matches!(
+                        self.queue.peek(),
+                        Some(Event {
+                            at,
+                            kind: EventKind::ToSwitch(_),
+                            ..
+                        }) if *at <= self.now
+                    );
+                    if !next_is_simultaneous_arrival {
+                        let emissions = self.switch.flush_data_plane(self.now);
+                        for e in emissions {
+                            let depart = e.at_ns.max(self.now);
+                            self.injector.apply_into(depart, e.dst, e.frame, &mut fan);
+                            for f in fan.drain(..) {
+                                let arrive = depart + self.cfg.link_time_ns(f.len());
+                                self.schedule(arrive, EventKind::ToHost(e.dst, f));
+                            }
+                        }
+                    }
                 }
                 EventKind::ToHost(mac, frame) => {
                     if let Some(host) = self.hosts.get_mut(&mac) {

@@ -9,7 +9,9 @@
 use crate::fault::{CrashInjector, CrashPlan, CrashPoint};
 use activermt_core::alloc::{AccessPattern, MutantPolicy, Scheme};
 use activermt_core::controller::{Controller, ControllerAction, ProvisioningReport};
-use activermt_core::runtime::{OutputAction, SwitchRuntime};
+use activermt_core::runtime::{
+    DataPlane, OutputAction, ShardedExecutor, SwitchRuntime, TaggedOutput, DEFAULT_BATCH_FRAMES,
+};
 use activermt_core::types::Fid;
 use activermt_core::{OpLog, SwitchConfig};
 use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
@@ -34,6 +36,25 @@ pub struct SwitchEmission {
     pub frame: Vec<u8>,
 }
 
+/// The data plane behind the node's ports: one runtime, or the
+/// shard-by-FID worker pool. Control traffic reaches the controller
+/// through the [`DataPlane`] trait either way; pooled data frames are
+/// enqueued and their emissions collected via
+/// [`SwitchNode::flush_data_plane`].
+#[derive(Debug)]
+enum Plane {
+    Single(Box<SwitchRuntime>),
+    Pooled(Box<ShardedExecutor>),
+}
+
+/// View the plane as the trait object the controller drives.
+fn plane_dyn(plane: &mut Plane) -> &mut dyn DataPlane {
+    match plane {
+        Plane::Single(rt) => &mut **rt,
+        Plane::Pooled(ex) => &mut **ex,
+    }
+}
+
 /// The combined switch.
 #[derive(Debug)]
 pub struct SwitchNode {
@@ -42,7 +63,7 @@ pub struct SwitchNode {
     /// be rebuilt from scratch plus the op-log.
     cfg: SwitchConfig,
     scheme: Scheme,
-    runtime: SwitchRuntime,
+    plane: Plane,
     controller: Controller,
     /// The controller's write-ahead op-log. The node owns the durable
     /// handle — it survives the controller process the way a file on
@@ -66,6 +87,8 @@ pub struct SwitchNode {
     malformed_control: Counter,
     /// Reused data-plane output buffer (no per-frame Vec).
     out_buf: Vec<activermt_core::runtime::SwitchOutput>,
+    /// Reused pooled-drain buffer (no per-flush Vec).
+    tagged_buf: Vec<TaggedOutput>,
 }
 
 impl SwitchNode {
@@ -73,6 +96,20 @@ impl SwitchNode {
     /// owns a [`Telemetry`] hub; the runtime, controller and the
     /// node's own port-parser counters are all bound to it.
     pub fn new(mac: [u8; 6], cfg: SwitchConfig, scheme: Scheme) -> SwitchNode {
+        SwitchNode::with_workers(mac, cfg, scheme, 1)
+    }
+
+    /// Bring up a switch whose data plane is the shard-by-FID worker
+    /// pool with `workers` threads (`workers <= 1` keeps the classic
+    /// single-threaded runtime). Control traffic behaves identically;
+    /// pooled data frames are batched to the workers and their
+    /// emissions collected with [`SwitchNode::flush_data_plane`].
+    pub fn with_workers(
+        mac: [u8; 6],
+        cfg: SwitchConfig,
+        scheme: Scheme,
+        workers: usize,
+    ) -> SwitchNode {
         let telemetry = Telemetry::new();
         let reg = telemetry.registry();
         let malformed_eth = Counter::new();
@@ -86,11 +123,18 @@ impl SwitchNode {
         let oplog = OpLog::new();
         let mut controller = Controller::with_telemetry(&cfg, scheme, &telemetry);
         controller.attach_oplog(oplog.clone());
+        let plane = if workers <= 1 {
+            Plane::Single(Box::new(SwitchRuntime::with_telemetry(cfg, &telemetry)))
+        } else {
+            let ex = ShardedExecutor::new(cfg, workers, DEFAULT_BATCH_FRAMES);
+            ex.bind_telemetry(&telemetry);
+            Plane::Pooled(Box::new(ex))
+        };
         SwitchNode {
             mac,
             cfg,
             scheme,
-            runtime: SwitchRuntime::with_telemetry(cfg, &telemetry),
+            plane,
             controller,
             oplog,
             crash: None,
@@ -103,7 +147,70 @@ impl SwitchNode {
             malformed_alloc,
             malformed_control,
             out_buf: Vec::with_capacity(2),
+            tagged_buf: Vec::new(),
         }
+    }
+
+    /// Worker threads in the data plane (1 = single-threaded).
+    pub fn workers(&self) -> usize {
+        match &self.plane {
+            Plane::Single(_) => 1,
+            Plane::Pooled(ex) => ex.workers(),
+        }
+    }
+
+    /// Run `f` against every data-plane runtime shard in shard order
+    /// (a single-threaded plane is shard 0). Invariant audits use this
+    /// to check each shard's protection/decode state.
+    pub fn for_each_runtime(&self, mut f: impl FnMut(usize, &SwitchRuntime)) {
+        match &self.plane {
+            Plane::Single(rt) => f(0, rt),
+            Plane::Pooled(ex) => ex.for_each_runtime(f),
+        }
+    }
+
+    /// Per-worker counters, in shard order (empty for a single plane).
+    pub fn worker_stats(&self) -> Vec<activermt_core::WorkerStats> {
+        match &self.plane {
+            Plane::Single(_) => Vec::new(),
+            Plane::Pooled(ex) => ex.worker_stats(),
+        }
+    }
+
+    /// Submit any batched frames to the workers, wait for them, and
+    /// return their emissions in global arrival order. A no-op (empty)
+    /// for the single-threaded plane, whose emissions leave
+    /// [`SwitchNode::handle_frame`] directly.
+    pub fn flush_data_plane(&mut self, _now_ns: u64) -> Vec<SwitchEmission> {
+        let mut outs = std::mem::take(&mut self.tagged_buf);
+        outs.clear();
+        match &mut self.plane {
+            Plane::Single(_) => {
+                self.tagged_buf = outs;
+                return Vec::new();
+            }
+            Plane::Pooled(ex) => ex.drain_into(&mut outs),
+        }
+        let emissions = outs
+            .drain(..)
+            .map(|t| {
+                let dst = match (t.output.dst_override, t.output.action) {
+                    (Some(id), OutputAction::Forward) => self
+                        .ports
+                        .get(&id)
+                        .copied()
+                        .unwrap_or_else(|| frame_dst(&t.output.frame)),
+                    _ => frame_dst(&t.output.frame),
+                };
+                SwitchEmission {
+                    at_ns: t.at_ns + t.output.latency_ns,
+                    dst,
+                    frame: t.output.frame,
+                }
+            })
+            .collect();
+        self.tagged_buf = outs;
+        emissions
     }
 
     /// The switch-wide telemetry hub (bind injectors, take snapshots).
@@ -118,7 +225,7 @@ impl SwitchNode {
     pub fn telemetry_snapshot(&self, now_ns: u64) -> TelemetrySnapshot {
         let mut snap = self.telemetry.snapshot(now_ns);
         let mut rows: BTreeMap<Fid, FidRow> = BTreeMap::new();
-        for (fid, s) in self.runtime.fid_stats() {
+        let mut fid_row = |fid: Fid, s: &activermt_core::runtime::FidPacketStats| {
             let r = rows.entry(fid).or_insert_with(|| FidRow {
                 fid,
                 ..FidRow::default()
@@ -127,6 +234,18 @@ impl SwitchNode {
             r.recirculations = s.recirculations;
             r.denials = s.denials;
             r.malformed = s.malformed;
+        };
+        match &self.plane {
+            Plane::Single(rt) => {
+                for (fid, s) in rt.fid_stats() {
+                    fid_row(fid, s);
+                }
+            }
+            Plane::Pooled(ex) => {
+                for (fid, s) in &ex.fid_stats_merged() {
+                    fid_row(*fid, s);
+                }
+            }
         }
         let alloc = self.controller.allocator();
         for (fid, a) in alloc.fid_accounting() {
@@ -139,7 +258,7 @@ impl SwitchNode {
             r.rejected = a.rejected;
             r.reallocations = a.victim_events;
         }
-        for fid in self.runtime.protection().resident_fids() {
+        for fid in self.protection().resident_fids() {
             let placements = alloc.placements_of(fid);
             let r = rows.entry(fid).or_insert_with(|| FidRow {
                 fid,
@@ -170,14 +289,58 @@ impl SwitchNode {
         self.ports.insert(id, mac);
     }
 
-    /// The data-plane runtime (inspection).
+    /// The data-plane runtime (inspection). Only valid on the
+    /// single-threaded plane; pooled nodes expose their shards through
+    /// [`SwitchNode::for_each_runtime`].
+    ///
+    /// # Panics
+    /// Panics if the node runs the worker pool.
     pub fn runtime(&self) -> &SwitchRuntime {
-        &self.runtime
+        match &self.plane {
+            Plane::Single(rt) => rt,
+            Plane::Pooled(_) => {
+                panic!("SwitchNode::runtime() on a pooled node; use for_each_runtime()")
+            }
+        }
     }
 
     /// Mutable runtime access (tests and manual provisioning).
+    ///
+    /// # Panics
+    /// Panics if the node runs the worker pool.
     pub fn runtime_mut(&mut self) -> &mut SwitchRuntime {
-        &mut self.runtime
+        match &mut self.plane {
+            Plane::Single(rt) => rt,
+            Plane::Pooled(_) => {
+                panic!("SwitchNode::runtime_mut() on a pooled node; use for_each_runtime()")
+            }
+        }
+    }
+
+    /// The data plane behind its control-plane trait — works for both
+    /// the single runtime and the worker pool (invariant audits,
+    /// modelcheck entry points).
+    pub fn plane(&self) -> &dyn DataPlane {
+        match &self.plane {
+            Plane::Single(rt) => &**rt,
+            Plane::Pooled(ex) => &**ex,
+        }
+    }
+
+    /// The data plane's protection tables (either plane).
+    pub fn protection(&self) -> &activermt_core::runtime::ProtectionTables {
+        match &self.plane {
+            Plane::Single(rt) => rt.protection(),
+            Plane::Pooled(ex) => DataPlane::protection(&**ex),
+        }
+    }
+
+    /// Aggregate runtime statistics (either plane).
+    pub fn runtime_stats(&self) -> activermt_core::runtime::RuntimeStats {
+        match &self.plane {
+            Plane::Single(rt) => rt.stats(),
+            Plane::Pooled(ex) => ex.stats(),
+        }
     }
 
     /// The controller (inspection).
@@ -221,7 +384,9 @@ impl SwitchNode {
         let mut fresh = Controller::recover(&self.oplog, &self.cfg, self.scheme);
         fresh.bind_telemetry(&self.telemetry);
         self.controller = fresh;
-        let actions = self.controller.reconcile(&mut self.runtime, now_ns);
+        let actions = self
+            .controller
+            .reconcile(plane_dyn(&mut self.plane), now_ns);
         self.actions_to_emissions(now_ns, actions)
     }
 
@@ -238,7 +403,7 @@ impl SwitchNode {
             + self.malformed_active.get()
             + self.malformed_alloc.get()
             + self.malformed_control.get()
-            + self.runtime.stats().malformed_drops
+            + self.runtime_stats().malformed_drops
     }
 
     /// Malformed drops broken down by parse layer:
@@ -260,7 +425,7 @@ impl SwitchNode {
 
     /// Periodic controller poll (timeouts, queued admissions).
     pub fn poll(&mut self, now_ns: u64) -> Vec<SwitchEmission> {
-        let actions = self.controller.poll(&mut self.runtime, now_ns);
+        let actions = self.controller.poll(plane_dyn(&mut self.plane), now_ns);
         self.finish(now_ns, actions)
     }
 
@@ -325,7 +490,7 @@ impl SwitchNode {
                 match pattern {
                     Ok(p) => {
                         let actions = self.controller.handle_request_with_program(
-                            &mut self.runtime,
+                            plane_dyn(&mut self.plane),
                             fid,
                             p,
                             policy,
@@ -347,7 +512,7 @@ impl SwitchNode {
                     // the DeactivateNotice; a stale token (an earlier
                     // round's, or a pre-crash controller's) is rejected.
                     let actions = self.controller.handle_snapshot_complete_fenced(
-                        &mut self.runtime,
+                        plane_dyn(&mut self.plane),
                         fid,
                         hdr.seq(),
                         now_ns,
@@ -357,7 +522,7 @@ impl SwitchNode {
                 Ok(ControlOp::Deallocate) => {
                     match self
                         .controller
-                        .handle_deallocate(&mut self.runtime, fid, now_ns)
+                        .handle_deallocate(plane_dyn(&mut self.plane), fid, now_ns)
                     {
                         Ok(actions) => self.finish(now_ns, actions),
                         Err(_) => Vec::new(), // busy: client retries
@@ -390,15 +555,25 @@ impl SwitchNode {
             eth.swap_addresses();
             let dst = eth.dst();
             return vec![SwitchEmission {
-                at_ns: now_ns + 2 * self.runtime.config().pass_latency_ns,
+                at_ns: now_ns + 2 * self.cfg.pass_latency_ns,
                 dst,
                 frame,
             }];
         }
+        // Pooled plane: queue the frame for its shard; emissions are
+        // collected (in arrival order, with arrival-relative latencies)
+        // at the next flush or control-plane fence.
+        if let Plane::Pooled(ex) = &mut self.plane {
+            ex.enqueue(now_ns, frame);
+            return Vec::new();
+        }
         // The output buffer is a reused field: taken for the borrow,
         // drained into emissions, put back with its capacity intact.
         let mut outs = std::mem::take(&mut self.out_buf);
-        self.runtime.process_frame_into(now_ns, frame, &mut outs);
+        let Plane::Single(rt) = &mut self.plane else {
+            unreachable!("pooled plane handled above")
+        };
+        rt.process_frame_into(now_ns, frame, &mut outs);
         let emissions = outs
             .drain(..)
             .map(|out| {

@@ -64,6 +64,18 @@ pub struct StageStats {
     pub skipped: u64,
 }
 
+impl StageStats {
+    /// Fold `other` into `self`, field by field. Used to aggregate
+    /// stats across stages and, in the sharded executor, across the
+    /// per-worker pipeline replicas.
+    pub fn merge(&mut self, other: StageStats) {
+        self.instructions += other.instructions;
+        self.memory_ops += other.memory_ops;
+        self.violations += other.violations;
+        self.skipped += other.skipped;
+    }
+}
+
 /// One logical match-action stage.
 #[derive(Debug, Clone)]
 pub struct Stage {
@@ -146,10 +158,7 @@ impl Pipeline {
     pub fn total_stats(&self) -> StageStats {
         let mut agg = StageStats::default();
         for s in &self.stages {
-            agg.instructions += s.stats.instructions;
-            agg.memory_ops += s.stats.memory_ops;
-            agg.violations += s.stats.violations;
-            agg.skipped += s.stats.skipped;
+            agg.merge(s.stats);
         }
         agg
     }
@@ -193,6 +202,31 @@ mod tests {
         let agg = p.total_stats();
         assert_eq!(agg.instructions, 12);
         assert_eq!(agg.violations, 1);
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_sum() {
+        let mut a = StageStats {
+            instructions: 1,
+            memory_ops: 2,
+            violations: 3,
+            skipped: 4,
+        };
+        a.merge(StageStats {
+            instructions: 10,
+            memory_ops: 20,
+            violations: 30,
+            skipped: 40,
+        });
+        assert_eq!(
+            a,
+            StageStats {
+                instructions: 11,
+                memory_ops: 22,
+                violations: 33,
+                skipped: 44,
+            }
+        );
     }
 
     #[test]

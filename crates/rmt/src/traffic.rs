@@ -41,6 +41,20 @@ pub struct TrafficStats {
     pub recirc_cap_drops: u64,
 }
 
+impl TrafficStats {
+    /// Fold `other` into `self`, field by field. The sharded executor
+    /// uses this to present one aggregate traffic view over the
+    /// per-worker traffic managers.
+    pub fn merge(&mut self, other: TrafficStats) {
+        self.forwarded += other.forwarded;
+        self.returned_to_sender += other.returned_to_sender;
+        self.dropped += other.dropped;
+        self.recirculations += other.recirculations;
+        self.clones += other.clones;
+        self.recirc_cap_drops += other.recirc_cap_drops;
+    }
+}
+
 /// The fate of a packet after a pass, as decided by the traffic manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -154,6 +168,37 @@ mod tests {
         assert_eq!(s.dropped, 2);
         assert_eq!(s.recirc_cap_drops, 1);
         assert_eq!(s.clones, 1);
+    }
+
+    #[test]
+    fn traffic_stats_merge_is_fieldwise_sum() {
+        let mut a = TrafficStats {
+            forwarded: 1,
+            returned_to_sender: 2,
+            dropped: 3,
+            recirculations: 4,
+            clones: 5,
+            recirc_cap_drops: 6,
+        };
+        a.merge(TrafficStats {
+            forwarded: 10,
+            returned_to_sender: 20,
+            dropped: 30,
+            recirculations: 40,
+            clones: 50,
+            recirc_cap_drops: 60,
+        });
+        assert_eq!(
+            a,
+            TrafficStats {
+                forwarded: 11,
+                returned_to_sender: 22,
+                dropped: 33,
+                recirculations: 44,
+                clones: 55,
+                recirc_cap_drops: 66,
+            }
+        );
     }
 
     #[test]

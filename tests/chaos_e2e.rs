@@ -22,7 +22,7 @@ fn assert_invariants(sim: &Simulation, at: &str) {
     let node = sim.switch();
     let violations = check_invariants_assuming(
         node.controller(),
-        node.runtime(),
+        node.plane(),
         TrafficAssumption::OpenWorld,
     );
     assert!(
