@@ -141,6 +141,23 @@ struct QueuedRequest {
     arrived_ns: u64,
 }
 
+/// A FID quiesced on this switch while the fabric moves it elsewhere.
+/// It stays granted (and deactivated) here until the fabric either
+/// deallocates it post-cutover or aborts the migration.
+#[derive(Debug, Clone)]
+struct MigrationOut {
+    /// Fabric-assigned destination switch index (bookkeeping only —
+    /// this controller never talks to the destination directly).
+    dest: u16,
+    /// Fence token the client's snapshot-complete must echo.
+    fence: u16,
+    /// The fenced snapshot-complete arrived: state extraction may
+    /// proceed.
+    acked: bool,
+    /// Last Deactivate (re-)send, for loss-tolerant re-signalling.
+    last_signal_ns: u64,
+}
+
 /// Per-FID static-verification tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerifyStats {
@@ -191,6 +208,10 @@ pub struct Controller {
     regions: BTreeMap<Fid, Vec<(usize, RegionEntry)>>,
     /// Victims awaiting a ReactivateAck.
     unacked: BTreeMap<Fid, UnackedReactivation>,
+    /// FIDs quiesced here for live cross-switch migration (fabric
+    /// layer). New admissions queue behind them exactly as behind a
+    /// pending reallocation: both mutate the same placement state.
+    migrating_out: BTreeMap<Fid, MigrationOut>,
     /// Minimum spacing between re-sent control signals, ns.
     resend_interval_ns: u64,
     /// How many times a Deactivate/Reactivate is re-sent before the
@@ -264,6 +285,7 @@ impl Clone for Controller {
             queue: self.queue.clone(),
             regions: self.regions.clone(),
             unacked: self.unacked.clone(),
+            migrating_out: self.migrating_out.clone(),
             resend_interval_ns: self.resend_interval_ns,
             max_resends: self.max_resends,
             duplicate_requests: self.duplicate_requests,
@@ -306,6 +328,7 @@ impl Controller {
             queue: VecDeque::new(),
             regions: BTreeMap::new(),
             unacked: BTreeMap::new(),
+            migrating_out: BTreeMap::new(),
             resend_interval_ns: 500_000,
             max_resends: 50,
             duplicate_requests: 0,
@@ -510,6 +533,28 @@ impl Controller {
         self.regions.iter().map(|(&f, r)| (f, r.as_slice()))
     }
 
+    /// The regions last pushed for one FID, if it is granted.
+    pub fn regions_of(&self, fid: Fid) -> Option<&[(usize, RegionEntry)]> {
+        self.regions.get(&fid).map(Vec::as_slice)
+    }
+
+    /// FIDs currently quiesced here for cross-switch migration, sorted.
+    pub fn migrating_fids(&self) -> Vec<Fid> {
+        self.migrating_out.keys().copied().collect()
+    }
+
+    /// Has the migrating FID's client acknowledged the quiesce (a
+    /// snapshot-complete echoing the migration's fence)?
+    pub fn migration_snapshot_acked(&self, fid: Fid) -> bool {
+        self.migrating_out.get(&fid).is_some_and(|m| m.acked)
+    }
+
+    /// The fabric-assigned destination recorded when `fid`'s migration
+    /// started, if one is in flight.
+    pub fn migration_dest(&self, fid: Fid) -> Option<u16> {
+        self.migrating_out.get(&fid).map(|m| m.dest)
+    }
+
     /// Testing-only: seed a controller bug for the model checker's
     /// mutation tests (see [`SeededBug`]). Also disables the
     /// debug-assertions invariant hook in [`Controller::poll`], whose
@@ -554,7 +599,7 @@ impl Controller {
         program: Option<&Program>,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
-        if self.pending.is_some() {
+        if self.pending.is_some() || !self.migrating_out.is_empty() {
             // A retransmit of the in-flight or an already-queued request
             // is absorbed; the original will be answered when the
             // reallocation finishes. This must be checked BEFORE the
@@ -595,9 +640,10 @@ impl Controller {
             program: program.cloned(),
             now_ns,
         });
-        if self.pending.is_some() {
+        if self.pending.is_some() || !self.migrating_out.is_empty() {
             // "The controller serializes requests to ensure applications
-            // are admitted one at a time."
+            // are admitted one at a time." A migration holds the same
+            // lock: its placement is committed until cutover/abort.
             self.queue.push_back(QueuedRequest {
                 fid,
                 pattern,
@@ -658,7 +704,12 @@ impl Controller {
         fid: Fid,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
-        let Some(fence) = self.pending.as_ref().map(|p| p.fence) else {
+        let fence = self
+            .migrating_out
+            .get(&fid)
+            .map(|m| m.fence)
+            .or_else(|| self.pending.as_ref().map(|p| p.fence));
+        let Some(fence) = fence else {
             return Vec::new();
         };
         self.handle_snapshot_complete_fenced(runtime, fid, fence, now_ns)
@@ -678,6 +729,30 @@ impl Controller {
         fence: u16,
         now_ns: u64,
     ) -> Vec<ControllerAction> {
+        // A migrating FID's quiesce ack: record it for the fabric (the
+        // state extraction may proceed) — there is no reallocation
+        // round to finish here, cutover is the fabric's job.
+        if let Some(m) = self.migrating_out.get_mut(&fid) {
+            if m.fence == fence {
+                if !m.acked {
+                    m.acked = true;
+                    self.log_record(OpRecord::SnapshotComplete { fid, now_ns });
+                    self.journal_event(now_ns, EventKind::SnapshotComplete { fid });
+                }
+            } else {
+                let want = m.fence;
+                self.stale_rejects.inc();
+                self.journal_event(
+                    now_ns,
+                    EventKind::StaleSignalRejected {
+                        fid,
+                        got: fence,
+                        want,
+                    },
+                );
+            }
+            return Vec::new();
+        }
         let (applies, stale_want) = match self.pending.as_ref() {
             Some(p) if p.fence == fence => (p.waiting.contains(&fid), None),
             Some(p) => (false, Some(p.fence)),
@@ -758,6 +833,12 @@ impl Controller {
         }
         self.regions.remove(&fid);
         self.unacked.remove(&fid);
+        if self.migrating_out.remove(&fid).is_some() {
+            // Post-cutover teardown: the FID's packets execute on its
+            // destination switch now. Clear the quiesce flag the
+            // migration left so departure leaves no residue.
+            runtime.reactivate(fid);
+        }
         let mut acts = Vec::new();
         // Survivors grow into the freed space; update their tables and
         // tell them their new regions.
@@ -779,6 +860,147 @@ impl Controller {
         }
         acts.extend(self.drain_queue(runtime, now_ns));
         Ok(acts)
+    }
+
+    /// Quiesce a resident FID for live migration to another switch.
+    ///
+    /// The fabric layer drives the cross-switch protocol; this switch's
+    /// part generalizes the Section 4.3 reallocation machinery: the FID
+    /// is deactivated, its client is sent a fenced Deactivate notice
+    /// (re-sent on poll until the snapshot-complete echoes the fence),
+    /// and the grant stays committed here until the fabric either
+    /// completes the cutover — arriving as a plain
+    /// [`Controller::handle_deallocate`] — or abandons the move with
+    /// [`Controller::handle_migrate_abort`]. Re-entering for a FID
+    /// already migrating is idempotent and just re-signals (the
+    /// federation redoes phases after its own crash).
+    pub fn handle_migrate_out(
+        &mut self,
+        runtime: &mut dyn DataPlane,
+        fid: Fid,
+        dest: u16,
+        now_ns: u64,
+    ) -> Result<Vec<ControllerAction>, CoreError> {
+        if let Some(m) = self.migrating_out.get_mut(&fid) {
+            m.last_signal_ns = now_ns;
+            let fence = m.fence;
+            return Ok(vec![ControllerAction::Deactivate {
+                fid,
+                at_ns: now_ns,
+                fence,
+            }]);
+        }
+        if self.pending.is_some() {
+            return Err(CoreError::Busy);
+        }
+        if !self.allocator.contains(fid) {
+            return Err(CoreError::UnknownFid(fid));
+        }
+        self.log_record(OpRecord::MigrateOut { fid, dest, now_ns });
+        self.fence = self.fence.wrapping_add(1);
+        let fence = self.fence;
+        runtime.deactivate(fid);
+        self.migrating_out.insert(
+            fid,
+            MigrationOut {
+                dest,
+                fence,
+                acked: false,
+                last_signal_ns: now_ns,
+            },
+        );
+        self.journal_event(now_ns, EventKind::MigrateOut { fid, dest });
+        Ok(vec![ControllerAction::Deactivate {
+            fid,
+            at_ns: now_ns,
+            fence,
+        }])
+    }
+
+    /// Abandon a migration: the FID resumes on this switch with the
+    /// regions it already holds. The client is told its (unchanged)
+    /// regions and resumed through the unacked machinery, so a lost
+    /// Reactivate cannot strand it.
+    pub fn handle_migrate_abort(
+        &mut self,
+        runtime: &mut dyn DataPlane,
+        fid: Fid,
+        now_ns: u64,
+    ) -> Vec<ControllerAction> {
+        if self.migrating_out.remove(&fid).is_none() {
+            return Vec::new();
+        }
+        self.log_record(OpRecord::MigrateAbort { fid, now_ns });
+        runtime.reactivate(fid);
+        self.fence = self.fence.wrapping_add(1);
+        let fence = self.fence;
+        self.journal_event(now_ns, EventKind::MigrateAbort { fid });
+        self.journal_event(now_ns, EventKind::Reactivation { fid });
+        self.unacked.insert(
+            fid,
+            UnackedReactivation {
+                last_ns: now_ns,
+                attempts: 0,
+                fence,
+            },
+        );
+        let mut acts = vec![
+            ControllerAction::Respond {
+                fid,
+                regions: self.regions.get(&fid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: now_ns,
+            },
+            ControllerAction::Reactivate {
+                fid,
+                at_ns: now_ns,
+                fence,
+            },
+        ];
+        acts.extend(self.drain_queue(runtime, now_ns));
+        acts
+    }
+
+    /// Destination-side activation of a migrated FID: after the fabric
+    /// has replayed the source snapshot into this switch's registers,
+    /// tell the client its new regions and resume it, fenced and
+    /// re-signalled until acked (the same unacked machinery as a
+    /// reallocation victim). Idempotent — a federation redo simply
+    /// re-fences and re-sends. Not logged: the grant itself was
+    /// committed by the admission's Request record, and a crashed
+    /// destination is re-activated by the recovering federation.
+    pub fn handle_migrate_in_activate(
+        &mut self,
+        fid: Fid,
+        now_ns: u64,
+    ) -> Result<Vec<ControllerAction>, CoreError> {
+        if !self.allocator.contains(fid) || !self.regions.contains_key(&fid) {
+            return Err(CoreError::UnknownFid(fid));
+        }
+        self.fence = self.fence.wrapping_add(1);
+        let fence = self.fence;
+        self.journal_event(now_ns, EventKind::MigrateIn { fid });
+        self.unacked.insert(
+            fid,
+            UnackedReactivation {
+                last_ns: now_ns,
+                attempts: 0,
+                fence,
+            },
+        );
+        Ok(vec![
+            ControllerAction::Respond {
+                fid,
+                regions: self.regions.get(&fid).cloned().unwrap_or_default(),
+                failed: false,
+                at_ns: now_ns,
+            },
+            ControllerAction::Reactivate {
+                fid,
+                at_ns: now_ns,
+                fence,
+            },
+        ])
     }
 
     /// Drive the periodic control loop: time out unresponsive victims
@@ -822,6 +1044,22 @@ impl Controller {
                         fence,
                     });
                 }
+            }
+        }
+        // Migration quiesces are re-signalled the same way until the
+        // client's fenced snapshot-complete lands.
+        for (&mfid, m) in &mut self.migrating_out {
+            if !m.acked
+                && now_ns >= m.last_signal_ns
+                && now_ns - m.last_signal_ns >= self.resend_interval_ns
+            {
+                m.last_signal_ns = now_ns;
+                self.resent_signals += 1;
+                acts.push(ControllerAction::Deactivate {
+                    fid: mfid,
+                    at_ns: now_ns,
+                    fence: m.fence,
+                });
             }
         }
         // Reactivations are re-sent (regions + resume) until acked.
@@ -921,6 +1159,14 @@ impl Controller {
                     last_ns = last_ns.max(now_ns);
                     c.epoch = c.epoch.max(epoch);
                 }
+                OpRecord::MigrateOut { fid, dest, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    let _ = c.handle_migrate_out(&mut scratch, fid, dest, now_ns);
+                }
+                OpRecord::MigrateAbort { fid, now_ns } => {
+                    last_ns = last_ns.max(now_ns);
+                    c.handle_migrate_abort(&mut scratch, fid, now_ns);
+                }
             }
         }
         c.epoch = c.epoch.max(log.last_epoch()) + 1;
@@ -1017,9 +1263,12 @@ impl Controller {
                 );
             }
         }
-        // Quiesce coherence plus re-issued signals.
+        // Quiesce coherence plus re-issued signals. Migrating FIDs are
+        // legitimately quiesced with no reallocation to blame: they are
+        // re-quiesced if found active, never resumed as strays.
         let mut acts = Vec::new();
-        let victims: BTreeSet<Fid> = self.pending_victims().into_iter().collect();
+        let mut victims: BTreeSet<Fid> = self.pending_victims().into_iter().collect();
+        victims.extend(self.migrating_out.keys().copied());
         for &vfid in &victims {
             if !runtime.is_deactivated(vfid) {
                 runtime.deactivate(vfid);
@@ -1056,6 +1305,19 @@ impl Controller {
                     fid: vfid,
                     at_ns: now_ns,
                     fence,
+                });
+            }
+        }
+        // Migrations still owed their quiesce ack lost the Deactivate
+        // with the crash; re-signal them under their replayed fences.
+        for (&mfid, m) in &mut self.migrating_out {
+            if !m.acked {
+                m.last_signal_ns = now_ns;
+                stats.resent_signals += 1;
+                acts.push(ControllerAction::Deactivate {
+                    fid: mfid,
+                    at_ns: now_ns,
+                    fence: m.fence,
                 });
             }
         }
@@ -1142,9 +1404,14 @@ impl Controller {
                 "protection entry for non-resident fid {fid}"
             );
         }
-        // Quiesced FIDs exist only during an in-flight reallocation.
+        // Quiesced FIDs exist only during an in-flight reallocation or
+        // a cross-switch migration.
         if self.pending.is_none() {
-            let stuck = runtime.deactivated_fids();
+            let stuck: Vec<Fid> = runtime
+                .deactivated_fids()
+                .into_iter()
+                .filter(|f| !self.migrating_out.contains_key(f))
+                .collect();
             assert!(
                 stuck.is_empty(),
                 "idle controller but fids {stuck:?} are still quiesced"
@@ -1563,7 +1830,7 @@ impl Controller {
     /// Admit queued requests now that the controller is idle again.
     fn drain_queue(&mut self, runtime: &mut dyn DataPlane, now_ns: u64) -> Vec<ControllerAction> {
         let mut acts = Vec::new();
-        while self.pending.is_none() {
+        while self.pending.is_none() && self.migrating_out.is_empty() {
             let Some(q) = self.queue.pop_front() else {
                 break;
             };

@@ -86,6 +86,24 @@ pub enum OpRecord {
         /// Virtual recovery time, ns.
         now_ns: u64,
     },
+    /// A resident FID was quiesced for live migration to another
+    /// switch: it stays granted (and deactivated) here until the
+    /// fabric either deallocates it post-cutover or aborts.
+    MigrateOut {
+        /// The departing FID.
+        fid: Fid,
+        /// Fabric-assigned destination switch index.
+        dest: u16,
+        /// Virtual start time, ns.
+        now_ns: u64,
+    },
+    /// A migration was abandoned; the FID resumed on this switch.
+    MigrateAbort {
+        /// The FID that stayed.
+        fid: Fid,
+        /// Virtual abort time, ns.
+        now_ns: u64,
+    },
 }
 
 fn join_u16(v: &[u16]) -> String {
@@ -167,6 +185,8 @@ impl OpRecord {
             OpRecord::Timeout { now_ns } => format!("T {now_ns}"),
             OpRecord::Abandon { fid, now_ns } => format!("A {fid} {now_ns}"),
             OpRecord::EpochOpen { epoch, now_ns } => format!("E {epoch} {now_ns}"),
+            OpRecord::MigrateOut { fid, dest, now_ns } => format!("M {fid} {dest} {now_ns}"),
+            OpRecord::MigrateAbort { fid, now_ns } => format!("B {fid} {now_ns}"),
         }
     }
 
@@ -233,16 +253,22 @@ impl OpRecord {
                     now_ns,
                 })
             }
-            "S" | "K" | "D" | "A" => {
+            "S" | "K" | "D" | "A" | "B" => {
                 let fid = num::<Fid>(next("fid")?, "fid")?;
                 let now_ns = num::<u64>(next("now")?, "now")?;
                 Ok(match tag {
                     "S" => OpRecord::SnapshotComplete { fid, now_ns },
                     "K" => OpRecord::ReactivateAck { fid, now_ns },
                     "D" => OpRecord::Deallocate { fid, now_ns },
+                    "B" => OpRecord::MigrateAbort { fid, now_ns },
                     _ => OpRecord::Abandon { fid, now_ns },
                 })
             }
+            "M" => Ok(OpRecord::MigrateOut {
+                fid: num::<Fid>(next("fid")?, "fid")?,
+                dest: num::<u16>(next("dest")?, "dest")?,
+                now_ns: num::<u64>(next("now")?, "now")?,
+            }),
             "T" => Ok(OpRecord::Timeout {
                 now_ns: num::<u64>(next("now")?, "now")?,
             }),
@@ -278,14 +304,29 @@ impl FileSink {
     }
 
     /// Read a log back from a file of encoded lines.
+    ///
+    /// A crash can tear the final `write(2)`, leaving truncated or
+    /// garbage bytes at the tail of the file. Recovery must not be
+    /// blocked by a record that was never durably committed, so
+    /// undecodable lines with *no decodable record after them* are
+    /// skipped and counted into [`OpLog::torn_records`]. An undecodable
+    /// line followed by a good record cannot be a torn tail — that is
+    /// mid-log corruption, and it still fails the read.
     pub fn read_log(path: &std::path::Path) -> std::io::Result<OpLog> {
         let text = std::fs::read_to_string(path)?;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let parsed: Vec<Result<OpRecord, String>> =
+            lines.iter().map(|l| OpRecord::decode_line(l)).collect();
+        let tail = parsed
+            .iter()
+            .rposition(Result::is_ok)
+            .map_or(0, |last_ok| last_ok + 1);
         let log = OpLog::new();
-        for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let rec = OpRecord::decode_line(line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        for rec in parsed.into_iter().take(tail) {
+            let rec = rec.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             log.append(rec);
         }
+        log.note_torn((lines.len() - tail) as u64);
         Ok(log)
     }
 }
@@ -304,6 +345,9 @@ impl LogSink for FileSink {
 struct LogInner {
     records: Vec<OpRecord>,
     sink: Option<Box<dyn LogSink>>,
+    /// Trailing undecodable lines skipped by [`FileSink::read_log`]
+    /// (torn write at crash) — surfaced as `oplog.torn_records`.
+    torn_records: u64,
 }
 
 /// The shared write-ahead log handle. `Clone` shares the record vector
@@ -351,6 +395,16 @@ impl OpLog {
         self.inner.lock().unwrap().sink = Some(sink);
     }
 
+    /// Trailing undecodable lines [`FileSink::read_log`] skipped while
+    /// rebuilding this log (0 for a cleanly closed file).
+    pub fn torn_records(&self) -> u64 {
+        self.inner.lock().unwrap().torn_records
+    }
+
+    pub(crate) fn note_torn(&self, torn: u64) {
+        self.inner.lock().unwrap().torn_records += torn;
+    }
+
     /// Flush the sink, if any.
     pub fn flush(&self) {
         if let Some(sink) = self.inner.lock().unwrap().sink.as_mut() {
@@ -363,10 +417,14 @@ impl OpLog {
     /// never interleave commits.
     pub fn deep_clone(&self) -> OpLog {
         OpLog {
-            inner: Arc::new(Mutex::new(LogInner {
-                records: self.inner.lock().unwrap().records.clone(),
-                sink: None,
-            })),
+            inner: {
+                let inner = self.inner.lock().unwrap();
+                Arc::new(Mutex::new(LogInner {
+                    records: inner.records.clone(),
+                    sink: None,
+                    torn_records: inner.torn_records,
+                }))
+            },
         }
     }
 
@@ -459,6 +517,12 @@ mod tests {
                 epoch: 3,
                 now_ns: 60,
             },
+            OpRecord::MigrateOut {
+                fid: 4,
+                dest: 2,
+                now_ns: 61,
+            },
+            OpRecord::MigrateAbort { fid: 4, now_ns: 62 },
         ];
         for r in records {
             let line = r.encode_line();
@@ -512,6 +576,67 @@ mod tests {
         let back = FileSink::read_log(&path).unwrap();
         assert_eq!(back.records(), log.records());
         assert_eq!(back.last_epoch(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_lines_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join("activermt-oplog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("torn-{}.txt", std::process::id()));
+        // A clean prefix, then a record torn mid-write and trailing
+        // garbage — what a crash during the final write leaves behind.
+        let mut text = String::new();
+        text.push_str(&OpRecord::Timeout { now_ns: 1 }.encode_line());
+        text.push('\n');
+        text.push_str(&OpRecord::Deallocate { fid: 3, now_ns: 2 }.encode_line());
+        text.push('\n');
+        text.push_str("S 7");
+        text.push('\n');
+        text.push_str("\u{fffd}\u{fffd}garbage");
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        let back = FileSink::read_log(&path).unwrap();
+        assert_eq!(back.len(), 2, "the committed prefix survives");
+        assert_eq!(back.torn_records(), 2, "both torn lines are counted");
+        assert_eq!(back.deep_clone().torn_records(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_log_corruption_still_fails_the_read() {
+        let dir = std::env::temp_dir().join("activermt-oplog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("midcorrupt-{}.txt", std::process::id()));
+        // Garbage *between* two decodable records cannot be a torn
+        // tail: refusing to guess beats silently dropping history.
+        let text = format!(
+            "{}\nnot a record\n{}\n",
+            OpRecord::Timeout { now_ns: 1 }.encode_line(),
+            OpRecord::Deallocate { fid: 3, now_ns: 2 }.encode_line(),
+        );
+        std::fs::write(&path, &text).unwrap();
+        let err = FileSink::read_log(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cleanly_closed_logs_report_zero_torn_records() {
+        let dir = std::env::temp_dir().join("activermt-oplog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("clean-{}.txt", std::process::id()));
+        let log = OpLog::new();
+        log.set_sink(Box::new(FileSink::create(&path).unwrap()));
+        log.append(OpRecord::MigrateOut {
+            fid: 5,
+            dest: 1,
+            now_ns: 9,
+        });
+        log.flush();
+        let back = FileSink::read_log(&path).unwrap();
+        assert_eq!(back.records(), log.records());
+        assert_eq!(back.torn_records(), 0);
         let _ = std::fs::remove_file(&path);
     }
 

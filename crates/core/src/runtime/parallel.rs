@@ -462,6 +462,15 @@ impl ShardedExecutor {
         self.with_runtime(self.shard_of(fid), |rt| rt.reg_read(stage, index))
     }
 
+    /// Control-plane register write, routed to the owning shard. Fences
+    /// first so no in-flight batch races the store.
+    pub fn reg_write(&mut self, fid: Fid, stage: usize, index: u32, value: u32) -> bool {
+        self.fence();
+        let k = self.shard_of(fid);
+        let mut rt = self.shards[k].rt.lock().expect("shard runtime poisoned");
+        rt.reg_write(stage, index, value)
+    }
+
     /// Testing-only: seed the "skip decode invalidation" fault on every
     /// shard (see [`SwitchRuntime::seed_skip_decode_invalidation`]).
     #[doc(hidden)]
@@ -520,6 +529,14 @@ impl DataPlane for ShardedExecutor {
 
     fn invalidate_decode(&mut self, fid: Fid) {
         self.broadcast(|rt| rt.invalidate_decode(fid));
+    }
+
+    fn reg_read_for(&self, fid: Fid, stage: usize, index: u32) -> Option<u32> {
+        ShardedExecutor::reg_read(self, fid, stage, index)
+    }
+
+    fn reg_write_for(&mut self, fid: Fid, stage: usize, index: u32, value: u32) -> bool {
+        ShardedExecutor::reg_write(self, fid, stage, index, value)
     }
 
     fn protection(&self) -> &ProtectionTables {

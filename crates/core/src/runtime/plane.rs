@@ -51,6 +51,16 @@ pub trait DataPlane {
     /// Flush a FID's decode-cache entries (post-recovery scrub).
     fn invalidate_decode(&mut self, fid: Fid);
 
+    /// Control-plane register read on behalf of `fid` (the BFRT-style
+    /// extraction path of Section 4.3). Sharded planes route the read
+    /// to the shard that owns `fid`'s traffic, so the value observed is
+    /// the one the FID's own packets produced.
+    fn reg_read_for(&self, fid: Fid, stage: usize, index: u32) -> Option<u32>;
+
+    /// Control-plane register write on behalf of `fid`; returns whether
+    /// the index exists. Sharded planes write the owning shard.
+    fn reg_write_for(&mut self, fid: Fid, stage: usize, index: u32, value: u32) -> bool;
+
     /// The protection tables (controller bookkeeping, invariants).
     fn protection(&self) -> &ProtectionTables;
 
@@ -95,6 +105,14 @@ impl DataPlane for SwitchRuntime {
 
     fn invalidate_decode(&mut self, fid: Fid) {
         SwitchRuntime::invalidate_decode(self, fid);
+    }
+
+    fn reg_read_for(&self, _fid: Fid, stage: usize, index: u32) -> Option<u32> {
+        SwitchRuntime::reg_read(self, stage, index)
+    }
+
+    fn reg_write_for(&mut self, _fid: Fid, stage: usize, index: u32, value: u32) -> bool {
+        SwitchRuntime::reg_write(self, stage, index, value)
     }
 
     fn protection(&self) -> &ProtectionTables {

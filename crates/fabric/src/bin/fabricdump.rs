@@ -1,0 +1,267 @@
+//! `fabricdump`: run a 3-switch ring fabric end to end — federated
+//! placement of two cache services, one live cross-switch migration —
+//! then export the shared, per-switch-namespaced telemetry as JSON and
+//! Prometheus text and *check* it.
+//!
+//! The dump fails unless the snapshot shows: both placements granted,
+//! the migration completed with a clean memsync audit, every
+//! `FabricMigration` phase in the journal through cutover and source
+//! teardown, per-switch `switch.{i}.fabric.emitted` counters that sum
+//! exactly to the fabric-wide total, and (under `--deny-violations`,
+//! the CI mode) zero F1–F3 fabric invariant violations.
+//!
+//! Output: `results/fabricdump.json` and `results/fabricdump.prom`
+//! (the JSON also goes to stdout).
+
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+use activermt_fabric::{Federation, FederationConfig};
+use activermt_modelcheck::fabric::{check_fabric_invariants, FabricMemberView, MigrationAudit};
+use activermt_modelcheck::{report_violations, Violation};
+use activermt_net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
+use activermt_net::fabric::{FabricSim, FabricTopology, FABRIC_MAC};
+use activermt_net::fault::FaultPlan;
+use activermt_net::host::KvServerHost;
+use activermt_net::NetConfig;
+use activermt_telemetry::{EventKind, MigrationPhase, TelemetrySnapshot};
+use std::path::PathBuf;
+
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+const SERVE_NS: u64 = 2_000_000_000;
+const END_NS: u64 = 3_500_000_000;
+
+/// Run shape: ring size and per-member data-plane worker threads.
+struct Opts {
+    members: usize,
+    workers: usize,
+    deny: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        members: 3,
+        workers: 1,
+        deny: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-violations" => opts.deny = true,
+            "--members" => {
+                opts.members = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--members needs a positive integer");
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a positive integer");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    assert!(opts.members >= 2, "a migration needs at least two members");
+    opts
+}
+
+fn client_mac(i: u8) -> [u8; 6] {
+    [2, 0, 0, 0, 1, i]
+}
+
+fn client_cfg(i: u8) -> CacheClientConfig {
+    CacheClientConfig {
+        mac: client_mac(i),
+        switch_mac: FABRIC_MAC,
+        server_mac: SERVER,
+        fid: 100 + u16::from(i),
+        start_ns: 0,
+        monitor_ns: None,
+        populate_top: 2_000,
+        req_interval_ns: 20_000,
+        keyspace: 10_000,
+        zipf_alpha: 1.0,
+        seed: 42 + u64::from(i),
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    }
+}
+
+fn run(opts: &Opts) -> (Federation, Vec<Violation>) {
+    let switch_cfg = SwitchConfig {
+        // Smoke-scale table programming so the dump stays a CI-friendly
+        // few seconds of simulated time.
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut fabric = FabricSim::with_faults(
+        NetConfig::default(),
+        FabricTopology::Ring(opts.members),
+        switch_cfg,
+        Scheme::WorstFit,
+        opts.workers,
+        FaultPlan::none(),
+    );
+    fabric.add_host(Box::new(CacheClientHost::new(client_cfg(1))), 0);
+    fabric.add_host(
+        Box::new(CacheClientHost::new(client_cfg(2))),
+        1 % opts.members,
+    );
+    fabric.add_host(
+        Box::new(KvServerHost::new(SERVER, 10_000)),
+        opts.members - 1,
+    );
+
+    let mut fed = Federation::new(fabric, FederationConfig::default());
+    fed.run_until(SERVE_NS);
+    fed.migrate(101).expect("migration of fid 101 starts");
+    fed.run_until(END_NS);
+
+    // Quiesce point: audit the whole fabric with the shared F1–F3
+    // engine (which also lifts each member's single-switch invariants)
+    // and fold the verdict into the snapshot.
+    let violations = {
+        let fab = fed.fabric();
+        let views: Vec<FabricMemberView<'_>> = (0..fab.members())
+            .map(|i| FabricMemberView {
+                id: i as u16,
+                controller: fab.switch(i).controller(),
+                plane: fab.switch(i).plane(),
+            })
+            .collect();
+        check_fabric_invariants(&views, fed.audits())
+    };
+    report_violations(fed.fabric().telemetry(), END_NS, &violations);
+    for v in &violations {
+        eprintln!("# fabricdump invariant violation: {v}");
+    }
+    (fed, violations)
+}
+
+/// The checks CI gates on: every fabric layer contributed.
+fn verify(opts: &Opts, fed: &Federation, snap: &TelemetrySnapshot) -> Result<(), String> {
+    let require = |ok: bool, what: &str| -> Result<(), String> {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("fabric run is missing {what}"))
+        }
+    };
+
+    // Control-plane outcomes.
+    require(fed.placements().len() == 2, "both cache placements")?;
+    require(
+        fed.stats().migrations_completed == 1 && fed.migrations_idle(),
+        "a completed live migration",
+    )?;
+    require(
+        !fed.audits().is_empty() && fed.audits().iter().all(MigrationAudit::is_clean),
+        "a clean memsync replay audit",
+    )?;
+    for (i, mac) in [client_mac(1), client_mac(2)].iter().enumerate() {
+        let client = fed
+            .fabric()
+            .host::<CacheClientHost>(*mac)
+            .ok_or_else(|| format!("client {} host missing", i + 1))?;
+        require(
+            client.phase() == Phase::Serving && client.value_errors == 0,
+            "error-free serving clients after cutover",
+        )?;
+    }
+
+    // Journal surface.
+    require(
+        snap.has_event(|e| matches!(e, EventKind::FabricPlacement { .. })),
+        "a fabric-placement journal event",
+    )?;
+    for phase in [
+        MigrationPhase::Quiesce,
+        MigrationPhase::Snapshot,
+        MigrationPhase::Admit,
+        MigrationPhase::Replay,
+        MigrationPhase::Drain,
+        MigrationPhase::Cutover,
+        MigrationPhase::Dealloc,
+    ] {
+        require(
+            snap.has_event(
+                |e| matches!(e, EventKind::FabricMigration { phase: p, .. } if *p == phase),
+            ),
+            &format!("the {phase:?} migration journal phase"),
+        )?;
+    }
+
+    // Per-switch namespacing: every member publishes its own counters
+    // under `switch.{i}.*`, and the per-switch emission ledger must sum
+    // exactly to the fabric-wide total.
+    let mut emitted_sum = 0u64;
+    for i in 0..opts.members {
+        // Members without an active app legitimately run zero frames,
+        // so existence of the namespaced counter is the check.
+        require(
+            snap.counter(&format!("switch.{i}.runtime.frames"))
+                .is_some(),
+            &format!("per-switch runtime counters (switch.{i}.runtime.frames)"),
+        )?;
+        emitted_sum += snap
+            .counter(&format!("switch.{i}.fabric.emitted"))
+            .ok_or_else(|| format!("missing switch.{i}.fabric.emitted"))?;
+    }
+    let emitted_total = snap
+        .counter("fabric.emitted")
+        .ok_or("missing fabric.emitted")?;
+    if emitted_sum != emitted_total {
+        return Err(format!(
+            "per-switch emission counters sum to {emitted_sum} but the \
+             fabric-wide total reads {emitted_total}"
+        ));
+    }
+    require(
+        snap.counter("fabric.delivered").unwrap_or(0) > 0,
+        "delivered fabric frames",
+    )?;
+    require(
+        snap.counter("fabric.suppressed_responses").unwrap_or(0) > 0,
+        "suppressed allocator verdicts during migration admission",
+    )?;
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (fed, violations) = run(&opts);
+    let snap = fed.fabric().telemetry_snapshot();
+
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+    println!("{json}");
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("fabricdump.json"), &json);
+        let _ = std::fs::write(dir.join("fabricdump.prom"), &prom);
+    }
+    eprintln!(
+        "# fabricdump: {} members x {} workers, {} placements, {} migrations, {} metrics, {} journal events",
+        opts.members,
+        opts.workers,
+        fed.placements().len(),
+        fed.stats().migrations_completed,
+        snap.metrics.len(),
+        snap.events.len(),
+    );
+    if let Err(e) = verify(&opts, &fed, &snap) {
+        eprintln!("# fabricdump FAILED: {e}");
+        std::process::exit(1);
+    }
+    if opts.deny && !violations.is_empty() {
+        eprintln!(
+            "# fabricdump FAILED: {} fabric invariant violation(s)",
+            violations.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("# fabricdump: all fabric checks passed");
+}

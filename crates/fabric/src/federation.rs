@@ -1,0 +1,896 @@
+//! The federated control plane: placement, live migration, recovery.
+//!
+//! One [`Federation`] owns a [`FabricSim`] and drives it in small time
+//! slices, interleaving the fabric's discrete-event traffic with its
+//! own control loop (`pump`). All federation state is volatile by
+//! design — [`Federation::crash`] wipes it, and the next pump rebuilds
+//! everything from the two durable substrates: the member controllers
+//! (op-log backed) and the fabric's epoch-fenced route table.
+//!
+//! ## The migration state machine
+//!
+//! ```text
+//! Quiesce ──► Snapshot ──► Admit ──► Replay ──► Verify ──► Drain ──► Cutover ──► Dealloc
+//!    │                       │                     │
+//!    └── (client ack) ───────┴──── abort ◄─────────┘
+//! ```
+//!
+//! * **Quiesce** — `migrate_out` on the source deactivates the FID and
+//!   signals the client exactly like a reallocation victim; the client
+//!   extracts its shim-side state and acks (§4.3). The source
+//!   controller re-sends the signal on its poll timer and replays the
+//!   whole arrangement from its op-log across crashes.
+//! * **Snapshot** — the federation reads every allocated register of
+//!   the FID from the source's data plane over the control plane.
+//! * **Admit** — the destination's allocator is the oracle: the
+//!   federation re-injects the client's *original* allocation request
+//!   at the destination while the fabric withholds all allocation
+//!   responses for the FID (the client must not learn new regions
+//!   before they hold its state).
+//! * **Replay** — nonzero cells are rewritten into the destination's
+//!   physical regions via memsync frames (region *k* of the source
+//!   maps to region *k* of the destination, offset-preserved).
+//! * **Verify** — every written cell is read back and compared; the
+//!   audit feeds invariant F2.
+//! * **Drain** — wait until no frame carrying the FID is in flight
+//!   anywhere in the fabric.
+//! * **Cutover** — bump the global epoch, repoint the route, activate
+//!   on the destination (which sends the client its new regions and a
+//!   reactivate — the §4.3 resume path, unchanged), lift suppression.
+//! * **Dealloc** — release the source's allocation.
+//!
+//! Any failure (admission refused or timed out, geometry mismatch,
+//! verify divergence) aborts: the source reactivates the FID in place
+//! with its regions unchanged, and the destination's partial
+//! allocation, if any, is released.
+
+use activermt_client::memsync::{MemSync, SyncOp};
+use activermt_core::types::Fid;
+use activermt_core::CoreError;
+use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN};
+use activermt_isa::wire::{ActiveHeader, EthernetFrame, RegionEntry};
+use activermt_modelcheck::fabric::MigrationAudit;
+use activermt_net::fabric::{FabricSim, SuppressMode, FEDERATION_MAC};
+use activermt_telemetry::{EventKind, MigrationPhase};
+use std::collections::BTreeMap;
+
+/// Tunables for the federation's control loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationConfig {
+    /// Pump cadence: the fabric runs in slices of this many ns between
+    /// federation control-loop iterations.
+    pub pump_interval_ns: u64,
+    /// How long the destination's allocator may deliberate (queued
+    /// behind a reallocation, re-requested after losses) before the
+    /// migration aborts.
+    pub admit_timeout_ns: u64,
+    /// Memsync retransmit interval during replay/verify.
+    pub sync_retransmit_ns: u64,
+    /// How long a placement may sit unresolved (candidate neither
+    /// granting nor failing) before the federation forgets it.
+    pub placement_timeout_ns: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> FederationConfig {
+        FederationConfig {
+            pump_interval_ns: 50_000,
+            admit_timeout_ns: 50_000_000,
+            sync_retransmit_ns: 10_000_000,
+            placement_timeout_ns: 100_000_000,
+        }
+    }
+}
+
+/// Where a chaos test may crash the federation mid-migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FedCrashPoint {
+    /// Right after the source snapshot is taken (destination not yet
+    /// admitted — recovery must abort back to the source).
+    PostSnapshot,
+    /// While the drain barrier is open (destination admitted and
+    /// replayed — recovery must redo idempotently and finish).
+    MidDrain,
+    /// After the drain completes, immediately before the routing
+    /// cutover (the last instant the source is still authoritative).
+    PreCutover,
+}
+
+/// Public progress report for one in-flight migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStatus {
+    /// Waiting for the client's quiesce acknowledgement on the source.
+    Quiescing,
+    /// Waiting for the destination's allocator to admit.
+    Admitting,
+    /// Replaying extracted state into the destination.
+    Replaying,
+    /// Reading replayed state back for the F2 audit.
+    Verifying,
+    /// Waiting for in-flight traffic to drain.
+    Draining,
+}
+
+/// Lifetime counters for the federation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Applications placed (admission granted somewhere).
+    pub placements: u64,
+    /// Placements that failed over past their first candidate.
+    pub placement_failovers: u64,
+    /// Placements rejected by every candidate.
+    pub placement_rejections: u64,
+    /// Migrations completed (cutover + source teardown).
+    pub migrations_completed: u64,
+    /// Migrations aborted (application resumed on its source).
+    pub migrations_aborted: u64,
+    /// Federation crashes injected.
+    pub crashes: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+}
+
+#[derive(Debug)]
+enum MigPhase {
+    Quiesce,
+    Admit { since_ns: u64 },
+    Replay { last_tx_ns: u64 },
+    Verify { last_tx_ns: u64 },
+    Drain,
+}
+
+/// A register cell: `(region index, offset, value)` in snapshot
+/// coordinates, or `(stage, address, value)` in physical ones.
+type Cell = (usize, u32, u32);
+
+/// A FID's granted regions, `(stage, entry)` ascending by stage.
+type Regions = Vec<(usize, RegionEntry)>;
+
+#[derive(Debug)]
+struct Migration {
+    src: usize,
+    dst: usize,
+    phase: MigPhase,
+    /// Nonzero cells extracted from the source, as
+    /// `(region index, offset within region, value)`.
+    snapshot: Vec<Cell>,
+    /// Source regions at snapshot time, `(stage, entry)` ascending.
+    src_regions: Regions,
+    /// Cells written to the destination, `(stage, addr, value)`.
+    expected: Vec<Cell>,
+    /// Cells read back from the destination during verify.
+    observed: Vec<Cell>,
+    sync: Option<MemSync>,
+}
+
+#[derive(Debug)]
+struct Placing {
+    candidates: Vec<usize>,
+    idx: usize,
+    since_ns: u64,
+}
+
+/// The FID of an active frame, if it parses as one.
+fn active_fid(frame: &[u8]) -> Option<Fid> {
+    let eth = EthernetFrame::new_checked(frame).ok()?;
+    if eth.ethertype() != ACTIVE_ETHERTYPE {
+        return None;
+    }
+    let hdr = ActiveHeader::new_checked(frame.get(ETHERNET_HEADER_LEN..)?).ok()?;
+    Some(hdr.fid())
+}
+
+/// The federated control plane over a [`FabricSim`].
+pub struct Federation {
+    fabric: FabricSim,
+    cfg: FederationConfig,
+    /// Global monotonic route-epoch source: every route install uses a
+    /// fresh epoch above everything previously issued.
+    epoch: u32,
+    placing: BTreeMap<Fid, Placing>,
+    placements: BTreeMap<Fid, usize>,
+    /// Original client allocation requests, retained verbatim: the
+    /// migration Admit phase replays them at the destination.
+    request_frames: BTreeMap<Fid, Vec<u8>>,
+    migrations: BTreeMap<Fid, Migration>,
+    audits: Vec<MigrationAudit>,
+    crash_plan: Option<FedCrashPoint>,
+    crashed: bool,
+    stats: FederationStats,
+}
+
+impl Federation {
+    /// Take command of `fabric`.
+    pub fn new(fabric: FabricSim, cfg: FederationConfig) -> Federation {
+        Federation {
+            epoch: fabric.max_route_epoch(),
+            fabric,
+            cfg,
+            placing: BTreeMap::new(),
+            placements: BTreeMap::new(),
+            request_frames: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            audits: Vec::new(),
+            crash_plan: None,
+            crashed: false,
+            stats: FederationStats::default(),
+        }
+    }
+
+    /// The governed fabric.
+    pub fn fabric(&self) -> &FabricSim {
+        &self.fabric
+    }
+
+    /// The governed fabric, mutably (host attachment, inspection).
+    pub fn fabric_mut(&mut self) -> &mut FabricSim {
+        &mut self.fabric
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FederationStats {
+        self.stats
+    }
+
+    /// Where each placed FID currently lives.
+    pub fn placements(&self) -> &BTreeMap<Fid, usize> {
+        &self.placements
+    }
+
+    /// Completed-migration audits (feed invariant F2).
+    pub fn audits(&self) -> &[MigrationAudit] {
+        &self.audits
+    }
+
+    /// Progress of an in-flight migration, if any.
+    pub fn migration_status(&self, fid: Fid) -> Option<MigrationStatus> {
+        self.migrations.get(&fid).map(|m| match m.phase {
+            MigPhase::Quiesce => MigrationStatus::Quiescing,
+            MigPhase::Admit { .. } => MigrationStatus::Admitting,
+            MigPhase::Replay { .. } => MigrationStatus::Replaying,
+            MigPhase::Verify { .. } => MigrationStatus::Verifying,
+            MigPhase::Drain => MigrationStatus::Draining,
+        })
+    }
+
+    /// Are any migrations in flight?
+    pub fn migrations_idle(&self) -> bool {
+        self.migrations.is_empty()
+    }
+
+    /// Arm a one-shot crash at `point` (chaos testing).
+    pub fn arm_crash(&mut self, point: FedCrashPoint) {
+        self.crash_plan = Some(point);
+    }
+
+    /// Kill the federation: every piece of volatile control state —
+    /// placements, in-flight placements and migrations, retained
+    /// request frames, audits — is lost. The fabric (routes, epochs,
+    /// suppressions, switches) keeps running; the next pump recovers.
+    pub fn crash(&mut self) {
+        self.stats.crashes += 1;
+        self.placing.clear();
+        self.placements.clear();
+        self.request_frames.clear();
+        self.migrations.clear();
+        self.audits.clear();
+        self.crashed = true;
+    }
+
+    /// Total residual free blocks on member `i` — the placement
+    /// ranking key.
+    fn residual(&self, i: usize) -> u64 {
+        self.fabric
+            .switch(i)
+            .controller()
+            .allocator()
+            .pools()
+            .iter()
+            .map(|p| u64::from(p.capacity() - p.used()))
+            .sum()
+    }
+
+    /// Members ranked best-first by residual memory; ties break toward
+    /// the lowest index. `exclude` removes one member (migration
+    /// sources don't compete for their own tenant).
+    fn ranked_members(&self, exclude: Option<usize>) -> Vec<usize> {
+        let mut m: Vec<usize> = (0..self.fabric.members())
+            .filter(|&i| Some(i) != exclude)
+            .collect();
+        m.sort_by_key(|&i| (std::cmp::Reverse(self.residual(i)), i));
+        m
+    }
+
+    /// Install a fresh-epoch route for `fid` at `sw`.
+    fn route(&mut self, fid: Fid, sw: usize) {
+        self.epoch += 1;
+        let ok = self.fabric.set_route(fid, sw, self.epoch);
+        debug_assert!(ok, "freshly minted epoch can never be stale");
+    }
+
+    /// Begin migrating `fid` to the member with the most residual
+    /// memory (other than its current home); returns the destination.
+    pub fn migrate(&mut self, fid: Fid) -> Result<usize, CoreError> {
+        let src = *self
+            .placements
+            .get(&fid)
+            .ok_or(CoreError::UnknownFid(fid))?;
+        let dst = *self
+            .ranked_members(Some(src))
+            .first()
+            .ok_or(CoreError::UnknownFid(fid))?;
+        self.migrate_to(fid, dst)?;
+        Ok(dst)
+    }
+
+    /// Begin migrating `fid` from its current home to member `dst`.
+    pub fn migrate_to(&mut self, fid: Fid, dst: usize) -> Result<(), CoreError> {
+        let src = *self
+            .placements
+            .get(&fid)
+            .ok_or(CoreError::UnknownFid(fid))?;
+        assert!(dst < self.fabric.members(), "destination out of range");
+        assert_ne!(src, dst, "migration needs two distinct members");
+        if self.migrations.contains_key(&fid) {
+            return Err(CoreError::Busy);
+        }
+        self.fabric.migrate_out(src, fid, dst as u16)?;
+        self.migrations.insert(
+            fid,
+            Migration {
+                src,
+                dst,
+                phase: MigPhase::Quiesce,
+                snapshot: Vec::new(),
+                src_regions: Vec::new(),
+                expected: Vec::new(),
+                observed: Vec::new(),
+                sync: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Advance virtual time to `t_ns`, alternating fabric traffic with
+    /// federation control-loop pumps.
+    pub fn run_until(&mut self, t_ns: u64) {
+        while self.fabric.now() < t_ns {
+            let next = (self.fabric.now() + self.cfg.pump_interval_ns).min(t_ns);
+            self.fabric.run_until(next);
+            self.pump();
+        }
+        self.pump();
+    }
+
+    /// One control-loop iteration at the fabric's current time.
+    pub fn pump(&mut self) {
+        if self.crashed {
+            self.recover();
+        }
+        self.drain_inbox();
+        self.pump_placements();
+        self.pump_migrations();
+    }
+
+    /// Route captured federation-addressed frames (memsync responses)
+    /// to their migrations.
+    fn drain_inbox(&mut self) {
+        for (_, frame) in self.fabric.take_federation_inbox() {
+            let Some(fid) = active_fid(&frame) else {
+                continue;
+            };
+            let Some(m) = self.migrations.get_mut(&fid) else {
+                continue;
+            };
+            let Some(sync) = m.sync.as_mut() else {
+                continue;
+            };
+            let Some(results) = sync.handle_response(&frame) else {
+                continue;
+            };
+            for r in results {
+                if let SyncOp::Read { stage, addr } = r.op {
+                    m.observed.push((stage, addr, r.value));
+                }
+            }
+        }
+    }
+
+    // ----- Placement -----
+
+    fn pump_placements(&mut self) {
+        let now = self.fabric.now();
+
+        // New arrivals: FIDs no member owns sent allocation requests.
+        for pa in self.fabric.take_pending_admissions() {
+            if self.placing.contains_key(&pa.fid) || self.placements.contains_key(&pa.fid) {
+                continue; // client retransmit racing the route install
+            }
+            let candidates = self.ranked_members(None);
+            let first = candidates[0];
+            // Route before injecting so the client's own retransmits
+            // and follow-ups reach the candidate under trial.
+            self.route(pa.fid, first);
+            if candidates.len() > 1 {
+                // Failures stay invisible while alternatives remain.
+                self.fabric.suppress(pa.fid, SuppressMode::FailuresOnly);
+            }
+            self.fabric.inject_at_switch(first, pa.frame.clone());
+            self.request_frames.insert(pa.fid, pa.frame);
+            self.placing.insert(
+                pa.fid,
+                Placing {
+                    candidates,
+                    idx: 0,
+                    since_ns: now,
+                },
+            );
+        }
+
+        // Failovers: a candidate's allocator said no (response was
+        // withheld); move to the next.
+        for (_, fid) in self.fabric.take_placement_failures() {
+            let Some(p) = self.placing.get_mut(&fid) else {
+                continue;
+            };
+            if p.idx + 1 >= p.candidates.len() {
+                continue; // final verdict already flowing to the client
+            }
+            p.idx += 1;
+            p.since_ns = now;
+            let cand = p.candidates[p.idx];
+            let last = p.idx == p.candidates.len() - 1;
+            self.stats.placement_failovers += 1;
+            self.route(fid, cand);
+            if last {
+                // The final candidate's verdict — grant or refusal —
+                // belongs to the client.
+                self.fabric.unsuppress(fid);
+            }
+            if let Some(frame) = self.request_frames.get(&fid).cloned() {
+                self.fabric.inject_at_switch(cand, frame);
+            }
+        }
+
+        // Completions and timeouts.
+        let fids: Vec<Fid> = self.placing.keys().copied().collect();
+        for fid in fids {
+            let p = &self.placing[&fid];
+            let cand = p.candidates[p.idx];
+            if self
+                .fabric
+                .switch(cand)
+                .controller()
+                .allocator()
+                .contains(fid)
+            {
+                self.placing.remove(&fid);
+                self.fabric.unsuppress(fid);
+                self.placements.insert(fid, cand);
+                self.stats.placements += 1;
+                self.fabric.telemetry().record_event(
+                    now,
+                    EventKind::FabricPlacement {
+                        fid,
+                        switch: cand as u16,
+                    },
+                );
+            } else if now.saturating_sub(p.since_ns) > self.cfg.placement_timeout_ns {
+                // Every candidate stayed silent or the final refusal
+                // already reached the client; stop tracking. The
+                // client's shim times out and degrades on its own.
+                self.placing.remove(&fid);
+                self.fabric.unsuppress(fid);
+                self.stats.placement_rejections += 1;
+            }
+        }
+    }
+
+    // ----- Migration -----
+
+    fn journal_phase(&self, fid: Fid, src: usize, dst: usize, phase: MigrationPhase) {
+        self.fabric.telemetry().record_event(
+            self.fabric.now(),
+            EventKind::FabricMigration {
+                fid,
+                src: src as u16,
+                dst: dst as u16,
+                phase,
+            },
+        );
+    }
+
+    /// Fire an armed crash if `point` was reached. Returns true when
+    /// the crash fired (the caller must stop touching migration state:
+    /// it is gone).
+    fn crash_check(&mut self, point: FedCrashPoint) -> bool {
+        if self.crash_plan == Some(point) {
+            self.crash_plan = None;
+            self.crash();
+            return true;
+        }
+        false
+    }
+
+    /// Read every allocated register of `fid` from member `sw`.
+    /// Returns `(regions sorted by stage, nonzero cells)`.
+    fn extract(&self, sw: usize, fid: Fid) -> (Regions, Vec<Cell>) {
+        let node = self.fabric.switch(sw);
+        let mut regions: Regions = node
+            .controller()
+            .regions_of(fid)
+            .map(<[(usize, RegionEntry)]>::to_vec)
+            .unwrap_or_default();
+        regions.sort_by_key(|&(stage, _)| stage);
+        let mut cells = Vec::new();
+        for (ri, &(stage, entry)) in regions.iter().enumerate() {
+            for offset in 0..entry.end.saturating_sub(entry.start) {
+                let value = node
+                    .plane()
+                    .reg_read_for(fid, stage, entry.start + offset)
+                    .unwrap_or(0);
+                if value != 0 {
+                    cells.push((ri, offset, value));
+                }
+            }
+        }
+        (regions, cells)
+    }
+
+    /// The destination's regions for `fid`, sorted by stage, if
+    /// admitted.
+    fn dst_regions(&self, sw: usize, fid: Fid) -> Option<Regions> {
+        let mut r: Regions = self
+            .fabric
+            .switch(sw)
+            .controller()
+            .regions_of(fid)?
+            .to_vec();
+        r.sort_by_key(|&(stage, _)| stage);
+        Some(r)
+    }
+
+    fn pump_migrations(&mut self) {
+        let fids: Vec<Fid> = self.migrations.keys().copied().collect();
+        for fid in fids {
+            let Some(m) = self.migrations.remove(&fid) else {
+                continue;
+            };
+            match self.step_migration(fid, m) {
+                StepOutcome::Continue(m) => {
+                    self.migrations.insert(fid, m);
+                }
+                StepOutcome::Done | StepOutcome::Crashed => {}
+            }
+        }
+    }
+
+    fn step_migration(&mut self, fid: Fid, mut m: Migration) -> StepOutcome {
+        let now = self.fabric.now();
+        match &mut m.phase {
+            MigPhase::Quiesce => {
+                if !self
+                    .fabric
+                    .switch(m.src)
+                    .controller()
+                    .migration_snapshot_acked(fid)
+                {
+                    return StepOutcome::Continue(m);
+                }
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Quiesce);
+                let (regions, cells) = self.extract(m.src, fid);
+                m.src_regions = regions;
+                m.snapshot = cells;
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Snapshot);
+                if self.crash_check(FedCrashPoint::PostSnapshot) {
+                    return StepOutcome::Crashed;
+                }
+                // Admission: the client must not hear the destination's
+                // allocator before cutover.
+                self.fabric.suppress(fid, SuppressMode::All);
+                let already_admitted = self
+                    .fabric
+                    .switch(m.dst)
+                    .controller()
+                    .allocator()
+                    .contains(fid);
+                if !already_admitted {
+                    // Replay the client's original request at the
+                    // destination; a recovery redo skips this (the
+                    // destination already holds the grant).
+                    let Some(frame) = self.request_frames.get(&fid).cloned() else {
+                        // No retained request (placed before a
+                        // federation crash): nothing to admit with.
+                        return self.abort(fid, m, "no retained allocation request");
+                    };
+                    self.fabric.inject_at_switch(m.dst, frame);
+                }
+                m.phase = MigPhase::Admit { since_ns: now };
+                StepOutcome::Continue(m)
+            }
+            MigPhase::Admit { since_ns, .. } => {
+                let since = *since_ns;
+                if !self
+                    .fabric
+                    .switch(m.dst)
+                    .controller()
+                    .allocator()
+                    .contains(fid)
+                {
+                    if now.saturating_sub(since) > self.cfg.admit_timeout_ns {
+                        return self.abort(fid, m, "destination admission timed out");
+                    }
+                    return StepOutcome::Continue(m);
+                }
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Admit);
+                let Some(dst_regions) = self.dst_regions(m.dst, fid) else {
+                    return self.abort(fid, m, "admitted without regions");
+                };
+                // Geometry: region k of the source replays into region
+                // k of the destination, so counts must match and each
+                // destination region must be at least as long.
+                let compatible = dst_regions.len() == m.src_regions.len()
+                    && dst_regions.iter().zip(&m.src_regions).all(|(d, s)| {
+                        d.1.end.saturating_sub(d.1.start) >= s.1.end.saturating_sub(s.1.start)
+                    });
+                if !compatible {
+                    return self.abort(fid, m, "incompatible destination geometry");
+                }
+                let num_stages = self
+                    .fabric
+                    .switch(m.dst)
+                    .controller()
+                    .allocator()
+                    .config()
+                    .num_stages;
+                let mut ops = Vec::with_capacity(m.snapshot.len());
+                m.expected.clear();
+                for &(ri, offset, value) in &m.snapshot {
+                    let (stage, entry) = dst_regions[ri];
+                    let addr = entry.start + offset;
+                    ops.push(SyncOp::Write { stage, addr, value });
+                    m.expected.push((stage, addr, value));
+                }
+                if ops.is_empty() {
+                    // Nothing to carry: straight to the drain barrier.
+                    self.journal_phase(fid, m.src, m.dst, MigrationPhase::Replay);
+                    m.phase = MigPhase::Drain;
+                    if self.crash_check(FedCrashPoint::MidDrain) {
+                        return StepOutcome::Crashed;
+                    }
+                    return StepOutcome::Continue(m);
+                }
+                let mut sync = MemSync::new(fid, FEDERATION_MAC, FEDERATION_MAC, num_stages);
+                for frame in sync.submit(&ops) {
+                    self.fabric.inject_at_switch(m.dst, frame);
+                }
+                m.sync = Some(sync);
+                m.phase = MigPhase::Replay { last_tx_ns: now };
+                StepOutcome::Continue(m)
+            }
+            MigPhase::Replay { last_tx_ns } => {
+                let sync = m.sync.as_mut().expect("replay without memsync");
+                if sync.pending_count() > 0 {
+                    if now.saturating_sub(*last_tx_ns) > self.cfg.sync_retransmit_ns {
+                        *last_tx_ns = now;
+                        for frame in sync.pending_frames() {
+                            self.fabric.inject_at_switch(m.dst, frame);
+                        }
+                    }
+                    return StepOutcome::Continue(m);
+                }
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Replay);
+                // Read every written cell back for the F2 audit.
+                let reads: Vec<SyncOp> = m
+                    .expected
+                    .iter()
+                    .map(|&(stage, addr, _)| SyncOp::Read { stage, addr })
+                    .collect();
+                m.observed.clear();
+                let sync = m.sync.as_mut().expect("verify without memsync");
+                for frame in sync.submit(&reads) {
+                    self.fabric.inject_at_switch(m.dst, frame);
+                }
+                m.phase = MigPhase::Verify { last_tx_ns: now };
+                StepOutcome::Continue(m)
+            }
+            MigPhase::Verify { last_tx_ns } => {
+                let sync = m.sync.as_mut().expect("verify without memsync");
+                if sync.pending_count() > 0 {
+                    if now.saturating_sub(*last_tx_ns) > self.cfg.sync_retransmit_ns {
+                        *last_tx_ns = now;
+                        for frame in sync.pending_frames() {
+                            self.fabric.inject_at_switch(m.dst, frame);
+                        }
+                    }
+                    return StepOutcome::Continue(m);
+                }
+                let mut expected = m.expected.clone();
+                let mut observed = m.observed.clone();
+                expected.sort_unstable();
+                observed.sort_unstable();
+                let clean = expected == observed;
+                self.audits.push(MigrationAudit {
+                    fid,
+                    expected,
+                    observed,
+                });
+                if !clean {
+                    return self.abort(fid, m, "replayed state diverged on read-back");
+                }
+                m.phase = MigPhase::Drain;
+                if self.crash_check(FedCrashPoint::MidDrain) {
+                    return StepOutcome::Crashed;
+                }
+                StepOutcome::Continue(m)
+            }
+            MigPhase::Drain => {
+                if self.fabric.in_flight(fid) > 0 {
+                    return StepOutcome::Continue(m);
+                }
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Drain);
+                if self.crash_check(FedCrashPoint::PreCutover) {
+                    return StepOutcome::Crashed;
+                }
+                // Cutover: repoint routing under a fresh epoch, lift
+                // suppression, and let the destination hand the client
+                // its new regions + reactivate (§4.3 resume path).
+                self.route(fid, m.dst);
+                self.placements.insert(fid, m.dst);
+                self.fabric.unsuppress(fid);
+                if self.fabric.migrate_in_activate(m.dst, fid).is_err() {
+                    // Activation can only fail if the grant vanished;
+                    // route back and abort.
+                    return self.abort(fid, m, "destination activation failed");
+                }
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Cutover);
+                let _ = self.fabric.deallocate_at(m.src, fid);
+                self.journal_phase(fid, m.src, m.dst, MigrationPhase::Dealloc);
+                self.stats.migrations_completed += 1;
+                StepOutcome::Done
+            }
+        }
+    }
+
+    /// Abandon a migration: reactivate on the source with unchanged
+    /// regions, release any destination allocation, restore routing.
+    fn abort(&mut self, fid: Fid, m: Migration, _why: &str) -> StepOutcome {
+        self.fabric.migrate_abort(m.src, fid);
+        if self
+            .fabric
+            .switch(m.dst)
+            .controller()
+            .allocator()
+            .contains(fid)
+        {
+            let _ = self.fabric.deallocate_at(m.dst, fid);
+        }
+        self.route(fid, m.src);
+        self.placements.insert(fid, m.src);
+        self.fabric.unsuppress(fid);
+        self.journal_phase(fid, m.src, m.dst, MigrationPhase::Abort);
+        self.stats.migrations_aborted += 1;
+        StepOutcome::Done
+    }
+
+    // ----- Recovery -----
+
+    /// Rebuild all volatile state from the durable substrates: member
+    /// controllers (placements, half-finished migrations) and the
+    /// fabric route table (epoch fence, cutover evidence). Each
+    /// in-flight migration is resumed idempotently when its
+    /// destination already holds an allocation, aborted otherwise.
+    fn recover(&mut self) {
+        self.crashed = false;
+        self.stats.recoveries += 1;
+        let now = self.fabric.now();
+        // Fence above every epoch the previous incarnation issued.
+        self.epoch = self.epoch.max(self.fabric.max_route_epoch());
+        // Suppressions are re-derived from scratch.
+        self.fabric.clear_suppressions();
+
+        // Placements: a FID lives where its route points (for a FID
+        // granted on two members mid-migration, the route names the
+        // still-authoritative one).
+        for i in 0..self.fabric.members() {
+            let fids: Vec<Fid> = self
+                .fabric
+                .switch(i)
+                .controller()
+                .allocator()
+                .apps()
+                .map(|(f, _)| f)
+                .collect();
+            for fid in fids {
+                if self.fabric.route_of(fid).map(|r| r.switch) == Some(i) {
+                    self.placements.insert(fid, i);
+                }
+            }
+        }
+
+        // Half-finished migrations, from the source controllers' own
+        // replayed state.
+        let mut resumed: u16 = 0;
+        let mut aborted: u16 = 0;
+        for src in 0..self.fabric.members() {
+            let migrating: Vec<(Fid, u16)> = {
+                let ctl = self.fabric.switch(src).controller();
+                ctl.migrating_fids()
+                    .into_iter()
+                    .filter_map(|f| ctl.migration_dest(f).map(|d| (f, d)))
+                    .collect()
+            };
+            for (fid, dest16) in migrating {
+                let dst = dest16 as usize;
+                if dst >= self.fabric.members() {
+                    self.fabric.migrate_abort(src, fid);
+                    self.stats.migrations_aborted += 1;
+                    aborted += 1;
+                    continue;
+                }
+                let routed_to_dst = self.fabric.route_of(fid).map(|r| r.switch) == Some(dst);
+                let dst_admitted = self
+                    .fabric
+                    .switch(dst)
+                    .controller()
+                    .allocator()
+                    .contains(fid);
+                if routed_to_dst {
+                    // Crash landed between cutover and source teardown:
+                    // finish the teardown (re-activation is idempotent
+                    // through the unacked machinery).
+                    let _ = self.fabric.migrate_in_activate(dst, fid);
+                    let _ = self.fabric.deallocate_at(src, fid);
+                    self.placements.insert(fid, dst);
+                    self.stats.migrations_completed += 1;
+                    resumed += 1;
+                } else if dst_admitted
+                    && self
+                        .fabric
+                        .switch(src)
+                        .controller()
+                        .migration_snapshot_acked(fid)
+                {
+                    // Destination holds an allocation and the source is
+                    // quiesced: redo from the snapshot. Every step is
+                    // idempotent — re-extraction reads the same frozen
+                    // state, replay rewrites the same cells.
+                    self.fabric.suppress(fid, SuppressMode::All);
+                    self.migrations.insert(
+                        fid,
+                        Migration {
+                            src,
+                            dst,
+                            phase: MigPhase::Quiesce,
+                            snapshot: Vec::new(),
+                            src_regions: Vec::new(),
+                            expected: Vec::new(),
+                            observed: Vec::new(),
+                            sync: None,
+                        },
+                    );
+                    resumed += 1;
+                } else {
+                    // Not far enough to finish safely: put the app back
+                    // on its source.
+                    self.fabric.migrate_abort(src, fid);
+                    if dst_admitted {
+                        let _ = self.fabric.deallocate_at(dst, fid);
+                    }
+                    self.placements.insert(fid, src);
+                    self.stats.migrations_aborted += 1;
+                    aborted += 1;
+                }
+            }
+        }
+        self.fabric
+            .telemetry()
+            .record_event(now, EventKind::FederationRecovered { resumed, aborted });
+    }
+}
+
+enum StepOutcome {
+    Continue(Migration),
+    Done,
+    Crashed,
+}

@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # activermt-fabric
+//!
+//! A federated control plane over a multi-switch ActiveRMT fabric.
+//!
+//! The paper manages one runtime-programmable switch; this crate asks
+//! the next question: what does ActiveRMT's memory-management story
+//! look like when a *fabric* of such switches is run as one resource?
+//! Three mechanisms, all built on the single-switch machinery rather
+//! than beside it:
+//!
+//! * **Placement** — arriving applications are steered to the member
+//!   switch with the most residual SRAM, with the member's *real*
+//!   allocator as the admission oracle: the federation injects the
+//!   client's own allocation request at its best candidate and fails
+//!   over to the next when the allocator says no, the client seeing
+//!   only the final verdict.
+//! * **Live cross-switch migration** — an allocated application moves
+//!   between members with no client involvement, reusing the paper's
+//!   §4.3 reallocation protocol end to end: quiesce + client-acked
+//!   snapshot on the source, admission through the destination's
+//!   allocator, control-plane state extraction and memsync replay into
+//!   the destination's physical regions, an in-flight-traffic drain
+//!   barrier, then an epoch-fenced routing cutover and source
+//!   teardown. To the client, cutover is indistinguishable from the
+//!   reallocation it already handles: an unsolicited allocation
+//!   response carrying new regions followed by a reactivate signal.
+//! * **Crash-tolerant federation** — the federation keeps no durable
+//!   state of its own. After a crash it rebuilds placements from the
+//!   member controllers (which *are* durable, via their op-logs),
+//!   learns its epoch fence from the fabric's route table, and
+//!   resumes or aborts each half-finished migration idempotently.
+//!
+//! Invariants F1–F3 over the whole fabric live in
+//! `activermt_modelcheck::fabric`; the `fabricdump` binary exercises a
+//! 3-switch ring end to end and exports the shared, per-switch
+//! namespaced telemetry.
+
+pub mod federation;
+
+pub use federation::{
+    FedCrashPoint, Federation, FederationConfig, FederationStats, MigrationStatus,
+};

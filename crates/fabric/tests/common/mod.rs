@@ -1,0 +1,172 @@
+//! Shared helpers for the fabric end-to-end tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+use activermt_fabric::Federation;
+use activermt_isa::wire::{build_alloc_request, AccessDescriptor, RegionEntry};
+use activermt_modelcheck::fabric::{check_fabric_invariants, FabricMemberView};
+use activermt_modelcheck::Violation;
+use activermt_net::apphosts::CacheClientConfig;
+use activermt_net::fabric::{FabricSim, FabricTopology, FABRIC_MAC};
+use activermt_net::host::Host;
+use activermt_net::NetConfig;
+use std::any::Any;
+
+pub const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+
+pub fn client_mac(i: u8) -> [u8; 6] {
+    [2, 0, 0, 0, 1, i]
+}
+
+/// A fast-provisioning switch config shared by every fabric test.
+pub fn switch_cfg() -> SwitchConfig {
+    SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    }
+}
+
+/// A fabric of `n` ring members under test timing.
+pub fn ring_fabric(n: usize) -> FabricSim {
+    FabricSim::new(
+        NetConfig::default(),
+        FabricTopology::Ring(n),
+        switch_cfg(),
+        Scheme::WorstFit,
+    )
+}
+
+/// The case-study cache client, addressed at the fabric anycast MAC.
+pub fn cache_cfg(i: u8, fid: u16, seed: u64) -> CacheClientConfig {
+    CacheClientConfig {
+        mac: client_mac(i),
+        switch_mac: FABRIC_MAC,
+        server_mac: SERVER,
+        fid,
+        start_ns: 0,
+        monitor_ns: None,
+        populate_top: 2_000,
+        req_interval_ns: 20_000,
+        keyspace: 10_000,
+        zipf_alpha: 1.0,
+        seed,
+        policy: MutantPolicy::MostConstrained,
+        num_stages: 20,
+        ingress_stages: 10,
+        max_extra_recircs: 1,
+    }
+}
+
+/// Check F1–F3 across the whole fabric.
+pub fn fabric_violations(fed: &Federation) -> Vec<Violation> {
+    let fab = fed.fabric();
+    let views: Vec<FabricMemberView<'_>> = (0..fab.members())
+        .map(|i| FabricMemberView {
+            id: i as u16,
+            controller: fab.switch(i).controller(),
+            plane: fab.switch(i).plane(),
+        })
+        .collect();
+    check_fabric_invariants(&views, fed.audits())
+}
+
+/// The nonzero cells of `fid` on member `sw`, in *region-relative*
+/// coordinates `(region index, offset, value)` with regions sorted by
+/// stage — comparable across switches whose physical placements
+/// differ.
+pub fn region_cells(fed: &Federation, sw: usize, fid: u16) -> Vec<(usize, u32, u32)> {
+    let node = fed.fabric().switch(sw);
+    let mut regions: Vec<_> = node
+        .controller()
+        .regions_of(fid)
+        .map(<[(usize, RegionEntry)]>::to_vec)
+        .unwrap_or_default();
+    regions.sort_by_key(|&(stage, _)| stage);
+    let mut cells = Vec::new();
+    for (ri, &(stage, entry)) in regions.iter().enumerate() {
+        for offset in 0..entry.end.saturating_sub(entry.start) {
+            let v = node
+                .plane()
+                .reg_read_for(fid, stage, entry.start + offset)
+                .unwrap_or(0);
+            if v != 0 {
+                cells.push((ri, offset, v));
+            }
+        }
+    }
+    cells
+}
+
+/// A host that emits one pre-built frame at its start time and then
+/// stays silent — the minimal admission driver for capacity tests.
+pub struct OneShotHost {
+    mac: [u8; 6],
+    start_ns: u64,
+    frame: Option<Vec<u8>>,
+}
+
+impl OneShotHost {
+    pub fn new(mac: [u8; 6], start_ns: u64, frame: Vec<u8>) -> OneShotHost {
+        OneShotHost {
+            mac,
+            start_ns,
+            frame: Some(frame),
+        }
+    }
+}
+
+impl Host for OneShotHost {
+    fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    fn on_frame(&mut self, _now_ns: u64, _frame: Vec<u8>) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
+    fn tick_interval(&self) -> Option<u64> {
+        Some(1_000_000)
+    }
+
+    fn on_tick(&mut self, now_ns: u64) -> Vec<Vec<u8>> {
+        if now_ns >= self.start_ns {
+            self.frame.take().into_iter().collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A pinned (inelastic) allocation request heavy enough that two of
+/// them can never share a stage: three accesses of 200 blocks each
+/// against 256-block stages.
+pub fn heavy_request(mac: [u8; 6], fid: u16) -> Vec<u8> {
+    let accesses = [
+        AccessDescriptor {
+            min_position: 2,
+            min_gap: 2,
+            demand: 200,
+        },
+        AccessDescriptor {
+            min_position: 4,
+            min_gap: 2,
+            demand: 200,
+        },
+        AccessDescriptor {
+            min_position: 6,
+            min_gap: 2,
+            demand: 200,
+        },
+    ];
+    build_alloc_request(FABRIC_MAC, mac, fid, 1, &accesses, 8, false, true, 0)
+        .expect("valid request")
+}

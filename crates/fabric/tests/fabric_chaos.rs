@@ -1,0 +1,121 @@
+//! Chaos matrix: crash the federation at every migration crash point,
+//! across multiple seeds, and assert it recovers to a state that is
+//! invariant-clean and byte-identical to an unfaulted oracle run.
+
+mod common;
+
+use activermt_fabric::{FedCrashPoint, Federation, FederationConfig};
+use activermt_modelcheck::MigrationAudit;
+use activermt_net::apphosts::{CacheClientHost, Phase};
+use activermt_net::host::KvServerHost;
+use common::{cache_cfg, client_mac, fabric_violations, region_cells, ring_fabric, SERVER};
+
+const SERVE: u64 = 2_000_000_000;
+const END: u64 = 4_000_000_000;
+const SEEDS: [u64; 4] = [42, 43, 44, 45];
+
+fn cache_federation(seed: u64) -> Federation {
+    let mut fabric = ring_fabric(3);
+    fabric.add_host(Box::new(CacheClientHost::new(cache_cfg(1, 101, seed))), 0);
+    fabric.add_host(Box::new(KvServerHost::new(SERVER, 10_000)), 2);
+    Federation::new(fabric, FederationConfig::default())
+}
+
+/// Region-relative app state of fid 101 wherever it currently lives.
+fn final_cells(fed: &Federation) -> Vec<(usize, u32, u32)> {
+    let home = *fed.placements().get(&101).expect("placed");
+    region_cells(fed, home, 101)
+}
+
+fn check_recovered(fed: &Federation, point: FedCrashPoint, seed: u64) {
+    let tag = format!("{point:?}/seed {seed}");
+    assert_eq!(fed.stats().crashes, 1, "{tag}: crash must have fired");
+    assert_eq!(fed.stats().recoveries, 1, "{tag}: one recovery");
+    assert!(fed.migrations_idle(), "{tag}: migration must resolve");
+    let violations = fabric_violations(fed);
+    assert!(violations.is_empty(), "{tag}: {violations:?}");
+    assert!(
+        fed.audits().iter().all(MigrationAudit::is_clean),
+        "{tag}: dirty memsync audit"
+    );
+    let client = fed
+        .fabric()
+        .host::<CacheClientHost>(client_mac(1))
+        .expect("client");
+    assert_eq!(client.phase(), Phase::Serving, "{tag}: client must resume");
+    assert_eq!(client.value_errors, 0, "{tag}: client saw corrupt values");
+}
+
+#[test]
+fn federation_crash_matrix_recovers_with_identical_state() {
+    for seed in SEEDS {
+        // Unfaulted oracle: same fabric, no migration, no crash. Cache
+        // contents are settled once populated, so the oracle cells are
+        // comparable at any post-populate instant.
+        let mut oracle = cache_federation(seed);
+        oracle.run_until(END);
+        let oracle_cells = final_cells(&oracle);
+        assert!(!oracle_cells.is_empty(), "seed {seed}: empty oracle cache");
+
+        for point in [
+            FedCrashPoint::PostSnapshot,
+            FedCrashPoint::MidDrain,
+            FedCrashPoint::PreCutover,
+        ] {
+            let mut fed = cache_federation(seed);
+            fed.run_until(SERVE);
+            let home = *fed.placements().get(&101).expect("placed");
+            fed.arm_crash(point);
+            fed.migrate(101).expect("migration start");
+            fed.run_until(END);
+
+            check_recovered(&fed, point, seed);
+
+            let resolved_home = *fed.placements().get(&101).expect("still placed");
+            match point {
+                // Before the destination admits, recovery can only
+                // abort: the app must still be home.
+                FedCrashPoint::PostSnapshot => {
+                    assert_eq!(fed.stats().migrations_aborted, 1);
+                    assert_eq!(fed.stats().migrations_completed, 0);
+                    assert_eq!(resolved_home, home, "{point:?}: abort must stay home");
+                }
+                // Once the destination holds an admitted copy,
+                // recovery resumes and finishes the move.
+                FedCrashPoint::MidDrain | FedCrashPoint::PreCutover => {
+                    assert_eq!(fed.stats().migrations_completed, 1);
+                    assert_eq!(fed.stats().migrations_aborted, 0);
+                    assert_ne!(resolved_home, home, "{point:?}: resume must finish");
+                }
+            }
+
+            // Wherever the app ended up, its state equals the
+            // unfaulted oracle cell for cell.
+            assert_eq!(
+                final_cells(&fed),
+                oracle_cells,
+                "{point:?}/seed {seed}: state diverged from oracle"
+            );
+        }
+    }
+}
+
+/// A crash outside any migration is harmless: recovery rebuilds the
+/// same placements and the client keeps serving.
+#[test]
+fn idle_crash_rebuilds_placements() {
+    let mut fed = cache_federation(42);
+    fed.run_until(SERVE);
+    let placements = fed.placements().clone();
+    fed.crash();
+    fed.run_until(SERVE + 500_000_000);
+    assert_eq!(fed.stats().recoveries, 1);
+    assert_eq!(fed.placements(), &placements);
+    assert!(fabric_violations(&fed).is_empty());
+    let client = fed
+        .fabric()
+        .host::<CacheClientHost>(client_mac(1))
+        .expect("client");
+    assert_eq!(client.phase(), Phase::Serving);
+    assert_eq!(client.value_errors, 0);
+}

@@ -1,0 +1,189 @@
+//! Fabric end-to-end tests: placement capacity and live cross-switch
+//! migration with a differential (no-migration) oracle.
+
+mod common;
+
+use activermt_fabric::{Federation, FederationConfig};
+use activermt_modelcheck::MigrationAudit;
+use activermt_net::apphosts::{CacheClientHost, Phase};
+use activermt_net::host::KvServerHost;
+use common::{
+    cache_cfg, client_mac, fabric_violations, heavy_request, region_cells, ring_fabric,
+    OneShotHost, SERVER,
+};
+
+/// Drive a cache client + server fabric to `until_ns`; returns the
+/// federation for inspection.
+fn run_cache_fabric(members: usize, until_ns: u64, migrate_at: Option<u64>) -> Federation {
+    let mut fabric = ring_fabric(members);
+    fabric.add_host(Box::new(CacheClientHost::new(cache_cfg(1, 101, 42))), 0);
+    fabric.add_host(Box::new(KvServerHost::new(SERVER, 10_000)), members - 1);
+    let mut fed = Federation::new(fabric, FederationConfig::default());
+    match migrate_at {
+        Some(t) => {
+            fed.run_until(t);
+            fed.migrate(101).expect("migration start");
+            fed.run_until(until_ns);
+        }
+        None => fed.run_until(until_ns),
+    }
+    fed
+}
+
+fn client_of(fed: &Federation, mac: [u8; 6]) -> &CacheClientHost {
+    fed.fabric()
+        .host::<CacheClientHost>(mac)
+        .expect("cache client host")
+}
+
+/// A 3-switch ring admits an inelastic population that provably does
+/// not fit on a single switch: each app pins three 200-block stages
+/// (of 256 blocks), so no two apps share a stage, and one 20-stage
+/// pipeline holds at most six — we offer nine.
+#[test]
+fn three_switch_ring_admits_population_one_switch_cannot() {
+    let admitted = |members: usize| -> usize {
+        let mut fabric = ring_fabric(members);
+        for i in 0..9u16 {
+            let mac = client_mac(10 + i as u8);
+            let frame = heavy_request(mac, 200 + i);
+            // Stagger arrivals so each admission settles before the
+            // next is placed.
+            fabric.add_host(
+                Box::new(OneShotHost::new(mac, 40_000_000 * u64::from(i), frame)),
+                0,
+            );
+        }
+        let mut fed = Federation::new(fabric, FederationConfig::default());
+        fed.run_until(2_000_000_000);
+        assert!(fabric_violations(&fed).is_empty());
+        fed.placements().len()
+    };
+
+    let single = admitted(1);
+    let fabric3 = admitted(3);
+    assert!(
+        single < 9,
+        "nine 3-stage pinned apps must overflow one switch (admitted {single})"
+    );
+    assert_eq!(
+        fabric3, 9,
+        "the 3-switch ring must admit the full population"
+    );
+    assert!(fabric3 > single);
+}
+
+/// Placement spreads the heavy apps across members instead of filling
+/// one switch to rejection.
+#[test]
+fn placement_balances_by_residual_memory() {
+    let mut fabric = ring_fabric(3);
+    for i in 0..6u16 {
+        let mac = client_mac(30 + i as u8);
+        let frame = heavy_request(mac, 300 + i);
+        fabric.add_host(
+            Box::new(OneShotHost::new(mac, 40_000_000 * u64::from(i), frame)),
+            (i as usize) % 3,
+        );
+    }
+    let mut fed = Federation::new(fabric, FederationConfig::default());
+    fed.run_until(1_500_000_000);
+    assert_eq!(fed.placements().len(), 6);
+    let mut per_switch = [0usize; 3];
+    for &sw in fed.placements().values() {
+        per_switch[sw] += 1;
+    }
+    assert_eq!(per_switch, [2, 2, 2], "residual ranking must spread load");
+    assert!(fabric_violations(&fed).is_empty());
+}
+
+/// Live migration moves a serving cache between switches with
+/// byte-identical application state (differential vs a no-migration
+/// oracle run) and no client-visible errors.
+#[test]
+fn live_migration_preserves_state_against_oracle() {
+    const SERVE: u64 = 2_000_000_000;
+    const END: u64 = 3_500_000_000;
+
+    // Oracle: identical run, no migration.
+    let oracle = run_cache_fabric(3, END, None);
+    let oracle_home = *oracle.placements().get(&101).expect("oracle placed");
+    let oracle_cells = region_cells(&oracle, oracle_home, 101);
+    assert!(
+        !oracle_cells.is_empty(),
+        "populated cache must have nonzero cells"
+    );
+
+    // Subject: migrate once the client is serving.
+    let fed = run_cache_fabric(3, END, Some(SERVE));
+    assert!(fed.migrations_idle(), "migration must complete by {END}");
+    assert_eq!(fed.stats().migrations_completed, 1);
+    assert_eq!(fed.stats().migrations_aborted, 0);
+
+    let home = *fed.placements().get(&101).expect("subject placed");
+    assert_ne!(home, oracle_home, "the app must have moved switches");
+
+    // The destination's state matches the oracle cell for cell, in
+    // region-relative coordinates.
+    let moved_cells = region_cells(&fed, home, 101);
+    assert_eq!(
+        moved_cells, oracle_cells,
+        "migrated state must be identical"
+    );
+
+    // The source no longer holds the app.
+    assert!(!fed
+        .fabric()
+        .switch(oracle_home)
+        .controller()
+        .allocator()
+        .contains(101));
+
+    // Memsync verification audits are clean and fabric invariants hold.
+    assert!(fed.audits().iter().all(MigrationAudit::is_clean));
+    let violations = fabric_violations(&fed);
+    assert!(
+        violations.is_empty(),
+        "fabric invariants violated: {violations:?}"
+    );
+
+    // The client never noticed: still serving, zero value errors, and
+    // it kept making progress after cutover.
+    let client = client_of(&fed, client_mac(1));
+    assert_eq!(client.phase(), Phase::Serving);
+    assert_eq!(client.value_errors, 0);
+    let oracle_client = client_of(&oracle, client_mac(1));
+    assert_eq!(oracle_client.value_errors, 0);
+    assert!(client.hits > 0);
+}
+
+/// Explicit destination selection works and a second migration can
+/// bring the app back.
+#[test]
+fn round_trip_migration_returns_home() {
+    const SERVE: u64 = 2_000_000_000;
+    let mut fabric = ring_fabric(3);
+    fabric.add_host(Box::new(CacheClientHost::new(cache_cfg(1, 101, 42))), 0);
+    fabric.add_host(Box::new(KvServerHost::new(SERVER, 10_000)), 2);
+    let mut fed = Federation::new(fabric, FederationConfig::default());
+    fed.run_until(SERVE);
+    let home = *fed.placements().get(&101).expect("placed");
+    let away = (home + 1) % 3;
+
+    fed.migrate_to(101, away).expect("first migration");
+    fed.run_until(SERVE + 1_000_000_000);
+    assert!(fed.migrations_idle());
+    assert_eq!(*fed.placements().get(&101).unwrap(), away);
+
+    fed.migrate_to(101, home).expect("return migration");
+    fed.run_until(SERVE + 2_000_000_000);
+    assert!(fed.migrations_idle());
+    assert_eq!(*fed.placements().get(&101).unwrap(), home);
+    assert_eq!(fed.stats().migrations_completed, 2);
+    assert!(fed.audits().iter().all(MigrationAudit::is_clean));
+    assert!(fabric_violations(&fed).is_empty());
+
+    let client = client_of(&fed, client_mac(1));
+    assert_eq!(client.phase(), Phase::Serving);
+    assert_eq!(client.value_errors, 0);
+}

@@ -1,0 +1,151 @@
+//! Fabric-level invariants (F1–F3) over a multi-switch deployment.
+//!
+//! The single-switch engine ([`crate::invariants`]) audits one
+//! `(Controller, DataPlane)` pair. A federated fabric adds failure
+//! modes no member can see alone: the same FID granted on two members
+//! with neither migrating (split-brain placement), app state silently
+//! diverging across a migration, or a member left structurally
+//! inconsistent by a half-finished cross-switch move. This module
+//! checks those from a whole-fabric vantage point:
+//!
+//! * **F1 — placement uniqueness.** A FID's memory grant lives on at
+//!   most one member, *except* mid-migration, where exactly two copies
+//!   may exist and the extra one must be the migration source: marked
+//!   migrating-out and quiesced in its data plane.
+//! * **F2 — migration preserves state.** Each completed replay is
+//!   audited: every cell extracted from the source must read back
+//!   identically from the destination ([`MigrationAudit`]).
+//! * **F3 — fabric-wide conservation.** Every member individually
+//!   passes the structural I1–I9 checks (open-world: fabrics carry
+//!   arbitrary client traffic); a violation anywhere is lifted to a
+//!   fabric violation naming the member.
+
+use crate::invariants::{check_invariants_assuming, InvariantKind, TrafficAssumption, Violation};
+use activermt_core::types::Fid;
+use activermt_core::{Controller, DataPlane};
+use std::collections::BTreeMap;
+
+/// A read-only view of one fabric member for invariant checking.
+pub struct FabricMemberView<'a> {
+    /// The member's fabric index.
+    pub id: u16,
+    /// Its controller.
+    pub controller: &'a Controller,
+    /// Its data plane.
+    pub plane: &'a dyn DataPlane,
+}
+
+/// The record of one completed migration replay, for F2: `expected`
+/// is what the federation extracted from the source, `observed` what
+/// it read back from the destination after replay — both as
+/// `(stage, physical address, value)` triples in *destination*
+/// coordinates, sorted identically by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationAudit {
+    /// The migrated FID.
+    pub fid: Fid,
+    /// Cells written to the destination (from the source snapshot).
+    pub expected: Vec<(usize, u32, u32)>,
+    /// The same cells read back from the destination.
+    pub observed: Vec<(usize, u32, u32)>,
+}
+
+impl MigrationAudit {
+    /// Does the destination hold exactly the extracted state?
+    pub fn is_clean(&self) -> bool {
+        self.expected == self.observed
+    }
+}
+
+/// Check F1–F3 across `members`, with `audits` the completed-migration
+/// records accumulated by the federation.
+pub fn check_fabric_invariants(
+    members: &[FabricMemberView<'_>],
+    audits: &[MigrationAudit],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // ----- F1: each FID granted on at most one member -----
+    let mut homes: BTreeMap<Fid, Vec<&FabricMemberView<'_>>> = BTreeMap::new();
+    for m in members {
+        for (fid, _) in m.controller.allocator().apps() {
+            homes.entry(fid).or_default().push(m);
+        }
+    }
+    for (fid, holders) in &homes {
+        match holders.len() {
+            0 | 1 => {}
+            2 => {
+                // Legal only mid-migration: one holder is the source
+                // (migrating out toward the other, quiesced).
+                let legal = holders.iter().any(|src| {
+                    src.controller.migration_dest(*fid).is_some_and(|dest| {
+                        holders.iter().any(|dst| dst.id == dest && dst.id != src.id)
+                    }) && src.plane.is_deactivated(*fid)
+                });
+                if !legal {
+                    out.push(Violation {
+                        kind: InvariantKind::FabricDoublePlacement,
+                        fid: Some(*fid),
+                        detail: format!(
+                            "granted on members {:?} with no migration between them",
+                            holders.iter().map(|m| m.id).collect::<Vec<_>>()
+                        ),
+                    });
+                }
+            }
+            n => out.push(Violation {
+                kind: InvariantKind::FabricDoublePlacement,
+                fid: Some(*fid),
+                detail: format!(
+                    "granted on {n} members {:?}; at most two (one migrating) allowed",
+                    holders.iter().map(|m| m.id).collect::<Vec<_>>()
+                ),
+            }),
+        }
+    }
+
+    // ----- F2: completed migrations preserved every cell -----
+    for a in audits {
+        if !a.is_clean() {
+            let divergent = a
+                .expected
+                .iter()
+                .zip(&a.observed)
+                .find(|(e, o)| e != o)
+                .map_or_else(
+                    || {
+                        format!(
+                            "cell count mismatch: wrote {}, read back {}",
+                            a.expected.len(),
+                            a.observed.len()
+                        )
+                    },
+                    |(e, o)| {
+                        format!(
+                            "stage {} addr {}: wrote {}, read back {}",
+                            e.0, e.1, e.2, o.2
+                        )
+                    },
+                );
+            out.push(Violation {
+                kind: InvariantKind::MigrationStateLoss,
+                fid: Some(a.fid),
+                detail: divergent,
+            });
+        }
+    }
+
+    // ----- F3: every member structurally sound on its own -----
+    for m in members {
+        for v in check_invariants_assuming(m.controller, m.plane, TrafficAssumption::OpenWorld) {
+            out.push(Violation {
+                kind: InvariantKind::FabricConservation,
+                fid: v.fid,
+                detail: format!("switch {}: {v}", m.id),
+            });
+        }
+    }
+
+    out
+}

@@ -75,6 +75,20 @@ pub enum InvariantKind {
     /// permanently stuck (quiesced without a round to blame, retried
     /// without residency, protected without a grant).
     RecoveryLiveness,
+    /// F1 — fabric placement uniqueness: a FID is granted on at most
+    /// one member switch, except transiently during a migration (then
+    /// on exactly two, with the source deactivated and marked
+    /// migrating-out).
+    FabricDoublePlacement,
+    /// F2 — migration never loses state: every register cell extracted
+    /// from the source reads back with the same value on the
+    /// destination after replay (byte-identical app state).
+    MigrationStateLoss,
+    /// F3 — conservation across the fabric: every member individually
+    /// satisfies the structural single-switch invariants (I1–I9), so
+    /// no migration or placement leaks, double-books, or strands
+    /// memory anywhere in the fabric.
+    FabricConservation,
 }
 
 impl InvariantKind {
@@ -93,6 +107,9 @@ impl InvariantKind {
             InvariantKind::ReplayEquivalence => 10,
             InvariantKind::GrantContinuity => 11,
             InvariantKind::RecoveryLiveness => 12,
+            InvariantKind::FabricDoublePlacement => 13,
+            InvariantKind::MigrationStateLoss => 14,
+            InvariantKind::FabricConservation => 15,
         }
     }
 
@@ -111,6 +128,9 @@ impl InvariantKind {
             InvariantKind::ReplayEquivalence => "replay-equivalence",
             InvariantKind::GrantContinuity => "grant-continuity",
             InvariantKind::RecoveryLiveness => "recovery-liveness",
+            InvariantKind::FabricDoublePlacement => "fabric-double-placement",
+            InvariantKind::MigrationStateLoss => "migration-state-loss",
+            InvariantKind::FabricConservation => "fabric-conservation",
         }
     }
 
@@ -133,6 +153,17 @@ impl InvariantKind {
             InvariantKind::ReplayEquivalence,
             InvariantKind::GrantContinuity,
             InvariantKind::RecoveryLiveness,
+        ]
+    }
+
+    /// The fabric-level invariants (F1–F3, codes 13–15), raised by
+    /// [`crate::fabric::check_fabric_invariants`] over a whole
+    /// multi-switch fabric rather than a single controller.
+    pub fn fabric() -> [InvariantKind; 3] {
+        [
+            InvariantKind::FabricDoublePlacement,
+            InvariantKind::MigrationStateLoss,
+            InvariantKind::FabricConservation,
         ]
     }
 }
@@ -342,11 +373,15 @@ pub fn check_invariants_assuming(
     }
 
     // ----- I6 (always): quiesce liveness -----
+    // A FID migrating out is legitimately quiesced outside any
+    // reallocation: it stays deactivated from the migrate-out signal
+    // until cutover (or abort), both federation-driven.
+    let migrating: BTreeSet<Fid> = ctl.migrating_fids().into_iter().collect();
     let deactivated = rt.deactivated_fids();
     if busy {
         let victims: BTreeSet<Fid> = ctl.pending_victims().into_iter().collect();
         for fid in &deactivated {
-            if !victims.contains(fid) {
+            if !victims.contains(fid) && !migrating.contains(fid) {
                 out.push(Violation {
                     kind: InvariantKind::StuckQuiesce,
                     fid: Some(*fid),
@@ -354,13 +389,15 @@ pub fn check_invariants_assuming(
                 });
             }
         }
-    } else if !deactivated.is_empty() {
+    } else {
         for fid in &deactivated {
-            out.push(Violation {
-                kind: InvariantKind::StuckQuiesce,
-                fid: Some(*fid),
-                detail: "still quiesced with no reallocation in flight".into(),
-            });
+            if !migrating.contains(fid) {
+                out.push(Violation {
+                    kind: InvariantKind::StuckQuiesce,
+                    fid: Some(*fid),
+                    detail: "still quiesced with no reallocation in flight".into(),
+                });
+            }
         }
     }
     for fid in ctl.unacked_fids() {

@@ -19,6 +19,10 @@
 //!   [`check_recovery`] compares a controller rebuilt from its op-log
 //!   against the pre-crash [`RecoveryFingerprint`] (replay
 //!   equivalence, grant continuity, post-reconciliation liveness).
+//! - [`fabric`] — fabric-level invariants (F1–F3):
+//!   [`check_fabric_invariants`] audits a whole multi-switch
+//!   deployment for placement uniqueness, migration state
+//!   preservation, and per-member structural soundness.
 //! - [`model`] — a small-scope [`World`]: the *real* controller and
 //!   runtime driven through their public entry points, with an
 //!   explicit in-flight-signal channel and a bounded fault budget
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod fabric;
 pub mod invariants;
 pub mod model;
 pub mod recovery;
@@ -43,6 +48,7 @@ pub use explore::{
     explore, render_report, render_trace, Counterexample, ExploreConfig, ExploreOutcome,
     ExploreStats,
 };
+pub use fabric::{check_fabric_invariants, FabricMemberView, MigrationAudit};
 pub use invariants::{
     check_invariants, check_invariants_assuming, report_violations, InvariantKind,
     TrafficAssumption, Violation,

@@ -1,0 +1,856 @@
+//! A multi-switch fabric: N [`SwitchNode`]s behind one event loop.
+//!
+//! The single-switch [`Simulation`](crate::sim::Simulation) models the
+//! paper's testbed — one Tofino, a star of hosts. This module scales
+//! that out to a *fabric* of runtime-programmable switches (ring or
+//! leaf/spine) sharing one discrete-event heap, one [`FaultInjector`]
+//! across every link (access and trunk), and one telemetry registry in
+//! which each member's metrics live under a `switch.{id}.*` namespace
+//! (see [`Registry::scoped`](activermt_telemetry::Registry)).
+//!
+//! The fabric is deliberately *mechanism, not policy*: it moves frames,
+//! keeps the per-FID forwarding table (`fid → home switch`, fenced by
+//! monotonic route epochs so a restarted federation cannot apply stale
+//! plans), counts in-flight frames per FID (the migration drain
+//! barrier), intercepts allocation requests for FIDs no switch owns
+//! yet, and exposes a management path for the federated control plane
+//! (`activermt-fabric`): frame injection at a member, capture of frames
+//! addressed to [`FEDERATION_MAC`], and suppression of allocation
+//! responses while a placement or migration is being brokered. All
+//! *decisions* — where to place, when to migrate, when to cut over —
+//! live in the federation.
+//!
+//! Addressing: clients send control traffic to the anycast
+//! [`FABRIC_MAC`]; delivery is by FID, not by destination MAC, so a
+//! client neither knows nor cares which member owns its service — the
+//! property that makes live cross-switch migration invisible to it.
+
+use crate::config::NetConfig;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::host::Host;
+use crate::switch::{SwitchEmission, SwitchNode};
+use activermt_core::alloc::Scheme;
+use activermt_core::types::Fid;
+use activermt_core::{CoreError, SwitchConfig};
+use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN};
+use activermt_isa::wire::{ActiveHeader, EthernetFrame, PacketType};
+use activermt_telemetry::{Counter, EventKind as JournalEventKind, Telemetry, TelemetrySnapshot};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The fabric's anycast control-plane address: clients address their
+/// switch-bound traffic here and the fabric routes by FID.
+pub const FABRIC_MAC: [u8; 6] = [2, 0, 0, 0, 0xFB, 0xFF];
+
+/// The federated control plane's pseudo-host address. Frames the
+/// federation injects carry this source; frames addressed to it are
+/// captured into the federation inbox instead of being delivered.
+pub const FEDERATION_MAC: [u8; 6] = [2, 0, 0, 0, 0xFE, 0xDE];
+
+/// Fabric shape: how many member switches and how far apart they are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricTopology {
+    /// `n` switches on a ring; the trunk distance between members is
+    /// the minimal ring walk.
+    Ring(usize),
+    /// Classic two-tier Clos: `leaves` runtime-programmable leaf
+    /// switches interconnected through `spines` transit-only spines.
+    /// Any two distinct leaves are two trunk hops apart (leaf → spine
+    /// → leaf); spines run no ActiveRMT state.
+    LeafSpine {
+        /// Member (leaf) switches.
+        leaves: usize,
+        /// Transit spines (affects nothing but documentation today:
+        /// the hop count between distinct leaves is 2 regardless).
+        spines: usize,
+    },
+}
+
+impl FabricTopology {
+    /// Number of ActiveRMT member switches.
+    pub fn members(&self) -> usize {
+        match *self {
+            FabricTopology::Ring(n) => n,
+            FabricTopology::LeafSpine { leaves, .. } => leaves,
+        }
+    }
+
+    /// Trunk hops between two members (0 when equal).
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        if a == b {
+            return 0;
+        }
+        match *self {
+            FabricTopology::Ring(n) => {
+                let d = a.abs_diff(b);
+                d.min(n - d) as u64
+            }
+            FabricTopology::LeafSpine { .. } => 2,
+        }
+    }
+}
+
+/// One entry of the fabric's per-FID forwarding table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// The member switch currently homing the FID.
+    pub switch: usize,
+    /// Fencing token: updates carrying an epoch ≤ the installed one
+    /// are rejected (a recovered federation must fence above every
+    /// epoch its predecessor issued).
+    pub epoch: u32,
+}
+
+/// Which allocation responses of a suppressed FID the fabric withholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressMode {
+    /// Drop only *failed* responses (placement failover: the client
+    /// must not see a rejection while other members remain untried).
+    FailuresOnly,
+    /// Drop every response (migration admission at the destination:
+    /// the client must not learn its new regions before state replay
+    /// and cutover).
+    All,
+}
+
+/// An allocation request for a FID no member owns yet, intercepted for
+/// the federation to place.
+#[derive(Debug, Clone)]
+pub struct PendingAdmission {
+    /// When the request entered the fabric.
+    pub at_ns: u64,
+    /// The requesting FID.
+    pub fid: Fid,
+    /// The captured request frame, verbatim (re-injected at whichever
+    /// member the federation picks, and retained for migrations).
+    pub frame: Vec<u8>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A frame arrives at member switch `i`.
+    ToSwitch(usize, Vec<u8>),
+    /// A frame arrives at a host.
+    ToHost([u8; 6], Vec<u8>),
+    /// Periodic controller poll (every member).
+    Poll,
+    /// A host timer fires.
+    Tick([u8; 6]),
+}
+
+#[derive(Debug)]
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Where a transmitted frame is headed.
+#[derive(Debug, Clone, Copy)]
+enum Dest {
+    Switch(usize),
+    Host([u8; 6]),
+}
+
+struct HostSlot {
+    host: Box<dyn Host>,
+    attach: usize,
+}
+
+/// The FID of an active frame, if it parses as one.
+fn active_fid(frame: &[u8]) -> Option<Fid> {
+    let eth = EthernetFrame::new_checked(frame).ok()?;
+    if eth.ethertype() != ACTIVE_ETHERTYPE {
+        return None;
+    }
+    let hdr = ActiveHeader::new_checked(frame.get(ETHERNET_HEADER_LEN..)?).ok()?;
+    Some(hdr.fid())
+}
+
+/// The packet type of an active frame, if it parses as one.
+fn active_packet_type(frame: &[u8]) -> Option<PacketType> {
+    let eth = EthernetFrame::new_checked(frame).ok()?;
+    if eth.ethertype() != ACTIVE_ETHERTYPE {
+        return None;
+    }
+    let hdr = ActiveHeader::new_checked(frame.get(ETHERNET_HEADER_LEN..)?).ok()?;
+    Some(hdr.flags().packet_type())
+}
+
+/// Does this active frame carry the failed flag?
+fn active_failed(frame: &[u8]) -> bool {
+    ActiveHeader::new_checked(&frame[ETHERNET_HEADER_LEN..]).is_ok_and(|h| h.flags().failed())
+}
+
+/// A deterministic fabric of switches, hosts, and fenced FID routes.
+pub struct FabricSim {
+    cfg: NetConfig,
+    topo: FabricTopology,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    switches: Vec<SwitchNode>,
+    hosts: HashMap<[u8; 6], HostSlot>,
+    routes: HashMap<Fid, RouteEntry>,
+    in_flight: HashMap<Fid, u64>,
+    suppressed: HashMap<Fid, SuppressMode>,
+    fed_inbox: Vec<(u64, Vec<u8>)>,
+    pending_admissions: Vec<PendingAdmission>,
+    placement_failures: Vec<(u64, Fid)>,
+    injector: FaultInjector,
+    telemetry: Telemetry,
+    delivered: Counter,
+    dropped_no_host: Counter,
+    dropped_unrouted: Counter,
+    suppressed_frames: Counter,
+    stale_route_rejects: Counter,
+    per_switch_emitted: Vec<Counter>,
+    emitted_total: Counter,
+}
+
+impl FabricSim {
+    /// A fault-free fabric of single-threaded member switches.
+    pub fn new(
+        cfg: NetConfig,
+        topo: FabricTopology,
+        switch_cfg: SwitchConfig,
+        scheme: Scheme,
+    ) -> FabricSim {
+        FabricSim::with_faults(cfg, topo, switch_cfg, scheme, 1, FaultPlan::none())
+    }
+
+    /// Full-control constructor: `workers` threads per member data
+    /// plane (`<= 1` = the classic single-threaded runtime), every
+    /// access and trunk link under `plan`. All members share one
+    /// telemetry hub; member `i`'s metrics live under `switch.{i}.*`.
+    pub fn with_faults(
+        cfg: NetConfig,
+        topo: FabricTopology,
+        switch_cfg: SwitchConfig,
+        scheme: Scheme,
+        workers: usize,
+        plan: FaultPlan,
+    ) -> FabricSim {
+        let n = topo.members();
+        assert!(n >= 1, "a fabric needs at least one member switch");
+        let telemetry = Telemetry::new();
+        let mut injector = FaultInjector::new(plan);
+        injector.bind_telemetry(&telemetry);
+        let mut switches = Vec::with_capacity(n);
+        let mut per_switch_emitted = Vec::with_capacity(n);
+        for i in 0..n {
+            let hub = telemetry.scoped(&format!("switch.{i}."));
+            switches.push(SwitchNode::with_hub(
+                Self::member_mac(i),
+                switch_cfg,
+                scheme,
+                workers,
+                hub,
+            ));
+            let emitted = Counter::new();
+            telemetry
+                .registry()
+                .register_counter(&format!("switch.{i}.fabric.emitted"), &emitted);
+            per_switch_emitted.push(emitted);
+        }
+        let reg = telemetry.registry();
+        let delivered = Counter::new();
+        let dropped_no_host = Counter::new();
+        let dropped_unrouted = Counter::new();
+        let suppressed_frames = Counter::new();
+        let stale_route_rejects = Counter::new();
+        let emitted_total = Counter::new();
+        reg.register_counter("fabric.delivered", &delivered);
+        reg.register_counter("fabric.dropped_no_host", &dropped_no_host);
+        reg.register_counter("fabric.dropped_unrouted", &dropped_unrouted);
+        reg.register_counter("fabric.suppressed_responses", &suppressed_frames);
+        reg.register_counter("fabric.stale_route_rejects", &stale_route_rejects);
+        reg.register_counter("fabric.emitted", &emitted_total);
+        let mut fab = FabricSim {
+            cfg,
+            topo,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            switches,
+            hosts: HashMap::new(),
+            routes: HashMap::new(),
+            in_flight: HashMap::new(),
+            suppressed: HashMap::new(),
+            fed_inbox: Vec::new(),
+            pending_admissions: Vec::new(),
+            placement_failures: Vec::new(),
+            injector,
+            telemetry,
+            delivered,
+            dropped_no_host,
+            dropped_unrouted,
+            suppressed_frames,
+            stale_route_rejects,
+            per_switch_emitted,
+            emitted_total,
+        };
+        fab.schedule(cfg.controller_poll_ns, EventKind::Poll);
+        fab
+    }
+
+    /// The deterministic MAC of member `i`.
+    pub fn member_mac(i: usize) -> [u8; 6] {
+        [2, 0, 0, 0, 0xF0, i as u8]
+    }
+
+    /// Current virtual time, ns.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Member switch count.
+    pub fn members(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> FabricTopology {
+        self.topo
+    }
+
+    /// Member switch `i` (inspection).
+    pub fn switch(&self, i: usize) -> &SwitchNode {
+        &self.switches[i]
+    }
+
+    /// Member switch `i`, mutably.
+    pub fn switch_mut(&mut self, i: usize) -> &mut SwitchNode {
+        &mut self.switches[i]
+    }
+
+    /// The shared fabric telemetry hub (all members feed it under
+    /// their `switch.{id}.*` scopes).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Metrics + journal export at the current virtual time. Per-FID
+    /// rows are per-member state; inspect members directly for those.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot(self.now)
+    }
+
+    /// Frames delivered to hosts so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Active frames dropped because their FID had no route and they
+    /// were not placeable allocation requests.
+    pub fn dropped_unrouted(&self) -> u64 {
+        self.dropped_unrouted.get()
+    }
+
+    /// Allocation responses withheld under a suppression entry.
+    pub fn suppressed_responses(&self) -> u64 {
+        self.suppressed_frames.get()
+    }
+
+    /// Route updates rejected for carrying a stale epoch.
+    pub fn stale_route_rejects(&self) -> u64 {
+        self.stale_route_rejects.get()
+    }
+
+    /// Composed fault picture across the injector, every member, and
+    /// every host.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.injector.stats();
+        for sw in &self.switches {
+            stats.switch_malformed += sw.malformed_frames();
+            stats.injected_crashes += sw.crashes();
+        }
+        for slot in self.hosts.values() {
+            let hs = slot.host.fault_stats();
+            stats.host_malformed += hs.malformed_frames;
+            stats.retransmits += hs.retransmits;
+        }
+        stats
+    }
+
+    /// Attach a host at member switch `attach`; its periodic timer (if
+    /// any) starts now.
+    pub fn add_host(&mut self, host: Box<dyn Host>, attach: usize) {
+        assert!(attach < self.switches.len(), "attachment out of range");
+        let mac = host.mac();
+        if let Some(period) = host.tick_interval() {
+            self.schedule(self.now + period, EventKind::Tick(mac));
+        }
+        self.hosts.insert(mac, HostSlot { host, attach });
+    }
+
+    /// Inspect a host by MAC and concrete type.
+    pub fn host<T: Host + 'static>(&self, mac: [u8; 6]) -> Option<&T> {
+        self.hosts.get(&mac)?.host.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably access a host by MAC and concrete type.
+    pub fn host_mut<T: Host + 'static>(&mut self, mac: [u8; 6]) -> Option<&mut T> {
+        self.hosts
+            .get_mut(&mac)?
+            .host
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    // ----- FID routing -----
+
+    /// Install or move the route for `fid`, fenced by `epoch`: an
+    /// update whose epoch does not exceed the installed one is
+    /// rejected (counted, journaled) and returns `false`.
+    pub fn set_route(&mut self, fid: Fid, sw: usize, epoch: u32) -> bool {
+        assert!(sw < self.switches.len(), "route target out of range");
+        if let Some(r) = self.routes.get(&fid) {
+            if epoch <= r.epoch {
+                self.stale_route_rejects.inc();
+                self.telemetry.record_event(
+                    self.now,
+                    JournalEventKind::StaleRouteRejected {
+                        fid,
+                        got: epoch,
+                        want: r.epoch + 1,
+                    },
+                );
+                return false;
+            }
+        }
+        self.routes.insert(fid, RouteEntry { switch: sw, epoch });
+        true
+    }
+
+    /// The installed route for `fid`, if any.
+    pub fn route_of(&self, fid: Fid) -> Option<RouteEntry> {
+        self.routes.get(&fid).copied()
+    }
+
+    /// The highest epoch any installed route carries (a recovered
+    /// federation fences its future updates above this).
+    pub fn max_route_epoch(&self) -> u32 {
+        self.routes.values().map(|r| r.epoch).max().unwrap_or(0)
+    }
+
+    /// Frames carrying `fid` currently in flight anywhere in the
+    /// fabric (the migration drain barrier waits for zero).
+    pub fn in_flight(&self, fid: Fid) -> u64 {
+        self.in_flight.get(&fid).copied().unwrap_or(0)
+    }
+
+    // ----- Federation management path -----
+
+    /// Withhold allocation responses for `fid` per `mode`.
+    pub fn suppress(&mut self, fid: Fid, mode: SuppressMode) {
+        self.suppressed.insert(fid, mode);
+    }
+
+    /// Stop withholding `fid`'s allocation responses.
+    pub fn unsuppress(&mut self, fid: Fid) {
+        self.suppressed.remove(&fid);
+    }
+
+    /// Drop every suppression entry (federation restart: the recovered
+    /// process re-derives what must stay suppressed).
+    pub fn clear_suppressions(&mut self) {
+        self.suppressed.clear();
+    }
+
+    /// Inject a frame at member `sw` over the management link (one
+    /// reliable hop — fabric fault plans model the *data* network; the
+    /// federation's own channel fails by crashing the federation).
+    pub fn inject_at_switch(&mut self, sw: usize, frame: Vec<u8>) {
+        assert!(sw < self.switches.len());
+        let arrive = self.now + self.cfg.link_time_ns(frame.len());
+        let fid = active_fid(&frame);
+        self.schedule_frame(arrive, EventKind::ToSwitch(sw, frame), fid);
+    }
+
+    /// Frames captured for the federation ([`FEDERATION_MAC`]), with
+    /// their capture times. Draining is destructive.
+    pub fn take_federation_inbox(&mut self) -> Vec<(u64, Vec<u8>)> {
+        std::mem::take(&mut self.fed_inbox)
+    }
+
+    /// Intercepted allocation requests awaiting placement.
+    pub fn take_pending_admissions(&mut self) -> Vec<PendingAdmission> {
+        std::mem::take(&mut self.pending_admissions)
+    }
+
+    /// Failed allocation responses withheld under suppression — the
+    /// federation's signal to fail a placement over to the next
+    /// candidate member.
+    pub fn take_placement_failures(&mut self) -> Vec<(u64, Fid)> {
+        std::mem::take(&mut self.placement_failures)
+    }
+
+    // ----- Migration control entry points (emissions delivered) -----
+
+    /// Start migrating `fid` out of member `sw` toward member `dest`.
+    pub fn migrate_out(&mut self, sw: usize, fid: Fid, dest: u16) -> Result<(), CoreError> {
+        let ems = self.switches[sw].migrate_out(self.now, fid, dest)?;
+        self.deliver_all(sw, ems);
+        Ok(())
+    }
+
+    /// Abort an in-flight migration at member `sw` (reactivate in
+    /// place).
+    pub fn migrate_abort(&mut self, sw: usize, fid: Fid) {
+        let ems = self.switches[sw].migrate_abort(self.now, fid);
+        self.deliver_all(sw, ems);
+    }
+
+    /// Activate a migrated-in FID at destination member `sw`.
+    pub fn migrate_in_activate(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError> {
+        let ems = self.switches[sw].migrate_in_activate(self.now, fid)?;
+        self.deliver_all(sw, ems);
+        Ok(())
+    }
+
+    /// Deallocate `fid` at member `sw` (source teardown after
+    /// cutover, or destination teardown after an abort).
+    pub fn deallocate_at(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError> {
+        let ems = self.switches[sw].deallocate_fid(self.now, fid)?;
+        self.deliver_all(sw, ems);
+        Ok(())
+    }
+
+    /// Kill and recover member `sw`'s controller (op-log replay +
+    /// reconciliation), delivering whatever repair signals it owes.
+    pub fn crash_switch(&mut self, sw: usize) {
+        let ems = self.switches[sw].crash_and_recover(self.now);
+        self.deliver_all(sw, ems);
+    }
+
+    // ----- Event loop -----
+
+    fn schedule(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Schedule a frame event, accounting its FID as in-flight.
+    fn schedule_frame(&mut self, at: u64, kind: EventKind, fid: Option<Fid>) {
+        if let Some(f) = fid {
+            *self.in_flight.entry(f).or_insert(0) += 1;
+        }
+        self.schedule(at, kind);
+    }
+
+    /// A scheduled frame left the heap: release its in-flight slot.
+    fn note_landed(&mut self, frame: &[u8]) {
+        if let Some(f) = active_fid(frame) {
+            if let Some(n) = self.in_flight.get_mut(&f) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.in_flight.remove(&f);
+                }
+            }
+        }
+    }
+
+    /// Push `frame` across `links` consecutive link traversals (each
+    /// through the fault injector) toward `dest`.
+    fn transmit(&mut self, now: u64, src_mac: [u8; 6], frame: Vec<u8>, links: u64, dest: Dest) {
+        let mut survivors = vec![frame];
+        for _ in 0..links.max(1) {
+            let mut next = Vec::new();
+            for f in survivors {
+                next.extend(self.injector.apply(now, src_mac, f));
+            }
+            survivors = next;
+            if survivors.is_empty() {
+                return;
+            }
+        }
+        for f in survivors {
+            let arrive = now + links.max(1) * self.cfg.link_time_ns(f.len());
+            let fid = active_fid(&f);
+            let kind = match dest {
+                Dest::Switch(i) => EventKind::ToSwitch(i, f),
+                Dest::Host(mac) => EventKind::ToHost(mac, f),
+            };
+            self.schedule_frame(arrive, kind, fid);
+        }
+    }
+
+    /// Route one frame leaving the host attached at `attach`. Active
+    /// frames go to their FID's home member; FID-less (plain) frames
+    /// go host-to-host; unrouted allocation requests are intercepted
+    /// for placement; other unrouted active frames are dropped (the
+    /// shim's retransmission recovers them once a route exists).
+    fn route_from_host(&mut self, now: u64, src_mac: [u8; 6], attach: usize, frame: Vec<u8>) {
+        if let Some(fid) = active_fid(&frame) {
+            if let Some(r) = self.routes.get(&fid) {
+                let sw = r.switch;
+                let links = self.topo.hops(attach, sw) + 1;
+                self.transmit(now, src_mac, frame, links, Dest::Switch(sw));
+            } else if active_packet_type(&frame) == Some(PacketType::AllocRequest) {
+                self.pending_admissions.push(PendingAdmission {
+                    at_ns: now,
+                    fid,
+                    frame,
+                });
+            } else {
+                self.dropped_unrouted.inc();
+                self.injector.recycle(frame);
+            }
+            return;
+        }
+        // Plain traffic transits the fabric without active processing.
+        let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            self.injector.recycle(frame);
+            return;
+        };
+        let dst = eth.dst();
+        match self.hosts.get(&dst) {
+            Some(slot) => {
+                let links = self.topo.hops(attach, slot.attach) + 2;
+                self.transmit(now, src_mac, frame, links, Dest::Host(dst));
+            }
+            None => {
+                self.dropped_no_host.inc();
+                self.injector.recycle(frame);
+            }
+        }
+    }
+
+    fn deliver_all(&mut self, from: usize, emissions: Vec<SwitchEmission>) {
+        for e in emissions {
+            self.deliver_emission(from, e);
+        }
+    }
+
+    /// Deliver one switch emission: federation capture, suppression,
+    /// then host delivery across the trunk + access links.
+    fn deliver_emission(&mut self, from: usize, e: SwitchEmission) {
+        let depart = e.at_ns.max(self.now);
+        if e.dst == FEDERATION_MAC {
+            self.fed_inbox.push((depart, e.frame));
+            return;
+        }
+        if active_packet_type(&e.frame) == Some(PacketType::AllocResponse) {
+            if let Some(fid) = active_fid(&e.frame) {
+                if let Some(&mode) = self.suppressed.get(&fid) {
+                    let failed = active_failed(&e.frame);
+                    let withhold = match mode {
+                        SuppressMode::All => true,
+                        SuppressMode::FailuresOnly => failed,
+                    };
+                    if withhold {
+                        self.suppressed_frames.inc();
+                        if failed {
+                            self.placement_failures.push((depart, fid));
+                        }
+                        self.injector.recycle(e.frame);
+                        return;
+                    }
+                }
+            }
+        }
+        let Some(attach) = self.hosts.get(&e.dst).map(|s| s.attach) else {
+            self.dropped_no_host.inc();
+            self.injector.recycle(e.frame);
+            return;
+        };
+        self.per_switch_emitted[from].inc();
+        self.emitted_total.inc();
+        let links = self.topo.hops(from, attach) + 1;
+        let src = Self::member_mac(from);
+        self.transmit(depart, src, e.frame, links, Dest::Host(e.dst));
+    }
+
+    /// Run until virtual time `t_ns` (inclusive); later events stay
+    /// queued.
+    pub fn run_until(&mut self, t_ns: u64) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > t_ns {
+                break;
+            }
+            let Event { at, kind, .. } = self.queue.pop().expect("peeked");
+            self.now = self.now.max(at);
+            match kind {
+                EventKind::ToSwitch(i, frame) => {
+                    self.note_landed(&frame);
+                    let emissions = self.switches[i].handle_frame(self.now, frame);
+                    self.deliver_all(i, emissions);
+                    let flushed = self.switches[i].flush_data_plane(self.now);
+                    self.deliver_all(i, flushed);
+                }
+                EventKind::ToHost(mac, frame) => {
+                    self.note_landed(&frame);
+                    let Some(slot) = self.hosts.get_mut(&mac) else {
+                        self.dropped_no_host.inc();
+                        self.injector.recycle(frame);
+                        continue;
+                    };
+                    self.delivered.inc();
+                    let attach = slot.attach;
+                    let replies = slot.host.on_frame(self.now, frame);
+                    let at = self.now + self.cfg.host_overhead_ns;
+                    for r in replies {
+                        self.route_from_host(at, mac, attach, r);
+                    }
+                }
+                EventKind::Poll => {
+                    if !self.injector.poll_stalled(self.now) {
+                        for i in 0..self.switches.len() {
+                            let emissions = self.switches[i].poll(self.now);
+                            self.deliver_all(i, emissions);
+                        }
+                    }
+                    let next = self.now + self.cfg.controller_poll_ns;
+                    self.schedule(next, EventKind::Poll);
+                }
+                EventKind::Tick(mac) => {
+                    let Some(slot) = self.hosts.get_mut(&mac) else {
+                        continue;
+                    };
+                    let attach = slot.attach;
+                    let frames = slot.host.on_tick(self.now);
+                    let period = slot.host.tick_interval();
+                    let at = self.now + self.cfg.host_overhead_ns;
+                    for r in frames {
+                        self.route_from_host(at, mac, attach, r);
+                    }
+                    if let Some(p) = period {
+                        self.schedule(self.now + p, EventKind::Tick(mac));
+                    }
+                }
+            }
+        }
+        self.now = self.now.max(t_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::EchoHost;
+
+    const A: [u8; 6] = [2, 0, 0, 0, 0, 1];
+    const B: [u8; 6] = [2, 0, 0, 0, 0, 2];
+
+    fn plain_frame(dst: [u8; 6], src: [u8; 6], len: usize) -> Vec<u8> {
+        let mut f = vec![0u8; 14.max(len)];
+        let mut eth = EthernetFrame::new_unchecked(&mut f[..]);
+        eth.set_dst(dst);
+        eth.set_src(src);
+        eth.set_ethertype(0x0800);
+        f
+    }
+
+    fn ring3() -> FabricSim {
+        FabricSim::new(
+            NetConfig::default(),
+            FabricTopology::Ring(3),
+            SwitchConfig::default(),
+            Scheme::WorstFit,
+        )
+    }
+
+    #[test]
+    fn ring_hops_take_the_short_way_around() {
+        let t = FabricTopology::Ring(5);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 4), 1);
+        assert_eq!(t.hops(1, 3), 2);
+        assert_eq!(t.members(), 5);
+    }
+
+    #[test]
+    fn leaf_spine_is_two_hops_between_distinct_leaves() {
+        let t = FabricTopology::LeafSpine {
+            leaves: 4,
+            spines: 2,
+        };
+        assert_eq!(t.hops(2, 2), 0);
+        assert_eq!(t.hops(0, 3), 2);
+        assert_eq!(t.members(), 4);
+    }
+
+    #[test]
+    fn plain_frames_cross_the_fabric_between_attachments() {
+        use crate::host::KvServerHost;
+        let mut fab = ring3();
+        // A is a sink (the KV server drops unparseable payloads), so
+        // the reflected frame stops after one round trip.
+        fab.add_host(Box::new(KvServerHost::new(A, 0)), 0);
+        fab.add_host(Box::new(EchoHost::new(B)), 2);
+        // Headers only: the reflected copy has no payload for the KV
+        // server to answer, so traffic stops after one round trip.
+        fab.route_from_host(0, A, 0, plain_frame(B, A, 14));
+        fab.run_until(5_000_000);
+        assert_eq!(fab.host::<EchoHost>(B).unwrap().echoed(), 1);
+        // The echo came back to A (attached elsewhere).
+        assert_eq!(fab.delivered(), 2);
+    }
+
+    #[test]
+    fn route_epochs_fence_stale_updates() {
+        let mut fab = ring3();
+        assert!(fab.set_route(7, 0, 1));
+        assert!(fab.set_route(7, 1, 2), "higher epoch moves the route");
+        assert!(!fab.set_route(7, 2, 2), "equal epoch is stale");
+        assert!(!fab.set_route(7, 2, 1), "lower epoch is stale");
+        assert_eq!(fab.route_of(7).unwrap().switch, 1);
+        assert_eq!(fab.stale_route_rejects(), 2);
+        assert_eq!(fab.max_route_epoch(), 2);
+        let snap = fab.telemetry_snapshot();
+        assert_eq!(snap.counter("fabric.stale_route_rejects"), Some(2));
+    }
+
+    #[test]
+    fn member_metrics_are_namespaced_in_the_shared_registry() {
+        let fab = ring3();
+        let snap = fab.telemetry_snapshot();
+        for i in 0..3 {
+            let name = format!("switch.{i}.controller.verify_accepted");
+            assert_eq!(snap.counter(&name), Some(0), "missing {name}");
+        }
+        assert_eq!(snap.counter("fabric.delivered"), Some(0));
+    }
+
+    #[test]
+    fn unrouted_alloc_requests_are_intercepted_not_dropped() {
+        use activermt_isa::wire::{build_alloc_request, AccessDescriptor};
+        let mut fab = ring3();
+        let accesses = [AccessDescriptor {
+            min_position: 2,
+            min_gap: 2,
+            demand: 1,
+        }];
+        let req = build_alloc_request(FABRIC_MAC, A, 9, 1, &accesses, 4, false, true, 0).unwrap();
+        fab.add_host(Box::new(EchoHost::new(A)), 0);
+        fab.route_from_host(0, A, 0, req);
+        fab.run_until(1_000_000);
+        let pend = fab.take_pending_admissions();
+        assert_eq!(pend.len(), 1);
+        assert_eq!(pend[0].fid, 9);
+        assert_eq!(fab.dropped_unrouted(), 0);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod apphosts;
 pub mod config;
+pub mod fabric;
 pub mod fault;
 pub mod host;
 pub mod sim;
@@ -26,6 +27,10 @@ pub mod trace;
 
 pub use apphosts::{CacheClientConfig, CacheClientHost, LatencyProbeHost, Phase};
 pub use config::NetConfig;
+pub use fabric::{
+    FabricSim, FabricTopology, PendingAdmission, RouteEntry, SuppressMode, FABRIC_MAC,
+    FEDERATION_MAC,
+};
 pub use fault::{CrashInjector, CrashPlan, CrashPoint, FaultInjector, FaultPlan, FaultStats};
 pub use host::{EchoHost, Host, HostFaultStats, KvServerHost};
 pub use sim::Simulation;

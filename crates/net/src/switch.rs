@@ -13,7 +13,7 @@ use activermt_core::runtime::{
     DataPlane, OutputAction, ShardedExecutor, SwitchRuntime, TaggedOutput, DEFAULT_BATCH_FRAMES,
 };
 use activermt_core::types::Fid;
-use activermt_core::{OpLog, SwitchConfig};
+use activermt_core::{CoreError, OpLog, SwitchConfig};
 use activermt_isa::constants::{ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
 use activermt_isa::wire::{
     build_alloc_response, build_control, ActiveHeader, AllocRequest, ControlOp, EthernetFrame,
@@ -110,7 +110,21 @@ impl SwitchNode {
         scheme: Scheme,
         workers: usize,
     ) -> SwitchNode {
-        let telemetry = Telemetry::new();
+        SwitchNode::with_hub(mac, cfg, scheme, workers, Telemetry::new())
+    }
+
+    /// Bring up a switch bound to an externally owned telemetry hub.
+    /// A fabric passes each member `shared.scoped("switch.{id}.")` so
+    /// all switches feed one registry under per-switch namespaces
+    /// while a lone switch (the other constructors) keeps the
+    /// unscoped single-switch metric names.
+    pub fn with_hub(
+        mac: [u8; 6],
+        cfg: SwitchConfig,
+        scheme: Scheme,
+        workers: usize,
+        telemetry: Telemetry,
+    ) -> SwitchNode {
         let reg = telemetry.registry();
         let malformed_eth = Counter::new();
         let malformed_active = Counter::new();
@@ -393,6 +407,58 @@ impl SwitchNode {
     /// Collected provisioning reports.
     pub fn reports(&self) -> &[(u64, ProvisioningReport)] {
         &self.reports
+    }
+
+    /// Begin migrating `fid` out of this switch (fabric control plane):
+    /// the FID is fenced and quiesced exactly as a reallocation victim;
+    /// the returned emission carries the DeactivateNotice. Idempotent —
+    /// re-entry re-signals under the same fence.
+    pub fn migrate_out(
+        &mut self,
+        now_ns: u64,
+        fid: Fid,
+        dest: u16,
+    ) -> Result<Vec<SwitchEmission>, CoreError> {
+        let actions =
+            self.controller
+                .handle_migrate_out(plane_dyn(&mut self.plane), fid, dest, now_ns)?;
+        Ok(self.finish(now_ns, actions))
+    }
+
+    /// Abort an in-flight migration out of this switch: the FID is
+    /// reactivated in place and the client re-told its (unchanged)
+    /// regions. A no-op (empty) if no migration is in flight.
+    pub fn migrate_abort(&mut self, now_ns: u64, fid: Fid) -> Vec<SwitchEmission> {
+        let actions = self
+            .controller
+            .handle_migrate_abort(plane_dyn(&mut self.plane), fid, now_ns);
+        self.finish(now_ns, actions)
+    }
+
+    /// Activate a migrated-in FID on this (destination) switch after
+    /// state replay: sends the authoritative Respond (this switch's
+    /// regions) plus a fenced ReactivateNotice, re-sent until acked.
+    pub fn migrate_in_activate(
+        &mut self,
+        now_ns: u64,
+        fid: Fid,
+    ) -> Result<Vec<SwitchEmission>, CoreError> {
+        let actions = self.controller.handle_migrate_in_activate(fid, now_ns)?;
+        Ok(self.finish(now_ns, actions))
+    }
+
+    /// Control-plane-driven deallocation (fabric teardown of the source
+    /// copy after cutover). Same path as a client Deallocate control
+    /// frame.
+    pub fn deallocate_fid(
+        &mut self,
+        now_ns: u64,
+        fid: Fid,
+    ) -> Result<Vec<SwitchEmission>, CoreError> {
+        let actions = self
+            .controller
+            .handle_deallocate(plane_dyn(&mut self.plane), fid, now_ns)?;
+        Ok(self.finish(now_ns, actions))
     }
 
     /// Total frames this switch dropped as malformed, across every

@@ -82,6 +82,28 @@ pub enum VerifyRejectReason {
     Structure,
 }
 
+/// Which phase boundary a cross-switch migration crossed (the fabric
+/// layer's state machine; see `activermt-fabric`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// The FID was quiesced on its source switch.
+    Quiesce,
+    /// Source-side state was extracted over the control plane.
+    Snapshot,
+    /// The destination switch admitted the app.
+    Admit,
+    /// The snapshot was replayed onto the destination via memsync.
+    Replay,
+    /// In-flight traffic toward the source drained.
+    Drain,
+    /// Routing cut over to the destination under a fresh epoch.
+    Cutover,
+    /// The source switch released the old allocation.
+    Dealloc,
+    /// The migration was abandoned; the FID stayed on its source.
+    Abort,
+}
+
 /// A structured control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -180,6 +202,58 @@ pub enum EventKind {
         fid: u16,
         /// What the repair did.
         repair: RepairKind,
+    },
+    /// A FID was quiesced on this switch for live migration elsewhere.
+    MigrateOut {
+        /// The departing FID.
+        fid: u16,
+        /// Fabric-assigned destination switch index.
+        dest: u16,
+    },
+    /// A migration was abandoned; the FID resumed on this switch.
+    MigrateAbort {
+        /// The FID that stayed.
+        fid: u16,
+    },
+    /// A migrated FID was activated on this (destination) switch.
+    MigrateIn {
+        /// The arriving FID.
+        fid: u16,
+    },
+    /// The federation placed an arriving app on a member switch.
+    FabricPlacement {
+        /// The placed FID.
+        fid: u16,
+        /// The chosen member switch index.
+        switch: u16,
+    },
+    /// A cross-switch migration crossed a phase boundary.
+    FabricMigration {
+        /// The migrating FID.
+        fid: u16,
+        /// Source switch index.
+        src: u16,
+        /// Destination switch index.
+        dst: u16,
+        /// The phase that completed.
+        phase: MigrationPhase,
+    },
+    /// The federation rebuilt its control state from the member
+    /// controllers after a crash.
+    FederationRecovered {
+        /// Migrations resumed (redone idempotently).
+        resumed: u16,
+        /// Migrations aborted back to their source switch.
+        aborted: u16,
+    },
+    /// A route update carrying a stale per-FID epoch was rejected.
+    StaleRouteRejected {
+        /// The FID whose route the update named.
+        fid: u16,
+        /// The epoch the update carried.
+        got: u32,
+        /// The epoch the fabric expects to supersede.
+        want: u32,
     },
 }
 

@@ -34,8 +34,8 @@ mod snapshot;
 
 pub use ewma::{ewma, Ewma};
 pub use journal::{
-    DropLayer, EventKind, FaultKind, Journal, JournalEvent, RepairKind, VerifyRejectReason,
-    DEFAULT_JOURNAL_CAPACITY,
+    DropLayer, EventKind, FaultKind, Journal, JournalEvent, MigrationPhase, RepairKind,
+    VerifyRejectReason, DEFAULT_JOURNAL_CAPACITY,
 };
 pub use metrics::{
     bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSummary, NUM_BUCKETS,
@@ -78,6 +78,19 @@ impl Telemetry {
     /// The metric registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// A hub onto the same journal whose registry handle prepends
+    /// `prefix` to every metric name — how a fabric of switches shares
+    /// one registry with per-switch `switch.{id}.*` namespaces while a
+    /// lone switch keeps the unscoped names. Events from every scope
+    /// land in the one shared journal.
+    #[must_use]
+    pub fn scoped(&self, prefix: &str) -> Telemetry {
+        Telemetry {
+            registry: self.registry.scoped(prefix),
+            journal: self.journal.clone(),
+        }
     }
 
     /// The event journal.

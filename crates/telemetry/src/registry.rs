@@ -43,10 +43,15 @@ pub struct MetricSample {
     pub value: MetricValue,
 }
 
-/// The shared name → metric map. `Clone` shares the map.
+/// The shared name → metric map. `Clone` shares the map (and keeps the
+/// handle's name prefix; see [`Registry::scoped`]).
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+    /// Prepended to every name this *handle* registers or resolves.
+    /// Empty for a plain registry — single-switch metric names are
+    /// byte-identical to what they were before scoping existed.
+    prefix: String,
 }
 
 impl Registry {
@@ -55,13 +60,36 @@ impl Registry {
         Registry::default()
     }
 
+    /// A handle onto the *same* map that prepends `prefix` to every
+    /// name it touches. This is how several switches share one
+    /// registry without colliding: switch `k` binds its components
+    /// through `registry.scoped(&format!("switch.{k}."))` and its
+    /// `runtime.frames` lands as `switch.k.runtime.frames`, while a
+    /// lone switch keeps the unscoped names. Scopes nest.
+    #[must_use]
+    pub fn scoped(&self, prefix: &str) -> Registry {
+        Registry {
+            inner: Arc::clone(&self.inner),
+            prefix: format!("{}{prefix}", self.prefix),
+        }
+    }
+
+    /// The prefix this handle applies (empty for an unscoped handle).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
     /// Get or create the counter named `name`. Panics if `name` is
     /// already registered as a different metric kind (a programming
     /// error, not an operational condition).
     pub fn counter(&self, name: &str) -> Counter {
         let mut map = self.inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(self.full_name(name))
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
@@ -73,7 +101,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = self.inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(self.full_name(name))
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
@@ -85,7 +113,7 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut map = self.inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(self.full_name(name))
             .or_insert_with(|| Metric::Histogram(Histogram::new()))
         {
             Metric::Histogram(h) => h.clone(),
@@ -99,7 +127,7 @@ impl Registry {
         self.inner
             .lock()
             .unwrap()
-            .insert(name.to_string(), Metric::Counter(c.clone()));
+            .insert(self.full_name(name), Metric::Counter(c.clone()));
     }
 
     /// Adopt an existing gauge handle under `name`.
@@ -107,7 +135,7 @@ impl Registry {
         self.inner
             .lock()
             .unwrap()
-            .insert(name.to_string(), Metric::Gauge(g.clone()));
+            .insert(self.full_name(name), Metric::Gauge(g.clone()));
     }
 
     /// Adopt an existing histogram handle under `name`.
@@ -115,7 +143,7 @@ impl Registry {
         self.inner
             .lock()
             .unwrap()
-            .insert(name.to_string(), Metric::Histogram(h.clone()));
+            .insert(self.full_name(name), Metric::Histogram(h.clone()));
     }
 
     /// Registered metric count.
@@ -195,5 +223,43 @@ mod tests {
         let r = Registry::new();
         r.counter("m");
         r.gauge("m");
+    }
+
+    #[test]
+    fn scoped_handles_share_the_map_under_prefixed_names() {
+        let shared = Registry::new();
+        let s0 = shared.scoped("switch.0.");
+        let s1 = shared.scoped("switch.1.");
+        s0.counter("runtime.frames").add(3);
+        s1.counter("runtime.frames").add(5);
+        shared.counter("fabric.migrations").inc();
+        let names: Vec<String> = shared.samples().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fabric.migrations",
+                "switch.0.runtime.frames",
+                "switch.1.runtime.frames"
+            ]
+        );
+        // Resolving through the scope reads the same cell.
+        assert_eq!(s0.counter("runtime.frames").get(), 3);
+        assert_eq!(shared.counter("switch.1.runtime.frames").get(), 5);
+    }
+
+    #[test]
+    fn unscoped_names_are_unchanged() {
+        let r = Registry::new();
+        assert_eq!(r.prefix(), "");
+        r.counter("controller.repairs").inc();
+        assert_eq!(r.samples()[0].name, "controller.repairs");
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let r = Registry::new();
+        let inner = r.scoped("switch.2.").scoped("worker.0.");
+        inner.counter("frames").inc();
+        assert_eq!(r.samples()[0].name, "switch.2.worker.0.frames");
     }
 }

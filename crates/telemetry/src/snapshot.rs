@@ -8,7 +8,9 @@
 //! writer — so the same snapshot feeds both machine post-processing and
 //! scrape-style dashboards.
 
-use crate::journal::{DropLayer, EventKind, FaultKind, JournalEvent, VerifyRejectReason};
+use crate::journal::{
+    DropLayer, EventKind, FaultKind, JournalEvent, MigrationPhase, VerifyRejectReason,
+};
 use crate::registry::{MetricSample, MetricValue};
 
 /// One FID's accounting row: the union of what the runtime (packet
@@ -368,6 +370,52 @@ fn event_fields_json(kind: &EventKind) -> String {
                 repair_kind_str(*repair)
             )
         }
+        EventKind::MigrateOut { fid, dest } => {
+            format!("\"type\": \"migrate_out\", \"fid\": {fid}, \"dest\": {dest}")
+        }
+        EventKind::MigrateAbort { fid } => {
+            format!("\"type\": \"migrate_abort\", \"fid\": {fid}")
+        }
+        EventKind::MigrateIn { fid } => {
+            format!("\"type\": \"migrate_in\", \"fid\": {fid}")
+        }
+        EventKind::FabricPlacement { fid, switch } => {
+            format!("\"type\": \"fabric_placement\", \"fid\": {fid}, \"switch\": {switch}")
+        }
+        EventKind::FabricMigration {
+            fid,
+            src,
+            dst,
+            phase,
+        } => {
+            format!(
+                "\"type\": \"fabric_migration\", \"fid\": {fid}, \"src\": {src}, \"dst\": {dst}, \"phase\": \"{}\"",
+                migration_phase_str(*phase)
+            )
+        }
+        EventKind::FederationRecovered { resumed, aborted } => {
+            format!(
+                "\"type\": \"federation_recovered\", \"resumed\": {resumed}, \"aborted\": {aborted}"
+            )
+        }
+        EventKind::StaleRouteRejected { fid, got, want } => {
+            format!(
+                "\"type\": \"stale_route_rejected\", \"fid\": {fid}, \"got\": {got}, \"want\": {want}"
+            )
+        }
+    }
+}
+
+fn migration_phase_str(p: MigrationPhase) -> &'static str {
+    match p {
+        MigrationPhase::Quiesce => "quiesce",
+        MigrationPhase::Snapshot => "snapshot",
+        MigrationPhase::Admit => "admit",
+        MigrationPhase::Replay => "replay",
+        MigrationPhase::Drain => "drain",
+        MigrationPhase::Cutover => "cutover",
+        MigrationPhase::Dealloc => "dealloc",
+        MigrationPhase::Abort => "abort",
     }
 }
 

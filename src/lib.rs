@@ -15,11 +15,14 @@
 //! * [`apps`] — exemplar services (cache, heavy hitter, Cheetah LB),
 //! * [`net`] — the discrete-event network simulator,
 //! * [`modelcheck`] — control-plane safety invariants and the bounded
-//!   model checker.
+//!   model checker,
+//! * [`fabric`] — the federated multi-switch control plane with live
+//!   cross-switch migration.
 
 pub use activermt_apps as apps;
 pub use activermt_client as client;
 pub use activermt_core as core;
+pub use activermt_fabric as fabric;
 pub use activermt_isa as isa;
 pub use activermt_modelcheck as modelcheck;
 pub use activermt_net as net;
