@@ -63,7 +63,7 @@ struct Outstanding {
 }
 
 /// Batched, retransmitting remote memory access.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemSync {
     fid: u16,
     mac: [u8; 6],

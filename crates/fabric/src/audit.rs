@@ -1,0 +1,42 @@
+//! The memsync read-back audit record produced by every migration.
+//!
+//! The federation extracts each live cell from the migration source,
+//! replays it into the destination, and then *reads every cell back*
+//! from the destination's data plane before cutover. The resulting
+//! [`MigrationAudit`] is the evidence trail for fabric invariant F2
+//! (migration preserves state): a completed migration with a dirty
+//! audit is a silent state-loss bug.
+//!
+//! Audits from migrations that *aborted in place* (the read-back
+//! caught a divergence and the federation kept the app on its source)
+//! are retained for observability but flagged [`MigrationAudit::aborted`];
+//! F2 skips them, because the divergent destination copy was torn down
+//! and never served traffic.
+
+use activermt_core::types::Fid;
+
+/// The record of one migration replay, for F2: `expected` is what the
+/// federation extracted from the source, `observed` what it read back
+/// from the destination after replay — both as
+/// `(stage, physical address, value)` triples in *destination*
+/// coordinates, sorted identically by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationAudit {
+    /// The migrated FID.
+    pub fid: Fid,
+    /// Cells written to the destination (from the source snapshot).
+    pub expected: Vec<(usize, u32, u32)>,
+    /// The same cells read back from the destination.
+    pub observed: Vec<(usize, u32, u32)>,
+    /// True when the audit itself caused an abort-in-place: the
+    /// divergent destination copy was deallocated and the app stayed
+    /// home, so this record is diagnostic, not a state-loss witness.
+    pub aborted: bool,
+}
+
+impl MigrationAudit {
+    /// Does the destination hold exactly the extracted state?
+    pub fn is_clean(&self) -> bool {
+        self.expected == self.observed
+    }
+}

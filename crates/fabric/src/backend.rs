@@ -1,0 +1,141 @@
+//! The substrate a [`Federation`](crate::Federation) governs.
+//!
+//! The federation's algorithms — placement failover, the migration
+//! micro-step machine, crash recovery — only ever touch a narrow
+//! management surface of the fabric: member controllers and data
+//! planes (read-only), the fenced route table, the in-flight ledger,
+//! suppression entries, frame injection, and the three intercept
+//! queues (federation inbox, pending admissions, placement failures).
+//! [`FabricBackend`] names that surface so the same federation code
+//! drives two substrates:
+//!
+//! * [`FabricSim`] — the discrete-event fabric with real links, hosts,
+//!   fault injectors, and virtual time (concrete runs, chaos tests).
+//! * `ModelFabric` (in `activermt-modelcheck`) — a clockless,
+//!   clonable fabric whose every frame delivery is an explicit model
+//!   transition, so the bounded explorer can interleave federation
+//!   micro-steps with network faults exhaustively.
+//!
+//! The trait is deliberately *not* sealed: anything that can answer
+//! these questions can be federated.
+
+use activermt_core::types::Fid;
+use activermt_core::{Controller, CoreError, DataPlane};
+use activermt_net::fabric::{FabricSim, PendingAdmission, RouteEntry, SuppressMode};
+use activermt_telemetry::EventKind;
+
+/// The management surface the federation needs from a fabric.
+pub trait FabricBackend {
+    /// Member switch count.
+    fn members(&self) -> usize;
+    /// Current virtual time, ns.
+    fn now(&self) -> u64;
+    /// Member `i`'s controller (read-only inspection).
+    fn controller(&self, i: usize) -> &Controller;
+    /// Member `i`'s data plane (read-only inspection).
+    fn plane(&self, i: usize) -> &dyn DataPlane;
+    /// The highest epoch any installed route carries.
+    fn max_route_epoch(&self) -> u32;
+    /// Install or move the fenced route for `fid`; `false` = stale.
+    fn set_route(&mut self, fid: Fid, sw: usize, epoch: u32) -> bool;
+    /// The installed route for `fid`, if any.
+    fn route_of(&self, fid: Fid) -> Option<RouteEntry>;
+    /// Frames carrying `fid` currently in flight (drain barrier).
+    fn in_flight(&self, fid: Fid) -> u64;
+    /// Withhold allocation responses for `fid` per `mode`.
+    fn suppress(&mut self, fid: Fid, mode: SuppressMode);
+    /// Stop withholding `fid`'s allocation responses.
+    fn unsuppress(&mut self, fid: Fid);
+    /// Drop every suppression entry (federation restart).
+    fn clear_suppressions(&mut self);
+    /// Inject a frame at member `sw` over the management link.
+    fn inject_at_switch(&mut self, sw: usize, frame: Vec<u8>);
+    /// Frames captured for the federation, with capture times.
+    fn take_federation_inbox(&mut self) -> Vec<(u64, Vec<u8>)>;
+    /// Intercepted allocation requests awaiting placement.
+    fn take_pending_admissions(&mut self) -> Vec<PendingAdmission>;
+    /// Put an admission back in the pending queue (the federation
+    /// cannot act on it yet — e.g. a stray request from a previous
+    /// incarnation is still in flight and brokering now could grant
+    /// the FID on two members).
+    fn defer_admission(&mut self, pa: PendingAdmission);
+    /// Failed allocation responses withheld under suppression.
+    fn take_placement_failures(&mut self) -> Vec<(u64, Fid)>;
+    /// Start migrating `fid` out of member `sw` toward member `dest`.
+    fn migrate_out(&mut self, sw: usize, fid: Fid, dest: u16) -> Result<(), CoreError>;
+    /// Abort an in-flight migration at member `sw`.
+    fn migrate_abort(&mut self, sw: usize, fid: Fid);
+    /// Activate a migrated-in FID at destination member `sw`.
+    fn migrate_in_activate(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError>;
+    /// Deallocate `fid` at member `sw`.
+    fn deallocate_at(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError>;
+    /// Journal a federation event (no-op substrates are fine: the
+    /// journal is observability, never control flow).
+    fn record_event(&self, at_ns: u64, ev: EventKind);
+}
+
+impl FabricBackend for FabricSim {
+    fn members(&self) -> usize {
+        FabricSim::members(self)
+    }
+    fn now(&self) -> u64 {
+        FabricSim::now(self)
+    }
+    fn controller(&self, i: usize) -> &Controller {
+        self.switch(i).controller()
+    }
+    fn plane(&self, i: usize) -> &dyn DataPlane {
+        self.switch(i).plane()
+    }
+    fn max_route_epoch(&self) -> u32 {
+        FabricSim::max_route_epoch(self)
+    }
+    fn set_route(&mut self, fid: Fid, sw: usize, epoch: u32) -> bool {
+        FabricSim::set_route(self, fid, sw, epoch)
+    }
+    fn route_of(&self, fid: Fid) -> Option<RouteEntry> {
+        FabricSim::route_of(self, fid)
+    }
+    fn in_flight(&self, fid: Fid) -> u64 {
+        FabricSim::in_flight(self, fid)
+    }
+    fn suppress(&mut self, fid: Fid, mode: SuppressMode) {
+        FabricSim::suppress(self, fid, mode);
+    }
+    fn unsuppress(&mut self, fid: Fid) {
+        FabricSim::unsuppress(self, fid);
+    }
+    fn clear_suppressions(&mut self) {
+        FabricSim::clear_suppressions(self);
+    }
+    fn inject_at_switch(&mut self, sw: usize, frame: Vec<u8>) {
+        FabricSim::inject_at_switch(self, sw, frame);
+    }
+    fn take_federation_inbox(&mut self) -> Vec<(u64, Vec<u8>)> {
+        FabricSim::take_federation_inbox(self)
+    }
+    fn take_pending_admissions(&mut self) -> Vec<PendingAdmission> {
+        FabricSim::take_pending_admissions(self)
+    }
+    fn defer_admission(&mut self, pa: PendingAdmission) {
+        FabricSim::defer_admission(self, pa);
+    }
+    fn take_placement_failures(&mut self) -> Vec<(u64, Fid)> {
+        FabricSim::take_placement_failures(self)
+    }
+    fn migrate_out(&mut self, sw: usize, fid: Fid, dest: u16) -> Result<(), CoreError> {
+        FabricSim::migrate_out(self, sw, fid, dest)
+    }
+    fn migrate_abort(&mut self, sw: usize, fid: Fid) {
+        FabricSim::migrate_abort(self, sw, fid);
+    }
+    fn migrate_in_activate(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError> {
+        FabricSim::migrate_in_activate(self, sw, fid)
+    }
+    fn deallocate_at(&mut self, sw: usize, fid: Fid) -> Result<(), CoreError> {
+        FabricSim::deallocate_at(self, sw, fid)
+    }
+    fn record_event(&self, at_ns: u64, ev: EventKind) {
+        self.telemetry().record_event(at_ns, ev);
+    }
+}

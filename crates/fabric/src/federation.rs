@@ -1,9 +1,10 @@
 //! The federated control plane: placement, live migration, recovery.
 //!
-//! One [`Federation`] owns a [`FabricSim`] and drives it in small time
-//! slices, interleaving the fabric's discrete-event traffic with its
-//! own control loop (`pump`). All federation state is volatile by
-//! design — [`Federation::crash`] wipes it, and the next pump rebuilds
+//! One [`Federation`] owns a [`FabricBackend`] (a concrete
+//! [`FabricSim`] by default) and drives it in small time slices,
+//! interleaving the fabric's discrete-event traffic with its own
+//! control loop (`pump`). All federation state is volatile by design —
+//! [`Federation::crash`] wipes it, and the next pump rebuilds
 //! everything from the two durable substrates: the member controllers
 //! (op-log backed) and the fabric's epoch-fenced route table.
 //!
@@ -43,13 +44,19 @@
 //! verify divergence) aborts: the source reactivates the FID in place
 //! with its regions unchanged, and the destination's partial
 //! allocation, if any, is released.
+//!
+//! The *legal* status transitions of this machine are written down
+//! once, in [`MigrationStatus::may_step`]; fabric invariant F6 (in
+//! `activermt-modelcheck`) and the property tests both read that
+//! table, so the documentation cannot drift from the checker.
 
+use crate::audit::MigrationAudit;
+use crate::backend::FabricBackend;
 use activermt_client::memsync::{MemSync, SyncOp};
 use activermt_core::types::Fid;
 use activermt_core::CoreError;
 use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN};
 use activermt_isa::wire::{ActiveHeader, EthernetFrame, RegionEntry};
-use activermt_modelcheck::fabric::MigrationAudit;
 use activermt_net::fabric::{FabricSim, SuppressMode, FEDERATION_MAC};
 use activermt_telemetry::{EventKind, MigrationPhase};
 use std::collections::BTreeMap;
@@ -97,7 +104,7 @@ pub enum FedCrashPoint {
 }
 
 /// Public progress report for one in-flight migration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MigrationStatus {
     /// Waiting for the client's quiesce acknowledgement on the source.
     Quiescing,
@@ -109,6 +116,42 @@ pub enum MigrationStatus {
     Verifying,
     /// Waiting for in-flight traffic to drain.
     Draining,
+}
+
+impl MigrationStatus {
+    /// The documented transition relation of the migration machine,
+    /// over *observable* statuses (`None` = no migration tracked).
+    /// This is the single source of truth shared by fabric invariant
+    /// F6 and the status-machine property tests. A federation crash is
+    /// the one documented exception handled by callers: it wipes every
+    /// tracked migration (`any → None`) without stepping the machine.
+    ///
+    /// Legal moves:
+    /// * self-loops (a micro-step that made no observable progress);
+    /// * `None → Quiescing` (start, or a recovery redo);
+    /// * the forward chain `Quiescing → Admitting → Replaying →
+    ///   Verifying → Draining → None`, plus the `Admitting → Draining`
+    ///   shortcut when the snapshot carried no nonzero cells;
+    /// * aborts to `None` from `Quiescing` (lost request frame),
+    ///   `Admitting` (refusal/timeout/geometry), `Verifying`
+    ///   (read-back divergence), and `Draining` (activation failure).
+    ///
+    /// Notably *illegal*: `Replaying → Draining` (skipping the
+    /// read-back audit) and `Replaying → None` (a replay can always
+    /// finish: memsync retransmits until every frame is acked).
+    pub fn may_step(from: Option<MigrationStatus>, to: Option<MigrationStatus>) -> bool {
+        use MigrationStatus::{Admitting, Draining, Quiescing, Replaying, Verifying};
+        match (from, to) {
+            (a, b) if a == b => true,
+            (None, Some(Quiescing))
+            | (Some(Quiescing), Some(Admitting) | None)
+            | (Some(Admitting), Some(Replaying | Draining) | None)
+            | (Some(Replaying), Some(Verifying))
+            | (Some(Verifying), Some(Draining) | None)
+            | (Some(Draining), None) => true,
+            _ => false,
+        }
+    }
 }
 
 /// Lifetime counters for the federation.
@@ -130,7 +173,60 @@ pub struct FederationStats {
     pub recoveries: u64,
 }
 
-#[derive(Debug)]
+/// A named federation bug that can be seeded for mutation testing: the
+/// fabric-scope model checker must refute every one of these with a
+/// minimal counterexample trace, or invariants F1/F4/F5/F6 are
+/// vacuous. Each hook lives at the exact code point the correct logic
+/// guards, so the seeded behavior is the real bug, not a simulation of
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricBug {
+    /// Cutover fires without waiting for the in-flight drain barrier
+    /// (frames addressed to the old home race the route flip — F5).
+    CutoverBeforeDrain,
+    /// Replay completion jumps straight to the drain barrier, skipping
+    /// the read-back verify audit (an undocumented
+    /// `Replaying → Draining` transition — F6; silent state loss).
+    SkipVerifyReadback,
+    /// Recovery forgets to fence the route epoch above what the
+    /// previous incarnation issued, reissuing epochs from zero (stale
+    /// route updates — F4).
+    EpochReuseOnRecovery,
+    /// A client retransmit of an in-progress placement is re-injected
+    /// at the *next* candidate instead of deduplicated, so two members
+    /// can both admit the FID (split-brain placement — F1).
+    DoublePlacementOnRetry,
+    /// Recovery rebuilds placements but abandons half-finished
+    /// migrations: the source stays quiesced forever with nobody
+    /// driving it (stranded non-terminal status — F6).
+    RecoveryAbandonsMigration,
+}
+
+impl FabricBug {
+    /// Every fabric bug, for exhaustive mutation-testing sweeps.
+    pub fn all() -> [FabricBug; 5] {
+        [
+            FabricBug::CutoverBeforeDrain,
+            FabricBug::SkipVerifyReadback,
+            FabricBug::EpochReuseOnRecovery,
+            FabricBug::DoublePlacementOnRetry,
+            FabricBug::RecoveryAbandonsMigration,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricBug::CutoverBeforeDrain => "cutover-before-drain",
+            FabricBug::SkipVerifyReadback => "skip-verify-readback",
+            FabricBug::EpochReuseOnRecovery => "epoch-reuse-on-recovery",
+            FabricBug::DoublePlacementOnRetry => "double-placement-on-retry",
+            FabricBug::RecoveryAbandonsMigration => "recovery-abandons-migration",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
 enum MigPhase {
     Quiesce,
     Admit { since_ns: u64 },
@@ -146,7 +242,7 @@ type Cell = (usize, u32, u32);
 /// A FID's granted regions, `(stage, entry)` ascending by stage.
 type Regions = Vec<(usize, RegionEntry)>;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Migration {
     src: usize,
     dst: usize,
@@ -163,7 +259,26 @@ struct Migration {
     sync: Option<MemSync>,
 }
 
-#[derive(Debug)]
+/// Compact read-only view of one in-flight migration: what the
+/// fabric-scope model checker folds into its state vector. The
+/// `state_digest` hashes the snapshot/replay/read-back cell sets so
+/// two states differing only in extracted *values* stay distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationBrief {
+    /// The migration source member.
+    pub src: usize,
+    /// The migration destination member.
+    pub dst: usize,
+    /// Observable progress.
+    pub status: MigrationStatus,
+    /// Unacked memsync frames (replay or verify, per `status`).
+    pub pending_sync: usize,
+    /// FNV-1a over snapshot, source regions, expected, and observed
+    /// cells.
+    pub state_digest: u64,
+}
+
+#[derive(Debug, Clone)]
 struct Placing {
     candidates: Vec<usize>,
     idx: usize,
@@ -180,9 +295,17 @@ fn active_fid(frame: &[u8]) -> Option<Fid> {
     Some(hdr.fid())
 }
 
-/// The federated control plane over a [`FabricSim`].
-pub struct Federation {
-    fabric: FabricSim,
+fn fnv_push(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// The federated control plane over a [`FabricBackend`].
+#[derive(Clone)]
+pub struct Federation<B: FabricBackend = FabricSim> {
+    fabric: B,
     cfg: FederationConfig,
     /// Global monotonic route-epoch source: every route install uses a
     /// fresh epoch above everything previously issued.
@@ -190,18 +313,21 @@ pub struct Federation {
     placing: BTreeMap<Fid, Placing>,
     placements: BTreeMap<Fid, usize>,
     /// Original client allocation requests, retained verbatim: the
-    /// migration Admit phase replays them at the destination.
+    /// migration Admit phase replays them at the destination. Written
+    /// durably before brokering (write-ahead, like the member
+    /// controllers' op-logs), so they survive [`Federation::crash`].
     request_frames: BTreeMap<Fid, Vec<u8>>,
     migrations: BTreeMap<Fid, Migration>,
     audits: Vec<MigrationAudit>,
     crash_plan: Option<FedCrashPoint>,
     crashed: bool,
+    bug: Option<FabricBug>,
     stats: FederationStats,
 }
 
-impl Federation {
+impl<B: FabricBackend> Federation<B> {
     /// Take command of `fabric`.
-    pub fn new(fabric: FabricSim, cfg: FederationConfig) -> Federation {
+    pub fn new(fabric: B, cfg: FederationConfig) -> Federation<B> {
         Federation {
             epoch: fabric.max_route_epoch(),
             fabric,
@@ -213,17 +339,18 @@ impl Federation {
             audits: Vec::new(),
             crash_plan: None,
             crashed: false,
+            bug: None,
             stats: FederationStats::default(),
         }
     }
 
     /// The governed fabric.
-    pub fn fabric(&self) -> &FabricSim {
+    pub fn fabric(&self) -> &B {
         &self.fabric
     }
 
     /// The governed fabric, mutably (host attachment, inspection).
-    pub fn fabric_mut(&mut self) -> &mut FabricSim {
+    pub fn fabric_mut(&mut self) -> &mut B {
         &mut self.fabric
     }
 
@@ -253,6 +380,52 @@ impl Federation {
         })
     }
 
+    /// Compact state-vector view of an in-flight migration.
+    pub fn migration_brief(&self, fid: Fid) -> Option<MigrationBrief> {
+        let m = self.migrations.get(&fid)?;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &(a, b, c) in m.snapshot.iter().chain(&m.expected).chain(&m.observed) {
+            fnv_push(&mut h, &(a as u32).to_le_bytes());
+            fnv_push(&mut h, &b.to_le_bytes());
+            fnv_push(&mut h, &c.to_le_bytes());
+        }
+        for &(stage, entry) in &m.src_regions {
+            fnv_push(&mut h, &(stage as u32).to_le_bytes());
+            fnv_push(&mut h, &entry.start.to_le_bytes());
+            fnv_push(&mut h, &entry.end.to_le_bytes());
+        }
+        Some(MigrationBrief {
+            src: m.src,
+            dst: m.dst,
+            status: self.migration_status(fid).expect("checked above"),
+            pending_sync: m.sync.as_ref().map_or(0, MemSync::pending_count),
+            state_digest: h,
+        })
+    }
+
+    /// FIDs with a tracked in-flight migration.
+    pub fn migrating_fids(&self) -> Vec<Fid> {
+        self.migrations.keys().copied().collect()
+    }
+
+    /// In-progress placements as `(fid, candidate index, candidates)`.
+    pub fn placing_detail(&self) -> Vec<(Fid, usize, usize)> {
+        self.placing
+            .iter()
+            .map(|(&fid, p)| (fid, p.idx, p.candidates.len()))
+            .collect()
+    }
+
+    /// Is the federation down, awaiting its recovery pump?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The highest route epoch this incarnation has issued.
+    pub fn route_epoch(&self) -> u32 {
+        self.epoch
+    }
+
     /// Are any migrations in flight?
     pub fn migrations_idle(&self) -> bool {
         self.migrations.is_empty()
@@ -263,15 +436,26 @@ impl Federation {
         self.crash_plan = Some(point);
     }
 
+    /// Seed a federation bug (mutation testing: the fabric-scope
+    /// explorer must refute it). Bugs live in the *code*, so a crash +
+    /// recovery cycle does not shake them out.
+    pub fn seed_bug(&mut self, bug: FabricBug) {
+        self.bug = Some(bug);
+    }
+
     /// Kill the federation: every piece of volatile control state —
-    /// placements, in-flight placements and migrations, retained
-    /// request frames, audits — is lost. The fabric (routes, epochs,
-    /// suppressions, switches) keeps running; the next pump recovers.
+    /// placements, in-flight placements and migrations, audits — is
+    /// lost. Retained request frames survive: the federation journals
+    /// each admission durably *before* brokering it (the same
+    /// write-ahead discipline as the member controllers' op-logs), so
+    /// a recovered incarnation can re-admit a half-finished migration
+    /// instead of stranding or aborting it. The fabric (routes,
+    /// epochs, suppressions, switches) keeps running; the next pump
+    /// recovers.
     pub fn crash(&mut self) {
         self.stats.crashes += 1;
         self.placing.clear();
         self.placements.clear();
-        self.request_frames.clear();
         self.migrations.clear();
         self.audits.clear();
         self.crashed = true;
@@ -281,8 +465,7 @@ impl Federation {
     /// ranking key.
     fn residual(&self, i: usize) -> u64 {
         self.fabric
-            .switch(i)
-            .controller()
+            .controller(i)
             .allocator()
             .pools()
             .iter()
@@ -301,11 +484,15 @@ impl Federation {
         m
     }
 
-    /// Install a fresh-epoch route for `fid` at `sw`.
+    /// Install a fresh-epoch route for `fid` at `sw`. A correct
+    /// federation can never be told "stale" here (it mints epochs
+    /// above everything it ever issued); the return value is ignored
+    /// rather than asserted so a *buggy* federation (seeded
+    /// [`FabricBug::EpochReuseOnRecovery`]) exhibits the real failure —
+    /// a rejected route flip — instead of a panic.
     fn route(&mut self, fid: Fid, sw: usize) {
         self.epoch += 1;
-        let ok = self.fabric.set_route(fid, sw, self.epoch);
-        debug_assert!(ok, "freshly minted epoch can never be stale");
+        let _ = self.fabric.set_route(fid, sw, self.epoch);
     }
 
     /// Begin migrating `fid` to the member with the most residual
@@ -351,25 +538,69 @@ impl Federation {
         Ok(())
     }
 
-    /// Advance virtual time to `t_ns`, alternating fabric traffic with
-    /// federation control-loop pumps.
-    pub fn run_until(&mut self, t_ns: u64) {
-        while self.fabric.now() < t_ns {
-            let next = (self.fabric.now() + self.cfg.pump_interval_ns).min(t_ns);
-            self.fabric.run_until(next);
-            self.pump();
-        }
-        self.pump();
-    }
-
     /// One control-loop iteration at the fabric's current time.
     pub fn pump(&mut self) {
+        self.control_pump();
+        self.pump_migrations();
+    }
+
+    /// The non-migration half of [`Federation::pump`], individually
+    /// schedulable by the model checker: recover if crashed, route
+    /// captured memsync responses, drive placements. Migration
+    /// progress is a separate per-FID micro-step
+    /// ([`Federation::migration_step`]) so the explorer can interleave
+    /// it freely with network faults.
+    pub fn control_pump(&mut self) {
         if self.crashed {
             self.recover();
         }
         self.drain_inbox();
         self.pump_placements();
-        self.pump_migrations();
+    }
+
+    /// Advance the migration of `fid` by exactly one micro-step
+    /// (absorbing any captured memsync responses first). Returns
+    /// `false` when there is nothing to step: no such migration, or
+    /// the federation is down.
+    pub fn migration_step(&mut self, fid: Fid) -> bool {
+        if self.crashed {
+            return false;
+        }
+        self.drain_inbox();
+        let Some(m) = self.migrations.remove(&fid) else {
+            return false;
+        };
+        match self.step_migration(fid, m) {
+            StepOutcome::Continue(m) => {
+                self.migrations.insert(fid, m);
+            }
+            StepOutcome::Done | StepOutcome::Crashed => {}
+        }
+        true
+    }
+
+    /// Re-inject every unacked memsync frame of `fid` at its migration
+    /// destination: the model checker's deterministic stand-in for the
+    /// retransmit timer (concrete runs use the timer path in the
+    /// replay/verify micro-steps). Returns how many frames went out.
+    pub fn retransmit_pending(&mut self, fid: Fid) -> usize {
+        if self.crashed {
+            return 0;
+        }
+        let Some(m) = self.migrations.get(&fid) else {
+            return 0;
+        };
+        let dst = m.dst;
+        let frames = m
+            .sync
+            .as_ref()
+            .map(MemSync::pending_frames)
+            .unwrap_or_default();
+        let n = frames.len();
+        for f in frames {
+            self.fabric.inject_at_switch(dst, f);
+        }
+        n
     }
 
     /// Route captured federation-addressed frames (memsync responses)
@@ -404,7 +635,47 @@ impl Federation {
         // New arrivals: FIDs no member owns sent allocation requests.
         for pa in self.fabric.take_pending_admissions() {
             if self.placing.contains_key(&pa.fid) || self.placements.contains_key(&pa.fid) {
-                continue; // client retransmit racing the route install
+                // A client retransmit racing the route install: the
+                // placement is already being brokered, so the duplicate
+                // request must go nowhere.
+                if self.bug == Some(FabricBug::DoublePlacementOnRetry) {
+                    // BUG: "helpfully" hedge the retry at the next
+                    // candidate — now two allocators can both grant.
+                    if let Some(p) = self.placing.get(&pa.fid) {
+                        if p.idx + 1 < p.candidates.len() {
+                            let cand = p.candidates[p.idx + 1];
+                            self.fabric.inject_at_switch(cand, pa.frame.clone());
+                        }
+                    }
+                }
+                continue;
+            }
+            // Adopt a grant that already exists: a request brokered by
+            // a previous federation incarnation can land *after* its
+            // crash wiped the placing record, so the first this
+            // incarnation hears of the placement is the grant itself.
+            if let Some(sw) = (0..self.fabric.members())
+                .find(|&i| self.fabric.controller(i).allocator().contains(pa.fid))
+            {
+                self.route(pa.fid, sw);
+                self.request_frames.insert(pa.fid, pa.frame);
+                self.placements.insert(pa.fid, sw);
+                self.stats.placements += 1;
+                self.fabric.record_event(
+                    now,
+                    EventKind::FabricPlacement {
+                        fid: pa.fid,
+                        switch: sw as u16,
+                    },
+                );
+                continue;
+            }
+            // A stray request from a previous incarnation may still be
+            // in flight; brokering a second placement now could grant
+            // the FID on two members. Wait for the fabric to drain.
+            if self.fabric.in_flight(pa.fid) > 0 {
+                self.fabric.defer_admission(pa);
+                continue;
             }
             let candidates = self.ranked_members(None);
             let first = candidates[0];
@@ -457,18 +728,12 @@ impl Federation {
         for fid in fids {
             let p = &self.placing[&fid];
             let cand = p.candidates[p.idx];
-            if self
-                .fabric
-                .switch(cand)
-                .controller()
-                .allocator()
-                .contains(fid)
-            {
+            if self.fabric.controller(cand).allocator().contains(fid) {
                 self.placing.remove(&fid);
                 self.fabric.unsuppress(fid);
                 self.placements.insert(fid, cand);
                 self.stats.placements += 1;
-                self.fabric.telemetry().record_event(
+                self.fabric.record_event(
                     now,
                     EventKind::FabricPlacement {
                         fid,
@@ -489,7 +754,7 @@ impl Federation {
     // ----- Migration -----
 
     fn journal_phase(&self, fid: Fid, src: usize, dst: usize, phase: MigrationPhase) {
-        self.fabric.telemetry().record_event(
+        self.fabric.record_event(
             self.fabric.now(),
             EventKind::FabricMigration {
                 fid,
@@ -515,9 +780,9 @@ impl Federation {
     /// Read every allocated register of `fid` from member `sw`.
     /// Returns `(regions sorted by stage, nonzero cells)`.
     fn extract(&self, sw: usize, fid: Fid) -> (Regions, Vec<Cell>) {
-        let node = self.fabric.switch(sw);
-        let mut regions: Regions = node
-            .controller()
+        let mut regions: Regions = self
+            .fabric
+            .controller(sw)
             .regions_of(fid)
             .map(<[(usize, RegionEntry)]>::to_vec)
             .unwrap_or_default();
@@ -525,8 +790,9 @@ impl Federation {
         let mut cells = Vec::new();
         for (ri, &(stage, entry)) in regions.iter().enumerate() {
             for offset in 0..entry.end.saturating_sub(entry.start) {
-                let value = node
-                    .plane()
+                let value = self
+                    .fabric
+                    .plane(sw)
                     .reg_read_for(fid, stage, entry.start + offset)
                     .unwrap_or(0);
                 if value != 0 {
@@ -540,12 +806,7 @@ impl Federation {
     /// The destination's regions for `fid`, sorted by stage, if
     /// admitted.
     fn dst_regions(&self, sw: usize, fid: Fid) -> Option<Regions> {
-        let mut r: Regions = self
-            .fabric
-            .switch(sw)
-            .controller()
-            .regions_of(fid)?
-            .to_vec();
+        let mut r: Regions = self.fabric.controller(sw).regions_of(fid)?.to_vec();
         r.sort_by_key(|&(stage, _)| stage);
         Some(r)
     }
@@ -569,12 +830,7 @@ impl Federation {
         let now = self.fabric.now();
         match &mut m.phase {
             MigPhase::Quiesce => {
-                if !self
-                    .fabric
-                    .switch(m.src)
-                    .controller()
-                    .migration_snapshot_acked(fid)
-                {
+                if !self.fabric.controller(m.src).migration_snapshot_acked(fid) {
                     return StepOutcome::Continue(m);
                 }
                 self.journal_phase(fid, m.src, m.dst, MigrationPhase::Quiesce);
@@ -588,19 +844,29 @@ impl Federation {
                 // Admission: the client must not hear the destination's
                 // allocator before cutover.
                 self.fabric.suppress(fid, SuppressMode::All);
-                let already_admitted = self
-                    .fabric
-                    .switch(m.dst)
-                    .controller()
-                    .allocator()
-                    .contains(fid);
+                let already_admitted = self.fabric.controller(m.dst).allocator().contains(fid);
                 if !already_admitted {
                     // Replay the client's original request at the
                     // destination; a recovery redo skips this (the
                     // destination already holds the grant).
                     let Some(frame) = self.request_frames.get(&fid).cloned() else {
-                        // No retained request (placed before a
-                        // federation crash): nothing to admit with.
+                        // No retained request (defensive: the durable
+                        // request store should always hold one for a
+                        // placed FID).
+                        if self.fabric.in_flight(fid) > 0 {
+                            // Frames for this FID — possibly the
+                            // admission the previous incarnation
+                            // injected — are still in flight. Aborting
+                            // now would race them: the stray request
+                            // could land *after* the app is back on its
+                            // source and grant on two members. Enter
+                            // the admission wait instead: either the
+                            // stray request grants (and the redo
+                            // continues) or the timeout aborts once the
+                            // fabric has drained.
+                            m.phase = MigPhase::Admit { since_ns: now };
+                            return StepOutcome::Continue(m);
+                        }
                         return self.abort(fid, m, "no retained allocation request");
                     };
                     self.fabric.inject_at_switch(m.dst, frame);
@@ -610,14 +876,13 @@ impl Federation {
             }
             MigPhase::Admit { since_ns, .. } => {
                 let since = *since_ns;
-                if !self
-                    .fabric
-                    .switch(m.dst)
-                    .controller()
-                    .allocator()
-                    .contains(fid)
-                {
-                    if now.saturating_sub(since) > self.cfg.admit_timeout_ns {
+                if !self.fabric.controller(m.dst).allocator().contains(fid) {
+                    // Abort only once nothing carrying this FID is in
+                    // flight: a request still on the wire could grant
+                    // after the abort and split-brain the placement.
+                    if now.saturating_sub(since) > self.cfg.admit_timeout_ns
+                        && self.fabric.in_flight(fid) == 0
+                    {
                         return self.abort(fid, m, "destination admission timed out");
                     }
                     return StepOutcome::Continue(m);
@@ -638,8 +903,7 @@ impl Federation {
                 }
                 let num_stages = self
                     .fabric
-                    .switch(m.dst)
-                    .controller()
+                    .controller(m.dst)
                     .allocator()
                     .config()
                     .num_stages;
@@ -680,6 +944,11 @@ impl Federation {
                     return StepOutcome::Continue(m);
                 }
                 self.journal_phase(fid, m.src, m.dst, MigrationPhase::Replay);
+                if self.bug == Some(FabricBug::SkipVerifyReadback) {
+                    // BUG: trust the writes, skip the read-back audit.
+                    m.phase = MigPhase::Drain;
+                    return StepOutcome::Continue(m);
+                }
                 // Read every written cell back for the F2 audit.
                 let reads: Vec<SyncOp> = m
                     .expected
@@ -714,6 +983,7 @@ impl Federation {
                     fid,
                     expected,
                     observed,
+                    aborted: !clean,
                 });
                 if !clean {
                     return self.abort(fid, m, "replayed state diverged on read-back");
@@ -725,7 +995,10 @@ impl Federation {
                 StepOutcome::Continue(m)
             }
             MigPhase::Drain => {
-                if self.fabric.in_flight(fid) > 0 {
+                let barrier_open = self.fabric.in_flight(fid) > 0;
+                // BUG (CutoverBeforeDrain): ignore the barrier and cut
+                // over with frames still racing toward the old home.
+                if barrier_open && self.bug != Some(FabricBug::CutoverBeforeDrain) {
                     return StepOutcome::Continue(m);
                 }
                 self.journal_phase(fid, m.src, m.dst, MigrationPhase::Drain);
@@ -756,13 +1029,7 @@ impl Federation {
     /// regions, release any destination allocation, restore routing.
     fn abort(&mut self, fid: Fid, m: Migration, _why: &str) -> StepOutcome {
         self.fabric.migrate_abort(m.src, fid);
-        if self
-            .fabric
-            .switch(m.dst)
-            .controller()
-            .allocator()
-            .contains(fid)
-        {
+        if self.fabric.controller(m.dst).allocator().contains(fid) {
             let _ = self.fabric.deallocate_at(m.dst, fid);
         }
         self.route(fid, m.src);
@@ -785,7 +1052,13 @@ impl Federation {
         self.stats.recoveries += 1;
         let now = self.fabric.now();
         // Fence above every epoch the previous incarnation issued.
-        self.epoch = self.epoch.max(self.fabric.max_route_epoch());
+        if self.bug == Some(FabricBug::EpochReuseOnRecovery) {
+            // BUG: the replacement process starts counting from zero,
+            // so its "fresh" epochs collide with installed routes.
+            self.epoch = 0;
+        } else {
+            self.epoch = self.epoch.max(self.fabric.max_route_epoch());
+        }
         // Suppressions are re-derived from scratch.
         self.fabric.clear_suppressions();
 
@@ -795,8 +1068,7 @@ impl Federation {
         for i in 0..self.fabric.members() {
             let fids: Vec<Fid> = self
                 .fabric
-                .switch(i)
-                .controller()
+                .controller(i)
                 .allocator()
                 .apps()
                 .map(|(f, _)| f)
@@ -812,9 +1084,17 @@ impl Federation {
         // replayed state.
         let mut resumed: u16 = 0;
         let mut aborted: u16 = 0;
+        if self.bug == Some(FabricBug::RecoveryAbandonsMigration) {
+            // BUG: placements are back, so "recovery is done" — every
+            // half-finished migration is stranded, its source quiesced
+            // with nobody driving it.
+            self.fabric
+                .record_event(now, EventKind::FederationRecovered { resumed, aborted });
+            return;
+        }
         for src in 0..self.fabric.members() {
             let migrating: Vec<(Fid, u16)> = {
-                let ctl = self.fabric.switch(src).controller();
+                let ctl = self.fabric.controller(src);
                 ctl.migrating_fids()
                     .into_iter()
                     .filter_map(|f| ctl.migration_dest(f).map(|d| (f, d)))
@@ -829,12 +1109,7 @@ impl Federation {
                     continue;
                 }
                 let routed_to_dst = self.fabric.route_of(fid).map(|r| r.switch) == Some(dst);
-                let dst_admitted = self
-                    .fabric
-                    .switch(dst)
-                    .controller()
-                    .allocator()
-                    .contains(fid);
+                let dst_admitted = self.fabric.controller(dst).allocator().contains(fid);
                 if routed_to_dst {
                     // Crash landed between cutover and source teardown:
                     // finish the teardown (re-activation is idempotent
@@ -844,17 +1119,19 @@ impl Federation {
                     self.placements.insert(fid, dst);
                     self.stats.migrations_completed += 1;
                     resumed += 1;
-                } else if dst_admitted
-                    && self
-                        .fabric
-                        .switch(src)
-                        .controller()
-                        .migration_snapshot_acked(fid)
-                {
-                    // Destination holds an allocation and the source is
-                    // quiesced: redo from the snapshot. Every step is
-                    // idempotent — re-extraction reads the same frozen
-                    // state, replay rewrites the same cells.
+                } else if self.fabric.controller(src).migration_snapshot_acked(fid) {
+                    // The source is quiesced with an acked snapshot:
+                    // its frozen state is still authoritative, so redo
+                    // from the snapshot. Every step is idempotent —
+                    // re-extraction reads the same frozen cells,
+                    // re-admission re-grants the same regions, replay
+                    // rewrites the same values. Resuming (rather than
+                    // aborting when the destination has not admitted
+                    // yet) also closes a split-brain race: an admission
+                    // request still in flight when the federation died
+                    // would otherwise land *after* an abort put the app
+                    // back on its source, granting the FID on two
+                    // members with no migration between them.
                     self.fabric.suppress(fid, SuppressMode::All);
                     self.migrations.insert(
                         fid,
@@ -884,8 +1161,20 @@ impl Federation {
             }
         }
         self.fabric
-            .telemetry()
             .record_event(now, EventKind::FederationRecovered { resumed, aborted });
+    }
+}
+
+impl Federation<FabricSim> {
+    /// Advance virtual time to `t_ns`, alternating fabric traffic with
+    /// federation control-loop pumps.
+    pub fn run_until(&mut self, t_ns: u64) {
+        while self.fabric.now() < t_ns {
+            let next = (FabricSim::now(&self.fabric) + self.cfg.pump_interval_ns).min(t_ns);
+            self.fabric.run_until(next);
+            self.pump();
+        }
+        self.pump();
     }
 }
 

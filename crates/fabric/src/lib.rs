@@ -33,13 +33,23 @@
 //!   learns its epoch fence from the fabric's route table, and
 //!   resumes or aborts each half-finished migration idempotently.
 //!
-//! Invariants F1–F3 over the whole fabric live in
-//! `activermt_modelcheck::fabric`; the `fabricdump` binary exercises a
-//! 3-switch ring end to end and exports the shared, per-switch
-//! namespaced telemetry.
+//! Invariants F1–F6 over the whole fabric live in
+//! `activermt_modelcheck::fabric`; the `fabricdump` binary (in
+//! `activermt-modelcheck`, which owns all checker CLIs) exercises a
+//! ring end to end and exports the shared, per-switch namespaced
+//! telemetry. The [`backend::FabricBackend`] trait lets the same
+//! federation drive either the discrete-event [`FabricSim`] or the
+//! model checker's clockless fabric.
+//!
+//! [`FabricSim`]: activermt_net::fabric::FabricSim
 
+pub mod audit;
+pub mod backend;
 pub mod federation;
 
+pub use audit::MigrationAudit;
+pub use backend::FabricBackend;
 pub use federation::{
-    FedCrashPoint, Federation, FederationConfig, FederationStats, MigrationStatus,
+    FabricBug, FedCrashPoint, Federation, FederationConfig, FederationStats, MigrationBrief,
+    MigrationStatus,
 };

@@ -1,0 +1,103 @@
+//! Property test: random *legal* fabric event sequences never drive a
+//! migration through an undocumented [`MigrationStatus`] transition.
+//!
+//! [`MigrationStatus::may_step`] is the single source of truth for the
+//! migration state machine — the fabric model checker's F6 invariant
+//! checks the same table exhaustively at bounded depth; this test
+//! drives the same `FabricWorld` down long random walks (far past the
+//! explorer's depth bound) and re-checks every observed step against
+//! it, plus the full fabric invariant suite at every state.
+
+use activermt_fabric::MigrationStatus;
+use activermt_modelcheck::{FabricEvent, FabricScope, FabricWorld, FaultBudget};
+use proptest::prelude::*;
+
+/// Deterministic index stream for picking among enabled events.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+/// Walk `steps` random enabled events from `seed`, asserting after
+/// each that every scoped FID's migration status moved along a
+/// documented edge and that no fabric invariant tripped.
+fn random_walk(scope: FabricScope, budget: FaultBudget, seed: u64, steps: usize) {
+    let mut rng = seed.max(1);
+    let mut world = FabricWorld::new(scope, budget, None);
+    let fids: Vec<u16> = world.scope().apps.iter().map(|a| a.fid).collect();
+    for step in 0..steps {
+        let enabled = world.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        let ev = enabled[(xorshift(&mut rng) as usize) % enabled.len()];
+        let pre: Vec<Option<MigrationStatus>> = fids
+            .iter()
+            .map(|&fid| world.federation().migration_status(fid))
+            .collect();
+        world.apply(ev);
+        for (&fid, &before) in fids.iter().zip(&pre) {
+            let after = world.federation().migration_status(fid);
+            // A federation crash wipes tracking (any -> None) by
+            // design; every other event must follow the table.
+            let legal = MigrationStatus::may_step(before, after)
+                || (matches!(ev, FabricEvent::FedCrash) && after.is_none());
+            assert!(
+                legal,
+                "undocumented transition {before:?} -> {after:?} for fid {fid} \
+                 on {ev} (seed {seed}, step {step})"
+            );
+        }
+        let violations = world.check();
+        assert!(
+            violations.is_empty(),
+            "invariant violation on random walk (seed {seed}, step {step}, \
+             event {ev}): {violations:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free walks through the default two-member scope.
+    #[test]
+    fn faultfree_walks_follow_the_transition_table(
+        seed in any::<u64>(),
+        steps in 8usize..48,
+    ) {
+        random_walk(FabricScope::fabric(), FaultBudget::none(), seed, steps);
+    }
+
+    /// Adversarial walks: drops, duplicates, corruption, and a crash.
+    #[test]
+    fn adversarial_walks_follow_the_transition_table(
+        seed in any::<u64>(),
+        steps in 8usize..48,
+    ) {
+        random_walk(
+            FabricScope::fabric(),
+            FaultBudget::default_adversary(),
+            seed,
+            steps,
+        );
+    }
+
+    /// The three-member scope with an inelastic third app.
+    #[test]
+    fn medium_scope_walks_follow_the_transition_table(
+        seed in any::<u64>(),
+        steps in 8usize..32,
+    ) {
+        random_walk(
+            FabricScope::fabric_medium(),
+            FaultBudget::default_adversary(),
+            seed,
+            steps,
+        );
+    }
+}

@@ -27,14 +27,15 @@ use activermt_telemetry::{EventKind, MigrationPhase, TelemetrySnapshot};
 use std::path::PathBuf;
 
 const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
-const SERVE_NS: u64 = 2_000_000_000;
-const END_NS: u64 = 3_500_000_000;
 
-/// Run shape: ring size and per-member data-plane worker threads.
+/// Run shape: ring size, per-member data-plane worker threads, and the
+/// serve/end horizon (`--quick` shrinks both for CI).
 struct Opts {
     members: usize,
     workers: usize,
     deny: bool,
+    serve_ns: u64,
+    end_ns: u64,
 }
 
 fn parse_opts() -> Opts {
@@ -42,11 +43,21 @@ fn parse_opts() -> Opts {
         members: 3,
         workers: 1,
         deny: false,
+        serve_ns: 2_000_000_000,
+        end_ns: 3_500_000_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-violations" => opts.deny = true,
+            "--quick" => {
+                // CI mode: a 2-member ring on a shorter horizon — the
+                // same placements, migration, audit, and per-switch
+                // telemetry checks, in a fraction of the wall time.
+                opts.members = 2;
+                opts.serve_ns = 800_000_000;
+                opts.end_ns = 1_800_000_000;
+            }
             "--members" => {
                 opts.members = args
                     .next()
@@ -116,9 +127,9 @@ fn run(opts: &Opts) -> (Federation, Vec<Violation>) {
     );
 
     let mut fed = Federation::new(fabric, FederationConfig::default());
-    fed.run_until(SERVE_NS);
+    fed.run_until(opts.serve_ns);
     fed.migrate(101).expect("migration of fid 101 starts");
-    fed.run_until(END_NS);
+    fed.run_until(opts.end_ns);
 
     // Quiesce point: audit the whole fabric with the shared F1–F3
     // engine (which also lifts each member's single-switch invariants)
@@ -134,7 +145,7 @@ fn run(opts: &Opts) -> (Federation, Vec<Violation>) {
             .collect();
         check_fabric_invariants(&views, fed.audits())
     };
-    report_violations(fed.fabric().telemetry(), END_NS, &violations);
+    report_violations(fed.fabric().telemetry(), opts.end_ns, &violations);
     for v in &violations {
         eprintln!("# fabricdump invariant violation: {v}");
     }

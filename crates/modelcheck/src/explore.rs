@@ -1,18 +1,43 @@
 //! The bounded explorer: exhaustive interleaving search with state
-//! hashing, plus the markdown report the CLI and CI consume.
+//! hashing, plus the markdown reports the CLI and CI consume.
 //!
-//! The search is breadth-first over [`World`] states deduplicated by
-//! [`World::fingerprint`], so the first violating state found is at
-//! minimal depth — the emitted counterexample trace is a shortest
-//! witness. (The classic alternative, depth-first with a visited set,
-//! explores the same state space but returns longer traces; since the
-//! whole point of a counterexample is a human reading it, we pay BFS's
+//! The search is breadth-first over model states deduplicated by
+//! fingerprint, so the first violating state found is at minimal
+//! depth — the emitted counterexample trace is a shortest witness.
+//! (The classic alternative, depth-first with a visited set, explores
+//! the same state space but returns longer traces; since the whole
+//! point of a counterexample is a human reading it, we pay BFS's
 //! memory for minimality.) Every *discovered* state — not just
 //! frontier tips — is checked against the full invariant engine.
+//!
+//! The explorer is generic over [`ModelWorld`], so the same search
+//! drives both the single-switch [`World`](crate::model::World)
+//! (scope `small`/`medium`) and the multi-switch
+//! [`FabricWorld`](crate::fabric_world::FabricWorld) (scope `fabric`).
 
 use crate::invariants::Violation;
-use crate::model::{Event, FaultBudget, Scope, World};
+use crate::model::{Event, FaultBudget, Scope};
 use std::collections::HashSet;
+use std::fmt;
+
+/// What the bounded explorer needs from a model: clonable states,
+/// enumerable transitions, a canonical fingerprint for deduplication,
+/// and an invariant check. Implementations must keep `enabled` and
+/// `apply` deterministic, and `fingerprint` must cover every piece of
+/// state that `enabled`, `apply`, or `check` depends on (two states
+/// with equal fingerprints are treated as the same node).
+pub trait ModelWorld: Clone {
+    /// One transition of the model.
+    type Event: Clone + fmt::Display;
+    /// The transitions enabled in this state, in a deterministic order.
+    fn enabled(&self) -> Vec<Self::Event>;
+    /// Apply one transition in place.
+    fn apply(&mut self, ev: Self::Event);
+    /// A canonical fingerprint of the model-relevant state.
+    fn fingerprint(&self) -> u64;
+    /// Every violation visible in this state.
+    fn check(&self) -> Vec<Violation>;
+}
 
 /// Explorer limits.
 #[derive(Debug, Clone, Copy)]
@@ -54,23 +79,23 @@ pub struct ExploreStats {
 
 /// A minimal-length witness for a broken invariant.
 #[derive(Debug, Clone)]
-pub struct Counterexample {
+pub struct Counterexample<E = Event> {
     /// The events from the initial state to the violating state.
-    pub trace: Vec<Event>,
+    pub trace: Vec<E>,
     /// Everything the invariant engine flagged in that state.
     pub violations: Vec<Violation>,
 }
 
 /// The outcome of one bounded exploration.
 #[derive(Debug, Clone)]
-pub struct ExploreOutcome {
+pub struct ExploreOutcome<E = Event> {
     /// Search statistics.
     pub stats: ExploreStats,
     /// The first (minimal-depth) violation found, if any.
-    pub counterexample: Option<Counterexample>,
+    pub counterexample: Option<Counterexample<E>>,
 }
 
-impl ExploreOutcome {
+impl<E> ExploreOutcome<E> {
     /// Did every explored state satisfy every invariant?
     pub fn clean(&self) -> bool {
         self.counterexample.is_none()
@@ -86,7 +111,7 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
-fn shuffle(events: &mut [Event], seed: u64) {
+fn shuffle<E>(events: &mut [E], seed: u64) {
     if events.len() < 2 {
         return;
     }
@@ -99,7 +124,7 @@ fn shuffle(events: &mut [Event], seed: u64) {
 
 /// Exhaustively explore `world` to `cfg.max_depth`, checking every
 /// discovered state, and stop at the first (minimal-depth) violation.
-pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
+pub fn explore<W: ModelWorld>(world: W, cfg: ExploreConfig) -> ExploreOutcome<W::Event> {
     let mut stats = ExploreStats::default();
     let mut visited: HashSet<u64> = HashSet::new();
 
@@ -116,9 +141,9 @@ pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
         };
     }
 
-    let mut frontier: Vec<(World, Vec<Event>)> = vec![(world, Vec::new())];
+    let mut frontier: Vec<(W, Vec<W::Event>)> = vec![(world, Vec::new())];
     for depth in 1..=cfg.max_depth {
-        let mut next: Vec<(World, Vec<Event>)> = Vec::new();
+        let mut next: Vec<(W, Vec<W::Event>)> = Vec::new();
         for (w, path) in &frontier {
             let mut events = w.enabled();
             shuffle(
@@ -128,7 +153,7 @@ pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
             for ev in events {
                 stats.transitions += 1;
                 let mut child = w.clone();
-                child.apply(ev);
+                child.apply(ev.clone());
                 if !visited.insert(child.fingerprint()) {
                     stats.duplicate_hits += 1;
                     continue;
@@ -171,7 +196,7 @@ pub fn explore(world: World, cfg: ExploreConfig) -> ExploreOutcome {
 }
 
 /// Render one counterexample as numbered trace lines.
-pub fn render_trace(cx: &Counterexample) -> String {
+pub fn render_trace<E: fmt::Display>(cx: &Counterexample<E>) -> String {
     let mut out = String::new();
     if cx.trace.is_empty() {
         out.push_str("  (violated in the initial state)\n");
@@ -183,6 +208,35 @@ pub fn render_trace(cx: &Counterexample) -> String {
         out.push_str(&format!("  => {v}\n"));
     }
     out
+}
+
+fn render_result<E: fmt::Display>(
+    md: &mut String,
+    outcome: &ExploreOutcome<E>,
+    invariant_count: usize,
+) {
+    let s = outcome.stats;
+    md.push_str(&format!(
+        "| states | transitions | duplicate hits | depth | truncated |\n\
+         |---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {} |\n\n",
+        s.states, s.transitions, s.duplicate_hits, s.depth_reached, s.truncated,
+    ));
+    match &outcome.counterexample {
+        None => {
+            md.push_str(&format!(
+                "**PASS** — all {} states satisfy all {invariant_count} invariants.\n",
+                s.states,
+            ));
+        }
+        Some(cx) => {
+            md.push_str(&format!(
+                "**FAIL** — invariant violation at depth {} (minimal trace):\n\n```\n{}```\n",
+                cx.trace.len(),
+                render_trace(cx),
+            ));
+        }
+    }
 }
 
 /// Render the markdown report for `results/modelcheck.md`.
@@ -236,28 +290,70 @@ pub fn render_report(
         md.push_str(&format!("- **I{} {}**\n", k.code(), k.name()));
     }
     md.push_str("\n## Result\n\n");
-    let s = outcome.stats;
+    render_result(&mut md, outcome, InvariantKind::all().len());
+    md
+}
+
+/// Render the markdown report section for a fabric-scope exploration.
+pub fn render_fabric_report(
+    scope: &crate::fabric_world::FabricScope,
+    budget: FaultBudget,
+    cfg: ExploreConfig,
+    outcome: &ExploreOutcome<crate::fabric_world::FabricEvent>,
+) -> String {
+    use crate::invariants::InvariantKind;
+    let mut md = String::new();
+    md.push_str("# Fabric model check\n\n");
+    md.push_str(
+        "Bounded exhaustive exploration of the *federated* control \
+         plane: a multi-switch fabric whose transitions are the real \
+         `Federation` and member-controller entry points — placement, \
+         every migration micro-step, federation and member crashes, \
+         and data-network faults on memsync replay frames (see \
+         DESIGN.md §13). Every discovered state is checked against \
+         the single-switch engine per member plus the fabric \
+         invariants F1–F6.\n\n",
+    );
+    md.push_str("## Configuration\n\n");
     md.push_str(&format!(
-        "| states | transitions | duplicate hits | depth | truncated |\n\
-         |---|---|---|---|---|\n\
-         | {} | {} | {} | {} | {} |\n\n",
-        s.states, s.transitions, s.duplicate_hits, s.depth_reached, s.truncated,
+        "| scope | members | stages | blocks/stage | apps | depth | drops | dups | corrupts | crashes | seed |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n\n",
+        scope.name,
+        scope.members,
+        scope.stages,
+        scope.blocks_per_stage,
+        scope.apps.len(),
+        cfg.max_depth,
+        budget.drops,
+        budget.duplicates,
+        budget.corruptions,
+        budget.crashes,
+        cfg.seed,
     ));
-    match &outcome.counterexample {
-        None => {
-            md.push_str(&format!(
-                "**PASS** — all {} states satisfy all {} invariants.\n",
-                s.states,
-                InvariantKind::all().len()
-            ));
-        }
-        Some(cx) => {
-            md.push_str(&format!(
-                "**FAIL** — invariant violation at depth {} (minimal trace):\n\n```\n{}```\n",
-                cx.trace.len(),
-                render_trace(cx),
-            ));
-        }
+    md.push_str("Applications: ");
+    let apps: Vec<String> = scope
+        .apps
+        .iter()
+        .map(|a| {
+            let kind = if a.preplaced {
+                "preplaced with seeded state"
+            } else {
+                "arriving"
+            };
+            format!("`{}` (fid {}, {kind})", a.name, a.fid)
+        })
+        .collect();
+    md.push_str(&apps.join(", "));
+    md.push_str(".\n\n## Invariants checked\n\n");
+    md.push_str(
+        "Per member, the structural engine I1–I9 (open world); across \
+         the fabric:\n\n",
+    );
+    for k in InvariantKind::fabric() {
+        md.push_str(&format!("- **I{} {}**\n", k.code(), k.name()));
     }
+    md.push_str("\n## Result\n\n");
+    render_result(&mut md, outcome, InvariantKind::fabric().len() + 9);
     md
 }

@@ -89,6 +89,25 @@ pub enum InvariantKind {
     /// no migration or placement leaks, double-books, or strands
     /// memory anywhere in the fabric.
     FabricConservation,
+    /// F4 — route-epoch monotonicity: every route update the
+    /// federation issues carries an epoch strictly above everything it
+    /// (or any predecessor incarnation) previously issued, so no
+    /// member ever serves a frame under a fenced-past route. Raised by
+    /// the fabric-scope model backend when an issued epoch regresses
+    /// or a federation-issued update is rejected as stale.
+    RouteEpochRegression,
+    /// F5 — drain-barrier soundness: a migration cutover never fires
+    /// while the fabric's in-flight ledger still holds frames for the
+    /// migrating FID (they would race the route flip and execute on a
+    /// deallocated source).
+    DrainBarrierBreach,
+    /// F6 — migration-state-machine legality: observable
+    /// `MigrationStatus` transitions follow exactly the documented
+    /// table (`MigrationStatus::may_step` in `activermt-fabric`), and
+    /// every non-terminal status has a live driver — no member is left
+    /// quiesced-and-migrating with no federation migration tracking it
+    /// (a stranded machine has no enabled recovery path).
+    MigrationMachineBreach,
 }
 
 impl InvariantKind {
@@ -110,6 +129,9 @@ impl InvariantKind {
             InvariantKind::FabricDoublePlacement => 13,
             InvariantKind::MigrationStateLoss => 14,
             InvariantKind::FabricConservation => 15,
+            InvariantKind::RouteEpochRegression => 16,
+            InvariantKind::DrainBarrierBreach => 17,
+            InvariantKind::MigrationMachineBreach => 18,
         }
     }
 
@@ -131,6 +153,9 @@ impl InvariantKind {
             InvariantKind::FabricDoublePlacement => "fabric-double-placement",
             InvariantKind::MigrationStateLoss => "migration-state-loss",
             InvariantKind::FabricConservation => "fabric-conservation",
+            InvariantKind::RouteEpochRegression => "route-epoch-regression",
+            InvariantKind::DrainBarrierBreach => "drain-barrier-breach",
+            InvariantKind::MigrationMachineBreach => "migration-machine-breach",
         }
     }
 
@@ -156,14 +181,19 @@ impl InvariantKind {
         ]
     }
 
-    /// The fabric-level invariants (F1–F3, codes 13–15), raised by
-    /// [`crate::fabric::check_fabric_invariants`] over a whole
-    /// multi-switch fabric rather than a single controller.
-    pub fn fabric() -> [InvariantKind; 3] {
+    /// The fabric-level invariants (F1–F6, codes 13–18). F1–F3 are
+    /// raised by [`crate::fabric::check_fabric_invariants`] over a
+    /// whole multi-switch fabric; F4–F6 are temporal and raised by the
+    /// fabric-scope explorer world (`crate::fabric_world`), which
+    /// observes transitions, not just states.
+    pub fn fabric() -> [InvariantKind; 6] {
         [
             InvariantKind::FabricDoublePlacement,
             InvariantKind::MigrationStateLoss,
             InvariantKind::FabricConservation,
+            InvariantKind::RouteEpochRegression,
+            InvariantKind::DrainBarrierBreach,
+            InvariantKind::MigrationMachineBreach,
         ]
     }
 }

@@ -26,29 +26,41 @@
 //! - [`model`] — a small-scope [`World`]: the *real* controller and
 //!   runtime driven through their public entry points, with an
 //!   explicit in-flight-signal channel and a bounded fault budget
-//!   (drops, duplicates, stalls, crash/recover cycles).
-//! - [`explore`] — breadth-first bounded exploration with canonical
-//!   state fingerprinting; finds minimal counterexample traces.
+//!   (drops, duplicates, stalls, crash/recover cycles, corruptions).
+//! - [`fabric_world`] — the fabric-scope [`FabricWorld`]: a *real*
+//!   [`Federation`](activermt_fabric::Federation) over a clockless,
+//!   clonable multi-switch substrate, exposing placement, every
+//!   migration micro-step, federation/member crashes, and
+//!   data-network faults on replay frames as explorable transitions;
+//!   stages the temporal fabric invariants F4–F6.
+//! - [`explore`] — breadth-first bounded exploration, generic over
+//!   [`ModelWorld`], with canonical state fingerprinting; finds
+//!   minimal counterexample traces.
 //!
-//! The `modelcheck` binary (crates/apps) runs the explorer from the
-//! command line and writes `results/modelcheck.md`; CI runs it with
-//! `--deny-violations`. Mutation tests in this crate seed known bugs
-//! ([`Mutation`]) and require the checker to catch every one.
+//! The `modelcheck` binary (this crate) runs the explorer from the
+//! command line — `--scope small|medium` for one switch, `--scope
+//! fabric|fabric-medium` for a federation — and writes
+//! `results/modelcheck.md`; CI runs both with `--deny-violations`.
+//! Mutation tests seed known bugs ([`Mutation`] single-switch,
+//! [`FabricBug`](activermt_fabric::FabricBug) fabric-scope) and
+//! require the checker to catch every one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod explore;
 pub mod fabric;
+pub mod fabric_world;
 pub mod invariants;
 pub mod model;
 pub mod recovery;
 
 pub use explore::{
-    explore, render_report, render_trace, Counterexample, ExploreConfig, ExploreOutcome,
-    ExploreStats,
+    explore, render_fabric_report, render_report, render_trace, Counterexample, ExploreConfig,
+    ExploreOutcome, ExploreStats, ModelWorld,
 };
 pub use fabric::{check_fabric_invariants, FabricMemberView, MigrationAudit};
+pub use fabric_world::{FabricAppSpec, FabricEvent, FabricScope, FabricWorld, ModelFabric};
 pub use invariants::{
     check_invariants, check_invariants_assuming, report_violations, InvariantKind,
     TrafficAssumption, Violation,

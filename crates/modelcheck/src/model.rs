@@ -77,7 +77,7 @@ pub struct Scope {
 
 /// A provably safe single-access program: load an argument into MAR,
 /// read, return. Matches `small_pattern()`.
-fn small_program() -> Program {
+pub(crate) fn small_program() -> Program {
     ProgramBuilder::new()
         .op_arg(Opcode::MAR_LOAD, 0)
         .op(Opcode::MEM_READ)
@@ -101,7 +101,7 @@ fn probe_program() -> Program {
 /// program — in a 3-stage pipeline every app lands in the same stage,
 /// which is exactly the contention the reallocation protocol exists
 /// for.
-fn small_pattern(elastic: bool, demand: u16) -> AccessPattern {
+pub(crate) fn small_pattern(elastic: bool, demand: u16) -> AccessPattern {
     AccessPattern {
         min_positions: vec![2],
         demands: vec![demand],
@@ -219,6 +219,11 @@ pub struct FaultBudget {
     /// Controller crash/replay/reconcile cycles the explorer may
     /// inject.
     pub crashes: u32,
+    /// Data-network frame corruptions (fabric scope only: a memsync
+    /// replay frame's payload is bit-flipped in flight; at the
+    /// single-switch control-signal layer corruption folds into
+    /// `drops`, since an unparseable frame never arrived).
+    pub corruptions: u32,
 }
 
 impl FaultBudget {
@@ -229,6 +234,7 @@ impl FaultBudget {
             duplicates: 0,
             stalls: 0,
             crashes: 0,
+            corruptions: 0,
         }
     }
 
@@ -239,6 +245,7 @@ impl FaultBudget {
             duplicates: 1,
             stalls: 1,
             crashes: 1,
+            corruptions: 1,
         }
     }
 
@@ -265,6 +272,7 @@ impl FaultBudget {
             duplicates: if duplicating { 1 } else { 0 },
             stalls: if stalling { 1 } else { 0 },
             crashes: 0,
+            corruptions: if lossy { 1 } else { 0 },
         }
     }
 }
@@ -703,6 +711,7 @@ impl World {
         push32(&mut bytes, self.budget.duplicates);
         push32(&mut bytes, self.budget.stalls);
         push32(&mut bytes, self.budget.crashes);
+        push32(&mut bytes, self.budget.corruptions);
         // A recovered state may otherwise collide with a pre-crash
         // state it happens to equal structurally; the epoch and any
         // staged recovery violations must keep it distinct, or dedup
@@ -723,5 +732,21 @@ impl World {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         h
+    }
+}
+
+impl crate::explore::ModelWorld for World {
+    type Event = Event;
+    fn enabled(&self) -> Vec<Event> {
+        World::enabled(self)
+    }
+    fn apply(&mut self, ev: Event) {
+        World::apply(self, ev);
+    }
+    fn fingerprint(&self) -> u64 {
+        World::fingerprint(self)
+    }
+    fn check(&self) -> Vec<Violation> {
+        World::check(self)
     }
 }

@@ -48,6 +48,11 @@ pub struct RecoveryFingerprint {
     pub queued: Vec<Fid>,
     /// FIDs owed a Respond+Reactivate until they ack, with fences.
     pub unacked: Vec<(Fid, u16)>,
+    /// Outbound migrations: `(fid, destination, snapshot_acked)`.
+    /// A migration source is quiesced *by design*; replay must keep it
+    /// marked migrating (its liveness obligation belongs to the
+    /// federation driving the move).
+    pub migrating: Vec<(Fid, u16, bool)>,
 }
 
 impl RecoveryFingerprint {
@@ -72,6 +77,17 @@ impl RecoveryFingerprint {
             .into_iter()
             .map(|fid| (fid, ctl.unacked_fence(fid).unwrap_or(0)))
             .collect();
+        let migrating = ctl
+            .migrating_fids()
+            .into_iter()
+            .map(|fid| {
+                (
+                    fid,
+                    ctl.migration_dest(fid).unwrap_or(u16::MAX),
+                    ctl.migration_snapshot_acked(fid),
+                )
+            })
+            .collect();
         RecoveryFingerprint {
             grants,
             regions,
@@ -81,6 +97,7 @@ impl RecoveryFingerprint {
             pending_fence: ctl.pending_fence(),
             queued: ctl.queued_fids(),
             unacked,
+            migrating,
         }
     }
 }
@@ -175,11 +192,25 @@ pub fn check_recovery(
             ),
         });
     }
+    if post.migrating != pre.migrating {
+        out.push(Violation {
+            kind: InvariantKind::ReplayEquivalence,
+            fid: None,
+            detail: format!(
+                "outbound-migration ledger diverged: pre {:?}, post {:?}",
+                pre.migrating, post.migrating
+            ),
+        });
+    }
 
     // ----- I12: nothing left permanently stuck after reconciliation -----
+    // A migration source is quiesced by design until the federation
+    // cuts over or aborts; its liveness belongs to the fabric layer
+    // (F6's stranded-migration check), not to local reconciliation.
+    let migrating: BTreeSet<Fid> = post.migrating.iter().map(|&(fid, _, _)| fid).collect();
     let victims: BTreeSet<Fid> = post.pending_victims.iter().copied().collect();
     for fid in rt.deactivated_fids() {
-        if !victims.contains(&fid) {
+        if !victims.contains(&fid) && !migrating.contains(&fid) {
             out.push(Violation {
                 kind: InvariantKind::RecoveryLiveness,
                 fid: Some(fid),

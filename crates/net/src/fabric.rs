@@ -32,7 +32,7 @@ use crate::switch::{SwitchEmission, SwitchNode};
 use activermt_core::alloc::Scheme;
 use activermt_core::types::Fid;
 use activermt_core::{CoreError, SwitchConfig};
-use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN};
+use activermt_isa::constants::{ACTIVE_ETHERTYPE, ETHERNET_HEADER_LEN, INITIAL_HEADER_LEN};
 use activermt_isa::wire::{ActiveHeader, EthernetFrame, PacketType};
 use activermt_telemetry::{Counter, EventKind as JournalEventKind, Telemetry, TelemetrySnapshot};
 use std::cmp::Ordering;
@@ -111,6 +111,22 @@ pub enum SuppressMode {
     /// the client must not learn its new regions before state replay
     /// and cutover).
     All,
+}
+
+/// A deterministic fault leg on the migration replay path: the first
+/// `drop_first` federation-injected memsync frames vanish in the data
+/// network, and the next `corrupt_first` get one bit of their argument
+/// area flipped (the frame still parses; a write's value or a read's
+/// address silently changes). Placement traffic (allocation requests)
+/// is never touched — only the replay/verify program packets. Chaos
+/// tests use this to prove the read-back audit catches in-flight
+/// corruption and that loss is absorbed by memsync retransmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayFaultPlan {
+    /// Memsync frames to silently drop, counted from arming.
+    pub drop_first: u32,
+    /// Memsync frames (after the drops) to bit-flip in flight.
+    pub corrupt_first: u32,
 }
 
 /// An allocation request for a FID no member owns yet, intercepted for
@@ -218,12 +234,15 @@ pub struct FabricSim {
     pending_admissions: Vec<PendingAdmission>,
     placement_failures: Vec<(u64, Fid)>,
     injector: FaultInjector,
+    replay_faults: ReplayFaultPlan,
     telemetry: Telemetry,
     delivered: Counter,
     dropped_no_host: Counter,
     dropped_unrouted: Counter,
     suppressed_frames: Counter,
     stale_route_rejects: Counter,
+    replay_dropped: Counter,
+    replay_corrupted: Counter,
     per_switch_emitted: Vec<Counter>,
     emitted_total: Counter,
 }
@@ -279,12 +298,16 @@ impl FabricSim {
         let dropped_unrouted = Counter::new();
         let suppressed_frames = Counter::new();
         let stale_route_rejects = Counter::new();
+        let replay_dropped = Counter::new();
+        let replay_corrupted = Counter::new();
         let emitted_total = Counter::new();
         reg.register_counter("fabric.delivered", &delivered);
         reg.register_counter("fabric.dropped_no_host", &dropped_no_host);
         reg.register_counter("fabric.dropped_unrouted", &dropped_unrouted);
         reg.register_counter("fabric.suppressed_responses", &suppressed_frames);
         reg.register_counter("fabric.stale_route_rejects", &stale_route_rejects);
+        reg.register_counter("fabric.replay_dropped", &replay_dropped);
+        reg.register_counter("fabric.replay_corrupted", &replay_corrupted);
         reg.register_counter("fabric.emitted", &emitted_total);
         let mut fab = FabricSim {
             cfg,
@@ -301,12 +324,15 @@ impl FabricSim {
             pending_admissions: Vec::new(),
             placement_failures: Vec::new(),
             injector,
+            replay_faults: ReplayFaultPlan::default(),
             telemetry,
             delivered,
             dropped_no_host,
             dropped_unrouted,
             suppressed_frames,
             stale_route_rejects,
+            replay_dropped,
+            replay_corrupted,
             per_switch_emitted,
             emitted_total,
         };
@@ -478,11 +504,48 @@ impl FabricSim {
         self.suppressed.clear();
     }
 
-    /// Inject a frame at member `sw` over the management link (one
-    /// reliable hop — fabric fault plans model the *data* network; the
-    /// federation's own channel fails by crashing the federation).
+    /// Arm a deterministic fault leg against subsequently injected
+    /// memsync replay frames (see [`ReplayFaultPlan`]).
+    pub fn set_replay_faults(&mut self, plan: ReplayFaultPlan) {
+        self.replay_faults = plan;
+    }
+
+    /// Memsync replay frames consumed by an armed [`ReplayFaultPlan`],
+    /// as `(dropped, corrupted)`.
+    pub fn replay_faults_applied(&self) -> (u64, u64) {
+        (self.replay_dropped.get(), self.replay_corrupted.get())
+    }
+
+    /// Inject a frame at member `sw`. The hop itself is reliable (the
+    /// federation's own channel fails by crashing the federation), but
+    /// memsync replay frames — active, non-allocation-request — ride
+    /// the *data* network once injected and are subject to an armed
+    /// [`ReplayFaultPlan`]: the drop budget eats the frame, the corrupt
+    /// budget flips one bit of its argument area (the frame still
+    /// parses; its payload silently changes).
     pub fn inject_at_switch(&mut self, sw: usize, frame: Vec<u8>) {
         assert!(sw < self.switches.len());
+        let mut frame = frame;
+        if active_fid(&frame).is_some()
+            && active_packet_type(&frame) != Some(PacketType::AllocRequest)
+        {
+            if self.replay_faults.drop_first > 0 {
+                self.replay_faults.drop_first -= 1;
+                self.replay_dropped.inc();
+                self.injector.recycle(frame);
+                return;
+            }
+            if self.replay_faults.corrupt_first > 0 {
+                self.replay_faults.corrupt_first -= 1;
+                self.replay_corrupted.inc();
+                // Flip the low bit of args[1] (a write's value slot):
+                // headers stay parseable, the carried payload changes.
+                let off = ETHERNET_HEADER_LEN + INITIAL_HEADER_LEN + 7;
+                if let Some(b) = frame.get_mut(off) {
+                    *b ^= 0x01;
+                }
+            }
+        }
         let arrive = self.now + self.cfg.link_time_ns(frame.len());
         let fid = active_fid(&frame);
         self.schedule_frame(arrive, EventKind::ToSwitch(sw, frame), fid);
@@ -497,6 +560,12 @@ impl FabricSim {
     /// Intercepted allocation requests awaiting placement.
     pub fn take_pending_admissions(&mut self) -> Vec<PendingAdmission> {
         std::mem::take(&mut self.pending_admissions)
+    }
+
+    /// Put an admission back in the pending queue: the federation has
+    /// taken it but cannot act on it yet (it is retried next pump).
+    pub fn defer_admission(&mut self, pa: PendingAdmission) {
+        self.pending_admissions.push(pa);
     }
 
     /// Failed allocation responses withheld under suppression — the

@@ -1,0 +1,193 @@
+//! Data-network chaos on the migration replay path: memsync frames
+//! carrying the snapshot from source to destination are corrupted or
+//! dropped in flight mid-migration.
+//!
+//! * **Corruption** must be caught by the read-back verify audit: the
+//!   migration aborts in place, the divergent destination copy is
+//!   discarded, the app keeps serving at home, and no fabric invariant
+//!   (in particular F2 migration-state-loss) trips — the dirty audit is
+//!   diagnostic, not a state-loss witness.
+//! * **Loss** must be absorbed by memsync retransmission: the
+//!   migration completes with a clean audit and byte-identical state.
+//!
+//! Either way the client never sees a corrupt value.
+
+use activermt_core::alloc::{MutantPolicy, Scheme};
+use activermt_core::SwitchConfig;
+use activermt_fabric::{Federation, FederationConfig, MigrationAudit};
+use activermt_isa::wire::RegionEntry;
+use activermt_modelcheck::fabric::{check_fabric_invariants, FabricMemberView};
+use activermt_modelcheck::Violation;
+use activermt_net::apphosts::{CacheClientConfig, CacheClientHost, Phase};
+use activermt_net::fabric::{FabricSim, FabricTopology, ReplayFaultPlan, FABRIC_MAC};
+use activermt_net::host::KvServerHost;
+use activermt_net::NetConfig;
+
+const SERVER: [u8; 6] = [2, 0, 0, 0, 0, 0xEE];
+const CLIENT: [u8; 6] = [2, 0, 0, 0, 1, 1];
+const FID: u16 = 101;
+const SERVE: u64 = 2_000_000_000;
+const END: u64 = 4_000_000_000;
+
+/// A two-member ring serving one cache client through the fabric
+/// anycast MAC — the minimal fabric that can migrate.
+fn cache_federation() -> Federation {
+    let switch_cfg = SwitchConfig {
+        table_entry_update_ns: 10_000,
+        ..SwitchConfig::default()
+    };
+    let mut fabric = FabricSim::new(
+        NetConfig::default(),
+        FabricTopology::Ring(2),
+        switch_cfg,
+        Scheme::WorstFit,
+    );
+    fabric.add_host(
+        Box::new(CacheClientHost::new(CacheClientConfig {
+            mac: CLIENT,
+            switch_mac: FABRIC_MAC,
+            server_mac: SERVER,
+            fid: FID,
+            start_ns: 0,
+            monitor_ns: None,
+            populate_top: 2_000,
+            req_interval_ns: 20_000,
+            keyspace: 10_000,
+            zipf_alpha: 1.0,
+            seed: 42,
+            policy: MutantPolicy::MostConstrained,
+            num_stages: 20,
+            ingress_stages: 10,
+            max_extra_recircs: 1,
+        })),
+        0,
+    );
+    fabric.add_host(Box::new(KvServerHost::new(SERVER, 10_000)), 1);
+    Federation::new(fabric, FederationConfig::default())
+}
+
+/// F1–F3 across the whole fabric.
+fn fabric_violations(fed: &Federation) -> Vec<Violation> {
+    let fab = fed.fabric();
+    let views: Vec<FabricMemberView<'_>> = (0..fab.members())
+        .map(|i| FabricMemberView {
+            id: i as u16,
+            controller: fab.switch(i).controller(),
+            plane: fab.switch(i).plane(),
+        })
+        .collect();
+    check_fabric_invariants(&views, fed.audits())
+}
+
+/// The nonzero cells of the cache wherever it lives, region-relative
+/// (comparable across members with different physical placements).
+fn app_cells(fed: &Federation, sw: usize) -> Vec<(usize, u32, u32)> {
+    let node = fed.fabric().switch(sw);
+    let mut regions: Vec<_> = node
+        .controller()
+        .regions_of(FID)
+        .map(<[(usize, RegionEntry)]>::to_vec)
+        .unwrap_or_default();
+    regions.sort_by_key(|&(stage, _)| stage);
+    let mut cells = Vec::new();
+    for (ri, &(stage, entry)) in regions.iter().enumerate() {
+        for offset in 0..entry.end.saturating_sub(entry.start) {
+            let v = node
+                .plane()
+                .reg_read_for(FID, stage, entry.start + offset)
+                .unwrap_or(0);
+            if v != 0 {
+                cells.push((ri, offset, v));
+            }
+        }
+    }
+    cells
+}
+
+/// Serve, arm a replay fault leg, migrate, run out the horizon.
+fn run_faulted_migration(plan: ReplayFaultPlan) -> (Federation, usize) {
+    let mut fed = cache_federation();
+    fed.run_until(SERVE);
+    let home = *fed.placements().get(&FID).expect("placed");
+    fed.fabric_mut().set_replay_faults(plan);
+    fed.migrate(FID).expect("migration start");
+    fed.run_until(END);
+    assert!(fed.migrations_idle(), "migration must resolve by {END}");
+    (fed, home)
+}
+
+fn assert_client_unharmed(fed: &Federation) {
+    let client = fed
+        .fabric()
+        .host::<CacheClientHost>(CLIENT)
+        .expect("cache client");
+    assert_eq!(client.phase(), Phase::Serving, "client must keep serving");
+    assert_eq!(client.value_errors, 0, "client saw a corrupt value");
+}
+
+/// A bit-flipped memsync replay frame must be caught by the verify
+/// read-back: abort-in-place, app stays home, F2 stays clean.
+#[test]
+fn corrupted_replay_frame_aborts_in_place() {
+    let (fed, home) = run_faulted_migration(ReplayFaultPlan {
+        drop_first: 0,
+        corrupt_first: 1,
+    });
+    assert_eq!(
+        fed.fabric().replay_faults_applied(),
+        (0, 1),
+        "the corrupt leg must have fired"
+    );
+    assert_eq!(fed.stats().migrations_aborted, 1, "verify must abort");
+    assert_eq!(fed.stats().migrations_completed, 0);
+    assert_eq!(
+        *fed.placements().get(&FID).expect("still placed"),
+        home,
+        "abort-in-place must keep the app home"
+    );
+
+    // The audit itself is the corruption witness: dirty, but marked
+    // aborted, so F2 does not count it as state loss.
+    let audit = fed.audits().last().expect("audit recorded");
+    assert!(!audit.is_clean(), "audit must expose the divergence");
+    assert!(audit.aborted, "divergence must have caused the abort");
+
+    let violations = fabric_violations(&fed);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_client_unharmed(&fed);
+
+    // The home copy still matches an unfaulted, unmigrated oracle.
+    let mut oracle = cache_federation();
+    oracle.run_until(END);
+    let oracle_home = *oracle.placements().get(&FID).expect("oracle placed");
+    let oracle_cells = app_cells(&oracle, oracle_home);
+    assert!(!oracle_cells.is_empty(), "populated cache must be nonempty");
+    assert_eq!(app_cells(&fed, home), oracle_cells, "home state diverged");
+}
+
+/// A dropped memsync replay frame must be absorbed by retransmission:
+/// the migration completes with a clean audit and identical state.
+#[test]
+fn dropped_replay_frame_is_retransmitted_to_completion() {
+    let (fed, home) = run_faulted_migration(ReplayFaultPlan {
+        drop_first: 1,
+        corrupt_first: 0,
+    });
+    assert_eq!(
+        fed.fabric().replay_faults_applied(),
+        (1, 0),
+        "the drop leg must have fired"
+    );
+    assert_eq!(fed.stats().migrations_completed, 1, "loss must be absorbed");
+    assert_eq!(fed.stats().migrations_aborted, 0);
+    let new_home = *fed.placements().get(&FID).expect("still placed");
+    assert_ne!(new_home, home, "migration must have moved the app");
+    assert!(
+        fed.audits().iter().all(MigrationAudit::is_clean),
+        "retransmission must yield a clean audit"
+    );
+
+    let violations = fabric_violations(&fed);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_client_unharmed(&fed);
+}
