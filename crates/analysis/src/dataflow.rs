@@ -1,0 +1,762 @@
+//! Classic dataflow analyses over the stage/recirculation CFG.
+//!
+//! Three analyses, each a single sweep (the CFG is a DAG — every edge
+//! goes forward, so one pass in index order reaches the fixed point):
+//!
+//! * [`liveness`] — backward liveness of {MAR, MBR, MBR2, HD}, the
+//!   engine behind dead-store elimination and the dead-store lint;
+//! * [`reaching_defs`] — forward reaching definitions per register,
+//!   with the parser's implicit zero modeled as a pseudo-definition;
+//! * [`value_facts`] — forward constant/value-range propagation over
+//!   the interval × known-bits domain from [`crate::domain`], fused
+//!   with a deterministic value numbering so "these two registers hold
+//!   the same (unknown) value" is provable, not just "both are ⊤".
+//!
+//! The register-effect tables ([`reads_writes`], [`pure_writer`]) used
+//! to live in `lint.rs`; they moved here so the lint passes, the
+//! optimizer ([`crate::opt`]) and any future consumer share one
+//! semantic source of truth.
+
+use crate::cfg::Cfg;
+use crate::domain::{AbsVal, Origin};
+use activermt_isa::constants::NUM_ARGS;
+use activermt_isa::{Instruction, Opcode};
+
+/// Bitmask register set over the PHV scratch state the program itself
+/// owns: MAR, MBR, MBR2, and the hash-data buffer.
+pub type Regs = u8;
+/// Memory address register.
+pub const MAR: Regs = 1;
+/// Memory buffer register.
+pub const MBR: Regs = 2;
+/// Second memory buffer register.
+pub const MBR2: Regs = 4;
+/// The hash-data staging buffer (append-only).
+pub const HD: Regs = 8;
+
+/// Human-readable name for a register mask with one bit set.
+#[must_use]
+pub fn reg_name(r: Regs) -> &'static str {
+    match r {
+        MAR => "MAR",
+        MBR => "MBR",
+        MBR2 => "MBR2",
+        HD => "the hash-data buffer",
+        _ => "registers",
+    }
+}
+
+/// `(reads, writes)` over {MAR, MBR, MBR2, HD} for one opcode.
+/// Argument words are not modeled: the parser always initializes them,
+/// and `MBR_STORE`'s write to them is externally visible (never dead).
+#[allow(clippy::match_same_arms)]
+#[must_use]
+pub fn reads_writes(op: Opcode) -> (Regs, Regs) {
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, CJUMP, CJUMPI,
+        COPY_HASHDATA_5TUPLE, COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
+        COPY_MBR_MAR, COPY_MBR_MBR2, CRET, CRETI, CRTS, DROP, EOF, FORK, HASH, MAR_ADD_MBR,
+        MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1,
+        MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT, MBR_STORE, MBR_SUBTRACT_MBR2,
+        MEM_INCREMENT, MEM_MINREAD, MEM_MINREADINC, MEM_READ, MEM_WRITE, MIN, NOP, RETURN, REVMIN,
+        RTS, SET_DST, SWAP_MBR_MBR2, UJUMP,
+    };
+    match op {
+        EOF | NOP | RETURN | UJUMP | DROP | FORK | RTS => (0, 0),
+        CRET | CRETI | CJUMP | CJUMPI | CRTS | SET_DST => (MBR, 0),
+        ADDR_MASK | ADDR_OFFSET => (MAR, MAR),
+        HASH => (HD, MAR),
+        MBR_LOAD => (0, MBR),
+        MBR2_LOAD => (0, MBR2),
+        MAR_LOAD => (0, MAR),
+        MBR_STORE => (MBR, 0),
+        COPY_MBR2_MBR => (MBR, MBR2),
+        COPY_MBR_MBR2 => (MBR2, MBR),
+        COPY_MBR_MAR => (MAR, MBR),
+        COPY_MAR_MBR => (MBR, MAR),
+        // Appending to the hash buffer is modeled as a pure write: the
+        // cursor state it consumes is not observable data.
+        COPY_HASHDATA_MBR => (MBR, HD),
+        COPY_HASHDATA_MBR2 => (MBR2, HD),
+        COPY_HASHDATA_5TUPLE => (0, HD),
+        MBR_ADD_MBR2 | MBR_SUBTRACT_MBR2 | BIT_OR_MBR_MBR2 | MBR_EQUALS_MBR2 | MAX | MIN => {
+            (MBR | MBR2, MBR)
+        }
+        MAR_ADD_MBR | BIT_AND_MAR_MBR => (MAR | MBR, MAR),
+        MAR_ADD_MBR2 => (MAR | MBR2, MAR),
+        MAR_MBR_ADD_MBR2 => (MBR | MBR2, MAR),
+        MBR_EQUALS_DATA_1 | MBR_EQUALS_DATA_2 | MBR_NOT => (MBR, MBR),
+        REVMIN => (MBR | MBR2, MBR2),
+        SWAP_MBR_MBR2 => (MBR | MBR2, MBR | MBR2),
+        MEM_WRITE => (MAR | MBR, 0),
+        MEM_READ | MEM_INCREMENT => (MAR, MBR),
+        MEM_MINREAD | MEM_MINREADINC => (MAR | MBR2, MBR | MBR2),
+    }
+}
+
+/// True when the opcode's only effect is its register writes, so a
+/// store whose outputs are all dead is removable.
+#[must_use]
+pub fn pure_writer(op: Opcode) -> bool {
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, COPY_HASHDATA_5TUPLE,
+        COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR, COPY_MBR_MAR,
+        COPY_MBR_MBR2, HASH, MAR_ADD_MBR, MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD,
+        MBR_ADD_MBR2, MBR_EQUALS_DATA_1, MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT,
+        MBR_SUBTRACT_MBR2, MIN, REVMIN, SWAP_MBR_MBR2,
+    };
+    matches!(
+        op,
+        ADDR_MASK
+            | ADDR_OFFSET
+            | HASH
+            | MBR_LOAD
+            | MBR2_LOAD
+            | MAR_LOAD
+            | COPY_MBR2_MBR
+            | COPY_MBR_MBR2
+            | COPY_MBR_MAR
+            | COPY_MAR_MBR
+            | COPY_HASHDATA_MBR
+            | COPY_HASHDATA_MBR2
+            | COPY_HASHDATA_5TUPLE
+            | MBR_ADD_MBR2
+            | MAR_ADD_MBR
+            | MAR_ADD_MBR2
+            | MAR_MBR_ADD_MBR2
+            | MBR_SUBTRACT_MBR2
+            | BIT_AND_MAR_MBR
+            | BIT_OR_MBR_MBR2
+            | MBR_EQUALS_MBR2
+            | MBR_EQUALS_DATA_1
+            | MBR_EQUALS_DATA_2
+            | MAX
+            | MIN
+            | REVMIN
+            | SWAP_MBR_MBR2
+            | MBR_NOT
+    )
+}
+
+/// Iterate over the individual registers present in `mask`.
+pub fn each_reg(mask: Regs) -> impl Iterator<Item = Regs> {
+    [MAR, MBR, MBR2, HD]
+        .into_iter()
+        .filter(move |r| mask & r != 0)
+}
+
+// ---------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------
+
+/// Per-node liveness of {MAR, MBR, MBR2, HD}.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to node `i`.
+    pub live_in: Vec<Regs>,
+    /// Registers live on exit from node `i` (union over successors).
+    pub live_out: Vec<Regs>,
+}
+
+/// Backward liveness. Edges only go forward, so a single reverse sweep
+/// reaches the fixed point. A hash-data write appends rather than
+/// replacing, so an HD write never kills an earlier contribution.
+#[must_use]
+pub fn liveness(cfg: &Cfg) -> Liveness {
+    let nodes = cfg.nodes();
+    let mut live_in: Vec<Regs> = vec![0; nodes.len()];
+    let mut live_out: Vec<Regs> = vec![0; nodes.len()];
+    for idx in (0..nodes.len()).rev() {
+        let (reads, writes) = reads_writes(nodes[idx].ins.opcode);
+        let mut out: Regs = 0;
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                out |= live_in[e.to];
+            }
+        }
+        let kills = writes & !HD;
+        live_out[idx] = out;
+        live_in[idx] = reads | (out & !kills);
+    }
+    Liveness { live_in, live_out }
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------
+
+/// The pseudo-definition index representing the parser's implicit
+/// zero-initialization of every register at program entry.
+pub const ENTRY_DEF: usize = DEF_BITS - 1;
+const DEF_BITS: usize = 256;
+
+/// A set of definition sites (instruction indices, plus [`ENTRY_DEF`]).
+/// Programs are capped at 255 instructions, so 256 bits always fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefSet([u64; 4]);
+
+impl DefSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> DefSet {
+        DefSet::default()
+    }
+
+    /// The singleton `{site}`.
+    #[must_use]
+    pub fn single(site: usize) -> DefSet {
+        let mut s = DefSet::default();
+        s.insert(site);
+        s
+    }
+
+    /// Add a definition site.
+    pub fn insert(&mut self, site: usize) {
+        debug_assert!(site < DEF_BITS);
+        self.0[site / 64] |= 1 << (site % 64);
+    }
+
+    /// Does the set contain `site`?
+    #[must_use]
+    pub fn contains(&self, site: usize) -> bool {
+        site < DEF_BITS && self.0[site / 64] & (1 << (site % 64)) != 0
+    }
+
+    /// Set union, in place.
+    pub fn union(&mut self, other: &DefSet) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of definition sites in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Iterate the definition sites in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..DEF_BITS).filter(move |&i| self.contains(i))
+    }
+}
+
+/// Index of a register bit within per-register tables.
+#[must_use]
+pub fn reg_index(r: Regs) -> usize {
+    match r {
+        MAR => 0,
+        MBR => 1,
+        MBR2 => 2,
+        _ => 3,
+    }
+}
+
+/// Reaching definitions: for each node and register, which definition
+/// sites may have produced the value observed on entry.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// `reach_in[i][reg_index(r)]` = definitions of `r` reaching node
+    /// `i`'s entry. Unreachable nodes keep empty sets.
+    pub reach_in: Vec<[DefSet; 4]>,
+}
+
+impl ReachingDefs {
+    /// The definitions of register `r` reaching node `idx`.
+    #[must_use]
+    pub fn defs_of(&self, idx: usize, r: Regs) -> DefSet {
+        self.reach_in
+            .get(idx)
+            .map_or_else(DefSet::empty, |s| s[reg_index(r)])
+    }
+}
+
+/// Forward reaching-definitions analysis. The entry state carries the
+/// [`ENTRY_DEF`] pseudo-definition for every register; a write kills
+/// earlier definitions of the same register except for the append-only
+/// hash-data buffer, whose writes accumulate.
+#[must_use]
+pub fn reaching_defs(cfg: &Cfg) -> ReachingDefs {
+    let nodes = cfg.nodes();
+    let mut reach_in: Vec<Option<[DefSet; 4]>> = vec![None; nodes.len()];
+    if !nodes.is_empty() {
+        reach_in[0] = Some([DefSet::single(ENTRY_DEF); 4]);
+    }
+    for idx in 0..nodes.len() {
+        let Some(state) = reach_in[idx] else { continue };
+        let (_, writes) = reads_writes(nodes[idx].ins.opcode);
+        let mut out = state;
+        for r in each_reg(writes) {
+            let slot = &mut out[reg_index(r)];
+            if r == HD {
+                slot.insert(idx);
+            } else {
+                *slot = DefSet::single(idx);
+            }
+        }
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                match &mut reach_in[e.to] {
+                    Some(existing) => {
+                        for (a, b) in existing.iter_mut().zip(out.iter()) {
+                            a.union(b);
+                        }
+                    }
+                    succ @ None => *succ = Some(out),
+                }
+            }
+        }
+    }
+    ReachingDefs {
+        reach_in: reach_in
+            .into_iter()
+            .map(|s| s.unwrap_or([DefSet::empty(); 4]))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value facts: constant propagation × value numbering
+// ---------------------------------------------------------------------
+
+/// Value number of the constant zero (the parser's register state).
+pub const VN_ZERO: u32 = 0;
+/// Value number of argument word `j` is `VN_ARG_BASE + j`.
+pub const VN_ARG_BASE: u32 = 1;
+/// Fresh value numbers produced at node `i` start at
+/// `VN_FRESH_BASE + i * VN_SLOTS`.
+pub const VN_FRESH_BASE: u32 = VN_ARG_BASE + NUM_ARGS as u32;
+const VN_SLOTS: u32 = 4;
+
+/// An abstract register value: numeric abstraction plus an optional
+/// value number. Two values with the same number are guaranteed equal
+/// at runtime even when neither is a known constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Val {
+    /// Interval × known-bits abstraction.
+    pub abs: AbsVal,
+    /// Value number; `None` after a join of distinct values.
+    pub vn: Option<u32>,
+}
+
+impl Val {
+    /// An exactly known constant. Zero gets the canonical [`VN_ZERO`];
+    /// other constants are identified through [`Val::as_const`].
+    #[must_use]
+    pub fn constant(v: u32) -> Val {
+        Val {
+            abs: AbsVal::constant(v),
+            vn: (v == 0).then_some(VN_ZERO),
+        }
+    }
+
+    /// Is this value a single known constant?
+    #[must_use]
+    pub fn as_const(&self) -> Option<u32> {
+        self.abs.as_const()
+    }
+
+    /// Control-flow merge.
+    #[must_use]
+    pub fn join(&self, other: &Val) -> Val {
+        Val {
+            abs: self.abs.join(other.abs),
+            vn: if self.vn == other.vn { self.vn } else { None },
+        }
+    }
+}
+
+/// Are `a` and `b` provably the same runtime value — same value number,
+/// or both the same known constant?
+#[must_use]
+pub fn same_value(a: &Val, b: &Val) -> bool {
+    (a.vn.is_some() && a.vn == b.vn)
+        || matches!((a.as_const(), b.as_const()), (Some(x), Some(y)) if x == y)
+}
+
+/// The abstract machine state the value analysis tracks: the three
+/// scratch registers plus the argument words (mutable via `MBR_STORE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValState {
+    /// Memory address register.
+    pub mar: Val,
+    /// Memory buffer register.
+    pub mbr: Val,
+    /// Second memory buffer register.
+    pub mbr2: Val,
+    /// Argument words.
+    pub args: [Val; NUM_ARGS],
+}
+
+impl ValState {
+    /// The state at program entry: registers hold the parser's zero,
+    /// argument word `j` holds an unknown value numbered
+    /// `VN_ARG_BASE + j` with [`Origin::Arg`] provenance.
+    #[must_use]
+    pub fn entry() -> ValState {
+        ValState {
+            mar: Val::constant(0),
+            mbr: Val::constant(0),
+            mbr2: Val::constant(0),
+            args: core::array::from_fn(|j| {
+                #[allow(clippy::cast_possible_truncation)]
+                let tag = Origin::Arg(j as u8);
+                #[allow(clippy::cast_possible_truncation)]
+                let vn = VN_ARG_BASE + j as u32;
+                Val {
+                    abs: AbsVal::top().with_origin(tag),
+                    vn: Some(vn),
+                }
+            }),
+        }
+    }
+
+    /// Control-flow merge.
+    #[must_use]
+    pub fn join(&self, other: &ValState) -> ValState {
+        ValState {
+            mar: self.mar.join(&other.mar),
+            mbr: self.mbr.join(&other.mbr),
+            mbr2: self.mbr2.join(&other.mbr2),
+            args: core::array::from_fn(|j| self.args[j].join(&other.args[j])),
+        }
+    }
+}
+
+/// A fresh, unique value for slot `slot` of node `node_idx`.
+fn fresh(node_idx: usize, slot: u32, abs: AbsVal) -> Val {
+    #[allow(clippy::cast_possible_truncation)]
+    let base = VN_FRESH_BASE + node_idx as u32 * VN_SLOTS;
+    Val {
+        abs,
+        vn: Some(base + slot),
+    }
+}
+
+/// Addition with algebraic identities: `x + 0 = x` (value number
+/// preserved), otherwise a fresh value with the interval sum.
+fn add(a: &Val, b: &Val, node_idx: usize, slot: u32) -> Val {
+    if b.as_const() == Some(0) {
+        return *a;
+    }
+    if a.as_const() == Some(0) {
+        return *b;
+    }
+    fresh(node_idx, slot, a.abs.wrapping_add(b.abs))
+}
+
+/// One instruction's effect on the value state. `node_idx` seeds the
+/// fresh value numbers, so the numbering is deterministic across runs.
+#[allow(clippy::too_many_lines)]
+#[must_use]
+pub fn transfer_values(state: &ValState, ins: Instruction, node_idx: usize) -> ValState {
+    use Opcode::{
+        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
+        COPY_MBR_MAR, COPY_MBR_MBR2, HASH, MAR_ADD_MBR, MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2,
+        MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1, MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2,
+        MBR_LOAD, MBR_NOT, MBR_STORE, MBR_SUBTRACT_MBR2, MEM_INCREMENT, MEM_MINREAD,
+        MEM_MINREADINC, MEM_READ, MIN, REVMIN, SWAP_MBR_MBR2,
+    };
+    let mut s = state.clone();
+    let arg_val = |k: Option<usize>| {
+        k.and_then(|k| state.args.get(k))
+            .copied()
+            .unwrap_or_else(|| fresh(node_idx, 3, AbsVal::top()))
+    };
+    let mem_val = |slot: u32| fresh(node_idx, slot, AbsVal::top().with_origin(Origin::Memory));
+    match ins.opcode {
+        MBR_LOAD => s.mbr = arg_val(ins.arg_index()),
+        MBR2_LOAD => s.mbr2 = arg_val(ins.arg_index()),
+        MAR_LOAD => s.mar = arg_val(ins.arg_index()),
+        MBR_STORE => {
+            if let Some(slot) = ins.arg_index().and_then(|k| s.args.get_mut(k)) {
+                *slot = state.mbr;
+            }
+        }
+        COPY_MBR2_MBR => s.mbr2 = state.mbr,
+        COPY_MBR_MBR2 => s.mbr = state.mbr2,
+        COPY_MBR_MAR => s.mbr = state.mar,
+        COPY_MAR_MBR => s.mar = state.mbr,
+        SWAP_MBR_MBR2 => {
+            s.mbr = state.mbr2;
+            s.mbr2 = state.mbr;
+        }
+        HASH => s.mar = fresh(node_idx, 0, AbsVal::top().with_origin(Origin::Hashed)),
+        // Context-free: the region geometry (mask/offset) is unknown
+        // here, so the result is an unknown fresh value. The verifier's
+        // abstract interpreter models these precisely once regions
+        // exist.
+        ADDR_MASK | ADDR_OFFSET => s.mar = fresh(node_idx, 0, AbsVal::top()),
+        MBR_ADD_MBR2 => s.mbr = add(&state.mbr, &state.mbr2, node_idx, 1),
+        MAR_ADD_MBR => s.mar = add(&state.mar, &state.mbr, node_idx, 0),
+        MAR_ADD_MBR2 => s.mar = add(&state.mar, &state.mbr2, node_idx, 0),
+        MAR_MBR_ADD_MBR2 => s.mar = add(&state.mbr, &state.mbr2, node_idx, 0),
+        MBR_SUBTRACT_MBR2 => {
+            s.mbr = if same_value(&state.mbr, &state.mbr2) {
+                Val::constant(0)
+            } else if state.mbr2.as_const() == Some(0) {
+                state.mbr
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.wrapping_sub(state.mbr2.abs))
+            };
+        }
+        BIT_AND_MAR_MBR => {
+            s.mar = if same_value(&state.mar, &state.mbr) {
+                state.mar
+            } else {
+                fresh(node_idx, 0, state.mar.abs.and(state.mbr.abs))
+            };
+        }
+        BIT_OR_MBR_MBR2 => {
+            s.mbr = if same_value(&state.mbr, &state.mbr2) || state.mbr2.as_const() == Some(0) {
+                state.mbr
+            } else if state.mbr.as_const() == Some(0) {
+                state.mbr2
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.or(state.mbr2.abs))
+            };
+        }
+        MBR_EQUALS_MBR2 => {
+            s.mbr = if same_value(&state.mbr, &state.mbr2) {
+                Val::constant(0)
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.xor(state.mbr2.abs))
+            };
+        }
+        MBR_EQUALS_DATA_1 => {
+            s.mbr = if same_value(&state.mbr, &state.args[0]) {
+                Val::constant(0)
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.xor(state.args[0].abs))
+            };
+        }
+        MBR_EQUALS_DATA_2 => {
+            s.mbr = if same_value(&state.mbr, &state.args[1]) {
+                Val::constant(0)
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.xor(state.args[1].abs))
+            };
+        }
+        MAX => {
+            s.mbr = if same_value(&state.mbr, &state.mbr2) {
+                state.mbr
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.max(state.mbr2.abs))
+            };
+        }
+        MIN => {
+            s.mbr = if same_value(&state.mbr, &state.mbr2) {
+                state.mbr
+            } else {
+                fresh(node_idx, 1, state.mbr.abs.min(state.mbr2.abs))
+            };
+        }
+        REVMIN => {
+            s.mbr2 = if same_value(&state.mbr, &state.mbr2) {
+                state.mbr2
+            } else {
+                fresh(node_idx, 2, state.mbr.abs.min(state.mbr2.abs))
+            };
+        }
+        MBR_NOT => s.mbr = fresh(node_idx, 1, state.mbr.abs.bitwise_not()),
+        MEM_READ | MEM_INCREMENT => s.mbr = mem_val(1),
+        MEM_MINREAD | MEM_MINREADINC => {
+            s.mbr = mem_val(1);
+            s.mbr2 = fresh(
+                node_idx,
+                2,
+                state
+                    .mbr2
+                    .abs
+                    .min(AbsVal::top().with_origin(Origin::Memory)),
+            );
+        }
+        // Everything else (control flow, RTS/DROP/FORK/SET_DST,
+        // MEM_WRITE, the hash-data appends, NOP) leaves the tracked
+        // registers unchanged.
+        _ => {}
+    }
+    s
+}
+
+/// Per-node value facts from the forward constant/value-number sweep.
+#[derive(Debug, Clone)]
+pub struct ValueFacts {
+    /// `state_in[i]` = value state on entry to node `i`; `None` for
+    /// unreachable nodes.
+    pub state_in: Vec<Option<ValState>>,
+}
+
+impl ValueFacts {
+    /// The state flowing out of node `idx` (entry state pushed through
+    /// the node's own instruction), if the node is reachable.
+    #[must_use]
+    pub fn state_out(&self, cfg: &Cfg, idx: usize) -> Option<ValState> {
+        self.state_in
+            .get(idx)?
+            .as_ref()
+            .map(|s| transfer_values(s, cfg.nodes()[idx].ins, idx))
+    }
+}
+
+/// Forward constant/value-range propagation fused with value numbering.
+/// One sweep in index order suffices: the CFG is a DAG.
+#[must_use]
+pub fn value_facts(cfg: &Cfg) -> ValueFacts {
+    let nodes = cfg.nodes();
+    let mut state_in: Vec<Option<ValState>> = vec![None; nodes.len()];
+    if !nodes.is_empty() {
+        state_in[0] = Some(ValState::entry());
+    }
+    for idx in 0..nodes.len() {
+        let Some(state) = state_in[idx].clone() else {
+            continue;
+        };
+        let out = transfer_values(&state, nodes[idx].ins, idx);
+        for e in &nodes[idx].edges {
+            if e.to < nodes.len() {
+                state_in[e.to] = Some(match state_in[e.to].take() {
+                    Some(existing) => existing.join(&out),
+                    None => out.clone(),
+                });
+            }
+        }
+    }
+    ValueFacts { state_in }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activermt_isa::ProgramBuilder;
+
+    fn cfg_of(p: &activermt_isa::Program) -> Cfg {
+        Cfg::build(p.instructions(), 20).unwrap()
+    }
+
+    #[test]
+    fn liveness_matches_dead_store_intuition() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0) // live: read by SET_DST
+            .op_arg(Opcode::MBR2_LOAD, 1) // dead: never read
+            .op(Opcode::SET_DST)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let lv = liveness(&cfg);
+        assert_eq!(lv.live_out[0] & MBR, MBR);
+        assert_eq!(lv.live_out[1] & MBR2, 0);
+    }
+
+    #[test]
+    fn reaching_defs_track_entry_and_kills() {
+        let p = ProgramBuilder::new()
+            .op(Opcode::CRET) // reads MBR: only ENTRY_DEF reaches
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .op(Opcode::SET_DST) // reads MBR: only the load reaches
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let rd = reaching_defs(&cfg);
+        let at_cret = rd.defs_of(0, MBR);
+        assert!(at_cret.contains(ENTRY_DEF) && at_cret.len() == 1);
+        let at_setdst = rd.defs_of(2, MBR);
+        assert!(at_setdst.contains(1) && !at_setdst.contains(ENTRY_DEF));
+    }
+
+    #[test]
+    fn reaching_defs_join_across_branches() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .jump(Opcode::CJUMP, "end")
+            .op_arg(Opcode::MBR_LOAD, 1)
+            .label("end")
+            .op(Opcode::SET_DST)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let rd = reaching_defs(&cfg);
+        let at_setdst = rd.defs_of(3, MBR);
+        assert!(at_setdst.contains(0) && at_setdst.contains(2));
+        assert_eq!(at_setdst.len(), 2);
+    }
+
+    #[test]
+    fn value_numbering_proves_copy_identity() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 2)
+            .op(Opcode::COPY_MBR2_MBR)
+            .op(Opcode::MBR_EQUALS_MBR2) // x ^ x = 0
+            .op(Opcode::CRETI)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let vf = value_facts(&cfg);
+        let at_xor = vf.state_in[2].as_ref().unwrap();
+        assert!(same_value(&at_xor.mbr, &at_xor.mbr2));
+        let after_xor = vf.state_out(&cfg, 2).unwrap();
+        assert_eq!(after_xor.mbr.as_const(), Some(0));
+    }
+
+    #[test]
+    fn constants_propagate_through_arithmetic() {
+        // mbr starts as parser zero; mbr2 load of arg then OR with a
+        // zero mbr keeps mbr2's value number in mbr.
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR2_LOAD, 1)
+            .op(Opcode::BIT_OR_MBR_MBR2) // 0 | arg1 = arg1
+            .op(Opcode::MBR_EQUALS_MBR2) // arg1 ^ arg1 = 0
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let vf = value_facts(&cfg);
+        let at_xor = vf.state_in[2].as_ref().unwrap();
+        assert_eq!(at_xor.mbr.vn, Some(VN_ARG_BASE + 1));
+        let out = vf.state_out(&cfg, 2).unwrap();
+        assert_eq!(out.mbr.as_const(), Some(0));
+    }
+
+    #[test]
+    fn joins_drop_unequal_value_numbers() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .jump(Opcode::CJUMP, "end")
+            .op_arg(Opcode::MBR_LOAD, 1)
+            .label("end")
+            .op(Opcode::SET_DST)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let vf = value_facts(&cfg);
+        let at_join = vf.state_in[3].as_ref().unwrap();
+        assert_eq!(at_join.mbr.vn, None);
+    }
+
+    #[test]
+    fn mbr_store_moves_values_into_args() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .op_arg(Opcode::MBR_STORE, 3)
+            .op_arg(Opcode::MBR2_LOAD, 3)
+            .op(Opcode::MBR_EQUALS_MBR2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let cfg = cfg_of(&p);
+        let vf = value_facts(&cfg);
+        let out = vf.state_out(&cfg, 3).unwrap();
+        assert_eq!(out.mbr.as_const(), Some(0));
+    }
+}

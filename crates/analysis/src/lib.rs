@@ -16,10 +16,16 @@
 //!   geometry that makes ActiveRMT programs position-sensitive;
 //! * [`domain`] — the interval × known-bits abstract domain with value
 //!   provenance (argument / hash / memory origins);
+//! * [`dataflow`] — classic dataflow analyses over that CFG: liveness,
+//!   reaching definitions, and constant/value-number propagation;
 //! * [`verify`] — the abstract interpreter and termination pass, plus
 //!   concrete witness search for rejections;
 //! * [`lint`] — allocation-independent diagnostics (use-before-def,
-//!   dead stores, unreachable code, unguarded hashed addressing);
+//!   dead stores, unreachable code, unguarded hashed addressing,
+//!   redundant copies, provably-constant writes);
+//! * [`opt`] — the transformation pipeline built on [`dataflow`]
+//!   (dead-store elimination, copy folding, NOP compaction), gated by a
+//!   simulator differential so only proven-equivalent programs ship;
 //! * [`equiv`] — mutant padding and NOP-equivalence checking;
 //! * [`sim`] — a self-contained reference simulator used to confirm
 //!   witnesses (kept independent of `activermt-core` so this crate
@@ -28,17 +34,21 @@
 #![forbid(unsafe_code)]
 
 pub mod cfg;
+pub mod dataflow;
 pub mod domain;
 pub mod equiv;
 pub mod lint;
+pub mod opt;
 pub mod sim;
 pub mod verify;
 
 pub use cfg::{Cfg, CfgError, Edge, EdgeKind, Node, NodeId};
+pub use dataflow::{liveness, reaching_defs, value_facts, Liveness, ReachingDefs, ValueFacts};
 pub use domain::{AbsVal, Origin};
 pub use equiv::{check_mutant_equivalence, pad_to_positions};
 pub use lint::lint;
-pub use sim::{simulate, SimOutcome};
+pub use opt::{differential_equivalent, optimize, optimize_checked, OptStats};
+pub use sim::{simulate, simulate_full, SimOutcome, SimTrace};
 pub use verify::{
     search_witness, verify, AnalysisContext, ArgAssumption, Assumptions, Finding, FindingKind,
     MemRegion, Report, Severity, Witness, WitnessEffect,

@@ -1,130 +1,62 @@
 //! Allocation-independent lints: use-before-def, dead stores,
-//! unreachable code, dangling branches, and unguarded hashed
-//! addressing.
+//! unreachable code, dangling branches, unguarded hashed addressing,
+//! redundant copies, and provably-constant writes.
 //!
 //! These need no [`crate::verify::AnalysisContext`], so the client
 //! compiler can run them at synthesis time, before any allocation
 //! exists. The hashed-address check here is the *context-free* twin of
 //! the verifier's error: without a region to check against it can only
 //! warn that a `HASH` result reaches a memory access with no
-//! `ADDR_MASK` in between.
+//! `ADDR_MASK` in between. The register-effect tables and the dataflow
+//! engines live in [`crate::dataflow`]; this module only interprets
+//! their results as diagnostics, so the optimizer ([`crate::opt`]) acts
+//! on exactly the facts the lints report.
 
 use crate::cfg::Cfg;
+use crate::dataflow::{
+    each_reg, liveness, pure_writer, reaching_defs, reads_writes, reg_name, same_value,
+    transfer_values, value_facts, Regs, ENTRY_DEF, HD, MAR, MBR, MBR2,
+};
 use crate::verify::{Finding, FindingKind, Severity};
 use activermt_isa::{Instruction, Opcode};
 
-/// Bitmask register set over the PHV scratch state the program itself
-/// owns: MAR, MBR, MBR2, and the hash-data buffer.
-type Regs = u8;
-const MAR: Regs = 1;
-const MBR: Regs = 2;
-const MBR2: Regs = 4;
-const HD: Regs = 8;
-
-fn reg_name(r: Regs) -> &'static str {
-    match r {
-        MAR => "MAR",
-        MBR => "MBR",
-        MBR2 => "MBR2",
-        HD => "the hash-data buffer",
-        _ => "registers",
-    }
-}
-
-/// `(reads, writes)` over {MAR, MBR, MBR2, HD} for one opcode.
-/// Argument words are not modeled: the parser always initializes them,
-/// and `MBR_STORE`'s write to them is externally visible (never dead).
-#[allow(clippy::match_same_arms)]
-fn reads_writes(op: Opcode) -> (Regs, Regs) {
-    use Opcode::{
-        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, CJUMP, CJUMPI,
-        COPY_HASHDATA_5TUPLE, COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR,
-        COPY_MBR_MAR, COPY_MBR_MBR2, CRET, CRETI, CRTS, DROP, EOF, FORK, HASH, MAR_ADD_MBR,
-        MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD, MBR_ADD_MBR2, MBR_EQUALS_DATA_1,
-        MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT, MBR_STORE, MBR_SUBTRACT_MBR2,
-        MEM_INCREMENT, MEM_MINREAD, MEM_MINREADINC, MEM_READ, MEM_WRITE, MIN, NOP, RETURN, REVMIN,
-        RTS, SET_DST, SWAP_MBR_MBR2, UJUMP,
-    };
+/// For the four register-to-register copies: `(source, destination)`.
+/// `None` for every other opcode.
+pub(crate) fn copy_src_dst(op: Opcode) -> Option<(Regs, Regs)> {
     match op {
-        EOF | NOP | RETURN | UJUMP | DROP | FORK | RTS => (0, 0),
-        CRET | CRETI | CJUMP | CJUMPI | CRTS | SET_DST => (MBR, 0),
-        ADDR_MASK | ADDR_OFFSET => (MAR, MAR),
-        HASH => (HD, MAR),
-        MBR_LOAD => (0, MBR),
-        MBR2_LOAD => (0, MBR2),
-        MAR_LOAD => (0, MAR),
-        MBR_STORE => (MBR, 0),
-        COPY_MBR2_MBR => (MBR, MBR2),
-        COPY_MBR_MBR2 => (MBR2, MBR),
-        COPY_MBR_MAR => (MAR, MBR),
-        COPY_MAR_MBR => (MBR, MAR),
-        // Appending to the hash buffer is modeled as a pure write: the
-        // cursor state it consumes is not observable data.
-        COPY_HASHDATA_MBR => (MBR, HD),
-        COPY_HASHDATA_MBR2 => (MBR2, HD),
-        COPY_HASHDATA_5TUPLE => (0, HD),
-        MBR_ADD_MBR2 | MBR_SUBTRACT_MBR2 | BIT_OR_MBR_MBR2 | MBR_EQUALS_MBR2 | MAX | MIN => {
-            (MBR | MBR2, MBR)
-        }
-        MAR_ADD_MBR | BIT_AND_MAR_MBR => (MAR | MBR, MAR),
-        MAR_ADD_MBR2 => (MAR | MBR2, MAR),
-        MAR_MBR_ADD_MBR2 => (MBR | MBR2, MAR),
-        MBR_EQUALS_DATA_1 | MBR_EQUALS_DATA_2 | MBR_NOT => (MBR, MBR),
-        REVMIN => (MBR | MBR2, MBR2),
-        SWAP_MBR_MBR2 => (MBR | MBR2, MBR | MBR2),
-        MEM_WRITE => (MAR | MBR, 0),
-        MEM_READ | MEM_INCREMENT => (MAR, MBR),
-        MEM_MINREAD | MEM_MINREADINC => (MAR | MBR2, MBR | MBR2),
+        Opcode::COPY_MBR2_MBR => Some((MBR, MBR2)),
+        Opcode::COPY_MBR_MBR2 => Some((MBR2, MBR)),
+        Opcode::COPY_MBR_MAR => Some((MAR, MBR)),
+        Opcode::COPY_MAR_MBR => Some((MBR, MAR)),
+        _ => None,
     }
 }
 
-/// True when the opcode's only effect is its register writes, so a
-/// store whose outputs are all dead is removable.
-fn pure_writer(op: Opcode) -> bool {
-    use Opcode::{
-        ADDR_MASK, ADDR_OFFSET, BIT_AND_MAR_MBR, BIT_OR_MBR_MBR2, COPY_HASHDATA_5TUPLE,
-        COPY_HASHDATA_MBR, COPY_HASHDATA_MBR2, COPY_MAR_MBR, COPY_MBR2_MBR, COPY_MBR_MAR,
-        COPY_MBR_MBR2, HASH, MAR_ADD_MBR, MAR_ADD_MBR2, MAR_LOAD, MAR_MBR_ADD_MBR2, MAX, MBR2_LOAD,
-        MBR_ADD_MBR2, MBR_EQUALS_DATA_1, MBR_EQUALS_DATA_2, MBR_EQUALS_MBR2, MBR_LOAD, MBR_NOT,
-        MBR_SUBTRACT_MBR2, MIN, REVMIN, SWAP_MBR_MBR2,
-    };
-    matches!(
-        op,
-        ADDR_MASK
-            | ADDR_OFFSET
-            | HASH
-            | MBR_LOAD
-            | MBR2_LOAD
-            | MAR_LOAD
-            | COPY_MBR2_MBR
-            | COPY_MBR_MBR2
-            | COPY_MBR_MAR
-            | COPY_MAR_MBR
-            | COPY_HASHDATA_MBR
-            | COPY_HASHDATA_MBR2
-            | COPY_HASHDATA_5TUPLE
-            | MBR_ADD_MBR2
-            | MAR_ADD_MBR
-            | MAR_ADD_MBR2
-            | MAR_MBR_ADD_MBR2
-            | MBR_SUBTRACT_MBR2
-            | BIT_AND_MAR_MBR
-            | BIT_OR_MBR_MBR2
-            | MBR_EQUALS_MBR2
-            | MBR_EQUALS_DATA_1
-            | MBR_EQUALS_DATA_2
-            | MAX
-            | MIN
-            | REVMIN
-            | SWAP_MBR_MBR2
-            | MBR_NOT
-    )
+/// A `<reg>_LOAD $k` followed by a copy out of `<reg>` folds into a
+/// single load of the destination register. Returns the folded opcode
+/// when `(load, copy)` is such a pair.
+pub(crate) fn foldable_load_copy(load: Opcode, copy: Opcode) -> Option<Opcode> {
+    match (load, copy) {
+        (Opcode::MBR_LOAD, Opcode::COPY_MBR2_MBR) => Some(Opcode::MBR2_LOAD),
+        (Opcode::MBR_LOAD, Opcode::COPY_MAR_MBR) => Some(Opcode::MAR_LOAD),
+        (Opcode::MBR2_LOAD, Opcode::COPY_MBR_MBR2) => Some(Opcode::MBR_LOAD),
+        (Opcode::MAR_LOAD, Opcode::COPY_MBR_MAR) => Some(Opcode::MBR_LOAD),
+        _ => None,
+    }
 }
 
-fn each_reg(mask: Regs) -> impl Iterator<Item = Regs> {
-    [MAR, MBR, MBR2, HD]
-        .into_iter()
-        .filter(move |r| mask & r != 0)
+fn describe_defs(defs: &crate::dataflow::DefSet) -> String {
+    let sites: Vec<String> = defs
+        .iter()
+        .map(|d| {
+            if d == ENTRY_DEF {
+                "the parser".to_string()
+            } else {
+                format!("#{}", d + 1)
+            }
+        })
+        .collect();
+    sites.join(", ")
 }
 
 /// Run every allocation-independent lint over `instrs`.
@@ -209,25 +141,14 @@ pub fn lint(instrs: &[Instruction], num_stages: usize) -> Vec<Finding> {
         }
     }
 
-    // --- Dead stores: backward liveness. Edges only go forward, so a
-    // single reverse sweep reaches the fixed point.
-    let mut live_in: Vec<Regs> = vec![0; nodes.len()];
-    for idx in (0..nodes.len()).rev() {
-        let (reads, writes) = reads_writes(nodes[idx].ins.opcode);
-        let mut live_out: Regs = 0;
-        for e in &nodes[idx].edges {
-            if e.to < nodes.len() {
-                live_out |= live_in[e.to];
-            }
-        }
-        // Hash-data writes append to the buffer rather than replacing
-        // it, so an HD write never kills an earlier contribution.
-        let kills = writes & !HD;
-        live_in[idx] = reads | (live_out & !kills);
+    // --- Dead stores: backward liveness. ---
+    let lv = liveness(&cfg);
+    for idx in 0..nodes.len() {
+        let (_, writes) = reads_writes(nodes[idx].ins.opcode);
         if reachable[idx]
             && pure_writer(nodes[idx].ins.opcode)
             && writes != 0
-            && writes & live_out == 0
+            && writes & lv.live_out[idx] == 0
         {
             findings.push(Finding {
                 kind: FindingKind::DeadStore,
@@ -236,10 +157,111 @@ pub fn lint(instrs: &[Instruction], num_stages: usize) -> Vec<Finding> {
                 message: format!(
                     "{} writes {}, but no later instruction reads it",
                     nodes[idx].ins.opcode,
-                    reg_name(writes & !live_out)
+                    reg_name(writes & !lv.live_out[idx])
                 ),
                 witness: None,
             });
+        }
+    }
+
+    // --- Redundant copies and provably-constant writes: the value
+    // analysis (constant propagation × value numbering) with the
+    // reaching-definitions sets naming where the duplicated value came
+    // from.
+    let vf = value_facts(&cfg);
+    let rd = reaching_defs(&cfg);
+    for idx in 0..nodes.len() {
+        if !reachable[idx] {
+            continue;
+        }
+        let ins = nodes[idx].ins;
+        let Some(state) = vf.state_in[idx].as_ref() else {
+            continue;
+        };
+        if let Some((src, dst)) = copy_src_dst(ins.opcode) {
+            let reg_val = |r: Regs| match r {
+                MAR => &state.mar,
+                MBR => &state.mbr,
+                _ => &state.mbr2,
+            };
+            if same_value(reg_val(src), reg_val(dst)) {
+                findings.push(Finding {
+                    kind: FindingKind::RedundantCopy,
+                    at: Some(idx),
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{} copies {} into {}, but both provably hold the same value \
+                         (defined at {})",
+                        ins.opcode,
+                        reg_name(src),
+                        reg_name(dst),
+                        describe_defs(&rd.defs_of(idx, src)),
+                    ),
+                    witness: None,
+                });
+            }
+        }
+        // Load+copy pairs that fold into one instruction. A note, not a
+        // warning: the pattern is natural to write and `--optimize`
+        // removes it mechanically.
+        if let Some(next) = instrs.get(idx + 1) {
+            if let Some(folded) = foldable_load_copy(ins.opcode, next.opcode) {
+                let (src, _) = copy_src_dst(next.opcode).unwrap_or((0, 0));
+                let src_dead = lv
+                    .live_out
+                    .get(idx + 1)
+                    .is_some_and(|&live| live & src == 0);
+                if ins.label().is_none() && next.label().is_none() && src_dead {
+                    findings.push(Finding {
+                        kind: FindingKind::RedundantCopy,
+                        at: Some(idx),
+                        severity: Severity::Note,
+                        message: format!(
+                            "{} followed by {} folds into a single {} (the intermediate {} \
+                             is never read again)",
+                            ins.opcode,
+                            next.opcode,
+                            folded,
+                            reg_name(src),
+                        ),
+                        witness: None,
+                    });
+                }
+            }
+        }
+        // Computations whose result is a compile-time constant even
+        // though an input register is not: the value numbering proved
+        // e.g. `x ^ x = 0` for an unknown x.
+        let (reads, writes) = reads_writes(ins.opcode);
+        if pure_writer(ins.opcode) && reads != 0 && writes & (MAR | MBR | MBR2) != 0 {
+            let reg_val = |r: Regs, s: &crate::dataflow::ValState| match r {
+                MAR => s.mar,
+                MBR => s.mbr,
+                _ => s.mbr2,
+            };
+            let any_nonconst_input =
+                each_reg(reads & !HD).any(|r| reg_val(r, state).as_const().is_none());
+            if any_nonconst_input {
+                let out = transfer_values(state, ins, idx);
+                for r in each_reg(writes & !HD) {
+                    if let Some(c) = reg_val(r, &out).as_const() {
+                        if reg_val(r, state).as_const() != Some(c) {
+                            findings.push(Finding {
+                                kind: FindingKind::ConstantWrite,
+                                at: Some(idx),
+                                severity: Severity::Warning,
+                                message: format!(
+                                    "{} always produces the constant {c} in {} \
+                                     (its non-constant inputs provably cancel)",
+                                    ins.opcode,
+                                    reg_name(r),
+                                ),
+                                witness: None,
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -415,5 +437,95 @@ mod tests {
             .unwrap();
         let f = lint(p.instructions(), 20);
         assert!(!kinds(&f).contains(&FindingKind::UseBeforeDef));
+    }
+
+    #[test]
+    fn provably_redundant_copy_warns() {
+        // MBR and MBR2 hold the same loaded value; copying one into the
+        // other is a no-op.
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .op(Opcode::COPY_MBR2_MBR)
+            .op(Opcode::COPY_MBR_MBR2) // redundant: MBR already == MBR2
+            .op(Opcode::SET_DST)
+            .op(Opcode::COPY_HASHDATA_MBR2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        let hit = f
+            .iter()
+            .find(|x| x.kind == FindingKind::RedundantCopy && x.severity == Severity::Warning)
+            .expect("redundant copy warning");
+        assert_eq!(hit.at, Some(2));
+    }
+
+    #[test]
+    fn foldable_load_copy_pair_notes() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 2)
+            .op(Opcode::COPY_MBR2_MBR) // MBR never read again: foldable
+            .op(Opcode::COPY_HASHDATA_MBR2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        let hit = f
+            .iter()
+            .find(|x| x.kind == FindingKind::RedundantCopy && x.severity == Severity::Note)
+            .expect("foldable pair note");
+        assert_eq!(hit.at, Some(0));
+    }
+
+    #[test]
+    fn load_copy_pair_with_live_source_is_not_foldable() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 2)
+            .op(Opcode::COPY_MBR2_MBR)
+            .op(Opcode::SET_DST) // still reads MBR: the pair must stay
+            .op(Opcode::COPY_HASHDATA_MBR2)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(!f
+            .iter()
+            .any(|x| x.kind == FindingKind::RedundantCopy && x.severity == Severity::Note));
+    }
+
+    #[test]
+    fn constant_write_from_cancelling_inputs_warns() {
+        // arg0 is unknown, but arg0 ^ arg0 is provably 0.
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .op(Opcode::COPY_MBR2_MBR)
+            .op(Opcode::COPY_HASHDATA_MBR)
+            .op(Opcode::MBR_EQUALS_MBR2) // x ^ x = 0 for unknown x
+            .op(Opcode::CRETI)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        let hit = f
+            .iter()
+            .find(|x| x.kind == FindingKind::ConstantWrite)
+            .expect("constant write warning");
+        assert_eq!(hit.at, Some(3));
+        assert!(hit.message.contains("constant 0"));
+    }
+
+    #[test]
+    fn ordinary_xor_of_distinct_values_is_quiet() {
+        let p = ProgramBuilder::new()
+            .op_arg(Opcode::MBR_LOAD, 0)
+            .op_arg(Opcode::MBR2_LOAD, 1)
+            .op(Opcode::MBR_EQUALS_MBR2)
+            .op(Opcode::CRETI)
+            .op(Opcode::RETURN)
+            .build()
+            .unwrap();
+        let f = lint(p.instructions(), 20);
+        assert!(!kinds(&f).contains(&FindingKind::ConstantWrite));
+        assert!(!kinds(&f).contains(&FindingKind::RedundantCopy));
     }
 }

@@ -57,6 +57,45 @@ fn translation_at(ctx: &AnalysisContext, stage: usize) -> Option<crate::verify::
     ctx.translation_region(stage)
 }
 
+/// A full execution trace: the outcome plus every client- or
+/// switch-visible effect of the packet. This is what the optimizer's
+/// differential gate compares — two programs are interchangeable
+/// exactly when their traces agree (passes excepted, which shrinking a
+/// program is allowed to improve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimTrace {
+    /// The control outcome (violation/capped/completed/dropped/passes).
+    pub outcome: SimOutcome,
+    /// Final stage-register memory: `(stage, address) -> value` for
+    /// every cell ever touched.
+    pub memory: BTreeMap<(usize, u32), u32>,
+    /// Final argument words (the client-visible response payload).
+    pub args: [u32; 4],
+    /// `SET_DST` override, if any.
+    pub dst_override: Option<u32>,
+    /// Did the packet request return-to-sender?
+    pub rts: bool,
+}
+
+impl SimTrace {
+    /// Everything the differential gate must hold equal between an
+    /// original and an optimized program. Pass counts are excluded:
+    /// removing instructions may legitimately reduce them.
+    #[must_use]
+    pub fn observables(&self) -> impl PartialEq + core::fmt::Debug + '_ {
+        (
+            self.outcome.violation,
+            self.outcome.capped,
+            self.outcome.completed,
+            self.outcome.dropped,
+            &self.memory,
+            self.args,
+            self.dst_override,
+            self.rts,
+        )
+    }
+}
+
 /// Run `instrs` with the given argument words through the simulated
 /// pipeline described by `ctx`. `five_tuple` is the parser's flow
 /// digest (`COPY_HASHDATA_5TUPLE`); packet-independent analyses pass 0.
@@ -67,6 +106,19 @@ pub fn simulate(
     args: [u32; 4],
     five_tuple: u32,
 ) -> SimOutcome {
+    simulate_full(instrs, ctx, args, five_tuple).outcome
+}
+
+/// Like [`simulate`], but returns the full observable trace (final
+/// memory, argument words, `SET_DST`/RTS flags) instead of just the
+/// control outcome.
+#[must_use]
+pub fn simulate_full(
+    instrs: &[Instruction],
+    ctx: &AnalysisContext,
+    args: [u32; 4],
+    five_tuple: u32,
+) -> SimTrace {
     let crc = Crc32::new();
     let mut memory: BTreeMap<(usize, u32), u32> = BTreeMap::new();
     let mut phv = Phv::new(0, 0, args);
@@ -132,7 +184,13 @@ pub fn simulate(
     out.violation = phv.violation;
     out.completed = phv.complete;
     out.dropped = phv.drop && !out.capped;
-    out
+    SimTrace {
+        outcome: out,
+        memory,
+        args: phv.args,
+        dst_override: phv.dst_override,
+        rts: phv.rts,
+    }
 }
 
 /// One instruction in one stage (mirrors `interp::execute`).

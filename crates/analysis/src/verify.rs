@@ -235,6 +235,12 @@ pub enum FindingKind {
     UseBeforeDef,
     /// A register write no path ever reads.
     DeadStore,
+    /// A copy whose source and destination provably already hold the
+    /// same value, or a load+copy pair foldable into one instruction.
+    RedundantCopy,
+    /// A computation that provably produces a compile-time constant
+    /// despite reading non-constant inputs.
+    ConstantWrite,
     /// An instruction no execution can reach.
     Unreachable,
     /// A NOP-padded mutant that is not observationally equivalent to

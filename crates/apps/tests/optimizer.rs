@@ -1,0 +1,85 @@
+//! Acceptance criterion for the capsule optimizer: every canonical app
+//! program survives the pass pipeline's differential gate, at least two
+//! of them get strictly shorter, and the optimized form still admits
+//! and proves mutant-equivalent under a pristine switch — the same bar
+//! `verifier_acceptance.rs` sets for the unoptimized capsules.
+
+use activermt_analysis::{check_mutant_equivalence, optimize_checked, pad_to_positions};
+use activermt_apps::lb::LB_ROUTE_ASM;
+use activermt_apps::{CacheApp, CheetahLb, HeavyHitterApp};
+use activermt_client::asm::assemble;
+use activermt_client::compiler::{CompiledService, Compiler};
+use activermt_core::alloc::AllocatorConfig;
+use activermt_core::{Allocator, MutantPolicy, Scheme, SwitchConfig};
+use activermt_isa::Program;
+
+/// Optimize a program and insist the verifier-gated pipeline accepted
+/// its own output (a gate failure silently falls back to the original,
+/// which for the canonical programs would be a regression).
+fn optimize(program: &Program, cfg: &SwitchConfig) -> Program {
+    let (optimized, stats) = optimize_checked(program, cfg.num_stages, cfg.ingress_stages);
+    assert!(
+        stats.gate_passed,
+        "differential gate rejected the optimized form (stats: {stats:?})"
+    );
+    assert!(optimized.len() <= program.len());
+    assert_eq!(
+        optimized.memory_access_positions().len(),
+        program.memory_access_positions().len(),
+        "optimization must preserve the access pattern"
+    );
+    optimized
+}
+
+/// Admit the optimized service on a pristine switch and check the
+/// synthesized mutant against the optimized canonical form.
+fn admits_and_stays_equivalent(service: &CompiledService, cfg: &SwitchConfig) {
+    let mut allocator = Allocator::new(AllocatorConfig::from_switch(cfg, Scheme::WorstFit));
+    let outcome = allocator
+        .admit(1, &service.pattern, MutantPolicy::MostConstrained)
+        .expect("optimized service admits on a pristine switch");
+    let padded = pad_to_positions(&service.spec.program, &outcome.mutant.positions)
+        .expect("mutant positions pad the optimized program");
+    assert!(
+        check_mutant_equivalence(&service.spec.program, &padded).is_none(),
+        "{}: optimized mutant diverges from optimized canonical",
+        service.spec.name
+    );
+}
+
+#[test]
+fn canonical_programs_optimize_soundly() {
+    let cfg = SwitchConfig::default();
+    for service in [
+        CacheApp::service(),
+        HeavyHitterApp::service(),
+        CheetahLb::service(),
+    ] {
+        let optimized = optimize(&service.spec.program, &cfg);
+        let spec = activermt_client::compiler::ServiceSpec {
+            program: optimized,
+            ..service.spec.clone()
+        };
+        let reservice = Compiler::compile(spec).expect("optimized spec recompiles");
+        admits_and_stays_equivalent(&reservice, &cfg);
+    }
+}
+
+#[test]
+fn at_least_two_canonical_programs_get_strictly_shorter() {
+    let cfg = SwitchConfig::default();
+
+    // The heavy-hitter monitor's dual-pass layout carries NOP padding
+    // the compaction pass provably removes.
+    let hh = HeavyHitterApp::service().spec.program;
+    let hh_opt = optimize(&hh, &cfg);
+    assert_eq!(hh.len(), 28);
+    assert_eq!(hh_opt.len(), 26, "hh-monitor should compact 28 -> 26");
+
+    // Listing 4's route program loads MBR then copies it to MBR2; the
+    // copy-folding pass rewrites that into a single MBR2_LOAD.
+    let route = assemble(LB_ROUTE_ASM).expect("Listing 4 assembles");
+    let route_opt = optimize(&route, &cfg);
+    assert_eq!(route.len(), 10);
+    assert_eq!(route_opt.len(), 9, "lb-route should fold 10 -> 9");
+}

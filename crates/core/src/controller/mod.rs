@@ -23,7 +23,10 @@ pub mod tables;
 
 pub use tables::{CostModel, ProvisioningReport};
 
-use crate::alloc::{AccessPattern, AllocOutcome, Allocator, AllocatorConfig, MutantPolicy, Scheme};
+use crate::alloc::{
+    AccessPattern, AllocOutcome, Allocator, AllocatorConfig, CacheKey, MutantCache, MutantPolicy,
+    Scheme, DEFAULT_CACHE_CAPACITY,
+};
 use crate::config::SwitchConfig;
 use crate::error::CoreError;
 use crate::oplog::{OpLog, OpRecord};
@@ -267,6 +270,16 @@ pub struct Controller {
     recovery_stats: RecoveryStats,
     /// Modeled recovery latency (replay + reconciliation), ns.
     recovery_ns: Histogram,
+    /// Accepted static-verification verdicts, memoized by (program
+    /// digest, mutant positions, granted-region geometry). Soft state:
+    /// a hit skips re-running the padding, equivalence, and abstract
+    /// interpretation for a combination already proven safe. Only
+    /// acceptances are cached — a rejection's diagnostics must be
+    /// recomputed fresh so the requester sees the full detail.
+    verify_cache: MutantCache<()>,
+    /// Verify-cache accounting: hits + misses = verified admissions.
+    optimizer_cache_hits: Counter,
+    optimizer_cache_misses: Counter,
 }
 
 /// `Clone` supports the model checker's state-space exploration: the
@@ -314,6 +327,12 @@ impl Clone for Controller {
             repairs: self.repairs.detached_copy(),
             recovery_stats: self.recovery_stats,
             recovery_ns: self.recovery_ns.detached_copy(),
+            // The verdict memo is sound across forks (verdicts are
+            // deterministic in the key), so branches keep the warm
+            // cache.
+            verify_cache: self.verify_cache.clone(),
+            optimizer_cache_hits: self.optimizer_cache_hits.detached_copy(),
+            optimizer_cache_misses: self.optimizer_cache_misses.detached_copy(),
         }
     }
 }
@@ -354,6 +373,9 @@ impl Controller {
             repairs: Counter::new(),
             recovery_stats: RecoveryStats::default(),
             recovery_ns: Histogram::new(),
+            verify_cache: MutantCache::new(DEFAULT_CACHE_CAPACITY),
+            optimizer_cache_hits: Counter::new(),
+            optimizer_cache_misses: Counter::new(),
         }
     }
 
@@ -376,6 +398,14 @@ impl Controller {
         reg.register_counter("controller.verify_accepted", &self.verify_accepted);
         reg.register_counter("controller.verify_rejected", &self.verify_rejected);
         reg.register_counter("controller.verify_skipped", &self.verify_skipped);
+        reg.register_counter(
+            "controller.optimizer.cache_hits",
+            &self.optimizer_cache_hits,
+        );
+        reg.register_counter(
+            "controller.optimizer.cache_misses",
+            &self.optimizer_cache_misses,
+        );
         reg.register_counter("controller.stale_epoch_rejects", &self.stale_rejects);
         reg.register_counter("controller.recoveries", &self.recoveries);
         reg.register_counter("controller.repairs", &self.repairs);
@@ -1557,17 +1587,37 @@ impl Controller {
     /// pad it to the chosen mutant's access positions, prove the
     /// padding semantics-preserving, and run the abstract interpreter
     /// over the granted regions under the admission assumption policy.
+    ///
+    /// Accepted verdicts are memoized by (program digest, mutant
+    /// positions, region geometry): reallocation churn re-admits the
+    /// same program onto the same shapes, and the verdict is a pure
+    /// function of the key plus this controller's fixed pipeline
+    /// geometry, so a repeat admission skips the proof entirely.
     fn verify_admission(
-        &self,
+        &mut self,
         outcome: &AllocOutcome,
         program: &Program,
     ) -> Result<(), (VerifyRejectReason, String)> {
+        let block_regs = self.allocator.config().block_regs;
+        let shape: Vec<(usize, u32, u32)> = outcome
+            .placements
+            .iter()
+            .map(|p| {
+                let region = to_region(p.range, block_regs);
+                (p.stage, region.start, region.end)
+            })
+            .collect();
+        let key = CacheKey::new(program, &shape).salted(&outcome.mutant.positions);
+        if self.verify_cache.get(&key).is_some() {
+            self.optimizer_cache_hits.inc();
+            return Ok(());
+        }
+        self.optimizer_cache_misses.inc();
         let padded = pad_to_positions(program, &outcome.mutant.positions)
             .map_err(|e| (VerifyRejectReason::Structure, e))?;
         if let Some(f) = check_mutant_equivalence(program, &padded) {
             return Err((VerifyRejectReason::Structure, f.message));
         }
-        let block_regs = self.allocator.config().block_regs;
         let mut ctx = AnalysisContext::new(
             self.num_stages,
             self.ingress_stages,
@@ -1580,6 +1630,7 @@ impl Controller {
         }
         let report = verify(padded.instructions(), &ctx);
         if report.accepted() {
+            self.verify_cache.insert(key, ());
             return Ok(());
         }
         let first = report
@@ -1666,6 +1717,15 @@ impl Controller {
     /// Legacy no-bytecode admissions that skipped verification.
     pub fn verify_skipped(&self) -> u64 {
         self.verify_skipped.get()
+    }
+
+    /// Verify-cache accounting `(hits, misses)`: hits + misses equals
+    /// the number of bytecode-carrying admissions attempted.
+    pub fn optimizer_cache_stats(&self) -> (u64, u64) {
+        (
+            self.optimizer_cache_hits.get(),
+            self.optimizer_cache_misses.get(),
+        )
     }
 
     /// Apply the pending plan: update every affected table, clear the
@@ -2364,6 +2424,62 @@ mod tests {
             1,
             "per-FID verify accounting recorded"
         );
+    }
+
+    #[test]
+    fn repeat_admission_hits_the_verify_cache() {
+        let (mut rt, mut ctl) = setup();
+        let program = cache_program();
+        // First admission proves the (program, shape) pair from scratch.
+        ctl.handle_request_with_program(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&program),
+            0,
+        );
+        assert_eq!(ctl.optimizer_cache_stats(), (0, 1));
+        // Release and re-admit: the deterministic allocator re-derives
+        // the same placement, so the cached verdict short-circuits the
+        // proof.
+        ctl.handle_deallocate(&mut rt, 1, 1_000).unwrap();
+        ctl.handle_request_with_program(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&program),
+            2_000,
+        );
+        assert_eq!(ctl.optimizer_cache_stats(), (1, 1));
+        assert_eq!(ctl.verify_counts(), (2, 0), "both admissions accepted");
+        // A different program over the same shape must miss: the
+        // digest half of the key changes with the instruction stream.
+        ctl.handle_deallocate(&mut rt, 1, 3_000).unwrap();
+        let other = hashed_probe_program();
+        ctl.handle_request_with_program(
+            &mut rt,
+            1,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&other),
+            4_000,
+        );
+        let (hits, misses) = ctl.optimizer_cache_stats();
+        assert_eq!((hits, misses), (1, 2), "new digest misses");
+        // The rejected probe's verdict is not cached: re-asking re-runs
+        // the proof (and is rejected again).
+        ctl.handle_request_with_program(
+            &mut rt,
+            2,
+            cache_pattern(),
+            MutantPolicy::MostConstrained,
+            Some(&other),
+            5_000,
+        );
+        assert_eq!(ctl.optimizer_cache_stats(), (1, 3));
+        assert_eq!(ctl.verify_counts(), (2, 2));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Differential property test for the capsule optimizer (Section 5's
+//! client-side synthesis, grown with the dataflow pass pipeline).
+//!
+//! For random valid capsules and random allocation shapes, the
+//! optimized program must be observationally equivalent to the
+//! original on the reference simulator: identical region-relative
+//! memory effects, identical client-visible argument words, identical
+//! RTS / `SET_DST` / violation behaviour. Recirculation counts are
+//! exempt — needing *fewer* passes is the optimization's whole point.
+//!
+//! The comparison pads the optimized program back to the original's
+//! access positions (always feasible: optimization only removes
+//! instructions), so both sides address the same stages and the
+//! random per-stage regions apply to both identically.
+
+use activermt_analysis::{
+    optimize_checked, pad_to_positions, simulate_full, AnalysisContext, Assumptions,
+};
+use activermt_isa::{Instruction, Opcode, Program};
+use proptest::prelude::*;
+
+const NUM_STAGES: usize = 20;
+const INGRESS_STAGES: usize = 10;
+
+/// The non-access instruction pool the generator draws from. Position
+/// -sensitive address translation (`ADDR_MASK` / `ADDR_OFFSET` picks
+/// the nearest region at-or-after its *own* stage) is excluded: the
+/// optimizer may legitimately shift a translation's stage while
+/// preserving the access stages, which changes which region translates
+/// — a placement effect the differential deliberately scopes out by
+/// comparing at fixed access positions.
+fn arb_body_instr() -> impl Strategy<Value = Instruction> {
+    let mut pool = Vec::new();
+    for op in [
+        Opcode::MAR_LOAD,
+        Opcode::MBR_LOAD,
+        Opcode::MBR2_LOAD,
+        Opcode::MBR_STORE,
+    ] {
+        for arg in 0u8..4 {
+            pool.push(Instruction::with_arg(op, arg).unwrap());
+        }
+    }
+    for op in [
+        Opcode::COPY_MBR2_MBR,
+        Opcode::COPY_MBR_MBR2,
+        Opcode::COPY_MBR_MAR,
+        Opcode::COPY_MAR_MBR,
+        Opcode::MBR_ADD_MBR2,
+        Opcode::MAR_ADD_MBR,
+        Opcode::MBR_SUBTRACT_MBR2,
+        Opcode::BIT_OR_MBR_MBR2,
+        Opcode::BIT_AND_MAR_MBR,
+        Opcode::SWAP_MBR_MBR2,
+        Opcode::MBR_NOT,
+        Opcode::MIN,
+        Opcode::MAX,
+        Opcode::HASH,
+        Opcode::MBR_EQUALS_MBR2,
+        Opcode::CRET,
+        Opcode::NOP,
+        Opcode::MEM_READ,
+        Opcode::MEM_WRITE,
+        Opcode::MEM_INCREMENT,
+    ] {
+        pool.push(Instruction::new(op));
+    }
+    prop::sample::select(pool)
+}
+
+/// A random valid capsule: a bounded body (at most 8 memory accesses,
+/// extras degrade to NOPs) terminated by RETURN.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_body_instr(), 0..24),
+        prop::array::uniform4(any::<u32>()),
+    )
+        .prop_map(|(mut body, args)| {
+            let mut accesses = 0;
+            for ins in &mut body {
+                if ins.opcode.is_memory_access() {
+                    accesses += 1;
+                    if accesses > 8 {
+                        *ins = Instruction::new(Opcode::NOP);
+                    }
+                }
+            }
+            body.push(Instruction::new(Opcode::RETURN));
+            Program::new(body, args).expect("bounded body is a valid program")
+        })
+}
+
+/// Grant one random region per distinct access stage (a random
+/// allocation shape); memoryless programs get a single stage-0 region
+/// so translation never faults spuriously.
+fn context_for(program: &Program, shapes: &[(u32, u32)]) -> AnalysisContext {
+    let mut ctx = AnalysisContext::new(NUM_STAGES, INGRESS_STAGES, None)
+        .with_assumptions(Assumptions::admission());
+    let mut stages: Vec<usize> = program
+        .memory_access_positions()
+        .iter()
+        .map(|&p| (p - 1) % NUM_STAGES)
+        .collect();
+    stages.sort_unstable();
+    stages.dedup();
+    if stages.is_empty() {
+        stages.push(0);
+    }
+    for (i, &s) in stages.iter().enumerate() {
+        let (start, len) = shapes[i % shapes.len()];
+        ctx = ctx.with_region(s, start, start + len);
+    }
+    ctx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Optimized capsules never grow, and behave identically to the
+    /// original on random allocation shapes and random traffic.
+    #[test]
+    fn optimizer_preserves_observable_behaviour(
+        program in arb_program(),
+        shapes in prop::collection::vec((0u32..4096, 8u32..256), 1..9),
+        probes in prop::collection::vec(
+            (prop::array::uniform4(any::<u32>()), any::<u32>()),
+            1..4,
+        ),
+    ) {
+        let (optimized, stats) = optimize_checked(&program, NUM_STAGES, INGRESS_STAGES);
+        prop_assert!(
+            optimized.len() <= program.len(),
+            "optimization must never grow a program: {} -> {}",
+            program.len(),
+            optimized.len(),
+        );
+        if !stats.changed() {
+            prop_assert_eq!(
+                optimized.encode_instructions(),
+                program.encode_instructions(),
+                "a no-op optimization must return the program verbatim",
+            );
+        }
+
+        // Pad the optimized program back to the original's access
+        // positions so both sides hit the same stages.
+        let positions: Vec<u16> = program
+            .memory_access_positions()
+            .iter()
+            .map(|&p| p as u16)
+            .collect();
+        let padded = pad_to_positions(&optimized, &positions)
+            .expect("optimized accesses fit the original positions");
+        let ctx = context_for(&program, &shapes);
+
+        for &(args, five_tuple) in &probes {
+            let want = simulate_full(program.instructions(), &ctx, args, five_tuple);
+            let got = simulate_full(padded.instructions(), &ctx, args, five_tuple);
+            prop_assert_eq!(
+                want.observables(),
+                got.observables(),
+                "divergence on args {:?} five-tuple {:#x} (gate_passed={})",
+                args,
+                five_tuple,
+                stats.gate_passed,
+            );
+        }
+    }
+}
